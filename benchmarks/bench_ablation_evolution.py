@@ -1,0 +1,57 @@
+"""ABL-E — qunit evolution: churn vs smoothing (Sec. 7 future work).
+
+As user interests drift across log epochs, how aggressively should the
+qunit set track demand?  Sweeps the exponential smoothing factor and
+reports total churn (definitions added+dropped) and how many definitions
+survive to the end.  Low smoothing = stable but stale; high smoothing =
+responsive but thrashing.
+"""
+
+from repro.core.evolution import QunitEvolutionTracker
+from repro.datasets.querylog import QueryLogGenerator
+from repro.utils.rng import DeterministicRng
+from repro.utils.tables import ascii_table
+
+SMOOTHINGS = (0.2, 0.5, 0.8)
+N_EPOCHS = 6
+
+
+def epochs_for(experiment):
+    """Six epochs of drifting demand sampled from the synthetic log."""
+    rng = DeterministicRng(77)
+    entries = sorted(experiment.log.as_list())
+    epochs = []
+    for epoch_index in range(N_EPOCHS):
+        # Drift: each epoch emphasizes a moving window of the log.
+        window = len(entries) // 3
+        start = (epoch_index * window // 2) % max(1, len(entries) - window)
+        chunk = entries[start:start + window]
+        epochs.append([(q, f) for q, f in chunk if rng.coin(0.8)])
+    return epochs
+
+
+def test_smoothing_sweep(benchmark, experiment, write_artifact):
+    epochs = epochs_for(experiment)
+
+    def sweep():
+        rows = []
+        for smoothing in SMOOTHINGS:
+            tracker = QunitEvolutionTracker(experiment.database,
+                                            smoothing=smoothing,
+                                            drop_below=0.08)
+            for entries in epochs:
+                if entries:
+                    tracker.observe_epoch(entries)
+            rows.append((smoothing, tracker.total_churn(),
+                         len(tracker.definitions)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(
+        "ablation_evolution.txt",
+        ascii_table(("smoothing", "total churn", "surviving definitions"),
+                    rows, title="ABL-E: qunit evolution vs smoothing"),
+    )
+    # Faster smoothing can only churn as much or more.
+    churns = [churn for _s, churn, _n in rows]
+    assert churns[-1] >= churns[0]

@@ -1,0 +1,62 @@
+"""ABL-K — sensitivity of schema+data derivation to k1 and k2.
+
+The paper calls k1 (how many top entities become qunit anchors) and k2
+(how many neighbors each anchor absorbs) "tunable parameters" without
+exploring them; this ablation does.  Expectation: result quality saturates
+in k1 once the entity tables queries actually mention are covered, and is
+non-monotone in k2 — too few neighbors starve answers, too many bloat them
+(the precision penalty raters call "excessive").
+"""
+
+import pytest
+
+from repro.core import QunitCollection
+from repro.core.derivation import SchemaDataDeriver
+from repro.core.search import QunitSearchEngine
+from repro.eval.relevance import SimulatedRaterPool
+from repro.utils.tables import ascii_table
+
+K1_VALUES = (2, 4, 6)
+K2_VALUES = (0, 2, 4)
+
+
+def build_engine(experiment, k1: int, k2: int) -> QunitSearchEngine:
+    definitions = SchemaDataDeriver(experiment.database, k1=k1, k2=k2).derive()
+    collection = QunitCollection(experiment.database, definitions,
+                                 max_instances_per_definition=100)
+    return QunitSearchEngine(collection, flavor=f"schema-k1{k1}-k2{k2}")
+
+
+def test_k1_k2_sweep(benchmark, experiment, write_artifact):
+    pool_seed = experiment.seed + 3
+
+    def sweep():
+        rows = []
+        scores = {}
+        for k1 in K1_VALUES:
+            for k2 in K2_VALUES:
+                engine = build_engine(experiment, k1, k2)
+                score = experiment.evaluate_system(
+                    engine, name=engine.system_name,
+                    pool=SimulatedRaterPool(8, seed=pool_seed))
+                scores[(k1, k2)] = score.mean_score
+                rows.append((k1, k2, len(engine.collection),
+                             round(score.mean_score, 3)))
+        return rows, scores
+
+    rows, scores = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(
+        "ablation_k1k2.txt",
+        ascii_table(("k1", "k2", "definitions", "mean relevance"), rows,
+                    title="ABL-K: schema+data derivation k1/k2 sweep"),
+    )
+    # Joining neighbors must help over bare-entity qunits somewhere.
+    assert max(scores[(k1, k2)] for k1 in K1_VALUES for k2 in (2, 4)) > \
+        min(scores[(k1, 0)] for k1 in K1_VALUES)
+
+
+@pytest.mark.parametrize("k1,k2", [(2, 2), (4, 3), (6, 4)])
+def test_derivation_latency(benchmark, experiment, k1, k2):
+    deriver = SchemaDataDeriver(experiment.database, k1=k1, k2=k2)
+    definitions = benchmark(deriver.derive)
+    assert definitions

@@ -1,0 +1,48 @@
+"""ABL-S — IR scorer choice inside the qunit paradigm.
+
+The paper's Sec. 3 argument is that separating ranking from the database
+lets any IR machinery slot in unchanged.  This ablation swaps the ranking
+function under the same expert qunit collection — TF-IDF, BM25, and BM25
+with a popularity prior (the ObjectRank idea as a document feature) — and
+measures workload relevance.  Expectation: the structural pipeline does
+most of the work (fully-bound queries never reach the scorer), so scorer
+choice moves the needle only on the IR-ranked minority — which is itself
+a finding supporting the architecture.
+"""
+
+from repro.core.search import QunitSearchEngine
+from repro.eval.relevance import SimulatedRaterPool
+from repro.ir.scoring import Bm25Scorer, PriorWeightedScorer, TfIdfScorer
+from repro.utils.tables import ascii_table
+
+
+def test_scorer_sweep(benchmark, experiment, write_artifact):
+    collection = experiment.collections["expert"]
+    priors = collection.popularity_priors()
+    scorers = (
+        ("tf-idf", TfIdfScorer()),
+        ("bm25", Bm25Scorer()),
+        ("bm25+popularity", PriorWeightedScorer(Bm25Scorer(), priors)),
+    )
+
+    def sweep():
+        rows = []
+        for label, scorer in scorers:
+            engine = QunitSearchEngine(collection, flavor="expert",
+                                       scorer=scorer)
+            score = experiment.evaluate_system(
+                engine, name=f"expert/{label}",
+                pool=SimulatedRaterPool(8, seed=experiment.seed + 3))
+            rows.append((label, round(score.mean_score, 3)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(
+        "ablation_scorers.txt",
+        ascii_table(("scorer", "mean relevance"), rows,
+                    title="ABL-S: IR scorer choice under the expert qunit set"),
+    )
+    values = [value for _label, value in rows]
+    # The structural pipeline dominates: scorer choice shifts results by
+    # at most a modest margin.
+    assert max(values) - min(values) < 0.2

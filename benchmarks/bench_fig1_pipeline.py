@@ -1,0 +1,56 @@
+"""EXP-F1 — the Figure 1 search pipeline as a latency benchmark.
+
+Measures the interactive hot path (segmentation → matching → instance
+materialization) for each query shape the paper discusses.  The point of
+the qunits architecture is that this path involves *no* graph search or
+LCA computation — compare with bench_perf_scaling.
+"""
+
+import pytest
+
+from repro.core import QunitCollection
+from repro.core.derivation import imdb_expert_qunits
+from repro.core.search import QunitSearchEngine
+
+
+@pytest.fixture(scope="module")
+def engine(bench_db):
+    collection = QunitCollection(bench_db, imdb_expert_qunits(),
+                                 max_instances_per_definition=150)
+    engine = QunitSearchEngine(collection, flavor="expert")
+    engine.best("star wars cast")  # warm caches (text index, instances)
+    return engine
+
+
+QUERIES = {
+    "entity_attribute": "star wars cast",
+    "single_entity": "george clooney",
+    "multi_entity": "angelina jolie tomb raider",
+    "aggregate": "top rated movies",
+}
+
+
+@pytest.mark.parametrize("shape", sorted(QUERIES))
+def test_search_latency(benchmark, engine, shape):
+    query = QUERIES[shape]
+    answer = benchmark(engine.best, query)
+    assert not answer.is_empty
+
+
+def test_segmentation_latency(benchmark, engine):
+    segmented = benchmark(engine.segment, "star wars cast")
+    assert segmented.template() == "[movie.title] cast"
+
+
+def test_pipeline_answers_recorded(benchmark, engine, write_artifact):
+    def walkthrough():
+        lines = ["Figure 1 pipeline walkthrough (EXP-F1)"]
+        for shape, query in sorted(QUERIES.items()):
+            explanation = engine.explain(query)
+            answer = explanation.answers[0] if explanation.answers else "(none)"
+            lines.append(f"  {query!r:36s} -> {explanation.template:28s} "
+                         f"-> {answer}")
+        return "\n".join(lines)
+
+    artifact = benchmark.pedantic(walkthrough, rounds=1, iterations=1)
+    write_artifact("fig1_pipeline.txt", artifact)

@@ -1,0 +1,42 @@
+"""EXP-F3 — Figure 3: result quality across all seven systems.
+
+The headline reproduction: BANKS and the XML LCA/MLCA baselines versus the
+four qunit engines (schema+data, query-log, external-evidence, expert) and
+the theoretical maximum, judged by the 20-rater panel on the 25-query
+movie workload.
+"""
+
+from repro.eval.harness import THEORETICAL_MAX
+
+
+def test_result_quality(benchmark, experiment, write_artifact):
+    report = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+
+    baselines = [report.mean_of(name)
+                 for name in ("banks", "discover", "objectrank",
+                              "xml-lca", "xml-mlca")]
+    derived = [report.mean_of(name)
+               for name in ("qunits-schema_data", "qunits-query_log",
+                            "qunits-external", "qunits-forms")]
+    expert = report.mean_of("qunits-expert")
+
+    # The paper's claims, as shape assertions:
+    # 1. "qunit-based querying clearly outperforms existing methods".
+    assert min(derived) > max(baselines) + 0.15
+    # 2. Hand-identified ("Human") qunits are the best real system...
+    assert expert >= max(derived)
+    # 3. ...yet "we are still quite far away from the theoretical maximum".
+    assert expert <= 0.95
+    assert report.mean_of(THEORETICAL_MAX) == 1.0
+
+    write_artifact("fig3_result_quality.txt",
+                   report.render() + "\n\n" + report.render_table())
+
+
+def test_single_system_evaluation(benchmark, experiment):
+    """Per-system scoring latency (the unit the ablations sweep)."""
+    score = benchmark.pedantic(
+        experiment.evaluate_system, args=(experiment.engines["expert"],),
+        rounds=1, iterations=1,
+    )
+    assert 0.0 < score.mean_score <= 1.0

@@ -1,0 +1,85 @@
+"""PERF — query latency and build cost: qunits vs BANKS vs MLCA.
+
+Supports the paper's architectural claim (Sec. 3): once ranking is
+separated from the database, query-time work is index lookups and one view
+materialization — no per-query graph expansion (BANKS) or LCA computation
+over the whole tree (MLCA).  Reports build + per-query costs at three
+database scales.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import BanksSearch, XmlMlcaSearch
+from repro.core import QunitCollection
+from repro.core.derivation import imdb_expert_qunits
+from repro.core.search import QunitSearchEngine
+from repro.datasets.imdb import generate_imdb
+from repro.graph.data_graph import DataGraph
+from repro.utils.tables import ascii_table
+from repro.xmlview import build_xml_view
+from repro.xmlview.index import TreeTextIndex
+
+QUERIES = ("star wars cast", "george clooney", "tom hanks movies",
+           "the terminator box office")
+SCALES = (0.15, 0.3, 0.6)
+
+
+def build_systems(scale: float):
+    db = generate_imdb(scale=scale, seed=7)
+    timings = {}
+    start = time.perf_counter()
+    collection = QunitCollection(db, imdb_expert_qunits(),
+                                 max_instances_per_definition=100)
+    engine = QunitSearchEngine(collection, flavor="expert")
+    engine.best(QUERIES[0])  # build lazy indexes
+    timings["qunits build"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    banks = BanksSearch(DataGraph(db))
+    timings["banks build"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    root = build_xml_view(db)
+    mlca = XmlMlcaSearch(root, TreeTextIndex(root))
+    timings["mlca build"] = time.perf_counter() - start
+    return db, {"qunits": engine, "banks": banks, "mlca": mlca}, timings
+
+
+def mean_query_seconds(system) -> float:
+    start = time.perf_counter()
+    for query in QUERIES:
+        system.best(query)
+    return (time.perf_counter() - start) / len(QUERIES)
+
+
+def test_scaling_table(benchmark, write_artifact):
+    def sweep():
+        rows = []
+        for scale in SCALES:
+            db, systems, timings = build_systems(scale)
+            row = [f"x{scale}", db.total_rows()]
+            for name in ("qunits", "banks", "mlca"):
+                row.append(f"{timings[f'{name} build']:.2f}s")
+                row.append(f"{mean_query_seconds(systems[name]) * 1000:.1f}ms")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    artifact = ascii_table(
+        ("scale", "rows",
+         "qunits build", "qunits query",
+         "banks build", "banks query",
+         "mlca build", "mlca query"),
+        rows, title="PERF: build cost and mean query latency by scale",
+    )
+    write_artifact("perf_scaling.txt", artifact)
+
+
+@pytest.mark.parametrize("system_name", ["qunits", "banks", "mlca"])
+def test_query_latency(benchmark, system_name):
+    _db, systems, _timings = build_systems(0.3)
+    system = systems[system_name]
+    system.best("star wars cast")  # warm
+    benchmark(system.best, "star wars cast")

@@ -1,0 +1,36 @@
+"""EXP-QL — the Sec. 5.2 query-log statistics and benchmark workload."""
+
+from repro.eval.figures import PAPER_SEC52_TARGETS, render_sec52_statistics
+from repro.utils.tables import ascii_table
+
+
+def test_log_analysis(benchmark, bench_analyzer, bench_log, write_artifact):
+    stats = benchmark(bench_analyzer.statistics, bench_log)
+
+    # The paper's in-text numbers (over distinct queries).
+    assert stats.fraction("single_entity") >= 0.30          # ">= 36%"
+    assert 0.12 <= stats.fraction("entity_attribute") <= 0.28  # "20%"
+    assert stats.fraction("multi_entity") <= 0.08           # "~2%"
+    assert stats.fraction("complex") <= 0.04                # "<2%"
+    assert stats.movie_related_fraction >= 0.85             # "~93%"
+
+    write_artifact("sec52_querylog.txt", render_sec52_statistics(stats))
+
+
+def test_benchmark_workload_construction(benchmark, bench_analyzer, bench_log,
+                                         write_artifact):
+    workload = benchmark(bench_analyzer.benchmark_workload, bench_log)
+    assert len(workload) == 28                # 14 templates x 2 queries
+    assert len({q.template for q in workload}) == 14
+
+    rows = [(q.template, q.query, q.query_class) for q in workload]
+    write_artifact(
+        "sec52_workload.txt",
+        ascii_table(("template", "query", "class"), rows,
+                    title="The 28-query movie querylog benchmark (EXP-QL)"),
+    )
+
+
+def test_template_extraction_throughput(benchmark, bench_analyzer, bench_log):
+    frequencies = benchmark(bench_analyzer.template_frequencies, bench_log)
+    assert sum(frequencies.values()) == bench_log.total_queries

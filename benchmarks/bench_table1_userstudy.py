@@ -1,0 +1,19 @@
+"""EXP-T1 — Table 1: the information-needs vs keyword-queries user study."""
+
+from repro.eval.figures import render_table1
+from repro.eval.userstudy import PAPER_SUMMARY, UserStudySimulator
+
+
+def test_userstudy_simulation(benchmark, write_artifact):
+    simulator = UserStudySimulator(seed=31)
+    result = benchmark(simulator.run)
+
+    # The paper's aggregate observations must hold.
+    assert result.total_queries == PAPER_SUMMARY["total_queries"]
+    assert result.is_many_to_many()
+    singles = result.single_entity_queries()
+    assert 5 <= len(singles) <= 15  # paper: 10 of 25
+    under = result.underspecified_single_entity()
+    assert len(under) >= len(singles) * 0.4  # paper: 8 of 10
+
+    write_artifact("table1_userstudy.txt", render_table1(result))

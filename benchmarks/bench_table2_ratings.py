@@ -1,0 +1,38 @@
+"""EXP-T2 — Table 2: the relevance scale, exercised by the rater panel."""
+
+from collections import Counter
+
+from repro.eval.figures import render_table2
+from repro.eval.needs import NEEDS
+from repro.eval.relevance import SCALE, SimulatedRaterPool
+from repro.utils.tables import ascii_table
+
+
+def test_rating_throughput(benchmark, experiment, write_artifact):
+    """Benchmark the rater panel on a realistic answer; record the observed
+    distribution of survey options over the Fig. 3 experiment's answers."""
+    pool = SimulatedRaterPool(20, seed=99)
+    engine = experiment.engines["expert"]
+    segmented = engine.segment("star wars cast")
+    gold = experiment.need_model.gold_atoms(NEEDS["cast"], segmented)
+    answer = engine.best("star wars cast")
+    ratings = benchmark(pool.rate, answer, gold)
+    assert len(ratings) == len(pool)
+
+    # Observed option distribution over every system x query of EXP-F3.
+    observed: Counter = Counter()
+    systems = experiment.systems()
+    for benchmark_query in experiment.workload:
+        seg = engine.segment(benchmark_query.query)
+        golds = experiment._rater_golds(0, seg, pool)
+        for system in systems.values():
+            system_answer = system.best(benchmark_query.query)
+            for rater, rater_gold in zip(pool.raters, golds):
+                observed[rater.rate(system_answer, rater_gold).label] += 1
+    total = sum(observed.values())
+    rows = [(label, f"{score:.1f}", f"{observed.get(label, 0) / total:.1%}")
+            for score, label in SCALE]
+    distribution = ascii_table(("survey option", "score", "observed share"),
+                               rows, title="Observed option usage (EXP-T2)")
+    write_artifact("table2_ratings.txt",
+                   render_table2() + "\n\n" + distribution)

@@ -1,0 +1,67 @@
+"""Shared benchmark fixtures.
+
+Expensive artifacts (database, query log, the Figure 3 experiment) are
+session-scoped so every bench file reuses them.  Each benchmark writes its
+reproduced table/figure to ``benchmarks/results/`` so the artifacts survive
+the run (stdout is captured by pytest-benchmark).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.datasets.imdb import generate_imdb
+from repro.datasets.querylog import QueryLogAnalyzer, QueryLogGenerator
+from repro.eval.harness import ResultQualityExperiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# The canonical benchmark configuration (kept in one place so every bench
+# file reports against the same data).
+SCALE = 0.3
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(results_dir):
+    """Write (and echo) a reproduced table/figure."""
+
+    def _write(name: str, content: str) -> None:
+        path = results_dir / name
+        path.write_text(content + "\n")
+        print(f"\n[artifact -> {path}]\n{content}")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def bench_db():
+    return generate_imdb(scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_log(bench_db):
+    generator = QueryLogGenerator(bench_db, seed=SEED + 1)
+    return generator.generate(generator.recommended_unique())
+
+
+@pytest.fixture(scope="session")
+def bench_analyzer(bench_db):
+    return QueryLogAnalyzer(bench_db)
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    """The fully built Figure 3 experiment (shared by several benches)."""
+    exp = ResultQualityExperiment(scale=SCALE, seed=SEED, n_raters=20,
+                                  n_queries=25)
+    exp.setup()
+    return exp

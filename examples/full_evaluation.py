@@ -1,0 +1,44 @@
+"""The full Sec. 5 evaluation: Table 1, Table 2, Sec. 5.2 and Figure 3.
+
+Rebuilds the paper's entire experimental section on the synthetic
+substrates and prints every artifact side by side with the paper's
+reported numbers.  Takes ~10 seconds.
+
+Run:  python examples/full_evaluation.py
+"""
+
+from repro.eval import ResultQualityExperiment, UserStudySimulator
+from repro.eval.figures import render_sec52_statistics, render_table1, render_table2
+
+
+def main() -> None:
+    # Table 1 — the five-user information-need study.
+    print("=" * 72)
+    result = UserStudySimulator(seed=31).run()
+    print(render_table1(result))
+
+    # Table 2 — the relevance scale used by the rater panel.
+    print()
+    print("=" * 72)
+    print(render_table2())
+
+    # Figure 3 + Sec. 5.2 — the result-quality experiment.
+    print()
+    print("=" * 72)
+    experiment = ResultQualityExperiment(scale=0.3, seed=7, n_raters=20,
+                                         n_queries=25)
+    experiment.setup()
+    stats = experiment.analyzer.statistics(experiment.log)
+    print(render_sec52_statistics(stats))
+
+    print()
+    print("=" * 72)
+    report = experiment.run()
+    print(report.render())
+
+    print("\nordering check (paper: baselines << derived qunits < Human < max):")
+    print("  " + "  <  ".join(report.ordering()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: the paper's Figure 1 pipeline, end to end.
+
+Builds the synthetic IMDb database, loads the expert qunit set, and walks
+the query "star wars cast" through segmentation, qunit matching and
+instance materialization — then shows a few more query shapes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import QunitCollection, QunitSearchEngine, generate_imdb, imdb_expert_qunits
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Qunits quickstart — reproducing Figure 1 of the paper")
+    print("=" * 72)
+
+    # 1. The structured database (stand-in for the IMDb dump).
+    db = generate_imdb(scale=0.3)
+    print(f"\ndatabase: {db}")
+
+    # 2. The database, conceptually, as a collection of independent qunits.
+    collection = QunitCollection(db, imdb_expert_qunits(),
+                                 max_instances_per_definition=100)
+    print(f"qunit definitions: {len(collection)}")
+    for name, source, instances in collection.describe()[:6]:
+        print(f"  {name:28s} ({source}, {instances} instances)")
+    print("  ...")
+
+    # 3. The search engine: segmentation -> matching -> IR ranking.
+    engine = QunitSearchEngine(collection, flavor="expert")
+
+    query = "star wars cast"
+    print(f"\nquery: {query!r}")
+    explanation = engine.explain(query)
+    print(f"  typed query   : {explanation.template}")
+    print(f"  query class   : {explanation.query_class}")
+    print(f"  top candidates: {explanation.candidates[:3]}")
+
+    answer = engine.best(query)
+    print(f"  chosen qunit  : {answer.meta('definition')}")
+    print(f"  answer        : {answer.text[:70]}...")
+
+    # The conversion expression (the paper's Sec. 2 example) renders the
+    # instance as nested markup:
+    instance = collection.instance("movie_full_credits::star_wars")
+    print(f"\nconversion-expression output:\n  {instance.markup()[:120]}...")
+
+    # 4. More query shapes.
+    print("\nmore queries:")
+    for query in ("george clooney",           # underspecified single entity
+                  "george clooney movies",    # entity + attribute
+                  "the terminator box office",
+                  "best movies",              # aggregate / charts
+                  "angelina jolie tomb raider"):  # multi-entity
+        answer = engine.best(query)
+        definition = answer.meta("definition", "(ir fallback)")
+        print(f"  {query:32s} -> {definition}")
+
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

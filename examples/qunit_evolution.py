@@ -1,0 +1,85 @@
+"""Qunit evolution over time — the paper's Sec. 7 future work, implemented.
+
+"We expect to deal with qunit evolution over time as user interests mutate
+during the life of a database system."
+
+Simulates three eras of user interest (blockbuster cast queries, an awards
+season, a nostalgia wave of plot/trivia lookups), feeds each era's log
+epoch to the evolution tracker, and plots how the derived qunit set and
+its utilities drift.
+
+Run:  python examples/qunit_evolution.py
+"""
+
+from repro import generate_imdb
+from repro.core.evolution import QunitEvolutionTracker
+from repro.utils.tables import ascii_table
+
+
+def era_blockbusters():
+    return [
+        ("star wars cast", 12), ("batman cast", 9), ("tomb raider cast", 7),
+        ("the terminator cast", 6), ("star wars", 10), ("batman", 8),
+    ]
+
+
+def era_awards_season():
+    return [
+        ("george clooney awards", 11), ("tom hanks awards", 10),
+        ("angelina jolie awards", 6), ("tom hanks", 9),
+        ("star wars awards", 5), ("george clooney", 8),
+    ]
+
+
+def era_nostalgia():
+    return [
+        ("cast away plot", 9), ("the terminator plot", 8),
+        ("star wars trivia", 7), ("batman trivia", 6),
+        ("cast away", 5), ("the terminator", 5),
+    ]
+
+
+def main() -> None:
+    db = generate_imdb(scale=0.3)
+    tracker = QunitEvolutionTracker(db, smoothing=0.6, drop_below=0.08)
+
+    eras = [
+        ("blockbusters", era_blockbusters()),
+        ("blockbusters", era_blockbusters()),
+        ("awards season", era_awards_season()),
+        ("awards season", era_awards_season()),
+        ("nostalgia", era_nostalgia()),
+        ("nostalgia", era_nostalgia()),
+    ]
+
+    print("observing six monthly log epochs across three interest eras\n")
+    for label, entries in eras:
+        report = tracker.observe_epoch(entries)
+        print(f"epoch {report.epoch} ({label:13s}): "
+              f"+{len(report.added)} definitions, -{len(report.removed)}, "
+              f"{len(report.utilities)} active")
+        for name in report.added:
+            print(f"    + {name}")
+        for name in report.removed:
+            print(f"    - {name}")
+
+    print("\nfinal qunit set by smoothed utility:")
+    for definition in tracker.definitions:
+        print(f"  {definition.utility:.3f}  {definition.name}")
+
+    # Utility trajectories of a few interesting definitions.
+    tracked = ["movie_title_cast", "person_name_award",
+               "movie_title_movie_info_plot"]
+    rows = []
+    for name in tracked:
+        trajectory = tracker.trajectory(name)
+        rows.append([name] + [f"{value:.2f}" for value in trajectory])
+    headers = ["definition"] + [f"e{i + 1}" for i in range(len(eras))]
+    print()
+    print(ascii_table(headers, rows,
+                      title="utility trajectories (0.00 = not in the set)"))
+    print(f"\ntotal churn across epochs: {tracker.total_churn()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Reproduction of "Qunits: Queried Units for Database Search" (CIDR 2009).
+
+Public API tour:
+
+>>> from repro import generate_imdb, imdb_expert_qunits
+>>> from repro import QunitCollection, QunitSearchEngine
+>>> db = generate_imdb(scale=0.2)
+>>> collection = QunitCollection(db, imdb_expert_qunits())
+>>> engine = QunitSearchEngine(collection, flavor="expert")
+>>> engine.best("star wars cast").meta("definition")
+'movie_full_credits'
+
+Subpackages: ``repro.relational`` (the database engine),
+``repro.ir`` (retrieval), ``repro.graph`` / ``repro.xmlview`` (graph and
+XML views), ``repro.baselines`` (BANKS, LCA, MLCA), ``repro.core``
+(qunits: definitions, derivation, search), ``repro.datasets`` (synthetic
+IMDb / query log / evidence), ``repro.eval`` (the Sec. 5 experiments).
+"""
+
+from repro.answer import Answer, atom
+from repro.core import QunitCollection, QunitDefinition, QunitInstance, UtilityModel
+from repro.core.derivation import (
+    ExternalEvidenceDeriver,
+    QueryLogDeriver,
+    SchemaDataDeriver,
+    imdb_expert_qunits,
+)
+from repro.core.search import QunitSearchEngine
+from repro.datasets.imdb import generate_imdb, imdb_schema, simplified_schema
+from repro.datasets.querylog import QueryLogAnalyzer, QueryLogGenerator
+from repro.datasets.evidence import generate_wiki_corpus
+from repro.errors import ReproError
+from repro.eval import ResultQualityExperiment, UserStudySimulator
+from repro.relational import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Answer",
+    "atom",
+    "Database",
+    "QunitDefinition",
+    "QunitInstance",
+    "QunitCollection",
+    "QunitSearchEngine",
+    "UtilityModel",
+    "imdb_expert_qunits",
+    "SchemaDataDeriver",
+    "QueryLogDeriver",
+    "ExternalEvidenceDeriver",
+    "generate_imdb",
+    "imdb_schema",
+    "simplified_schema",
+    "QueryLogGenerator",
+    "QueryLogAnalyzer",
+    "generate_wiki_corpus",
+    "ResultQualityExperiment",
+    "UserStudySimulator",
+    "ReproError",
+]

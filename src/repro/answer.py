@@ -1,0 +1,67 @@
+"""The common answer model every search system produces.
+
+The paper's evaluation (Sec. 5.3) hand-converted each system's output into
+"a paragraph in simplified natural English" so raters judged *content*, not
+presentation.  We reproduce that levelling: every system — qunit search,
+BANKS, LCA, MLCA — emits an :class:`Answer` whose ``atoms`` are the
+(table, column, normalized value) facts the result contains.  The simulated
+raters score answers purely from atoms, so no system gains from formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.text import normalize
+
+__all__ = ["Atom", "Answer", "atom"]
+
+Atom = tuple[str, str, str]  # (table, column, normalized value)
+
+
+def atom(table: str, column: str, value: object) -> Atom:
+    """Build a normalized content atom."""
+    if isinstance(value, bool):
+        text = "yes" if value else "no"
+    else:
+        text = str(value)
+    return (table, column, normalize(text))
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One search result as judged content.
+
+    ``system`` identifies the producing algorithm, ``atoms`` the content
+    facts, ``text`` a rendered paragraph (for humans and for IR scoring),
+    ``provenance`` free-form details (tree shape, qunit name, ...).
+    """
+
+    system: str
+    atoms: frozenset[Atom]
+    text: str
+    score: float = 0.0
+    provenance: tuple[tuple[str, object], ...] = ()
+
+    @staticmethod
+    def empty(system: str) -> "Answer":
+        """The canonical no-result answer (rated 0 by construction)."""
+        return Answer(system=system, atoms=frozenset(), text="")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.atoms
+
+    def tables(self) -> set[str]:
+        return {table for table, _column, _value in self.atoms}
+
+    def values_for(self, table: str, column: str) -> set[str]:
+        return {
+            value for t, c, value in self.atoms if t == table and c == column
+        }
+
+    def meta(self, key: str, default: object = None) -> object:
+        for meta_key, value in self.provenance:
+            if meta_key == key:
+                return value
+        return default

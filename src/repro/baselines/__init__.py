@@ -1,0 +1,29 @@
+"""Baseline keyword-search systems the paper compares qunits against.
+
+* :class:`BanksSearch` — BANKS [Bhalotia et al., ICDE 2002]: backward
+  expanding search over the tuple data graph, returning minimal keyword
+  spanning trees of joined tuples.
+* :class:`DiscoverSearch` — DISCOVER/DBXplorer-style candidate networks:
+  per-table keyword tuple sets joined through minimal schema-graph trees.
+* :class:`XmlLcaSearch` — XRank-flavoured retrieval: the smallest XML
+  element (SLCA) containing all keywords, returned with its whole subtree.
+* :class:`XmlMlcaSearch` — Schema-Free XQuery's *meaningful* LCA, which
+  filters coincidental ancestors.
+
+All three consume the same database (through the data-graph and XML-view
+adapters) and emit :class:`~repro.answer.Answer` objects so the evaluation
+harness can score every system identically.
+"""
+
+from repro.baselines.banks import BanksSearch
+from repro.baselines.discover import DiscoverSearch
+from repro.baselines.objectrank import ObjectRankSearch
+from repro.baselines.xml_lca import XmlLcaSearch, XmlMlcaSearch
+
+__all__ = [
+    "BanksSearch",
+    "DiscoverSearch",
+    "ObjectRankSearch",
+    "XmlLcaSearch",
+    "XmlMlcaSearch",
+]

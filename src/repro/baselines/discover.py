@@ -1,0 +1,231 @@
+"""DISCOVER/DBXplorer-style keyword search: candidate networks of tuple sets.
+
+The second family of relational keyword-search systems the paper cites
+(Agrawal et al.'s DBXplorer, Hristidis & Papakonstantinou's DISCOVER):
+
+1. for each keyword, compute per-table *tuple sets* — the rows of each
+   table whose text contains the keyword;
+2. enumerate *candidate networks*: minimal join trees (via the schema
+   graph) that connect one tuple set per keyword, possibly through "free"
+   connector tables, up to a maximum network size;
+3. execute each network with the keyword restrictions pushed into the
+   joins; results are joined tuple trees ranked by network size (smaller
+   joins first — the standard DISCOVER ranking).
+
+Like BANKS, the answers exhibit the paper's diagnosed failure modes: the
+result is the raw join tree, junction plumbing included, references
+unresolved unless their table happens to be in the network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.answer import Answer, atom
+from repro.errors import PlanError
+from repro.graph.schema_graph import SchemaGraph
+from repro.ir.analysis import Analyzer
+from repro.relational.database import Database
+
+__all__ = ["DiscoverSearch", "CandidateNetwork"]
+
+
+@dataclass(frozen=True)
+class CandidateNetwork:
+    """One join tree: ordered tables plus per-table row restrictions."""
+
+    tables: tuple[str, ...]
+    restrictions: tuple[tuple[str, frozenset[int]], ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.tables)
+
+    def restriction_for(self, table: str) -> frozenset[int] | None:
+        for name, rows in self.restrictions:
+            if name == table:
+                return rows
+        return None
+
+
+class DiscoverSearch:
+    """Candidate-network keyword search over one database."""
+
+    SYSTEM_NAME = "discover"
+
+    def __init__(self, database: Database, max_network_size: int = 5,
+                 max_assignments: int = 64, max_results_per_network: int = 5):
+        self.database = database
+        self.schema_graph = SchemaGraph(database.schema)
+        self.analyzer = Analyzer(remove_stopwords=False, stem=False)
+        self.max_network_size = max_network_size
+        self.max_assignments = max_assignments
+        self.max_results_per_network = max_results_per_network
+
+    # -- public API -----------------------------------------------------------
+
+    def search(self, query: str, limit: int = 3) -> list[Answer]:
+        keywords = self.analyzer.raw_tokens(query)
+        if not keywords:
+            return []
+        tuple_sets = [self._tuple_sets(keyword) for keyword in keywords]
+        if any(not sets for sets in tuple_sets):
+            return []  # AND semantics: every keyword must match somewhere
+        networks = self._candidate_networks(tuple_sets)
+        answers: list[Answer] = []
+        for network in networks:
+            for assignment in self._execute(network):
+                answers.append(self._to_answer(network, assignment))
+                if len(answers) >= limit * 4:
+                    break
+            if len(answers) >= limit * 4:
+                break
+        answers.sort(key=lambda a: (-a.score, a.text))
+        deduped: list[Answer] = []
+        seen: set[frozenset] = set()
+        for answer in answers:
+            if answer.atoms in seen:
+                continue
+            seen.add(answer.atoms)
+            deduped.append(answer)
+            if len(deduped) >= limit:
+                break
+        return deduped
+
+    def best(self, query: str) -> Answer:
+        answers = self.search(query, limit=1)
+        return answers[0] if answers else Answer.empty(self.SYSTEM_NAME)
+
+    # -- tuple sets --------------------------------------------------------------
+
+    def _tuple_sets(self, keyword: str) -> dict[str, set[int]]:
+        """table -> row ids whose searchable text contains the keyword."""
+        sets: dict[str, set[int]] = {}
+        for table, _column, row_id in self.database.text_index().rows_with_token(keyword):
+            sets.setdefault(table, set()).add(row_id)
+        return sets
+
+    # -- candidate network enumeration ----------------------------------------------
+
+    def _candidate_networks(
+        self, tuple_sets: list[dict[str, set[int]]]
+    ) -> list[CandidateNetwork]:
+        """Smallest-first networks covering all keywords."""
+        candidate_tables = [sorted(sets) for sets in tuple_sets]
+        networks: list[CandidateNetwork] = []
+        seen: set[tuple] = set()
+        assignments = itertools.islice(
+            itertools.product(*candidate_tables), self.max_assignments
+        )
+        for assignment in assignments:
+            needed = sorted(set(assignment))
+            try:
+                plan = self.schema_graph.join_plan(list(needed))
+            except PlanError:
+                continue
+            if len(plan) > self.max_network_size:
+                continue
+            restrictions: dict[str, set[int]] = {}
+            for keyword_index, table in enumerate(assignment):
+                rows = tuple_sets[keyword_index][table]
+                if table in restrictions:
+                    restrictions[table] &= rows  # one table, many keywords
+                else:
+                    restrictions[table] = set(rows)
+            if any(not rows for rows in restrictions.values()):
+                continue
+            network = CandidateNetwork(
+                tables=tuple(plan),
+                restrictions=tuple(sorted(
+                    (table, frozenset(rows))
+                    for table, rows in restrictions.items()
+                )),
+            )
+            key = (network.tables, network.restrictions)
+            if key in seen:
+                continue
+            seen.add(key)
+            networks.append(network)
+        networks.sort(key=lambda n: (n.size, n.tables))
+        return networks
+
+    # -- execution ----------------------------------------------------------------------
+
+    def _execute(self, network: CandidateNetwork) -> list[dict[str, int]]:
+        """Join the network; returns table -> row_id assignments."""
+        first = network.tables[0]
+        partial: list[dict[str, int]] = [
+            {first: row_id} for row_id in self._rows_of(network, first)
+        ]
+        joined = [first]
+        for table in network.tables[1:]:
+            condition = self._join_to_any(table, joined)
+            if condition is None:
+                return []  # disconnected (shouldn't happen via join_plan)
+            anchor, anchor_column, table_column = condition
+            index = self.database.hash_index(table, table_column)
+            allowed = network.restriction_for(table)
+            grown: list[dict[str, int]] = []
+            for binding in partial:
+                anchor_row = self.database.table(anchor).row(binding[anchor])
+                key = anchor_row[anchor_column]
+                if key is None:
+                    continue
+                for row_id in index.lookup(key):
+                    if allowed is not None and row_id not in allowed:
+                        continue
+                    new_binding = dict(binding)
+                    new_binding[table] = row_id
+                    grown.append(new_binding)
+                    if len(grown) >= self.max_results_per_network * 50:
+                        break
+            partial = grown
+            joined.append(table)
+            if not partial:
+                return []
+        return partial[: self.max_results_per_network]
+
+    def _rows_of(self, network: CandidateNetwork, table: str) -> list[int]:
+        allowed = network.restriction_for(table)
+        if allowed is not None:
+            return sorted(allowed)
+        return list(range(len(self.database.table(table))))
+
+    def _join_to_any(self, table: str,
+                     joined: list[str]) -> tuple[str, str, str] | None:
+        """(anchor table, anchor column, new-table column) linking ``table``
+        to an already-joined table."""
+        for anchor in joined:
+            condition = self.database.schema.join_condition(anchor, table)
+            if condition is not None:
+                anchor_column, table_column = condition
+                return anchor, anchor_column, table_column
+        return None
+
+    # -- answers ---------------------------------------------------------------------------
+
+    def _to_answer(self, network: CandidateNetwork,
+                   assignment: dict[str, int]) -> Answer:
+        atoms = set()
+        text_parts: list[str] = []
+        for table_name in sorted(assignment):
+            row_id = assignment[table_name]
+            schema = self.database.schema.table(table_name)
+            row = self.database.table(table_name).row(row_id)
+            for column in schema.value_columns():
+                value = row[column.name]
+                if value is None:
+                    continue
+                atoms.add(atom(table_name, column.name, value))
+                text_parts.append(str(value))
+        return Answer(
+            system=self.SYSTEM_NAME,
+            atoms=frozenset(atoms),
+            text=" ".join(text_parts),
+            score=1.0 / network.size,
+            provenance=(
+                ("network", network.tables),
+                ("network_size", network.size),
+            ),
+        )

@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+::
+
+    python -m repro search "star wars cast" [--scale 0.3] [--flavor expert]
+    python -m repro derive --strategy schema_data [--k1 4 --k2 3]
+    python -m repro loganalysis [--unique 400]
+    python -m repro evaluate [--queries 25] [--raters 20]
+
+Everything runs on the synthetic database (deterministic for a given
+``--seed``), so the CLI doubles as a zero-setup demo of the system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import QunitCollection, UtilityModel
+from repro.core.derivation import (
+    ExternalEvidenceDeriver,
+    QueryLogDeriver,
+    SchemaDataDeriver,
+    imdb_expert_qunits,
+)
+from repro.core.search import QunitSearchEngine
+from repro.datasets.evidence import generate_wiki_corpus
+from repro.datasets.imdb import generate_imdb
+from repro.datasets.querylog import QueryLogAnalyzer, QueryLogGenerator
+from repro.eval.figures import render_sec52_statistics
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Qunits (CIDR 2009) reproduction — search demo CLI",
+    )
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="synthetic database scale (default 0.3)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="generator seed (default 7)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    search = commands.add_parser("search", help="run a keyword query")
+    search.add_argument("query")
+    search.add_argument("--flavor", default="expert",
+                        choices=["expert", "schema_data", "query_log",
+                                 "external", "forms"])
+    search.add_argument("--limit", type=int, default=3)
+
+    derive = commands.add_parser("derive", help="derive qunit definitions")
+    derive.add_argument("--strategy", default="schema_data",
+                        choices=["expert", "schema_data", "query_log",
+                                 "external", "forms"])
+    derive.add_argument("--k1", type=int, default=4)
+    derive.add_argument("--k2", type=int, default=3)
+
+    log_analysis = commands.add_parser(
+        "loganalysis", help="generate + analyze the synthetic query log")
+    log_analysis.add_argument("--unique", type=int, default=0,
+                              help="distinct queries (0 = recommended)")
+
+    evaluate = commands.add_parser(
+        "evaluate", help="run the Figure 3 result-quality experiment")
+    evaluate.add_argument("--queries", type=int, default=25)
+    evaluate.add_argument("--raters", type=int, default=20)
+    return parser
+
+
+def _definitions_for(args, db, strategy: str):
+    if strategy == "expert":
+        return imdb_expert_qunits()
+    if strategy == "schema_data":
+        k1 = getattr(args, "k1", 4)
+        k2 = getattr(args, "k2", 3)
+        return SchemaDataDeriver(db, k1=k1, k2=k2).derive()
+    if strategy == "forms":
+        from repro.core.derivation import FormBasedDeriver
+
+        return FormBasedDeriver(db).derive()
+    if strategy == "query_log":
+        generator = QueryLogGenerator(db, seed=args.seed + 1)
+        log = generator.generate(generator.recommended_unique())
+        return QueryLogDeriver(db).derive(log.as_list())
+    pages = generate_wiki_corpus(db, seed=args.seed + 2)
+    return ExternalEvidenceDeriver(db).derive(pages)
+
+
+def _command_search(args) -> int:
+    db = generate_imdb(scale=args.scale, seed=args.seed)
+    definitions = _definitions_for(args, db, args.flavor)
+    engine = QunitSearchEngine(
+        QunitCollection(db, definitions, max_instances_per_definition=150),
+        flavor=args.flavor,
+    )
+    explanation = engine.explain(args.query, limit=args.limit)
+    print(f"query   : {args.query}")
+    print(f"template: {explanation.template}  ({explanation.query_class})")
+    answers = engine.search(args.query, limit=args.limit)
+    if not answers:
+        print("no answers.")
+        return 1
+    from repro.core.search import SnippetExtractor
+
+    extractor = SnippetExtractor(window=24)
+    for rank, answer in enumerate(answers, start=1):
+        print(f"\n#{rank}  [{answer.meta('definition')}]  "
+              f"score={answer.score:.3f}")
+        print("   " + extractor.snippet(answer.text, args.query))
+    return 0
+
+
+def _command_derive(args) -> int:
+    db = generate_imdb(scale=args.scale, seed=args.seed)
+    definitions = _definitions_for(args, db, args.strategy)
+    utility = UtilityModel(db)
+    for definition in utility.assign(definitions):
+        binder = (f"{definition.binders[0].table}.{definition.binders[0].column}"
+                  if definition.binders else "-")
+        print(f"{definition.utility:.3f}  {definition.name:44s} "
+              f"anchor={binder}")
+        print(f"       {definition.base_sql[:100]}")
+    return 0
+
+
+def _command_loganalysis(args) -> int:
+    db = generate_imdb(scale=args.scale, seed=args.seed)
+    generator = QueryLogGenerator(db, seed=args.seed + 1)
+    unique = args.unique or generator.recommended_unique()
+    log = generator.generate(unique)
+    analyzer = QueryLogAnalyzer(db)
+    print(render_sec52_statistics(analyzer.statistics(log)))
+    print("\ntop templates:")
+    frequencies = analyzer.template_frequencies(log)
+    for template, volume in sorted(frequencies.items(),
+                                   key=lambda kv: -kv[1])[:10]:
+        print(f"  {volume:5d}  {template}")
+    return 0
+
+
+def _command_evaluate(args) -> int:
+    from repro.eval.harness import ResultQualityExperiment
+
+    experiment = ResultQualityExperiment(
+        scale=args.scale, seed=args.seed,
+        n_raters=args.raters, n_queries=args.queries,
+    )
+    report = experiment.run()
+    print(report.render())
+    return 0
+
+
+_COMMANDS = {
+    "search": _command_search,
+    "derive": _command_derive,
+    "loganalysis": _command_loganalysis,
+    "evaluate": _command_evaluate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The qunits core: the paper's primary contribution.
+
+A :class:`QunitDefinition` pairs a *base expression* (a SQL view with
+``$parameters``) with a *conversion expression* (an XSL-like presentation
+template).  Applying a definition to a database yields
+:class:`QunitInstance` objects — one per parameter binding — which the
+:class:`QunitCollection` exposes as a flat, independent document collection
+for standard IR retrieval (see ``repro.core.search``).
+
+Derivation strategies (expert, schema+data, query-log rollup, external
+evidence) live in ``repro.core.derivation``.
+"""
+
+from repro.core.collection import QunitCollection
+from repro.core.evolution import EpochReport, QunitEvolutionTracker
+from repro.core.presentation import ConversionTemplate, render_default
+from repro.core.qunit import ParamBinder, QunitDefinition, QunitInstance
+from repro.core.utility import UtilityModel
+
+__all__ = [
+    "QunitDefinition",
+    "QunitInstance",
+    "ParamBinder",
+    "QunitCollection",
+    "ConversionTemplate",
+    "render_default",
+    "UtilityModel",
+    "QunitEvolutionTracker",
+    "EpochReport",
+]

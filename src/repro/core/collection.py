@@ -1,0 +1,249 @@
+"""QunitCollection: the database modeled as a flat document collection.
+
+"Once qunits have been defined, we will model the database as a flat
+collection of independent qunits... each qunit is treated as an independent
+entity" (Sec. 2).  The collection owns the definitions, materializes
+instances lazily (with caching), and builds the IR indexes the search
+engine queries: one index over all instances, plus per-definition indexes
+for two-stage retrieval.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.qunit import QunitDefinition, QunitInstance
+from repro.errors import DerivationError
+from repro.ir.analysis import Analyzer
+from repro.ir.index import InvertedIndex
+from repro.ir.retrieval import Searcher
+from repro.ir.scoring import Scorer
+from repro.relational.database import Database
+from repro.utils.text import normalize
+
+__all__ = ["QunitCollection"]
+
+
+class QunitCollection:
+    """Definitions + lazily materialized instances + IR indexes."""
+
+    def __init__(self, database: Database,
+                 definitions: Iterable[QunitDefinition],
+                 max_instances_per_definition: int | None = None,
+                 analyzer: Analyzer | None = None):
+        self.database = database
+        self.definitions: dict[str, QunitDefinition] = {}
+        for definition in definitions:
+            if definition.name in self.definitions:
+                raise DerivationError(
+                    f"duplicate qunit definition {definition.name!r}"
+                )
+            self.definitions[definition.name] = definition
+        self.max_instances = max_instances_per_definition
+        self.analyzer = analyzer or Analyzer()
+        self._instances: dict[str, list[QunitInstance]] = {}
+        self._instance_by_id: dict[str, QunitInstance] = {}
+        self._global_index: InvertedIndex | None = None
+        self._definition_indexes: dict[str, InvertedIndex] = {}
+
+    # -- definitions ------------------------------------------------------------
+
+    def definition(self, name: str) -> QunitDefinition:
+        try:
+            return self.definitions[name]
+        except KeyError:
+            raise DerivationError(
+                f"unknown qunit definition {name!r} "
+                f"(known: {sorted(self.definitions)})"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.definitions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.definitions
+
+    # -- instances ----------------------------------------------------------------
+
+    def instances_of(self, name: str) -> list[QunitInstance]:
+        """All (bounded) instances of one definition, cached."""
+        if name not in self._instances:
+            definition = self.definition(name)
+            instances = [
+                instance
+                for instance in definition.instances(self.database, self.max_instances)
+                if not instance.is_empty
+            ]
+            self._instances[name] = instances
+            for instance in instances:
+                self._instance_by_id[instance.instance_id] = instance
+        return self._instances[name]
+
+    def all_instances(self) -> list[QunitInstance]:
+        result: list[QunitInstance] = []
+        for name in sorted(self.definitions):
+            result.extend(self.instances_of(name))
+        return result
+
+    def instance(self, instance_id: str) -> QunitInstance:
+        """Look up a materialized instance by id (materializes its
+        definition's instances if needed)."""
+        if instance_id not in self._instance_by_id:
+            definition_name = instance_id.split("::", 1)[0]
+            if definition_name in self.definitions:
+                self.instances_of(definition_name)
+        try:
+            return self._instance_by_id[instance_id]
+        except KeyError:
+            raise DerivationError(f"unknown qunit instance {instance_id!r}") from None
+
+    def materialize(self, name: str, params: dict[str, object]) -> QunitInstance:
+        """Materialize one specific binding on demand (and cache it)."""
+        instance = self.definition(name).materialize(self.database, params)
+        self._instance_by_id.setdefault(instance.instance_id, instance)
+        return instance
+
+    # -- indexes ----------------------------------------------------------------------
+
+    def global_index(self) -> InvertedIndex:
+        """One index over every instance of every definition."""
+        if self._global_index is None:
+            index = InvertedIndex(self.analyzer)
+            for instance in self.all_instances():
+                index.add(self._decorated_document(instance))
+            self._global_index = index
+        return self._global_index
+
+    def definition_index(self, name: str) -> InvertedIndex:
+        """An index over the instances of a single definition."""
+        if name not in self._definition_indexes:
+            index = InvertedIndex(self.analyzer)
+            for instance in self.instances_of(name):
+                index.add(self._decorated_document(instance))
+            self._definition_indexes[name] = index
+        return self._definition_indexes[name]
+
+    def searcher(self, scorer: Scorer | None = None) -> Searcher:
+        return Searcher(self.global_index(), scorer)
+
+    def definition_searcher(self, name: str, scorer: Scorer | None = None) -> Searcher:
+        return Searcher(self.definition_index(name), scorer)
+
+    def _decorated_document(self, instance: QunitInstance):
+        """Instance document with definition keywords folded into the title,
+        so "cast" queries hit cast qunits even when no tuple says "cast"."""
+        document = instance.as_document()
+        keywords = " ".join(instance.definition.keywords)
+        if not keywords:
+            return document
+        fields = dict(document.fields)
+        fields["title"] = f"{fields['title']} {normalize(keywords)}"
+        from repro.ir.documents import Document
+
+        return Document.create(
+            doc_id=document.doc_id,
+            fields=fields,
+            field_weights=dict(document.field_weights),
+            metadata=dict(document.metadata),
+        )
+
+    # -- validation -----------------------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        """Static checks on every definition; returns problem descriptions.
+
+        Intended for users authoring their own qunit sets: catches binder
+        columns missing from the schema, binders over non-searchable
+        columns (instances would be unreachable by entity queries),
+        unparseable conversion templates, and templates referencing fields
+        the base expression cannot produce.
+        """
+        from repro.core.presentation import ConversionTemplate
+        from repro.errors import ReproError
+
+        problems: list[str] = []
+        for name, definition in sorted(self.definitions.items()):
+            for binder in definition.binders:
+                try:
+                    column = self.database.schema.table(binder.table).column(
+                        binder.column)
+                except ReproError as exc:
+                    problems.append(f"{name}: binder {exc}")
+                    continue
+                from repro.relational.schema import ColumnType
+
+                numeric = column.type in (ColumnType.INTEGER, ColumnType.FLOAT)
+                if not column.searchable and not numeric:
+                    # Text binders must be searchable for entity queries to
+                    # bind them; numeric binders (years) bind through the
+                    # segmenter's literal-number recognition instead.
+                    problems.append(
+                        f"{name}: binder {binder.qualified} is not a "
+                        f"searchable column; entity queries cannot bind it"
+                    )
+            if definition.conversion is not None:
+                try:
+                    template = ConversionTemplate(definition.conversion)
+                except ReproError as exc:
+                    problems.append(f"{name}: conversion template: {exc}")
+                    continue
+                footprint = set(definition.tables())
+                binder_params = {binder.param for binder in definition.binders}
+                for variable in template.variables():
+                    if "." in variable:
+                        table = variable.split(".")[0]
+                        if table not in footprint:
+                            problems.append(
+                                f"{name}: template references ${variable} "
+                                f"but {table!r} is not in the base expression"
+                            )
+                    elif variable not in binder_params:
+                        problems.append(
+                            f"{name}: template references unbound "
+                            f"parameter ${variable}"
+                        )
+            if not definition.keywords and definition.binders:
+                problems.append(
+                    f"{name}: no keywords; attribute queries can never "
+                    f"commit to this definition"
+                )
+        return problems
+
+    # -- priors ---------------------------------------------------------------------------
+
+    def popularity_priors(self, table: str = "movie", column: str = "votes",
+                          ) -> dict[str, float]:
+        """Static per-instance priors from an entity-popularity column.
+
+        For every materialized instance, the prior is ``1 + log10(1 + v)``
+        where ``v`` is the largest value of ``table.column`` among the
+        instance's tuples (1.0 when the instance never touches it).  Feed
+        the result to :class:`~repro.ir.scoring.PriorWeightedScorer` to get
+        popularity-aware ranking — the ObjectRank idea recast as a document
+        prior inside the qunit paradigm.
+        """
+        import math
+
+        self.database.schema.table(table).column(column)
+        qualified = f"{table}.{column}"
+        priors: dict[str, float] = {}
+        for instance in self.all_instances():
+            best = 0.0
+            for row in instance.rows:
+                value = row.get(qualified)
+                if isinstance(value, (int, float)) and value > best:
+                    best = float(value)
+            priors[instance.instance_id] = 1.0 + math.log10(1.0 + best)
+        return priors
+
+    # -- statistics -----------------------------------------------------------------------
+
+    def instance_count(self) -> int:
+        return sum(len(self.instances_of(name)) for name in self.definitions)
+
+    def describe(self) -> list[tuple[str, str, int]]:
+        """(name, source, instance count) per definition, name-sorted."""
+        return [
+            (name, self.definitions[name].source, len(self.instances_of(name)))
+            for name in sorted(self.definitions)
+        ]

@@ -1,0 +1,28 @@
+"""Qunit derivation strategies (Sec. 4 of the paper).
+
+Four ways to obtain qunit definitions for a database:
+
+* :func:`~repro.core.derivation.expert.imdb_expert_qunits` — manual expert
+  identification ("likely to be superior to anything automated"), mirroring
+  the page types of imdb.com exactly as the paper's "Human" system did;
+* :class:`~repro.core.derivation.schema_data.SchemaDataDeriver` — Sec. 4.1:
+  top-k1 entities by queriability, each expanded with its top-k2 neighbors;
+* :class:`~repro.core.derivation.query_log.QueryLogDeriver` — Sec. 4.2:
+  query rollup over an entity-annotated search log;
+* :class:`~repro.core.derivation.external.ExternalEvidenceDeriver` —
+  Sec. 4.3: type signatures mined from published pages.
+"""
+
+from repro.core.derivation.expert import imdb_expert_qunits
+from repro.core.derivation.external import ExternalEvidenceDeriver
+from repro.core.derivation.forms import FormBasedDeriver
+from repro.core.derivation.query_log import QueryLogDeriver
+from repro.core.derivation.schema_data import SchemaDataDeriver
+
+__all__ = [
+    "imdb_expert_qunits",
+    "SchemaDataDeriver",
+    "QueryLogDeriver",
+    "ExternalEvidenceDeriver",
+    "FormBasedDeriver",
+]

@@ -1,0 +1,314 @@
+"""Expert (manual) qunit identification.
+
+"One possibility is for the database creator to identify qunits manually at
+the time of database creation.  Since the subject matter expert is likely
+to have the best knowledge of the data... such expert human qunit
+identification is likely to be superior to anything that automated
+techniques can provide." (Sec. 4)
+
+The paper's "Human" system took the page types of imdb.com as an
+expert-determined qunit set (title page, full credits, name page,
+filmography, awards, ...).  This module hand-writes that same set against
+our 15-table schema.  One definition — ``movie_full_credits`` — uses the
+paper's own Sec. 2 example conversion expression.
+"""
+
+from __future__ import annotations
+
+from repro.core.qunit import ParamBinder, QunitDefinition
+
+__all__ = ["imdb_expert_qunits"]
+
+_MOVIE = (ParamBinder("x", "movie", "title"),)
+_PERSON = (ParamBinder("x", "person", "name"),)
+
+
+def imdb_expert_qunits() -> list[QunitDefinition]:
+    """The hand-curated qunit set mirroring imdb.com page types."""
+    defs = [
+        QunitDefinition(
+            name="movie_main_page",
+            description="The movie's title page: facts, genres, plot, top cast.",
+            base_sql=(
+                'SELECT * FROM movie, movie_genre, genre, movie_info, info_type, '
+                'cast, person, role_type '
+                'WHERE movie_genre.movie_id = movie.id '
+                'AND movie_genre.genre_id = genre.id '
+                'AND movie_info.movie_id = movie.id '
+                'AND movie_info.info_type_id = info_type.id '
+                "AND info_type.name IN ('plot', 'tagline') "
+                'AND cast.movie_id = movie.id '
+                'AND cast.person_id = person.id '
+                'AND cast.role_id = role_type.id '
+                'AND movie.title = "$x"'
+            ),
+            binders=_MOVIE,
+            keywords=("movie", "summary", "profile", "plot", "genre",
+                      "tagline", "rating", "about"),
+            utility=0.95,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="movie_full_credits",
+            description="Full cast and crew of one movie (the paper's Sec. 2 example).",
+            base_sql=(
+                'SELECT * FROM person, cast, movie, role_type '
+                'WHERE cast.movie_id = movie.id '
+                'AND cast.person_id = person.id '
+                'AND cast.role_id = role_type.id '
+                'AND movie.title = "$x"'
+            ),
+            conversion=(
+                '<cast movie="$x">'
+                '<foreach:tuple>'
+                '<person role="$role_type.role" character="$cast.character_name">'
+                "$person.name"
+                "</person>"
+                "</foreach:tuple>"
+                "</cast>"
+            ),
+            binders=_MOVIE,
+            keywords=("cast", "credits", "actors", "starring", "crew"),
+            utility=0.8,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="person_main_page",
+            description="A person's profile page: filmography with roles.",
+            base_sql=(
+                'SELECT * FROM person, cast, movie, role_type '
+                'WHERE cast.person_id = person.id '
+                'AND cast.movie_id = movie.id '
+                'AND cast.role_id = role_type.id '
+                'AND person.name = "$x"'
+            ),
+            binders=_PERSON,
+            keywords=("person", "profile", "actor", "filmography", "movies",
+                      "roles", "about"),
+            utility=0.9,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="person_filmography",
+            description="Just the movies a person appears in.",
+            base_sql=(
+                'SELECT person.name, movie.title, movie.release_year '
+                'FROM person, cast, movie '
+                'WHERE cast.person_id = person.id '
+                'AND cast.movie_id = movie.id '
+                'AND person.name = "$x"'
+            ),
+            conversion=(
+                '<filmography person="$x">'
+                "<foreach:tuple>"
+                "<movie year=\"$movie.release_year\">$movie.title</movie>"
+                "</foreach:tuple>"
+                "</filmography>"
+            ),
+            binders=_PERSON,
+            keywords=("filmography", "movies", "films", "movie"),
+            utility=0.7,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="movie_awards",
+            description="Awards and nominations of one movie.",
+            base_sql=(
+                'SELECT * FROM movie, award '
+                'WHERE award.movie_id = movie.id '
+                'AND movie.title = "$x"'
+            ),
+            binders=_MOVIE,
+            keywords=("award", "awards", "oscar", "won", "nominations"),
+            utility=0.55,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="person_awards",
+            description="Awards and nominations of one person.",
+            base_sql=(
+                'SELECT * FROM person, award '
+                'WHERE award.person_id = person.id '
+                'AND person.name = "$x"'
+            ),
+            binders=_PERSON,
+            keywords=("award", "awards", "oscar", "won", "nominations"),
+            utility=0.5,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="movie_box_office",
+            description="Box-office figures of one movie.",
+            base_sql=(
+                'SELECT * FROM movie, movie_info, info_type '
+                'WHERE movie_info.movie_id = movie.id '
+                'AND movie_info.info_type_id = info_type.id '
+                "AND info_type.name = 'box office' "
+                'AND movie.title = "$x"'
+            ),
+            binders=_MOVIE,
+            keywords=("box office", "gross", "revenue", "earnings"),
+            utility=0.55,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="movie_soundtrack",
+            description="Soundtrack listing of one movie.",
+            base_sql=(
+                'SELECT * FROM movie, movie_info, info_type '
+                'WHERE movie_info.movie_id = movie.id '
+                'AND movie_info.info_type_id = info_type.id '
+                "AND info_type.name = 'soundtrack' "
+                'AND movie.title = "$x"'
+            ),
+            binders=_MOVIE,
+            keywords=("soundtrack", "ost", "music", "songs", "score"),
+            utility=0.5,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="movie_plot",
+            description="The plot synopsis of one movie.",
+            base_sql=(
+                'SELECT * FROM movie, movie_info, info_type '
+                'WHERE movie_info.movie_id = movie.id '
+                'AND movie_info.info_type_id = info_type.id '
+                "AND info_type.name = 'plot' "
+                'AND movie.title = "$x"'
+            ),
+            binders=_MOVIE,
+            keywords=("plot", "synopsis", "story"),
+            utility=0.6,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="movie_trivia",
+            description="Trivia about one movie.",
+            base_sql=(
+                'SELECT * FROM movie, movie_info, info_type '
+                'WHERE movie_info.movie_id = movie.id '
+                'AND movie_info.info_type_id = info_type.id '
+                "AND info_type.name IN ('trivia', 'quotes') "
+                'AND movie.title = "$x"'
+            ),
+            binders=_MOVIE,
+            keywords=("trivia", "quotes", "facts"),
+            utility=0.5,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="movie_locations",
+            description="Filming locations of one movie.",
+            base_sql=(
+                'SELECT * FROM movie, movie_location, location '
+                'WHERE movie_location.movie_id = movie.id '
+                'AND movie_location.location_id = location.id '
+                'AND movie.title = "$x"'
+            ),
+            binders=_MOVIE,
+            keywords=("location", "locations", "filmed", "where", "shot"),
+            utility=0.5,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="movies_by_year",
+            description="Movies released in one year.",
+            base_sql=(
+                'SELECT movie.title, movie.release_year, movie.rating '
+                'FROM movie WHERE movie.release_year = "$x"'
+            ),
+            binders=(ParamBinder("x", "movie", "release_year"),),
+            keywords=("year", "released", "period", "movies"),
+            utility=0.5,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="genre_movies",
+            description="Movies of one genre.",
+            base_sql=(
+                'SELECT genre.name, movie.title, movie.release_year, movie.rating '
+                'FROM genre, movie_genre, movie '
+                'WHERE movie_genre.genre_id = genre.id '
+                'AND movie_genre.movie_id = movie.id '
+                'AND genre.name = "$x"'
+            ),
+            binders=(ParamBinder("x", "genre", "name"),),
+            keywords=("genre", "movies", "films", "list"),
+            utility=0.5,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="top_charts",
+            description="The top-rated movies chart.",
+            base_sql=(
+                'SELECT movie.title, movie.release_year, movie.rating '
+                'FROM movie ORDER BY movie.rating DESC LIMIT 25'
+            ),
+            keywords=("top", "chart", "charts", "best", "ranking",
+                      "highest", "rated"),
+            utility=0.6,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="coactors",
+            description="People who appeared in a movie with this person.",
+            base_sql=(
+                'SELECT p2.name, movie.title FROM person p1, cast c1, movie, '
+                'cast c2, person p2 '
+                'WHERE c1.person_id = p1.id '
+                'AND c1.movie_id = movie.id '
+                'AND c2.movie_id = movie.id '
+                'AND c2.person_id = p2.id '
+                'AND p1.name = "$x" '
+                'AND NOT p2.name = "$x"'
+            ),
+            binders=_PERSON,
+            keywords=("coactors", "costars", "connections", "worked",
+                      "together", "cast"),
+            utility=0.45,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="person_biography",
+            description="Biography of one person.",
+            base_sql=(
+                'SELECT * FROM person, person_info, info_type '
+                'WHERE person_info.person_id = person.id '
+                'AND person_info.info_type_id = info_type.id '
+                "AND info_type.name = 'biography' "
+                'AND person.name = "$x"'
+            ),
+            binders=_PERSON,
+            keywords=("biography", "bio", "life", "born"),
+            utility=0.55,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="movie_alternate_titles",
+            description="Alternative (aka) titles of one movie.",
+            base_sql=(
+                'SELECT * FROM movie, aka_title '
+                'WHERE aka_title.movie_id = movie.id '
+                'AND movie.title = "$x"'
+            ),
+            binders=_MOVIE,
+            keywords=("aka", "alternative", "titles", "known"),
+            utility=0.35,
+            source="expert",
+        ),
+        QunitDefinition(
+            name="movie_companies",
+            description="Production and distribution companies of one movie.",
+            base_sql=(
+                'SELECT * FROM movie, movie_company, company '
+                'WHERE movie_company.movie_id = movie.id '
+                'AND movie_company.company_id = company.id '
+                'AND movie.title = "$x"'
+            ),
+            binders=_MOVIE,
+            keywords=("studio", "company", "production", "distributor"),
+            utility=0.35,
+            source="expert",
+        ),
+    ]
+    return defs

@@ -1,0 +1,232 @@
+"""External-evidence qunit derivation (Sec. 4.3).
+
+"By considering each piece of evidence as a qunit instance, the goal is to
+learn qunit definitions. ... We then compute 'signatures' for each web
+page, utilizing the DOM tree and frequency of each occurrence. ... By
+aggregating the type signatures over a collection of pages, we can infer
+the appropriate qunit definition."
+
+The pipeline here:
+
+1. **recognize** — each page's text nodes are scanned with the database
+   segmenter; entity mentions yield ``table.column`` elements, headings
+   yield attribute signals ("Plot" → ``movie_info:plot``);
+2. **signature** — per page: occurrence counts per element, split into
+   *label* elements (count ≤ label_threshold — the paper's
+   ``(person.name:1)``) and *list* elements (the ``(movie.name:40)``);
+3. **cluster** — pages group by their label (anchor) element; single-list
+   pages ("Full cast of X") form their own fragment clusters;
+4. **aggregate** — elements appearing in enough of a cluster's pages make
+   it into the derived definition's join; frequent headings contribute
+   info-type filters and keywords.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.derivation.joins import build_join_sql
+from repro.core.qunit import ParamBinder, QunitDefinition
+from repro.core.search.segmentation import QuerySegmenter, SchemaVocabulary
+from repro.errors import DerivationError
+from repro.graph.schema_graph import SchemaGraph
+from repro.relational.database import Database
+from repro.xmlview.tree import XmlNode
+
+__all__ = ["ExternalEvidenceDeriver", "PageSignature"]
+
+Element = tuple[str, str]  # (table, column)
+
+
+@dataclass(frozen=True)
+class PageSignature:
+    """The type signature of one page."""
+
+    label: Element | None                      # the anchor entity element
+    list_elements: frozenset[Element]          # repeated entity elements
+    headings: frozenset[tuple[str, str | None]]  # (table, info_type) signals
+    counts: tuple[tuple[Element, int], ...]    # raw occurrence counts
+
+    def count_of(self, element: Element) -> int:
+        for candidate, count in self.counts:
+            if candidate == element:
+                return count
+        return 0
+
+
+class ExternalEvidenceDeriver:
+    """Learns qunit definitions from a corpus of evidence pages."""
+
+    def __init__(self, database: Database,
+                 vocabulary: SchemaVocabulary | None = None,
+                 label_threshold: int = 2,
+                 list_threshold: int = 3,
+                 min_cluster_pages: int = 3,
+                 element_page_fraction: float = 0.25):
+        if label_threshold < 1 or list_threshold <= label_threshold:
+            raise DerivationError(
+                f"need list_threshold > label_threshold >= 1, got "
+                f"{list_threshold} / {label_threshold}"
+            )
+        self.database = database
+        self.segmenter = QuerySegmenter(database, vocabulary)
+        self.schema_graph = SchemaGraph(database.schema)
+        self.label_threshold = label_threshold
+        self.list_threshold = list_threshold
+        self.min_cluster_pages = min_cluster_pages
+        self.element_page_fraction = element_page_fraction
+
+    # -- signatures ---------------------------------------------------------------
+
+    def signature(self, page: XmlNode) -> PageSignature:
+        """Compute the page's type signature by entity recognition."""
+        counts: Counter = Counter()
+        headings: set[tuple[str, str | None]] = set()
+        first_seen: dict[Element, int] = {}
+        order = 0
+        for node in page.walk():
+            if not node.text:
+                continue
+            segmented = self.segmenter.segment(node.text)
+            for segment in segmented.entities():
+                assert segment.table is not None and segment.column is not None
+                element = (segment.table, segment.column)
+                counts[element] += 1
+                first_seen.setdefault(element, order)
+                order += 1
+            for segment in segmented.attributes():
+                ref = segment.attribute
+                assert ref is not None
+                if ref.table is not None and not ref.aggregate:
+                    headings.add((ref.table, ref.info_type))
+
+        label: Element | None = None
+        # Label: earliest-seen low-count entity element over a non-dimension
+        # table (a page is "about" the thing its heading names once).
+        dimension_tables = self.segmenter.vocabulary.dimension_tables
+        for element in sorted(first_seen, key=lambda e: first_seen[e]):
+            if counts[element] <= self.label_threshold and element[0] not in dimension_tables:
+                label = element
+                break
+        list_elements = frozenset(
+            element for element, count in counts.items()
+            if count >= self.list_threshold and element != label
+            and element[0] not in dimension_tables
+        )
+        return PageSignature(
+            label=label,
+            list_elements=list_elements,
+            headings=frozenset(headings),
+            counts=tuple(sorted(counts.items())),
+        )
+
+    # -- derivation -----------------------------------------------------------------
+
+    def derive(self, pages: list[XmlNode]) -> list[QunitDefinition]:
+        signatures = [self.signature(page) for page in pages]
+        clusters = self._cluster(signatures)
+        definitions: list[QunitDefinition] = []
+        for key, members in sorted(clusters.items(), key=lambda kv: kv[0]):
+            if len(members) < self.min_cluster_pages:
+                continue
+            definition = self._definition_for_cluster(key, members, len(pages))
+            if definition is not None:
+                definitions.append(definition)
+        if not definitions:
+            raise DerivationError(
+                "external-evidence derivation produced no definitions; "
+                "too few pages or clusters below support"
+            )
+        return definitions
+
+    def _cluster(self, signatures: list[PageSignature],
+                 ) -> dict[tuple, list[PageSignature]]:
+        """Profile clusters by anchor; fragment clusters for single-list pages."""
+        clusters: dict[tuple, list[PageSignature]] = {}
+        for signature in signatures:
+            if signature.label is None:
+                continue
+            # Single-list pages ("Full cast of X" - one dominant repeated
+            # element, possibly with a sidecar like character names, and at
+            # most one heading) cluster as fragments keyed by the dominant
+            # element; everything else is a profile page of its anchor.
+            if 1 <= len(signature.list_elements) <= 2 and len(signature.headings) <= 1:
+                dominant = self._dominant_element(signature)
+                key = ("fragment", signature.label, dominant)
+            else:
+                key = ("profile", signature.label)
+            clusters.setdefault(key, []).append(signature)
+        return clusters
+
+    def _dominant_element(self, signature: PageSignature) -> Element:
+        """The list element a single-list page is 'about': entity tables
+        beat junction payloads, then higher occurrence counts."""
+        def rank(element: Element) -> tuple[int, int, str, str]:
+            table, column = element
+            junction_rank = 1 if self.schema_graph.is_junction(table) else 0
+            return (junction_rank, -signature.count_of(element), table, column)
+
+        return min(signature.list_elements, key=rank)
+
+    def _definition_for_cluster(self, key: tuple,
+                                members: list[PageSignature],
+                                corpus_size: int) -> QunitDefinition | None:
+        kind = key[0]
+        anchor_table, anchor_column = key[1]
+        support = len(members)
+
+        if kind == "fragment":
+            list_table, _list_column = key[2]
+            tables = [list_table]
+            info_types: list[str] = []
+            name = f"{anchor_table}_{anchor_column}_{list_table}_evidence"
+        else:
+            element_pages: Counter = Counter()
+            heading_pages: Counter = Counter()
+            for signature in members:
+                for element in signature.list_elements:
+                    element_pages[element] += 1
+                for heading in signature.headings:
+                    heading_pages[heading] += 1
+            cutoff = max(1, int(self.element_page_fraction * support))
+            tables = []
+            for (table, _column), count in element_pages.most_common():
+                if count >= cutoff and table not in tables and table != anchor_table:
+                    tables.append(table)
+            info_types = []
+            for (table, info_type), count in heading_pages.most_common():
+                if count < cutoff:
+                    continue
+                if table not in tables and table != anchor_table:
+                    tables.append(table)
+                if info_type and info_type not in info_types:
+                    info_types.append(info_type)
+            name = f"{anchor_table}_{anchor_column}_evidence_profile"
+
+        extra_where: list[str] = []
+        if info_types:
+            quoted = ", ".join(f"'{value}'" for value in sorted(info_types))
+            extra_where.append(f"info_type.name IN ({quoted})")
+            if "info_type" not in tables:
+                tables.append("info_type")
+        try:
+            sql = build_join_sql(self.schema_graph, anchor_table, tables,
+                                 binder_column=anchor_column,
+                                 extra_where=extra_where)
+        except DerivationError:
+            return None
+        keywords = [anchor_table] + tables + info_types
+        return QunitDefinition(
+            name=name,
+            description=(
+                f"Evidence-derived ({kind}) qunit anchored on "
+                f"{anchor_table}.{anchor_column}, learned from {support} "
+                f"of {corpus_size} pages."
+            ),
+            base_sql=sql,
+            binders=(ParamBinder("x", anchor_table, anchor_column),),
+            keywords=tuple(dict.fromkeys(keywords)),
+            utility=min(1.0, 0.4 + support / (support + 20.0)),
+            source="external",
+        )

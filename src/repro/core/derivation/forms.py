@@ -1,0 +1,134 @@
+"""Forms-based qunit derivation.
+
+Sec. 4 of the paper: "If a forms-based database interface has been
+designed, the set of possible returned results constitute a good
+human-specified set of qunits."  The paper's [15]/[16] (Jayapandian &
+Jagadish) show forms themselves can be generated automatically from
+queriability.  Composing the two ideas gives a fifth derivation source:
+
+1. **generate forms** the way the form-generation papers do — one form per
+   highly queriable entity, whose input field is the entity's most
+   selective searchable attribute and whose *result section* shows the
+   entity plus its most queriable related entities (one form per relation,
+   since a form's result table is a single join path, not a star join);
+2. **read each form's result shape off as a qunit definition** — the form's
+   input field becomes the binder, the result section the base expression.
+
+The practical difference from :class:`SchemaDataDeriver` is granularity:
+forms yield one *narrow* qunit per (entity, relation) pair — mirroring how
+form interfaces dedicate a page to each task — instead of one wide
+profile join, so form-derived sets behave like a poor man's expert set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.derivation.joins import build_join_sql
+from repro.core.derivation.schema_data import SchemaDataDeriver
+from repro.core.qunit import ParamBinder, QunitDefinition
+from repro.errors import DerivationError
+from repro.relational.database import Database
+
+__all__ = ["GeneratedForm", "FormBasedDeriver"]
+
+
+@dataclass(frozen=True)
+class GeneratedForm:
+    """One auto-generated form: input field + result section."""
+
+    name: str
+    entity: str
+    input_column: str
+    result_tables: tuple[str, ...]
+
+    def describe(self) -> str:
+        results = ", ".join(self.result_tables) or self.entity
+        return (f"form {self.name!r}: search {self.entity} by "
+                f"{self.input_column}; results show {results}")
+
+
+class FormBasedDeriver:
+    """Generates forms from queriability, then qunits from the forms."""
+
+    def __init__(self, database: Database, k1: int = 4,
+                 relations_per_entity: int = 3):
+        if k1 <= 0 or relations_per_entity < 0:
+            raise DerivationError(
+                f"k1 must be > 0 and relations_per_entity >= 0, got "
+                f"{k1}/{relations_per_entity}"
+            )
+        self.database = database
+        self.k1 = k1
+        self.relations_per_entity = relations_per_entity
+        # Reuse the queriability machinery (anchors, binder choice,
+        # participation-weighted neighbors) from the schema+data deriver.
+        self._schema_data = SchemaDataDeriver(database, k1=k1,
+                                              k2=relations_per_entity)
+
+    # -- forms ----------------------------------------------------------------------
+
+    def generate_forms(self) -> list[GeneratedForm]:
+        """The forms a Jayapandian-style generator would emit."""
+        forms: list[GeneratedForm] = []
+        for entity in self._schema_data._anchor_entities():
+            anchor = entity.table
+            input_column = self._schema_data._binder_column(anchor)
+            if input_column is None:
+                continue
+            # The entity's own detail form.
+            forms.append(GeneratedForm(
+                name=f"{anchor}_detail_form",
+                entity=anchor,
+                input_column=input_column,
+                result_tables=(),
+            ))
+            # One relation form per strong neighbor.
+            neighbors = self._schema_data.ranked_neighbors(anchor)
+            for neighbor, score in neighbors[: self.relations_per_entity]:
+                if score <= 0:
+                    continue
+                forms.append(GeneratedForm(
+                    name=f"{anchor}_{neighbor}_form",
+                    entity=anchor,
+                    input_column=input_column,
+                    result_tables=(neighbor,),
+                ))
+        if not forms:
+            raise DerivationError(
+                "form generation produced nothing; does the schema have "
+                "searchable entity tables?"
+            )
+        return forms
+
+    # -- qunits ------------------------------------------------------------------------
+
+    def derive(self) -> list[QunitDefinition]:
+        """One qunit definition per generated form."""
+        definitions: list[QunitDefinition] = []
+        for form in self.generate_forms():
+            definition = self._definition_for_form(form)
+            if definition is not None:
+                definitions.append(definition)
+        if not definitions:
+            raise DerivationError("no form yielded an executable qunit")
+        return definitions
+
+    def _definition_for_form(self, form: GeneratedForm) -> QunitDefinition | None:
+        try:
+            sql = build_join_sql(
+                self._schema_data.queriability.schema_graph,
+                form.entity, list(form.result_tables),
+                binder_column=form.input_column,
+            )
+        except DerivationError:
+            return None
+        keywords = [form.entity, *form.result_tables]
+        return QunitDefinition(
+            name=f"{form.name}_qunit",
+            description=f"Derived from generated form: {form.describe()}",
+            base_sql=sql,
+            binders=(ParamBinder("x", form.entity, form.input_column),),
+            keywords=tuple(dict.fromkeys(keywords)),
+            source="forms",
+        )

@@ -1,0 +1,71 @@
+"""Shared helper: generate join SQL from a set of tables to connect.
+
+Both automated derivers (schema+data and query-log rollup) need to turn
+"anchor table plus these neighbor tables" into a base expression.  This
+module walks the schema graph, collects the junctions needed to connect
+the tables, and emits the FROM/WHERE clauses.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DerivationError
+from repro.graph.schema_graph import SchemaGraph
+
+__all__ = ["build_join_sql"]
+
+
+def build_join_sql(schema_graph: SchemaGraph, anchor: str, others: list[str],
+                   binder_column: str | None = None,
+                   param: str = "x",
+                   extra_where: list[str] | None = None) -> str:
+    """SELECT * over the join of ``anchor`` with ``others``.
+
+    ``binder_column`` adds ``anchor.binder_column = "$param"``.
+    ``extra_where`` clauses are appended verbatim (AND-combined).
+    Raises :class:`DerivationError` when a table cannot be connected.
+    """
+    from repro.errors import PlanError
+
+    try:
+        tables = schema_graph.join_plan(
+            [anchor] + [t for t in others if t != anchor]
+        )
+    except PlanError as exc:
+        raise DerivationError(str(exc)) from exc
+    if anchor not in tables:
+        raise DerivationError(f"anchor {anchor!r} missing from join plan")
+
+    conditions: list[str] = []
+    connected = [tables[0]]
+    for table in tables[1:]:
+        condition = _condition_to_any(schema_graph, table, connected)
+        if condition is None:
+            raise DerivationError(
+                f"cannot connect table {table!r} to {connected} via foreign keys"
+            )
+        conditions.append(condition)
+        connected.append(table)
+
+    where_parts = list(conditions)
+    if binder_column is not None:
+        where_parts.append(f'{anchor}.{binder_column} = "${param}"')
+    where_parts.extend(extra_where or [])
+
+    sql = f"SELECT * FROM {', '.join(tables)}"
+    if where_parts:
+        sql += f" WHERE {' AND '.join(where_parts)}"
+    return sql
+
+
+def _condition_to_any(schema_graph: SchemaGraph, table: str,
+                      connected: list[str]) -> str | None:
+    for anchor in connected:
+        fks = schema_graph.edges_between(table, anchor)
+        if not fks:
+            continue
+        fk = fks[0]
+        # Determine direction: fk lives on one of the two tables.
+        if schema_graph.schema.table(table).foreign_key_for(fk.column) is fk:
+            return f"{table}.{fk.column} = {fk.ref_table}.{fk.ref_column}"
+        return f"{anchor}.{fk.column} = {fk.ref_table}.{fk.ref_column}"
+    return None

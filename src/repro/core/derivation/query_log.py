@@ -1,0 +1,211 @@
+"""Query-log rollup derivation (Sec. 4.2).
+
+"We use a query rollup strategy for query logs, inspired by the observation
+that keyword queries are inherently underspecified, and hence the qunit
+definition for an under-specified query is an aggregation of the qunit
+definitions of its specializations."
+
+The algorithm, as the paper sketches it:
+
+1. sample the database for entities and look them up in the log — here,
+   every log query is segmented against the database, which is the same
+   thing run in the profitable direction;
+2. map each recognized entity onto the schema and record, per anchor
+   schema element (e.g. ``person.name``), how often each other schema
+   element co-occurs with it, weighted by query frequency — the
+   "annotated set of schema links";
+3. for each anchor, emit (a) a **rollup** definition joining the anchor to
+   its top co-occurring elements "in that order", and (b) one **fragment**
+   definition per strong individual link (the popular plan fragments).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.derivation.joins import build_join_sql
+from repro.core.qunit import ParamBinder, QunitDefinition
+from repro.core.search.segmentation import QuerySegmenter, SchemaVocabulary
+from repro.errors import DerivationError
+from repro.graph.schema_graph import SchemaGraph
+from repro.relational.database import Database
+
+__all__ = ["QueryLogDeriver", "SchemaLink"]
+
+
+@dataclass(frozen=True)
+class SchemaLink:
+    """One co-occurrence target: a table, optionally narrowed to an info
+    type ("movie_info about 'plot'") for the info fact tables."""
+
+    table: str
+    info_type: str | None = None
+
+    def label(self) -> str:
+        if self.info_type:
+            return f"{self.table}:{self.info_type.replace(' ', '_')}"
+        return self.table
+
+
+class QueryLogDeriver:
+    """Derives qunit definitions from (query, frequency) log entries."""
+
+    def __init__(self, database: Database,
+                 vocabulary: SchemaVocabulary | None = None,
+                 min_anchor_support: int = 5,
+                 min_fragment_support: int = 3,
+                 max_rollup_links: int = 3):
+        self.database = database
+        self.segmenter = QuerySegmenter(database, vocabulary)
+        self.schema_graph = SchemaGraph(database.schema)
+        self.min_anchor_support = min_anchor_support
+        self.min_fragment_support = min_fragment_support
+        self.max_rollup_links = max_rollup_links
+
+    # -- analysis -------------------------------------------------------------------
+
+    def schema_links(self, entries: list[tuple[str, int]],
+                     ) -> dict[tuple[str, str], Counter]:
+        """The annotated link structure: anchor (table, column) ->
+        Counter of co-occurring :class:`SchemaLink`, frequency-weighted."""
+        links: dict[tuple[str, str], Counter] = {}
+        for query, frequency in entries:
+            segmented = self.segmenter.segment(query)
+            anchors = segmented.instance_entities()
+            if not anchors:
+                continue
+            targets = self._link_targets(segmented)
+            for anchor in anchors:
+                assert anchor.table is not None and anchor.column is not None
+                key = (anchor.table, anchor.column)
+                counter = links.setdefault(key, Counter())
+                counter["__support__"] += frequency
+                for target in targets:
+                    if target.table == anchor.table and target.info_type is None:
+                        continue  # self-reference carries no join signal
+                    counter[target] += frequency
+                # Co-occurring instance entities of other tables also link.
+                for other in anchors:
+                    if other is anchor or other.table == anchor.table:
+                        continue
+                    counter[SchemaLink(other.table)] += frequency
+        return links
+
+    def _link_targets(self, segmented) -> list[SchemaLink]:
+        targets: list[SchemaLink] = []
+        for segment in segmented.attributes():
+            ref = segment.attribute
+            assert ref is not None
+            if ref.aggregate or ref.table is None:
+                continue
+            targets.append(SchemaLink(ref.table, ref.info_type))
+        for segment in segmented.dimension_entities():
+            assert segment.table is not None
+            targets.append(SchemaLink(segment.table))
+        return targets
+
+    # -- derivation --------------------------------------------------------------------
+
+    def derive(self, entries: list[tuple[str, int]]) -> list[QunitDefinition]:
+        """Rollup + fragment definitions for every supported anchor."""
+        links = self.schema_links(entries)
+        definitions: list[QunitDefinition] = []
+        for (table, column), counter in sorted(links.items()):
+            support = counter["__support__"]
+            if support < self.min_anchor_support:
+                continue
+            ranked = [
+                (link, weight) for link, weight in counter.most_common()
+                if link != "__support__"
+            ]
+            rollup = self._rollup_definition(table, column, ranked, support)
+            if rollup is not None:
+                definitions.append(rollup)
+            for link, weight in ranked:
+                if weight < self.min_fragment_support:
+                    continue
+                fragment = self._fragment_definition(table, column, link, weight,
+                                                     support)
+                if fragment is not None:
+                    definitions.append(fragment)
+        if not definitions:
+            raise DerivationError(
+                "query-log rollup produced no definitions; is the log empty "
+                "or below the support thresholds?"
+            )
+        return definitions
+
+    def _rollup_definition(self, table: str, column: str,
+                           ranked: list[tuple[SchemaLink, int]],
+                           support: int) -> QunitDefinition | None:
+        top = ranked[: self.max_rollup_links]
+        tables = []
+        info_types = []
+        keywords = [table]
+        for link, _weight in top:
+            if link.table not in tables:
+                tables.append(link.table)
+            if link.info_type:
+                info_types.append(link.info_type)
+                keywords.append(link.info_type)
+            keywords.append(link.table)
+        extra_where = self._info_filter(tables, info_types)
+        if extra_where and "info_type" not in tables:
+            tables.append("info_type")  # the filter references info_type.name
+        try:
+            sql = build_join_sql(self.schema_graph, table, tables,
+                                 binder_column=column, extra_where=extra_where)
+        except DerivationError:
+            return None
+        return QunitDefinition(
+            name=f"{table}_{column}_rollup",
+            description=(
+                f"Rollup qunit for underspecified {table}.{column} queries; "
+                f"aggregates the top specializations "
+                f"{[link.label() for link, _ in top]} (log support {support})."
+            ),
+            base_sql=sql,
+            binders=(ParamBinder("x", table, column),),
+            keywords=tuple(dict.fromkeys(keywords)),
+            utility=min(1.0, 0.5 + support / (support + 50.0)),
+            source="query_log",
+        )
+
+    def _fragment_definition(self, table: str, column: str, link: SchemaLink,
+                             weight: int, support: int) -> QunitDefinition | None:
+        extra_where = self._info_filter([link.table],
+                                        [link.info_type] if link.info_type else [])
+        join_tables = [link.table]
+        if extra_where:
+            join_tables.append("info_type")  # the filter references info_type.name
+        try:
+            sql = build_join_sql(self.schema_graph, table, join_tables,
+                                 binder_column=column, extra_where=extra_where)
+        except DerivationError:
+            return None
+        keywords = [table, link.table]
+        if link.info_type:
+            keywords.append(link.info_type)
+        return QunitDefinition(
+            name=f"{table}_{column}_{link.label().replace(':', '_')}",
+            description=(
+                f"Log-derived fragment: {table}.{column} with {link.label()} "
+                f"(link weight {weight}/{support})."
+            ),
+            base_sql=sql,
+            binders=(ParamBinder("x", table, column),),
+            keywords=tuple(dict.fromkeys(keywords)),
+            utility=min(1.0, weight / (support + 1.0) + 0.2),
+            source="query_log",
+        )
+
+    def _info_filter(self, tables: list[str], info_types: list[str]) -> list[str]:
+        """WHERE clauses narrowing info fact tables to the seen info types."""
+        if not info_types:
+            return []
+        unique = sorted(set(info_types))
+        quoted = ", ".join(f"'{value}'" for value in unique)
+        if any(table in ("movie_info", "person_info") for table in tables):
+            return [f"info_type.name IN ({quoted})"]
+        return []

@@ -1,0 +1,150 @@
+"""Qunit evolution over time (the paper's Sec. 7 future work).
+
+"We expect to deal with qunit evolution over time as user interests mutate
+during the life of a database system."
+
+This module implements that: a :class:`QunitEvolutionTracker` consumes the
+query log in epochs (say, one per month), re-derives rollup qunits per
+epoch, and reports how the qunit set drifts — definitions appearing,
+disappearing, and changing utility as demand moves.  Utilities are smoothed
+exponentially so a single noisy epoch doesn't thrash the collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.derivation.query_log import QueryLogDeriver
+from repro.core.qunit import QunitDefinition
+from repro.core.utility import UtilityModel
+from repro.datasets.querylog.analysis import QueryLogAnalyzer
+from repro.errors import DerivationError
+from repro.relational.database import Database
+
+__all__ = ["EpochReport", "QunitEvolutionTracker"]
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """What changed in one epoch."""
+
+    epoch: int
+    added: tuple[str, ...]
+    removed: tuple[str, ...]
+    utilities: tuple[tuple[str, float], ...]
+
+    def utility_of(self, name: str) -> float:
+        for definition_name, utility in self.utilities:
+            if definition_name == name:
+                return utility
+        raise KeyError(f"no definition {name!r} in epoch {self.epoch}")
+
+    @property
+    def churn(self) -> int:
+        return len(self.added) + len(self.removed)
+
+
+class QunitEvolutionTracker:
+    """Maintains an evolving qunit set across query-log epochs."""
+
+    def __init__(self, database: Database, smoothing: float = 0.5,
+                 drop_below: float = 0.05,
+                 deriver: QueryLogDeriver | None = None):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        if drop_below < 0:
+            raise ValueError("drop_below must be non-negative")
+        self.database = database
+        self.smoothing = smoothing
+        self.drop_below = drop_below
+        self.deriver = deriver or QueryLogDeriver(database)
+        self.utility_model = UtilityModel(database)
+        self.analyzer = QueryLogAnalyzer(database)
+        self._definitions: dict[str, QunitDefinition] = {}
+        self._utilities: dict[str, float] = {}
+        self._epoch = 0
+        self.reports: list[EpochReport] = []
+
+    # -- state ---------------------------------------------------------------------
+
+    @property
+    def definitions(self) -> list[QunitDefinition]:
+        """The current qunit set, utility-ordered (best first)."""
+        ranked = sorted(self._definitions.values(),
+                        key=lambda d: (-self._utilities[d.name], d.name))
+        return [d.with_utility(self._utilities[d.name]) for d in ranked]
+
+    def utility(self, name: str) -> float:
+        return self._utilities[name]
+
+    # -- evolution -------------------------------------------------------------------
+
+    def observe_epoch(self, entries: list[tuple[str, int]]) -> EpochReport:
+        """Fold one epoch of (query, frequency) demand into the qunit set."""
+        self._epoch += 1
+        try:
+            derived = self.deriver.derive(entries)
+        except DerivationError:
+            derived = []
+        template_frequencies: dict[str, int] = {}
+        for query, frequency in entries:
+            template = self.analyzer.template(query)
+            template_frequencies[template] = (
+                template_frequencies.get(template, 0) + frequency
+            )
+
+        fresh_utilities = {
+            definition.name: self.utility_model.score(definition,
+                                                      template_frequencies)
+            for definition in derived
+        }
+        fresh_definitions = {definition.name: definition
+                             for definition in derived}
+
+        added: list[str] = []
+        removed: list[str] = []
+
+        # New definitions enter at their fresh utility.
+        for name, definition in fresh_definitions.items():
+            if name not in self._definitions:
+                added.append(name)
+                self._definitions[name] = definition
+                self._utilities[name] = fresh_utilities[name]
+
+        # Existing definitions smooth toward the epoch's demand; absent
+        # definitions decay toward zero at the same rate.
+        for name in list(self._definitions):
+            target = fresh_utilities.get(name, 0.0)
+            previous = self._utilities[name]
+            updated = ((1.0 - self.smoothing) * previous
+                       + self.smoothing * target)
+            self._utilities[name] = updated
+            if updated < self.drop_below:
+                removed.append(name)
+                del self._definitions[name]
+                del self._utilities[name]
+
+        report = EpochReport(
+            epoch=self._epoch,
+            added=tuple(sorted(added)),
+            removed=tuple(sorted(removed)),
+            utilities=tuple(sorted(self._utilities.items())),
+        )
+        self.reports.append(report)
+        return report
+
+    # -- analysis ---------------------------------------------------------------------
+
+    def trajectory(self, name: str) -> list[float]:
+        """The utility of one definition across all observed epochs
+        (0.0 where it did not exist)."""
+        values = []
+        for report in self.reports:
+            try:
+                values.append(report.utility_of(name))
+            except KeyError:
+                values.append(0.0)
+        return values
+
+    def total_churn(self) -> int:
+        return sum(report.churn for report in self.reports)

@@ -1,0 +1,214 @@
+"""Conversion expressions: the presentation half of a qunit definition.
+
+The paper writes conversion expressions in "XSL-like markup"::
+
+    <cast movie="$x">
+      <foreach:tuple>
+        <person>$person.name</person>
+      </foreach:tuple>
+    </cast>
+
+The template language supported here:
+
+* ``$name`` — a query parameter (from the qunit binding);
+* ``$table.column`` — a field of the current tuple (inside ``foreach``) or
+  of the first tuple (outside);
+* ``<foreach:tuple> ... </foreach:tuple>`` — repeat the enclosed fragment
+  once per result tuple (deduplicated, order-preserving);
+* everything else is literal markup.
+
+Rendering yields the marked-up string; :meth:`ConversionTemplate.render_text`
+strips tags for IR indexing and rater consumption.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import TemplateError
+
+__all__ = ["ConversionTemplate", "render_default"]
+
+_FOREACH_OPEN = "<foreach:tuple>"
+_FOREACH_CLOSE = "</foreach:tuple>"
+_VAR = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)")
+_TAG = re.compile(r"<[^>]*>")
+
+
+@dataclass(frozen=True)
+class _Piece:
+    """A template piece: literal text, a variable, or a foreach body."""
+
+    kind: str          # 'text' | 'var' | 'foreach'
+    value: str = ""
+    body: tuple["_Piece", ...] = ()
+
+
+class ConversionTemplate:
+    """A parsed conversion expression, reusable across instances."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self._pieces = _parse(source)
+
+    def render(self, params: Mapping[str, object],
+               rows: Sequence[Mapping[str, object]]) -> str:
+        """Render the marked-up presentation for one qunit instance."""
+        out: list[str] = []
+        _render_pieces(self._pieces, params, rows, out, current_row=None)
+        return "".join(out)
+
+    def render_text(self, params: Mapping[str, object],
+                    rows: Sequence[Mapping[str, object]]) -> str:
+        """Tag-stripped text rendering (whitespace-folded)."""
+        markup = self.render(params, rows)
+        text = _TAG.sub(" ", markup)
+        return " ".join(text.split())
+
+    def variables(self) -> set[str]:
+        """All ``$var`` names appearing anywhere in the template."""
+        names: set[str] = set()
+
+        def collect(pieces: tuple[_Piece, ...]) -> None:
+            for piece in pieces:
+                if piece.kind == "var":
+                    names.add(piece.value)
+                elif piece.kind == "foreach":
+                    collect(piece.body)
+
+        collect(self._pieces)
+        return names
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+def _parse(source: str) -> tuple[_Piece, ...]:
+    pieces, index = _parse_until(source, 0, closing=None)
+    if index != len(source):
+        raise TemplateError(
+            f"unexpected {_FOREACH_CLOSE} at position {index} in template"
+        )
+    return pieces
+
+
+def _parse_until(source: str, index: int, closing: str | None) -> tuple[tuple[_Piece, ...], int]:
+    pieces: list[_Piece] = []
+    text_start = index
+    while index < len(source):
+        if source.startswith(_FOREACH_OPEN, index):
+            _flush_text(source, text_start, index, pieces)
+            body, index = _parse_until(source, index + len(_FOREACH_OPEN),
+                                       closing=_FOREACH_CLOSE)
+            pieces.append(_Piece("foreach", body=body))
+            text_start = index
+            continue
+        if source.startswith(_FOREACH_CLOSE, index):
+            if closing != _FOREACH_CLOSE:
+                return tuple(pieces), index
+            _flush_text(source, text_start, index, pieces)
+            return tuple(pieces), index + len(_FOREACH_CLOSE)
+        match = _VAR.match(source, index)
+        if match:
+            _flush_text(source, text_start, index, pieces)
+            pieces.append(_Piece("var", match.group(1)))
+            index = match.end()
+            text_start = index
+            continue
+        index += 1
+    if closing is not None:
+        raise TemplateError(f"unterminated {_FOREACH_OPEN} in template")
+    _flush_text(source, text_start, index, pieces)
+    return tuple(pieces), index
+
+
+def _flush_text(source: str, start: int, end: int, pieces: list[_Piece]) -> None:
+    if end > start:
+        pieces.append(_Piece("text", source[start:end]))
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def _render_pieces(pieces: tuple[_Piece, ...], params: Mapping[str, object],
+                   rows: Sequence[Mapping[str, object]], out: list[str],
+                   current_row: Mapping[str, object] | None) -> None:
+    for piece in pieces:
+        if piece.kind == "text":
+            out.append(piece.value)
+        elif piece.kind == "var":
+            out.append(_resolve(piece.value, params, rows, current_row))
+        else:  # foreach
+            if current_row is not None:
+                raise TemplateError("nested <foreach:tuple> is not supported")
+            seen: set[str] = set()
+            for row in rows:
+                fragment: list[str] = []
+                _render_pieces(piece.body, params, rows, fragment, current_row=row)
+                rendered = "".join(fragment)
+                if rendered in seen:
+                    continue  # cross-product joins repeat tuples; dedup them
+                seen.add(rendered)
+                out.append(rendered)
+
+
+def _resolve(name: str, params: Mapping[str, object],
+             rows: Sequence[Mapping[str, object]],
+             current_row: Mapping[str, object] | None) -> str:
+    if "." in name:
+        row = current_row if current_row is not None else (rows[0] if rows else None)
+        if row is None:
+            return ""
+        if name not in row:
+            raise TemplateError(
+                f"template references ${name} but tuples have "
+                f"{sorted(row)}"
+            )
+        value = row[name]
+    else:
+        if name not in params:
+            raise TemplateError(f"template references unbound parameter ${name}")
+        value = params[name]
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Default rendering (definitions without a conversion expression)
+# ---------------------------------------------------------------------------
+
+def render_default(title: str, params: Mapping[str, object],
+                   rows: Sequence[Mapping[str, object]]) -> str:
+    """A plain paragraph: title, bindings, then deduplicated column values.
+
+    This mirrors the paper's methodology of converting all results "by hand
+    into a paragraph in a simplified natural English" — a levelling format
+    that carries content without presentation tricks.
+    """
+    parts: list[str] = [title]
+    for name, value in sorted(params.items()):
+        parts.append(f"{name}: {value}.")
+    grouped: dict[str, list[str]] = {}
+    for row in rows:
+        for qualified, value in row.items():
+            if value is None:
+                continue
+            table, _, column = qualified.partition(".")
+            if column == "id" or column.endswith("_id"):
+                continue
+            text = "yes" if isinstance(value, bool) else str(value)
+            bucket = grouped.setdefault(qualified, [])
+            if text not in bucket:
+                bucket.append(text)
+    for qualified in sorted(grouped):
+        label = qualified.replace(".", " ").replace("_", " ")
+        values = ", ".join(grouped[qualified])
+        parts.append(f"{label}: {values}.")
+    return " ".join(parts)

@@ -1,0 +1,34 @@
+"""Qunit-based search (Sec. 3 of the paper).
+
+The pipeline: a keyword query is **segmented** into entity / attribute /
+free-text segments against the database's own vocabulary ("queries are
+first processed to identify entities using standard query segmentation
+techniques"); the segmented, *typed* query is **matched** against qunit
+definitions; finally, instances of the winning definitions are ranked with
+**standard IR scoring** and returned as answers.
+"""
+
+from repro.core.search.engine import QunitSearchEngine
+from repro.core.search.matcher import DefinitionMatch, QunitMatcher
+from repro.core.search.segmentation import (
+    AttributeRef,
+    QuerySegmenter,
+    SchemaVocabulary,
+    Segment,
+    SegmentedQuery,
+    movie_domain_vocabulary,
+)
+from repro.core.search.snippets import SnippetExtractor
+
+__all__ = [
+    "QunitSearchEngine",
+    "QunitMatcher",
+    "DefinitionMatch",
+    "QuerySegmenter",
+    "SegmentedQuery",
+    "Segment",
+    "AttributeRef",
+    "SchemaVocabulary",
+    "movie_domain_vocabulary",
+    "SnippetExtractor",
+]

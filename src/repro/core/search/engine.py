@@ -1,0 +1,189 @@
+"""The qunit search engine: segmentation → matching → IR ranking.
+
+This is Figure 1 of the paper end to end: the typed query selects qunit
+definitions; instances of the winning definitions are ranked (fully-bound
+matches materialize directly; partially-bound ones fall back to BM25 over
+the definition's instance documents); and, when nothing structural matches,
+plain IR retrieval over the whole flat instance collection takes over —
+the database is, after all, "nothing more than a collection of independent
+qunits" to the front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.answer import Answer
+from repro.core.collection import QunitCollection
+from repro.core.search.matcher import DefinitionMatch, QunitMatcher
+from repro.core.search.segmentation import (
+    QuerySegmenter,
+    SchemaVocabulary,
+    SegmentedQuery,
+)
+from repro.ir.scoring import Bm25Scorer, Scorer
+
+__all__ = ["QunitSearchEngine", "SearchExplanation"]
+
+
+@dataclass(frozen=True)
+class SearchExplanation:
+    """Pipeline trace for one query (used by examples and debugging)."""
+
+    query: str
+    template: str
+    query_class: str
+    candidates: tuple[tuple[str, float], ...]   # (definition, match score)
+    answers: tuple[str, ...]                    # instance ids, ranked
+
+
+class QunitSearchEngine:
+    """Search over one qunit collection.
+
+    ``flavor`` names the derivation behind the collection ("expert",
+    "schema_data", ...) and brands the answers' ``system`` field so the
+    evaluation harness can compare engines side by side.
+    """
+
+    MIN_MATCH_SCORE = 0.15
+
+    def __init__(self, collection: QunitCollection, flavor: str = "qunits",
+                 vocabulary: SchemaVocabulary | None = None,
+                 scorer: Scorer | None = None):
+        self.collection = collection
+        self.database = collection.database
+        self.flavor = flavor
+        self.segmenter = QuerySegmenter(self.database, vocabulary)
+        self.matcher = QunitMatcher(self.database)
+        self.scorer = scorer or Bm25Scorer()
+
+    @property
+    def system_name(self) -> str:
+        return f"qunits-{self.flavor}" if self.flavor != "qunits" else "qunits"
+
+    # -- public API ---------------------------------------------------------------
+
+    def search(self, query: str, limit: int = 5) -> list[Answer]:
+        answers, _explanation = self._run(query, limit)
+        return answers
+
+    def best(self, query: str) -> Answer:
+        answers = self.search(query, limit=1)
+        return answers[0] if answers else Answer.empty(self.system_name)
+
+    def explain(self, query: str, limit: int = 5) -> SearchExplanation:
+        _answers, explanation = self._run(query, limit)
+        return explanation
+
+    def segment(self, query: str) -> SegmentedQuery:
+        return self.segmenter.segment(query)
+
+    # -- pipeline -----------------------------------------------------------------
+
+    def _run(self, query: str, limit: int) -> tuple[list[Answer], SearchExplanation]:
+        segmented = self.segmenter.segment(query)
+        definitions = list(self.collection.definitions.values())
+        matches = self.matcher.match(segmented, definitions)
+
+        answers: list[Answer] = []
+        seen_instances: set[str] = set()
+        for match in matches:
+            if len(answers) >= limit:
+                break
+            if match.score < self.MIN_MATCH_SCORE:
+                break
+            answers.extend(
+                self._answers_for_match(match, query, limit - len(answers),
+                                        seen_instances)
+            )
+
+        if not answers:
+            answers = self._fallback(query, limit, seen_instances)
+
+        # Mixed text + structure (the paper's Sec. 7 extension): free-text
+        # residue that the structural pipeline could not type re-ranks the
+        # candidate answers by how well their *content* covers it.
+        answers = self._apply_freetext_rerank(segmented, answers, limit)
+
+        explanation = SearchExplanation(
+            query=query,
+            template=segmented.template(),
+            query_class=segmented.query_class(),
+            candidates=tuple(
+                (match.definition.name, round(match.score, 4))
+                for match in matches[:5]
+            ),
+            answers=tuple(
+                str(answer.meta("instance_id", "")) for answer in answers
+            ),
+        )
+        return answers, explanation
+
+    def _answers_for_match(self, match: DefinitionMatch, query: str,
+                           budget: int, seen: set[str]) -> list[Answer]:
+        if budget <= 0:
+            return []
+        definition = match.definition
+        if match.fully_bound:
+            instance = self.collection.materialize(
+                definition.name, match.bound_params
+            )
+            if instance.is_empty or instance.instance_id in seen:
+                return []
+            seen.add(instance.instance_id)
+            return [self._brand(instance.to_answer(score=match.score), instance)]
+        # Partially bound: rank this definition's instances by IR score.
+        searcher = self.collection.definition_searcher(definition.name, self.scorer)
+        hits = searcher.search(query, limit=budget + len(seen))
+        answers: list[Answer] = []
+        for hit in hits:
+            if len(answers) >= budget:
+                break
+            if hit.doc_id in seen:
+                continue
+            seen.add(hit.doc_id)
+            instance = self.collection.instance(hit.doc_id)
+            combined = match.score * (1.0 - 1.0 / (2.0 + hit.score))
+            answers.append(self._brand(instance.to_answer(score=combined), instance))
+        return answers
+
+    def _apply_freetext_rerank(self, segmented: SegmentedQuery,
+                               answers: list[Answer],
+                               limit: int) -> list[Answer]:
+        free_terms: list[str] = []
+        for segment in segmented.freetext():
+            for token in segment.tokens:
+                free_terms.extend(self.collection.analyzer.tokens(token))
+        if not free_terms or not answers:
+            return answers
+        from dataclasses import replace
+
+        unique_terms = set(free_terms)
+        adjusted: list[Answer] = []
+        for answer in answers:
+            text_terms = set(self.collection.analyzer.tokens(answer.text))
+            coverage = len(unique_terms & text_terms) / len(unique_terms)
+            adjusted.append(replace(
+                answer, score=answer.score * (0.55 + 0.45 * coverage)))
+        adjusted.sort(key=lambda a: (-a.score, str(a.meta("instance_id", ""))))
+        return adjusted[:limit]
+
+    def _fallback(self, query: str, limit: int, seen: set[str]) -> list[Answer]:
+        """Flat IR retrieval over all instances (no structural match)."""
+        searcher = self.collection.searcher(self.scorer)
+        answers: list[Answer] = []
+        for hit in searcher.search(query, limit=limit + len(seen)):
+            if len(answers) >= limit:
+                break
+            if hit.doc_id in seen:
+                continue
+            seen.add(hit.doc_id)
+            instance = self.collection.instance(hit.doc_id)
+            answers.append(self._brand(instance.to_answer(score=hit.score), instance))
+        return answers
+
+    def _brand(self, answer: Answer, instance) -> Answer:
+        from dataclasses import replace
+
+        provenance = answer.provenance + (("instance_id", instance.instance_id),)
+        return replace(answer, system=self.system_name, provenance=provenance)

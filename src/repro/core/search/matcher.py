@@ -1,0 +1,217 @@
+"""Matching typed queries to qunit definitions.
+
+Implements the definition-selection half of Sec. 3: a segmented query like
+``[movie.title] cast`` "has a very high overlap with the qunit definition
+that involves a join between movie.name and cast".  Overlap is scored from
+four ingredients:
+
+* **signal recall** — how many of the query's schema signals (attribute
+  words and dimension-entity values) the definition's footprint covers;
+* **binding** — whether the query's instance entities bind the
+  definition's parameters (an entity segment over ``person.name`` binds a
+  ``$x`` declared on ``person.name``);
+* **specificity** — definitions carrying many tables the query never asked
+  for are slightly penalized (the "too much information" failure);
+* **prior utility** — the Sec. 2 utility surrogate, dominant only for
+  underspecified queries, where the paper wants the entity's rollup/profile
+  qunit to win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.qunit import QunitDefinition
+from repro.core.search.segmentation import Segment, SegmentedQuery
+from repro.graph.schema_graph import SchemaGraph
+from repro.relational.database import Database
+from repro.utils.text import normalize
+
+__all__ = ["DefinitionMatch", "QunitMatcher"]
+
+
+@dataclass(frozen=True)
+class DefinitionMatch:
+    """A candidate definition with its match score and parameter bindings."""
+
+    definition: QunitDefinition
+    score: float
+    bindings: tuple[tuple[str, object], ...]
+    matched_signals: int
+    total_signals: int
+
+    @property
+    def bound_params(self) -> dict[str, object]:
+        return dict(self.bindings)
+
+    @property
+    def fully_bound(self) -> bool:
+        return len(self.bindings) == len(self.definition.binders)
+
+
+class QunitMatcher:
+    """Scores every definition against a segmented query."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.schema_graph = SchemaGraph(database.schema)
+        self._dimension_values: dict[str, frozenset[str]] = {}
+
+    def match(self, query: SegmentedQuery,
+              definitions: list[QunitDefinition],
+              limit: int | None = None) -> list[DefinitionMatch]:
+        """Ranked candidate definitions (best first, deterministic ties)."""
+        matches = [self._score(query, definition) for definition in definitions]
+        matches.sort(key=lambda m: (-m.score, m.definition.name))
+        return matches[:limit] if limit is not None else matches
+
+    # -- scoring -------------------------------------------------------------------
+
+    def _score(self, query: SegmentedQuery,
+               definition: QunitDefinition) -> DefinitionMatch:
+        footprint = set(definition.tables())
+
+        signals_present = bool(query.attributes() or query.dimension_entities())
+        if not signals_present and not query.instance_entities():
+            # Pure free text: nothing structural to match; retrieval falls
+            # through to the flat IR index over all instances.
+            return DefinitionMatch(definition=definition, score=0.0,
+                                   bindings=(), matched_signals=0,
+                                   total_signals=0)
+
+        bindings = self._bind(query, definition)
+        binder_count = len(definition.binders)
+        if binder_count:
+            binding_score = len(bindings) / binder_count
+        else:
+            # Parameter-free definitions bind trivially but only deserve
+            # credit when the query has no instance entity to bind.
+            binding_score = 1.0 if not query.instance_entities() else 0.3
+
+        signals = query.attributes() + query.dimension_entities()
+        weights = [
+            self._signal_weight(signal, definition, footprint)
+            for signal in signals
+        ]
+        matched = sum(1 for weight in weights if weight > 0.5)
+        total_signals = len(signals)
+
+        signaled_tables = self._signaled_tables(query, definition)
+        extra = [
+            table for table in footprint
+            if table not in signaled_tables
+            and not self.schema_graph.is_junction(table)
+        ]
+        specificity = 1.0 / (1.0 + len(extra))
+        utility = max(0.0, min(1.0, definition.utility))
+
+        if total_signals:
+            recall = sum(weights) / total_signals
+            score = (0.55 * recall + 0.25 * binding_score
+                     + 0.10 * specificity + 0.10 * utility)
+        else:
+            score = 0.5 * binding_score + 0.5 * utility
+
+        return DefinitionMatch(
+            definition=definition,
+            score=score,
+            bindings=tuple(sorted(bindings.items())),
+            matched_signals=matched,
+            total_signals=total_signals,
+        )
+
+    def _bind(self, query: SegmentedQuery,
+              definition: QunitDefinition) -> dict[str, object]:
+        """Bind definition parameters from the query's entity segments."""
+        bindings: dict[str, object] = {}
+        used: set[int] = set()
+        for binder in definition.binders:
+            for index, segment in enumerate(query.entities()):
+                if index in used:
+                    continue
+                if segment.table == binder.table and segment.column == binder.column:
+                    bindings[binder.param] = segment.value
+                    used.add(index)
+                    break
+        return bindings
+
+    def _signal_weight(self, signal: Segment, definition: QunitDefinition,
+                       footprint: set[str]) -> float:
+        """How strongly one schema signal endorses a definition.
+
+        1.0 — the definition *commits* to the signal via its **declared**
+        keywords or a binder; 0.6 — the signal's table is merely joined
+        into the footprint; low/0 — absent, or committed to a *different*
+        value of the same dimension ("plot" qunit for a "box office" query).
+        """
+        keyword_text = normalize(" | ".join(definition.keywords))
+        keywords = set(keyword_text.split())
+        if signal.kind == "attribute":
+            ref = signal.attribute
+            assert ref is not None
+            if ref.aggregate:
+                markers = ("top", "chart", "charts", "ranking", "best", "highest")
+                return 1.0 if any(m in keywords for m in markers) else 0.0
+            if ref.table is None or ref.table not in footprint:
+                return 0.0
+            if ref.info_type is not None:
+                # Info-typed signals need the definition to commit to that
+                # info kind (derivers record it in keywords).
+                return 1.0 if normalize(ref.info_type) in keyword_text else 0.2
+            name_tokens = normalize(ref.name.replace(".", " ")).split()
+            committed = any(token in keywords for token in name_tokens)
+            return 1.0 if committed else 0.6
+        # Dimension-entity value ("comedy", "actor", "box office").
+        assert signal.table is not None
+        if any(binder.table == signal.table and binder.column == signal.column
+               for binder in definition.binders):
+            return 1.0  # the value binds a parameter (e.g. genre pages)
+        if signal.table not in footprint:
+            return 0.0
+        committed_values = self._committed(definition, signal.table, keyword_text)
+        if committed_values is None:
+            return 0.6  # joined in, no specific commitment
+        value = normalize(str(signal.value))
+        return 1.0 if value in committed_values else 0.1
+
+    def _committed(self, definition: QunitDefinition, dimension_table: str,
+                   keyword_text: str) -> frozenset[str] | None:
+        """Values of a dimension table that the definition's keywords name.
+
+        None = the definition names no value of this dimension (no
+        commitment); otherwise the named subset.
+        """
+        values = self._dimension_value_set(dimension_table)
+        mentioned = frozenset(v for v in values if v and v in keyword_text)
+        return mentioned or None
+
+    def _dimension_value_set(self, table_name: str) -> frozenset[str]:
+        if table_name not in self._dimension_values:
+            table = self.database.table(table_name)
+            collected: set[str] = set()
+            for column in table.schema.searchable_columns():
+                for value in table.column_values(column.name):
+                    if isinstance(value, str):
+                        collected.add(normalize(value))
+            self._dimension_values[table_name] = frozenset(collected)
+        return self._dimension_values[table_name]
+
+    def _signaled_tables(self, query: SegmentedQuery,
+                         definition: QunitDefinition) -> set[str]:
+        """Tables the query explicitly asks about (signals + bound anchors)."""
+        tables: set[str] = set()
+        for segment in query.entities():
+            if segment.table:
+                tables.add(segment.table)
+        for segment in query.attributes():
+            ref = segment.attribute
+            if ref is not None and ref.table is not None:
+                tables.add(ref.table)
+                if ref.info_type is not None:
+                    tables.add("info_type")
+        for binder in definition.binders:
+            tables.add(binder.table)
+        # info tables come with their type dimension
+        if "movie_info" in tables or "person_info" in tables:
+            tables.add("info_type")
+        return tables

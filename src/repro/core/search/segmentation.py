@@ -1,0 +1,419 @@
+"""Query segmentation: typing keyword queries against the database.
+
+Implements the paper's first search step: "Queries are first processed to
+identify entities using standard query segmentation techniques" — here, a
+greedy longest-overlap matcher against (a) the full values of searchable
+columns (entities) and (b) a schema vocabulary of table/column names and
+domain synonyms (attributes).  The output is a typed template such as
+``[movie.title] cast`` for "star wars cast" — the representation both the
+query-log analysis (Sec. 5.2) and qunit matching (Sec. 3) operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.database import Database
+from repro.utils.text import normalize
+
+__all__ = [
+    "AttributeRef",
+    "Segment",
+    "SegmentedQuery",
+    "SchemaVocabulary",
+    "QuerySegmenter",
+    "movie_domain_vocabulary",
+]
+
+_AGGREGATE_MARKERS = frozenset({
+    "highest", "lowest", "most", "best", "top", "worst", "largest",
+    "biggest", "number", "count", "average",
+})
+
+_YEAR_RANGE = (1888, 2030)  # first film to a sane future bound
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """A schema element a query word can denote.
+
+    ``name`` is the canonical label used in templates.  ``table``/``column``
+    locate the element when it exists in the schema; ``info_type`` narrows
+    ``movie_info``/``person_info`` to one info kind ("plot", "box office").
+    ``aggregate`` marks complex-query markers ("highest", "top").  Elements
+    with no schema mapping (``table=None``) type the query but cannot be
+    answered from the database (the paper's "posters" column in Table 1).
+    """
+
+    name: str
+    table: str | None = None
+    column: str | None = None
+    info_type: str | None = None
+    aggregate: bool = False
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One typed span of the query."""
+
+    kind: str                      # 'entity' | 'attribute' | 'freetext'
+    tokens: tuple[str, ...]
+    table: str | None = None       # entity: matched table
+    column: str | None = None      # entity: matched column
+    value: object | None = None    # entity: the matched value
+    attribute: AttributeRef | None = None
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.attribute is not None and self.attribute.aggregate
+
+    def placeholder(self) -> str:
+        """Template rendering of the segment."""
+        if self.kind == "entity":
+            return f"[{self.table}.{self.column}]"
+        if self.kind == "attribute":
+            assert self.attribute is not None
+            return self.attribute.name
+        return "[freetext]"
+
+
+@dataclass(frozen=True)
+class SegmentedQuery:
+    """A fully segmented query plus its typed template."""
+
+    raw: str
+    segments: tuple[Segment, ...]
+    dimension_tables: frozenset[str] = frozenset()
+
+    def template(self) -> str:
+        parts: list[str] = []
+        for segment in self.segments:
+            placeholder = segment.placeholder()
+            if placeholder == "[freetext]" and parts and parts[-1] == "[freetext]":
+                continue  # collapse adjacent free text
+            parts.append(placeholder)
+        return " ".join(parts)
+
+    # -- segment accessors ------------------------------------------------------
+
+    def entities(self) -> list[Segment]:
+        return [s for s in self.segments if s.kind == "entity"]
+
+    def instance_entities(self) -> list[Segment]:
+        """Entity segments over non-dimension tables (people, movies...)."""
+        return [s for s in self.entities() if s.table not in self.dimension_tables]
+
+    def dimension_entities(self) -> list[Segment]:
+        """Entity segments over dimension tables (genre, role_type, ...)."""
+        return [s for s in self.entities() if s.table in self.dimension_tables]
+
+    def attributes(self) -> list[Segment]:
+        return [s for s in self.segments if s.kind == "attribute"]
+
+    def freetext(self) -> list[Segment]:
+        return [s for s in self.segments if s.kind == "freetext"]
+
+    # -- classification (Sec. 5.2 categories) --------------------------------------
+
+    def query_class(self) -> str:
+        """One of single_entity / entity_attribute / multi_entity /
+        complex / attribute_only / freetext."""
+        if any(s.is_aggregate for s in self.segments):
+            return "complex"
+        instance = self.instance_entities()
+        schema_signals = self.attributes() + self.dimension_entities()
+        if len(instance) >= 2:
+            return "multi_entity"
+        if len(instance) == 1 and not schema_signals and not self.freetext():
+            return "single_entity"
+        if len(instance) == 1 and schema_signals:
+            return "entity_attribute"
+        if len(instance) == 1:
+            return "entity_freetext"
+        if schema_signals:
+            return "attribute_only"
+        return "freetext"
+
+    @property
+    def is_underspecified(self) -> bool:
+        """Single bare entity: could be specialized with more predicates."""
+        return self.query_class() == "single_entity"
+
+
+class SchemaVocabulary:
+    """Phrase → :class:`AttributeRef` lookup for schema words and synonyms.
+
+    Automatically includes every table name and every value-column name;
+    domain synonym maps (see :func:`movie_domain_vocabulary`) extend it.
+    """
+
+    def __init__(self, database: Database,
+                 synonyms: dict[str, AttributeRef] | None = None,
+                 dimension_tables: frozenset[str] = frozenset()):
+        self.database = database
+        self.dimension_tables = dimension_tables
+        self._refs: dict[str, AttributeRef] = {}
+        self._max_phrase = 1
+        for table in database.schema.tables:
+            self._add(table.name, AttributeRef(name=table.name, table=table.name))
+            for column in table.value_columns():
+                ref = AttributeRef(name=f"{table.name}.{column.name}",
+                                   table=table.name, column=column.name)
+                self._add(column.name, ref)
+        for marker in _AGGREGATE_MARKERS:
+            self._add(marker, AttributeRef(name=f"[agg:{marker}]", aggregate=True))
+        for phrase, ref in (synonyms or {}).items():
+            self._add(phrase, ref)
+
+    def _add(self, phrase: str, ref: AttributeRef) -> None:
+        key = normalize(phrase).replace("_", " ")
+        if not key:
+            return
+        self._refs[key] = ref
+        self._max_phrase = max(self._max_phrase, len(key.split()))
+
+    def lookup(self, tokens: tuple[str, ...]) -> AttributeRef | None:
+        return self._refs.get(" ".join(tokens))
+
+    @property
+    def max_phrase_length(self) -> int:
+        return self._max_phrase
+
+
+def movie_domain_vocabulary(database: Database) -> SchemaVocabulary:
+    """The schema vocabulary for the IMDb schema with domain synonyms.
+
+    These synonyms encode how searchers say schema things ("ost" for
+    soundtrack — straight from the paper's Table 1 query types).
+    """
+    a = AttributeRef
+    synonyms = {
+        "movies": a("movie", table="movie"),
+        "film": a("movie", table="movie"),
+        "films": a("movie", table="movie"),
+        "starring": a("cast", table="cast"),
+        "credits": a("cast", table="cast"),
+        "costars": a("cast", table="cast"),
+        "filmography": a("filmography", table="cast"),
+        "year": a("movie.release_year", table="movie", column="release_year"),
+        "rated": a("movie.rating", table="movie", column="rating"),
+        "awards": a("award", table="award"),
+        "oscars": a("award", table="award"),
+        "oscar": a("award", table="award"),
+        "locations": a("location", table="location"),
+        "filmed": a("location", table="location"),
+        "genres": a("genre", table="genre"),
+        "studio": a("company", table="company"),
+        "studios": a("company", table="company"),
+        "plot": a("plot", table="movie_info", info_type="plot"),
+        "synopsis": a("plot", table="movie_info", info_type="plot"),
+        "story": a("plot", table="movie_info", info_type="plot"),
+        "soundtrack": a("soundtrack", table="movie_info", info_type="soundtrack"),
+        "ost": a("soundtrack", table="movie_info", info_type="soundtrack"),
+        "songs": a("soundtrack", table="movie_info", info_type="soundtrack"),
+        "box office": a("box office", table="movie_info", info_type="box office"),
+        "gross": a("box office", table="movie_info", info_type="box office"),
+        "revenue": a("box office", table="movie_info", info_type="box office"),
+        "trivia": a("trivia", table="movie_info", info_type="trivia"),
+        "quotes": a("quotes", table="movie_info", info_type="quotes"),
+        "tagline": a("tagline", table="movie_info", info_type="tagline"),
+        "runtime": a("runtime", table="movie_info", info_type="runtime"),
+        "biography": a("biography", table="person_info", info_type="biography"),
+        "bio": a("biography", table="person_info", info_type="biography"),
+        # Typeable but unanswerable from this schema (Table 1 has them):
+        "posters": a("posters"),
+        "poster": a("posters"),
+        "recommendations": a("recommendations"),
+        "similar": a("recommendations"),
+        "charts": a("charts", aggregate=True),
+    }
+    return SchemaVocabulary(
+        database, synonyms,
+        dimension_tables=frozenset({"genre", "role_type", "info_type"}),
+    )
+
+
+class QuerySegmenter:
+    """Greedy longest-overlap segmentation against DB values + schema words.
+
+    At each position the segmenter prefers, in order: the longest full-value
+    entity match (via the database text index), the longest schema-word
+    match, a literal year, then free text.  Longer matches always beat
+    shorter ones; at equal length entities beat attributes — except for
+    single tokens that are exact schema words, where structure wins
+    (the paper: "the unmatched portion of the query (cast) is still
+    relevant to the schema structure").
+    """
+
+    MAX_ENTITY_PHRASE = 5
+
+    def __init__(self, database: Database,
+                 vocabulary: SchemaVocabulary | None = None):
+        self.database = database
+        self.vocabulary = vocabulary or movie_domain_vocabulary(database)
+        self._text_index = database.text_index()
+        self._schema_graph = None  # built lazily for disambiguation
+
+    def segment(self, query: str) -> SegmentedQuery:
+        tokens = normalize(query).split()
+        segments: list[Segment] = []
+        position = 0
+        pending_freetext: list[str] = []
+
+        def flush_freetext() -> None:
+            if pending_freetext:
+                segments.append(Segment("freetext", tuple(pending_freetext)))
+                pending_freetext.clear()
+
+        while position < len(tokens):
+            entity = self._match_entity(tokens, position)
+            attribute = self._match_attribute(tokens, position)
+
+            entity_len = len(entity[0]) if entity else 0
+            attribute_len = len(attribute[0]) if attribute else 0
+
+            if entity and entity_len >= attribute_len and not (
+                attribute_len == entity_len == 1 and self._is_pure_schema_word(tokens[position])
+            ):
+                span, table, column, value = entity
+                flush_freetext()
+                segments.append(Segment("entity", span, table=table,
+                                        column=column, value=value))
+                position += len(span)
+                continue
+            if attribute:
+                span, ref = attribute
+                flush_freetext()
+                segments.append(Segment("attribute", span, attribute=ref))
+                position += len(span)
+                continue
+            year = self._match_year(tokens[position])
+            if year is not None:
+                flush_freetext()
+                segments.append(Segment("entity", (tokens[position],),
+                                        table="movie", column="release_year",
+                                        value=year))
+                position += 1
+                continue
+            partial = self._match_partial_entity(tokens, position)
+            if partial:
+                span, table, column, value = partial
+                flush_freetext()
+                segments.append(Segment("entity", span, table=table,
+                                        column=column, value=value))
+                position += len(span)
+                continue
+            pending_freetext.append(tokens[position])
+            position += 1
+        flush_freetext()
+        return SegmentedQuery(
+            raw=query,
+            segments=tuple(segments),
+            dimension_tables=self.vocabulary.dimension_tables,
+        )
+
+    # -- matchers -----------------------------------------------------------------
+
+    def _match_entity(self, tokens: list[str], position: int,
+                      ) -> tuple[tuple[str, ...], str, str, object] | None:
+        longest = min(self.MAX_ENTITY_PHRASE, len(tokens) - position)
+        for length in range(longest, 0, -1):
+            span = tuple(tokens[position:position + length])
+            phrase = " ".join(span)
+            locations = self._text_index.rows_with_phrase(phrase)
+            if not locations:
+                continue
+            table, column, row_id = self._preferred_location(locations)
+            value = self.database.table(table).row(row_id)[column]
+            return span, table, column, value
+        return None
+
+    def _preferred_location(self, locations: set[tuple[str, str, int]],
+                            ) -> tuple[str, str, int]:
+        """Disambiguate a phrase matching several columns.
+
+        Preference order: entity tables before junction tables ("the
+        terminator" is the movie title, not the character name on a cast
+        tuple), then short name/title-like columns before long text.
+        """
+        from repro.graph.schema_graph import SchemaGraph
+
+        if self._schema_graph is None:
+            self._schema_graph = SchemaGraph(self.database.schema)
+        schema_graph = self._schema_graph
+
+        def sort_key(location: tuple[str, str, int]) -> tuple[int, int, str, str, int]:
+            table, column, row_id = location
+            stats = self.database.statistics.column(table, column)
+            junction_rank = 1 if schema_graph.is_junction(table) else 0
+            return (junction_rank, int(stats.avg_text_length), table, column, row_id)
+
+        return min(locations, key=sort_key)
+
+    def _match_partial_entity(self, tokens: list[str], position: int,
+                              ) -> tuple[tuple[str, ...], str, str, object] | None:
+        """Sub-phrase entity match: "terminator" resolves to the stored
+        value "The Terminator" when no full-value match exists.
+
+        Only short name/title-like columns participate (long text columns
+        would match everything), and stopword-led spans are skipped.  Among
+        candidate values the shortest (fewest extra tokens) wins.
+        """
+        from repro.ir.analysis import STOPWORDS
+
+        longest = min(self.MAX_ENTITY_PHRASE, len(tokens) - position)
+        for length in range(longest, 0, -1):
+            span = tuple(tokens[position:position + length])
+            if all(token in STOPWORDS or len(token) < 3 for token in span):
+                continue
+            phrase = " ".join(span)
+            from repro.graph.schema_graph import SchemaGraph
+
+            if self._schema_graph is None:
+                self._schema_graph = SchemaGraph(self.database.schema)
+            best: tuple[int, int, str, str, int, object] | None = None
+            for table, column, row_id in self._text_index.rows_with_token(span[0]):
+                stats = self.database.statistics.column(table, column)
+                if stats.avg_text_length > 40:
+                    continue  # plot-like text; not an entity name
+                value = self.database.table(table).row(row_id)[column]
+                if not isinstance(value, str):
+                    continue
+                norm_value = normalize(value)
+                if f" {phrase} " not in f" {norm_value} ":
+                    continue
+                extra = len(norm_value.split()) - length
+                junction_rank = 1 if self._schema_graph.is_junction(table) else 0
+                key = (extra, junction_rank, table, column, row_id, value)
+                if best is None or key[:5] < best[:5]:
+                    best = key
+            if best is not None:
+                table, column, value = best[2], best[3], best[5]
+                return span, table, column, value
+        return None
+
+    def _match_attribute(self, tokens: list[str], position: int,
+                         ) -> tuple[tuple[str, ...], AttributeRef] | None:
+        longest = min(self.vocabulary.max_phrase_length, len(tokens) - position)
+        for length in range(longest, 0, -1):
+            span = tuple(tokens[position:position + length])
+            ref = self.vocabulary.lookup(span)
+            if ref is not None:
+                return span, ref
+        return None
+
+    def _is_pure_schema_word(self, token: str) -> bool:
+        ref = self.vocabulary.lookup((token,))
+        return ref is not None
+
+    @staticmethod
+    def _match_year(token: str) -> int | None:
+        if len(token) == 4 and token.isdigit():
+            year = int(token)
+            if _YEAR_RANGE[0] <= year <= _YEAR_RANGE[1]:
+                return year
+        return None

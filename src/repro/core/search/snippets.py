@@ -1,0 +1,80 @@
+"""Result snippets: the best query-focused window of an answer's text.
+
+The paper's intro asks what the "snippets from a database search result"
+should even be.  Under the qunit model the answer has a natural form: the
+instance's rendered text is a document, so document snippeting applies
+directly.  This module extracts the contiguous window with the densest
+coverage of query terms, breaking ties toward the earliest window, and
+highlights the matched terms.
+"""
+
+from __future__ import annotations
+
+from repro.ir.analysis import Analyzer
+
+__all__ = ["SnippetExtractor"]
+
+
+class SnippetExtractor:
+    """Extracts fixed-width word windows scored by query-term coverage."""
+
+    def __init__(self, window: int = 24, analyzer: Analyzer | None = None,
+                 highlight: str = "**"):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self.analyzer = analyzer or Analyzer()
+        self.highlight = highlight
+
+    def snippet(self, text: str, query: str) -> str:
+        """The best window of ``text`` for ``query`` (whole text if short).
+
+        Matching is stem-aware (the analyzer's pipeline), highlighting
+        marks the original word forms.  Ellipses mark truncation.
+        """
+        words = text.split()
+        if not words:
+            return ""
+        query_terms = set(self.analyzer.tokens(query))
+
+        def matches(word: str) -> bool:
+            tokens = self.analyzer.tokens(word)
+            return bool(tokens) and tokens[0] in query_terms
+
+        flags = [matches(word) for word in words]
+        if len(words) <= self.window:
+            start, end = 0, len(words)
+        else:
+            # Distinct-term coverage per window, then raw hit count.
+            best_start = 0
+            best_key: tuple[int, int] = (-1, -1)
+            for start in range(0, len(words) - self.window + 1):
+                window_words = words[start:start + self.window]
+                window_flags = flags[start:start + self.window]
+                distinct = len({
+                    self.analyzer.tokens(word)[0]
+                    for word, flag in zip(window_words, window_flags)
+                    if flag
+                })
+                hits = sum(window_flags)
+                key = (distinct, hits)
+                if key > best_key:
+                    best_key = key
+                    best_start = start
+            start, end = best_start, best_start + self.window
+
+        rendered = [
+            f"{self.highlight}{word}{self.highlight}" if flag else word
+            for word, flag in zip(words[start:end], flags[start:end])
+        ]
+        prefix = "... " if start > 0 else ""
+        suffix = " ..." if end < len(words) else ""
+        return prefix + " ".join(rendered) + suffix
+
+    def coverage(self, text: str, query: str) -> float:
+        """Fraction of distinct query terms present anywhere in the text."""
+        query_terms = set(self.analyzer.tokens(query))
+        if not query_terms:
+            return 0.0
+        text_terms = set(self.analyzer.tokens(text))
+        return len(query_terms & text_terms) / len(query_terms)

@@ -1,0 +1,113 @@
+"""Qunit utility: "the importance of a qunit to a user query, in the
+context of the overall intuitive organization of the database" (Sec. 2).
+
+The paper approximates this subjective quantity with objective surrogates.
+We combine two:
+
+* **structural utility** — how queriable the definition's schema footprint
+  is (mean entity queriability of its tables, junctions excluded);
+* **demand utility** — the frequency-weighted fraction of a query log
+  whose typed template this definition covers (available only when a log
+  is supplied).
+
+`UtilityModel.assign` returns copies of the definitions with their
+``utility`` field populated; search uses utility to break ties between
+definitions that match a query equally well.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.qunit import QunitDefinition
+from repro.graph.queriability import QueriabilityModel
+from repro.relational.database import Database
+from repro.utils.text import normalize
+
+__all__ = ["UtilityModel"]
+
+
+class UtilityModel:
+    """Scores qunit definitions for one database (and optional query log)."""
+
+    def __init__(self, database: Database, structural_weight: float = 0.5):
+        if not 0.0 <= structural_weight <= 1.0:
+            raise ValueError(
+                f"structural_weight must be in [0, 1], got {structural_weight}"
+            )
+        self.database = database
+        self.structural_weight = structural_weight
+        self.queriability = QueriabilityModel(database)
+
+    # -- components -------------------------------------------------------------
+
+    def structural_utility(self, definition: QunitDefinition) -> float:
+        """Mean entity queriability over the definition's non-junction tables."""
+        tables = [
+            table for table in definition.tables()
+            if not self.queriability.schema_graph.is_junction(table)
+        ]
+        if not tables:
+            return 0.0
+        scores = [self.queriability.entity(table).score for table in tables]
+        return sum(scores) / len(scores)
+
+    def demand_utility(self, definition: QunitDefinition,
+                       template_frequencies: dict[str, int]) -> float:
+        """Share of log demand whose template terms this definition covers.
+
+        ``template_frequencies`` maps typed templates (e.g.
+        ``"[movie.title] cast"``) to their log frequency; a definition
+        covers a template when every non-entity term of the template
+        appears in the definition's schema vocabulary.
+        """
+        if not template_frequencies:
+            return 0.0
+        covered = 0
+        total = 0
+        vocabulary = definition.schema_terms()
+        definition_tables = set(definition.tables())
+        for template, frequency in template_frequencies.items():
+            total += frequency
+            placeholders = [term for term in template.split()
+                            if term.startswith("[") and term.endswith("]")]
+            structural = [term for term in template.split()
+                          if not (term.startswith("[") and term.endswith("]"))]
+            entity_tables = {
+                term[1:-1].split(".")[0] for term in placeholders
+                if "." in term
+            }
+            if structural:
+                tokens = [token for term in structural
+                          for token in normalize(term).split()]
+                words_known = tokens and all(token in vocabulary
+                                             for token in tokens)
+                if words_known and entity_tables <= definition_tables:
+                    covered += frequency
+            elif entity_tables and entity_tables <= definition_tables:
+                # A bare-entity template is demand for the entity's profile:
+                # credit definitions anchored on that entity table.
+                covered += frequency
+        return covered / total if total else 0.0
+
+    # -- combined ------------------------------------------------------------------
+
+    def score(self, definition: QunitDefinition,
+              template_frequencies: dict[str, int] | None = None) -> float:
+        structural = self.structural_utility(definition)
+        if not template_frequencies:
+            return structural
+        demand = self.demand_utility(definition, template_frequencies)
+        w = self.structural_weight
+        return w * structural + (1.0 - w) * demand
+
+    def assign(self, definitions: Iterable[QunitDefinition],
+               template_frequencies: dict[str, int] | None = None,
+               ) -> list[QunitDefinition]:
+        """Return definitions with ``utility`` populated, best first."""
+        scored = [
+            definition.with_utility(self.score(definition, template_frequencies))
+            for definition in definitions
+        ]
+        scored.sort(key=lambda d: (-d.utility, d.name))
+        return scored

@@ -1,0 +1,17 @@
+"""Synthetic datasets substituting for the paper's proprietary resources.
+
+* ``repro.datasets.imdb`` — the movie database (stand-in for the IMDbPy
+  conversion of imdb.com used in the paper);
+* ``repro.datasets.querylog`` — the web-search query log (stand-in for the
+  AOL log of Pass et al. [26]);
+* ``repro.datasets.evidence`` — wiki-like external-evidence pages (stand-in
+  for Wikipedia).
+
+Every generator is deterministic given a seed, and every distribution knob
+is calibrated to the statistics the paper itself reports (see DESIGN.md,
+"Substitutions").
+"""
+
+from repro.datasets.imdb import generate_imdb, imdb_schema, simplified_schema
+
+__all__ = ["generate_imdb", "imdb_schema", "simplified_schema"]

@@ -1,0 +1,5 @@
+"""Synthetic external evidence: wiki-like pages rendered from the database."""
+
+from repro.datasets.evidence.generator import WikiCorpusGenerator, generate_wiki_corpus
+
+__all__ = ["WikiCorpusGenerator", "generate_wiki_corpus"]

@@ -1,0 +1,228 @@
+"""Generate wiki-like DOM pages from the database (Wikipedia stand-in).
+
+Sec. 4.3 learns qunit definitions from "published results of queries to the
+database, or relevant web pages that present parts of the data" — for the
+movie domain, Wikipedia articles.  Since the real pages substantially
+overlap the database's content, we can generate equivalent evidence by
+rendering database rows into page-shaped DOM trees, with realistic noise:
+sections dropped at random, free-text paragraphs the recognizer must
+ignore, and dedicated single-list pages ("Full cast of X") alongside the
+profile articles.
+
+Pages reuse :class:`~repro.xmlview.tree.XmlNode` as the DOM type.  The
+generator deliberately attaches **no provenance** to the text nodes: the
+evidence deriver must rediscover which database values appear where, just
+as it would on a real crawl.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.utils.rng import DeterministicRng
+from repro.xmlview.tree import XmlNode
+
+__all__ = ["WikiCorpusGenerator", "generate_wiki_corpus"]
+
+
+def generate_wiki_corpus(database: Database, seed: int = 21,
+                         movie_fraction: float = 0.6,
+                         person_fraction: float = 0.4) -> list[XmlNode]:
+    """Convenience wrapper around :class:`WikiCorpusGenerator`."""
+    generator = WikiCorpusGenerator(database, seed=seed,
+                                    movie_fraction=movie_fraction,
+                                    person_fraction=person_fraction)
+    return generator.pages()
+
+
+class WikiCorpusGenerator:
+    """Renders a deterministic corpus of wiki-like pages."""
+
+    FILLER = (
+        "Critics were divided on its initial release.",
+        "The production ran significantly over budget.",
+        "It has since developed a devoted following.",
+        "Principal photography lasted eleven weeks.",
+        "The score was recorded in a single session.",
+    )
+
+    def __init__(self, database: Database, seed: int = 21,
+                 movie_fraction: float = 0.6, person_fraction: float = 0.4):
+        if not 0.0 < movie_fraction <= 1.0 or not 0.0 < person_fraction <= 1.0:
+            raise ValueError("page fractions must be in (0, 1]")
+        self.database = database
+        self.rng = DeterministicRng(seed)
+        self.movie_fraction = movie_fraction
+        self.person_fraction = person_fraction
+
+    # -- corpus -------------------------------------------------------------------
+
+    def pages(self) -> list[XmlNode]:
+        pages: list[XmlNode] = []
+        movie_rng = self.rng.fork("movies")
+        movie_ids = self._sample_ids("movie", self.movie_fraction, movie_rng)
+        for movie_id in movie_ids:
+            pages.append(self.movie_page(movie_id, movie_rng))
+            if movie_rng.coin(0.3):
+                pages.append(self.cast_list_page(movie_id))
+        person_rng = self.rng.fork("persons")
+        person_ids = self._sample_ids("person", self.person_fraction, person_rng)
+        for person_id in person_ids:
+            pages.append(self.person_page(person_id, person_rng))
+        return pages
+
+    def _sample_ids(self, table: str, fraction: float,
+                    rng: DeterministicRng) -> list[int]:
+        ids = [row["id"] for row in self.database.table(table)]  # type: ignore[index]
+        count = max(1, int(len(ids) * fraction))
+        return sorted(rng.sample(ids, count))
+
+    # -- page builders -----------------------------------------------------------------
+
+    def movie_page(self, movie_id: int, rng: DeterministicRng) -> XmlNode:
+        movie = self.database.table("movie").by_primary_key(movie_id)
+        assert movie is not None
+        page = XmlNode("page", ())
+        page.add_child("h1", str(movie["title"]))
+        infobox = page.add_child("infobox")
+        if movie["release_year"] is not None:
+            infobox.add_child("field", f"released {movie['release_year']}")
+        genres = self._genres(movie_id)
+        if genres:
+            infobox.add_child("field", ", ".join(genres))
+
+        if rng.coin(0.85):
+            plot = self._info(movie_id, "plot")
+            if plot:
+                section = page.add_child("section")
+                section.add_child("h2", "Plot")
+                section.add_child("p", plot)
+        if rng.coin(0.9):
+            members = self._cast(movie_id)
+            if members:
+                section = page.add_child("section")
+                section.add_child("h2", "Cast")
+                listing = section.add_child("ul")
+                for name, character in members:
+                    text = f"{name} as {character}" if character else name
+                    listing.add_child("li", text)
+        if rng.coin(0.5):
+            places = self._locations(movie_id)
+            if places:
+                section = page.add_child("section")
+                section.add_child("h2", "Locations")
+                listing = section.add_child("ul")
+                for place in places:
+                    listing.add_child("li", place)
+        if rng.coin(0.45):
+            box_office = self._info(movie_id, "box office")
+            if box_office:
+                section = page.add_child("section")
+                section.add_child("h2", "Box office")
+                section.add_child("p", box_office)
+        if rng.coin(0.4):
+            awards = self._awards(movie_id)
+            if awards:
+                section = page.add_child("section")
+                section.add_child("h2", "Awards")
+                listing = section.add_child("ul")
+                for award in awards:
+                    listing.add_child("li", award)
+        if rng.coin(0.6):
+            page.add_child("p", rng.choice(self.FILLER))
+        return page
+
+    def cast_list_page(self, movie_id: int) -> XmlNode:
+        """A dedicated full-credits page: one label entity, one long list."""
+        movie = self.database.table("movie").by_primary_key(movie_id)
+        assert movie is not None
+        page = XmlNode("page", ())
+        page.add_child("h1", f"Full cast of {movie['title']}")
+        listing = page.add_child("ul")
+        for name, character in self._cast(movie_id):
+            text = f"{name} as {character}" if character else name
+            listing.add_child("li", text)
+        return page
+
+    def person_page(self, person_id: int, rng: DeterministicRng) -> XmlNode:
+        person = self.database.table("person").by_primary_key(person_id)
+        assert person is not None
+        page = XmlNode("page", ())
+        page.add_child("h1", str(person["name"]))
+        if rng.coin(0.6):
+            biography = self._biography(person_id)
+            if biography:
+                section = page.add_child("section")
+                section.add_child("h2", "Biography")
+                section.add_child("p", biography)
+        movies = self._filmography(person_id)
+        if movies:
+            section = page.add_child("section")
+            section.add_child("h2", "Filmography")
+            listing = section.add_child("ul")
+            for title, year in movies:
+                text = f"{title} ({year})" if year else title
+                listing.add_child("li", text)
+        if rng.coin(0.4):
+            page.add_child("p", rng.choice(self.FILLER))
+        return page
+
+    # -- database lookups -----------------------------------------------------------------
+
+    def _genres(self, movie_id: int) -> list[str]:
+        names = []
+        for link in self.database.lookup("movie_genre", "movie_id", movie_id):
+            genre = self.database.table("genre").by_primary_key(link["genre_id"])
+            if genre is not None:
+                names.append(str(genre["name"]))
+        return sorted(names)
+
+    def _cast(self, movie_id: int) -> list[tuple[str, str | None]]:
+        members = []
+        for link in sorted(self.database.lookup("cast", "movie_id", movie_id),
+                           key=lambda row: (row["position"] or 0, row["id"])):
+            person = self.database.table("person").by_primary_key(link["person_id"])
+            if person is None:
+                continue
+            character = link["character_name"]
+            members.append((str(person["name"]),
+                            str(character) if character else None))
+        return members
+
+    def _locations(self, movie_id: int) -> list[str]:
+        places = []
+        for link in self.database.lookup("movie_location", "movie_id", movie_id):
+            location = self.database.table("location").by_primary_key(
+                link["location_id"])
+            if location is not None:
+                places.append(str(location["place"]))
+        return sorted(places)
+
+    def _awards(self, movie_id: int) -> list[str]:
+        awards = []
+        for row in self.database.lookup("award", "movie_id", movie_id):
+            awards.append(f"{row['name']} for {row['category']}")
+        return sorted(awards)
+
+    def _info(self, movie_id: int, info_type: str) -> str | None:
+        type_rows = self.database.lookup("info_type", "name", info_type)
+        if not type_rows:
+            return None
+        type_id = type_rows[0]["id"]
+        for row in self.database.lookup("movie_info", "movie_id", movie_id):
+            if row["info_type_id"] == type_id and row["info"]:
+                return str(row["info"])
+        return None
+
+    def _biography(self, person_id: int) -> str | None:
+        for row in self.database.lookup("person_info", "person_id", person_id):
+            if row["info"]:
+                return str(row["info"])
+        return None
+
+    def _filmography(self, person_id: int) -> list[tuple[str, int | None]]:
+        movies = []
+        for link in self.database.lookup("cast", "person_id", person_id):
+            movie = self.database.table("movie").by_primary_key(link["movie_id"])
+            if movie is not None:
+                movies.append((str(movie["title"]), movie["release_year"]))
+        return sorted(movies)

@@ -1,0 +1,6 @@
+"""Synthetic IMDb-like database generator."""
+
+from repro.datasets.imdb.generator import ImdbGenerator, generate_imdb
+from repro.datasets.imdb.schema import imdb_schema, simplified_schema
+
+__all__ = ["generate_imdb", "ImdbGenerator", "imdb_schema", "simplified_schema"]

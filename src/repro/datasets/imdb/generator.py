@@ -1,0 +1,480 @@
+"""Deterministic synthetic IMDb database generator.
+
+``generate_imdb(scale, seed)`` produces a :class:`~repro.relational.Database`
+over the 15-table schema.  ``scale=1`` yields roughly 200 movies / 320
+persons / ~4k total rows; row counts grow linearly with ``scale``.  The
+generator preserves the structural properties qunit derivation and the
+baselines are sensitive to:
+
+* every movie has genres and locations ("every movie has a genre and
+  location", Sec. 4.1 — the property that makes pure data-driven derivation
+  include the unimportant location table);
+* plot/trivia text is long (the "lengthy plot outline" that LCA-style
+  results wrongly drag into answers);
+* cast sizes, genre counts and info coverage are skewed, with popularity
+  (votes) following a Zipf-like curve for query-log sampling.
+
+Canonical paper entities (Star Wars' cast, George Clooney, ...) are always
+inserted first with fixed ids, independent of scale and seed.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.imdb import vocab
+from repro.datasets.imdb.schema import imdb_schema
+from repro.errors import DatasetError
+from repro.relational.database import Database
+from repro.utils.rng import DeterministicRng
+
+__all__ = ["ImdbGenerator", "generate_imdb"]
+
+_ROMAN = ["", " II", " III", " IV", " V", " VI", " VII", " VIII", " IX", " X"]
+
+
+def generate_imdb(scale: float = 1.0, seed: int = 7) -> Database:
+    """Generate the synthetic movie database (see module docstring)."""
+    return ImdbGenerator(scale=scale, seed=seed).generate()
+
+
+class ImdbGenerator:
+    """Stateful generator; create one, call :meth:`generate` once."""
+
+    BASE_MOVIES = 200
+    BASE_PERSONS = 320
+
+    def __init__(self, scale: float = 1.0, seed: int = 7):
+        if scale <= 0:
+            raise DatasetError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self.rng = DeterministicRng(seed)
+        self.database = Database(imdb_schema(), name=f"imdb-synth-x{scale}")
+        # id counters (1-based like real databases)
+        self._next_id: dict[str, int] = {}
+        # handles for cross-referencing
+        self._movie_ids: list[int] = []
+        self._person_ids: list[int] = []
+        self._movie_titles: dict[int, str] = {}
+        self._person_names: dict[int, str] = {}
+        self._genre_ids: dict[str, int] = {}
+        self._location_ids: dict[str, int] = {}
+        self._role_ids: dict[str, int] = {}
+        self._info_type_ids: dict[str, int] = {}
+        self._company_ids: list[int] = []
+        self._used_titles: set[str] = set()
+        self._used_names: set[str] = set()
+
+    # -- id plumbing -----------------------------------------------------------
+
+    def _new_id(self, table: str) -> int:
+        value = self._next_id.get(table, 0) + 1
+        self._next_id[table] = value
+        return value
+
+    # -- top level ---------------------------------------------------------------
+
+    def generate(self) -> Database:
+        if self._movie_ids:
+            raise DatasetError("generator already used; create a fresh one")
+        self._fill_dimensions()
+        self._insert_canon()
+        n_movies = max(len(vocab.CANON_MOVIES),
+                       int(self.BASE_MOVIES * self.scale))
+        n_persons = max(len(vocab.CANON_PERSONS),
+                        int(self.BASE_PERSONS * self.scale))
+        self._generate_persons(n_persons - len(vocab.CANON_PERSONS))
+        self._generate_movies(n_movies - len(vocab.CANON_MOVIES))
+        self._generate_relationships()
+        self.database.assert_consistent()
+        return self.database
+
+    # -- dimensions ----------------------------------------------------------------
+
+    def _fill_dimensions(self) -> None:
+        for name in vocab.GENRES:
+            genre_id = self._new_id("genre")
+            self.database.insert("genre", {"id": genre_id, "name": name})
+            self._genre_ids[name] = genre_id
+        for place in vocab.LOCATIONS:
+            location_id = self._new_id("location")
+            self.database.insert("location", {"id": location_id, "place": place})
+            self._location_ids[place] = location_id
+        for role in vocab.ROLES:
+            role_id = self._new_id("role_type")
+            self.database.insert("role_type", {"id": role_id, "role": role})
+            self._role_ids[role] = role_id
+        for info_type in vocab.INFO_TYPES:
+            info_type_id = self._new_id("info_type")
+            self.database.insert("info_type", {"id": info_type_id, "name": info_type})
+            self._info_type_ids[info_type] = info_type_id
+
+        rng = self.rng.fork("companies")
+        n_companies = max(6, int(12 * self.scale))
+        for _ in range(n_companies):
+            company_id = self._new_id("company")
+            name = (f"{rng.choice(vocab.LAST_NAMES)} "
+                    f"{rng.choice(vocab.COMPANY_WORDS)}")
+            self.database.insert("company", {
+                "id": company_id,
+                "name": name,
+                "country": rng.choice(["USA", "UK", "France", "Germany", "Japan"]),
+            })
+            self._company_ids.append(company_id)
+
+    # -- canon -----------------------------------------------------------------------
+
+    def _insert_canon(self) -> None:
+        for name, birth_year, gender in vocab.CANON_PERSONS:
+            person_id = self._new_id("person")
+            self.database.insert("person", {
+                "id": person_id, "name": name,
+                "birth_year": birth_year, "gender": gender,
+            })
+            self._person_ids.append(person_id)
+            self._person_names[person_id] = name
+            self._used_names.add(name.lower())
+        for title, year, rating, genres in vocab.CANON_MOVIES:
+            movie_id = self._new_id("movie")
+            self.database.insert("movie", {
+                "id": movie_id, "title": title, "release_year": year,
+                "rating": rating, "votes": 50000 + 10000 * movie_id,
+            })
+            self._movie_ids.append(movie_id)
+            self._movie_titles[movie_id] = title
+            self._used_titles.add(title.lower())
+            for genre in genres:
+                self.database.insert("movie_genre", {
+                    "id": self._new_id("movie_genre"),
+                    "movie_id": movie_id,
+                    "genre_id": self._genre_ids[genre],
+                })
+        names = {name: pid for pid, name in self._person_names.items()}
+        titles = {title: mid for mid, title in self._movie_titles.items()}
+        position = 0
+        for person, movie, role, character in vocab.CANON_CAST:
+            position += 1
+            self.database.insert("cast", {
+                "id": self._new_id("cast"),
+                "person_id": names[person],
+                "movie_id": titles[movie],
+                "role_id": self._role_ids[role],
+                "character_name": character,
+                "position": position,
+            })
+
+    # -- persons ----------------------------------------------------------------------
+
+    def _generate_persons(self, count: int) -> None:
+        rng = self.rng.fork("persons")
+        for _ in range(max(0, count)):
+            name = self._fresh_person_name(rng)
+            person_id = self._new_id("person")
+            self.database.insert("person", {
+                "id": person_id,
+                "name": name,
+                "birth_year": rng.randint(1920, 1995) if rng.coin(0.9) else None,
+                "gender": rng.choice(["m", "f"]),
+            })
+            self._person_ids.append(person_id)
+            self._person_names[person_id] = name
+
+    def _fresh_person_name(self, rng: DeterministicRng) -> str:
+        for _attempt in range(200):
+            name = f"{rng.choice(vocab.FIRST_NAMES)} {rng.choice(vocab.LAST_NAMES)}"
+            if name.lower() not in self._used_names:
+                self._used_names.add(name.lower())
+                return name
+        # Very large scales: disambiguate with a roman-numeral suffix.
+        base = f"{rng.choice(vocab.FIRST_NAMES)} {rng.choice(vocab.LAST_NAMES)}"
+        for numeral in _ROMAN[1:]:
+            candidate = base + numeral
+            if candidate.lower() not in self._used_names:
+                self._used_names.add(candidate.lower())
+                return candidate
+        raise DatasetError("exhausted person-name space; lower the scale")
+
+    # -- movies ------------------------------------------------------------------------
+
+    def _generate_movies(self, count: int) -> None:
+        rng = self.rng.fork("movies")
+        for _ in range(max(0, count)):
+            title = self._fresh_title(rng)
+            movie_id = self._new_id("movie")
+            # Popularity: Zipf-ish votes so query-log sampling has skew.
+            rank = len(self._movie_ids) + 1
+            votes = max(50, int(200000 / rank) + rng.randint(0, 500))
+            self.database.insert("movie", {
+                "id": movie_id,
+                "title": title,
+                "release_year": rng.randint(1950, 2008),
+                "rating": round(rng.uniform(3.0, 9.3), 1),
+                "votes": votes,
+            })
+            self._movie_ids.append(movie_id)
+            self._movie_titles[movie_id] = title
+
+    def _fresh_title(self, rng: DeterministicRng) -> str:
+        for _attempt in range(200):
+            pattern = rng.choice(vocab.TITLE_PATTERNS)
+            noun = rng.choice(vocab.TITLE_NOUNS)
+            noun2 = rng.choice([n for n in vocab.TITLE_NOUNS if n != noun])
+            title = pattern.format(adj=rng.choice(vocab.TITLE_ADJECTIVES),
+                                   noun=noun, noun2=noun2)
+            if title.lower() not in self._used_titles:
+                self._used_titles.add(title.lower())
+                return title
+        # Sequels: remakes and sequels are exactly why titles aren't keys.
+        for numeral in _ROMAN[1:]:
+            pattern = rng.choice(vocab.TITLE_PATTERNS)
+            noun = rng.choice(vocab.TITLE_NOUNS)
+            noun2 = rng.choice([n for n in vocab.TITLE_NOUNS if n != noun])
+            base = pattern.format(adj=rng.choice(vocab.TITLE_ADJECTIVES),
+                                  noun=noun, noun2=noun2)
+            candidate = base + numeral
+            if candidate.lower() not in self._used_titles:
+                self._used_titles.add(candidate.lower())
+                return candidate
+        raise DatasetError("exhausted title space; lower the scale")
+
+    # -- relationships --------------------------------------------------------------------
+
+    def _generate_relationships(self) -> None:
+        self._generate_cast()
+        self._generate_genres_and_locations()
+        self._generate_movie_info()
+        self._generate_person_info()
+        self._generate_aka_titles()
+        self._generate_companies()
+        self._generate_awards()
+
+    def _movies_needing(self, rng_label: str):
+        """Movies beyond the canon (canon relationships are hand-made)."""
+        canon_count = len(vocab.CANON_MOVIES)
+        return self._movie_ids[canon_count:], self.rng.fork(rng_label)
+
+    def _generate_cast(self) -> None:
+        movies, rng = self._movies_needing("cast")
+        actor_role = self._role_ids["actor"]
+        actress_role = self._role_ids["actress"]
+        for movie_id in movies:
+            size = rng.noisy_count(8, spread=0.5, minimum=2)
+            members = rng.sample(self._person_ids, min(size, len(self._person_ids)))
+            for position, person_id in enumerate(members, start=1):
+                if position == len(members) and rng.coin(0.8):
+                    role_id = self._role_ids[rng.choice(
+                        ["director", "producer", "writer", "composer"])]
+                    character = None
+                else:
+                    gender = None
+                    person = self.database.table("person").by_primary_key(person_id)
+                    if person is not None:
+                        gender = person["gender"]
+                    role_id = actress_role if gender == "f" else actor_role
+                    character = self._character_name(rng)
+                self.database.insert("cast", {
+                    "id": self._new_id("cast"),
+                    "person_id": person_id,
+                    "movie_id": movie_id,
+                    "role_id": role_id,
+                    "character_name": character,
+                    "position": position,
+                })
+
+    def _character_name(self, rng: DeterministicRng) -> str:
+        if rng.coin(0.3):
+            return (f"{rng.choice(vocab.CHARACTER_TITLES)} "
+                    f"{rng.choice(vocab.CHARACTER_FIRST)}")
+        return (f"{rng.choice(vocab.CHARACTER_FIRST)} "
+                f"{rng.choice(vocab.LAST_NAMES)}")
+
+    def _generate_genres_and_locations(self) -> None:
+        movies, rng = self._movies_needing("genres")
+        genre_names = list(self._genre_ids)
+        location_names = list(self._location_ids)
+        for movie_id in movies:
+            # Every movie gets >=1 genre and >=1 location (the Sec. 4.1 property).
+            for genre in rng.sample(genre_names, rng.randint(1, 3)):
+                self.database.insert("movie_genre", {
+                    "id": self._new_id("movie_genre"),
+                    "movie_id": movie_id,
+                    "genre_id": self._genre_ids[genre],
+                })
+            for place in rng.sample(location_names, rng.randint(1, 4)):
+                self.database.insert("movie_location", {
+                    "id": self._new_id("movie_location"),
+                    "movie_id": movie_id,
+                    "location_id": self._location_ids[place],
+                    "note": "studio" if rng.coin(0.2) else None,
+                })
+        # Canon movies need locations too (their genres came with the canon).
+        canon_rng = self.rng.fork("canon-locations")
+        for movie_id in self._movie_ids[:len(vocab.CANON_MOVIES)]:
+            for place in canon_rng.sample(location_names, canon_rng.randint(1, 3)):
+                self.database.insert("movie_location", {
+                    "id": self._new_id("movie_location"),
+                    "movie_id": movie_id,
+                    "location_id": self._location_ids[place],
+                    "note": None,
+                })
+
+    def _plot(self, rng: DeterministicRng) -> str:
+        return (f"{rng.choice(vocab.PLOT_SUBJECTS)} "
+                f"{rng.choice(vocab.PLOT_VERBS)} "
+                f"{rng.choice(vocab.PLOT_OBJECTS)} "
+                f"{rng.choice(vocab.PLOT_TWISTS)}. "
+                f"{rng.choice(vocab.PLOT_SUBJECTS)} "
+                f"{rng.choice(vocab.PLOT_VERBS)} "
+                f"{rng.choice(vocab.PLOT_OBJECTS)}.")
+
+    def _generate_movie_info(self) -> None:
+        rng = self.rng.fork("movie-info")
+        canon_ids = set(self._movie_ids[:len(vocab.CANON_MOVIES)])
+        for movie_id in self._movie_ids:
+            title = self._movie_titles[movie_id]
+            # Canon movies always carry the info kinds the paper's example
+            # queries ask about; filler movies have realistic gaps.
+            is_canon = movie_id in canon_ids
+            # Plot for everyone — it must be long, that is its whole role here.
+            self.database.insert("movie_info", {
+                "id": self._new_id("movie_info"),
+                "movie_id": movie_id,
+                "info_type_id": self._info_type_ids["plot"],
+                "info": self._plot(rng),
+            })
+            if rng.coin(0.6):
+                self.database.insert("movie_info", {
+                    "id": self._new_id("movie_info"),
+                    "movie_id": movie_id,
+                    "info_type_id": self._info_type_ids["tagline"],
+                    "info": (f"Every {rng.choice(vocab.TITLE_NOUNS).lower()} "
+                             f"has its price."),
+                })
+            if is_canon or rng.coin(0.75):
+                self.database.insert("movie_info", {
+                    "id": self._new_id("movie_info"),
+                    "movie_id": movie_id,
+                    "info_type_id": self._info_type_ids["box office"],
+                    "info": f"${rng.randint(1, 900)}.{rng.randint(0, 9)}M gross",
+                })
+            if is_canon or rng.coin(0.6):
+                self.database.insert("movie_info", {
+                    "id": self._new_id("movie_info"),
+                    "movie_id": movie_id,
+                    "info_type_id": self._info_type_ids["trivia"],
+                    "info": (f"The production of {title} relocated twice "
+                             f"during filming."),
+                })
+            if is_canon or rng.coin(0.9):
+                self.database.insert("movie_info", {
+                    "id": self._new_id("movie_info"),
+                    "movie_id": movie_id,
+                    "info_type_id": self._info_type_ids["soundtrack"],
+                    "info": (f"Original score with {rng.randint(8, 24)} tracks; "
+                             f"theme '{rng.choice(vocab.TITLE_ADJECTIVES)} "
+                             f"{rng.choice(vocab.TITLE_NOUNS)}'."),
+                })
+            self.database.insert("movie_info", {
+                "id": self._new_id("movie_info"),
+                "movie_id": movie_id,
+                "info_type_id": self._info_type_ids["runtime"],
+                "info": f"{rng.randint(78, 195)} min",
+            })
+
+    def _generate_person_info(self) -> None:
+        rng = self.rng.fork("person-info")
+        for person_id in self._person_ids:
+            if not rng.coin(0.55):
+                continue
+            name = self._person_names[person_id]
+            self.database.insert("person_info", {
+                "id": self._new_id("person_info"),
+                "person_id": person_id,
+                "info_type_id": self._info_type_ids["biography"],
+                "info": (f"{name} began their career in regional theatre "
+                         f"before moving into film, earning a reputation "
+                         f"for {rng.choice(['intense', 'understated', 'versatile', 'comedic'])} "
+                         f"performances."),
+            })
+
+    def _generate_aka_titles(self) -> None:
+        rng = self.rng.fork("aka")
+        for movie_id in self._movie_ids:
+            if not rng.coin(0.25):
+                continue
+            title = self._movie_titles[movie_id]
+            self.database.insert("aka_title", {
+                "id": self._new_id("aka_title"),
+                "movie_id": movie_id,
+                "title": f"{title} ({rng.choice(['working title', 'international', 'director cut'])})",
+            })
+
+    def _generate_companies(self) -> None:
+        rng = self.rng.fork("movie-companies")
+        for movie_id in self._movie_ids:
+            for kind in ("production", "distribution"):
+                if kind == "distribution" and not rng.coin(0.7):
+                    continue
+                self.database.insert("movie_company", {
+                    "id": self._new_id("movie_company"),
+                    "movie_id": movie_id,
+                    "company_id": rng.choice(self._company_ids),
+                    "kind": kind,
+                })
+
+    def _generate_awards(self) -> None:
+        rng = self.rng.fork("awards")
+        # Canon entities always carry at least one award, so the paper's
+        # example queries ("tom hanks awards") have data at every scale.
+        for offset, (_name, _birth, _gender) in enumerate(vocab.CANON_PERSONS):
+            self.database.insert("award", {
+                "id": self._new_id("award"),
+                "movie_id": None,
+                "person_id": self._person_ids[offset],
+                "name": vocab.AWARD_NAMES[offset % len(vocab.AWARD_NAMES)],
+                "year": 1990 + offset,
+                "category": vocab.AWARD_CATEGORIES[offset % len(vocab.AWARD_CATEGORIES)],
+                "won": offset % 2 == 0,
+            })
+        for offset, (_title, year, rating, _genres) in enumerate(vocab.CANON_MOVIES):
+            if rating < 7.0:
+                continue
+            self.database.insert("award", {
+                "id": self._new_id("award"),
+                "movie_id": self._movie_ids[offset],
+                "person_id": None,
+                "name": vocab.AWARD_NAMES[offset % len(vocab.AWARD_NAMES)],
+                "year": year + 1,
+                "category": vocab.AWARD_CATEGORIES[(offset + 3) % len(vocab.AWARD_CATEGORIES)],
+                "won": offset % 2 == 1,
+            })
+        # Highly-rated movies attract nominations; some are for people.
+        movie_table = self.database.table("movie")
+        for movie_id in self._movie_ids:
+            row = movie_table.by_primary_key(movie_id)
+            assert row is not None
+            rating = row["rating"] or 0.0
+            if rating < 7.0 or not rng.coin(0.6):
+                continue
+            for _ in range(rng.randint(1, 3)):
+                year_base = row["release_year"] or 1990
+                self.database.insert("award", {
+                    "id": self._new_id("award"),
+                    "movie_id": movie_id,
+                    "person_id": None,
+                    "name": rng.choice(vocab.AWARD_NAMES),
+                    "year": year_base + 1,
+                    "category": rng.choice(vocab.AWARD_CATEGORIES),
+                    "won": rng.coin(0.3),
+                })
+        for person_id in self._person_ids:
+            if not rng.coin(0.08):
+                continue
+            self.database.insert("award", {
+                "id": self._new_id("award"),
+                "movie_id": None,
+                "person_id": person_id,
+                "name": rng.choice(vocab.AWARD_NAMES),
+                "year": rng.randint(1970, 2008),
+                "category": rng.choice(
+                    ["best actor", "best actress", "best director"]),
+                "won": rng.coin(0.35),
+            })

@@ -1,0 +1,204 @@
+"""The IMDb schemas used throughout the reproduction.
+
+:func:`imdb_schema` is the full 15-table layout mirroring the IMDbPy
+conversion the paper used ("15 tables, 34M tuples"): entity tables
+(person, movie, company, award), dimension tables normalizing common
+strings (role_type, genre, location, info_type), and junction/fact tables
+(cast, movie_genre, movie_location, movie_info, person_info, aka_title,
+movie_company).
+
+:func:`simplified_schema` is the paper's Figure 2: person, cast, movie,
+genre, locations, info — used in unit tests and the walkthrough examples.
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+
+__all__ = ["imdb_schema", "simplified_schema"]
+
+_INT = ColumnType.INTEGER
+_FLOAT = ColumnType.FLOAT
+_TEXT = ColumnType.TEXT
+_BOOL = ColumnType.BOOLEAN
+
+
+def imdb_schema() -> Schema:
+    """The full 15-table schema."""
+    return Schema([
+        TableSchema("person", [
+            Column("id", _INT, nullable=False),
+            Column("name", _TEXT, nullable=False, searchable=True),
+            Column("birth_year", _INT),
+            Column("gender", _TEXT),
+        ], primary_key="id"),
+
+        TableSchema("movie", [
+            Column("id", _INT, nullable=False),
+            Column("title", _TEXT, nullable=False, searchable=True),
+            Column("release_year", _INT),
+            Column("rating", _FLOAT),
+            Column("votes", _INT),
+        ], primary_key="id"),
+
+        TableSchema("role_type", [
+            Column("id", _INT, nullable=False),
+            Column("role", _TEXT, nullable=False, searchable=True),
+        ], primary_key="id"),
+
+        TableSchema("cast", [
+            Column("id", _INT, nullable=False),
+            Column("person_id", _INT, nullable=False),
+            Column("movie_id", _INT, nullable=False),
+            Column("role_id", _INT, nullable=False),
+            Column("character_name", _TEXT, searchable=True),
+            Column("position", _INT),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("person_id", "person", "id"),
+            ForeignKey("movie_id", "movie", "id"),
+            ForeignKey("role_id", "role_type", "id"),
+        ]),
+
+        TableSchema("genre", [
+            Column("id", _INT, nullable=False),
+            Column("name", _TEXT, nullable=False, searchable=True),
+        ], primary_key="id"),
+
+        TableSchema("movie_genre", [
+            Column("id", _INT, nullable=False),
+            Column("movie_id", _INT, nullable=False),
+            Column("genre_id", _INT, nullable=False),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("movie_id", "movie", "id"),
+            ForeignKey("genre_id", "genre", "id"),
+        ]),
+
+        TableSchema("location", [
+            Column("id", _INT, nullable=False),
+            Column("place", _TEXT, nullable=False, searchable=True),
+        ], primary_key="id"),
+
+        TableSchema("movie_location", [
+            Column("id", _INT, nullable=False),
+            Column("movie_id", _INT, nullable=False),
+            Column("location_id", _INT, nullable=False),
+            Column("note", _TEXT),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("movie_id", "movie", "id"),
+            ForeignKey("location_id", "location", "id"),
+        ]),
+
+        TableSchema("info_type", [
+            Column("id", _INT, nullable=False),
+            Column("name", _TEXT, nullable=False, searchable=True),
+        ], primary_key="id"),
+
+        TableSchema("movie_info", [
+            Column("id", _INT, nullable=False),
+            Column("movie_id", _INT, nullable=False),
+            Column("info_type_id", _INT, nullable=False),
+            Column("info", _TEXT, searchable=True),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("movie_id", "movie", "id"),
+            ForeignKey("info_type_id", "info_type", "id"),
+        ]),
+
+        TableSchema("person_info", [
+            Column("id", _INT, nullable=False),
+            Column("person_id", _INT, nullable=False),
+            Column("info_type_id", _INT, nullable=False),
+            Column("info", _TEXT, searchable=True),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("person_id", "person", "id"),
+            ForeignKey("info_type_id", "info_type", "id"),
+        ]),
+
+        TableSchema("aka_title", [
+            Column("id", _INT, nullable=False),
+            Column("movie_id", _INT, nullable=False),
+            Column("title", _TEXT, nullable=False, searchable=True),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("movie_id", "movie", "id"),
+        ]),
+
+        TableSchema("company", [
+            Column("id", _INT, nullable=False),
+            Column("name", _TEXT, nullable=False, searchable=True),
+            Column("country", _TEXT),
+        ], primary_key="id"),
+
+        TableSchema("movie_company", [
+            Column("id", _INT, nullable=False),
+            Column("movie_id", _INT, nullable=False),
+            Column("company_id", _INT, nullable=False),
+            Column("kind", _TEXT),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("movie_id", "movie", "id"),
+            ForeignKey("company_id", "company", "id"),
+        ]),
+
+        TableSchema("award", [
+            Column("id", _INT, nullable=False),
+            Column("movie_id", _INT),
+            Column("person_id", _INT),
+            Column("name", _TEXT, nullable=False, searchable=True),
+            Column("year", _INT),
+            Column("category", _TEXT, searchable=True),
+            Column("won", _BOOL),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("movie_id", "movie", "id"),
+            ForeignKey("person_id", "person", "id"),
+        ]),
+    ])
+
+
+def simplified_schema() -> Schema:
+    """The paper's Figure 2 schema (person, cast, movie, genre, locations, info)."""
+    return Schema([
+        TableSchema("person", [
+            Column("id", _INT, nullable=False),
+            Column("name", _TEXT, nullable=False, searchable=True),
+            Column("birthdate", _TEXT),
+            Column("gender", _TEXT),
+        ], primary_key="id"),
+
+        TableSchema("movie", [
+            Column("id", _INT, nullable=False),
+            Column("title", _TEXT, nullable=False, searchable=True),
+            Column("releasedate", _TEXT),
+            Column("rating", _FLOAT),
+            Column("genre_id", _INT),
+            Column("locations_id", _INT),
+            Column("info_id", _INT),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("genre_id", "genre", "id"),
+            ForeignKey("locations_id", "locations", "id"),
+            ForeignKey("info_id", "info", "id"),
+        ]),
+
+        TableSchema("cast", [
+            Column("id", _INT, nullable=False),
+            Column("person_id", _INT, nullable=False),
+            Column("movie_id", _INT, nullable=False),
+            Column("role", _TEXT, searchable=True),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("person_id", "person", "id"),
+            ForeignKey("movie_id", "movie", "id"),
+        ]),
+
+        TableSchema("genre", [
+            Column("id", _INT, nullable=False),
+            Column("type", _TEXT, nullable=False, searchable=True),
+        ], primary_key="id"),
+
+        TableSchema("locations", [
+            Column("id", _INT, nullable=False),
+            Column("place", _TEXT, nullable=False, searchable=True),
+            Column("level", _INT),
+        ], primary_key="id"),
+
+        TableSchema("info", [
+            Column("id", _INT, nullable=False),
+            Column("text", _TEXT, searchable=True),
+        ], primary_key="id"),
+    ])

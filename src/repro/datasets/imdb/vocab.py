@@ -1,0 +1,219 @@
+"""Vocabulary for the synthetic IMDb generator.
+
+``CANON_PERSONS`` / ``CANON_MOVIES`` seed the database with the exact
+entities the paper's prose and example queries use (george clooney, star
+wars, tom hanks, julio iglesias, ...) so the paper's queries run verbatim
+against the synthetic data.  Everything else is combinatorial filler drawn
+from the word lists below.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CANON_PERSONS",
+    "CANON_MOVIES",
+    "CANON_CAST",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "TITLE_ADJECTIVES",
+    "TITLE_NOUNS",
+    "TITLE_PATTERNS",
+    "GENRES",
+    "LOCATIONS",
+    "ROLES",
+    "INFO_TYPES",
+    "COMPANY_WORDS",
+    "AWARD_NAMES",
+    "AWARD_CATEGORIES",
+    "CHARACTER_FIRST",
+    "CHARACTER_TITLES",
+    "PLOT_SUBJECTS",
+    "PLOT_VERBS",
+    "PLOT_OBJECTS",
+    "PLOT_TWISTS",
+]
+
+# -- canon: entities named in the paper --------------------------------------
+
+CANON_PERSONS = [
+    # (name, birth_year, gender)
+    ("George Clooney", 1961, "m"),
+    ("Tom Hanks", 1956, "m"),
+    ("Julio Iglesias", 1943, "m"),
+    ("Angelina Jolie", 1975, "f"),
+    ("Harrison Ford", 1942, "m"),
+    ("Carrie Fisher", 1956, "f"),
+    ("Mark Hamill", 1951, "m"),
+    ("Helen Hunt", 1963, "f"),
+    ("Arnold Schwarzenegger", 1947, "m"),
+    ("Michelle Pfeiffer", 1958, "f"),
+]
+
+CANON_MOVIES = [
+    # (title, year, rating, genres)
+    ("Star Wars", 1977, 8.6, ("science fiction", "adventure")),
+    ("Cast Away", 2000, 7.8, ("drama", "adventure")),
+    ("The Terminator", 1984, 8.0, ("science fiction", "action")),
+    ("Tomb Raider", 2001, 5.8, ("action", "adventure")),
+    ("Batman", 1989, 7.5, ("action", "crime")),
+    ("Ocean's Eleven", 2001, 7.7, ("crime", "thriller")),
+    ("Space Transponders", 1999, 6.1, ("science fiction", "comedy")),
+]
+
+# (person, movie, role, character) — enough to answer the paper's examples
+CANON_CAST = [
+    ("Mark Hamill", "Star Wars", "actor", "Luke Skywalker"),
+    ("Harrison Ford", "Star Wars", "actor", "Han Solo"),
+    ("Carrie Fisher", "Star Wars", "actress", "Princess Leia"),
+    ("Tom Hanks", "Cast Away", "actor", "Chuck Noland"),
+    ("Helen Hunt", "Cast Away", "actress", "Kelly Frears"),
+    ("Arnold Schwarzenegger", "The Terminator", "actor", "The Terminator"),
+    ("Angelina Jolie", "Tomb Raider", "actress", "Lara Croft"),
+    ("Michelle Pfeiffer", "Batman", "actress", "Selina Kyle"),
+    ("George Clooney", "Ocean's Eleven", "actor", "Danny Ocean"),
+    ("Julio Iglesias", "Space Transponders", "composer", None),
+    ("George Clooney", "Batman", "actor", "Bruce Wayne"),
+]
+
+# -- filler vocabularies -------------------------------------------------------
+
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Daniel",
+    "Nancy", "Matthew", "Lisa", "Anthony", "Betty", "Mark", "Margaret",
+    "Donald", "Sandra", "Steven", "Ashley", "Paul", "Kimberly", "Andrew",
+    "Emily", "Joshua", "Donna", "Kenneth", "Michelle", "Kevin", "Dorothy",
+    "Brian", "Carol", "Edward", "Amanda", "Ronald", "Melissa", "Timothy",
+    "Deborah", "Jason", "Stephanie", "Jeffrey", "Rebecca", "Ryan", "Sharon",
+    "Jacob", "Laura", "Gary", "Cynthia",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+]
+
+TITLE_ADJECTIVES = [
+    "Silent", "Broken", "Crimson", "Hidden", "Golden", "Midnight", "Savage",
+    "Electric", "Burning", "Frozen", "Shattered", "Iron", "Velvet", "Wild",
+    "Hollow", "Distant", "Forgotten", "Rising", "Falling", "Eternal",
+    "Darkest", "Final", "Lost", "Perfect", "Quiet", "Restless", "Sacred",
+]
+
+TITLE_NOUNS = [
+    "River", "Empire", "Horizon", "Shadow", "Garden", "Harbor", "Winter",
+    "Summer", "Voyage", "Promise", "Kingdom", "Fortune", "Legacy", "Mirror",
+    "Tempest", "Covenant", "Sanctuary", "Labyrinth", "Odyssey", "Paradox",
+    "Reckoning", "Crossing", "Vendetta", "Cascade", "Meridian", "Eclipse",
+    "Serenade", "Requiem", "Frontier", "Citadel", "Monsoon", "Avalanche",
+]
+
+# Patterns: {adj} adjective, {noun}/{noun2} nouns.  Titles are built by
+# filling a pattern; collisions are resolved with roman numeral sequels.
+TITLE_PATTERNS = [
+    "The {noun}",
+    "{adj} {noun}",
+    "The {adj} {noun}",
+    "{noun} of the {noun2}",
+    "Return of the {noun}",
+    "Beyond the {noun}",
+    "{noun} Rising",
+    "The Last {noun}",
+    "A {adj} {noun}",
+    "{noun} and {noun2}",
+]
+
+GENRES = [
+    "action", "adventure", "animation", "comedy", "crime", "documentary",
+    "drama", "family", "fantasy", "film noir", "horror", "musical",
+    "mystery", "romance", "romantic comedy", "science fiction", "thriller",
+    "war", "western",
+]
+
+LOCATIONS = [
+    "Los Angeles, California, USA", "New York City, New York, USA",
+    "London, England, UK", "Paris, France", "Rome, Italy",
+    "Vancouver, British Columbia, Canada", "Toronto, Ontario, Canada",
+    "Sydney, New South Wales, Australia", "Tokyo, Japan", "Berlin, Germany",
+    "Prague, Czech Republic", "Budapest, Hungary", "Dublin, Ireland",
+    "Edinburgh, Scotland, UK", "Barcelona, Spain", "Mexico City, Mexico",
+    "Chicago, Illinois, USA", "San Francisco, California, USA",
+    "Seattle, Washington, USA", "New Orleans, Louisiana, USA",
+    "Atlanta, Georgia, USA", "Tunisia", "Iceland", "Morocco",
+    "Wellington, New Zealand", "Mumbai, India", "Hong Kong, China",
+    "Rio de Janeiro, Brazil", "Vienna, Austria", "Stockholm, Sweden",
+]
+
+ROLES = [
+    "actor", "actress", "director", "producer", "writer", "composer",
+    "cinematographer", "editor",
+]
+
+INFO_TYPES = [
+    "plot", "trivia", "quotes", "soundtrack", "tagline", "box office",
+    "runtime", "biography", "filming dates",
+]
+
+COMPANY_WORDS = [
+    "Pictures", "Studios", "Films", "Entertainment", "Productions", "Media",
+    "Bros", "International", "Features", "Works",
+]
+
+AWARD_NAMES = [
+    "Academy Award", "Golden Globe", "BAFTA Award", "Screen Actors Guild Award",
+    "Critics Choice Award", "Saturn Award",
+]
+
+AWARD_CATEGORIES = [
+    "best picture", "best actor", "best actress", "best director",
+    "best supporting actor", "best supporting actress", "best screenplay",
+    "best original score", "best visual effects", "best cinematography",
+]
+
+CHARACTER_FIRST = [
+    "Jack", "Rose", "Max", "Ella", "Sam", "Grace", "Cole", "Ivy", "Finn",
+    "Nora", "Rex", "Luna", "Ace", "Vera", "Duke", "Sage", "Colt", "Wren",
+]
+
+CHARACTER_TITLES = [
+    "Detective", "Captain", "Doctor", "Professor", "Agent", "Sergeant",
+    "Commander", "Officer",
+]
+
+PLOT_SUBJECTS = [
+    "a retired detective", "a young pilot", "an ambitious journalist",
+    "a brilliant scientist", "two estranged siblings", "a small-town teacher",
+    "an undercover agent", "a struggling musician", "a war veteran",
+    "a rookie cop", "an orphaned heiress", "a disgraced surgeon",
+]
+
+PLOT_VERBS = [
+    "must confront", "races to stop", "uncovers", "is haunted by",
+    "struggles against", "falls for", "teams up with", "betrays",
+    "searches for", "is framed for",
+]
+
+PLOT_OBJECTS = [
+    "a conspiracy reaching the highest levels of government",
+    "a long-buried family secret", "an ancient curse",
+    "a rogue artificial intelligence", "the ghost of a former partner",
+    "a criminal syndicate", "an impossible heist",
+    "a deadly epidemic", "a missing heir", "a forgotten war crime",
+]
+
+PLOT_TWISTS = [
+    "before time runs out", "at a terrible personal cost",
+    "with unexpected help from an old rival", "against all odds",
+    "while hiding a secret of their own", "as the city watches",
+    "in the dead of winter", "under a false identity",
+]

@@ -1,0 +1,24 @@
+"""Synthetic web-search query log (AOL-log stand-in) and its analysis."""
+
+from repro.datasets.querylog.analysis import BenchmarkQuery, LogStatistics, QueryLogAnalyzer
+from repro.datasets.querylog.generator import QueryLogGenerator, generate_query_log
+from repro.datasets.querylog.model import QueryLog
+from repro.datasets.querylog.sessions import (
+    QuerySession,
+    RefinementStatistics,
+    SessionAnalyzer,
+    SessionLogGenerator,
+)
+
+__all__ = [
+    "QueryLog",
+    "QueryLogGenerator",
+    "generate_query_log",
+    "QueryLogAnalyzer",
+    "LogStatistics",
+    "BenchmarkQuery",
+    "QuerySession",
+    "SessionLogGenerator",
+    "SessionAnalyzer",
+    "RefinementStatistics",
+]

@@ -1,0 +1,151 @@
+"""Query-log analysis: the measurements of Sec. 5.2.
+
+Reproduces the paper's pipeline over the (synthetic) base log:
+
+* tokens are replaced by schema types "by looking for the largest possible
+  string overlaps with entities in the database" — our segmenter;
+* queries classify into single-entity / entity-attribute / multi-entity /
+  complex / other;
+* the benchmark workload picks the top-14 typed templates by frequency and
+  samples two queries per template (the paper's 28-query workload).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.search.segmentation import QuerySegmenter, SchemaVocabulary
+from repro.datasets.querylog.model import QueryLog
+from repro.errors import EvaluationError
+from repro.relational.database import Database
+from repro.utils.rng import DeterministicRng
+
+__all__ = ["LogStatistics", "BenchmarkQuery", "QueryLogAnalyzer"]
+
+
+@dataclass(frozen=True)
+class LogStatistics:
+    """The Sec. 5.2 numbers for one log."""
+
+    total_queries: int
+    unique_queries: int
+    movie_related_fraction: float
+    class_fractions: tuple[tuple[str, float], ...]
+
+    def fraction(self, query_class: str) -> float:
+        for name, value in self.class_fractions:
+            if name == query_class:
+                return value
+        return 0.0
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One workload query: raw string + its typed template and class."""
+
+    query: str
+    template: str
+    query_class: str
+    frequency: int
+
+
+class QueryLogAnalyzer:
+    """Segmentation-based analysis of a query log against one database."""
+
+    def __init__(self, database: Database,
+                 vocabulary: SchemaVocabulary | None = None):
+        self.database = database
+        self.segmenter = QuerySegmenter(database, vocabulary)
+
+    # -- classification -------------------------------------------------------------
+
+    def classify(self, query: str) -> str:
+        return self.segmenter.segment(query).query_class()
+
+    def template(self, query: str) -> str:
+        return self.segmenter.segment(query).template()
+
+    def is_movie_related(self, query: str) -> bool:
+        """Whether segmentation finds any database term in the query."""
+        segmented = self.segmenter.segment(query)
+        return bool(segmented.entities()) or bool(segmented.attributes())
+
+    # -- the Sec. 5.2 statistics -------------------------------------------------------
+
+    def statistics(self, log: QueryLog) -> LogStatistics:
+        """Class mix and movie-relatedness over *distinct* queries."""
+        if not len(log):
+            raise EvaluationError("cannot analyze an empty query log")
+        class_counts: Counter = Counter()
+        related = 0
+        for query, _frequency in log:
+            segmented = self.segmenter.segment(query)
+            class_counts[segmented.query_class()] += 1
+            if segmented.entities() or segmented.attributes():
+                related += 1
+        unique = log.unique_queries
+        fractions = tuple(sorted(
+            ((name, count / unique) for name, count in class_counts.items()),
+            key=lambda item: (-item[1], item[0]),
+        ))
+        return LogStatistics(
+            total_queries=log.total_queries,
+            unique_queries=unique,
+            movie_related_fraction=related / unique,
+            class_fractions=fractions,
+        )
+
+    # -- templates and the benchmark workload --------------------------------------------
+
+    def template_frequencies(self, log: QueryLog) -> dict[str, int]:
+        """Typed template -> total query volume."""
+        frequencies: Counter = Counter()
+        for query, frequency in log:
+            frequencies[self.template(query)] += frequency
+        return dict(frequencies)
+
+    def benchmark_workload(self, log: QueryLog, n_templates: int = 14,
+                           per_template: int = 2,
+                           seed: int = 13) -> list[BenchmarkQuery]:
+        """The paper's movie querylog benchmark: top templates x sampled
+        queries (defaults give the 14 x 2 = 28 of Sec. 5.2).
+
+        Pure free-text and navigational templates are excluded — the paper
+        types its benchmark from the movie-related slice.
+        """
+        if n_templates <= 0 or per_template <= 0:
+            raise EvaluationError("need positive template/query counts")
+        rng = DeterministicRng(seed)
+        by_template: dict[str, list[tuple[str, int]]] = {}
+        template_volume: Counter = Counter()
+        for query, frequency in log:
+            segmented = self.segmenter.segment(query)
+            template = segmented.template()
+            if not segmented.entities() and not segmented.attributes():
+                continue  # untyped noise ([freetext], navigational)
+            by_template.setdefault(template, []).append((query, frequency))
+            template_volume[template] += frequency
+
+        workload: list[BenchmarkQuery] = []
+        for template, _volume in sorted(
+            template_volume.items(), key=lambda item: (-item[1], item[0])
+        )[:n_templates]:
+            candidates = sorted(by_template[template])
+            count = min(per_template, len(candidates))
+            picked = rng.weighted_sample(
+                [query for query, _f in candidates],
+                [frequency for _q, frequency in candidates],
+                count,
+            )
+            for query in sorted(picked):
+                frequency = dict(candidates)[query]
+                workload.append(BenchmarkQuery(
+                    query=query,
+                    template=template,
+                    query_class=self.classify(query),
+                    frequency=frequency,
+                ))
+        if not workload:
+            raise EvaluationError("log yielded no typed templates")
+        return workload

@@ -1,0 +1,330 @@
+"""Synthetic query-log generator calibrated to the paper's Sec. 5.2.
+
+The paper reports, for the imdb-bound slice of a real web log:
+
+* 98,549 total / 46,901 unique queries (ratio ≈ 2.1);
+* ~93% of unique queries contain movie-related terms;
+* ≥36% single-entity, 20% entity-attribute, ~2% multi-entity, <2% complex.
+
+The generator draws distinct query strings from a class mix tuned so the
+*analyzer's measured* distribution lands on those targets (e.g. partial
+names also resolve to single-entity), then assigns Zipfian frequencies.
+Entity popularity is vote/cast-count weighted so frequent queries concern
+popular movies and people, as in a real log.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.querylog.model import QueryLog
+from repro.errors import DatasetError
+from repro.relational.database import Database
+from repro.utils.rng import DeterministicRng, zipf_weights
+from repro.utils.text import normalize
+
+__all__ = ["QueryLogGenerator", "generate_query_log"]
+
+
+def generate_query_log(database: Database, unique_queries: int = 2000,
+                       seed: int = 11) -> QueryLog:
+    """Convenience wrapper around :class:`QueryLogGenerator`."""
+    return QueryLogGenerator(database, seed=seed).generate(unique_queries)
+
+
+class QueryLogGenerator:
+    """Deterministic log generator for one database."""
+
+    # Mix of *generated* classes (measured classes differ slightly: partial
+    # entities classify as single-entity, misspellings as free text).
+    CLASS_MIX = (
+        ("single_entity", 0.33),
+        ("partial_entity", 0.04),
+        ("entity_attribute", 0.21),
+        ("multi_entity", 0.02),
+        ("complex", 0.015),
+        ("entity_freetext", 0.115),
+        ("attribute_only", 0.05),
+        ("misspelled", 0.08),
+        ("navigational", 0.04),
+        ("nonmovie", 0.07),
+    )
+
+    MOVIE_ATTRIBUTES = (
+        ("cast", 0.22), ("plot", 0.10), ("soundtrack", 0.06), ("ost", 0.03),
+        ("box office", 0.08), ("awards", 0.07), ("trivia", 0.05),
+        ("quotes", 0.05), ("year", 0.07), ("posters", 0.06),
+        ("locations", 0.05), ("rating", 0.04), ("review", 0.05),
+        ("dvd", 0.04), ("trailer", 0.03),
+    )
+
+    PERSON_ATTRIBUTES = (
+        ("movies", 0.38), ("filmography", 0.08), ("awards", 0.09),
+        ("biography", 0.08), ("photos", 0.09), ("actor", 0.08),
+        ("age", 0.06), ("news", 0.07), ("interview", 0.07),
+    )
+
+    FREE_WORDS = (
+        "review", "gossip", "news", "pictures", "wallpaper", "download",
+        "watch", "online", "dvd", "release", "date", "trailer", "songs",
+        "wiki", "imdb",
+    )
+
+    COMPLEX_QUERIES = (
+        "highest box office revenue",
+        "best comedy movies",
+        "top rated movies",
+        "most awarded actor",
+        "best movies 2000",
+        "highest grossing movie",
+        "top action movies",
+        "best actress oscar",
+    )
+
+    NAVIGATIONAL = ("imdb", "imdb movies", "internet movie database",
+                    "imdb search", "www imdb com")
+
+    NONMOVIE = (
+        "weather forecast", "cheap flights", "pizza near me", "used cars",
+        "stock quotes", "lyrics", "real estate listings", "dictionary",
+        "maps directions", "horoscope today", "recipe chicken",
+        "football scores", "tax forms", "zip codes",
+    )
+
+    def __init__(self, database: Database, seed: int = 11,
+                 total_to_unique_ratio: float = 2.1,
+                 zipf_exponent: float = 0.85,
+                 n_users: int = 650_000):
+        if total_to_unique_ratio < 1.0:
+            raise DatasetError("total/unique ratio must be >= 1")
+        self.database = database
+        self.rng = DeterministicRng(seed)
+        self.ratio = total_to_unique_ratio
+        self.zipf_exponent = zipf_exponent
+        self.n_users = n_users
+        self._movies = self._weighted_movies()
+        self._persons = self._weighted_persons()
+        self._genres = [str(row["name"]) for row in database.table("genre")]
+
+    # -- entity pools ----------------------------------------------------------------
+
+    def _weighted_movies(self) -> tuple[list[str], list[float]]:
+        titles: list[str] = []
+        weights: list[float] = []
+        for row in self.database.table("movie"):
+            titles.append(str(row["title"]))
+            votes = row["votes"] if isinstance(row["votes"], int) else 1
+            weights.append(float(max(1, votes)))
+        if not titles:
+            raise DatasetError("database has no movies to query about")
+        return titles, weights
+
+    def _weighted_persons(self) -> tuple[list[str], list[float]]:
+        counts: dict[int, int] = {}
+        for row in self.database.table("cast"):
+            person_id = row["person_id"]
+            assert isinstance(person_id, int)
+            counts[person_id] = counts.get(person_id, 0) + 1
+        names: list[str] = []
+        weights: list[float] = []
+        for row in self.database.table("person"):
+            person_id = row["id"]
+            assert isinstance(person_id, int)
+            names.append(str(row["name"]))
+            weights.append(1.0 + 3.0 * counts.get(person_id, 0))
+        if not names:
+            raise DatasetError("database has no persons to query about")
+        return names, weights
+
+    # -- generation -------------------------------------------------------------------
+
+    def recommended_unique(self, target_single_fraction: float = 0.36) -> int:
+        """Largest distinct-query count for which the single-entity class
+        can still reach ``target_single_fraction`` of the log (the entity
+        name space is the binding constraint at small database scales)."""
+        n_entities = len(self._movies[0]) + len(self._persons[0])
+        return max(50, int(n_entities / target_single_fraction))
+
+    def generate(self, unique_queries: int = 2000) -> QueryLog:
+        if unique_queries <= 0:
+            raise DatasetError("need a positive number of unique queries")
+        rng = self.rng.fork("queries")
+
+        # Per-class quotas (largest-remainder rounding to hit the total).
+        quotas = self._quotas(unique_queries)
+        queries: dict[str, str] = {}  # normalized query -> class
+
+        # Identity classes first, sampled without replacement so small
+        # databases fill their quota instead of colliding away.
+        self._fill_singles(queries, quotas.pop("single_entity"), rng)
+        self._fill_partials(queries, quotas.pop("partial_entity"), rng)
+
+        # Combinatorial classes by rejection, with a spill-over order so the
+        # total is exact even when a class's space is exhausted.
+        deficit = 0
+        for query_class, quota in quotas.items():
+            produced = self._fill_by_rejection(queries, query_class, quota, rng)
+            deficit += quota - produced
+        deficit += unique_queries - len(queries) - deficit  # identity shortfall
+        if deficit > 0:
+            spilled = self._fill_by_rejection(queries, "entity_freetext",
+                                              deficit, rng)
+            if spilled < deficit:
+                raise DatasetError(
+                    "could not generate enough distinct queries; "
+                    "increase database scale or lower unique_queries"
+                )
+
+        entries = self._assign_frequencies(queries, unique_queries, rng)
+        return QueryLog(entries=tuple(entries), n_users=self.n_users,
+                        name=f"synth-log-{len(entries)}")
+
+    def _quotas(self, unique_queries: int) -> dict[str, int]:
+        raw = [(name, weight * unique_queries) for name, weight in self.CLASS_MIX]
+        quotas = {name: int(value) for name, value in raw}
+        remainder = unique_queries - sum(quotas.values())
+        by_fraction = sorted(raw, key=lambda item: -(item[1] - int(item[1])))
+        for name, _value in by_fraction[:remainder]:
+            quotas[name] += 1
+        return quotas
+
+    def _fill_singles(self, queries: dict[str, str], quota: int,
+                      rng: DeterministicRng) -> None:
+        titles, title_weights = self._movies
+        names, name_weights = self._persons
+        pool = list(titles) + list(names)
+        weights = list(title_weights) + list(name_weights)
+        k = min(quota, len(pool))
+        for entity in rng.weighted_sample(pool, weights, k):
+            queries.setdefault(normalize(entity), "single_entity")
+
+    def _fill_partials(self, queries: dict[str, str], quota: int,
+                       rng: DeterministicRng) -> None:
+        produced = 0
+        for _attempt in range(quota * 30):
+            if produced >= quota:
+                break
+            query = normalize(self._partial_entity(rng))
+            if query and query not in queries:
+                queries[query] = "partial_entity"
+                produced += 1
+
+    def _fill_by_rejection(self, queries: dict[str, str], query_class: str,
+                           quota: int, rng: DeterministicRng) -> int:
+        produced = 0
+        for _attempt in range(max(1, quota) * 40):
+            if produced >= quota:
+                break
+            query = normalize(self._generate_one(query_class, rng))
+            if query and query not in queries:
+                queries[query] = query_class
+                produced += 1
+        return produced
+
+    def _assign_frequencies(self, queries: dict[str, str], unique_queries: int,
+                            rng: DeterministicRng) -> list[tuple[str, int]]:
+        """Zipf frequencies, popularity-first: the head of the distribution
+        is single-entity and entity-attribute queries about popular things,
+        as in a real log; the tail is noise."""
+        prior_by_class = {
+            "single_entity": 3.0,
+            "entity_attribute": 2.0,
+            "partial_entity": 1.2,
+            "navigational": 2.5,
+            "multi_entity": 0.8,
+            "entity_freetext": 0.7,
+            "attribute_only": 0.9,
+            "complex": 0.6,
+            "misspelled": 0.3,
+            "nonmovie": 0.4,
+        }
+        scored = []
+        for query, query_class in queries.items():
+            prior = prior_by_class.get(query_class, 0.5)
+            scored.append((prior * rng.uniform(0.5, 1.5), query))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+
+        weights = zipf_weights(len(scored), self.zipf_exponent)
+        total_target = int(round(unique_queries * self.ratio))
+        extra = max(0, total_target - len(scored))
+        entries = []
+        for (_prior, query), weight in zip(scored, weights):
+            entries.append((query, 1 + int(round(weight * extra))))
+        return entries
+
+    # -- per-class builders ------------------------------------------------------------
+
+    def _generate_one(self, query_class: str, rng: DeterministicRng) -> str:
+        if query_class == "single_entity":
+            return self._entity(rng)
+        if query_class == "partial_entity":
+            return self._partial_entity(rng)
+        if query_class == "entity_attribute":
+            return self._entity_attribute(rng)
+        if query_class == "multi_entity":
+            return self._multi_entity(rng)
+        if query_class == "complex":
+            return rng.choice(self.COMPLEX_QUERIES)
+        if query_class == "entity_freetext":
+            return f"{self._entity(rng)} {rng.choice(self.FREE_WORDS)}"
+        if query_class == "attribute_only":
+            genre = rng.choice(self._genres) if self._genres else "drama"
+            return rng.choice([f"{genre} movies", "new movies", "movie reviews",
+                               f"{genre} films"])
+        if query_class == "misspelled":
+            return self._misspell(self._entity(rng), rng)
+        if query_class == "navigational":
+            return rng.choice(self.NAVIGATIONAL)
+        if query_class == "nonmovie":
+            return rng.choice(self.NONMOVIE)
+        raise DatasetError(f"unknown query class {query_class!r}")
+
+    def _entity(self, rng: DeterministicRng) -> str:
+        if rng.coin(0.55):
+            titles, weights = self._movies
+            return rng.weighted_choice(titles, weights)
+        names, weights = self._persons
+        return rng.weighted_choice(names, weights)
+
+    def _partial_entity(self, rng: DeterministicRng) -> str:
+        entity = self._entity(rng)
+        tokens = normalize(entity).split()
+        content = [token for token in tokens if len(token) >= 3]
+        if not content:
+            return entity
+        return content[-1]  # last name / head noun
+
+    def _entity_attribute(self, rng: DeterministicRng) -> str:
+        if rng.coin(0.6):
+            titles, weights = self._movies
+            entity = rng.weighted_choice(titles, weights)
+            attrs = self.MOVIE_ATTRIBUTES
+        else:
+            names, weights = self._persons
+            entity = rng.weighted_choice(names, weights)
+            attrs = self.PERSON_ATTRIBUTES
+        attribute = rng.weighted_choice(
+            [a for a, _w in attrs], [w for _a, w in attrs]
+        )
+        return f"{entity} {attribute}"
+
+    def _multi_entity(self, rng: DeterministicRng) -> str:
+        names, person_weights = self._persons
+        titles, movie_weights = self._movies
+        person = rng.weighted_choice(names, person_weights)
+        title = rng.weighted_choice(titles, movie_weights)
+        return f"{person} {title}"
+
+    @staticmethod
+    def _misspell(text: str, rng: DeterministicRng) -> str:
+        letters = list(text)
+        positions = [i for i, ch in enumerate(letters) if ch.isalpha()]
+        if not positions:
+            return text
+        index = rng.choice(positions)
+        action = rng.choice(["drop", "double", "swap"])
+        if action == "drop":
+            del letters[index]
+        elif action == "double":
+            letters.insert(index, letters[index])
+        elif index + 1 < len(letters):
+            letters[index], letters[index + 1] = letters[index + 1], letters[index]
+        return "".join(letters)

@@ -1,0 +1,56 @@
+"""Query-log container.
+
+The paper's base log is "all query strings ... aggregated to combine all
+identities into a single anonymous crowd", keeping only queries that led to
+an imdb.com navigation — i.e. a frequency-annotated bag of distinct query
+strings.  That is exactly what :class:`QueryLog` stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryLog"]
+
+
+@dataclass(frozen=True)
+class QueryLog:
+    """An aggregated query log: distinct queries with their frequencies."""
+
+    entries: tuple[tuple[str, int], ...]
+    n_users: int = 0
+    name: str = "querylog"
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for query, frequency in self.entries:
+            if frequency <= 0:
+                raise ValueError(
+                    f"query {query!r} has non-positive frequency {frequency}"
+                )
+            if query in seen:
+                raise ValueError(f"duplicate query string {query!r} in log")
+            seen.add(query)
+
+    @property
+    def total_queries(self) -> int:
+        """Total query volume (sum of frequencies)."""
+        return sum(frequency for _query, frequency in self.entries)
+
+    @property
+    def unique_queries(self) -> int:
+        return len(self.entries)
+
+    def top(self, n: int) -> list[tuple[str, int]]:
+        """The n most frequent queries (ties by string for determinism)."""
+        ranked = sorted(self.entries, key=lambda entry: (-entry[1], entry[0]))
+        return ranked[:n]
+
+    def as_list(self) -> list[tuple[str, int]]:
+        return list(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,204 @@
+"""Session-structured query log: users refining their queries.
+
+The paper grounds its underspecification claim in "prior work in the area
+of search query log analysis [19, 29]" (Lau & Horvitz on refinement
+patterns; Song et al. on ambiguous queries).  This module supplies the
+session-level view that aggregate (query, frequency) logs lose:
+
+* :class:`SessionLogGenerator` produces user sessions where a share of
+  users start underspecified (a bare entity) and then *specialize* — add
+  an attribute word — or *reformulate* — fix a misspelling;
+* :class:`SessionAnalyzer` measures the refinement statistics the rollup
+  derivation's premise rests on, and distills per-anchor specialization
+  weights — the empirical counterpart of Sec. 4.2's "the qunit definition
+  for an under-specified query is an aggregation of the qunit definitions
+  of its specializations".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.search.segmentation import QuerySegmenter, SchemaVocabulary
+from repro.datasets.querylog.generator import QueryLogGenerator
+from repro.datasets.querylog.model import QueryLog
+from repro.errors import DatasetError
+from repro.relational.database import Database
+from repro.utils.rng import DeterministicRng
+from repro.utils.text import normalize
+
+__all__ = ["QuerySession", "SessionLogGenerator", "SessionAnalyzer",
+           "RefinementStatistics"]
+
+
+@dataclass(frozen=True)
+class QuerySession:
+    """One user's consecutive queries."""
+
+    user_id: int
+    queries: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise DatasetError("a session needs at least one query")
+
+    @property
+    def is_multi_query(self) -> bool:
+        return len(self.queries) > 1
+
+
+@dataclass(frozen=True)
+class RefinementStatistics:
+    """Session-level measurements."""
+
+    n_sessions: int
+    multi_query_fraction: float
+    refinement_fraction: float       # of multi-query sessions
+    started_underspecified_fraction: float  # of refining sessions
+    specializations: tuple[tuple[str, int], ...]  # attribute -> count
+
+    def top_specializations(self, n: int = 5) -> list[tuple[str, int]]:
+        return list(self.specializations[:n])
+
+
+class SessionLogGenerator:
+    """Generates user sessions on top of the aggregate log machinery."""
+
+    SESSION_MIX = (
+        ("single", 0.60),        # one query, done
+        ("specialize", 0.25),    # bare entity -> entity + attribute(s)
+        ("reformulate", 0.15),   # misspelled -> corrected
+    )
+
+    def __init__(self, database: Database, seed: int = 17):
+        self.database = database
+        self.rng = DeterministicRng(seed)
+        # Reuse the aggregate generator's entity pools and attribute mixes.
+        self._base = QueryLogGenerator(database, seed=seed)
+
+    def generate(self, n_sessions: int = 500) -> list[QuerySession]:
+        if n_sessions <= 0:
+            raise DatasetError("need a positive session count")
+        rng = self.rng.fork("sessions")
+        kinds = [kind for kind, _weight in self.SESSION_MIX]
+        weights = [weight for _kind, weight in self.SESSION_MIX]
+        sessions = []
+        for user_id in range(1, n_sessions + 1):
+            kind = rng.weighted_choice(kinds, weights)
+            sessions.append(QuerySession(
+                user_id=user_id,
+                queries=tuple(self._queries_for(kind, rng)),
+            ))
+        return sessions
+
+    def _queries_for(self, kind: str, rng: DeterministicRng) -> list[str]:
+        if kind == "single":
+            return [normalize(self._base._generate_one(
+                rng.choice(["single_entity", "entity_attribute",
+                            "entity_freetext"]), rng))]
+        if kind == "specialize":
+            entity = self._base._entity(rng)
+            queries = [normalize(entity)]
+            if any(entity == title for title in self._base._movies[0]):
+                attrs = self._base.MOVIE_ATTRIBUTES
+            else:
+                attrs = self._base.PERSON_ATTRIBUTES
+            steps = 1 + int(rng.coin(0.3))
+            chosen = rng.weighted_sample([a for a, _w in attrs],
+                                         [w for _a, w in attrs],
+                                         min(steps, len(attrs)))
+            for attribute in chosen:
+                queries.append(normalize(f"{entity} {attribute}"))
+            return queries
+        # reformulate
+        entity = self._base._entity(rng)
+        return [normalize(self._base._misspell(entity, rng)),
+                normalize(entity)]
+
+    def as_query_log(self, sessions: list[QuerySession]) -> QueryLog:
+        """Flatten sessions into the aggregate (query, frequency) form."""
+        counts: Counter = Counter()
+        for session in sessions:
+            counts.update(session.queries)
+        entries = tuple(sorted(counts.items()))
+        return QueryLog(entries=entries, n_users=len(sessions),
+                        name=f"session-log-{len(sessions)}")
+
+
+class SessionAnalyzer:
+    """Measures refinement behavior against one database."""
+
+    def __init__(self, database: Database,
+                 vocabulary: SchemaVocabulary | None = None):
+        self.database = database
+        self.segmenter = QuerySegmenter(database, vocabulary)
+
+    def statistics(self, sessions: list[QuerySession]) -> RefinementStatistics:
+        if not sessions:
+            raise DatasetError("cannot analyze zero sessions")
+        multi = [s for s in sessions if s.is_multi_query]
+        refining = 0
+        started_under = 0
+        specializations: Counter = Counter()
+        for session in multi:
+            segmented = [self.segmenter.segment(q) for q in session.queries]
+            refined = False
+            for earlier, later in zip(segmented, segmented[1:]):
+                if self._is_specialization(earlier, later):
+                    refined = True
+                    for segment in later.attributes():
+                        ref = segment.attribute
+                        if ref is not None:
+                            specializations[ref.name] += 1
+            if refined:
+                refining += 1
+                if segmented[0].is_underspecified:
+                    started_under += 1
+        return RefinementStatistics(
+            n_sessions=len(sessions),
+            multi_query_fraction=len(multi) / len(sessions),
+            refinement_fraction=refining / len(multi) if multi else 0.0,
+            started_underspecified_fraction=(
+                started_under / refining if refining else 0.0
+            ),
+            specializations=tuple(specializations.most_common()),
+        )
+
+    def _is_specialization(self, earlier, later) -> bool:
+        """Later query keeps the entity and adds schema signals."""
+        earlier_entities = {
+            (segment.table, normalize(str(segment.value)))
+            for segment in earlier.instance_entities()
+        }
+        later_entities = {
+            (segment.table, normalize(str(segment.value)))
+            for segment in later.instance_entities()
+        }
+        if not earlier_entities or not (earlier_entities & later_entities):
+            return False
+        earlier_signals = len(earlier.attributes()) + len(earlier.dimension_entities())
+        later_signals = len(later.attributes()) + len(later.dimension_entities())
+        return later_signals > earlier_signals
+
+    def rollup_weights(self, sessions: list[QuerySession],
+                       ) -> dict[str, Counter]:
+        """Per-anchor-table specialization weights — empirical support for
+        the Sec. 4.2 rollup ordering ("movie.name and cast.role, in that
+        order")."""
+        weights: dict[str, Counter] = {}
+        for session in sessions:
+            if not session.is_multi_query:
+                continue
+            segmented = [self.segmenter.segment(q) for q in session.queries]
+            for earlier, later in zip(segmented, segmented[1:]):
+                if not self._is_specialization(earlier, later):
+                    continue
+                for entity in later.instance_entities():
+                    assert entity.table is not None
+                    counter = weights.setdefault(entity.table, Counter())
+                    for segment in later.attributes():
+                        ref = segment.attribute
+                        if ref is not None and ref.table is not None:
+                            counter[ref.name] += 1
+        return weights

@@ -1,0 +1,134 @@
+"""Exception hierarchy for the qunits reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subsystems raise
+the most specific subclass that applies; constructors accept a human-readable
+message plus optional structured context kept on the instance for
+programmatic inspection.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "UnknownTableError",
+    "UnknownColumnError",
+    "IntegrityError",
+    "TypeMismatchError",
+    "QueryError",
+    "SqlSyntaxError",
+    "PlanError",
+    "BindError",
+    "IndexError_",
+    "TemplateError",
+    "DerivationError",
+    "SegmentationError",
+    "EvaluationError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Relational engine
+# ---------------------------------------------------------------------------
+
+class SchemaError(ReproError):
+    """A schema definition is invalid or violated."""
+
+
+class UnknownTableError(SchemaError):
+    """A referenced table does not exist in the schema."""
+
+    def __init__(self, table: str, known: tuple[str, ...] = ()):
+        self.table = table
+        self.known = known
+        hint = f" (known tables: {', '.join(sorted(known))})" if known else ""
+        super().__init__(f"unknown table {table!r}{hint}")
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist on its table."""
+
+    def __init__(self, table: str, column: str, known: tuple[str, ...] = ()):
+        self.table = table
+        self.column = column
+        self.known = known
+        hint = f" (known columns: {', '.join(sorted(known))})" if known else ""
+        super().__init__(f"unknown column {table}.{column}{hint}")
+
+
+class IntegrityError(ReproError):
+    """A primary-key or foreign-key constraint was violated."""
+
+
+class TypeMismatchError(ReproError):
+    """A value does not conform to its column's declared type."""
+
+    def __init__(self, column: str, expected: str, value: object):
+        self.column = column
+        self.expected = expected
+        self.value = value
+        super().__init__(
+            f"column {column!r} expects {expected}, got {type(value).__name__}: {value!r}"
+        )
+
+
+class QueryError(ReproError):
+    """A query could not be evaluated."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            snippet = text[max(0, position - 20):position + 20]
+            message = f"{message} at position {position}: ...{snippet!r}..."
+        super().__init__(message)
+
+
+class PlanError(QueryError):
+    """A logical plan is malformed or cannot be executed."""
+
+
+class BindError(QueryError):
+    """A query parameter was missing or superfluous at bind time."""
+
+
+class IndexError_(ReproError):
+    """An index was used inconsistently with its definition."""
+
+
+# ---------------------------------------------------------------------------
+# Qunit core
+# ---------------------------------------------------------------------------
+
+class TemplateError(ReproError):
+    """A conversion-expression template is malformed or cannot be rendered."""
+
+
+class DerivationError(ReproError):
+    """A qunit derivation strategy could not produce definitions."""
+
+
+class SegmentationError(ReproError):
+    """A keyword query could not be segmented."""
+
+
+# ---------------------------------------------------------------------------
+# Evaluation / datasets
+# ---------------------------------------------------------------------------
+
+class EvaluationError(ReproError):
+    """The evaluation harness was misconfigured or produced no data."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset could not be generated or loaded."""

@@ -1,0 +1,27 @@
+"""Evaluation harness reproducing Sec. 5 of the paper.
+
+* :mod:`repro.eval.needs` — the information-need model: what a query type
+  *means*, with the many-to-many need↔query mapping of Table 1;
+* :mod:`repro.eval.relevance` — simulated raters on the Table 2 scale
+  (0 / 0.5 / 1.0), the Mechanical-Turk stand-in;
+* :mod:`repro.eval.userstudy` — the five-user study behind Table 1;
+* :mod:`repro.eval.harness` — the Figure 3 result-quality experiment
+  comparing qunit engines against BANKS / LCA / MLCA;
+* :mod:`repro.eval.figures` — ASCII renderings of every table and figure.
+"""
+
+from repro.eval.harness import ResultQualityExperiment, ResultQualityReport
+from repro.eval.needs import InformationNeed, NeedModel
+from repro.eval.relevance import Rating, SimulatedRater, SimulatedRaterPool
+from repro.eval.userstudy import UserStudySimulator
+
+__all__ = [
+    "InformationNeed",
+    "NeedModel",
+    "Rating",
+    "SimulatedRater",
+    "SimulatedRaterPool",
+    "UserStudySimulator",
+    "ResultQualityExperiment",
+    "ResultQualityReport",
+]

@@ -1,0 +1,80 @@
+"""ASCII renderings of every reproduced table and figure.
+
+Benchmarks call these so each `pytest benchmarks/` run prints the artifacts
+next to their paper targets.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.querylog.analysis import LogStatistics
+from repro.eval.relevance import SCALE
+from repro.eval.userstudy import PAPER_SUMMARY, UserStudyResult
+from repro.utils.tables import ascii_table, format_float
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_sec52_statistics",
+    "PAPER_SEC52_TARGETS",
+]
+
+#: The in-text numbers of Sec. 5.2 (measured over distinct queries).
+PAPER_SEC52_TARGETS = {
+    "total_queries": 98_549,
+    "unique_queries": 46_901,
+    "movie_related_fraction": 0.93,
+    "single_entity": 0.36,       # "at least 36%"
+    "entity_attribute": 0.20,
+    "multi_entity": 0.02,        # "approximately 2%"
+    "complex": 0.02,             # "less than 2%"
+}
+
+
+def render_table1(result: UserStudyResult) -> str:
+    """The simulated Table 1 plus the aggregate comparison with the paper."""
+    matrix = result.render()
+    singles = result.single_entity_queries()
+    under = result.underspecified_single_entity()
+    summary = ascii_table(
+        ("aggregate", "paper", "simulated"),
+        [
+            ("total queries", PAPER_SUMMARY["total_queries"], result.total_queries),
+            ("single-entity queries", PAPER_SUMMARY["single_entity_queries"],
+             len(singles)),
+            ("underspecified single-entity",
+             PAPER_SUMMARY["underspecified_single_entity"], len(under)),
+            ("need<->query mapping", "many-to-many",
+             "many-to-many" if result.is_many_to_many() else "NOT many-to-many"),
+        ],
+        title="Table 1 aggregates: paper vs simulation",
+    )
+    return f"{matrix}\n\n{summary}"
+
+
+def render_table2() -> str:
+    """Table 2: the survey options (reproduced verbatim by the rater model)."""
+    rows = [(format_float(score, 1), label) for score, label in SCALE]
+    return ascii_table(("score", "rating"), rows, title="Table 2: Survey Options")
+
+
+def render_sec52_statistics(stats: LogStatistics) -> str:
+    """Side-by-side: paper's Sec. 5.2 numbers vs the synthetic log."""
+    rows = [
+        ("total queries", PAPER_SEC52_TARGETS["total_queries"],
+         stats.total_queries),
+        ("unique queries", PAPER_SEC52_TARGETS["unique_queries"],
+         stats.unique_queries),
+        ("movie-related (unique)",
+         f"~{PAPER_SEC52_TARGETS['movie_related_fraction']:.0%}",
+         f"{stats.movie_related_fraction:.1%}"),
+        ("single entity", f">={PAPER_SEC52_TARGETS['single_entity']:.0%}",
+         f"{stats.fraction('single_entity'):.1%}"),
+        ("entity attribute", f"{PAPER_SEC52_TARGETS['entity_attribute']:.0%}",
+         f"{stats.fraction('entity_attribute'):.1%}"),
+        ("multi entity", f"~{PAPER_SEC52_TARGETS['multi_entity']:.0%}",
+         f"{stats.fraction('multi_entity'):.1%}"),
+        ("complex / aggregate", f"<{PAPER_SEC52_TARGETS['complex']:.0%}",
+         f"{stats.fraction('complex'):.1%}"),
+    ]
+    return ascii_table(("statistic", "paper", "synthetic log"), rows,
+                       title="Sec. 5.2: query-log statistics")

@@ -1,0 +1,203 @@
+"""Information needs: what a keyword query is actually asking for.
+
+Table 1 of the paper establishes that the need↔query mapping is
+many-to-many: "[title]" alone may mean the movie summary, its cast, related
+movies or its soundtrack, depending on the user.  The :class:`NeedModel`
+encodes that mapping: every typed template carries a *distribution* over
+information needs, and each simulated rater samples their personal intent
+from it.  A need's gold standard is the corresponding expert qunit
+instance — the same role imdb.com's pages played for the paper's raters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.answer import Atom
+from repro.core.collection import QunitCollection
+from repro.core.search.segmentation import SegmentedQuery
+from repro.errors import EvaluationError
+from repro.utils.rng import DeterministicRng
+
+__all__ = ["InformationNeed", "NeedModel"]
+
+
+@dataclass(frozen=True)
+class InformationNeed:
+    """One information need, answered by one expert qunit definition.
+
+    ``gold_definition`` None marks needs the database cannot answer
+    (posters, recommendations) — present in real logs, scored 0 for every
+    system, exactly like the paper's "don't know" column.
+    """
+
+    name: str
+    gold_definition: str | None
+    description: str = ""
+
+
+# The catalogue of needs (rows of Table 1, mapped onto the expert set).
+NEEDS: dict[str, InformationNeed] = {
+    need.name: need
+    for need in [
+        InformationNeed("movie_summary", "movie_main_page",
+                        "the summary page of a movie"),
+        InformationNeed("cast", "movie_full_credits", "the cast of a movie"),
+        InformationNeed("filmography", "person_filmography",
+                        "all movies of a person"),
+        InformationNeed("person_profile", "person_main_page",
+                        "who a person is and what they did"),
+        InformationNeed("coactorship", "coactors",
+                        "finding connections between two actors"),
+        InformationNeed("posters", None, "posters of a movie (not in schema)"),
+        InformationNeed("related_movies", None,
+                        "movies similar to this one (not in schema)"),
+        InformationNeed("awards", "movie_awards", "awards of a movie"),
+        InformationNeed("person_awards", "person_awards", "awards of a person"),
+        InformationNeed("movies_of_period", "movies_by_year",
+                        "movies from a period"),
+        InformationNeed("charts", "top_charts", "top/chart listings"),
+        InformationNeed("recommendations", None,
+                        "personalized recommendations (not in schema)"),
+        InformationNeed("soundtracks", "movie_soundtrack",
+                        "the soundtrack of a movie"),
+        InformationNeed("trivia", "movie_trivia", "trivia about a movie"),
+        InformationNeed("box_office", "movie_box_office",
+                        "box-office numbers of a movie"),
+        InformationNeed("plot", "movie_plot", "the plot of a movie"),
+        InformationNeed("movie_year", "movie_main_page",
+                        "when a movie was released"),
+        InformationNeed("genre_listing", "genre_movies", "movies of a genre"),
+        InformationNeed("biography", "person_biography",
+                        "the biography of a person"),
+        InformationNeed("locations", "movie_locations",
+                        "where a movie was filmed"),
+    ]
+}
+
+
+# Template → need distribution.  Weights follow Table 1's vote counts where
+# the paper gives them (e.g. the "[title]" column: summary 2, cast 1,
+# related 1, soundtrack 1 of 5 users) and sensible defaults elsewhere.
+_TEMPLATE_NEEDS: list[tuple[tuple[str, ...], list[tuple[str, float]]]] = [
+    (("[movie.title]",), [
+        ("movie_summary", 0.40), ("cast", 0.20), ("related_movies", 0.20),
+        ("soundtracks", 0.20),
+    ]),
+    (("[person.name]",), [
+        ("filmography", 0.40), ("person_profile", 0.35), ("coactorship", 0.25),
+    ]),
+    (("[movie.title]", "cast"), [("cast", 1.0)]),
+    (("[movie.title]", "plot"), [("plot", 1.0)]),
+    (("[movie.title]", "soundtrack"), [("soundtracks", 1.0)]),
+    (("[movie.title]", "box office"), [("box_office", 1.0)]),
+    (("[movie.title]", "award"), [("awards", 1.0)]),
+    (("[movie.title]", "trivia"), [("trivia", 1.0)]),
+    (("[movie.title]", "quotes"), [("trivia", 1.0)]),
+    (("[movie.title]", "location"), [("locations", 1.0)]),
+    (("[movie.title]", "movie.release_year"), [("movie_year", 1.0)]),
+    (("[movie.title]", "movie.rating"), [("movie_summary", 1.0)]),
+    (("[movie.title]", "posters"), [("posters", 1.0)]),
+    (("[movie.title]", "recommendations"), [("recommendations", 1.0)]),
+    (("[person.name]", "movie"), [("filmography", 1.0)]),
+    (("[person.name]", "filmography"), [("filmography", 1.0)]),
+    (("[person.name]", "award"), [("person_awards", 1.0)]),
+    (("[person.name]", "biography"), [("biography", 1.0)]),
+    (("[person.name]", "cast"), [("coactorship", 0.6), ("filmography", 0.4)]),
+    (("[person.name]", "[role_type.role]"), [
+        ("person_profile", 0.7), ("filmography", 0.3),
+    ]),
+    (("[person.name]", "[movie.title]"), [
+        ("movie_summary", 0.5), ("cast", 0.5),
+    ]),
+    (("[person.name]", "[genre.name]"), [("filmography", 1.0)]),
+    (("[genre.name]", "movie"), [("genre_listing", 1.0)]),
+    (("[genre.name]",), [("genre_listing", 1.0)]),
+    (("[movie.release_year]",), [("movies_of_period", 1.0)]),
+    (("movie", "[movie.release_year]"), [("movies_of_period", 1.0)]),
+]
+
+
+class NeedModel:
+    """Maps typed queries to need distributions and gold-standard content."""
+
+    def __init__(self, expert_collection: QunitCollection):
+        self.collection = expert_collection
+
+    # -- need distributions ----------------------------------------------------------
+
+    def distribution(self, segmented: SegmentedQuery) -> list[tuple[InformationNeed, float]]:
+        """The need distribution of one segmented query.
+
+        Matching ignores free-text segments and segment order; complex
+        (aggregate) queries map to charts; unmatched shapes fall back to
+        the bare-entity distributions.
+        """
+        if any(segment.is_aggregate for segment in segmented.segments):
+            return [(NEEDS["charts"], 1.0)]
+        parts = frozenset(
+            segment.placeholder() for segment in segmented.segments
+            if segment.placeholder() != "[freetext]"
+        )
+        for template_parts, weighted in _TEMPLATE_NEEDS:
+            if frozenset(template_parts) == parts:
+                return [(NEEDS[name], weight) for name, weight in weighted]
+        # Fall back on the dominant entity's bare-entity distribution.
+        if "[movie.title]" in parts:
+            return self.distribution_for_parts(("[movie.title]",))
+        if "[person.name]" in parts:
+            return self.distribution_for_parts(("[person.name]",))
+        if "[genre.name]" in parts:
+            return self.distribution_for_parts(("[genre.name]",))
+        return []
+
+    @staticmethod
+    def distribution_for_parts(parts: tuple[str, ...]) -> list[tuple[InformationNeed, float]]:
+        for template_parts, weighted in _TEMPLATE_NEEDS:
+            if frozenset(template_parts) == frozenset(parts):
+                return [(NEEDS[name], weight) for name, weight in weighted]
+        raise EvaluationError(f"no need distribution for {parts!r}")
+
+    def sample_need(self, segmented: SegmentedQuery,
+                    rng: DeterministicRng) -> InformationNeed | None:
+        distribution = self.distribution(segmented)
+        if not distribution:
+            return None
+        needs = [need for need, _weight in distribution]
+        weights = [weight for _need, weight in distribution]
+        return rng.weighted_choice(needs, weights)
+
+    # -- gold standards ---------------------------------------------------------------
+
+    def gold_atoms(self, need: InformationNeed,
+                   segmented: SegmentedQuery) -> frozenset[Atom] | None:
+        """Content atoms of the need's gold qunit instance for this query.
+
+        None when the need is unanswerable, the definition's parameter
+        cannot be bound from the query, or the gold instance is empty
+        (the database has no data for it).
+        """
+        if need.gold_definition is None:
+            return None
+        definition = self.collection.definition(need.gold_definition)
+        params: dict[str, object] = {}
+        for binder in definition.binders:
+            bound = False
+            for segment in segmented.entities():
+                if segment.table == binder.table and segment.column == binder.column:
+                    params[binder.param] = segment.value
+                    bound = True
+                    break
+            if not bound:
+                return None
+        instance = self.collection.materialize(need.gold_definition, params)
+        if instance.is_empty:
+            return None
+        return instance.atoms()
+
+    def answerable(self, segmented: SegmentedQuery) -> bool:
+        """Whether at least one need of this query has a non-empty gold."""
+        for need, _weight in self.distribution(segmented):
+            if self.gold_atoms(need, segmented) is not None:
+                return True
+        return False

@@ -1,0 +1,141 @@
+"""Simulated relevance raters on the paper's Table 2 scale.
+
+The paper sourced 20 Mechanical Turk users who rated each answer:
+
+====== =============================================
+score  rating
+====== =============================================
+0      provides incorrect information
+0      provides no information above the query
+0.5    provides correct, but incomplete information
+0.5    provides correct, but excessive information
+1.0    provides correct information
+====== =============================================
+
+Our raters measure an answer's content against the gold standard of the
+rater's sampled information need:
+
+* **recall** of gold atoms decides correct vs incomplete vs incorrect;
+* **precision** decides excessive (right content buried in junk);
+* an answer whose content adds nothing beyond the query string itself is
+  "no information above the query";
+* per-rater threshold jitter reproduces human disagreement (the paper saw
+  ≥80% majorities on only about a third of the questions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.answer import Answer, Atom
+from repro.ir.metrics import majority_agreement, mean
+from repro.utils.rng import DeterministicRng
+
+__all__ = ["Rating", "SimulatedRater", "SimulatedRaterPool", "SCALE"]
+
+# The Table 2 scale: (score, label).
+SCALE: tuple[tuple[float, str], ...] = (
+    (0.0, "provides incorrect information"),
+    (0.0, "provides no information above the query"),
+    (0.5, "provides correct, but incomplete information"),
+    (0.5, "provides correct, but excessive information"),
+    (1.0, "provides correct information"),
+)
+
+
+@dataclass(frozen=True)
+class Rating:
+    """One rater's judgment of one answer."""
+
+    score: float
+    label: str
+
+    def __post_init__(self) -> None:
+        if (self.score, self.label) not in SCALE:
+            raise ValueError(f"rating {self.score}/{self.label!r} is not on the scale")
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return max(low, min(high, value))
+
+
+class SimulatedRater:
+    """One rater with personal leniency thresholds."""
+
+    def __init__(self, rng: DeterministicRng):
+        # Personal thresholds, jittered around the population means.  The
+        # spreads are tuned so the panel reproduces the paper's agreement
+        # regime (roughly a third of questions reach an 80%+ majority).
+        self.recall_correct = _clamp(rng.gauss(0.70, 0.13), 0.45, 0.95)
+        self.recall_partial = _clamp(rng.gauss(0.25, 0.10), 0.05, 0.50)
+        self.precision_floor = _clamp(rng.gauss(0.20, 0.10), 0.03, 0.50)
+        # Occasional attention slip: the rater misreads one grade step.
+        self._rng = rng
+        self.slip_probability = _clamp(rng.gauss(0.08, 0.03), 0.0, 0.20)
+
+    def rate(self, answer: Answer, gold: frozenset[Atom] | None,
+             query_atoms: frozenset[Atom] = frozenset()) -> Rating:
+        """Judge one answer against one gold standard."""
+        rating = self._deliberate(answer, gold, query_atoms)
+        if self._rng.coin(self.slip_probability):
+            rating = self._slip(rating)
+        return rating
+
+    def _deliberate(self, answer: Answer, gold: frozenset[Atom] | None,
+                    query_atoms: frozenset[Atom]) -> Rating:
+        if answer.is_empty:
+            return Rating(0.0, "provides no information above the query")
+        if gold is None:
+            # The need cannot be met by any database content; whatever the
+            # system returned is beside the point.
+            return Rating(0.0, "provides incorrect information")
+        overlap = answer.atoms & gold
+        recall = len(overlap) / len(gold) if gold else 0.0
+        precision = len(overlap) / len(answer.atoms) if answer.atoms else 0.0
+
+        if recall < self.recall_partial:
+            return Rating(0.0, "provides incorrect information")
+        # The answer adds nothing beyond what the user already typed.
+        if answer.atoms <= query_atoms:
+            return Rating(0.0, "provides no information above the query")
+        if recall < self.recall_correct:
+            return Rating(0.5, "provides correct, but incomplete information")
+        if precision < self.precision_floor:
+            return Rating(0.5, "provides correct, but excessive information")
+        return Rating(1.0, "provides correct information")
+
+    def _slip(self, rating: Rating) -> Rating:
+        """Move one step on the scale (attention noise)."""
+        if rating.score == 1.0:
+            return Rating(0.5, "provides correct, but incomplete information")
+        if rating.score == 0.5:
+            return Rating(1.0, "provides correct information") \
+                if self._rng.coin(0.5) else Rating(0.0, "provides incorrect information")
+        return Rating(0.5, "provides correct, but incomplete information")
+
+
+class SimulatedRaterPool:
+    """The 20-user panel: rates answers, aggregates scores and agreement."""
+
+    def __init__(self, n_raters: int = 20, seed: int = 97):
+        if n_raters <= 0:
+            raise ValueError(f"need a positive rater count, got {n_raters}")
+        root = DeterministicRng(seed)
+        self.raters = [SimulatedRater(root.fork(f"rater-{i}"))
+                       for i in range(n_raters)]
+
+    def __len__(self) -> int:
+        return len(self.raters)
+
+    def rate(self, answer: Answer, gold: frozenset[Atom] | None,
+             query_atoms: frozenset[Atom] = frozenset()) -> list[Rating]:
+        return [rater.rate(answer, gold, query_atoms) for rater in self.raters]
+
+    @staticmethod
+    def mean_score(ratings: list[Rating]) -> float:
+        return mean([rating.score for rating in ratings])
+
+    @staticmethod
+    def agreement(ratings: list[Rating]) -> float:
+        """Fraction of raters voting for the modal score."""
+        return majority_agreement([rating.score for rating in ratings])

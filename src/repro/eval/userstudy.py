@@ -1,0 +1,184 @@
+"""Simulation of the paper's five-user study (Table 1, Sec. 5.1).
+
+Five users, each naming five movie information needs and the keyword query
+they would type for each.  The paper's headline observations:
+
+* the need↔query mapping is many-to-many (the same need is expressed many
+  ways; the same query form serves several needs);
+* 10 of the 25 queries were single-entity, 8 of those underspecified.
+
+We simulate users as (need preference x formulation habit) samplers whose
+distributions encode Table 1's cells, then measure the same aggregates on
+the simulated matrix.  ``PAPER_SUMMARY`` records the paper's numbers for
+side-by-side reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import DeterministicRng
+from repro.utils.tables import ascii_table
+
+__all__ = ["UserStudySimulator", "UserStudyResult", "PAPER_SUMMARY"]
+
+#: The aggregates the paper reports for Table 1.
+PAPER_SUMMARY = {
+    "users": 5,
+    "needs_per_user": 5,
+    "total_queries": 25,
+    "single_entity_queries": 10,
+    "underspecified_single_entity": 8,
+}
+
+# Query-type columns exactly as in Table 1.
+QUERY_TYPES = (
+    "[title]",
+    "[title] box office",
+    "[actor] [award] [year]",
+    "[actor]",
+    "[actor] [genre]",
+    "[title] ost",
+    "[title] cast",
+    "[title] [freetext]",
+    "movie [freetext]",
+    "[title] year",
+    "[title] posters",
+    "[title] plot",
+    "don't know",
+)
+
+_SINGLE_ENTITY_TYPES = frozenset({"[title]", "[actor]"})
+
+# Information-need rows with (popularity, formulation distribution).
+# Formulations lean on the cells Table 1 shows (e.g. soundtracks appear as
+# "[title] ost" and as a bare "[title]").
+NEED_PROFILES: dict[str, tuple[float, tuple[tuple[str, float], ...]]] = {
+    "movie summary": (1.0, (("[title]", 0.45), ("[title] [freetext]", 0.2),
+                            ("movie [freetext]", 0.15), ("[title] year", 0.1),
+                            ("don't know", 0.1))),
+    "cast": (0.8, (("[title] cast", 0.55), ("[title]", 0.25),
+                   ("[title] [freetext]", 0.2))),
+    "filmography": (0.8, (("[actor]", 0.7), ("[actor] [genre]", 0.3))),
+    "coactorship": (0.6, (("[actor]", 0.45), ("[title] cast", 0.3),
+                          ("don't know", 0.25))),
+    "posters": (0.3, (("[title] posters", 0.6), ("[title]", 0.4))),
+    "related movies": (0.4, (("[title]", 0.6), ("don't know", 0.4))),
+    "awards": (0.5, (("[actor] [award] [year]", 0.5), ("[title]", 0.3),
+                     ("don't know", 0.2))),
+    "movies of period": (0.4, (("[actor] [award] [year]", 0.25),
+                               ("movie [freetext]", 0.4),
+                               ("[title] year", 0.35))),
+    "charts / lists": (0.4, (("movie [freetext]", 0.55), ("[title]", 0.2),
+                             ("don't know", 0.25))),
+    "recommendations": (0.4, (("movie [freetext]", 0.4), ("don't know", 0.6))),
+    "soundtracks": (0.4, (("[title] ost", 0.55), ("[title]", 0.45))),
+    "trivia": (0.4, (("[title] [freetext]", 0.45), ("[title] plot", 0.3),
+                     ("don't know", 0.25))),
+    "box office": (0.5, (("[title] box office", 0.6),
+                         ("[title] [freetext]", 0.2), ("don't know", 0.2))),
+}
+
+# Needs whose bare-entity formulation is *not* underspecified (the single
+# entity fully determines the default answer a user with this need wants).
+_DEFAULT_NEED_FOR_TYPE = {
+    "[title]": "movie summary",
+    "[actor]": "filmography",
+}
+
+
+@dataclass(frozen=True)
+class UserStudyResult:
+    """The simulated Table 1."""
+
+    cells: tuple[tuple[str, str, str], ...]  # (need, query_type, user_label)
+
+    @property
+    def total_queries(self) -> int:
+        return len(self.cells)
+
+    def single_entity_queries(self) -> list[tuple[str, str, str]]:
+        return [cell for cell in self.cells if cell[1] in _SINGLE_ENTITY_TYPES]
+
+    def underspecified_single_entity(self) -> list[tuple[str, str, str]]:
+        """Single-entity queries whose need is not the type's default —
+        the user could have written a better query by adding predicates."""
+        return [
+            (need, query_type, user) for need, query_type, user
+            in self.single_entity_queries()
+            if _DEFAULT_NEED_FOR_TYPE.get(query_type) != need
+        ]
+
+    def needs_per_query_type(self) -> dict[str, set[str]]:
+        mapping: dict[str, set[str]] = {}
+        for need, query_type, _user in self.cells:
+            mapping.setdefault(query_type, set()).add(need)
+        return mapping
+
+    def query_types_per_need(self) -> dict[str, set[str]]:
+        mapping: dict[str, set[str]] = {}
+        for need, query_type, _user in self.cells:
+            mapping.setdefault(need, set()).add(query_type)
+        return mapping
+
+    def is_many_to_many(self) -> bool:
+        """The paper's core observation about need↔query mapping."""
+        some_type_serves_many = any(
+            len(needs) >= 2 for needs in self.needs_per_query_type().values()
+        )
+        some_need_expressed_many_ways = any(
+            len(types) >= 2 for types in self.query_types_per_need().values()
+        )
+        return some_type_serves_many and some_need_expressed_many_ways
+
+    def render(self) -> str:
+        """ASCII rendering in the layout of Table 1."""
+        used_types = [qt for qt in QUERY_TYPES
+                      if any(cell[1] == qt for cell in self.cells)]
+        headers = ["info. need"] + used_types
+        rows = []
+        for need in NEED_PROFILES:
+            entries = {
+                query_type: ",".join(sorted(
+                    user for n, qt, user in self.cells
+                    if n == need and qt == query_type
+                ))
+                for query_type in used_types
+            }
+            if any(entries.values()):
+                rows.append([need] + [entries[qt] for qt in used_types])
+        return ascii_table(headers, rows,
+                           title="Information Needs vs Keyword Queries (simulated)")
+
+
+class UserStudySimulator:
+    """Samples the five-user study."""
+
+    def __init__(self, seed: int = 31):
+        self.seed = seed
+
+    def run(self, n_users: int = 5, needs_per_user: int = 5) -> UserStudyResult:
+        if n_users <= 0 or needs_per_user <= 0:
+            raise ValueError("need positive user and need counts")
+        if needs_per_user > len(NEED_PROFILES):
+            raise ValueError(
+                f"needs_per_user {needs_per_user} exceeds the "
+                f"{len(NEED_PROFILES)}-need catalogue"
+            )
+        rng = DeterministicRng(self.seed)
+        labels = [chr(ord("a") + i) for i in range(n_users)]
+        cells: list[tuple[str, str, str]] = []
+        need_names = list(NEED_PROFILES)
+        popularity = [NEED_PROFILES[name][0] for name in need_names]
+        for label in labels:
+            user_rng = rng.fork(f"user-{label}")
+            chosen = user_rng.weighted_sample(need_names, popularity,
+                                              needs_per_user)
+            for need in sorted(chosen):
+                _pop, formulations = NEED_PROFILES[need]
+                query_type = user_rng.weighted_choice(
+                    [qt for qt, _w in formulations],
+                    [w for _qt, w in formulations],
+                )
+                cells.append((need, query_type, label))
+        return UserStudyResult(cells=tuple(cells))

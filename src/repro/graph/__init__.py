@@ -1,0 +1,29 @@
+"""Graph views of a relational database.
+
+Two graphs matter to this reproduction:
+
+* the **schema graph** (tables as nodes, FK edges) drives qunit derivation —
+  expanding a top entity with its top neighbors is a walk here;
+* the **data graph** (tuples as nodes, FK instances as edges) is the
+  substrate BANKS searches for keyword spanning trees.
+
+Queriability scoring (after Jayapandian & Jagadish, used by Sec. 4.1 of the
+qunits paper) lives here too because it is a pure function of schema + stats.
+"""
+
+from repro.graph.data_graph import DataGraph, TupleNode
+from repro.graph.queriability import (
+    AttributeQueriability,
+    EntityQueriability,
+    QueriabilityModel,
+)
+from repro.graph.schema_graph import SchemaGraph
+
+__all__ = [
+    "SchemaGraph",
+    "DataGraph",
+    "TupleNode",
+    "QueriabilityModel",
+    "EntityQueriability",
+    "AttributeQueriability",
+]

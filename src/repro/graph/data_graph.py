@@ -1,0 +1,117 @@
+"""Data graph: one node per tuple, one edge per foreign-key instance.
+
+This is the structure the BANKS family searches: keyword query terms hit
+tuple nodes (through the text index), and answers are subtrees connecting
+one node per keyword.  Nodes carry enough back-references to recover the
+original rows for presentation and scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.relational.database import Database
+
+__all__ = ["TupleNode", "DataGraph"]
+
+
+@dataclass(frozen=True, order=True)
+class TupleNode:
+    """Identity of one tuple in the database."""
+
+    table: str
+    row_id: int
+
+    def __str__(self) -> str:
+        return f"{self.table}[{self.row_id}]"
+
+
+class DataGraph:
+    """Undirected tuple graph with degree-derived edge weights.
+
+    Following BANKS, edge weight grows with the log of the target's degree
+    so that hub tuples (a genre shared by thousands of movies) are expensive
+    to route through; node prestige is degree-based.
+    """
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._graph = nx.Graph()
+        self._build()
+
+    def _build(self) -> None:
+        import math
+
+        for table_name in self.database.schema.table_names:
+            table = self.database.table(table_name)
+            for row_id in range(len(table)):
+                self._graph.add_node(TupleNode(table_name, row_id))
+
+        for table_schema in self.database.schema.tables:
+            table = self.database.table(table_schema.name)
+            for fk in table_schema.foreign_keys:
+                target_index = self.database.hash_index(fk.ref_table, fk.ref_column)
+                for row_id, row in enumerate(table):
+                    key = row[fk.column]
+                    if key is None:
+                        continue
+                    for target_row_id in target_index.lookup(key):
+                        self._graph.add_edge(
+                            TupleNode(table_schema.name, row_id),
+                            TupleNode(fk.ref_table, target_row_id),
+                        )
+
+        # Edge weights after all edges exist (weights depend on final degrees).
+        for left, right in self._graph.edges:
+            weight = 1.0 + math.log1p(
+                min(self._graph.degree(left), self._graph.degree(right))
+            )
+            self._graph.edges[left, right]["weight"] = weight
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        return self._graph.number_of_edges()
+
+    def degree(self, node: TupleNode) -> int:
+        return self._graph.degree(node)
+
+    def neighbors(self, node: TupleNode) -> list[TupleNode]:
+        return sorted(self._graph.neighbors(node))
+
+    def edge_weight(self, left: TupleNode, right: TupleNode) -> float:
+        return self._graph.edges[left, right]["weight"]
+
+    def prestige(self, node: TupleNode) -> float:
+        """BANKS-style node prestige: proportional to degree."""
+        degree = self._graph.degree(node)
+        return 1.0 + float(degree)
+
+    def row(self, node: TupleNode) -> dict[str, object]:
+        return dict(self.database.table(node.table).row(node.row_id))
+
+    def nodes_matching_keyword(self, keyword: str) -> set[TupleNode]:
+        """Tuple nodes whose searchable text contains the keyword token."""
+        index = self.database.text_index()
+        return {
+            TupleNode(table, row_id)
+            for table, _column, row_id in index.rows_with_token(keyword)
+        }
+
+    def shortest_path(self, source: TupleNode, target: TupleNode) -> list[TupleNode]:
+        return nx.shortest_path(self._graph, source, target, weight="weight")
+
+    def shortest_path_length(self, source: TupleNode, target: TupleNode) -> float:
+        return nx.shortest_path_length(self._graph, source, target, weight="weight")
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._graph

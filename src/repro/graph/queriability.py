@@ -1,0 +1,173 @@
+"""Queriability: how likely a schema element is to be used in a query.
+
+Section 4.1 of the qunits paper derives qunits from "the concept of
+queriability of a schema described in [15]" (Jayapandian & Jagadish,
+*Automated Creation of a Forms-based Database Query Interface*), which
+scores schema elements by the cardinality of the data they represent.
+
+We reproduce that idea with two scores:
+
+* **entity queriability** of a table: its share of the database's tuples
+  (log-scaled, so fact tables don't drown everything), boosted by the
+  fraction of its columns that carry searchable, user-meaningful values and
+  damped for pure junction tables;
+* **attribute queriability** of a column: how selective and meaningful the
+  column is — id plumbing scores ~0, text columns score with their
+  distinct-value ratio and coverage (non-null fraction).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graph.schema_graph import SchemaGraph
+from repro.relational.database import Database
+
+__all__ = ["EntityQueriability", "AttributeQueriability", "QueriabilityModel"]
+
+
+@dataclass(frozen=True)
+class EntityQueriability:
+    table: str
+    score: float
+    cardinality: int
+    value_column_fraction: float
+    is_junction: bool
+
+
+@dataclass(frozen=True)
+class AttributeQueriability:
+    table: str
+    column: str
+    score: float
+    distinct_ratio: float
+    coverage: float
+    is_id_like: bool
+
+
+class QueriabilityModel:
+    """Computes and ranks queriability scores for one database."""
+
+    # Junction tables exist to connect entities; users rarely ask for them
+    # by name, so their entity score is scaled down by this factor.
+    JUNCTION_DAMPING = 0.25
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.schema_graph = SchemaGraph(database.schema)
+        self._entities: dict[str, EntityQueriability] | None = None
+        self._attributes: dict[tuple[str, str], AttributeQueriability] | None = None
+
+    # -- entities -----------------------------------------------------------
+
+    def entity(self, table: str) -> EntityQueriability:
+        return self._entity_scores()[table]
+
+    def ranked_entities(self) -> list[EntityQueriability]:
+        """All tables, highest queriability first (ties by name)."""
+        scores = self._entity_scores().values()
+        return sorted(scores, key=lambda e: (-e.score, e.table))
+
+    def top_entities(self, k: int) -> list[EntityQueriability]:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return self.ranked_entities()[:k]
+
+    def _entity_scores(self) -> dict[str, EntityQueriability]:
+        if self._entities is not None:
+            return self._entities
+        stats = self.database.statistics
+        total = max(1, stats.total_rows())
+        scores: dict[str, EntityQueriability] = {}
+        for table_schema in self.database.schema.tables:
+            table_stats = stats.table(table_schema.name)
+            cardinality = table_stats.row_count
+            # log-scaled share of the database's tuples
+            share = math.log1p(cardinality) / math.log1p(total)
+            value_columns = table_schema.value_columns()
+            fraction = len(value_columns) / max(1, len(table_schema.columns))
+            searchable_bonus = 1.0 if table_schema.searchable_columns() else 0.5
+            score = share * (0.5 + 0.5 * fraction) * searchable_bonus
+            is_junction = self.schema_graph.is_junction(table_schema.name)
+            if is_junction:
+                score *= self.JUNCTION_DAMPING
+            scores[table_schema.name] = EntityQueriability(
+                table=table_schema.name,
+                score=score,
+                cardinality=cardinality,
+                value_column_fraction=fraction,
+                is_junction=is_junction,
+            )
+        self._entities = scores
+        return scores
+
+    # -- attributes ----------------------------------------------------------
+
+    def attribute(self, table: str, column: str) -> AttributeQueriability:
+        key = (table, column)
+        return self._attribute_scores()[key]
+
+    def ranked_attributes(self, table: str) -> list[AttributeQueriability]:
+        """Columns of one table, highest queriability first."""
+        self.database.schema.table(table)
+        scores = [
+            score for (t, _c), score in self._attribute_scores().items() if t == table
+        ]
+        return sorted(scores, key=lambda a: (-a.score, a.column))
+
+    def _attribute_scores(self) -> dict[tuple[str, str], AttributeQueriability]:
+        if self._attributes is not None:
+            return self._attributes
+        stats = self.database.statistics
+        scores: dict[tuple[str, str], AttributeQueriability] = {}
+        for table_schema in self.database.schema.tables:
+            table_stats = stats.table(table_schema.name)
+            for column in table_schema.columns:
+                column_stats = table_stats.column(column.name)
+                coverage = 1.0 - column_stats.null_fraction
+                distinct_ratio = column_stats.distinct_ratio
+                if table_schema.is_id_like(column.name):
+                    score = 0.0
+                else:
+                    base = 0.6 * coverage + 0.4 * min(1.0, distinct_ratio)
+                    if column.searchable:
+                        base *= 1.5
+                    score = base
+                scores[(table_schema.name, column.name)] = AttributeQueriability(
+                    table=table_schema.name,
+                    column=column.name,
+                    score=score,
+                    distinct_ratio=distinct_ratio,
+                    coverage=coverage,
+                    is_id_like=table_schema.is_id_like(column.name),
+                )
+        self._attributes = scores
+        return scores
+
+    # -- neighbor expansion (the k2 of Sec. 4.1) -----------------------------
+
+    def top_neighbors(self, table: str, k: int) -> list[str]:
+        """The k most queriable tables joinable to ``table``.
+
+        Junction tables are *traversed*, not reported: "cast" itself is
+        uninteresting, but "person —cast— movie" makes movie a neighbor of
+        person.  Ranking is by the neighbor's entity queriability.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.database.schema.table(table)
+        reachable: set[str] = set()
+        for neighbor in self.schema_graph.neighbors(table):
+            if self.schema_graph.is_junction(neighbor):
+                reachable.update(
+                    far for far in self.schema_graph.neighbors(neighbor)
+                    if far != table
+                )
+                reachable.add(neighbor)
+            else:
+                reachable.add(neighbor)
+        reachable.discard(table)
+        entities = self._entity_scores()
+        ranked = sorted(reachable, key=lambda name: (-entities[name].score, name))
+        return ranked[:k]

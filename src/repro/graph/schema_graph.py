@@ -1,0 +1,117 @@
+"""Schema graph: tables as nodes, foreign keys as undirected edges.
+
+Used for neighbor expansion in qunit derivation and for finding join paths
+between the tables a segmented query mentions.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import PlanError
+from repro.relational.schema import ForeignKey, Schema
+
+__all__ = ["SchemaGraph"]
+
+
+class SchemaGraph:
+    """An undirected multigraph over table names with FK edge payloads."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._graph = nx.MultiGraph()
+        for table in schema.table_names:
+            self._graph.add_node(table)
+        for source, target, fk in schema.edges():
+            self._graph.add_edge(source, target, fk=fk, source=source)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def tables(self) -> list[str]:
+        return list(self._graph.nodes)
+
+    def degree(self, table: str) -> int:
+        self.schema.table(table)
+        return self._graph.degree(table)
+
+    def neighbors(self, table: str) -> list[str]:
+        self.schema.table(table)
+        return sorted(self._graph.neighbors(table))
+
+    def edges_between(self, left: str, right: str) -> list[ForeignKey]:
+        """All FK payloads joining two adjacent tables."""
+        if not self._graph.has_edge(left, right):
+            return []
+        return [data["fk"] for data in self._graph.get_edge_data(left, right).values()]
+
+    # -- paths --------------------------------------------------------------
+
+    def join_path(self, source: str, target: str) -> list[str]:
+        """Shortest table path between two tables (inclusive).
+
+        Raises :class:`PlanError` when the tables are not connected.
+        """
+        self.schema.table(source)
+        self.schema.table(target)
+        try:
+            return nx.shortest_path(self._graph, source, target)
+        except nx.NetworkXNoPath:
+            raise PlanError(
+                f"tables {source!r} and {target!r} are not join-connected"
+            ) from None
+
+    def join_plan(self, tables: list[str]) -> list[str]:
+        """A connected table list covering all ``tables`` (a Steiner-ish
+        expansion using pairwise shortest paths; deterministic)."""
+        if not tables:
+            return []
+        covered = [tables[0]]
+        for table in tables[1:]:
+            if table in covered:
+                continue
+            best_path: list[str] | None = None
+            for anchor in covered:
+                path = self.join_path(anchor, table)
+                if best_path is None or len(path) < len(best_path):
+                    best_path = path
+            assert best_path is not None
+            for step in best_path:
+                if step not in covered:
+                    covered.append(step)
+        return covered
+
+    def is_connected(self, tables: list[str]) -> bool:
+        """Whether the given tables induce a connected subproblem."""
+        if len(tables) <= 1:
+            return True
+        try:
+            plan = self.join_plan(list(tables))
+        except PlanError:
+            return False
+        return set(tables) <= set(plan)
+
+    def entity_tables(self) -> list[str]:
+        """Heuristic "entity" tables: non-junction tables with searchable text.
+
+        A junction (relationship) table is one whose non-id columns are
+        few and whose degree is >= 2 — `cast`, `movie_genre` and friends.
+        """
+        entities = []
+        for name in self.tables:
+            table = self.schema.table(name)
+            has_text = bool(table.searchable_columns())
+            value_columns = table.value_columns()
+            if has_text and len(value_columns) >= 1 and not self.is_junction(name):
+                entities.append(name)
+        return entities
+
+    def is_junction(self, table_name: str) -> bool:
+        """Tables that exist to relate other tables (mostly FK columns)."""
+        table = self.schema.table(table_name)
+        fk_columns = {fk.column for fk in table.foreign_keys}
+        non_key = [
+            column.name for column in table.columns
+            if column.name not in fk_columns and column.name != table.primary_key
+        ]
+        return len(table.foreign_keys) >= 2 and len(non_key) <= 2

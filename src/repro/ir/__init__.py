@@ -1,0 +1,47 @@
+"""Information-retrieval engine.
+
+The qunits paradigm's whole point is that once a database is modeled as a
+flat collection of independent documents, *standard IR techniques* apply.
+This package supplies those techniques: analysis (tokenization, stopwords,
+light stemming), an inverted index with per-field storage, TF-IDF and BM25
+ranked retrieval, and the usual effectiveness metrics.
+"""
+
+from repro.ir.analysis import Analyzer, STOPWORDS
+from repro.ir.documents import Document
+from repro.ir.feedback import RocchioFeedback
+from repro.ir.index import InvertedIndex, Posting
+from repro.ir.metrics import (
+    average_precision,
+    dcg,
+    majority_agreement,
+    mean,
+    mean_reciprocal_rank,
+    ndcg,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.ir.retrieval import SearchHit, Searcher
+from repro.ir.scoring import Bm25Scorer, Scorer, TfIdfScorer
+
+__all__ = [
+    "Analyzer",
+    "STOPWORDS",
+    "Document",
+    "InvertedIndex",
+    "Posting",
+    "Searcher",
+    "SearchHit",
+    "Scorer",
+    "TfIdfScorer",
+    "Bm25Scorer",
+    "RocchioFeedback",
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "mean_reciprocal_rank",
+    "dcg",
+    "ndcg",
+    "mean",
+    "majority_agreement",
+]

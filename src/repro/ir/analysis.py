@@ -1,0 +1,72 @@
+"""Text analysis: tokenization, stopword removal, light stemming.
+
+The stemmer is a deliberately small suffix-stripper (an "s-stemmer" plus a
+few common verbal suffixes).  Full Porter stemming buys little on the short
+entity-heavy text in this domain and would obscure exact entity matches the
+segmenter depends on.
+"""
+
+from __future__ import annotations
+
+from repro.utils.text import normalize
+
+__all__ = ["STOPWORDS", "Analyzer"]
+
+# A compact English stopword list; deliberately excludes words that are
+# schema-meaningful in the movie domain ("cast" is never a stopword).
+STOPWORDS = frozenset("""
+a an and are as at be but by for from had has have i if in into is it its of
+on or s t that the their them then there these they this to was were which
+who will with
+""".split())
+
+
+class Analyzer:
+    """Configurable analysis pipeline: normalize → tokenize → filter → stem."""
+
+    def __init__(self, remove_stopwords: bool = True, stem: bool = True,
+                 min_token_length: int = 1):
+        if min_token_length < 1:
+            raise ValueError(f"min_token_length must be >= 1, got {min_token_length}")
+        self.remove_stopwords = remove_stopwords
+        self.stem = stem
+        self.min_token_length = min_token_length
+
+    def tokens(self, text: str) -> list[str]:
+        """Analyzed tokens of ``text`` (possibly empty)."""
+        result = []
+        for raw in normalize(text).split():
+            token = raw.strip("'")
+            if len(token) < self.min_token_length:
+                continue
+            if self.remove_stopwords and token in STOPWORDS:
+                continue
+            if self.stem:
+                token = self.stem_token(token)
+            if token:
+                result.append(token)
+        return result
+
+    def raw_tokens(self, text: str) -> list[str]:
+        """Normalized tokens with no stopping/stemming (for phrase matching)."""
+        return normalize(text).split()
+
+    @staticmethod
+    def stem_token(token: str) -> str:
+        """Light suffix stripping; idempotent."""
+        if len(token) <= 3:
+            return token
+        for suffix, keep in (("ies", "y"), ("sses", "ss"), ("ing", ""), ("edly", ""),
+                             ("ed", ""), ("ly", ""), ("s", "")):
+            if token.endswith(suffix):
+                stem = token[: len(token) - len(suffix)] + keep
+                # Never strip down to nothing or one char.
+                if len(stem) >= 3:
+                    return stem
+        return token
+
+    def __repr__(self) -> str:
+        return (
+            f"Analyzer(remove_stopwords={self.remove_stopwords}, "
+            f"stem={self.stem}, min_token_length={self.min_token_length})"
+        )

@@ -1,0 +1,60 @@
+"""The Document abstraction indexed by the IR engine.
+
+A document is an id plus named text fields with per-field weights (a title
+field can count more than a body field) and an opaque metadata mapping the
+caller can use to link back to whatever produced the document — for qunit
+instances, that is the qunit definition name and the binding parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Document"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """An immutable document: ``doc_id`` must be unique within an index."""
+
+    doc_id: str
+    fields: tuple[tuple[str, str], ...]
+    field_weights: tuple[tuple[str, float], ...] = ()
+    metadata: tuple[tuple[str, object], ...] = ()
+
+    @staticmethod
+    def create(doc_id: str, fields: dict[str, str],
+               field_weights: dict[str, float] | None = None,
+               metadata: dict[str, object] | None = None) -> "Document":
+        """Convenience constructor from plain dicts."""
+        return Document(
+            doc_id=doc_id,
+            fields=tuple(sorted(fields.items())),
+            field_weights=tuple(sorted((field_weights or {}).items())),
+            metadata=tuple(sorted((metadata or {}).items(), key=lambda kv: kv[0])),
+        )
+
+    def field(self, name: str) -> str:
+        for field_name, text in self.fields:
+            if field_name == name:
+                return text
+        raise KeyError(f"document {self.doc_id!r} has no field {name!r}")
+
+    def weight(self, name: str) -> float:
+        for field_name, weight in self.field_weights:
+            if field_name == name:
+                return weight
+        return 1.0
+
+    def meta(self, key: str, default: object = None) -> object:
+        for meta_key, value in self.metadata:
+            if meta_key == key:
+                return value
+        return default
+
+    def full_text(self) -> str:
+        """All field texts concatenated (field order is name-sorted)."""
+        return " ".join(text for _, text in self.fields if text)
+
+    def __len__(self) -> int:
+        return len(self.full_text())

@@ -1,0 +1,111 @@
+"""Relevance feedback: Rocchio-style query expansion.
+
+Sec. 3 argues the qunit separation "makes our system easier to extend and
+enhance with additional IR methods for ranking, such as relevance
+feedback."  This module supplies that extension: given documents the user
+(or pseudo-feedback) marked relevant, the query vector is expanded with
+their most characteristic terms and re-run — the classic Rocchio update
+with only the positive term (β), which is the standard choice for
+pseudo-relevance feedback.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.ir.index import InvertedIndex
+from repro.ir.retrieval import Searcher, SearchHit
+
+__all__ = ["RocchioFeedback"]
+
+
+class RocchioFeedback:
+    """Expands queries from relevant documents.
+
+    ``alpha`` weights the original query terms, ``beta`` the feedback
+    terms; ``expansion_terms`` caps how many new terms are added.
+    """
+
+    def __init__(self, alpha: float = 1.0, beta: float = 0.6,
+                 expansion_terms: int = 8):
+        if alpha < 0 or beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        if expansion_terms < 0:
+            raise ValueError("expansion_terms must be non-negative")
+        self.alpha = alpha
+        self.beta = beta
+        self.expansion_terms = expansion_terms
+
+    # -- term selection ----------------------------------------------------------
+
+    def expansion_for(self, index: InvertedIndex,
+                      relevant_doc_ids: list[str],
+                      original_terms: list[str]) -> list[tuple[str, float]]:
+        """(term, weight) pairs to add to the query.
+
+        Terms are scored by summed tf-idf mass across the relevant
+        documents; original query terms are excluded (they are already
+        weighted by alpha).
+        """
+        if not relevant_doc_ids:
+            return []
+        n_docs = index.document_count
+        mass: Counter = Counter()
+        for doc_id in relevant_doc_ids:
+            document = index.document(doc_id)
+            for token in index.analyzer.tokens(document.full_text()):
+                mass[token] += 1
+        original = set(original_terms)
+        scored: list[tuple[str, float]] = []
+        for term, tf in mass.items():
+            if term in original:
+                continue
+            df = index.document_frequency(term)
+            if df == 0:
+                continue
+            idf = math.log((n_docs + 1) / (df + 0.5))
+            scored.append((term, tf * idf))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        top = scored[: self.expansion_terms]
+        if not top:
+            return []
+        # Normalize feedback weights so beta is comparable across queries.
+        peak = top[0][1]
+        return [(term, self.beta * weight / peak) for term, weight in top]
+
+    # -- feedback search -----------------------------------------------------------
+
+    def search(self, searcher: Searcher, query: str,
+               relevant_doc_ids: list[str], limit: int = 10) -> list[SearchHit]:
+        """Re-run ``query`` expanded with terms from the relevant docs."""
+        index = searcher.index
+        original_terms = index.analyzer.tokens(query)
+        expansion = self.expansion_for(index, relevant_doc_ids, original_terms)
+
+        weighted: dict[str, float] = {
+            term: self.alpha for term in original_terms
+        }
+        for term, weight in expansion:
+            weighted[term] = weighted.get(term, 0.0) + weight
+
+        scores: dict[str, float] = {}
+        for term, weight in weighted.items():
+            term_scores = searcher.scorer.scores(index, [term])
+            for doc_id, value in term_scores.items():
+                scores[doc_id] = scores.get(doc_id, 0.0) + weight * value
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return [
+            SearchHit(index.document(doc_id), score, rank)
+            for rank, (doc_id, score) in enumerate(ranked[:limit])
+        ]
+
+    def pseudo_feedback_search(self, searcher: Searcher, query: str,
+                               assume_top: int = 3,
+                               limit: int = 10) -> list[SearchHit]:
+        """Pseudo-relevance feedback: assume the initial top-k are relevant."""
+        initial = searcher.search(query, limit=assume_top)
+        if not initial:
+            return []
+        return self.search(searcher, query,
+                           [hit.doc_id for hit in initial], limit)

@@ -1,0 +1,133 @@
+"""Inverted index over :class:`~repro.ir.documents.Document` collections.
+
+Term frequencies are accumulated with per-field weights at indexing time, so
+scorers see a single weighted frequency per (term, document).  The index
+keeps enough statistics for both TF-IDF and BM25: document frequencies,
+weighted document lengths, and the collection average length.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import IndexError_
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+
+__all__ = ["Posting", "InvertedIndex"]
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One (document, weighted term frequency) entry in a postings list."""
+
+    doc_id: str
+    weighted_tf: float
+
+
+class InvertedIndex:
+    """An append-only inverted index with weighted fields."""
+
+    def __init__(self, analyzer: Analyzer | None = None):
+        self.analyzer = analyzer or Analyzer()
+        self._postings: dict[str, dict[str, float]] = {}
+        self._documents: dict[str, Document] = {}
+        self._doc_lengths: dict[str, float] = {}
+        self._total_length = 0.0
+
+    # -- building -----------------------------------------------------------
+
+    def add(self, document: Document) -> None:
+        if document.doc_id in self._documents:
+            raise IndexError_(f"duplicate document id {document.doc_id!r}")
+        self._documents[document.doc_id] = document
+        length = 0.0
+        for field_name, text in document.fields:
+            weight = document.weight(field_name)
+            if weight <= 0:
+                raise IndexError_(
+                    f"document {document.doc_id!r} field {field_name!r} "
+                    f"has non-positive weight {weight}"
+                )
+            for token in self.analyzer.tokens(text):
+                bucket = self._postings.setdefault(token, {})
+                bucket[document.doc_id] = bucket.get(document.doc_id, 0.0) + weight
+                length += weight
+        self._doc_lengths[document.doc_id] = length
+        self._total_length += length
+
+    def add_all(self, documents: Iterable[Document]) -> int:
+        count = 0
+        for document in documents:
+            self.add(document)
+            count += 1
+        return count
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return len(self._documents)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    @property
+    def average_document_length(self) -> float:
+        if not self._documents:
+            return 0.0
+        return self._total_length / len(self._documents)
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def document_length(self, doc_id: str) -> float:
+        try:
+            return self._doc_lengths[doc_id]
+        except KeyError:
+            raise IndexError_(f"unknown document {doc_id!r}") from None
+
+    # -- access -------------------------------------------------------------
+
+    def postings(self, term: str) -> list[Posting]:
+        bucket = self._postings.get(term, {})
+        return [Posting(doc_id, tf) for doc_id, tf in bucket.items()]
+
+    def document(self, doc_id: str) -> Document:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise IndexError_(f"unknown document {doc_id!r}") from None
+
+    def documents(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def validate(self) -> None:
+        """Invariant check: postings only reference known documents and
+        document lengths equal the sum of their weighted term frequencies."""
+        recomputed: dict[str, float] = {doc_id: 0.0 for doc_id in self._documents}
+        for term, bucket in self._postings.items():
+            for doc_id, tf in bucket.items():
+                if doc_id not in self._documents:
+                    raise IndexError_(
+                        f"term {term!r} references unknown document {doc_id!r}"
+                    )
+                if tf <= 0:
+                    raise IndexError_(
+                        f"term {term!r} has non-positive tf for {doc_id!r}"
+                    )
+                recomputed[doc_id] += tf
+        for doc_id, length in recomputed.items():
+            if abs(length - self._doc_lengths[doc_id]) > 1e-9:
+                raise IndexError_(
+                    f"document {doc_id!r} length mismatch: "
+                    f"stored {self._doc_lengths[doc_id]}, recomputed {length}"
+                )

@@ -1,0 +1,101 @@
+"""Retrieval and agreement metrics used by the evaluation harness.
+
+These are the standard definitions; ``majority_agreement`` reproduces the
+paper's inter-rater statistic ("a third of the questions having an 80% or
+higher majority for the winning answer").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+__all__ = [
+    "mean",
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "mean_reciprocal_rank",
+    "dcg",
+    "ndcg",
+    "majority_agreement",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def precision_at_k(ranked: Sequence[str], relevant: set[str], k: int) -> float:
+    """Fraction of the top-k that is relevant."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    top = ranked[:k]
+    if not top:
+        return 0.0
+    return sum(1 for doc_id in top if doc_id in relevant) / k
+
+
+def recall_at_k(ranked: Sequence[str], relevant: set[str], k: int) -> float:
+    """Fraction of relevant documents found in the top-k."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not relevant:
+        return 0.0
+    found = sum(1 for doc_id in ranked[:k] if doc_id in relevant)
+    return found / len(relevant)
+
+
+def average_precision(ranked: Sequence[str], relevant: set[str]) -> float:
+    """AP: mean of precision at each relevant hit position."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, doc_id in enumerate(ranked, start=1):
+        if doc_id in relevant:
+            hits += 1
+            precision_sum += hits / position
+    return precision_sum / len(relevant)
+
+
+def mean_reciprocal_rank(rankings: Sequence[Sequence[str]],
+                         relevants: Sequence[set[str]]) -> float:
+    """MRR over many (ranking, relevant-set) pairs."""
+    if len(rankings) != len(relevants):
+        raise ValueError("rankings and relevants must align")
+    if not rankings:
+        return 0.0
+    total = 0.0
+    for ranked, relevant in zip(rankings, relevants):
+        for position, doc_id in enumerate(ranked, start=1):
+            if doc_id in relevant:
+                total += 1.0 / position
+                break
+    return total / len(rankings)
+
+
+def dcg(gains: Sequence[float]) -> float:
+    """Discounted cumulative gain with log2 position discount."""
+    return sum(gain / math.log2(position + 1)
+               for position, gain in enumerate(gains, start=1))
+
+
+def ndcg(gains: Sequence[float], k: int | None = None) -> float:
+    """Normalized DCG of a gain vector (ideal = sorted descending)."""
+    trimmed = list(gains[:k] if k is not None else gains)
+    ideal = sorted(gains, reverse=True)[:len(trimmed)]
+    ideal_dcg = dcg(ideal)
+    if ideal_dcg == 0:
+        return 0.0
+    return dcg(trimmed) / ideal_dcg
+
+
+def majority_agreement(ratings: Sequence[object]) -> float:
+    """Fraction of raters voting for the modal rating (1.0 = unanimous)."""
+    if not ratings:
+        raise ValueError("cannot compute agreement of zero ratings")
+    counts = Counter(ratings)
+    return counts.most_common(1)[0][1] / len(ratings)

@@ -1,0 +1,53 @@
+"""Ranked retrieval: analyze a query, score against an index, return top-k."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.documents import Document
+from repro.ir.index import InvertedIndex
+from repro.ir.scoring import Bm25Scorer, Scorer
+
+__all__ = ["SearchHit", "Searcher"]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked result: the document, its score, and its 0-based rank."""
+
+    document: Document
+    score: float
+    rank: int
+
+    @property
+    def doc_id(self) -> str:
+        return self.document.doc_id
+
+
+class Searcher:
+    """A query interface over one inverted index.
+
+    Ties are broken by ``doc_id`` so rankings are fully deterministic — a
+    property every benchmark in this repo depends on.
+    """
+
+    def __init__(self, index: InvertedIndex, scorer: Scorer | None = None):
+        self.index = index
+        self.scorer = scorer or Bm25Scorer()
+
+    def search(self, query: str, limit: int = 10) -> list[SearchHit]:
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        terms = self.index.analyzer.tokens(query)
+        if not terms:
+            return []
+        scores = self.scorer.scores(self.index, terms)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        hits = []
+        for rank, (doc_id, score) in enumerate(ranked[:limit]):
+            hits.append(SearchHit(self.index.document(doc_id), score, rank))
+        return hits
+
+    def best(self, query: str) -> SearchHit | None:
+        hits = self.search(query, limit=1)
+        return hits[0] if hits else None

@@ -1,0 +1,113 @@
+"""Ranking functions over the inverted index: TF-IDF and BM25.
+
+Both are the standard formulations.  TF-IDF uses log-scaled term frequency
+and smoothed idf; BM25 uses the Robertson/Sparck-Jones idf with the usual
+k1/b length normalization.  The paper's claim is precisely that these
+*unmodified* IR scorers suffice once the database is qunit-ized, so we keep
+them textbook.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.index import InvertedIndex
+
+__all__ = ["Scorer", "TfIdfScorer", "Bm25Scorer", "PriorWeightedScorer"]
+
+
+class Scorer:
+    """Interface: score every document matching any query term."""
+
+    def scores(self, index: InvertedIndex, terms: list[str]) -> dict[str, float]:
+        raise NotImplementedError
+
+
+class TfIdfScorer(Scorer):
+    """Cosine-flavoured TF-IDF: sum over terms of (1+log tf) * idf, with
+    document-length normalization by the euclidean-ish sqrt length."""
+
+    def scores(self, index: InvertedIndex, terms: list[str]) -> dict[str, float]:
+        accumulator: dict[str, float] = {}
+        n_docs = index.document_count
+        if n_docs == 0:
+            return accumulator
+        for term in terms:
+            df = index.document_frequency(term)
+            if df == 0:
+                continue
+            idf = math.log((n_docs + 1) / (df + 0.5))
+            for posting in index.postings(term):
+                tf_component = 1.0 + math.log(posting.weighted_tf)
+                accumulator[posting.doc_id] = (
+                    accumulator.get(posting.doc_id, 0.0) + tf_component * idf
+                )
+        for doc_id in accumulator:
+            length = index.document_length(doc_id)
+            if length > 0:
+                accumulator[doc_id] /= math.sqrt(length)
+        return accumulator
+
+
+class PriorWeightedScorer(Scorer):
+    """Wraps a base scorer with per-document static priors.
+
+    This is how PageRank-flavoured signals enter the qunit paradigm
+    without touching the database: the prior (e.g. entity popularity) is
+    just another document feature, multiplied into the text score — the
+    "structured information as one source of information amongst many"
+    point of Sec. 3.
+    """
+
+    def __init__(self, base: Scorer, priors: dict[str, float],
+                 default: float = 1.0):
+        if default <= 0:
+            raise ValueError(f"default prior must be positive, got {default}")
+        for doc_id, prior in priors.items():
+            if prior <= 0:
+                raise ValueError(
+                    f"prior for {doc_id!r} must be positive, got {prior}"
+                )
+        self.base = base
+        self.priors = dict(priors)
+        self.default = default
+
+    def scores(self, index: InvertedIndex, terms: list[str]) -> dict[str, float]:
+        base_scores = self.base.scores(index, terms)
+        return {
+            doc_id: score * self.priors.get(doc_id, self.default)
+            for doc_id, score in base_scores.items()
+        }
+
+
+class Bm25Scorer(Scorer):
+    """Okapi BM25 with parameters ``k1`` (tf saturation) and ``b`` (length)."""
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75):
+        if k1 < 0:
+            raise ValueError(f"k1 must be non-negative, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        self.k1 = k1
+        self.b = b
+
+    def scores(self, index: InvertedIndex, terms: list[str]) -> dict[str, float]:
+        accumulator: dict[str, float] = {}
+        n_docs = index.document_count
+        if n_docs == 0:
+            return accumulator
+        avg_len = index.average_document_length or 1.0
+        for term in terms:
+            df = index.document_frequency(term)
+            if df == 0:
+                continue
+            idf = math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
+            for posting in index.postings(term):
+                tf = posting.weighted_tf
+                length = index.document_length(posting.doc_id)
+                denom = tf + self.k1 * (1.0 - self.b + self.b * length / avg_len)
+                accumulator[posting.doc_id] = (
+                    accumulator.get(posting.doc_id, 0.0)
+                    + idf * (tf * (self.k1 + 1.0)) / denom
+                )
+        return accumulator

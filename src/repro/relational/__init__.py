@@ -1,0 +1,84 @@
+"""In-memory relational engine.
+
+This package is the "structured database" substrate of the reproduction:
+a typed schema with primary/foreign keys, row storage with integrity
+checking, secondary indexes (hash and inverted text), a relational-algebra
+executor, a statistics catalog, and a SQL-subset front end (see
+``repro.relational.sql``).
+
+The engine is deliberately small but real: the qunit base expressions from
+the paper are ordinary SQL views executed here, and the baselines (BANKS,
+LCA/MLCA) consume the same tables through the graph/XML adapters.
+"""
+
+from repro.relational.algebra import (
+    Aggregate,
+    AggregateSpec,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    Sort,
+    execute,
+)
+from repro.relational.catalog import ColumnStatistics, StatisticsCatalog, TableStatistics
+from repro.relational.database import Database
+from repro.relational.expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    Contains,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    Param,
+)
+from repro.relational.indexes import HashIndex, TextIndex
+from repro.relational.io import load_database, save_database
+from repro.relational.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.relational.table import Table
+
+__all__ = [
+    "Database",
+    "Table",
+    "Schema",
+    "TableSchema",
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "Param",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "InList",
+    "IsNull",
+    "Contains",
+    "Plan",
+    "Scan",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "Aggregate",
+    "AggregateSpec",
+    "Sort",
+    "Limit",
+    "Distinct",
+    "execute",
+    "HashIndex",
+    "TextIndex",
+    "StatisticsCatalog",
+    "TableStatistics",
+    "ColumnStatistics",
+    "save_database",
+    "load_database",
+]

@@ -1,0 +1,375 @@
+"""Relational-algebra plan operators and a pull-based executor.
+
+Plans are immutable trees of operators.  ``execute(plan, database, params)``
+yields qualified rows (dicts keyed ``alias.column``).  The operator set is
+the minimum a real engine needs to run the paper's base expressions and the
+baselines: scan (with aliasing), filter, project, hash equi-join, nested-loop
+theta join fallback, aggregate with grouping, sort, limit, distinct.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.relational.expr import Expression, Params
+
+__all__ = [
+    "Plan",
+    "Scan",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "NestedLoopJoin",
+    "Aggregate",
+    "AggregateSpec",
+    "Sort",
+    "Limit",
+    "Distinct",
+    "execute",
+]
+
+QualifiedRow = dict[str, object]
+
+
+class Plan:
+    """Base class for plan operators."""
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+    def output_columns(self, database: "Database") -> list[str]:  # noqa: F821
+        """Qualified column names this operator produces, in order."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """Full scan of a base table, qualifying columns with ``alias``."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def prefix(self) -> str:
+        return self.alias or self.table
+
+    def output_columns(self, database) -> list[str]:
+        schema = database.schema.table(self.table)
+        return [f"{self.prefix}.{column}" for column in schema.column_names]
+
+
+@dataclass(frozen=True)
+class Filter(Plan):
+    """Keep rows for which ``predicate`` evaluates truthy."""
+
+    child: Plan
+    predicate: Expression
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_columns(self, database) -> list[str]:
+        return self.child.output_columns(database)
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """Keep only ``columns`` (qualified names), optionally renaming.
+
+    ``renames`` maps output name -> input qualified name; plain ``columns``
+    pass through under their own name.
+    """
+
+    child: Plan
+    columns: tuple[str, ...]
+    renames: tuple[tuple[str, str], ...] = ()
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_columns(self, database) -> list[str]:
+        return list(self.columns) + [out for out, _ in self.renames]
+
+
+@dataclass(frozen=True)
+class HashJoin(Plan):
+    """Equi-join: build a hash table on the right child, probe with the left."""
+
+    left: Plan
+    right: Plan
+    left_key: str
+    right_key: str
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def output_columns(self, database) -> list[str]:
+        return self.left.output_columns(database) + self.right.output_columns(database)
+
+
+@dataclass(frozen=True)
+class NestedLoopJoin(Plan):
+    """Theta-join fallback for non-equi predicates (used rarely)."""
+
+    left: Plan
+    right: Plan
+    predicate: Expression
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def output_columns(self, database) -> list[str]:
+        return self.left.output_columns(database) + self.right.output_columns(database)
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output: ``function(input) AS output``.
+
+    ``function`` is one of count/sum/min/max/avg; ``input`` is a qualified
+    column or None for ``count(*)``.
+    """
+
+    function: str
+    input: str | None
+    output: str
+
+    _FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+    def __post_init__(self) -> None:
+        if self.function not in self._FUNCTIONS:
+            raise PlanError(f"unknown aggregate function {self.function!r}")
+        if self.function != "count" and self.input is None:
+            raise PlanError(f"aggregate {self.function} requires an input column")
+
+
+@dataclass(frozen=True)
+class Aggregate(Plan):
+    """Group by ``keys`` (qualified columns) and compute ``aggregates``."""
+
+    child: Plan
+    keys: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_columns(self, database) -> list[str]:
+        return list(self.keys) + [spec.output for spec in self.aggregates]
+
+
+@dataclass(frozen=True)
+class Sort(Plan):
+    """Order by qualified columns; ``descending`` applies to all keys."""
+
+    child: Plan
+    keys: tuple[str, ...]
+    descending: bool = False
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_columns(self, database) -> list[str]:
+        return self.child.output_columns(database)
+
+
+@dataclass(frozen=True)
+class Limit(Plan):
+    child: Plan
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise PlanError(f"limit must be non-negative, got {self.count}")
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_columns(self, database) -> list[str]:
+        return self.child.output_columns(database)
+
+
+@dataclass(frozen=True)
+class Distinct(Plan):
+    child: Plan
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_columns(self, database) -> list[str]:
+        return self.child.output_columns(database)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def execute(plan: Plan, database, params: Params | None = None) -> Iterator[QualifiedRow]:
+    """Evaluate ``plan`` against ``database`` yielding qualified rows."""
+    if isinstance(plan, Scan):
+        yield from _execute_scan(plan, database)
+    elif isinstance(plan, Filter):
+        for row in execute(plan.child, database, params):
+            if plan.predicate.evaluate(row, params):
+                yield row
+    elif isinstance(plan, Project):
+        yield from _execute_project(plan, database, params)
+    elif isinstance(plan, HashJoin):
+        yield from _execute_hash_join(plan, database, params)
+    elif isinstance(plan, NestedLoopJoin):
+        yield from _execute_nested_loop(plan, database, params)
+    elif isinstance(plan, Aggregate):
+        yield from _execute_aggregate(plan, database, params)
+    elif isinstance(plan, Sort):
+        yield from _execute_sort(plan, database, params)
+    elif isinstance(plan, Limit):
+        yield from _execute_limit(plan, database, params)
+    elif isinstance(plan, Distinct):
+        yield from _execute_distinct(plan, database, params)
+    else:
+        raise PlanError(f"unknown plan operator {type(plan).__name__}")
+
+
+def _execute_scan(plan: Scan, database) -> Iterator[QualifiedRow]:
+    table = database.table(plan.table)
+    prefix = plan.prefix
+    for row in table:
+        yield {f"{prefix}.{name}": value for name, value in row.items()}
+
+
+def _execute_project(plan: Project, database, params) -> Iterator[QualifiedRow]:
+    for row in execute(plan.child, database, params):
+        out: QualifiedRow = {}
+        for column in plan.columns:
+            if column not in row:
+                raise PlanError(
+                    f"projected column {column!r} missing from row; "
+                    f"available: {sorted(row)}"
+                )
+            out[column] = row[column]
+        for output, source in plan.renames:
+            if source not in row:
+                raise PlanError(
+                    f"renamed column {source!r} missing from row; "
+                    f"available: {sorted(row)}"
+                )
+            out[output] = row[source]
+        yield out
+
+
+def _normalize_key(value: object) -> object:
+    """Hash-join keys compare case-insensitively for text, exactly otherwise."""
+    if isinstance(value, str):
+        return value.lower()
+    return value
+
+
+def _execute_hash_join(plan: HashJoin, database, params) -> Iterator[QualifiedRow]:
+    build: dict[object, list[QualifiedRow]] = {}
+    for row in execute(plan.right, database, params):
+        key = row.get(plan.right_key)
+        if key is None:
+            continue
+        build.setdefault(_normalize_key(key), []).append(row)
+    for left_row in execute(plan.left, database, params):
+        key = left_row.get(plan.left_key)
+        if key is None:
+            continue
+        for right_row in build.get(_normalize_key(key), ()):
+            merged = dict(left_row)
+            merged.update(right_row)
+            yield merged
+
+
+def _execute_nested_loop(plan: NestedLoopJoin, database, params) -> Iterator[QualifiedRow]:
+    right_rows = list(execute(plan.right, database, params))
+    for left_row in execute(plan.left, database, params):
+        for right_row in right_rows:
+            merged = dict(left_row)
+            merged.update(right_row)
+            if plan.predicate.evaluate(merged, params):
+                yield merged
+
+
+def _execute_aggregate(plan: Aggregate, database, params) -> Iterator[QualifiedRow]:
+    groups: dict[tuple[object, ...], list[QualifiedRow]] = {}
+    order: list[tuple[object, ...]] = []
+    for row in execute(plan.child, database, params):
+        key = tuple(row.get(column) for column in plan.keys)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    if not plan.keys and not groups:
+        # Global aggregate over an empty input still yields one row.
+        groups[()] = []
+        order.append(())
+    for key in order:
+        rows = groups[key]
+        out: QualifiedRow = dict(zip(plan.keys, key))
+        for spec in plan.aggregates:
+            out[spec.output] = _apply_aggregate(spec, rows)
+        yield out
+
+
+def _apply_aggregate(spec: AggregateSpec, rows: list[QualifiedRow]) -> object:
+    if spec.function == "count":
+        if spec.input is None:
+            return len(rows)
+        return sum(1 for row in rows if row.get(spec.input) is not None)
+    values = [row[spec.input] for row in rows
+              if row.get(spec.input) is not None]
+    if not values:
+        return None
+    if spec.function == "sum":
+        return sum(values)  # type: ignore[arg-type]
+    if spec.function == "min":
+        return min(values)  # type: ignore[type-var]
+    if spec.function == "max":
+        return max(values)  # type: ignore[type-var]
+    return sum(values) / len(values)  # type: ignore[arg-type]
+
+
+def _sort_key(value: object) -> tuple[int, object]:
+    """Total order with None first, grouped by type to avoid TypeError."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, str(value))
+
+
+def _execute_sort(plan: Sort, database, params) -> Iterator[QualifiedRow]:
+    rows = list(execute(plan.child, database, params))
+    rows.sort(
+        key=lambda row: tuple(_sort_key(row.get(column)) for column in plan.keys),
+        reverse=plan.descending,
+    )
+    yield from rows
+
+
+def _execute_limit(plan: Limit, database, params) -> Iterator[QualifiedRow]:
+    emitted = 0
+    for row in execute(plan.child, database, params):
+        if emitted >= plan.count:
+            return
+        emitted += 1
+        yield row
+
+
+def _execute_distinct(plan: Distinct, database, params) -> Iterator[QualifiedRow]:
+    seen: set[tuple[tuple[str, object], ...]] = set()
+    for row in execute(plan.child, database, params):
+        fingerprint = tuple(sorted(row.items(), key=lambda item: item[0]))
+        try:
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+        except TypeError:
+            # Unhashable value: fall back to emitting (correctness over dedup).
+            pass
+        yield row

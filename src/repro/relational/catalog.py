@@ -1,0 +1,110 @@
+"""Statistics catalog: cardinalities and value distributions per column.
+
+Queriability scoring (Sec. 4.1 of the paper, following Jayapandian &
+Jagadish) is computed from exactly these statistics, so the catalog is the
+bridge between raw storage and qunit derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.table import Table
+
+__all__ = ["ColumnStatistics", "TableStatistics", "StatisticsCatalog"]
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Summary statistics of one column."""
+
+    table: str
+    column: str
+    row_count: int
+    null_count: int
+    distinct_count: int
+    avg_text_length: float
+    is_id_like: bool
+    searchable: bool
+
+    @property
+    def null_fraction(self) -> float:
+        return self.null_count / self.row_count if self.row_count else 0.0
+
+    @property
+    def distinct_ratio(self) -> float:
+        """Distinct values over non-null values (1.0 = key-like)."""
+        non_null = self.row_count - self.null_count
+        return self.distinct_count / non_null if non_null else 0.0
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Summary statistics of one table."""
+
+    table: str
+    row_count: int
+    columns: tuple[ColumnStatistics, ...]
+
+    def column(self, name: str) -> ColumnStatistics:
+        for stats in self.columns:
+            if stats.column == name:
+                return stats
+        raise KeyError(f"no statistics for column {self.table}.{name}")
+
+
+class StatisticsCatalog:
+    """Lazily computed, cached statistics for every table in a database."""
+
+    def __init__(self, database) -> None:
+        self._database = database
+        self._cache: dict[str, TableStatistics] = {}
+
+    def table(self, name: str) -> TableStatistics:
+        if name not in self._cache:
+            self._cache[name] = self._compute(self._database.table(name))
+        return self._cache[name]
+
+    def column(self, table: str, column: str) -> ColumnStatistics:
+        return self.table(table).column(column)
+
+    def all_tables(self) -> list[TableStatistics]:
+        return [self.table(name) for name in self._database.schema.table_names]
+
+    def total_rows(self) -> int:
+        return sum(stats.row_count for stats in self.all_tables())
+
+    def invalidate(self, table: str | None = None) -> None:
+        """Drop cached stats (all, or one table) after data changes."""
+        if table is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(table, None)
+
+    @staticmethod
+    def _compute(table: Table) -> TableStatistics:
+        schema = table.schema
+        row_count = len(table)
+        column_stats = []
+        for column in schema.columns:
+            values = table.column_values(column.name)
+            non_null = [value for value in values if value is not None]
+            distinct: set[object] = set()
+            text_lengths = 0
+            text_count = 0
+            for value in non_null:
+                distinct.add(value)
+                if isinstance(value, str):
+                    text_lengths += len(value)
+                    text_count += 1
+            column_stats.append(ColumnStatistics(
+                table=schema.name,
+                column=column.name,
+                row_count=row_count,
+                null_count=row_count - len(non_null),
+                distinct_count=len(distinct),
+                avg_text_length=text_lengths / text_count if text_count else 0.0,
+                is_id_like=schema.is_id_like(column.name),
+                searchable=column.searchable,
+            ))
+        return TableStatistics(schema.name, row_count, tuple(column_stats))

@@ -1,0 +1,278 @@
+"""Scalar/predicate expression trees evaluated over qualified rows.
+
+Rows reaching an expression are dicts keyed ``"table.column"`` (or an alias
+prefix).  Expressions support parameters (``Param``) which must be bound via
+a parameter mapping at evaluation time — this is how qunit base expressions
+like ``movie.title = "$x"`` are instantiated per qunit instance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import BindError, PlanError
+from repro.utils.text import normalize
+
+__all__ = [
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "Param",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "InList",
+    "IsNull",
+    "Contains",
+]
+
+QualifiedRow = Mapping[str, object]
+Params = Mapping[str, object]
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Expression:
+    """Base class; subclasses implement :meth:`evaluate`."""
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        raise NotImplementedError
+
+    def references(self) -> set[str]:
+        """Qualified column names this expression reads."""
+        return set()
+
+    def param_names(self) -> set[str]:
+        """Names of unbound parameters anywhere in the tree."""
+        return set()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a qualified column, e.g. ``ColumnRef("movie", "title")``."""
+
+    table: str
+    column: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.column}"
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        try:
+            return row[self.qualified]
+        except KeyError:
+            raise PlanError(
+                f"column {self.qualified!r} not present in row; "
+                f"available: {sorted(row)}"
+            ) from None
+
+    def references(self) -> set[str]:
+        return {self.qualified}
+
+    def __str__(self) -> str:
+        return self.qualified
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: object
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        return self.value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Param(Expression):
+    """A named query parameter (``$name`` in SQL text)."""
+
+    name: str
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        if params is None or self.name not in params:
+            raise BindError(f"unbound parameter ${self.name}")
+        return params[self.name]
+
+    def param_names(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """Binary comparison with null-rejecting semantics (SQL-style)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise PlanError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        left = self.left.evaluate(row, params)
+        right = self.right.evaluate(row, params)
+        if left is None or right is None:
+            return False
+        # Text equality is case/accent-insensitive: keyword search over the
+        # database should not care about capitalization of stored values.
+        if isinstance(left, str) and isinstance(right, str):
+            left, right = normalize(left), normalize(right)
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError:
+            return False
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+    def param_names(self) -> set[str]:
+        return self.left.param_names() | self.right.param_names()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        return bool(self.left.evaluate(row, params)) and bool(self.right.evaluate(row, params))
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+    def param_names(self) -> set[str]:
+        return self.left.param_names() | self.right.param_names()
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        return bool(self.left.evaluate(row, params)) or bool(self.right.evaluate(row, params))
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+    def param_names(self) -> set[str]:
+        return self.left.param_names() | self.right.param_names()
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    operand: Expression
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        return not bool(self.operand.evaluate(row, params))
+
+    def references(self) -> set[str]:
+        return self.operand.references()
+
+    def param_names(self) -> set[str]:
+        return self.operand.param_names()
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` with normalized text membership."""
+
+    operand: Expression
+    values: tuple[object, ...]
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        value = self.operand.evaluate(row, params)
+        if value is None:
+            return False
+        if isinstance(value, str):
+            norm = normalize(value)
+            return any(isinstance(v, str) and normalize(v) == norm for v in self.values)
+        return value in self.values
+
+    def references(self) -> set[str]:
+        return self.operand.references()
+
+    def param_names(self) -> set[str]:
+        return self.operand.param_names()
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(Literal(v)) for v in self.values)
+        return f"{self.operand} IN ({inner})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS NULL`` (or negated)."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        is_null = self.operand.evaluate(row, params) is None
+        return not is_null if self.negated else is_null
+
+    def references(self) -> set[str]:
+        return self.operand.references()
+
+    def param_names(self) -> set[str]:
+        return self.operand.param_names()
+
+    def __str__(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand} {suffix}"
+
+
+@dataclass(frozen=True)
+class Contains(Expression):
+    """Substring containment over normalized text (SQL ``LIKE '%needle%'``)."""
+
+    operand: Expression
+    needle: Expression
+
+    def evaluate(self, row: QualifiedRow, params: Params | None = None) -> object:
+        haystack = self.operand.evaluate(row, params)
+        needle = self.needle.evaluate(row, params)
+        if not isinstance(haystack, str) or not isinstance(needle, str):
+            return False
+        return normalize(needle) in normalize(haystack)
+
+    def references(self) -> set[str]:
+        return self.operand.references() | self.needle.references()
+
+    def param_names(self) -> set[str]:
+        return self.operand.param_names() | self.needle.param_names()
+
+    def __str__(self) -> str:
+        return f"{self.operand} CONTAINS {self.needle}"

@@ -1,0 +1,134 @@
+"""Secondary indexes: exact hash index and inverted text index.
+
+The hash index accelerates equality probes on one column.  The text index is
+the substrate for entity recognition (query segmentation) and for the BANKS
+baseline: it maps normalized tokens to the rows whose searchable text
+contains them, and supports greedy longest-phrase lookup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import IndexError_
+from repro.relational.table import Table
+from repro.utils.text import normalize
+
+__all__ = ["HashIndex", "TextIndex"]
+
+
+class HashIndex:
+    """Exact-match index ``value -> [row_id]`` over one column of one table.
+
+    Text values are normalized so lookups are case/accent-insensitive,
+    matching the comparison semantics of the expression layer.
+    """
+
+    def __init__(self, table: Table, column: str):
+        table.schema.column(column)
+        self.table_name = table.schema.name
+        self.column = column
+        self._buckets: dict[object, list[int]] = {}
+        for row_id, row in enumerate(table):
+            value = row[column]
+            if value is None:
+                continue
+            self._buckets.setdefault(self._key(value), []).append(row_id)
+
+    @staticmethod
+    def _key(value: object) -> object:
+        if isinstance(value, str):
+            return normalize(value)
+        return value
+
+    def lookup(self, value: object) -> list[int]:
+        """Row ids whose column equals ``value`` (normalized for text)."""
+        return list(self._buckets.get(self._key(value), ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+
+class TextIndex:
+    """Inverted index over the searchable text columns of many tables.
+
+    Postings map a token to ``(table, column, row_id)`` triples.  The index
+    also keeps full normalized values so that multi-token phrases ("george
+    clooney") can be matched exactly — the paper's segmenter looks for the
+    *largest* string overlap with entities in the database.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, set[tuple[str, str, int]]] = {}
+        self._values: dict[str, set[tuple[str, str, int]]] = {}
+        self._sources: list[tuple[str, str]] = []
+
+    def add_table(self, table: Table, columns: Iterable[str] | None = None) -> int:
+        """Index the given columns (default: all searchable); returns #rows."""
+        schema = table.schema
+        if columns is None:
+            names = [column.name for column in schema.searchable_columns()]
+        else:
+            names = list(columns)
+            for name in names:
+                schema.column(name)
+        indexed = 0
+        for name in names:
+            self._sources.append((schema.name, name))
+        for row_id, row in enumerate(table):
+            touched = False
+            for name in names:
+                value = row[name]
+                if not isinstance(value, str) or not value:
+                    continue
+                touched = True
+                location = (schema.name, name, row_id)
+                norm = normalize(value)
+                if norm:
+                    self._values.setdefault(norm, set()).add(location)
+                for token in norm.split():
+                    self._postings.setdefault(token, set()).add(location)
+            if touched:
+                indexed += 1
+        return indexed
+
+    # -- queries ------------------------------------------------------------
+
+    def rows_with_token(self, token: str) -> set[tuple[str, str, int]]:
+        """Postings for one normalized token."""
+        return set(self._postings.get(normalize(token), ()))
+
+    def rows_with_phrase(self, phrase: str) -> set[tuple[str, str, int]]:
+        """Rows whose full field value equals the normalized phrase."""
+        return set(self._values.get(normalize(phrase), ()))
+
+    def has_phrase(self, phrase: str) -> bool:
+        return normalize(phrase) in self._values
+
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    @property
+    def sources(self) -> list[tuple[str, str]]:
+        """(table, column) pairs that were indexed."""
+        return list(self._sources)
+
+    def __contains__(self, token: str) -> bool:
+        return normalize(token) in self._postings
+
+    def document_frequency(self, token: str) -> int:
+        return len(self._postings.get(normalize(token), ()))
+
+    def validate(self) -> None:
+        """Internal consistency: every phrase posting has token postings."""
+        for phrase, locations in self._values.items():
+            for token in phrase.split():
+                token_postings = self._postings.get(token, set())
+                if not locations <= token_postings:
+                    raise IndexError_(
+                        f"phrase {phrase!r} has postings missing from token {token!r}"
+                    )

@@ -1,0 +1,227 @@
+"""Schema objects: column types, columns, tables, foreign keys.
+
+A :class:`Schema` is a validated collection of :class:`TableSchema` objects.
+Schemas know which columns are "id-like" (primary keys, foreign keys,
+``*_id`` names) — a distinction the paper leans on: id plumbing is meaningful
+to the storage layer but meaningless to a searcher, and qunit derivation must
+treat it accordingly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
+
+__all__ = ["ColumnType", "Column", "ForeignKey", "TableSchema", "Schema"]
+
+
+class ColumnType(enum.Enum):
+    """Value domain of a column."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+
+    def accepts(self, value: object) -> bool:
+        """Whether a (non-null) Python value is valid for this type."""
+        if self is ColumnType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.TEXT:
+            return isinstance(value, str)
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    ``searchable`` marks columns whose values are sensible targets for
+    keyword matching (names, titles, descriptive text).  Derivation and the
+    entity recognizer only index searchable columns.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+    searchable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A single-column foreign key ``table.column -> ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+class TableSchema:
+    """Schema of one table: ordered columns, primary key, foreign keys."""
+
+    def __init__(self, name: str, columns: list[Column],
+                 primary_key: str | None = None,
+                 foreign_keys: list[ForeignKey] | None = None):
+        if not name or not name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid table name {name!r}")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        seen: set[str] = set()
+        for column in columns:
+            if column.name in seen:
+                raise SchemaError(f"duplicate column {column.name!r} in table {name!r}")
+            seen.add(column.name)
+
+        self.name = name
+        self.columns = list(columns)
+        self._by_name = {column.name: column for column in columns}
+        self.primary_key = primary_key
+        self.foreign_keys = list(foreign_keys or [])
+
+        if primary_key is not None and primary_key not in self._by_name:
+            raise SchemaError(
+                f"primary key {primary_key!r} is not a column of table {name!r}"
+            )
+        for fk in self.foreign_keys:
+            if fk.column not in self._by_name:
+                raise SchemaError(
+                    f"foreign key column {fk.column!r} is not a column of table {name!r}"
+                )
+
+    # -- lookup -------------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownColumnError(self.name, name, tuple(self._by_name)) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    # -- classification -----------------------------------------------------
+
+    def is_id_like(self, column_name: str) -> bool:
+        """Whether a column is id plumbing (PK, FK, or ``*_id``-named).
+
+        The paper observes that "internal id fields are never really meant
+        for search"; this predicate is how the rest of the system recognizes
+        them.
+        """
+        self.column(column_name)
+        if column_name == self.primary_key:
+            return True
+        if any(fk.column == column_name for fk in self.foreign_keys):
+            return True
+        return column_name == "id" or column_name.endswith("_id")
+
+    def searchable_columns(self) -> list[Column]:
+        return [column for column in self.columns if column.searchable]
+
+    def value_columns(self) -> list[Column]:
+        """Columns that carry user-meaningful values (non-id-like)."""
+        return [column for column in self.columns if not self.is_id_like(column.name)]
+
+    def foreign_key_for(self, column_name: str) -> ForeignKey | None:
+        for fk in self.foreign_keys:
+            if fk.column == column_name:
+                return fk
+        return None
+
+    def __repr__(self) -> str:
+        return f"TableSchema({self.name!r}, {len(self.columns)} columns)"
+
+
+class Schema:
+    """A validated database schema (multiple tables plus referential checks)."""
+
+    def __init__(self, tables: list[TableSchema]):
+        self._tables: dict[str, TableSchema] = {}
+        for table in tables:
+            if table.name in self._tables:
+                raise SchemaError(f"duplicate table {table.name!r}")
+            self._tables[table.name] = table
+        self._validate_foreign_keys()
+
+    def _validate_foreign_keys(self) -> None:
+        for table in self._tables.values():
+            for fk in table.foreign_keys:
+                target = self._tables.get(fk.ref_table)
+                if target is None:
+                    raise SchemaError(
+                        f"foreign key {table.name}.{fk.column} references "
+                        f"unknown table {fk.ref_table!r}"
+                    )
+                if not target.has_column(fk.ref_column):
+                    raise SchemaError(
+                        f"foreign key {table.name}.{fk.column} references "
+                        f"unknown column {fk.ref_table}.{fk.ref_column}"
+                    )
+
+    # -- lookup -------------------------------------------------------------
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name, tuple(self._tables)) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    @property
+    def tables(self) -> list[TableSchema]:
+        return list(self._tables.values())
+
+    # -- structure ----------------------------------------------------------
+
+    def edges(self) -> list[tuple[str, str, ForeignKey]]:
+        """All FK edges as ``(from_table, to_table, fk)`` triples."""
+        result = []
+        for table in self._tables.values():
+            for fk in table.foreign_keys:
+                result.append((table.name, fk.ref_table, fk))
+        return result
+
+    def neighbors(self, table_name: str) -> list[str]:
+        """Tables connected to ``table_name`` by an FK in either direction."""
+        self.table(table_name)
+        connected: list[str] = []
+        for source, target, _fk in self.edges():
+            if source == table_name and target not in connected:
+                connected.append(target)
+            elif target == table_name and source not in connected:
+                connected.append(source)
+        return connected
+
+    def join_condition(self, left: str, right: str) -> tuple[str, str] | None:
+        """The FK equi-join columns between two tables, if directly joinable.
+
+        Returns ``(left_column, right_column)`` or None.  When several FK
+        paths exist the first declared one wins (deterministic).
+        """
+        for source, target, fk in self.edges():
+            if source == left and target == right:
+                return fk.column, fk.ref_column
+            if source == right and target == left:
+                return fk.ref_column, fk.column
+        return None
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(self._tables)})"

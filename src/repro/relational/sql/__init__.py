@@ -1,0 +1,50 @@
+"""SQL-subset front end.
+
+Supports the query shape the paper writes qunit base expressions in::
+
+    SELECT person.name, movie.title
+    FROM person, cast, movie
+    WHERE cast.movie_id = movie.id
+      AND cast.person_id = person.id
+      AND movie.title = "$x"
+    ORDER BY person.name LIMIT 10
+
+plus ``SELECT DISTINCT``, ``COUNT/SUM/MIN/MAX/AVG`` with ``GROUP BY``,
+``LIKE`` (contains), ``IN`` lists, ``IS [NOT] NULL``, table aliases, and
+``$name`` parameters.  ``split_return_clause`` separates the paper's
+``SELECT ... RETURN <template>`` qunit-definition syntax into its SQL and
+template halves.
+"""
+
+from repro.relational.sql.ast import (
+    AggregateCall,
+    ColumnItem,
+    SelectStatement,
+    StarItem,
+    TableRef,
+)
+from repro.relational.sql.compiler import compile_select
+from repro.relational.sql.lexer import Token, tokenize
+from repro.relational.sql.parser import parse_select, split_return_clause
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_select",
+    "split_return_clause",
+    "compile_select",
+    "SelectStatement",
+    "TableRef",
+    "ColumnItem",
+    "StarItem",
+    "AggregateCall",
+]
+
+
+def run_sql(sql: str, database, params=None) -> list[dict[str, object]]:
+    """Parse, compile and execute a SELECT statement; returns all rows."""
+    from repro.relational.algebra import execute
+
+    statement = parse_select(sql)
+    plan = compile_select(statement, database)
+    return list(execute(plan, database, params))

@@ -1,0 +1,89 @@
+"""AST nodes produced by the SQL parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.expr import Expression
+
+__all__ = [
+    "TableRef",
+    "StarItem",
+    "ColumnItem",
+    "AggregateCall",
+    "OrderItem",
+    "SelectStatement",
+]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause entry: table name plus optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class StarItem:
+    """``SELECT *`` — all columns of all FROM tables."""
+
+
+@dataclass(frozen=True)
+class ColumnItem:
+    """``alias.column [AS name]`` in the select list."""
+
+    table: str
+    column: str
+    output_name: str | None = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``COUNT(*)`` / ``SUM(t.c)`` etc. in the select list."""
+
+    function: str
+    argument: ColumnItem | None
+    output_name: str | None = None
+
+    @property
+    def default_name(self) -> str:
+        if self.argument is None:
+            return f"{self.function}_star"
+        return f"{self.function}_{self.argument.table}_{self.argument.column}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: ColumnItem
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT query."""
+
+    select_items: tuple[object, ...]  # StarItem | ColumnItem | AggregateCall
+    from_tables: tuple[TableRef, ...]
+    where: Expression | None = None
+    group_by: tuple[ColumnItem, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.group_by) or any(
+            isinstance(item, AggregateCall) for item in self.select_items
+        )
+
+    def referenced_tables(self) -> list[str]:
+        return [ref.table for ref in self.from_tables]

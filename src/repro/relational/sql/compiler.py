@@ -1,0 +1,297 @@
+"""Compile a parsed SELECT statement to an executable algebra plan.
+
+The compiler performs the textbook steps a small optimizer would:
+
+1. validate every table/column reference against the schema;
+2. split the WHERE conjunction into single-table predicates (pushed below
+   the joins) and cross-table equality predicates (turned into hash joins);
+3. build a join tree greedily over the connected join graph, falling back
+   to FK metadata when the query author omitted a join predicate, and to a
+   nested-loop product only as a last resort;
+4. apply residual predicates, grouping/aggregation, distinct, order, limit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError, SqlSyntaxError, UnknownColumnError
+from repro.relational.algebra import (
+    Aggregate,
+    AggregateSpec,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    Plan,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.relational.expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+)
+from repro.relational.sql.ast import (
+    AggregateCall,
+    ColumnItem,
+    SelectStatement,
+    StarItem,
+    TableRef,
+)
+
+__all__ = ["compile_select"]
+
+
+def compile_select(statement: SelectStatement, database) -> Plan:
+    """Turn a validated AST into an executable plan."""
+    bindings = _bind_tables(statement, database)
+    _validate_references(statement, bindings, database)
+
+    conjuncts = _split_conjunction(statement.where)
+    single_table, join_preds, residual = _classify_predicates(conjuncts, bindings)
+
+    plan = _build_join_tree(statement.from_tables, single_table, join_preds,
+                            bindings, database)
+    for predicate in residual:
+        plan = Filter(plan, predicate)
+
+    if statement.is_aggregate:
+        plan = _apply_aggregation(statement, plan)
+    else:
+        plan = _apply_projection(statement, plan, bindings, database)
+
+    if statement.distinct:
+        plan = Distinct(plan)
+    if statement.order_by:
+        keys = tuple(item.column.qualified for item in statement.order_by)
+        descending = statement.order_by[0].descending
+        plan = Sort(plan, keys, descending)
+    if statement.limit is not None:
+        plan = Limit(plan, statement.limit)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+def _bind_tables(statement: SelectStatement, database) -> dict[str, str]:
+    """Map binding name (alias or table) -> real table name."""
+    bindings: dict[str, str] = {}
+    for ref in statement.from_tables:
+        database.schema.table(ref.table)  # raises UnknownTableError
+        if ref.binding in bindings:
+            raise SqlSyntaxError(f"duplicate table binding {ref.binding!r}")
+        bindings[ref.binding] = ref.table
+    return bindings
+
+
+def _validate_references(statement: SelectStatement, bindings: dict[str, str],
+                         database) -> None:
+    def check(item: ColumnItem) -> None:
+        if item.table not in bindings:
+            raise PlanError(
+                f"column {item.qualified!r} references a table not in FROM "
+                f"(bindings: {sorted(bindings)})"
+            )
+        schema = database.schema.table(bindings[item.table])
+        if not schema.has_column(item.column):
+            raise UnknownColumnError(schema.name, item.column,
+                                     tuple(schema.column_names))
+
+    for select_item in statement.select_items:
+        if isinstance(select_item, ColumnItem):
+            check(select_item)
+        elif isinstance(select_item, AggregateCall) and select_item.argument:
+            check(select_item.argument)
+    for column in statement.group_by:
+        check(column)
+    for order in statement.order_by:
+        check(order.column)
+    if statement.where is not None:
+        for qualified in statement.where.references():
+            table, _, column = qualified.partition(".")
+            check(ColumnItem(table, column))
+
+
+# ---------------------------------------------------------------------------
+# Predicate classification
+# ---------------------------------------------------------------------------
+
+def _split_conjunction(expression: Expression | None) -> list[Expression]:
+    if expression is None:
+        return []
+    if isinstance(expression, And):
+        return _split_conjunction(expression.left) + _split_conjunction(expression.right)
+    return [expression]
+
+
+def _tables_of(expression: Expression) -> set[str]:
+    return {qualified.partition(".")[0] for qualified in expression.references()}
+
+
+def _classify_predicates(
+    conjuncts: list[Expression], bindings: dict[str, str]
+) -> tuple[dict[str, list[Expression]], list[Comparison], list[Expression]]:
+    """Partition into per-table filters, equi-join predicates, residual."""
+    single_table: dict[str, list[Expression]] = {name: [] for name in bindings}
+    joins: list[Comparison] = []
+    residual: list[Expression] = []
+    for predicate in conjuncts:
+        tables = _tables_of(predicate)
+        if len(tables) <= 1:
+            if tables:
+                single_table[next(iter(tables))].append(predicate)
+            else:
+                residual.append(predicate)  # constant predicate
+            continue
+        if (
+            isinstance(predicate, Comparison)
+            and predicate.op == "="
+            and isinstance(predicate.left, ColumnRef)
+            and isinstance(predicate.right, ColumnRef)
+            and len(tables) == 2
+        ):
+            joins.append(predicate)
+        else:
+            residual.append(predicate)
+    return single_table, joins, residual
+
+
+# ---------------------------------------------------------------------------
+# Join tree construction
+# ---------------------------------------------------------------------------
+
+def _build_join_tree(
+    from_tables: tuple[TableRef, ...],
+    single_table: dict[str, list[Expression]],
+    join_preds: list[Comparison],
+    bindings: dict[str, str],
+    database,
+) -> Plan:
+    # Base access path per binding, with pushed-down filters.
+    subplans: dict[str, Plan] = {}
+    for ref in from_tables:
+        plan: Plan = Scan(ref.table, ref.alias)
+        for predicate in single_table.get(ref.binding, ()):
+            plan = Filter(plan, predicate)
+        subplans[ref.binding] = plan
+
+    # Components: binding -> component id; merge as joins connect them.
+    joined: dict[str, set[str]] = {name: {name} for name in subplans}
+    plans: dict[str, Plan] = dict(subplans)
+    pending = list(join_preds)
+
+    def component_of(binding: str) -> str:
+        for root, members in joined.items():
+            if binding in members:
+                return root
+        raise PlanError(f"binding {binding!r} lost from join bookkeeping")
+
+    progress = True
+    while pending and progress:
+        progress = False
+        for predicate in list(pending):
+            left_ref = predicate.left
+            right_ref = predicate.right
+            assert isinstance(left_ref, ColumnRef) and isinstance(right_ref, ColumnRef)
+            left_root = component_of(left_ref.table)
+            right_root = component_of(right_ref.table)
+            if left_root == right_root:
+                # Redundant join predicate inside one component: filter.
+                plans[left_root] = Filter(plans[left_root], predicate)
+                pending.remove(predicate)
+                progress = True
+                continue
+            plans[left_root] = HashJoin(
+                plans[left_root], plans[right_root],
+                left_key=left_ref.qualified, right_key=right_ref.qualified,
+            )
+            joined[left_root] |= joined.pop(right_root)
+            plans.pop(right_root)
+            pending.remove(predicate)
+            progress = True
+
+    # Connect remaining components: try FK metadata, else cross product.
+    roots = list(plans)
+    while len(roots) > 1:
+        left_root, right_root = roots[0], roots[1]
+        fk_join = _fk_join_between(joined[left_root], joined[right_root],
+                                   bindings, database)
+        if fk_join is not None:
+            left_key, right_key = fk_join
+            plans[left_root] = HashJoin(
+                plans[left_root], plans[right_root], left_key, right_key
+            )
+        else:
+            plans[left_root] = NestedLoopJoin(
+                plans[left_root], plans[right_root], Literal(True)
+            )
+        joined[left_root] |= joined.pop(right_root)
+        plans.pop(right_root)
+        roots = list(plans)
+
+    return plans[roots[0]]
+
+
+def _fk_join_between(
+    left_bindings: set[str], right_bindings: set[str],
+    bindings: dict[str, str], database,
+) -> tuple[str, str] | None:
+    """Find an FK-implied equi-join between two sets of bound tables."""
+    for left_binding in sorted(left_bindings):
+        for right_binding in sorted(right_bindings):
+            condition = database.schema.join_condition(
+                bindings[left_binding], bindings[right_binding]
+            )
+            if condition is not None:
+                left_column, right_column = condition
+                return (
+                    f"{left_binding}.{left_column}",
+                    f"{right_binding}.{right_column}",
+                )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Output shaping
+# ---------------------------------------------------------------------------
+
+def _apply_projection(statement: SelectStatement, plan: Plan,
+                      bindings: dict[str, str], database) -> Plan:
+    if any(isinstance(item, StarItem) for item in statement.select_items):
+        if len(statement.select_items) != 1:
+            raise SqlSyntaxError("SELECT * cannot be combined with other items")
+        return plan  # all qualified columns pass through
+    columns: list[str] = []
+    renames: list[tuple[str, str]] = []
+    for item in statement.select_items:
+        assert isinstance(item, ColumnItem)
+        if item.output_name:
+            renames.append((item.output_name, item.qualified))
+        else:
+            columns.append(item.qualified)
+    return Project(plan, tuple(columns), tuple(renames))
+
+
+def _apply_aggregation(statement: SelectStatement, plan: Plan) -> Plan:
+    keys = tuple(column.qualified for column in statement.group_by)
+    specs: list[AggregateSpec] = []
+    for item in statement.select_items:
+        if isinstance(item, AggregateCall):
+            specs.append(AggregateSpec(
+                function=item.function,
+                input=item.argument.qualified if item.argument else None,
+                output=item.output_name or item.default_name,
+            ))
+        elif isinstance(item, ColumnItem):
+            if item.qualified not in keys:
+                raise SqlSyntaxError(
+                    f"non-aggregated column {item.qualified!r} must appear in GROUP BY"
+                )
+        elif isinstance(item, StarItem):
+            raise SqlSyntaxError("SELECT * cannot be combined with aggregates")
+    return Aggregate(plan, keys, tuple(specs))

@@ -1,0 +1,124 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "and", "or", "not", "in",
+    "like", "is", "null", "as", "order", "by", "group", "limit",
+    "asc", "desc", "return", "count", "sum", "min", "max", "avg",
+}
+
+_PUNCTUATION = {
+    "(": "lparen",
+    ")": "rparen",
+    ",": "comma",
+    "*": "star",
+    ".": "dot",
+}
+
+_OPERATOR_STARTS = "=<>!"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is keyword/ident/number/string/param/op/punct."""
+
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[char], char, index))
+            index += 1
+            continue
+        if char in _OPERATOR_STARTS:
+            two = text[index:index + 2]
+            if two in ("<=", ">=", "!=", "<>"):
+                value = "!=" if two == "<>" else two
+                tokens.append(Token("op", value, index))
+                index += 2
+                continue
+            if char in "=<>":
+                tokens.append(Token("op", char, index))
+                index += 1
+                continue
+            raise SqlSyntaxError(f"unexpected character {char!r}", index, text)
+        if char in ("'", '"'):
+            token, index = _read_string(text, index)
+            tokens.append(token)
+            continue
+        if char == "$":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == index + 1:
+                raise SqlSyntaxError("empty parameter name", index, text)
+            tokens.append(Token("param", text[index + 1:end], index))
+            index = end
+            continue
+        if char.isdigit() or (char == "-" and index + 1 < length and text[index + 1].isdigit()):
+            end = index + 1
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # A dot is part of the number only if digits follow.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token("number", text[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            value = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, value, index))
+            index = end
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r}", index, text)
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[Token, int]:
+    """Read a quoted literal; returns the token and the index just past it."""
+    quote = text[start]
+    end = start + 1
+    chunks: list[str] = []
+    while end < len(text):
+        char = text[end]
+        if char == quote:
+            if end + 1 < len(text) and text[end + 1] == quote:
+                chunks.append(quote)
+                end += 2
+                continue
+            return Token("string", "".join(chunks), start), end + 1
+        chunks.append(char)
+        end += 1
+    raise SqlSyntaxError("unterminated string literal", start, text)

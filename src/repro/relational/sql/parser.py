@@ -1,0 +1,328 @@
+"""Recursive-descent parser for the SQL subset.
+
+Also exposes :func:`split_return_clause` for the paper's qunit-definition
+syntax, where a SELECT statement is followed by ``RETURN <template markup>``;
+the template half is *not* SQL and is handed to the presentation layer
+verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SqlSyntaxError
+from repro.relational.expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    Contains,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    Param,
+)
+from repro.relational.sql.ast import (
+    AggregateCall,
+    ColumnItem,
+    OrderItem,
+    SelectStatement,
+    StarItem,
+    TableRef,
+)
+from repro.relational.sql.lexer import Token, tokenize
+
+__all__ = ["parse_select", "split_return_clause"]
+
+_AGGREGATES = ("count", "sum", "min", "max", "avg")
+_RETURN_SPLIT = re.compile(r"\bRETURN\b", re.IGNORECASE)
+
+
+def split_return_clause(text: str) -> tuple[str, str | None]:
+    """Split ``SELECT ... RETURN <template>`` into (sql, template|None).
+
+    Only a RETURN outside string literals splits; a movie titled
+    "Return of the King" in a WHERE clause must not.
+    """
+    in_string: str | None = None
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if in_string is not None:
+            if char == in_string:
+                in_string = None
+            index += 1
+            continue
+        if char in ("'", '"'):
+            in_string = char
+            index += 1
+            continue
+        match = _RETURN_SPLIT.match(text, index)
+        if match and _is_word_boundary(text, index, match.end()):
+            return text[:index].strip(), text[match.end():].strip()
+        index += 1
+    return text.strip(), None
+
+
+def _is_word_boundary(text: str, start: int, end: int) -> bool:
+    before_ok = start == 0 or not (text[start - 1].isalnum() or text[start - 1] == "_")
+    after_ok = end >= len(text) or not (text[end].isalnum() or text[end] == "_")
+    return before_ok and after_ok
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse a SELECT statement; raises :class:`SqlSyntaxError` on failure."""
+    return _Parser(sql).parse()
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self._text = sql
+        self._tokens = tokenize(sql)
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._current
+        if not token.matches(kind, value):
+            want = f"{kind} {value!r}" if value else kind
+            raise SqlSyntaxError(
+                f"expected {want}, found {token.kind} {token.value!r}",
+                token.position, self._text,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self._current.matches(kind, value):
+            return self._advance()
+        return None
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        self._expect("keyword", "select")
+        distinct = bool(self._accept("keyword", "distinct"))
+        select_items = self._select_list()
+        self._expect("keyword", "from")
+        from_tables = self._table_list()
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._condition()
+        group_by: tuple[ColumnItem, ...] = ()
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by = tuple(self._column_list())
+        order_by: tuple[OrderItem, ...] = ()
+        if self._accept("keyword", "order"):
+            self._expect("keyword", "by")
+            order_by = tuple(self._order_list())
+        limit: int | None = None
+        if self._accept("keyword", "limit"):
+            token = self._expect("number")
+            limit = int(float(token.value))
+            if limit < 0:
+                raise SqlSyntaxError("LIMIT must be non-negative", token.position, self._text)
+        self._expect("eof")
+        return SelectStatement(
+            select_items=tuple(select_items),
+            from_tables=tuple(from_tables),
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_list(self) -> list[object]:
+        items: list[object] = []
+        while True:
+            items.append(self._select_item())
+            if not self._accept("comma"):
+                return items
+
+    def _select_item(self) -> object:
+        if self._accept("star"):
+            return StarItem()
+        if self._current.kind == "keyword" and self._current.value in _AGGREGATES:
+            return self._aggregate_call()
+        column = self._column_item()
+        output = self._optional_alias()
+        if output:
+            return ColumnItem(column.table, column.column, output)
+        return column
+
+    def _aggregate_call(self) -> AggregateCall:
+        function = self._advance().value
+        self._expect("lparen")
+        argument: ColumnItem | None = None
+        if self._accept("star"):
+            if function != "count":
+                raise SqlSyntaxError(
+                    f"{function.upper()}(*) is not supported",
+                    self._current.position, self._text,
+                )
+        else:
+            argument = self._column_item()
+        self._expect("rparen")
+        output = self._optional_alias()
+        return AggregateCall(function, argument, output)
+
+    def _optional_alias(self) -> str | None:
+        if self._accept("keyword", "as"):
+            return self._expect("ident").value
+        return None
+
+    def _column_item(self) -> ColumnItem:
+        first = self._expect("ident").value
+        self._expect("dot")
+        second = self._expect("ident").value
+        return ColumnItem(first, second)
+
+    def _column_list(self) -> list[ColumnItem]:
+        columns = [self._column_item()]
+        while self._accept("comma"):
+            columns.append(self._column_item())
+        return columns
+
+    def _order_list(self) -> list[OrderItem]:
+        items = [self._order_item()]
+        while self._accept("comma"):
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> OrderItem:
+        column = self._column_item()
+        descending = False
+        if self._accept("keyword", "desc"):
+            descending = True
+        else:
+            self._accept("keyword", "asc")
+        return OrderItem(column, descending)
+
+    def _table_list(self) -> list[TableRef]:
+        tables = [self._table_ref()]
+        while self._accept("comma"):
+            tables.append(self._table_ref())
+        return tables
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect("ident").value
+        if self._accept("keyword", "as"):
+            return TableRef(name, self._expect("ident").value)
+        if self._current.kind == "ident":
+            return TableRef(name, self._advance().value)
+        return TableRef(name)
+
+    # -- conditions ----------------------------------------------------------
+
+    def _condition(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self._accept("keyword", "or"):
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self._accept("keyword", "and"):
+            left = And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self._accept("keyword", "not"):
+            return Not(self._not_expr())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        if self._accept("lparen"):
+            inner = self._condition()
+            self._expect("rparen")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._operand()
+        if self._accept("keyword", "is"):
+            negated = bool(self._accept("keyword", "not"))
+            self._expect("keyword", "null")
+            return IsNull(left, negated)
+        if self._accept("keyword", "like"):
+            token = self._expect("string")
+            needle = token.value.strip("%")
+            return Contains(left, Literal(needle))
+        if self._accept("keyword", "in"):
+            self._expect("lparen")
+            values = [self._literal_value()]
+            while self._accept("comma"):
+                values.append(self._literal_value())
+            self._expect("rparen")
+            return InList(left, tuple(values))
+        op_token = self._expect("op")
+        right = self._operand()
+        return Comparison(op_token.value, left, right)
+
+    def _operand(self) -> Expression:
+        token = self._current
+        if token.kind == "ident":
+            return ColumnRef(*self._split_column())
+        if token.kind == "param":
+            self._advance()
+            return Param(token.value)
+        if token.kind == "string":
+            self._advance()
+            # The paper writes parameters as quoted "$x"; honor that form.
+            if token.value.startswith("$") and len(token.value) > 1:
+                return Param(token.value[1:])
+            return Literal(token.value)
+        if token.kind == "number":
+            self._advance()
+            return Literal(_number(token.value))
+        if token.kind == "keyword" and token.value == "null":
+            self._advance()
+            return Literal(None)
+        raise SqlSyntaxError(
+            f"expected an operand, found {token.kind} {token.value!r}",
+            token.position, self._text,
+        )
+
+    def _split_column(self) -> tuple[str, str]:
+        first = self._expect("ident").value
+        self._expect("dot")
+        second = self._expect("ident").value
+        return first, second
+
+    def _literal_value(self) -> object:
+        token = self._current
+        if token.kind == "string":
+            self._advance()
+            return token.value
+        if token.kind == "number":
+            self._advance()
+            return _number(token.value)
+        if token.kind == "keyword" and token.value == "null":
+            self._advance()
+            return None
+        raise SqlSyntaxError(
+            f"expected a literal, found {token.kind} {token.value!r}",
+            token.position, self._text,
+        )
+
+
+def _number(text: str) -> object:
+    if "." in text:
+        return float(text)
+    return int(text)

@@ -1,0 +1,100 @@
+"""Row storage for a single table, with type and key validation.
+
+Rows are stored as dicts keyed by *unqualified* column names.  The algebra
+layer qualifies them (``table.column``) when rows enter a pipeline, so that
+joins of many tables never collide.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.errors import IntegrityError, SchemaError, TypeMismatchError
+from repro.relational.schema import TableSchema
+
+__all__ = ["Table"]
+
+Row = dict[str, object]
+
+
+class Table:
+    """An insert-only heap of validated rows plus a primary-key index."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: list[Row] = []
+        self._pk_index: dict[object, int] = {}
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, values: Mapping[str, object]) -> int:
+        """Validate and append one row; returns its 0-based row id."""
+        row = self._validated(values)
+        pk = self.schema.primary_key
+        if pk is not None:
+            key = row[pk]
+            if key is None:
+                raise IntegrityError(
+                    f"{self.schema.name}: primary key {pk!r} may not be null"
+                )
+            if key in self._pk_index:
+                raise IntegrityError(
+                    f"{self.schema.name}: duplicate primary key {key!r}"
+                )
+            self._pk_index[key] = len(self._rows)
+        self._rows.append(row)
+        return len(self._rows) - 1
+
+    def _validated(self, values: Mapping[str, object]) -> Row:
+        unknown = set(values) - set(self.schema.column_names)
+        if unknown:
+            raise SchemaError(
+                f"{self.schema.name}: unknown columns in insert: {sorted(unknown)}"
+            )
+        row: Row = {}
+        for column in self.schema.columns:
+            value = values.get(column.name)
+            if value is None:
+                if not column.nullable:
+                    raise IntegrityError(
+                        f"{self.schema.name}.{column.name} is not nullable"
+                    )
+                row[column.name] = None
+                continue
+            if not column.type.accepts(value):
+                raise TypeMismatchError(
+                    f"{self.schema.name}.{column.name}", column.type.value, value
+                )
+            # Normalize ints stored in float columns so comparisons behave.
+            if column.type.name == "FLOAT" and isinstance(value, int):
+                value = float(value)
+            row[column.name] = value
+        return row
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def row(self, row_id: int) -> Row:
+        return self._rows[row_id]
+
+    def by_primary_key(self, key: object) -> Row | None:
+        """O(1) lookup through the primary-key index."""
+        if self.schema.primary_key is None:
+            raise IntegrityError(
+                f"table {self.schema.name!r} has no primary key"
+            )
+        row_id = self._pk_index.get(key)
+        return None if row_id is None else self._rows[row_id]
+
+    def column_values(self, column_name: str) -> list[object]:
+        """All values of one column, in row order (including nulls)."""
+        self.schema.column(column_name)
+        return [row[column_name] for row in self._rows]
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, {len(self._rows)} rows)"

@@ -1,0 +1,26 @@
+"""Shared utilities: deterministic RNG, text helpers, ASCII rendering, timing."""
+
+from repro.utils.rng import DeterministicRng, zipf_weights
+from repro.utils.text import (
+    fold_whitespace,
+    ngrams,
+    normalize,
+    sliding_windows,
+    to_identifier,
+)
+from repro.utils.tables import ascii_bar_chart, ascii_table, format_float
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "DeterministicRng",
+    "zipf_weights",
+    "normalize",
+    "fold_whitespace",
+    "ngrams",
+    "sliding_windows",
+    "to_identifier",
+    "ascii_table",
+    "ascii_bar_chart",
+    "format_float",
+    "Stopwatch",
+]

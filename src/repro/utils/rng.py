@@ -1,0 +1,138 @@
+"""Deterministic random-number helpers.
+
+All synthetic data in this reproduction must be reproducible bit-for-bit
+across runs, so every stochastic component draws from a
+:class:`DeterministicRng` seeded explicitly.  The class wraps
+:class:`random.Random` and adds the distributions the generators need
+(Zipf-like ranks, weighted choice without replacement, noisy counts).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["DeterministicRng", "zipf_weights"]
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> list[float]:
+    """Return normalized Zipfian weights ``1/rank**exponent`` for ``n`` ranks.
+
+    Rank 1 is the heaviest.  Raises ``ValueError`` for non-positive ``n``.
+    """
+    if n <= 0:
+        raise ValueError(f"need a positive number of ranks, got {n}")
+    raw = [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class DeterministicRng:
+    """A seeded RNG with the sampling utilities used by the data generators."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, label: str) -> "DeterministicRng":
+        """Derive an independent child stream identified by ``label``.
+
+        Forking lets each generator component own its own stream so adding a
+        new component never perturbs the draws of existing ones.  The child
+        seed comes from CRC32, not ``hash()``: Python randomizes string
+        hashes per process, which would silently break cross-run
+        reproducibility.
+        """
+        child_seed = zlib.crc32(f"{self.seed}:{label}".encode()) & 0x7FFFFFFF
+        return DeterministicRng(child_seed)
+
+    # -- thin wrappers ------------------------------------------------------
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._random.gauss(mu, sigma)
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._random.choice(items)
+
+    def shuffle(self, items: list[T]) -> None:
+        self._random.shuffle(items)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        return self._random.sample(items, k)
+
+    # -- distributions ------------------------------------------------------
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Choose one item proportionally to ``weights``."""
+        if len(items) != len(weights):
+            raise ValueError(
+                f"items ({len(items)}) and weights ({len(weights)}) differ in length"
+            )
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._random.choices(items, weights=weights, k=1)[0]
+
+    def weighted_sample(self, items: Sequence[T], weights: Sequence[float], k: int) -> list[T]:
+        """Sample ``k`` distinct items, probability proportional to weight.
+
+        Uses the Efraimidis–Spirakis exponential-jitter method so the result
+        is a true weighted sample without replacement.
+        """
+        if k < 0:
+            raise ValueError(f"sample size must be non-negative, got {k}")
+        if k > len(items):
+            raise ValueError(f"sample size {k} exceeds population {len(items)}")
+        keyed = []
+        for item, weight in zip(items, weights):
+            if weight <= 0:
+                key = float("-inf")
+            else:
+                key = math.log(self._random.random()) / weight
+            keyed.append((key, item))
+        keyed.sort(key=lambda pair: pair[0], reverse=True)
+        return [item for _, item in keyed[:k]]
+
+    def zipf_rank(self, n: int, exponent: float = 1.0) -> int:
+        """Draw a 0-based rank from a Zipf distribution over ``n`` ranks."""
+        weights = zipf_weights(n, exponent)
+        return self.weighted_choice(range(n), weights)
+
+    def poisson(self, lam: float) -> int:
+        """Draw from Poisson(lam) via Knuth's method (lam expected small)."""
+        if lam < 0:
+            raise ValueError(f"lambda must be non-negative, got {lam}")
+        if lam == 0:
+            return 0
+        threshold = math.exp(-lam)
+        k = 0
+        p = 1.0
+        while True:
+            p *= self._random.random()
+            if p <= threshold:
+                return k
+            k += 1
+
+    def noisy_count(self, mean: int, spread: float = 0.25, minimum: int = 0) -> int:
+        """A count near ``mean`` with relative gaussian spread, clamped below."""
+        drawn = int(round(self._random.gauss(mean, max(0.0, spread) * mean)))
+        return max(minimum, drawn)
+
+    def coin(self, probability: float = 0.5) -> bool:
+        """Return True with the given probability."""
+        return self._random.random() < probability

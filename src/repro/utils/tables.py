@@ -1,0 +1,73 @@
+"""ASCII rendering for benchmark tables and figures.
+
+The benchmark harness reports every reproduced table/figure as plain text so
+results are inspectable in CI logs without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_table", "ascii_bar_chart", "format_float"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float compactly: trims trailing zeros but keeps one decimal."""
+    text = f"{value:.{digits}f}".rstrip("0")
+    if text.endswith("."):
+        text += "0"
+    return text
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: str | None = None) -> str:
+    """Render a left-aligned ASCII table with a header rule."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(labels: Sequence[str], values: Sequence[float],
+                    width: int = 40, title: str | None = None,
+                    max_value: float | None = None) -> str:
+    """Render a horizontal bar chart (used to reproduce the paper's Fig. 3)."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels ({len(labels)}) and values ({len(values)}) differ in length"
+        )
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    top = max_value if max_value is not None else max(values, default=0.0)
+    top = top if top > 0 else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        filled = int(round(width * min(value, top) / top))
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} | {bar.ljust(width)} {format_float(value)}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)

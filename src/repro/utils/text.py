@@ -1,0 +1,70 @@
+"""Small text-normalization helpers shared by the IR engine and segmenter."""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from collections.abc import Iterator, Sequence
+
+__all__ = [
+    "normalize",
+    "fold_whitespace",
+    "ngrams",
+    "sliding_windows",
+    "to_identifier",
+]
+
+_NON_WORD = re.compile(r"[^a-z0-9']+")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize(text: str) -> str:
+    """Lowercase, strip accents and collapse punctuation to single spaces.
+
+    This is the canonical normalization applied before tokenization, entity
+    matching and template extraction, so that "Amélie" and "amelie" compare
+    equal everywhere.
+    """
+    decomposed = unicodedata.normalize("NFKD", text)
+    ascii_text = decomposed.encode("ascii", "ignore").decode("ascii")
+    lowered = ascii_text.lower()
+    spaced = _NON_WORD.sub(" ", lowered)
+    return fold_whitespace(spaced)
+
+
+def fold_whitespace(text: str) -> str:
+    """Collapse runs of whitespace to single spaces and trim the ends."""
+    return _WHITESPACE.sub(" ", text).strip()
+
+
+def ngrams(tokens: Sequence[str], n: int) -> Iterator[tuple[str, ...]]:
+    """Yield all contiguous ``n``-grams of ``tokens`` (empty if too short)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    for start in range(len(tokens) - n + 1):
+        yield tuple(tokens[start:start + n])
+
+
+def sliding_windows(tokens: Sequence[str], max_n: int) -> Iterator[tuple[int, int, tuple[str, ...]]]:
+    """Yield ``(start, end, gram)`` for every window of length 1..max_n.
+
+    Longer windows are yielded first for each start position so greedy
+    longest-match consumers can take the first hit.
+    """
+    if max_n <= 0:
+        raise ValueError(f"max_n must be positive, got {max_n}")
+    for start in range(len(tokens)):
+        longest = min(max_n, len(tokens) - start)
+        for length in range(longest, 0, -1):
+            yield start, start + length, tuple(tokens[start:start + length])
+
+
+def to_identifier(text: str) -> str:
+    """Turn arbitrary text into a snake_case identifier."""
+    norm = normalize(text).replace("'", "")
+    ident = norm.replace(" ", "_")
+    if not ident:
+        return "unnamed"
+    if ident[0].isdigit():
+        ident = "n" + ident
+    return ident

@@ -1,0 +1,48 @@
+"""Lightweight wall-clock timing for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch usable as a context manager.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     pass
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps: list[float] = []
+        self._started: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("stopwatch is not running")
+        lap = time.perf_counter() - self._started
+        self._started = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    @property
+    def mean_lap(self) -> float:
+        return self.elapsed / len(self.laps) if self.laps else 0.0

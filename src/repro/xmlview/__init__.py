@@ -1,0 +1,24 @@
+"""XML view of a relational database, plus LCA-family keyword operators.
+
+The paper's XML baselines (XRank-style LCA and Schema-Free XQuery's MLCA)
+were run over "a crawl of the imdb.com website converted to XML".  We build
+the equivalent tree straight from the database: one element per entity
+tuple, junction tables nested as repeating child elements with their
+referenced entities' text inlined — the same shape a site crawl yields
+(a movie page lists its cast; a person page lists their filmography).
+
+Nodes carry Dewey identifiers, so ancestor tests and lowest common
+ancestors are prefix operations.
+"""
+
+from repro.xmlview.operators import lca, lca_nodes, mlca, slca
+from repro.xmlview.tree import XmlNode, build_xml_view
+
+__all__ = [
+    "XmlNode",
+    "build_xml_view",
+    "lca",
+    "lca_nodes",
+    "slca",
+    "mlca",
+]

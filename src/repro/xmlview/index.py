@@ -1,0 +1,59 @@
+"""Token index over an XML view, for resolving keywords to match nodes."""
+
+from __future__ import annotations
+
+from repro.ir.analysis import Analyzer
+from repro.xmlview.tree import XmlNode
+
+__all__ = ["TreeTextIndex"]
+
+
+class TreeTextIndex:
+    """Maps normalized tokens to the tree nodes whose own text contains them.
+
+    Match sets are what the LCA/SLCA/MLCA operators consume; building the
+    index once makes repeated keyword queries cheap.
+    """
+
+    def __init__(self, root: XmlNode, analyzer: Analyzer | None = None):
+        self.root = root
+        # Stemming on both sides lets "awards" hit the "award" section
+        # label, as word forms on crawled pages would; stopwords stay so
+        # title phrases like "of the" still resolve.
+        self.analyzer = analyzer or Analyzer(remove_stopwords=False, stem=True)
+        self._by_token: dict[str, list[XmlNode]] = {}
+        for node in root.walk():
+            if not node.text:
+                continue
+            seen: set[str] = set()
+            for token in self._tokens(node.text):
+                if token in seen:
+                    continue
+                seen.add(token)
+                self._by_token.setdefault(token, []).append(node)
+
+    def _tokens(self, text: str) -> list[str]:
+        if self.analyzer.stem:
+            return [self.analyzer.stem_token(token)
+                    for token in self.analyzer.raw_tokens(text)]
+        return self.analyzer.raw_tokens(text)
+
+    def matches(self, token: str) -> list[XmlNode]:
+        """Nodes containing the (normalized) token in their direct text."""
+        normalized = self._tokens(token)
+        if len(normalized) != 1:
+            raise ValueError(f"expected a single token, got {token!r}")
+        return list(self._by_token.get(normalized[0], ()))
+
+    def match_sets(self, query: str) -> list[list[XmlNode]]:
+        """Per-keyword match sets for a whole keyword query.
+
+        Keywords missing from the tree yield empty lists (the operators
+        treat that as "no conjunctive answer"), matching how the XML
+        baselines behave when a term is absent.
+        """
+        return [list(self._by_token.get(token, ()))
+                for token in self._tokens(query)]
+
+    def vocabulary_size(self) -> int:
+        return len(self._by_token)

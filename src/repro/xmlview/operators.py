@@ -1,0 +1,149 @@
+"""LCA-family keyword operators over the XML view.
+
+* :func:`lca` — lowest common ancestor of Dewey ids (prefix intersection).
+* :func:`slca` — *smallest* LCAs for a keyword query (Xu & Papakonstantinou
+  semantics): LCAs of one match per keyword such that no other such LCA is
+  a descendant.  This is the "smallest element containing all keywords"
+  strategy the paper attributes to XRank-style systems.
+* :func:`mlca` — *meaningful* LCAs (Li, Yu & Jagadish, Schema-Free XQuery):
+  an SLCA computed from matches that are mutually nearest by element type,
+  so the ancestor is "unique to the combination of queried nodes that
+  connect to it".
+
+All operators take the query as pre-resolved keyword match sets (lists of
+nodes per keyword); resolving keywords to nodes is the caller's job, which
+keeps these functions purely structural.
+"""
+
+from __future__ import annotations
+
+from repro.xmlview.tree import XmlNode
+
+__all__ = ["lca", "lca_nodes", "slca", "mlca"]
+
+Dewey = tuple[int, ...]
+
+
+def lca(a: Dewey, b: Dewey) -> Dewey:
+    """Longest common prefix of two Dewey identifiers."""
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return a[:i]
+
+
+def lca_nodes(root: XmlNode, nodes: list[XmlNode]) -> XmlNode:
+    """The LCA element of a non-empty list of nodes."""
+    if not nodes:
+        raise ValueError("need at least one node")
+    common = nodes[0].dewey
+    for node in nodes[1:]:
+        common = lca(common, node.dewey)
+    return root.find_by_dewey(common)
+
+
+def slca(root: XmlNode, keyword_matches: list[list[XmlNode]]) -> list[XmlNode]:
+    """Smallest LCAs for the given per-keyword match sets.
+
+    Empty result if any keyword has no matches (conjunctive semantics).
+    Results are in document (Dewey) order.
+    """
+    candidates = _candidate_lcas(keyword_matches)
+    if candidates is None:
+        return []
+    kept = _remove_ancestors(candidates)
+    return [root.find_by_dewey(dewey) for dewey in sorted(kept)]
+
+
+def mlca(root: XmlNode, keyword_matches: list[list[XmlNode]]) -> list[XmlNode]:
+    """Meaningful LCAs: SLCA restricted to type-consistent nearest matches.
+
+    For an anchor match ``a`` of keyword 0 and each other keyword ``j``,
+    consider only the match of each *element type* that is nearest to ``a``
+    (deepest LCA).  A combination is meaningful if, symmetrically, ``a`` is
+    also the nearest match of its type to the chosen partner.  This is the
+    mutual-nearest filter that makes the LCA "unique to the combination".
+    """
+    if not keyword_matches or any(not matches for matches in keyword_matches):
+        return []
+    anchor_list = min(keyword_matches, key=len)
+    anchor_index = keyword_matches.index(anchor_list)
+    other_lists = [matches for i, matches in enumerate(keyword_matches)
+                   if i != anchor_index]
+
+    candidates: set[Dewey] = set()
+    for anchor in anchor_list:
+        chosen: list[XmlNode] = [anchor]
+        meaningful = True
+        for matches in other_lists:
+            partner = _nearest_of_each_type(anchor, matches)
+            if partner is None:
+                meaningful = False
+                break
+            # Mutuality: anchor must be the nearest node of its own type
+            # to the chosen partner, otherwise the pairing is coincidental.
+            reciprocal = _nearest_of_each_type(partner, anchor_list)
+            if reciprocal is None or reciprocal.dewey != anchor.dewey:
+                meaningful = False
+                break
+            chosen.append(partner)
+        if not meaningful:
+            continue
+        common = chosen[0].dewey
+        for node in chosen[1:]:
+            common = lca(common, node.dewey)
+        candidates.add(common)
+
+    kept = _remove_ancestors(candidates)
+    return [root.find_by_dewey(dewey) for dewey in sorted(kept)]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _candidate_lcas(keyword_matches: list[list[XmlNode]]) -> set[Dewey] | None:
+    """LCA of (anchor, nearest match per other keyword) for every anchor."""
+    if not keyword_matches or any(not matches for matches in keyword_matches):
+        return None
+    anchor_list = min(keyword_matches, key=len)
+    anchor_index = keyword_matches.index(anchor_list)
+    other_lists = [matches for i, matches in enumerate(keyword_matches)
+                   if i != anchor_index]
+    candidates: set[Dewey] = set()
+    for anchor in anchor_list:
+        common = anchor.dewey
+        for matches in other_lists:
+            nearest = max(matches, key=lambda node: (len(lca(node.dewey, anchor.dewey)),
+                                                     tuple(reversed(node.dewey))))
+            common = lca(common, nearest.dewey)
+        candidates.add(common)
+    return candidates
+
+
+def _nearest_of_each_type(anchor: XmlNode, matches: list[XmlNode]) -> XmlNode | None:
+    """The match whose LCA with ``anchor`` is deepest, preferring, among
+    types, the one with the deepest achievable LCA; ties break by Dewey."""
+    best: XmlNode | None = None
+    best_depth = -1
+    for node in matches:
+        depth = len(lca(node.dewey, anchor.dewey))
+        if depth > best_depth or (depth == best_depth and best is not None
+                                  and node.dewey < best.dewey):
+            best = node
+            best_depth = depth
+    return best
+
+
+def _remove_ancestors(candidates: set[Dewey]) -> set[Dewey]:
+    """Keep only candidates that have no other candidate as a descendant."""
+    kept: set[Dewey] = set()
+    for dewey in candidates:
+        has_descendant = any(
+            other != dewey and other[:len(dewey)] == dewey
+            for other in candidates
+        )
+        if not has_descendant:
+            kept.add(dewey)
+    return kept

@@ -1,0 +1,113 @@
+"""Shared fixtures.
+
+``mini_db`` is a hand-built six-row database over the paper's Figure 2-ish
+schema — fast, fully known content for exact assertions.  ``imdb_db`` is
+the synthetic generator at small scale, session-scoped because most
+integration tests only read it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import QunitCollection
+from repro.core.derivation import imdb_expert_qunits
+from repro.core.search import QunitSearchEngine
+from repro.datasets.imdb import generate_imdb
+from repro.relational.database import Database
+from repro.relational.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+
+
+def build_mini_schema() -> Schema:
+    """person -- cast -- movie, plus a genre dimension."""
+    return Schema([
+        TableSchema("person", [
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("name", ColumnType.TEXT, nullable=False, searchable=True),
+            Column("birth_year", ColumnType.INTEGER),
+        ], primary_key="id"),
+        TableSchema("movie", [
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("title", ColumnType.TEXT, nullable=False, searchable=True),
+            Column("year", ColumnType.INTEGER),
+            Column("rating", ColumnType.FLOAT),
+        ], primary_key="id"),
+        TableSchema("genre", [
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("name", ColumnType.TEXT, nullable=False, searchable=True),
+        ], primary_key="id"),
+        TableSchema("movie_genre", [
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("movie_id", ColumnType.INTEGER, nullable=False),
+            Column("genre_id", ColumnType.INTEGER, nullable=False),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("movie_id", "movie", "id"),
+            ForeignKey("genre_id", "genre", "id"),
+        ]),
+        TableSchema("cast", [
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("person_id", ColumnType.INTEGER, nullable=False),
+            Column("movie_id", ColumnType.INTEGER, nullable=False),
+            Column("role", ColumnType.TEXT, searchable=True),
+        ], primary_key="id", foreign_keys=[
+            ForeignKey("person_id", "person", "id"),
+            ForeignKey("movie_id", "movie", "id"),
+        ]),
+    ])
+
+
+def build_mini_db() -> Database:
+    db = Database(build_mini_schema(), name="mini")
+    for person in [
+        {"id": 1, "name": "George Clooney", "birth_year": 1961},
+        {"id": 2, "name": "Tom Hanks", "birth_year": 1956},
+        {"id": 3, "name": "Carrie Fisher", "birth_year": 1956},
+    ]:
+        db.insert("person", person)
+    for movie in [
+        {"id": 1, "title": "Star Wars", "year": 1977, "rating": 8.6},
+        {"id": 2, "title": "Cast Away", "year": 2000, "rating": 7.8},
+        {"id": 3, "title": "Ocean's Eleven", "year": 2001, "rating": 7.7},
+    ]:
+        db.insert("movie", movie)
+    for genre in [
+        {"id": 1, "name": "science fiction"},
+        {"id": 2, "name": "drama"},
+        {"id": 3, "name": "crime"},
+    ]:
+        db.insert("genre", genre)
+    for movie_genre in [
+        {"id": 1, "movie_id": 1, "genre_id": 1},
+        {"id": 2, "movie_id": 2, "genre_id": 2},
+        {"id": 3, "movie_id": 3, "genre_id": 3},
+    ]:
+        db.insert("movie_genre", movie_genre)
+    for cast in [
+        {"id": 1, "person_id": 3, "movie_id": 1, "role": "actress"},
+        {"id": 2, "person_id": 2, "movie_id": 2, "role": "actor"},
+        {"id": 3, "person_id": 1, "movie_id": 3, "role": "actor"},
+        {"id": 4, "person_id": 2, "movie_id": 3, "role": "actor"},
+    ]:
+        db.insert("cast", cast)
+    return db
+
+
+@pytest.fixture()
+def mini_db() -> Database:
+    return build_mini_db()
+
+
+@pytest.fixture(scope="session")
+def imdb_db() -> Database:
+    return generate_imdb(scale=0.15, seed=7)
+
+
+@pytest.fixture(scope="session")
+def expert_collection(imdb_db) -> QunitCollection:
+    return QunitCollection(imdb_db, imdb_expert_qunits(),
+                           max_instances_per_definition=60)
+
+
+@pytest.fixture(scope="session")
+def expert_engine(expert_collection) -> QunitSearchEngine:
+    return QunitSearchEngine(expert_collection, flavor="expert")

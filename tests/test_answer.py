@@ -1,0 +1,40 @@
+"""Tests for the shared Answer model."""
+
+from repro.answer import Answer, atom
+
+
+class TestAtom:
+    def test_normalizes_value(self):
+        assert atom("movie", "title", "Star WARS!") == ("movie", "title", "star wars")
+
+    def test_non_text_values(self):
+        assert atom("movie", "year", 1977) == ("movie", "year", "1977")
+        assert atom("award", "won", True) == ("award", "won", "yes")
+        assert atom("award", "won", False) == ("award", "won", "no")
+
+
+class TestAnswer:
+    def test_empty(self):
+        empty = Answer.empty("sys")
+        assert empty.is_empty
+        assert empty.system == "sys"
+        assert empty.text == ""
+
+    def test_tables(self):
+        answer = Answer("s", frozenset({
+            atom("movie", "title", "X"), atom("person", "name", "Y"),
+        }), "X Y")
+        assert answer.tables() == {"movie", "person"}
+
+    def test_values_for(self):
+        answer = Answer("s", frozenset({
+            atom("movie", "title", "A"), atom("movie", "title", "B"),
+            atom("movie", "year", 1990),
+        }), "")
+        assert answer.values_for("movie", "title") == {"a", "b"}
+        assert answer.values_for("movie", "nope") == set()
+
+    def test_meta(self):
+        answer = Answer("s", frozenset(), "", provenance=(("k", "v"),))
+        assert answer.meta("k") == "v"
+        assert answer.meta("missing", "fallback") == "fallback"

@@ -1,0 +1,77 @@
+"""Tests for the BANKS baseline."""
+
+import pytest
+
+from repro.answer import atom
+from repro.baselines.banks import BanksSearch
+from repro.graph.data_graph import DataGraph, TupleNode
+
+
+@pytest.fixture()
+def banks(mini_db):
+    return BanksSearch(DataGraph(mini_db))
+
+
+class TestSingleKeyword:
+    def test_returns_matching_tuples(self, banks):
+        trees = banks.search_trees("clooney")
+        assert trees and trees[0].root == TupleNode("person", 0)
+        assert trees[0].nodes == frozenset([TupleNode("person", 0)])
+
+    def test_ranked_by_prestige(self, banks):
+        trees = banks.search_trees("actor", limit=3)
+        prestiges = [banks.data_graph.prestige(t.root) for t in trees]
+        assert prestiges == sorted(prestiges, reverse=True)
+
+    def test_no_match(self, banks):
+        assert banks.search_trees("xyzzy") == []
+        assert banks.best("xyzzy").is_empty
+
+
+class TestMultiKeyword:
+    def test_connects_keywords(self, banks):
+        # "clooney" (person 0) + "eleven" (movie 2) connect through cast.
+        trees = banks.search_trees("clooney eleven")
+        assert trees
+        best = trees[0]
+        assert TupleNode("person", 0) in best.nodes
+        assert TupleNode("movie", 2) in best.nodes
+        # The connecting cast tuple is included: the join-plumbing the
+        # paper says BANKS drags into results.
+        assert TupleNode("cast", 2) in best.nodes
+
+    def test_any_missing_keyword_empty(self, banks):
+        assert banks.search_trees("clooney xyzzy") == []
+
+    def test_trees_deduplicated(self, banks):
+        trees = banks.search_trees("hanks away", limit=10)
+        node_sets = [t.nodes for t in trees]
+        assert len(node_sets) == len(set(node_sets))
+
+    def test_limit(self, banks):
+        assert len(banks.search_trees("actor movie", limit=2)) <= 2
+
+    def test_schema_word_matched_as_content(self, banks):
+        # The paper's failure mode: BANKS treats the structural word
+        # "actor" as content, so "away actor" anchors on a cast tuple's
+        # role text rather than understanding the cast relationship.
+        trees = banks.search_trees("away actor")
+        assert trees
+        tables = {node.table for node in trees[0].nodes}
+        assert "movie" in tables and "cast" in tables
+
+
+class TestAnswers:
+    def test_atoms_exclude_ids(self, banks):
+        answer = banks.best("clooney eleven")
+        assert atom("person", "name", "George Clooney") in answer.atoms
+        assert all(not column.endswith("_id") and column != "id"
+                   for _t, column, _v in answer.atoms)
+
+    def test_provenance(self, banks):
+        answer = banks.best("clooney eleven")
+        assert answer.meta("tree_size") >= 3
+        assert answer.system == "banks"
+
+    def test_empty_query(self, banks):
+        assert banks.search("") == []

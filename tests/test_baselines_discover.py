@@ -1,0 +1,95 @@
+"""Tests for the DISCOVER/DBXplorer-style candidate-network baseline."""
+
+import pytest
+
+from repro.answer import atom
+from repro.baselines.discover import DiscoverSearch
+
+
+@pytest.fixture()
+def discover(mini_db):
+    return DiscoverSearch(mini_db)
+
+
+class TestTupleSets:
+    def test_per_table_row_sets(self, discover):
+        sets = discover._tuple_sets("clooney")
+        assert sets == {"person": {0}}
+
+    def test_keyword_across_tables(self, discover):
+        sets = discover._tuple_sets("actor")
+        assert "cast" in sets and len(sets["cast"]) == 3
+
+
+class TestCandidateNetworks:
+    def test_single_keyword_single_table(self, discover):
+        networks = discover._candidate_networks([{"person": {0}}])
+        assert networks and networks[0].tables == ("person",)
+        assert networks[0].size == 1
+
+    def test_connector_tables_added(self, discover):
+        networks = discover._candidate_networks([
+            {"person": {0}}, {"movie": {2}},
+        ])
+        assert networks
+        smallest = networks[0]
+        assert "cast" in smallest.tables  # the junction connects them
+        assert smallest.size == 3
+
+    def test_ordered_smallest_first(self, discover):
+        networks = discover._candidate_networks([
+            {"person": {0}, "movie": {0}}, {"movie": {2}},
+        ])
+        sizes = [network.size for network in networks]
+        assert sizes == sorted(sizes)
+
+    def test_same_table_keywords_intersect(self, discover):
+        networks = discover._candidate_networks([
+            {"movie": {0, 1}}, {"movie": {1, 2}},
+        ])
+        assert networks
+        assert networks[0].restriction_for("movie") == frozenset({1})
+
+    def test_empty_intersection_dropped(self, discover):
+        networks = discover._candidate_networks([
+            {"movie": {0}}, {"movie": {1}},
+        ])
+        assert networks == []
+
+
+class TestSearch:
+    def test_single_entity_query(self, discover):
+        answer = discover.best("clooney")
+        assert atom("person", "name", "George Clooney") in answer.atoms
+        assert answer.meta("network_size") == 1
+
+    def test_multi_keyword_join(self, discover):
+        answer = discover.best("clooney eleven")
+        assert atom("person", "name", "George Clooney") in answer.atoms
+        assert atom("movie", "title", "Ocean's Eleven") in answer.atoms
+        assert answer.meta("network_size") == 3
+
+    def test_and_semantics(self, discover):
+        assert discover.search("clooney xyzzy") == []
+
+    def test_empty_query(self, discover):
+        assert discover.search("") == []
+
+    def test_smaller_networks_rank_first(self, discover):
+        answers = discover.search("actor", limit=5)
+        sizes = [a.meta("network_size") for a in answers]
+        assert sizes == sorted(sizes)
+
+    def test_deduplication(self, discover):
+        answers = discover.search("hanks", limit=5)
+        atom_sets = [a.atoms for a in answers]
+        assert len(atom_sets) == len(set(atom_sets))
+
+    def test_imdb_scale(self, imdb_db):
+        discover = DiscoverSearch(imdb_db)
+        answer = discover.best("star wars")
+        assert not answer.is_empty
+        assert ("movie", "title", "star wars") in answer.atoms
+
+    def test_system_name(self, discover):
+        assert discover.best("clooney").system == "discover"

@@ -1,0 +1,81 @@
+"""Tests for the ObjectRank-style authority baseline."""
+
+import pytest
+
+from repro.answer import atom
+from repro.baselines.objectrank import ObjectRankSearch
+from repro.graph.data_graph import DataGraph, TupleNode
+
+
+@pytest.fixture()
+def objectrank(mini_db):
+    return ObjectRankSearch(DataGraph(mini_db))
+
+
+class TestAuthority:
+    def test_global_rank_sums_to_one(self, objectrank):
+        ranks = objectrank.global_rank()
+        assert abs(sum(ranks.values()) - 1.0) < 1e-6
+
+    def test_global_rank_cached(self, objectrank):
+        assert objectrank.global_rank() is objectrank.global_rank()
+
+    def test_hubs_rank_higher(self, objectrank):
+        ranks = objectrank.global_rank()
+        # Ocean's Eleven (2 cast + 1 genre edge) beats a leaf genre tuple.
+        assert ranks[TupleNode("movie", 2)] > ranks[TupleNode("genre", 0)]
+
+    def test_keyword_rank_concentrates_near_matches(self, objectrank):
+        ranks = objectrank.keyword_rank("clooney")
+        # Authority concentrates at the seed and its immediate join
+        # neighborhood (mass legitimately flows into connected hubs).
+        top3 = sorted(ranks, key=lambda n: -ranks[n])[:3]
+        assert TupleNode("person", 0) in top3
+        neighborhood = {TupleNode("person", 0)} | set(
+            objectrank.data_graph.neighbors(TupleNode("person", 0)))
+        assert top3[0] in neighborhood
+
+    def test_unknown_keyword_empty(self, objectrank):
+        assert objectrank.keyword_rank("xyzzy") == {}
+
+    def test_damping_validation(self, mini_db):
+        with pytest.raises(ValueError):
+            ObjectRankSearch(DataGraph(mini_db), damping=1.0)
+
+
+class TestSearch:
+    def test_single_keyword(self, objectrank):
+        answer = objectrank.best("clooney")
+        assert atom("person", "name", "George Clooney") in answer.atoms
+        assert answer.system == "objectrank"
+
+    def test_object_resolves_own_references(self, objectrank):
+        # The top object for "actress" is a cast tuple; its person and
+        # movie references are resolved to names, not left as ids.
+        answer = objectrank.best("actress")
+        assert atom("cast", "role", "actress") in answer.atoms
+        assert atom("person", "name", "Carrie Fisher") in answer.atoms
+
+    def test_and_semantics(self, objectrank):
+        assert objectrank.search("clooney xyzzy") == []
+        assert objectrank.search("") == []
+
+    def test_multi_keyword_connects(self, objectrank):
+        answer = objectrank.best("clooney eleven")
+        assert not answer.is_empty
+
+    def test_scores_descend(self, objectrank):
+        answers = objectrank.search("actor", limit=3)
+        scores = [a.score for a in answers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_returns_single_objects_not_trees(self, objectrank):
+        # ObjectRank answers are one object + resolved refs: for a person
+        # query the answer must not contain unrelated movie plots etc.
+        answer = objectrank.best("hanks")
+        assert answer.meta("object") is not None
+
+    def test_imdb_scale(self, imdb_db):
+        objectrank = ObjectRankSearch(DataGraph(imdb_db))
+        answer = objectrank.best("star wars")
+        assert not answer.is_empty

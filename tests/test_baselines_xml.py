@@ -1,0 +1,62 @@
+"""Tests for the XML LCA / MLCA baselines."""
+
+import pytest
+
+from repro.baselines.xml_lca import XmlLcaSearch, XmlMlcaSearch
+from repro.xmlview import build_xml_view
+from repro.xmlview.index import TreeTextIndex
+
+
+@pytest.fixture()
+def searchers(mini_db):
+    root = build_xml_view(mini_db)
+    index = TreeTextIndex(root)
+    return XmlLcaSearch(root, index), XmlMlcaSearch(root, index)
+
+
+class TestLcaSearch:
+    def test_entity_attribute_query(self, searchers):
+        lca_search, _ = searchers
+        answer = lca_search.best("star wars cast")
+        assert not answer.is_empty
+        # The section label anchors "cast" inside the movie element, so the
+        # result demarcates at the movie: it contains the cast names.
+        assert ("person", "name", "carrie fisher") in answer.atoms
+
+    def test_single_entity_too_little(self, searchers):
+        lca_search, _ = searchers
+        answer = lca_search.best("george clooney")
+        # The smallest element containing both words is the name node:
+        # the "too little desired information" failure mode.
+        assert answer.atoms == frozenset({("person", "name", "george clooney")})
+
+    def test_missing_keyword_no_answer(self, searchers):
+        lca_search, _ = searchers
+        assert lca_search.best("clooney xyzzy").is_empty
+        assert lca_search.search("") == []
+
+    def test_ranking_prefers_smaller_subtrees(self, searchers):
+        lca_search, _ = searchers
+        answers = lca_search.search("actor", limit=3)
+        sizes = [a.meta("subtree_size") for a in answers]
+        assert sizes == sorted(sizes)
+
+    def test_system_names(self, searchers):
+        lca_search, mlca_search = searchers
+        assert lca_search.best("star wars").system == "xml-lca"
+        assert mlca_search.best("star wars").system == "xml-mlca"
+
+
+class TestMlcaSearch:
+    def test_returns_meaningful_subset(self, searchers):
+        lca_search, mlca_search = searchers
+        for query in ["star wars cast", "tom hanks actor", "1977"]:
+            lca_answers = lca_search.search(query, limit=5)
+            mlca_answers = mlca_search.search(query, limit=5)
+            assert len(mlca_answers) <= len(lca_answers) or not lca_answers
+
+    def test_answer_provenance(self, searchers):
+        _, mlca_search = searchers
+        answer = mlca_search.best("star wars cast")
+        assert answer.meta("tag") is not None
+        assert answer.meta("dewey") is not None

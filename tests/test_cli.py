@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_args(self):
+        args = build_parser().parse_args(
+            ["--scale", "0.1", "search", "star wars", "--limit", "2"])
+        assert args.command == "search"
+        assert args.query == "star wars"
+        assert args.scale == 0.1
+        assert args.limit == 2
+
+    def test_invalid_flavor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "x", "--flavor", "bogus"])
+
+
+class TestCommands:
+    def test_search_prints_answers(self, capsys):
+        code = main(["--scale", "0.1", "search", "star wars cast",
+                     "--limit", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[movie.title] cast" in out
+        assert "movie_full_credits" in out
+
+    def test_search_no_answer_exit_code(self, capsys):
+        code = main(["--scale", "0.1", "search", "zzzz qqqq"])
+        assert code in (0, 1)  # empty -> 1; IR noise may return something
+
+    def test_derive_lists_definitions(self, capsys):
+        code = main(["--scale", "0.1", "derive", "--strategy", "schema_data",
+                     "--k1", "2", "--k2", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "anchor=" in out
+
+    def test_loganalysis(self, capsys):
+        code = main(["--scale", "0.1", "loganalysis", "--unique", "150"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "single entity" in out
+        assert "top templates" in out
+
+    def test_evaluate_small(self, capsys):
+        code = main(["--scale", "0.1", "evaluate", "--queries", "4",
+                     "--raters", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 3" in out
+        assert "theoretical-max" in out

@@ -1,0 +1,75 @@
+"""Tests for qunit-set validation (the authoring-support API)."""
+
+import pytest
+
+from repro.core.collection import QunitCollection
+from repro.core.qunit import ParamBinder, QunitDefinition
+
+
+def definition(**overrides):
+    spec = dict(
+        name="movie_page",
+        base_sql='SELECT * FROM movie WHERE movie.title = "$x"',
+        binders=(ParamBinder("x", "movie", "title"),),
+        keywords=("movie",),
+    )
+    spec.update(overrides)
+    return QunitDefinition(**spec)
+
+
+class TestValidate:
+    def test_clean_set_has_no_problems(self, mini_db):
+        assert QunitCollection(mini_db, [definition()]).validate() == []
+
+    def test_expert_set_is_clean(self, expert_collection):
+        assert expert_collection.validate() == []
+
+    def test_missing_binder_column_reported(self, mini_db):
+        bad = definition(binders=(ParamBinder("x", "movie", "nope"),))
+        problems = QunitCollection(mini_db, [bad]).validate()
+        assert problems and "binder" in problems[0]
+
+    def test_numeric_binder_allowed(self, mini_db):
+        # Years bind through the segmenter's number recognition.
+        by_year = definition(
+            base_sql='SELECT * FROM movie WHERE movie.year = "$x"',
+            binders=(ParamBinder("x", "movie", "year"),),
+        )
+        assert QunitCollection(mini_db, [by_year]).validate() == []
+
+    def test_unsearchable_text_binder_reported(self, imdb_db):
+        bad = QunitDefinition(
+            name="by_gender",
+            base_sql='SELECT * FROM person WHERE person.gender = "$x"',
+            binders=(ParamBinder("x", "person", "gender"),),
+            keywords=("person",),
+        )
+        problems = QunitCollection(imdb_db, [bad]).validate()
+        assert any("not a searchable" in p for p in problems)
+
+    def test_template_foreign_table_reported(self, mini_db):
+        bad = definition(conversion="<x>$person.name</x>")
+        problems = QunitCollection(mini_db, [bad]).validate()
+        assert any("person" in p for p in problems)
+
+    def test_template_unbound_param_reported(self, mini_db):
+        bad = definition(conversion="<x>$y</x>")
+        problems = QunitCollection(mini_db, [bad]).validate()
+        assert any("$y" in p for p in problems)
+
+    def test_missing_keywords_reported(self, mini_db):
+        bad = definition(keywords=())
+        problems = QunitCollection(mini_db, [bad]).validate()
+        assert any("no keywords" in p for p in problems)
+
+    def test_template_with_bound_param_ok(self, mini_db):
+        good = definition(conversion='<movie title="$x">$movie.title</movie>')
+        assert QunitCollection(mini_db, [good]).validate() == []
+
+    def test_derived_sets_are_clean(self, imdb_db):
+        from repro.core.derivation import FormBasedDeriver, SchemaDataDeriver
+
+        for definitions in (SchemaDataDeriver(imdb_db).derive(),
+                            FormBasedDeriver(imdb_db).derive()):
+            problems = QunitCollection(imdb_db, definitions).validate()
+            assert problems == []

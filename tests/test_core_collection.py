@@ -1,0 +1,112 @@
+"""Tests for the qunit collection."""
+
+import pytest
+
+from repro.core.collection import QunitCollection
+from repro.core.qunit import ParamBinder, QunitDefinition
+from repro.errors import DerivationError
+
+
+def definitions():
+    return [
+        QunitDefinition(
+            name="movie_page",
+            base_sql='SELECT * FROM movie WHERE movie.title = "$x"',
+            binders=(ParamBinder("x", "movie", "title"),),
+            keywords=("movie", "summary"),
+        ),
+        QunitDefinition(
+            name="person_page",
+            base_sql='SELECT * FROM person WHERE person.name = "$x"',
+            binders=(ParamBinder("x", "person", "name"),),
+        ),
+    ]
+
+
+@pytest.fixture()
+def collection(mini_db):
+    return QunitCollection(mini_db, definitions())
+
+
+class TestDefinitions:
+    def test_lookup(self, collection):
+        assert collection.definition("movie_page").name == "movie_page"
+        assert "movie_page" in collection
+        assert len(collection) == 2
+
+    def test_unknown_definition(self, collection):
+        with pytest.raises(DerivationError):
+            collection.definition("nope")
+
+    def test_duplicate_rejected(self, mini_db):
+        with pytest.raises(DerivationError):
+            QunitCollection(mini_db, definitions() + definitions()[:1])
+
+
+class TestInstances:
+    def test_instances_of(self, collection):
+        instances = collection.instances_of("movie_page")
+        assert len(instances) == 3
+        assert collection.instances_of("movie_page") is instances  # cached
+
+    def test_all_instances(self, collection):
+        assert len(collection.all_instances()) == 6
+        assert collection.instance_count() == 6
+
+    def test_max_instances_cap(self, mini_db):
+        capped = QunitCollection(mini_db, definitions(),
+                                 max_instances_per_definition=1)
+        assert len(capped.instances_of("movie_page")) == 1
+
+    def test_instance_by_id(self, collection):
+        instance = collection.instance("movie_page::star_wars")
+        assert instance.params == {"x": "Star Wars"}
+
+    def test_instance_unknown(self, collection):
+        with pytest.raises(DerivationError):
+            collection.instance("movie_page::no_such")
+        with pytest.raises(DerivationError):
+            collection.instance("ghost_def::x")
+
+    def test_materialize_on_demand(self, collection):
+        instance = collection.materialize("movie_page", {"x": "Star Wars"})
+        assert collection.instance(instance.instance_id) is instance
+
+    def test_empty_instances_skipped(self, mini_db):
+        # person_page over a db where one person has no row... all have
+        # rows here, so add a definition guaranteed empty for some values.
+        definition = QunitDefinition(
+            name="award_page",
+            base_sql=('SELECT * FROM movie, cast '
+                      'WHERE cast.movie_id = movie.id '
+                      'AND cast.role = "$x"'),
+            binders=(ParamBinder("x", "cast", "role"),),
+        )
+        collection = QunitCollection(mini_db, [definition])
+        assert all(not i.is_empty for i in collection.all_instances())
+
+
+class TestIndexes:
+    def test_global_index_covers_all_instances(self, collection):
+        index = collection.global_index()
+        assert index.document_count == 6
+        index.validate()
+
+    def test_definition_index(self, collection):
+        index = collection.definition_index("movie_page")
+        assert index.document_count == 3
+
+    def test_keywords_decorate_documents(self, collection):
+        index = collection.definition_index("movie_page")
+        document = index.document("movie_page::star_wars")
+        assert "summary" in document.field("title")
+
+    def test_searcher_finds_instance(self, collection):
+        searcher = collection.searcher()
+        best = searcher.best("star wars")
+        assert best is not None
+        assert best.doc_id == "movie_page::star_wars"
+
+    def test_describe(self, collection):
+        rows = collection.describe()
+        assert ("movie_page", "manual", 3) in rows

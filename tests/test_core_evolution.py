@@ -1,0 +1,104 @@
+"""Tests for qunit evolution over time (Sec. 7 future work)."""
+
+import pytest
+
+from repro.core.evolution import QunitEvolutionTracker
+
+
+def epoch_movies_heavy():
+    """Demand focused on movie cast/plot."""
+    return [
+        ("star wars cast", 10), ("batman cast", 8), ("cast away plot", 6),
+        ("the terminator plot", 5), ("tomb raider cast", 4),
+    ]
+
+
+def epoch_people_heavy():
+    """Demand shifts to people and awards."""
+    return [
+        ("george clooney awards", 10), ("tom hanks awards", 9),
+        ("angelina jolie movies", 7), ("julio iglesias biography", 5),
+        ("tom hanks movies", 6),
+    ]
+
+
+@pytest.fixture()
+def tracker(imdb_db):
+    from repro.core.derivation.query_log import QueryLogDeriver
+
+    deriver = QueryLogDeriver(imdb_db, min_anchor_support=3,
+                              min_fragment_support=3)
+    return QunitEvolutionTracker(imdb_db, smoothing=0.6, drop_below=0.1,
+                                 deriver=deriver)
+
+
+class TestEpochs:
+    def test_first_epoch_adds_definitions(self, tracker):
+        report = tracker.observe_epoch(epoch_movies_heavy())
+        assert report.epoch == 1
+        assert report.added
+        assert not report.removed
+        assert any("movie" in name for name in report.added)
+
+    def test_interest_shift_changes_set(self, tracker):
+        tracker.observe_epoch(epoch_movies_heavy())
+        report = tracker.observe_epoch(epoch_people_heavy())
+        assert any("person" in name for name in report.added)
+
+    def test_stale_definitions_decay_and_drop(self, tracker):
+        tracker.observe_epoch(epoch_movies_heavy())
+        movie_defs = [d.name for d in tracker.definitions
+                      if d.name.startswith("movie")]
+        assert movie_defs
+        # Several epochs with zero movie demand: utilities decay to drop.
+        for _ in range(6):
+            tracker.observe_epoch(epoch_people_heavy())
+        remaining = {d.name for d in tracker.definitions}
+        assert not any(name in remaining for name in movie_defs)
+
+    def test_sustained_demand_keeps_definitions(self, tracker):
+        for _ in range(5):
+            tracker.observe_epoch(epoch_movies_heavy())
+        names = {d.name for d in tracker.definitions}
+        assert any(name.startswith("movie") for name in names)
+
+    def test_trajectory_tracks_decay(self, tracker):
+        tracker.observe_epoch(epoch_movies_heavy())
+        first_added = tracker.reports[0].added[0]
+        tracker.observe_epoch(epoch_people_heavy())
+        tracker.observe_epoch(epoch_people_heavy())
+        trajectory = tracker.trajectory(first_added)
+        assert len(trajectory) == 3
+        # A movie definition's utility must not rise under person-only demand.
+        assert trajectory[1] <= trajectory[0] or trajectory[2] <= trajectory[1]
+
+    def test_empty_epoch_decays_everything(self, tracker):
+        tracker.observe_epoch(epoch_movies_heavy())
+        before = dict(tracker.reports[-1].utilities)
+        tracker.observe_epoch([("zzz unknown query", 1)])
+        after = dict(tracker.reports[-1].utilities)
+        for name, utility in after.items():
+            if name in before:
+                assert utility <= before[name]
+
+    def test_definitions_sorted_by_utility(self, tracker):
+        tracker.observe_epoch(epoch_movies_heavy())
+        utilities = [d.utility for d in tracker.definitions]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_churn_accounting(self, tracker):
+        tracker.observe_epoch(epoch_movies_heavy())
+        tracker.observe_epoch(epoch_people_heavy())
+        assert tracker.total_churn() == sum(r.churn for r in tracker.reports)
+
+
+class TestValidation:
+    def test_smoothing_bounds(self, imdb_db):
+        with pytest.raises(ValueError):
+            QunitEvolutionTracker(imdb_db, smoothing=0.0)
+        with pytest.raises(ValueError):
+            QunitEvolutionTracker(imdb_db, smoothing=1.5)
+
+    def test_drop_below_bounds(self, imdb_db):
+        with pytest.raises(ValueError):
+            QunitEvolutionTracker(imdb_db, drop_below=-0.1)

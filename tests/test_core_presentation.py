@@ -1,0 +1,116 @@
+"""Tests for the conversion-expression template engine."""
+
+import pytest
+
+from repro.core.presentation import ConversionTemplate, render_default
+from repro.errors import TemplateError
+
+ROWS = [
+    {"person.name": "Mark Hamill", "cast.role": "actor"},
+    {"person.name": "Carrie Fisher", "cast.role": "actress"},
+]
+
+
+class TestVariables:
+    def test_param_substitution(self):
+        template = ConversionTemplate('<cast movie="$x"/>')
+        assert template.render({"x": "Star Wars"}, []) == '<cast movie="Star Wars"/>'
+
+    def test_field_substitution_outside_foreach_uses_first_row(self):
+        template = ConversionTemplate("<p>$person.name</p>")
+        assert template.render({}, ROWS) == "<p>Mark Hamill</p>"
+
+    def test_unbound_param_raises(self):
+        template = ConversionTemplate("$missing")
+        with pytest.raises(TemplateError):
+            template.render({}, [])
+
+    def test_unknown_field_raises(self):
+        template = ConversionTemplate("$person.nope")
+        with pytest.raises(TemplateError):
+            template.render({}, ROWS)
+
+    def test_none_renders_empty(self):
+        template = ConversionTemplate("[$person.name]")
+        assert template.render({}, [{"person.name": None}]) == "[]"
+
+    def test_bool_renders_yes_no(self):
+        template = ConversionTemplate("$award.won")
+        assert template.render({}, [{"award.won": True}]) == "yes"
+
+    def test_no_rows_field_renders_empty(self):
+        template = ConversionTemplate("<x>$person.name</x>")
+        assert template.render({}, []) == "<x></x>"
+
+    def test_variables_collected(self):
+        template = ConversionTemplate(
+            '<a x="$x"><foreach:tuple>$person.name</foreach:tuple></a>')
+        assert template.variables() == {"x", "person.name"}
+
+
+class TestForeach:
+    def test_paper_example(self):
+        source = ('<cast movie="$x"><foreach:tuple>'
+                  "<person>$person.name</person>"
+                  "</foreach:tuple></cast>")
+        template = ConversionTemplate(source)
+        rendered = template.render({"x": "Star Wars"}, ROWS)
+        assert rendered == (
+            '<cast movie="Star Wars">'
+            "<person>Mark Hamill</person>"
+            "<person>Carrie Fisher</person>"
+            "</cast>"
+        )
+
+    def test_deduplicates_repeated_tuples(self):
+        # Cross-product joins repeat tuples; rendering dedups them.
+        template = ConversionTemplate(
+            "<foreach:tuple>$person.name;</foreach:tuple>")
+        doubled = ROWS + ROWS
+        assert template.render({}, doubled) == "Mark Hamill;Carrie Fisher;"
+
+    def test_nested_foreach_rejected_at_render(self):
+        template = ConversionTemplate(
+            "<foreach:tuple><foreach:tuple>x</foreach:tuple></foreach:tuple>")
+        with pytest.raises(TemplateError):
+            template.render({}, ROWS)
+
+    def test_unterminated_foreach_rejected(self):
+        with pytest.raises(TemplateError):
+            ConversionTemplate("<foreach:tuple>$a.b")
+
+    def test_stray_close_rejected(self):
+        with pytest.raises(TemplateError):
+            ConversionTemplate("text</foreach:tuple>")
+
+    def test_empty_rows(self):
+        template = ConversionTemplate(
+            "<list><foreach:tuple><i>$person.name</i></foreach:tuple></list>")
+        assert template.render({}, []) == "<list></list>"
+
+
+class TestRenderText:
+    def test_strips_tags(self):
+        template = ConversionTemplate(
+            "<cast><foreach:tuple><p>$person.name</p></foreach:tuple></cast>")
+        assert template.render_text({}, ROWS) == "Mark Hamill Carrie Fisher"
+
+
+class TestRenderDefault:
+    def test_includes_title_params_and_values(self):
+        text = render_default("cast of movie", {"x": "Star Wars"}, ROWS)
+        assert "cast of movie" in text
+        assert "Star Wars" in text
+        assert "Mark Hamill" in text and "Carrie Fisher" in text
+
+    def test_skips_ids_and_nulls(self):
+        rows = [{"movie.id": 5, "cast.movie_id": 5, "movie.title": "X",
+                 "movie.year": None}]
+        text = render_default("t", {}, rows)
+        assert "5" not in text
+        assert "movie title: X." in text
+
+    def test_deduplicates_values(self):
+        rows = [{"genre.name": "drama"}, {"genre.name": "drama"}]
+        text = render_default("t", {}, rows)
+        assert text.count("drama") == 1

@@ -1,0 +1,180 @@
+"""Tests for qunit definitions and instances."""
+
+import pytest
+
+from repro.core.qunit import ParamBinder, QunitDefinition
+from repro.errors import DerivationError, QueryError
+
+
+def cast_definition(**kwargs):
+    return QunitDefinition(
+        name=kwargs.pop("name", "cast_of_movie"),
+        base_sql=(
+            'SELECT person.name, cast.role, movie.title '
+            'FROM person, cast, movie '
+            'WHERE cast.movie_id = movie.id AND cast.person_id = person.id '
+            'AND movie.title = "$x"'
+        ),
+        binders=(ParamBinder("x", "movie", "title"),),
+        **kwargs,
+    )
+
+
+class TestDefinitionValidation:
+    def test_params_must_match_binders(self):
+        with pytest.raises(DerivationError):
+            QunitDefinition(
+                name="bad",
+                base_sql='SELECT * FROM movie WHERE movie.title = "$x"',
+                binders=(),  # $x undeclared
+            )
+        with pytest.raises(DerivationError):
+            QunitDefinition(
+                name="bad2",
+                base_sql="SELECT * FROM movie",
+                binders=(ParamBinder("x", "movie", "title"),),
+            )
+
+    def test_name_required(self):
+        with pytest.raises(DerivationError):
+            QunitDefinition(name="", base_sql="SELECT * FROM movie")
+
+    def test_invalid_sql_rejected_eagerly(self):
+        from repro.errors import SqlSyntaxError
+
+        with pytest.raises(SqlSyntaxError):
+            QunitDefinition(name="x", base_sql="SELEKT nonsense")
+
+    def test_tables_footprint(self):
+        definition = cast_definition()
+        assert definition.tables() == ["person", "cast", "movie"]
+
+    def test_from_combined_sql(self):
+        definition = QunitDefinition.from_combined_sql(
+            "combo",
+            'SELECT * FROM movie WHERE movie.title = "$x" '
+            'RETURN <m>$movie.title</m>',
+            binders=(ParamBinder("x", "movie", "title"),),
+        )
+        assert definition.conversion == "<m>$movie.title</m>"
+        assert "RETURN" not in definition.base_sql
+
+    def test_schema_terms(self):
+        definition = cast_definition(keywords=("credits", "full cast"))
+        terms = definition.schema_terms()
+        assert {"person", "cast", "movie", "credits", "full"} <= terms
+
+    def test_with_utility(self):
+        definition = cast_definition()
+        assert definition.with_utility(0.3).utility == 0.3
+
+
+class TestBindings:
+    def test_enumerates_distinct_binder_values(self, mini_db):
+        bindings = cast_definition().bindings(mini_db)
+        values = {b["x"] for b in bindings}
+        assert values == {"Star Wars", "Cast Away", "Ocean's Eleven"}
+
+    def test_limit(self, mini_db):
+        assert len(cast_definition().bindings(mini_db, limit=2)) == 2
+
+    def test_no_binders_single_instance(self, mini_db):
+        definition = QunitDefinition(
+            name="charts",
+            base_sql="SELECT movie.title FROM movie ORDER BY movie.rating DESC",
+        )
+        assert definition.bindings(mini_db) == [{}]
+        instances = definition.instances(mini_db)
+        assert len(instances) == 1 and len(instances[0].rows) == 3
+
+    def test_multi_binder_needs_enumerator(self, mini_db):
+        definition = QunitDefinition(
+            name="pair",
+            base_sql=('SELECT * FROM person, movie '
+                      'WHERE person.name = "$a" AND movie.title = "$b"'),
+            binders=(ParamBinder("a", "person", "name"),
+                     ParamBinder("b", "movie", "title")),
+        )
+        with pytest.raises(DerivationError):
+            definition.bindings(mini_db)
+
+    def test_enumerator_sql(self, mini_db):
+        definition = QunitDefinition(
+            name="pair",
+            base_sql=('SELECT * FROM person, cast, movie '
+                      'WHERE cast.person_id = person.id '
+                      'AND cast.movie_id = movie.id '
+                      'AND person.name = "$a" AND movie.title = "$b"'),
+            binders=(ParamBinder("a", "person", "name"),
+                     ParamBinder("b", "movie", "title")),
+            enumerator_sql=(
+                "SELECT person.name AS a, movie.title AS b "
+                "FROM person, cast, movie "
+                "WHERE cast.person_id = person.id AND cast.movie_id = movie.id"
+            ),
+        )
+        bindings = definition.bindings(mini_db)
+        assert {"a": "Tom Hanks", "b": "Cast Away"} in bindings
+        instance = definition.materialize(mini_db, bindings[0])
+        assert not instance.is_empty
+
+
+class TestInstances:
+    def test_materialize(self, mini_db):
+        instance = cast_definition().materialize(mini_db, {"x": "Ocean's Eleven"})
+        names = {row["person.name"] for row in instance.rows}
+        assert names == {"George Clooney", "Tom Hanks"}
+
+    def test_unbound_param_rejected(self, mini_db):
+        with pytest.raises(QueryError):
+            cast_definition().materialize(mini_db, {})
+
+    def test_instance_id_stable(self, mini_db):
+        instance = cast_definition().materialize(mini_db, {"x": "Star Wars"})
+        assert instance.instance_id == "cast_of_movie::star_wars"
+
+    def test_atoms_exclude_ids(self, mini_db):
+        instance = cast_definition().materialize(mini_db, {"x": "Star Wars"})
+        atoms = instance.atoms()
+        assert ("person", "name", "carrie fisher") in atoms
+        assert all(col != "id" and not col.endswith("_id")
+                   for _t, col, _v in atoms)
+
+    def test_default_text_rendering(self, mini_db):
+        instance = cast_definition().materialize(mini_db, {"x": "Star Wars"})
+        assert "Carrie Fisher" in instance.text()
+
+    def test_conversion_rendering(self, mini_db):
+        definition = cast_definition(
+            name="cast_markup",
+            conversion=('<cast movie="$x"><foreach:tuple>'
+                        "<person>$person.name</person></foreach:tuple></cast>"),
+        )
+        instance = definition.materialize(mini_db, {"x": "Star Wars"})
+        assert instance.markup() == (
+            '<cast movie="Star Wars"><person>Carrie Fisher</person></cast>'
+        )
+        assert instance.text() == "Carrie Fisher"
+
+    def test_as_document(self, mini_db):
+        instance = cast_definition().materialize(mini_db, {"x": "Star Wars"})
+        document = instance.as_document()
+        assert document.doc_id == instance.instance_id
+        assert document.meta("definition") == "cast_of_movie"
+        assert document.weight("title") == 3.0
+
+    def test_to_answer(self, mini_db):
+        instance = cast_definition().materialize(mini_db, {"x": "Star Wars"})
+        answer = instance.to_answer(score=0.9, system="qunits-test")
+        assert answer.score == 0.9
+        assert answer.meta("definition") == "cast_of_movie"
+        assert not answer.is_empty
+
+    def test_empty_instance(self, mini_db):
+        definition = QunitDefinition(
+            name="ghost",
+            base_sql='SELECT * FROM movie WHERE movie.title = "$x"',
+            binders=(ParamBinder("x", "movie", "title"),),
+        )
+        instance = definition.materialize(mini_db, {"x": "No Such Movie"})
+        assert instance.is_empty

@@ -1,0 +1,75 @@
+"""Tests for result snippet extraction."""
+
+import pytest
+
+from repro.core.search.snippets import SnippetExtractor
+
+LONG_TEXT = (
+    "a retired detective must confront a conspiracy reaching the highest "
+    "levels of government before time runs out and the city watches as "
+    "Mark Hamill plays Luke Skywalker in the space epic while the score "
+    "was recorded in a single session and critics were divided"
+)
+
+
+class TestSnippet:
+    def test_short_text_returned_whole(self):
+        extractor = SnippetExtractor(window=50)
+        snippet = extractor.snippet("Mark Hamill as Luke", "hamill")
+        assert "**Hamill**" in snippet
+        assert not snippet.startswith("...")
+
+    def test_window_centers_on_matches(self):
+        extractor = SnippetExtractor(window=8)
+        snippet = extractor.snippet(LONG_TEXT, "hamill skywalker")
+        assert "**Hamill**" in snippet
+        assert "**Skywalker**" in snippet
+        assert "detective" not in snippet
+
+    def test_truncation_markers(self):
+        extractor = SnippetExtractor(window=6)
+        snippet = extractor.snippet(LONG_TEXT, "skywalker")
+        assert snippet.startswith("... ")
+        assert snippet.endswith(" ...")
+
+    def test_distinct_coverage_beats_repeats(self):
+        text = "alpha alpha alpha alpha beta gamma filler filler alpha"
+        extractor = SnippetExtractor(window=3)
+        snippet = extractor.snippet(text, "beta gamma")
+        assert "**beta**" in snippet and "**gamma**" in snippet
+
+    def test_no_match_returns_head(self):
+        extractor = SnippetExtractor(window=4)
+        snippet = extractor.snippet("one two three four five six", "zzz")
+        assert snippet.startswith("one")
+
+    def test_empty_text(self):
+        assert SnippetExtractor().snippet("", "query") == ""
+
+    def test_stemming_aware(self):
+        extractor = SnippetExtractor(window=10)
+        snippet = extractor.snippet("the awards ceremony was long", "award")
+        assert "**awards**" in snippet
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SnippetExtractor(window=0)
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        extractor = SnippetExtractor()
+        assert extractor.coverage("mark hamill luke", "hamill luke") == 1.0
+
+    def test_partial_coverage(self):
+        extractor = SnippetExtractor()
+        assert extractor.coverage("mark hamill", "hamill missing") == 0.5
+
+    def test_empty_query(self):
+        assert SnippetExtractor().coverage("text", "") == 0.0
+
+    def test_on_qunit_answer(self, expert_engine):
+        extractor = SnippetExtractor(window=12)
+        answer = expert_engine.best("star wars cast")
+        snippet = extractor.snippet(answer.text, "hamill")
+        assert "**" in snippet

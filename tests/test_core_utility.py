@@ -1,0 +1,80 @@
+"""Tests for the qunit utility model."""
+
+import pytest
+
+from repro.core.qunit import ParamBinder, QunitDefinition
+from repro.core.utility import UtilityModel
+
+
+def definition(name, sql, binders=(), keywords=()):
+    return QunitDefinition(name=name, base_sql=sql, binders=binders,
+                           keywords=keywords)
+
+
+@pytest.fixture()
+def model(mini_db):
+    return UtilityModel(mini_db)
+
+
+PERSON_MOVIE = definition(
+    "person_movie",
+    ('SELECT * FROM person, cast, movie WHERE cast.person_id = person.id '
+     'AND cast.movie_id = movie.id AND person.name = "$x"'),
+    binders=(ParamBinder("x", "person", "name"),),
+    keywords=("movie", "filmography"),
+)
+
+GENRE_ONLY = definition(
+    "genre_only",
+    'SELECT * FROM genre WHERE genre.name = "$x"',
+    binders=(ParamBinder("x", "genre", "name"),),
+    keywords=("genre",),
+)
+
+
+class TestStructuralUtility:
+    def test_entity_rich_definitions_score_higher(self, model):
+        assert model.structural_utility(PERSON_MOVIE) > \
+               model.structural_utility(GENRE_ONLY)
+
+    def test_junctions_ignored(self, model):
+        cast_only = definition(
+            "cast_only", "SELECT * FROM cast")
+        assert model.structural_utility(cast_only) == 0.0
+
+    def test_weight_validation(self, mini_db):
+        with pytest.raises(ValueError):
+            UtilityModel(mini_db, structural_weight=1.5)
+
+
+class TestDemandUtility:
+    def test_covered_templates_count(self, model):
+        frequencies = {"[person.name] movie": 60, "[person.name] award": 40}
+        # PERSON_MOVIE's vocabulary covers "movie" but not "award".
+        value = model.demand_utility(PERSON_MOVIE, frequencies)
+        assert value == pytest.approx(0.6)
+
+    def test_bare_entity_templates_credit_anchored_definitions(self, model):
+        frequencies = {"[person.name]": 100}
+        assert model.demand_utility(PERSON_MOVIE, frequencies) == 1.0
+        assert model.demand_utility(GENRE_ONLY, frequencies) == 0.0
+
+    def test_empty_frequencies(self, model):
+        assert model.demand_utility(PERSON_MOVIE, {}) == 0.0
+
+
+class TestAssign:
+    def test_orders_by_combined_score(self, model):
+        frequencies = {"[person.name] movie": 80, "[genre.name]": 20}
+        assigned = model.assign([GENRE_ONLY, PERSON_MOVIE], frequencies)
+        assert assigned[0].name == "person_movie"
+        assert assigned[0].utility >= assigned[1].utility
+
+    def test_without_log_uses_structure_only(self, model):
+        assigned = model.assign([GENRE_ONLY, PERSON_MOVIE])
+        assert assigned[0].name == "person_movie"
+
+    def test_returns_copies(self, model):
+        assigned = model.assign([PERSON_MOVIE])
+        assert assigned[0] is not PERSON_MOVIE
+        assert PERSON_MOVIE.utility == 1.0  # original untouched

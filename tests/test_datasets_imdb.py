@@ -1,0 +1,125 @@
+"""Tests for the synthetic IMDb generator."""
+
+import pytest
+
+from repro.datasets.imdb import generate_imdb, imdb_schema, simplified_schema
+from repro.datasets.imdb.generator import ImdbGenerator
+from repro.errors import DatasetError
+
+
+class TestSchemas:
+    def test_fifteen_tables(self):
+        # The paper: IMDbPy conversion yields 15 tables.
+        assert len(imdb_schema().table_names) == 15
+
+    def test_simplified_matches_figure2(self):
+        schema = simplified_schema()
+        assert set(schema.table_names) == {
+            "person", "cast", "movie", "genre", "locations", "info",
+        }
+        movie = schema.table("movie")
+        # Fig. 2: movie holds id references to genre, locations and info.
+        refs = {fk.ref_table for fk in movie.foreign_keys}
+        assert refs == {"genre", "locations", "info"}
+
+    def test_searchable_columns_marked(self):
+        schema = imdb_schema()
+        assert schema.table("person").column("name").searchable
+        assert schema.table("movie").column("title").searchable
+        assert not schema.table("movie").column("votes").searchable
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_imdb(scale=0.1, seed=5)
+        b = generate_imdb(scale=0.1, seed=5)
+        assert a.total_rows() == b.total_rows()
+        assert a.table("movie").row(10) == b.table("movie").row(10)
+
+    def test_seed_changes_filler_not_canon(self):
+        a = generate_imdb(scale=0.1, seed=5)
+        b = generate_imdb(scale=0.1, seed=6)
+        assert a.lookup("movie", "title", "Star Wars") == \
+               b.lookup("movie", "title", "Star Wars")
+        assert a.total_rows() != b.total_rows() or \
+               a.table("movie").row(30) != b.table("movie").row(30)
+
+    def test_scale_grows_rows(self):
+        small = generate_imdb(scale=0.1)
+        large = generate_imdb(scale=0.3)
+        assert large.row_count("movie") > small.row_count("movie")
+        assert large.row_count("cast") > small.row_count("cast")
+
+    def test_scale_validation(self):
+        with pytest.raises(DatasetError):
+            generate_imdb(scale=0)
+
+    def test_generator_single_use(self):
+        generator = ImdbGenerator(scale=0.1)
+        generator.generate()
+        with pytest.raises(DatasetError):
+            generator.generate()
+
+    def test_referential_integrity(self, imdb_db):
+        assert imdb_db.check_foreign_keys() == []
+
+
+class TestCanon:
+    def test_paper_entities_present(self, imdb_db):
+        for title in ("Star Wars", "Cast Away", "The Terminator",
+                      "Tomb Raider", "Batman"):
+            assert imdb_db.lookup("movie", "title", title), title
+        for name in ("George Clooney", "Tom Hanks", "Julio Iglesias",
+                     "Angelina Jolie"):
+            assert imdb_db.lookup("person", "name", name), name
+
+    def test_star_wars_cast(self, imdb_db):
+        movie = imdb_db.lookup("movie", "title", "Star Wars")[0]
+        cast_rows = imdb_db.lookup("cast", "movie_id", movie["id"])
+        names = set()
+        for row in cast_rows:
+            person = imdb_db.table("person").by_primary_key(row["person_id"])
+            names.add(person["name"])
+        assert {"Mark Hamill", "Harrison Ford", "Carrie Fisher"} <= names
+
+    def test_canon_persons_have_awards(self, imdb_db):
+        tom = imdb_db.lookup("person", "name", "Tom Hanks")[0]
+        assert imdb_db.lookup("award", "person_id", tom["id"])
+
+
+class TestStructuralProperties:
+    def test_every_movie_has_genre_and_location(self, imdb_db):
+        # The Sec. 4.1 property that misleads data-driven derivation.
+        movies_with_genre = {row["movie_id"]
+                             for row in imdb_db.table("movie_genre")}
+        movies_with_location = {row["movie_id"]
+                                for row in imdb_db.table("movie_location")}
+        all_movies = {row["id"] for row in imdb_db.table("movie")}
+        assert movies_with_genre == all_movies
+        assert movies_with_location == all_movies
+
+    def test_every_movie_has_plot(self, imdb_db):
+        plot_type = imdb_db.lookup("info_type", "name", "plot")[0]["id"]
+        movies_with_plot = {
+            row["movie_id"] for row in imdb_db.table("movie_info")
+            if row["info_type_id"] == plot_type
+        }
+        assert movies_with_plot == {row["id"] for row in imdb_db.table("movie")}
+
+    def test_plots_are_long_text(self, imdb_db):
+        stats = imdb_db.statistics.column("movie_info", "info")
+        assert stats.avg_text_length > 40
+
+    def test_votes_skewed(self, imdb_db):
+        votes = sorted((row["votes"] for row in imdb_db.table("movie")),
+                       reverse=True)
+        # Zipf-ish: the head dominates the median.
+        assert votes[0] > 5 * votes[len(votes) // 2]
+
+    def test_titles_unique(self, imdb_db):
+        titles = [row["title"].lower() for row in imdb_db.table("movie")]
+        assert len(titles) == len(set(titles))
+
+    def test_names_unique(self, imdb_db):
+        names = [row["name"].lower() for row in imdb_db.table("person")]
+        assert len(names) == len(set(names))

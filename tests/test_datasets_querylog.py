@@ -1,0 +1,118 @@
+"""Tests for the synthetic query log and its analysis (Sec. 5.2)."""
+
+import pytest
+
+from repro.datasets.querylog import QueryLog, QueryLogAnalyzer, QueryLogGenerator
+from repro.errors import DatasetError, EvaluationError
+
+
+@pytest.fixture(scope="module")
+def log(imdb_db):
+    generator = QueryLogGenerator(imdb_db, seed=11)
+    return generator.generate(generator.recommended_unique())
+
+
+@pytest.fixture(scope="module")
+def analyzer(imdb_db):
+    return QueryLogAnalyzer(imdb_db)
+
+
+class TestQueryLogModel:
+    def test_totals(self):
+        log = QueryLog(entries=(("a", 3), ("b", 1)))
+        assert log.total_queries == 4
+        assert log.unique_queries == 2
+
+    def test_top(self):
+        log = QueryLog(entries=(("a", 1), ("b", 5), ("c", 5)))
+        assert log.top(2) == [("b", 5), ("c", 5)]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLog(entries=(("a", 1), ("a", 2)))
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLog(entries=(("a", 0),))
+
+
+class TestGenerator:
+    def test_deterministic(self, imdb_db):
+        a = QueryLogGenerator(imdb_db, seed=4).generate(300)
+        b = QueryLogGenerator(imdb_db, seed=4).generate(300)
+        assert a.entries == b.entries
+
+    def test_unique_count_exact(self, log, imdb_db):
+        generator = QueryLogGenerator(imdb_db, seed=11)
+        assert log.unique_queries == generator.recommended_unique()
+
+    def test_total_to_unique_ratio(self, log):
+        ratio = log.total_queries / log.unique_queries
+        assert 1.6 < ratio < 2.6  # paper: ~2.1
+
+    def test_zipf_head(self, log):
+        top = log.top(10)
+        tail = sorted(log.entries, key=lambda e: e[1])[:10]
+        assert top[0][1] > 5 * tail[0][1]
+
+    def test_validation(self, imdb_db):
+        with pytest.raises(DatasetError):
+            QueryLogGenerator(imdb_db).generate(0)
+        with pytest.raises(DatasetError):
+            QueryLogGenerator(imdb_db, total_to_unique_ratio=0.5)
+
+
+class TestSec52Statistics:
+    def test_class_mix_matches_paper(self, analyzer, log):
+        stats = analyzer.statistics(log)
+        assert stats.fraction("single_entity") >= 0.30   # paper: >= 36%
+        assert 0.12 <= stats.fraction("entity_attribute") <= 0.28  # ~20%
+        assert stats.fraction("multi_entity") <= 0.08    # ~2%
+        assert stats.fraction("complex") <= 0.04         # < 2%
+
+    def test_movie_related_fraction(self, analyzer, log):
+        stats = analyzer.statistics(log)
+        assert 0.85 <= stats.movie_related_fraction <= 1.0  # paper: ~93%
+
+    def test_empty_log_rejected(self, analyzer):
+        with pytest.raises(EvaluationError):
+            analyzer.statistics(QueryLog(entries=()))
+
+    def test_classification_examples(self, analyzer):
+        assert analyzer.classify("george clooney") == "single_entity"
+        assert analyzer.classify("star wars cast") == "entity_attribute"
+        assert analyzer.classify("highest box office revenue") == "complex"
+        assert analyzer.is_movie_related("tom hanks")
+        assert not analyzer.is_movie_related("weather forecast")
+
+
+class TestBenchmarkWorkload:
+    def test_default_shape(self, analyzer, log):
+        workload = analyzer.benchmark_workload(log)
+        # 14 templates x 2 queries = the paper's 28.
+        assert len(workload) == 28
+        templates = {q.template for q in workload}
+        assert len(templates) == 14
+
+    def test_top_templates_look_like_paper(self, analyzer, log):
+        templates = {q.template for q in analyzer.benchmark_workload(log)}
+        assert "[movie.title]" in templates
+        assert "[person.name]" in templates
+        assert any("cast" in t for t in templates)
+
+    def test_untyped_noise_excluded(self, analyzer, log):
+        for query in analyzer.benchmark_workload(log):
+            assert query.template != "[freetext]"
+
+    def test_deterministic(self, analyzer, log):
+        a = [q.query for q in analyzer.benchmark_workload(log)]
+        b = [q.query for q in analyzer.benchmark_workload(log)]
+        assert a == b
+
+    def test_parameter_validation(self, analyzer, log):
+        with pytest.raises(EvaluationError):
+            analyzer.benchmark_workload(log, n_templates=0)
+
+    def test_template_frequencies_weighted(self, analyzer, log):
+        frequencies = analyzer.template_frequencies(log)
+        assert sum(frequencies.values()) == log.total_queries

@@ -1,0 +1,113 @@
+"""Tests for session-structured logs and refinement analysis."""
+
+import pytest
+
+from repro.datasets.querylog.sessions import (
+    QuerySession,
+    SessionAnalyzer,
+    SessionLogGenerator,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def sessions(imdb_db):
+    return SessionLogGenerator(imdb_db, seed=17).generate(300)
+
+
+@pytest.fixture(scope="module")
+def analyzer(imdb_db):
+    return SessionAnalyzer(imdb_db)
+
+
+class TestModel:
+    def test_empty_session_rejected(self):
+        with pytest.raises(DatasetError):
+            QuerySession(user_id=1, queries=())
+
+    def test_multi_query_flag(self):
+        assert QuerySession(1, ("a", "b")).is_multi_query
+        assert not QuerySession(1, ("a",)).is_multi_query
+
+
+class TestGenerator:
+    def test_deterministic(self, imdb_db):
+        a = SessionLogGenerator(imdb_db, seed=17).generate(50)
+        b = SessionLogGenerator(imdb_db, seed=17).generate(50)
+        assert a == b
+
+    def test_count(self, sessions):
+        assert len(sessions) == 300
+        assert all(s.queries for s in sessions)
+
+    def test_mix_includes_refinements(self, sessions):
+        multi = [s for s in sessions if s.is_multi_query]
+        assert 0.25 < len(multi) / len(sessions) < 0.55
+
+    def test_specialization_sessions_extend_the_entity(self, sessions, imdb_db):
+        # In a specialize session, later queries start with the first query.
+        extended = 0
+        for session in sessions:
+            if len(session.queries) >= 2 and \
+                    session.queries[1].startswith(session.queries[0]):
+                extended += 1
+        assert extended > 10
+
+    def test_validation(self, imdb_db):
+        with pytest.raises(DatasetError):
+            SessionLogGenerator(imdb_db).generate(0)
+
+    def test_as_query_log(self, sessions, imdb_db):
+        log = SessionLogGenerator(imdb_db, seed=17).as_query_log(sessions)
+        assert log.total_queries == sum(len(s.queries) for s in sessions)
+        assert log.n_users == len(sessions)
+
+
+class TestAnalyzer:
+    def test_statistics_shape(self, analyzer, sessions):
+        stats = analyzer.statistics(sessions)
+        assert stats.n_sessions == 300
+        assert 0.0 < stats.multi_query_fraction < 1.0
+        assert 0.0 <= stats.refinement_fraction <= 1.0
+
+    def test_refinements_detected(self, analyzer, sessions):
+        stats = analyzer.statistics(sessions)
+        # ~25% of sessions are specialize-chains; most should be detected.
+        assert stats.refinement_fraction > 0.4
+
+    def test_refining_sessions_start_underspecified(self, analyzer, sessions):
+        stats = analyzer.statistics(sessions)
+        # The premise of rollup: refiners overwhelmingly start with a
+        # bare entity.
+        assert stats.started_underspecified_fraction > 0.7
+
+    def test_specializations_are_attribute_words(self, analyzer, sessions):
+        stats = analyzer.statistics(sessions)
+        names = [name for name, _count in stats.top_specializations()]
+        assert names  # cast/plot/awards/movie...
+        assert any(name in ("cast", "movie", "award", "plot", "soundtrack",
+                            "box office", "movie.release_year", "location",
+                            "trivia", "quotes", "movie.rating", "filmography",
+                            "biography")
+                   for name in names)
+
+    def test_rollup_weights_per_anchor(self, analyzer, sessions):
+        weights = analyzer.rollup_weights(sessions)
+        assert "movie" in weights or "person" in weights
+        for counter in weights.values():
+            assert all(count > 0 for count in counter.values())
+
+    def test_empty_rejected(self, analyzer):
+        with pytest.raises(DatasetError):
+            analyzer.statistics([])
+
+    def test_explicit_specialization_detected(self, analyzer):
+        sessions = [QuerySession(1, ("star wars", "star wars cast"))]
+        stats = analyzer.statistics(sessions)
+        assert stats.refinement_fraction == 1.0
+        assert stats.started_underspecified_fraction == 1.0
+
+    def test_reformulation_is_not_specialization(self, analyzer):
+        sessions = [QuerySession(1, ("sta wars", "star wars"))]
+        stats = analyzer.statistics(sessions)
+        assert stats.refinement_fraction == 0.0

@@ -1,0 +1,70 @@
+"""Tests for the expert qunit set."""
+
+import pytest
+
+from repro.core.derivation import imdb_expert_qunits
+from repro.core.qunit import QunitDefinition
+
+
+@pytest.fixture(scope="module")
+def defs():
+    return imdb_expert_qunits()
+
+
+class TestSetShape:
+    def test_unique_names(self, defs):
+        names = [d.name for d in defs]
+        assert len(names) == len(set(names))
+
+    def test_all_marked_expert(self, defs):
+        assert all(d.source == "expert" for d in defs)
+
+    def test_covers_imdb_page_types(self, defs):
+        names = {d.name for d in defs}
+        assert {"movie_main_page", "movie_full_credits", "person_main_page",
+                "person_filmography", "movie_awards", "top_charts",
+                "coactors", "genre_movies"} <= names
+
+    def test_utilities_are_priors(self, defs):
+        by_name = {d.name: d for d in defs}
+        assert by_name["movie_main_page"].utility > by_name["coactors"].utility
+        assert all(0.0 < d.utility <= 1.0 for d in defs)
+
+    def test_sec2_example_has_conversion(self, defs):
+        credits = next(d for d in defs if d.name == "movie_full_credits")
+        assert credits.conversion is not None
+        assert "<foreach:tuple>" in credits.conversion
+
+
+class TestAgainstDatabase:
+    def test_all_definitions_parse_and_bind(self, imdb_db, defs):
+        for definition in defs:
+            bindings = definition.bindings(imdb_db, limit=2)
+            assert bindings, definition.name
+
+    def test_all_definitions_materialize(self, imdb_db, defs):
+        for definition in defs:
+            bindings = definition.bindings(imdb_db, limit=3)
+            produced = [definition.materialize(imdb_db, b) for b in bindings]
+            assert any(not i.is_empty for i in produced) or \
+                definition.name == "movie_alternate_titles", definition.name
+
+    def test_full_credits_instance_content(self, imdb_db, defs):
+        credits = next(d for d in defs if d.name == "movie_full_credits")
+        instance = credits.materialize(imdb_db, {"x": "Star Wars"})
+        assert "Mark Hamill" in instance.text()
+        assert "<cast movie=\"Star Wars\">" in instance.markup()
+
+    def test_coactors_excludes_self(self, imdb_db, defs):
+        coactors = next(d for d in defs if d.name == "coactors")
+        instance = coactors.materialize(imdb_db, {"x": "George Clooney"})
+        names = {row["p2.name"] for row in instance.rows}
+        assert "George Clooney" not in names
+        assert names  # has co-actors
+
+    def test_top_charts_sorted(self, imdb_db, defs):
+        charts = next(d for d in defs if d.name == "top_charts")
+        instance = charts.materialize(imdb_db, {})
+        ratings = [row["movie.rating"] for row in instance.rows]
+        assert ratings == sorted(ratings, reverse=True)
+        assert len(ratings) <= 25

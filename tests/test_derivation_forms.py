@@ -1,0 +1,79 @@
+"""Tests for forms-based qunit derivation."""
+
+import pytest
+
+from repro.core.derivation.forms import FormBasedDeriver
+from repro.errors import DerivationError
+
+
+@pytest.fixture(scope="module")
+def deriver(imdb_db):
+    return FormBasedDeriver(imdb_db, k1=3, relations_per_entity=3)
+
+
+class TestFormGeneration:
+    def test_detail_form_per_anchor(self, deriver):
+        forms = deriver.generate_forms()
+        names = {form.name for form in forms}
+        assert "person_detail_form" in names
+        assert "movie_detail_form" in names
+
+    def test_relation_forms(self, deriver):
+        forms = deriver.generate_forms()
+        relation_forms = [f for f in forms if f.result_tables]
+        assert any(f.entity == "person" and "movie" in f.result_tables
+                   for f in relation_forms)
+
+    def test_input_is_searchable(self, deriver, imdb_db):
+        for form in deriver.generate_forms():
+            column = imdb_db.schema.table(form.entity).column(form.input_column)
+            assert column.searchable
+
+    def test_describe(self, deriver):
+        form = deriver.generate_forms()[0]
+        assert form.entity in form.describe()
+
+    def test_validation(self, imdb_db):
+        with pytest.raises(DerivationError):
+            FormBasedDeriver(imdb_db, k1=0)
+        with pytest.raises(DerivationError):
+            FormBasedDeriver(imdb_db, relations_per_entity=-1)
+
+
+class TestDerivedQunits:
+    def test_one_qunit_per_form(self, deriver):
+        forms = deriver.generate_forms()
+        definitions = deriver.derive()
+        assert len(definitions) == len(forms)
+
+    def test_source_marked(self, deriver):
+        assert all(d.source == "forms" for d in deriver.derive())
+
+    def test_narrow_footprints(self, deriver):
+        # The distinguishing property vs schema+data: one relation per
+        # qunit, not a star join of all neighbors.
+        for definition in deriver.derive():
+            non_junction = [
+                table for table in definition.tables()
+                if not deriver._schema_data.queriability
+                    .schema_graph.is_junction(table)
+            ]
+            assert len(non_junction) <= 2
+
+    def test_definitions_materialize(self, deriver, imdb_db):
+        for definition in deriver.derive()[:6]:
+            bindings = definition.bindings(imdb_db, limit=1)
+            assert bindings
+            definition.materialize(imdb_db, bindings[0])
+
+    def test_engine_integration(self, deriver, imdb_db):
+        from repro.core import QunitCollection
+        from repro.core.search import QunitSearchEngine
+
+        engine = QunitSearchEngine(
+            QunitCollection(imdb_db, deriver.derive(),
+                            max_instances_per_definition=40),
+            flavor="forms")
+        answer = engine.best("tom hanks movies")
+        assert not answer.is_empty
+        assert ("movie", "title", "cast away") in answer.atoms

@@ -1,0 +1,61 @@
+"""Tests for the shared join-SQL builder."""
+
+import pytest
+
+from repro.core.derivation.joins import build_join_sql
+from repro.errors import DerivationError
+from repro.graph.schema_graph import SchemaGraph
+from repro.relational.sql import run_sql
+
+from tests.conftest import build_mini_schema
+
+
+@pytest.fixture()
+def graph():
+    return SchemaGraph(build_mini_schema())
+
+
+class TestBuildJoinSql:
+    def test_direct_neighbor(self, graph, mini_db):
+        sql = build_join_sql(graph, "movie", ["genre"])
+        rows = run_sql(sql, mini_db)
+        assert len(rows) == 3  # one genre per movie in mini_db
+        assert "genre.name" in rows[0]
+
+    def test_transitive_neighbor_includes_junction(self, graph):
+        sql = build_join_sql(graph, "person", ["movie"])
+        assert "cast" in sql
+        assert "cast.person_id = person.id" in sql
+        assert "cast.movie_id = movie.id" in sql
+
+    def test_binder_clause(self, graph, mini_db):
+        sql = build_join_sql(graph, "movie", ["genre"], binder_column="title")
+        assert 'movie.title = "$x"' in sql
+        rows = run_sql(sql, mini_db, {"x": "star wars"})
+        assert len(rows) == 1
+
+    def test_extra_where(self, graph, mini_db):
+        sql = build_join_sql(graph, "movie", ["genre"],
+                             extra_where=["genre.name = 'drama'"])
+        rows = run_sql(sql, mini_db)
+        assert len(rows) == 1
+
+    def test_multiple_neighbors(self, graph, mini_db):
+        sql = build_join_sql(graph, "movie", ["genre", "person"])
+        rows = run_sql(sql, mini_db)
+        # cross product of genre x cast per movie
+        assert rows and all("person.name" in r for r in rows)
+
+    def test_anchor_duplicated_in_others_ignored(self, graph):
+        sql = build_join_sql(graph, "movie", ["movie", "genre"])
+        assert sql.count("FROM") == 1
+
+    def test_disconnected_raises(self):
+        from repro.relational.schema import Column, ColumnType, Schema, TableSchema
+
+        schema = Schema([
+            TableSchema("a", [Column("id", ColumnType.INTEGER)]),
+            TableSchema("b", [Column("id", ColumnType.INTEGER)]),
+        ])
+        with pytest.raises(DerivationError):
+            build_join_sql(SchemaGraph(schema), "a", ["b"])

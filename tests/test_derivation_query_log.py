@@ -1,0 +1,105 @@
+"""Tests for query-log rollup derivation (Sec. 4.2)."""
+
+import pytest
+
+from repro.core.derivation.query_log import QueryLogDeriver, SchemaLink
+from repro.errors import DerivationError
+
+
+@pytest.fixture(scope="module")
+def deriver(imdb_db):
+    return QueryLogDeriver(imdb_db, min_anchor_support=3,
+                           min_fragment_support=2)
+
+
+def paper_log():
+    """The paper's Sec. 4.2 example: george clooney / tom hanks queries."""
+    return [
+        ("george clooney actor", 1),
+        ("george clooney batman", 2),
+        ("tom hanks cast away", 1),
+        ("george clooney movies", 3),
+        ("tom hanks movies", 2),
+    ]
+
+
+class TestSchemaLinks:
+    def test_annotated_link_structure(self, deriver):
+        links = deriver.schema_links(paper_log())
+        person_links = links[("person", "name")]
+        # person.name links to movie (via titles + "movies" attribute) more
+        # than to role_type ("actor") - the paper's rollup ordering.
+        assert person_links[SchemaLink("movie")] > \
+            person_links[SchemaLink("role_type")]
+
+    def test_frequency_weighting(self, deriver):
+        light = deriver.schema_links([("george clooney movies", 1)])
+        heavy = deriver.schema_links([("george clooney movies", 10)])
+        key = ("person", "name")
+        assert heavy[key][SchemaLink("movie")] == \
+            10 * light[key][SchemaLink("movie")]
+
+    def test_queries_without_entities_ignored(self, deriver):
+        links = deriver.schema_links([("weather forecast", 50)])
+        assert links == {}
+
+    def test_co_entities_link_both_ways(self, deriver):
+        links = deriver.schema_links([("george clooney batman", 1)])
+        assert links[("person", "name")][SchemaLink("movie")] >= 1
+        assert links[("movie", "title")][SchemaLink("person")] >= 1
+
+
+class TestDerive:
+    def test_rollup_definition_emitted(self, deriver):
+        defs = deriver.derive(paper_log())
+        names = {d.name for d in defs}
+        assert "person_name_rollup" in names
+
+    def test_rollup_contains_top_links(self, deriver):
+        defs = deriver.derive(paper_log())
+        rollup = next(d for d in defs if d.name == "person_name_rollup")
+        assert "movie" in rollup.tables()
+
+    def test_fragment_definitions_emitted(self, deriver):
+        defs = deriver.derive(paper_log())
+        fragments = [d for d in defs if d.name != "person_name_rollup"
+                     and d.binders[0].table == "person"]
+        assert any("movie" in d.tables() for d in fragments)
+
+    def test_info_type_filter_included(self, deriver):
+        defs = deriver.derive([
+            ("star wars plot", 5), ("batman plot", 4), ("cast away plot", 3),
+        ])
+        plot_defs = [d for d in defs if "plot" in " ".join(d.keywords)]
+        assert plot_defs
+        assert any("info_type.name IN ('plot')" in d.base_sql
+                   for d in plot_defs)
+
+    def test_support_threshold_filters(self, imdb_db):
+        strict = QueryLogDeriver(imdb_db, min_anchor_support=1000)
+        with pytest.raises(DerivationError):
+            strict.derive(paper_log())
+
+    def test_empty_log_raises(self, deriver):
+        with pytest.raises(DerivationError):
+            deriver.derive([])
+
+    def test_source_and_utilities(self, deriver):
+        for definition in deriver.derive(paper_log()):
+            assert definition.source == "query_log"
+            assert 0.0 < definition.utility <= 1.0
+
+    def test_definitions_executable(self, imdb_db, deriver):
+        for definition in deriver.derive(paper_log()):
+            bindings = definition.bindings(imdb_db, limit=1)
+            if bindings:
+                definition.materialize(imdb_db, bindings[0])
+
+    def test_synthetic_log_end_to_end(self, imdb_db):
+        from repro.datasets.querylog import QueryLogGenerator
+
+        generator = QueryLogGenerator(imdb_db, seed=3)
+        log = generator.generate(generator.recommended_unique())
+        defs = QueryLogDeriver(imdb_db).derive(log.as_list())
+        anchors = {d.binders[0].table for d in defs}
+        assert "person" in anchors and "movie" in anchors

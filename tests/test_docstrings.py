@@ -1,0 +1,20 @@
+"""The package docstring's usage example must actually work."""
+
+import doctest
+
+import repro
+
+
+def test_package_docstring_example():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted >= 1
+    assert results.failed == 0
+
+
+def test_public_api_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"

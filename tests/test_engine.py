@@ -1,0 +1,77 @@
+"""Tests for the end-to-end qunit search engine."""
+
+import pytest
+
+
+class TestFigureOneWalkthrough:
+    def test_star_wars_cast(self, expert_engine):
+        # The paper's Fig. 1: "star wars cast" -> "[movie.name] [cast]" ->
+        # the cast qunit instance for Star Wars.
+        answer = expert_engine.best("star wars cast")
+        assert answer.meta("definition") == "movie_full_credits"
+        assert ("person", "name", "mark hamill") in answer.atoms
+
+    def test_explanation_records_pipeline(self, expert_engine):
+        explanation = expert_engine.explain("star wars cast")
+        assert explanation.template == "[movie.title] cast"
+        assert explanation.query_class == "entity_attribute"
+        assert explanation.candidates[0][0] == "movie_full_credits"
+        assert explanation.answers[0] == "movie_full_credits::star_wars"
+
+
+class TestQueryShapes:
+    def test_underspecified_single_entity(self, expert_engine):
+        answer = expert_engine.best("george clooney")
+        assert answer.meta("definition") == "person_main_page"
+
+    def test_attribute_query(self, expert_engine):
+        answer = expert_engine.best("tom hanks awards")
+        assert answer.meta("definition") == "person_awards"
+
+    def test_aggregate_query(self, expert_engine):
+        answer = expert_engine.best("top rated movies")
+        assert answer.meta("definition") == "top_charts"
+
+    def test_multi_entity_query(self, expert_engine):
+        answer = expert_engine.best("angelina jolie tomb raider")
+        assert not answer.is_empty
+        assert ("movie", "title", "tomb raider") in answer.atoms
+
+    def test_genre_query(self, expert_engine):
+        answer = expert_engine.best("science fiction movies")
+        assert answer.meta("definition") == "genre_movies"
+
+    def test_freetext_falls_back_to_ir(self, expert_engine):
+        # Misspelled/partial queries go through the flat instance index.
+        answer = expert_engine.best("clooney oceans")
+        assert not answer.is_empty
+
+    def test_unknown_terms_yield_empty(self, expert_engine):
+        answer = expert_engine.best("zzzz qqqq wwww")
+        assert answer.is_empty or answer.score < 0.3
+
+    def test_empty_instance_skipped(self, expert_engine):
+        # movie_quotes-style defs with no data must not produce empty answers.
+        answers = expert_engine.search("star wars trivia", limit=2)
+        assert all(not a.is_empty for a in answers)
+
+
+class TestAnswers:
+    def test_system_branding(self, expert_engine):
+        assert expert_engine.best("star wars").system == "qunits-expert"
+        assert expert_engine.system_name == "qunits-expert"
+
+    def test_limit_and_dedup(self, expert_engine):
+        answers = expert_engine.search("star wars", limit=4)
+        instance_ids = [a.meta("instance_id") for a in answers]
+        assert len(instance_ids) == len(set(instance_ids))
+        assert len(answers) <= 4
+
+    def test_scores_descend_within_match(self, expert_engine):
+        answers = expert_engine.search("george clooney", limit=3)
+        assert answers  # several person qunits available
+
+    def test_deterministic(self, expert_engine):
+        first = [a.meta("instance_id") for a in expert_engine.search("batman", limit=3)]
+        second = [a.meta("instance_id") for a in expert_engine.search("batman", limit=3)]
+        assert first == second

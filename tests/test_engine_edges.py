@@ -1,0 +1,106 @@
+"""Edge-path tests for the search engine and related plumbing."""
+
+import pytest
+
+from repro.core import QunitCollection
+from repro.core.qunit import ParamBinder, QunitDefinition
+from repro.core.search import QunitSearchEngine
+
+
+class TestPartialBindingPath:
+    def test_unbound_definition_uses_ir_over_instances(self, mini_db):
+        # A movie-anchored definition queried with a person name: the
+        # binder cannot bind, so the engine ranks the definition's
+        # instances by IR and still finds the right one through content.
+        definition = QunitDefinition(
+            name="movie_cast_page",
+            base_sql=('SELECT * FROM movie, cast, person '
+                      'WHERE cast.movie_id = movie.id '
+                      'AND cast.person_id = person.id '
+                      'AND movie.title = "$x"'),
+            binders=(ParamBinder("x", "movie", "title"),),
+            keywords=("cast", "movie"),
+        )
+        engine = QunitSearchEngine(
+            QunitCollection(mini_db, [definition]), flavor="test")
+        answer = engine.best("george clooney movie")
+        assert not answer.is_empty
+        assert ("person", "name", "george clooney") in answer.atoms
+
+    def test_multiple_answers_from_one_definition(self, mini_db):
+        definition = QunitDefinition(
+            name="movie_page",
+            base_sql='SELECT * FROM movie WHERE movie.title = "$x"',
+            binders=(ParamBinder("x", "movie", "title"),),
+            keywords=("movie",),
+        )
+        engine = QunitSearchEngine(
+            QunitCollection(mini_db, [definition]), flavor="test")
+        answers = engine.search("movie", limit=3)
+        assert len(answers) == 3
+        ids = {a.meta("instance_id") for a in answers}
+        assert len(ids) == 3
+
+
+class TestEmptyCollections:
+    def test_engine_over_empty_definition_list(self, mini_db):
+        engine = QunitSearchEngine(QunitCollection(mini_db, []),
+                                   flavor="empty")
+        assert engine.search("star wars") == []
+        assert engine.best("star wars").is_empty
+
+    def test_collection_with_all_empty_instances(self, mini_db):
+        ghost = QunitDefinition(
+            name="ghost",
+            base_sql=("SELECT * FROM movie "
+                      "WHERE movie.year = 1800 AND movie.title = \"$x\""),
+            binders=(ParamBinder("x", "movie", "title"),),
+        )
+        collection = QunitCollection(mini_db, [ghost])
+        assert collection.all_instances() == []
+        engine = QunitSearchEngine(collection, flavor="ghost")
+        assert engine.best("star wars").is_empty
+
+
+class TestTemplateEdges:
+    def test_two_foreach_blocks(self):
+        from repro.core.presentation import ConversionTemplate
+
+        template = ConversionTemplate(
+            "<a><foreach:tuple>$t.x;</foreach:tuple></a>"
+            "<b><foreach:tuple>$t.y,</foreach:tuple></b>")
+        rows = [{"t.x": "1", "t.y": "a"}, {"t.x": "2", "t.y": "b"}]
+        assert template.render({}, rows) == "<a>1;2;</a><b>a,b,</b>"
+
+    def test_dollar_without_name_is_literal(self):
+        from repro.core.presentation import ConversionTemplate
+
+        template = ConversionTemplate("price: $ 100")
+        assert template.render({}, []) == "price: $ 100"
+
+
+class TestSegmentationUnicode:
+    def test_accented_query_matches_ascii_value(self, mini_db):
+        from repro.core.search.segmentation import QuerySegmenter
+
+        segmenter = QuerySegmenter(mini_db)
+        segmented = segmenter.segment("Stár Wárs")
+        assert segmented.template() == "[movie.title]"
+
+    def test_apostrophe_variants(self, mini_db):
+        from repro.core.search.segmentation import QuerySegmenter
+
+        segmenter = QuerySegmenter(mini_db)
+        assert segmenter.segment("ocean's eleven").template() == "[movie.title]"
+
+
+class TestHarnessEvaluateSystem:
+    def test_default_pool_and_name(self, mini_db):
+        from repro.eval.harness import ResultQualityExperiment
+
+        experiment = ResultQualityExperiment(scale=0.1, seed=7, n_raters=4,
+                                             n_queries=4, max_instances=30)
+        experiment.setup()
+        score = experiment.evaluate_system(experiment.banks)
+        assert score.system == "banks"
+        assert len(score.per_query) == 4

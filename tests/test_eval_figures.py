@@ -1,0 +1,38 @@
+"""Tests for the figure/table renderers."""
+
+from repro.datasets.querylog import QueryLogAnalyzer, QueryLogGenerator
+from repro.eval.figures import (
+    PAPER_SEC52_TARGETS,
+    render_sec52_statistics,
+    render_table1,
+    render_table2,
+)
+from repro.eval.userstudy import UserStudySimulator
+
+
+class TestTable2:
+    def test_lists_all_five_options(self):
+        rendered = render_table2()
+        assert rendered.count("provides") == 5
+        assert "0.5" in rendered and "1.0" in rendered
+
+
+class TestTable1:
+    def test_renders_matrix_and_summary(self):
+        result = UserStudySimulator(seed=31).run()
+        rendered = render_table1(result)
+        assert "Information Needs vs Keyword Queries" in rendered
+        assert "paper" in rendered and "simulated" in rendered
+        assert str(25) in rendered
+
+
+class TestSec52:
+    def test_side_by_side(self, imdb_db):
+        generator = QueryLogGenerator(imdb_db, seed=11)
+        log = generator.generate(300)
+        stats = QueryLogAnalyzer(imdb_db).statistics(log)
+        rendered = render_sec52_statistics(stats)
+        assert "98549" in rendered or "98_549" in rendered.replace(",", "") \
+            or str(PAPER_SEC52_TARGETS["total_queries"]) in rendered
+        assert "single entity" in rendered
+        assert "synthetic log" in rendered

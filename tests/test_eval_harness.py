@@ -1,0 +1,88 @@
+"""Tests for the Figure 3 experiment harness (small-scale)."""
+
+import pytest
+
+from repro.eval.harness import THEORETICAL_MAX, ResultQualityExperiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    exp = ResultQualityExperiment(scale=0.15, seed=7, n_raters=8,
+                                  n_queries=12, max_instances=60)
+    exp.setup()
+    return exp
+
+
+@pytest.fixture(scope="module")
+def report(experiment):
+    return experiment.run()
+
+
+class TestSetup:
+    def test_four_qunit_collections(self, experiment):
+        assert set(experiment.collections) == {
+            "expert", "schema_data", "query_log", "external", "forms",
+        }
+
+    def test_systems_under_test(self, experiment):
+        systems = experiment.systems()
+        assert {"banks", "discover", "objectrank", "xml-lca", "xml-mlca",
+                "qunits-expert", "qunits-forms"} <= set(systems)
+
+    def test_workload_size(self, experiment):
+        assert len(experiment.workload) == 12
+
+    def test_setup_idempotent(self, experiment):
+        database = experiment.database
+        experiment.setup()
+        assert experiment.database is database
+
+
+class TestReport:
+    def test_all_systems_scored(self, experiment, report):
+        scored = {score.system for score in report.scores}
+        assert scored == set(experiment.systems()) | {THEORETICAL_MAX}
+
+    def test_scores_in_range(self, report):
+        for score in report.scores:
+            assert 0.0 <= score.mean_score <= 1.0
+            assert len(score.per_query) == len(report.queries)
+
+    def test_theoretical_max_is_one(self, report):
+        assert report.mean_of(THEORETICAL_MAX) == 1.0
+
+    def test_figure3_ordering(self, report):
+        """The paper's headline: qunits clearly outperform existing methods,
+        expert ("Human") qunits best of all, below the theoretical max."""
+        baselines = [report.mean_of(name)
+                     for name in ("banks", "xml-lca", "xml-mlca")]
+        derived = [report.mean_of(name)
+                   for name in ("qunits-schema_data", "qunits-query_log",
+                                "qunits-external")]
+        expert = report.mean_of("qunits-expert")
+        assert max(baselines) < min(derived)
+        assert expert >= max(derived)
+        assert expert < 1.0
+
+    def test_agreement_statistic(self, report):
+        assert 0.0 <= report.high_agreement_fraction <= 1.0
+        assert len(report.agreement_per_query) == len(report.queries)
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Figure 3" in text
+        assert "banks" in text and "theoretical-max" in text
+        table = report.render_table()
+        assert "qunits-expert" in table
+
+    def test_unknown_system_raises(self, report):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            report.mean_of("nonexistent")
+
+    def test_deterministic(self, experiment):
+        again = experiment.run()
+        first = {s.system: s.mean_score for s in experiment.run().scores}
+        second = {s.system: s.mean_score for s in again.scores}
+        assert first == second

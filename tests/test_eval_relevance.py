@@ -1,0 +1,115 @@
+"""Tests for the simulated rater model (Table 2)."""
+
+import pytest
+
+from repro.answer import Answer, atom
+from repro.eval.relevance import SCALE, Rating, SimulatedRater, SimulatedRaterPool
+from repro.utils.rng import DeterministicRng
+
+
+def make_rater(seed=1, slip=0.0):
+    rater = SimulatedRater(DeterministicRng(seed))
+    rater.slip_probability = slip
+    return rater
+
+
+GOLD = frozenset({
+    atom("person", "name", "Mark Hamill"),
+    atom("person", "name", "Harrison Ford"),
+    atom("person", "name", "Carrie Fisher"),
+    atom("cast", "character_name", "Luke Skywalker"),
+})
+
+
+def answer_with(atoms):
+    return Answer("test", frozenset(atoms), "text")
+
+
+class TestScale:
+    def test_table2_shape(self):
+        scores = [score for score, _label in SCALE]
+        assert scores == [0.0, 0.0, 0.5, 0.5, 1.0]
+
+    def test_rating_must_be_on_scale(self):
+        with pytest.raises(ValueError):
+            Rating(0.7, "made up")
+
+
+class TestDeliberation:
+    def test_perfect_answer_scores_one(self):
+        rater = make_rater()
+        rating = rater.rate(answer_with(GOLD), GOLD)
+        assert rating.score == 1.0
+
+    def test_empty_answer_scores_zero(self):
+        rater = make_rater()
+        rating = rater.rate(Answer.empty("x"), GOLD)
+        assert rating.score == 0.0
+        assert rating.label == "provides no information above the query"
+
+    def test_wrong_content_scores_zero(self):
+        rater = make_rater()
+        wrong = answer_with({atom("movie", "title", "Totally Different")})
+        assert rater.rate(wrong, GOLD).score == 0.0
+
+    def test_incomplete_scores_half(self):
+        rater = make_rater()
+        partial = answer_with(set(list(GOLD)[:2]))
+        rating = rater.rate(partial, GOLD)
+        assert rating.score == 0.5
+        assert "incomplete" in rating.label
+
+    def test_excessive_scores_half(self):
+        rater = make_rater()
+        excessive_atoms = set(GOLD)
+        excessive_atoms.update(
+            atom("movie_info", "info", f"junk number {i}") for i in range(50)
+        )
+        rating = rater.rate(answer_with(excessive_atoms), GOLD)
+        assert rating.score == 0.5
+        assert "excessive" in rating.label
+
+    def test_echoing_the_query_scores_zero(self):
+        rater = make_rater()
+        query_atoms = frozenset({atom("person", "name", "Mark Hamill")})
+        echo = answer_with(query_atoms)
+        rating = rater.rate(echo, frozenset(query_atoms), query_atoms)
+        assert rating.score == 0.0
+        assert "no information above" in rating.label
+
+    def test_unanswerable_gold_scores_zero(self):
+        rater = make_rater()
+        assert rater.rate(answer_with(GOLD), None).score == 0.0
+
+    def test_no_slip_is_deterministic(self):
+        ratings = {make_rater(seed=3).rate(answer_with(GOLD), GOLD).score
+                   for _ in range(5)}
+        assert len(ratings) == 1
+
+
+class TestPool:
+    def test_pool_size(self):
+        assert len(SimulatedRaterPool(20, seed=1)) == 20
+
+    def test_pool_rates_all(self):
+        pool = SimulatedRaterPool(10, seed=2)
+        ratings = pool.rate(answer_with(GOLD), GOLD)
+        assert len(ratings) == 10
+
+    def test_mean_and_agreement(self):
+        pool = SimulatedRaterPool(10, seed=2)
+        ratings = pool.rate(answer_with(GOLD), GOLD)
+        assert 0.0 <= pool.mean_score(ratings) <= 1.0
+        assert 0.0 < pool.agreement(ratings) <= 1.0
+
+    def test_raters_disagree_on_borderline(self):
+        # An answer with middling recall lands near thresholds: a large
+        # panel should NOT be unanimous.
+        pool = SimulatedRaterPool(40, seed=3)
+        borderline = answer_with(set(list(GOLD)[:3]))
+        ratings = pool.rate(borderline, GOLD)
+        assert len({r.score for r in ratings}) >= 2
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedRaterPool(0)

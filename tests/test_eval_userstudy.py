@@ -1,0 +1,77 @@
+"""Tests for the Table 1 user-study simulation."""
+
+import pytest
+
+from repro.eval.userstudy import (
+    NEED_PROFILES,
+    PAPER_SUMMARY,
+    QUERY_TYPES,
+    UserStudySimulator,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return UserStudySimulator(seed=31).run()
+
+
+class TestShape:
+    def test_query_count(self, result):
+        assert result.total_queries == PAPER_SUMMARY["total_queries"]
+
+    def test_five_users(self, result):
+        users = {user for _n, _q, user in result.cells}
+        assert users == {"a", "b", "c", "d", "e"}
+
+    def test_each_user_five_distinct_needs(self, result):
+        from collections import defaultdict
+
+        per_user = defaultdict(list)
+        for need, _q, user in result.cells:
+            per_user[user].append(need)
+        for user, needs in per_user.items():
+            assert len(needs) == 5
+            assert len(set(needs)) == 5
+
+    def test_query_types_from_table1_columns(self, result):
+        for _need, query_type, _user in result.cells:
+            assert query_type in QUERY_TYPES
+
+
+class TestPaperObservations:
+    def test_many_to_many_mapping(self, result):
+        assert result.is_many_to_many()
+
+    def test_substantial_single_entity_share(self, result):
+        # Paper: 10 of 25; allow simulation variance around it.
+        singles = result.single_entity_queries()
+        assert 5 <= len(singles) <= 15
+
+    def test_most_single_entity_underspecified(self, result):
+        singles = result.single_entity_queries()
+        under = result.underspecified_single_entity()
+        if singles:
+            assert len(under) >= len(singles) * 0.4
+
+    def test_formulation_distributions_sum_to_one(self):
+        for need, (_pop, formulations) in NEED_PROFILES.items():
+            total = sum(weight for _qt, weight in formulations)
+            assert total == pytest.approx(1.0), need
+
+
+class TestRendering:
+    def test_render_contains_needs_and_users(self, result):
+        rendered = result.render()
+        assert "info. need" in rendered
+        assert any(need in rendered for need in NEED_PROFILES)
+
+    def test_deterministic(self):
+        a = UserStudySimulator(seed=31).run()
+        b = UserStudySimulator(seed=31).run()
+        assert a.cells == b.cells
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserStudySimulator().run(n_users=0)
+        with pytest.raises(ValueError):
+            UserStudySimulator().run(needs_per_user=99)

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs end to end and prints what its
+docstring promises.  Keeps the examples from rotting as the API evolves."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "[movie.title] cast" in out
+    assert "movie_full_credits" in out
+    assert "<cast movie=" in out
+
+
+def test_derive_qunits(capsys):
+    out = run_example("derive_qunits", capsys)
+    assert "expert (manual" in out
+    assert "schema + data" in out
+    assert "query-log rollup" in out
+    assert "external evidence" in out
+    assert "george clooney movies" in out
+
+
+def test_querylog_analysis(capsys):
+    out = run_example("querylog_analysis", capsys)
+    assert "single entity" in out
+    assert "movie querylog benchmark" in out
+
+
+def test_qunit_evolution(capsys):
+    out = run_example("qunit_evolution", capsys)
+    assert "epoch 1" in out
+    assert "utility trajectories" in out
+
+
+def test_custom_qunits(capsys):
+    out = run_example("custom_qunits", capsys)
+    assert "validation: clean" in out
+    assert "seventies_chart" in out
+
+
+@pytest.mark.slow
+def test_full_evaluation(capsys):
+    out = run_example("full_evaluation", capsys)
+    assert "Figure 3" in out
+    assert "theoretical-max" in out
+    assert "Survey Options" in out

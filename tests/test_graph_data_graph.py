@@ -1,0 +1,60 @@
+"""Tests for the tuple-level data graph."""
+
+import pytest
+
+from repro.graph.data_graph import DataGraph, TupleNode
+
+
+@pytest.fixture()
+def graph(mini_db):
+    return DataGraph(mini_db)
+
+
+class TestConstruction:
+    def test_one_node_per_tuple(self, graph, mini_db):
+        assert graph.node_count == mini_db.total_rows()
+
+    def test_edges_follow_fks(self, graph):
+        # cast row 0 references person 3 (row 2) and movie 1 (row 0).
+        cast_node = TupleNode("cast", 0)
+        neighbors = graph.neighbors(cast_node)
+        assert TupleNode("person", 2) in neighbors
+        assert TupleNode("movie", 0) in neighbors
+
+    def test_edge_count(self, graph):
+        # 4 cast rows x 2 FKs + 3 movie_genre rows x 2 FKs = 14 edges.
+        assert graph.edge_count == 14
+
+    def test_edge_weights_penalize_hubs(self, graph):
+        # Every edge weight is >= 1 and grows with degree.
+        for left, right in graph.graph.edges:
+            assert graph.edge_weight(left, right) >= 1.0
+
+    def test_prestige_degree_based(self, graph):
+        movie3 = TupleNode("movie", 2)   # Ocean's Eleven: 2 cast + 1 genre
+        movie1 = TupleNode("movie", 0)   # Star Wars: 1 cast + 1 genre
+        assert graph.prestige(movie3) > graph.prestige(movie1)
+
+
+class TestQueries:
+    def test_keyword_matching(self, graph):
+        nodes = graph.nodes_matching_keyword("clooney")
+        assert nodes == {TupleNode("person", 0)}
+
+    def test_keyword_multiple_matches(self, graph):
+        nodes = graph.nodes_matching_keyword("actor")
+        assert len(nodes) == 3  # three cast rows with role=actor
+
+    def test_unknown_keyword(self, graph):
+        assert graph.nodes_matching_keyword("xyzzy") == set()
+
+    def test_shortest_path(self, graph):
+        # George Clooney -> cast -> Ocean's Eleven
+        path = graph.shortest_path(TupleNode("person", 0), TupleNode("movie", 2))
+        assert len(path) == 3
+        assert path[0] == TupleNode("person", 0)
+        assert path[-1] == TupleNode("movie", 2)
+
+    def test_row_access(self, graph):
+        row = graph.row(TupleNode("movie", 0))
+        assert row["title"] == "Star Wars"

@@ -1,0 +1,79 @@
+"""Tests for queriability scoring (Sec. 4.1 substrate)."""
+
+import pytest
+
+from repro.graph.queriability import QueriabilityModel
+
+
+@pytest.fixture()
+def model(mini_db):
+    return QueriabilityModel(mini_db)
+
+
+class TestEntityQueriability:
+    def test_entities_beat_junctions(self, model):
+        person = model.entity("person")
+        cast = model.entity("cast")
+        assert person.score > cast.score
+        assert cast.is_junction
+
+    def test_ranking_deterministic(self, model):
+        first = [e.table for e in model.ranked_entities()]
+        second = [e.table for e in model.ranked_entities()]
+        assert first == second
+
+    def test_top_entities_k(self, model):
+        assert len(model.top_entities(2)) == 2
+        assert len(model.top_entities(0)) == 0
+        with pytest.raises(ValueError):
+            model.top_entities(-1)
+
+    def test_imdb_person_movie_lead(self, imdb_db):
+        model = QueriabilityModel(imdb_db)
+        top3 = {e.table for e in model.top_entities(3)}
+        assert "person" in top3 and "movie" in top3
+
+
+class TestAttributeQueriability:
+    def test_id_columns_score_zero(self, model):
+        assert model.attribute("cast", "person_id").score == 0.0
+        assert model.attribute("movie", "id").score == 0.0
+
+    def test_searchable_boost(self, model):
+        title = model.attribute("movie", "title")
+        year = model.attribute("movie", "year")
+        assert title.score > year.score
+
+    def test_ranked_attributes_best_first(self, model):
+        ranked = model.ranked_attributes("movie")
+        assert ranked[0].column == "title"
+        scores = [a.score for a in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_table_raises(self, model):
+        from repro.errors import UnknownTableError
+
+        with pytest.raises(UnknownTableError):
+            model.ranked_attributes("nope")
+
+
+class TestNeighborExpansion:
+    def test_junctions_traversed(self, model):
+        # person's neighbors through the cast junction include movie.
+        neighbors = model.top_neighbors("person", 3)
+        assert "movie" in neighbors
+
+    def test_k_limits(self, model):
+        assert len(model.top_neighbors("movie", 1)) == 1
+        with pytest.raises(ValueError):
+            model.top_neighbors("movie", -1)
+
+    def test_no_self_neighbor(self, model):
+        assert "movie" not in model.top_neighbors("movie", 10)
+
+    def test_imdb_movie_neighbors(self, imdb_db):
+        model = QueriabilityModel(imdb_db)
+        neighbors = model.top_neighbors("movie", 6)
+        assert "person" in neighbors
+        assert "genre" in neighbors
+        assert "location" in neighbors  # the paper's point: data says yes

@@ -1,0 +1,86 @@
+"""Tests for the schema graph."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.graph.schema_graph import SchemaGraph
+
+from tests.conftest import build_mini_schema
+
+
+@pytest.fixture()
+def graph():
+    return SchemaGraph(build_mini_schema())
+
+
+class TestStructure:
+    def test_all_tables_are_nodes(self, graph):
+        assert set(graph.tables) == {"person", "movie", "genre",
+                                     "movie_genre", "cast"}
+
+    def test_degree(self, graph):
+        assert graph.degree("cast") == 2
+        assert graph.degree("genre") == 1
+
+    def test_neighbors_sorted(self, graph):
+        assert graph.neighbors("movie") == ["cast", "movie_genre"]
+
+    def test_edges_between(self, graph):
+        fks = graph.edges_between("cast", "person")
+        assert len(fks) == 1 and fks[0].column == "person_id"
+        assert graph.edges_between("person", "genre") == []
+
+
+class TestPaths:
+    def test_direct_path(self, graph):
+        assert graph.join_path("cast", "movie") == ["cast", "movie"]
+
+    def test_two_hop_path(self, graph):
+        assert graph.join_path("person", "movie") == ["person", "cast", "movie"]
+
+    def test_path_to_self(self, graph):
+        assert graph.join_path("movie", "movie") == ["movie"]
+
+    def test_disconnected_raises(self):
+        from repro.relational.schema import Column, ColumnType, Schema, TableSchema
+
+        schema = Schema([
+            TableSchema("a", [Column("id", ColumnType.INTEGER)]),
+            TableSchema("b", [Column("id", ColumnType.INTEGER)]),
+        ])
+        with pytest.raises(PlanError):
+            SchemaGraph(schema).join_path("a", "b")
+
+    def test_join_plan_covers_all(self, graph):
+        plan = graph.join_plan(["person", "genre"])
+        assert set(plan) >= {"person", "genre"}
+        # must pass through the connecting junctions
+        assert "cast" in plan and "movie_genre" in plan
+
+    def test_join_plan_empty(self, graph):
+        assert graph.join_plan([]) == []
+
+    def test_is_connected(self, graph):
+        assert graph.is_connected(["person", "movie"])
+        assert graph.is_connected(["movie"])
+
+
+class TestClassification:
+    def test_junction_detection(self, graph):
+        assert graph.is_junction("cast")
+        assert graph.is_junction("movie_genre")
+        assert not graph.is_junction("movie")
+        assert not graph.is_junction("genre")
+
+    def test_entity_tables(self, graph):
+        entities = graph.entity_tables()
+        assert "person" in entities and "movie" in entities
+        assert "cast" not in entities
+
+    def test_imdb_junctions(self, imdb_db):
+        graph = SchemaGraph(imdb_db.schema)
+        for junction in ("cast", "movie_genre", "movie_location",
+                         "movie_info", "person_info", "movie_company"):
+            assert graph.is_junction(junction), junction
+        for entity in ("movie", "person", "award", "company"):
+            assert not graph.is_junction(entity), entity

@@ -1,0 +1,69 @@
+"""Tests for the analysis pipeline."""
+
+import pytest
+
+from repro.ir.analysis import STOPWORDS, Analyzer
+
+
+class TestTokens:
+    def test_basic_tokenization(self):
+        assert Analyzer(stem=False).tokens("Star Wars!") == ["star", "wars"]
+
+    def test_stopwords_removed(self):
+        tokens = Analyzer(stem=False).tokens("the cast of the movie")
+        assert "the" not in tokens and "of" not in tokens
+        assert "cast" in tokens  # domain words are never stopwords
+
+    def test_stopwords_kept_when_disabled(self):
+        tokens = Analyzer(remove_stopwords=False, stem=False).tokens("the movie")
+        assert tokens == ["the", "movie"]
+
+    def test_min_token_length(self):
+        analyzer = Analyzer(stem=False, remove_stopwords=False, min_token_length=3)
+        assert analyzer.tokens("go to la") == []
+
+    def test_min_token_length_validation(self):
+        with pytest.raises(ValueError):
+            Analyzer(min_token_length=0)
+
+    def test_empty_text(self):
+        assert Analyzer().tokens("") == []
+        assert Analyzer().tokens("   !!! ") == []
+
+    def test_raw_tokens_no_filtering(self):
+        analyzer = Analyzer()
+        assert analyzer.raw_tokens("The Cast") == ["the", "cast"]
+
+
+class TestStemmer:
+    def test_plural_s(self):
+        assert Analyzer.stem_token("movies") == "movy"  # via ies->y
+        assert Analyzer.stem_token("awards") == "award"
+
+    def test_ing(self):
+        assert Analyzer.stem_token("filming") == "film"
+
+    def test_ed(self):
+        assert Analyzer.stem_token("directed") == "direct"
+
+    def test_short_tokens_untouched(self):
+        assert Analyzer.stem_token("was") == "was"
+        assert Analyzer.stem_token("ed") == "ed"
+
+    def test_never_strips_below_three_chars(self):
+        assert len(Analyzer.stem_token("wars")) >= 3
+
+    def test_idempotent(self):
+        for token in ["movies", "filming", "directed", "stars", "cast"]:
+            once = Analyzer.stem_token(token)
+            assert Analyzer.stem_token(once) == once
+
+
+class TestStopwordList:
+    def test_domain_words_absent(self):
+        for word in ("cast", "movie", "year", "plot"):
+            assert word not in STOPWORDS
+
+    def test_function_words_present(self):
+        for word in ("the", "of", "and", "is"):
+            assert word in STOPWORDS

@@ -1,0 +1,79 @@
+"""Tests for Rocchio relevance feedback."""
+
+import pytest
+
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.feedback import RocchioFeedback
+from repro.ir.index import InvertedIndex
+from repro.ir.retrieval import Searcher
+
+
+@pytest.fixture()
+def searcher():
+    index = InvertedIndex(Analyzer(stem=False))
+    index.add(Document.create("sw1", {"body": "star wars rebels jedi empire"}))
+    index.add(Document.create("sw2", {"body": "jedi empire lightsaber rebels"}))
+    index.add(Document.create("sea", {"body": "ocean waves ship storm"}))
+    index.add(Document.create("mix", {"body": "star ocean crossover"}))
+    return Searcher(index)
+
+
+class TestExpansion:
+    def test_expands_with_cooccurring_terms(self, searcher):
+        feedback = RocchioFeedback(expansion_terms=4)
+        expansion = feedback.expansion_for(searcher.index, ["sw1", "sw2"],
+                                           ["star"])
+        terms = {term for term, _weight in expansion}
+        assert "jedi" in terms or "empire" in terms or "rebels" in terms
+
+    def test_excludes_original_terms(self, searcher):
+        feedback = RocchioFeedback()
+        expansion = feedback.expansion_for(searcher.index, ["sw1"], ["star"])
+        assert all(term != "star" for term, _weight in expansion)
+
+    def test_no_relevant_docs_no_expansion(self, searcher):
+        feedback = RocchioFeedback()
+        assert feedback.expansion_for(searcher.index, [], ["star"]) == []
+
+    def test_weights_bounded_by_beta(self, searcher):
+        feedback = RocchioFeedback(beta=0.5)
+        expansion = feedback.expansion_for(searcher.index, ["sw1", "sw2"],
+                                           ["star"])
+        assert all(0 < weight <= 0.5 for _term, weight in expansion)
+
+    def test_cap_respected(self, searcher):
+        feedback = RocchioFeedback(expansion_terms=2)
+        expansion = feedback.expansion_for(searcher.index, ["sw1", "sw2"], [])
+        assert len(expansion) <= 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RocchioFeedback(alpha=-1)
+        with pytest.raises(ValueError):
+            RocchioFeedback(expansion_terms=-1)
+
+
+class TestFeedbackSearch:
+    def test_feedback_pulls_in_related_documents(self, searcher):
+        # "star" alone ranks sw1 and mix equally-ish; feedback on sw1
+        # promotes sw2 (shares jedi/empire/rebels) above mix.
+        feedback = RocchioFeedback(beta=1.0)
+        hits = feedback.search(searcher, "star", ["sw1"], limit=4)
+        ranks = {hit.doc_id: hit.rank for hit in hits}
+        assert "sw2" in ranks
+        assert ranks["sw2"] < ranks.get("mix", 99)
+
+    def test_pseudo_feedback_runs(self, searcher):
+        feedback = RocchioFeedback()
+        hits = feedback.pseudo_feedback_search(searcher, "jedi", assume_top=2)
+        assert hits and hits[0].doc_id in ("sw1", "sw2")
+
+    def test_pseudo_feedback_empty_query(self, searcher):
+        feedback = RocchioFeedback()
+        assert feedback.pseudo_feedback_search(searcher, "zzzz") == []
+
+    def test_ranks_sequential(self, searcher):
+        feedback = RocchioFeedback()
+        hits = feedback.search(searcher, "star", ["sw1"], limit=4)
+        assert [hit.rank for hit in hits] == list(range(len(hits)))

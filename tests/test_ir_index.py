@@ -1,0 +1,111 @@
+"""Tests for documents and the inverted index."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.index import InvertedIndex
+
+
+def doc(doc_id, title, body="", title_weight=3.0):
+    return Document.create(doc_id, {"title": title, "body": body},
+                           {"title": title_weight})
+
+
+class TestDocument:
+    def test_field_access(self):
+        d = doc("d1", "Star Wars", "a space opera")
+        assert d.field("title") == "Star Wars"
+        with pytest.raises(KeyError):
+            d.field("nope")
+
+    def test_weight_default(self):
+        d = doc("d1", "x")
+        assert d.weight("title") == 3.0
+        assert d.weight("body") == 1.0
+
+    def test_metadata(self):
+        d = Document.create("d", {"t": "x"}, metadata={"k": "v"})
+        assert d.meta("k") == "v"
+        assert d.meta("missing", 42) == 42
+
+    def test_full_text(self):
+        d = doc("d1", "Star Wars", "space opera")
+        assert "Star Wars" in d.full_text()
+        assert "space opera" in d.full_text()
+
+
+class TestIndexing:
+    def test_document_count(self):
+        index = InvertedIndex()
+        index.add(doc("a", "one"))
+        index.add(doc("b", "two"))
+        assert index.document_count == 2
+        assert len(index) == 2
+
+    def test_duplicate_id_rejected(self):
+        index = InvertedIndex()
+        index.add(doc("a", "one"))
+        with pytest.raises(IndexError_):
+            index.add(doc("a", "again"))
+
+    def test_add_all(self):
+        index = InvertedIndex()
+        assert index.add_all([doc("a", "x"), doc("b", "y")]) == 2
+
+    def test_field_weights_scale_tf(self):
+        index = InvertedIndex(Analyzer(stem=False))
+        index.add(doc("a", "wars", "wars", title_weight=3.0))
+        posting = index.postings("wars")[0]
+        assert posting.weighted_tf == 4.0  # 3 (title) + 1 (body)
+
+    def test_document_length_weighted(self):
+        index = InvertedIndex(Analyzer(stem=False))
+        index.add(doc("a", "star wars", "space opera epic"))
+        assert index.document_length("a") == 2 * 3.0 + 3 * 1.0
+
+    def test_average_length(self):
+        index = InvertedIndex(Analyzer(stem=False))
+        assert index.average_document_length == 0.0
+        index.add(doc("a", "one two"))
+        index.add(doc("b", "three"))
+        assert index.average_document_length == (6.0 + 3.0) / 2
+
+    def test_non_positive_weight_rejected(self):
+        index = InvertedIndex()
+        with pytest.raises(IndexError_):
+            index.add(doc("a", "x", title_weight=0.0))
+
+    def test_unknown_document_raises(self):
+        index = InvertedIndex()
+        with pytest.raises(IndexError_):
+            index.document("ghost")
+        with pytest.raises(IndexError_):
+            index.document_length("ghost")
+
+
+class TestStatistics:
+    def test_document_frequency(self):
+        index = InvertedIndex(Analyzer(stem=False))
+        index.add(doc("a", "wars"))
+        index.add(doc("b", "wars peace"))
+        assert index.document_frequency("wars") == 2
+        assert index.document_frequency("peace") == 1
+        assert index.document_frequency("absent") == 0
+
+    def test_vocabulary_size(self):
+        index = InvertedIndex(Analyzer(stem=False))
+        index.add(doc("a", "alpha beta"))
+        assert index.vocabulary_size == 2
+
+    def test_validate_passes(self):
+        index = InvertedIndex()
+        index.add(doc("a", "star wars", "space opera"))
+        index.add(doc("b", "cast away"))
+        index.validate()
+
+    def test_contains(self):
+        index = InvertedIndex()
+        index.add(doc("a", "x"))
+        assert "a" in index and "b" not in index

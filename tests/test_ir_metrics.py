@@ -1,0 +1,106 @@
+"""Tests for retrieval and agreement metrics."""
+
+import math
+
+import pytest
+
+from repro.ir.metrics import (
+    average_precision,
+    dcg,
+    majority_agreement,
+    mean,
+    mean_reciprocal_rank,
+    ndcg,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty(self):
+        assert mean([]) == 0.0
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        ranked = ["a", "b", "c", "d"]
+        assert precision_at_k(ranked, {"a", "c"}, 2) == 0.5
+        assert precision_at_k(ranked, {"a", "c"}, 4) == 0.5
+        assert precision_at_k(ranked, set(), 4) == 0.0
+
+    def test_precision_short_ranking(self):
+        assert precision_at_k(["a"], {"a"}, 3) == pytest.approx(1 / 3)
+
+    def test_recall_at_k(self):
+        ranked = ["a", "b", "c"]
+        assert recall_at_k(ranked, {"a", "z"}, 3) == 0.5
+        assert recall_at_k(ranked, set(), 3) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], {"a"}, 0)
+        with pytest.raises(ValueError):
+            recall_at_k(["a"], {"a"}, 0)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_partial(self):
+        # relevant at positions 1 and 3: AP = (1/1 + 2/3)/2
+        ap = average_precision(["a", "x", "b"], {"a", "b"})
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_no_relevant(self):
+        assert average_precision(["a"], set()) == 0.0
+
+
+class TestMrr:
+    def test_mrr(self):
+        value = mean_reciprocal_rank(
+            [["x", "a"], ["b"]], [{"a"}, {"b"}]
+        )
+        assert value == pytest.approx((0.5 + 1.0) / 2)
+
+    def test_miss_contributes_zero(self):
+        assert mean_reciprocal_rank([["x"]], [{"a"}]) == 0.0
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank([["a"]], [])
+
+
+class TestDcg:
+    def test_dcg_discounts(self):
+        assert dcg([1.0, 1.0]) == pytest.approx(1.0 + 1.0 / math.log2(3))
+
+    def test_ndcg_perfect_is_one(self):
+        assert ndcg([3.0, 2.0, 1.0]) == pytest.approx(1.0)
+
+    def test_ndcg_worst_order_below_one(self):
+        assert ndcg([1.0, 2.0, 3.0]) < 1.0
+
+    def test_ndcg_all_zero(self):
+        assert ndcg([0.0, 0.0]) == 0.0
+
+    def test_ndcg_with_k(self):
+        assert 0 < ndcg([0.0, 3.0, 2.0], k=2) < 1.0
+
+
+class TestAgreement:
+    def test_unanimous(self):
+        assert majority_agreement([1, 1, 1]) == 1.0
+
+    def test_split(self):
+        assert majority_agreement([1, 0, 1, 0]) == 0.5
+
+    def test_modal_fraction(self):
+        assert majority_agreement([0.5, 0.5, 0.5, 1.0, 0.0]) == 0.6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_agreement([])

@@ -1,0 +1,75 @@
+"""Tests for prior-weighted scoring and collection popularity priors."""
+
+import pytest
+
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.index import InvertedIndex
+from repro.ir.retrieval import Searcher
+from repro.ir.scoring import Bm25Scorer, PriorWeightedScorer
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex(Analyzer(stem=False))
+    idx.add(Document.create("obscure", {"body": "star chronicle"}))
+    idx.add(Document.create("famous", {"body": "star chronicle"}))
+    return idx
+
+
+class TestPriorWeightedScorer:
+    def test_prior_breaks_text_ties(self, index):
+        scorer = PriorWeightedScorer(Bm25Scorer(), {"famous": 3.0})
+        searcher = Searcher(index, scorer)
+        hits = searcher.search("star")
+        assert hits[0].doc_id == "famous"
+
+    def test_default_prior_applied(self, index):
+        scorer = PriorWeightedScorer(Bm25Scorer(), {}, default=2.0)
+        doubled = scorer.scores(index, ["star"])
+        plain = Bm25Scorer().scores(index, ["star"])
+        for doc_id in plain:
+            assert doubled[doc_id] == pytest.approx(2.0 * plain[doc_id])
+
+    def test_no_match_stays_empty(self, index):
+        scorer = PriorWeightedScorer(Bm25Scorer(), {"famous": 5.0})
+        assert scorer.scores(index, ["zzz"]) == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriorWeightedScorer(Bm25Scorer(), {"x": 0.0})
+        with pytest.raises(ValueError):
+            PriorWeightedScorer(Bm25Scorer(), {}, default=0.0)
+
+
+class TestPopularityPriors:
+    def test_votes_drive_priors(self, expert_collection):
+        priors = expert_collection.popularity_priors("movie", "votes")
+        # Canon movies have large vote counts; their main pages beat
+        # person-only instances (which never touch movie.votes).
+        star_wars = priors["movie_main_page::star_wars"]
+        assert star_wars > 1.0
+        person_only = priors.get("person_biography::george_clooney")
+        if person_only is not None:
+            assert star_wars > person_only
+
+    def test_every_instance_has_prior(self, expert_collection):
+        priors = expert_collection.popularity_priors()
+        assert len(priors) == expert_collection.instance_count()
+        assert all(value >= 1.0 for value in priors.values())
+
+    def test_unknown_column_rejected(self, expert_collection):
+        from repro.errors import UnknownColumnError
+
+        with pytest.raises(UnknownColumnError):
+            expert_collection.popularity_priors("movie", "bogus")
+
+    def test_prior_scorer_end_to_end(self, expert_collection):
+        from repro.core.search import QunitSearchEngine
+
+        priors = expert_collection.popularity_priors()
+        engine = QunitSearchEngine(
+            expert_collection, flavor="expert",
+            scorer=PriorWeightedScorer(Bm25Scorer(), priors))
+        answer = engine.best("star wars cast")
+        assert answer.meta("definition") == "movie_full_credits"

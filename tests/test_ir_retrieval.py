@@ -1,0 +1,72 @@
+"""Tests for ranked retrieval."""
+
+import pytest
+
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.index import InvertedIndex
+from repro.ir.retrieval import Searcher
+
+
+@pytest.fixture()
+def searcher():
+    index = InvertedIndex(Analyzer(stem=False))
+    index.add(Document.create("sw", {"title": "star wars",
+                                     "body": "luke skywalker han solo"},
+                              {"title": 3.0}))
+    index.add(Document.create("ca", {"title": "cast away",
+                                     "body": "tom hanks island"},
+                              {"title": 3.0}))
+    index.add(Document.create("oe", {"title": "oceans eleven",
+                                     "body": "george clooney heist vegas"},
+                              {"title": 3.0}))
+    return Searcher(index)
+
+
+class TestSearch:
+    def test_best_hit(self, searcher):
+        best = searcher.best("star wars")
+        assert best is not None and best.doc_id == "sw"
+
+    def test_ranks_are_sequential(self, searcher):
+        hits = searcher.search("star wars tom hanks")
+        assert [h.rank for h in hits] == list(range(len(hits)))
+
+    def test_scores_descending(self, searcher):
+        hits = searcher.search("star wars island")
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_limit_respected(self, searcher):
+        assert len(searcher.search("star island heist", limit=2)) == 2
+
+    def test_limit_zero(self, searcher):
+        assert searcher.search("star", limit=0) == []
+
+    def test_negative_limit_rejected(self, searcher):
+        with pytest.raises(ValueError):
+            searcher.search("star", limit=-1)
+
+    def test_no_match_returns_empty(self, searcher):
+        assert searcher.search("zzzz qqqq") == []
+        assert searcher.best("zzzz") is None
+
+    def test_empty_query(self, searcher):
+        assert searcher.search("") == []
+
+    def test_stopword_only_query(self):
+        index = InvertedIndex()  # default analyzer removes stopwords
+        index.add(Document.create("d", {"body": "content"}))
+        assert Searcher(index).search("the of and") == []
+
+    def test_deterministic_tie_break(self):
+        index = InvertedIndex(Analyzer(stem=False))
+        index.add(Document.create("b", {"body": "same text"}))
+        index.add(Document.create("a", {"body": "same text"}))
+        hits = Searcher(index).search("same")
+        assert [h.doc_id for h in hits] == ["a", "b"]
+
+    def test_title_weight_beats_body(self, searcher):
+        # "cast" appears in ca's title; a body-only match would lose.
+        hits = searcher.search("cast")
+        assert hits[0].doc_id == "ca"

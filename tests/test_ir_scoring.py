@@ -1,0 +1,88 @@
+"""Tests for TF-IDF and BM25 scoring."""
+
+import pytest
+
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.index import InvertedIndex
+from repro.ir.scoring import Bm25Scorer, TfIdfScorer
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex(Analyzer(stem=False))
+    idx.add(Document.create("war1", {"body": "star wars space battle"}))
+    idx.add(Document.create("war2", {"body": "star wars wars wars sequel"}))
+    idx.add(Document.create("sea", {"body": "ocean waves ship"}))
+    idx.add(Document.create("mix", {"body": "star ocean crossover epic saga"}))
+    return idx
+
+
+@pytest.mark.parametrize("scorer", [TfIdfScorer(), Bm25Scorer()])
+class TestCommonProperties:
+    def test_only_matching_documents_scored(self, index, scorer):
+        scores = scorer.scores(index, ["wars"])
+        assert set(scores) == {"war1", "war2"}
+
+    def test_all_scores_positive(self, index, scorer):
+        scores = scorer.scores(index, ["star", "ocean"])
+        assert all(value > 0 for value in scores.values())
+
+    def test_unknown_term_ignored(self, index, scorer):
+        assert scorer.scores(index, ["xyzzy"]) == {}
+
+    def test_empty_index(self, scorer):
+        empty = InvertedIndex()
+        assert scorer.scores(empty, ["star"]) == {}
+
+    def test_multi_term_accumulates(self, index, scorer):
+        single = scorer.scores(index, ["star"])
+        double = scorer.scores(index, ["star", "wars"])
+        assert double["war1"] > single["war1"]
+
+    def test_rare_term_outweighs_common(self, index, scorer):
+        # "battle" appears once; "star" in three docs. A doc matching the
+        # rare term scores higher than one matching only the common term.
+        scores = scorer.scores(index, ["battle", "star"])
+        assert scores["war1"] > scores["mix"]
+
+
+class TestBm25Specifics:
+    def test_tf_saturation(self, index):
+        # war2 has "wars" three times but should not get 3x the score.
+        scores = Bm25Scorer().scores(index, ["wars"])
+        assert scores["war2"] < 3 * scores["war1"]
+        assert scores["war2"] > scores["war1"]
+
+    def test_k1_zero_ignores_tf(self, index):
+        scores = Bm25Scorer(k1=0.0).scores(index, ["wars"])
+        assert scores["war1"] == pytest.approx(scores["war2"])
+
+    def test_b_zero_ignores_length(self):
+        idx = InvertedIndex(Analyzer(stem=False))
+        idx.add(Document.create("short", {"body": "star"}))
+        idx.add(Document.create("long", {"body": "star " + "filler " * 50}))
+        scores = Bm25Scorer(b=0.0).scores(idx, ["star"])
+        assert scores["short"] == pytest.approx(scores["long"])
+
+    def test_b_one_penalizes_length(self):
+        idx = InvertedIndex(Analyzer(stem=False))
+        idx.add(Document.create("short", {"body": "star"}))
+        idx.add(Document.create("long", {"body": "star " + "filler " * 50}))
+        scores = Bm25Scorer(b=1.0).scores(idx, ["star"])
+        assert scores["short"] > scores["long"]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Bm25Scorer(k1=-1)
+        with pytest.raises(ValueError):
+            Bm25Scorer(b=1.5)
+
+
+class TestTfIdfSpecifics:
+    def test_length_normalization(self):
+        idx = InvertedIndex(Analyzer(stem=False))
+        idx.add(Document.create("short", {"body": "star"}))
+        idx.add(Document.create("long", {"body": "star " + "filler " * 60}))
+        scores = TfIdfScorer().scores(idx, ["star"])
+        assert scores["short"] > scores["long"]

@@ -1,0 +1,89 @@
+"""Tests for qunit definition matching."""
+
+import pytest
+
+from repro.core.derivation import imdb_expert_qunits
+from repro.core.search.matcher import QunitMatcher
+from repro.core.search.segmentation import QuerySegmenter
+
+
+@pytest.fixture(scope="module")
+def matcher(imdb_db):
+    return QunitMatcher(imdb_db)
+
+
+@pytest.fixture(scope="module")
+def segmenter(imdb_db):
+    return QuerySegmenter(imdb_db)
+
+
+@pytest.fixture(scope="module")
+def defs():
+    return imdb_expert_qunits()
+
+
+def top(matcher, segmenter, defs, query):
+    return matcher.match(segmenter.segment(query), defs, limit=1)[0]
+
+
+class TestDefinitionSelection:
+    @pytest.mark.parametrize("query,expected", [
+        ("star wars cast", "movie_full_credits"),
+        ("george clooney", "person_main_page"),
+        ("tom hanks movies", "person_filmography"),
+        ("the terminator box office", "movie_box_office"),
+        ("batman plot", "movie_plot"),
+        ("cast away soundtrack", "movie_soundtrack"),
+        ("star wars locations", "movie_locations"),
+        ("tom hanks awards", "person_awards"),
+        ("best movies", "top_charts"),
+    ])
+    def test_expected_winner(self, matcher, segmenter, defs, query, expected):
+        assert top(matcher, segmenter, defs, query).definition.name == expected
+
+    def test_underspecified_prefers_high_utility(self, matcher, segmenter, defs):
+        match = top(matcher, segmenter, defs, "julio iglesias")
+        assert match.definition.name == "person_main_page"
+
+    def test_info_type_commitment_discriminates(self, matcher, segmenter, defs):
+        # "box office" must not land on the plot definition even though
+        # both join movie_info.
+        matches = matcher.match(segmenter.segment("batman box office"), defs)
+        names = [m.definition.name for m in matches]
+        assert names.index("movie_box_office") < names.index("movie_plot")
+
+
+class TestBindings:
+    def test_entity_binds_parameter(self, matcher, segmenter, defs):
+        match = top(matcher, segmenter, defs, "star wars cast")
+        assert match.fully_bound
+        assert match.bound_params == {"x": "Star Wars"}
+
+    def test_wrong_entity_type_does_not_bind(self, matcher, segmenter, defs):
+        segmented = segmenter.segment("george clooney")
+        movie_defs = [d for d in defs if d.name == "movie_full_credits"]
+        match = matcher.match(segmented, movie_defs)[0]
+        assert not match.fully_bound
+
+    def test_parameter_free_definition_binds_trivially(self, matcher,
+                                                       segmenter, defs):
+        segmented = segmenter.segment("top rated movies")
+        charts = [d for d in defs if d.name == "top_charts"]
+        assert matcher.match(segmented, charts)[0].fully_bound
+
+
+class TestScoring:
+    def test_scores_in_unit_range(self, matcher, segmenter, defs):
+        for query in ["star wars cast", "george clooney", "zzz unknown"]:
+            for match in matcher.match(segmenter.segment(query), defs):
+                assert 0.0 <= match.score <= 1.0
+
+    def test_deterministic_order(self, matcher, segmenter, defs):
+        segmented = segmenter.segment("star wars cast")
+        first = [m.definition.name for m in matcher.match(segmented, defs)]
+        second = [m.definition.name for m in matcher.match(segmented, defs)]
+        assert first == second
+
+    def test_limit(self, matcher, segmenter, defs):
+        segmented = segmenter.segment("star wars")
+        assert len(matcher.match(segmented, defs, limit=3)) == 3

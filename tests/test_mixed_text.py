@@ -1,0 +1,79 @@
+"""Mixed text + structure queries (the paper's Sec. 7 extension).
+
+"We expect to extend qunit notions to databases with substantial mixed
+text content and to use IR techniques to query the text content in
+conjunction with the database structure."  The movie_info plots are long
+text; these tests exercise both directions: pure text queries through the
+flat IR fallback, and structured queries carrying free-text residue that
+re-ranks the structural candidates.
+"""
+
+import pytest
+
+from repro.utils.text import normalize
+
+
+def plot_text_of(imdb_db, title: str) -> str:
+    movie = imdb_db.lookup("movie", "title", title)[0]
+    plot_type = imdb_db.lookup("info_type", "name", "plot")[0]["id"]
+    for row in imdb_db.lookup("movie_info", "movie_id", movie["id"]):
+        if row["info_type_id"] == plot_type:
+            return str(row["info"])
+    raise AssertionError(f"no plot for {title}")
+
+
+def distinctive_tokens(imdb_db, title: str, count: int = 2) -> list[str]:
+    """Content words from the movie's plot, rare-ish in the index."""
+    text_index = imdb_db.text_index()
+    tokens = [
+        token for token in normalize(plot_text_of(imdb_db, title)).split()
+        if len(token) >= 6
+    ]
+    tokens.sort(key=lambda t: (text_index.document_frequency(t), t))
+    picked: list[str] = []
+    for token in tokens:
+        if token not in picked:
+            picked.append(token)
+        if len(picked) == count:
+            break
+    return picked
+
+
+class TestPureTextQueries:
+    def test_plot_words_reach_plot_content(self, imdb_db, expert_engine):
+        words = distinctive_tokens(imdb_db, "Star Wars")
+        answer = expert_engine.best(" ".join(words))
+        assert not answer.is_empty
+        text = normalize(answer.text)
+        assert any(word in text for word in words)
+
+    def test_text_query_goes_through_ir_fallback(self, imdb_db, expert_engine):
+        words = distinctive_tokens(imdb_db, "Batman")
+        explanation = expert_engine.explain(" ".join(words))
+        # No structural candidates pass the threshold for pure plot words.
+        assert explanation.query_class in ("freetext", "entity_freetext",
+                                           "attribute_only", "multi_entity",
+                                           "single_entity", "entity_attribute")
+        assert explanation.answers
+
+
+class TestStructurePlusText:
+    def test_freetext_residue_steers_to_text_bearing_qunit(self, imdb_db,
+                                                           expert_engine):
+        # "[title] <plot word>": both main-page and plot qunits bind the
+        # title; the free-text residue must pull a plot-bearing instance
+        # to the top.
+        words = distinctive_tokens(imdb_db, "The Terminator", count=1)
+        answer = expert_engine.best(f"the terminator {words[0]}")
+        assert not answer.is_empty
+        assert words[0] in normalize(answer.text)
+
+    def test_residue_does_not_break_binding(self, expert_engine):
+        answer = expert_engine.best("star wars zzzzunknownzzz")
+        # The entity still binds; some star wars qunit answers.
+        assert ("movie", "title", "star wars") in answer.atoms
+
+    def test_no_freetext_no_rerank(self, expert_engine):
+        # Queries without free text keep the structural champion.
+        answer = expert_engine.best("star wars cast")
+        assert answer.meta("definition") == "movie_full_credits"

@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.presentation import ConversionTemplate
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.index import InvertedIndex
+from repro.ir.metrics import dcg, majority_agreement, ndcg, precision_at_k, recall_at_k
+from repro.ir.scoring import Bm25Scorer, TfIdfScorer
+from repro.utils.rng import DeterministicRng, zipf_weights
+from repro.utils.text import normalize
+from repro.xmlview.operators import lca
+from repro.xmlview.tree import XmlNode
+
+# -- strategies ---------------------------------------------------------------
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8)
+texts = st.lists(words, min_size=0, max_size=12).map(" ".join)
+deweys = st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=8).map(tuple)
+
+
+class TestTextProperties:
+    @given(st.text(max_size=60))
+    def test_normalize_idempotent(self, text):
+        assert normalize(normalize(text)) == normalize(text)
+
+    @given(st.text(max_size=60))
+    def test_normalize_ascii_lowercase(self, text):
+        result = normalize(text)
+        assert result == result.lower()
+        assert all(ord(ch) < 128 for ch in result)
+
+    @given(st.text(max_size=60))
+    def test_normalize_no_double_spaces(self, text):
+        assert "  " not in normalize(text)
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=1, max_value=200),
+           st.floats(min_value=0.0, max_value=3.0))
+    def test_zipf_weights_sum_to_one(self, n, exponent):
+        assert math.isclose(sum(zipf_weights(n, exponent)), 1.0, rel_tol=1e-9)
+
+    @given(st.integers(), st.text(max_size=12))
+    def test_fork_deterministic(self, seed, label):
+        assert DeterministicRng(seed).fork(label).seed == \
+               DeterministicRng(seed).fork(label).seed
+
+    @given(st.lists(words, min_size=1, max_size=20, unique=True),
+           st.integers(min_value=0, max_value=20))
+    def test_weighted_sample_size_and_distinctness(self, items, k):
+        k = min(k, len(items))
+        sample = DeterministicRng(0).weighted_sample(
+            items, [1.0] * len(items), k)
+        assert len(sample) == k
+        assert len(set(sample)) == k
+        assert set(sample) <= set(items)
+
+
+class TestLcaProperties:
+    @given(deweys, deweys)
+    def test_lca_commutative(self, a, b):
+        assert lca(a, b) == lca(b, a)
+
+    @given(deweys, deweys)
+    def test_lca_is_common_prefix(self, a, b):
+        common = lca(a, b)
+        assert a[:len(common)] == common
+        assert b[:len(common)] == common
+
+    @given(deweys)
+    def test_lca_idempotent(self, a):
+        assert lca(a, a) == a
+
+    @given(deweys, deweys, deweys)
+    def test_lca_associative(self, a, b, c):
+        assert lca(lca(a, b), c) == lca(a, lca(b, c))
+
+
+class TestIndexProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(texts, min_size=1, max_size=8))
+    def test_index_validates_after_any_build(self, bodies):
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body}))
+        index.validate()
+        assert index.document_count == len(bodies)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(texts, min_size=1, max_size=8), texts)
+    def test_scorers_only_score_matching_docs(self, bodies, query):
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body}))
+        terms = index.analyzer.tokens(query)
+        for scorer in (TfIdfScorer(), Bm25Scorer()):
+            scores = scorer.scores(index, terms)
+            for doc_id, value in scores.items():
+                assert value > 0
+                document = index.document(doc_id)
+                doc_tokens = set(index.analyzer.tokens(document.full_text()))
+                assert doc_tokens & set(terms)
+
+
+class TestMetricProperties:
+    @given(st.lists(words, min_size=1, max_size=15, unique=True),
+           st.sets(words, max_size=10),
+           st.integers(min_value=1, max_value=15))
+    def test_precision_recall_bounds(self, ranked, relevant, k):
+        assert 0.0 <= precision_at_k(ranked, relevant, k) <= 1.0
+        assert 0.0 <= recall_at_k(ranked, relevant, k) <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=5.0),
+                    min_size=1, max_size=12))
+    def test_ndcg_bounds(self, gains):
+        assert 0.0 <= ndcg(gains) <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=5.0),
+                    min_size=1, max_size=12))
+    def test_dcg_monotone_under_sorting(self, gains):
+        assert dcg(sorted(gains, reverse=True)) >= dcg(gains) - 1e-9
+
+    @given(st.lists(st.sampled_from([0.0, 0.5, 1.0]), min_size=1, max_size=25))
+    def test_agreement_bounds(self, ratings):
+        value = majority_agreement(ratings)
+        assert 1.0 / len(set(ratings)) <= value + 1e-9
+        assert value <= 1.0
+
+
+class TestTemplateProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(words, words), min_size=0, max_size=6,
+    ))
+    def test_foreach_renders_each_distinct_tuple_once(self, pairs):
+        template = ConversionTemplate(
+            "<foreach:tuple>[$t.a|$t.b]</foreach:tuple>")
+        rows = [{"t.a": a, "t.b": b} for a, b in pairs]
+        rendered = template.render({}, rows)
+        distinct = list(dict.fromkeys(f"[{a}|{b}]" for a, b in pairs))
+        assert rendered == "".join(distinct)
+
+    @given(words)
+    def test_param_roundtrip(self, value):
+        template = ConversionTemplate("<x>$p</x>")
+        assert template.render({"p": value}, []) == f"<x>{value}</x>"
+
+
+class TestXmlTreeProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.recursive(
+        st.just([]),
+        lambda children: st.lists(children, max_size=4),
+        max_leaves=20,
+    ))
+    def test_dewey_invariants(self, shape):
+        root = XmlNode("root", ())
+
+        def build(node, spec):
+            for i, child_spec in enumerate(spec):
+                child = node.add_child(f"c{i}")
+                build(child, child_spec)
+
+        build(root, shape)
+        for node in root.walk():
+            assert root.find_by_dewey(node.dewey) is node
+            for child in node.children:
+                assert node.is_ancestor_of(child)
+                assert child.dewey[:-1] == node.dewey

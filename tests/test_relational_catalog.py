@@ -1,0 +1,66 @@
+"""Tests for the statistics catalog."""
+
+import pytest
+
+from repro.relational.catalog import StatisticsCatalog
+
+
+class TestTableStatistics:
+    def test_row_count(self, mini_db):
+        assert mini_db.statistics.table("person").row_count == 3
+
+    def test_distinct_count(self, mini_db):
+        stats = mini_db.statistics.column("cast", "role")
+        assert stats.distinct_count == 2  # actor, actress
+
+    def test_null_fraction(self, mini_db):
+        mini_db.insert("cast", {"id": 9, "person_id": 1, "movie_id": 1,
+                                "role": None})
+        stats = mini_db.statistics.column("cast", "role")
+        assert stats.null_count == 1
+        assert 0 < stats.null_fraction < 1
+
+    def test_distinct_ratio_key_column(self, mini_db):
+        stats = mini_db.statistics.column("person", "id")
+        assert stats.distinct_ratio == 1.0
+
+    def test_avg_text_length(self, mini_db):
+        stats = mini_db.statistics.column("movie", "title")
+        expected = (len("Star Wars") + len("Cast Away") + len("Ocean's Eleven")) / 3
+        assert abs(stats.avg_text_length - expected) < 1e-9
+
+    def test_id_like_flag(self, mini_db):
+        assert mini_db.statistics.column("cast", "person_id").is_id_like
+        assert not mini_db.statistics.column("cast", "role").is_id_like
+
+    def test_unknown_column_raises(self, mini_db):
+        with pytest.raises(KeyError):
+            mini_db.statistics.table("person").column("nope")
+
+
+class TestCatalogCaching:
+    def test_cached_until_invalidated(self, mini_db):
+        first = mini_db.statistics.table("person")
+        assert mini_db.statistics.table("person") is first
+        mini_db.statistics.invalidate("person")
+        assert mini_db.statistics.table("person") is not first
+
+    def test_invalidate_all(self, mini_db):
+        first = mini_db.statistics.table("movie")
+        mini_db.statistics.invalidate()
+        assert mini_db.statistics.table("movie") is not first
+
+    def test_total_rows(self, mini_db):
+        assert mini_db.statistics.total_rows() == mini_db.total_rows()
+
+    def test_empty_table_statistics(self, mini_db):
+        # A fresh database with no rows must not divide by zero.
+        from tests.conftest import build_mini_schema
+        from repro.relational.database import Database
+
+        empty = Database(build_mini_schema())
+        stats = empty.statistics.table("person")
+        assert stats.row_count == 0
+        name = stats.column("name")
+        assert name.null_fraction == 0.0
+        assert name.distinct_ratio == 0.0

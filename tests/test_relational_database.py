@@ -1,0 +1,82 @@
+"""Tests for the Database container: inserts, FK checking, index caching."""
+
+import pytest
+
+from repro.errors import IntegrityError, UnknownTableError
+from repro.relational.database import Database
+
+from tests.conftest import build_mini_schema
+
+
+class TestInserts:
+    def test_insert_many_counts(self):
+        db = Database(build_mini_schema())
+        n = db.insert_many("person", [
+            {"id": 1, "name": "A"}, {"id": 2, "name": "B"},
+        ])
+        assert n == 2 and db.row_count("person") == 2
+
+    def test_total_rows(self, mini_db):
+        assert mini_db.total_rows() == 3 + 3 + 3 + 3 + 4
+
+    def test_unknown_table(self, mini_db):
+        with pytest.raises(UnknownTableError):
+            mini_db.table("nope")
+
+    def test_insert_invalidates_statistics(self, mini_db):
+        before = mini_db.statistics.table("person").row_count
+        mini_db.insert("person", {"id": 99, "name": "New Person"})
+        after = mini_db.statistics.table("person").row_count
+        assert after == before + 1
+
+    def test_insert_invalidates_indexes(self, mini_db):
+        index = mini_db.hash_index("person", "name")
+        assert index.lookup("Zelda Zeta") == []
+        mini_db.insert("person", {"id": 98, "name": "Zelda Zeta"})
+        fresh = mini_db.hash_index("person", "name")
+        assert len(fresh.lookup("Zelda Zeta")) == 1
+
+    def test_insert_invalidates_text_index(self, mini_db):
+        assert not mini_db.text_index().has_phrase("brand new movie")
+        mini_db.insert("movie", {"id": 77, "title": "Brand New Movie"})
+        assert mini_db.text_index().has_phrase("brand new movie")
+
+
+class TestForeignKeys:
+    def test_consistent_db_passes(self, mini_db):
+        assert mini_db.check_foreign_keys() == []
+        mini_db.assert_consistent()
+
+    def test_violation_detected(self, mini_db):
+        mini_db.insert("cast", {"id": 99, "person_id": 12345, "movie_id": 1,
+                                "role": "actor"})
+        violations = mini_db.check_foreign_keys()
+        assert len(violations) == 1
+        assert "12345" in violations[0]
+        with pytest.raises(IntegrityError):
+            mini_db.assert_consistent()
+
+    def test_null_fk_is_not_violation(self, mini_db):
+        mini_db.insert("cast", {"id": 98, "person_id": 1, "movie_id": 2,
+                                "role": None})
+        assert mini_db.check_foreign_keys() == []
+
+
+class TestIndexes:
+    def test_hash_index_cached(self, mini_db):
+        assert mini_db.hash_index("movie", "title") is \
+               mini_db.hash_index("movie", "title")
+
+    def test_lookup_returns_rows(self, mini_db):
+        rows = mini_db.lookup("movie", "title", "star wars")
+        assert len(rows) == 1 and rows[0]["year"] == 1977
+
+    def test_text_index_covers_searchable_tables(self, mini_db):
+        index = mini_db.text_index()
+        assert ("person", "name") in index.sources
+        assert ("movie", "title") in index.sources
+        # movie_genre has no searchable columns
+        assert all(table != "movie_genre" for table, _c in index.sources)
+
+    def test_repr_mentions_size(self, mini_db):
+        assert "tables" in repr(mini_db)

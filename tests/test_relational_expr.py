@@ -1,0 +1,135 @@
+"""Tests for the expression layer."""
+
+import pytest
+
+from repro.errors import BindError, PlanError
+from repro.relational.expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    Contains,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    Param,
+)
+
+ROW = {"movie.title": "Star Wars", "movie.year": 1977, "movie.rating": None}
+
+
+class TestColumnRef:
+    def test_reads_qualified(self):
+        assert ColumnRef("movie", "title").evaluate(ROW) == "Star Wars"
+
+    def test_missing_column_raises_plan_error(self):
+        with pytest.raises(PlanError):
+            ColumnRef("movie", "nope").evaluate(ROW)
+
+    def test_references(self):
+        assert ColumnRef("a", "b").references() == {"a.b"}
+
+
+class TestParam:
+    def test_bound(self):
+        assert Param("x").evaluate(ROW, {"x": 5}) == 5
+
+    def test_unbound_raises(self):
+        with pytest.raises(BindError):
+            Param("x").evaluate(ROW, {})
+        with pytest.raises(BindError):
+            Param("x").evaluate(ROW, None)
+
+    def test_param_names_propagate(self):
+        expr = And(Comparison("=", ColumnRef("movie", "title"), Param("x")),
+                   Comparison(">", ColumnRef("movie", "year"), Param("y")))
+        assert expr.param_names() == {"x", "y"}
+
+
+class TestComparison:
+    def test_numeric_operators(self):
+        year = ColumnRef("movie", "year")
+        assert Comparison("=", year, Literal(1977)).evaluate(ROW)
+        assert Comparison("<", year, Literal(2000)).evaluate(ROW)
+        assert Comparison(">=", year, Literal(1977)).evaluate(ROW)
+        assert not Comparison("!=", year, Literal(1977)).evaluate(ROW)
+
+    def test_text_comparison_is_normalized(self):
+        title = ColumnRef("movie", "title")
+        assert Comparison("=", title, Literal("STAR WARS")).evaluate(ROW)
+        assert Comparison("=", title, Literal("star  wars ")).evaluate(ROW)
+
+    def test_null_rejecting(self):
+        rating = ColumnRef("movie", "rating")
+        assert not Comparison("=", rating, Literal(5.0)).evaluate(ROW)
+        assert not Comparison("!=", rating, Literal(5.0)).evaluate(ROW)
+
+    def test_mixed_type_comparison_is_false_not_error(self):
+        year = ColumnRef("movie", "year")
+        assert not Comparison("<", year, Literal("abc")).evaluate(ROW)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanError):
+            Comparison("~", Literal(1), Literal(2))
+
+
+class TestBooleans:
+    def test_and_or_not(self):
+        true = Comparison("=", Literal(1), Literal(1))
+        false = Comparison("=", Literal(1), Literal(2))
+        assert And(true, true).evaluate(ROW)
+        assert not And(true, false).evaluate(ROW)
+        assert Or(false, true).evaluate(ROW)
+        assert not Or(false, false).evaluate(ROW)
+        assert Not(false).evaluate(ROW)
+
+    def test_references_union(self):
+        expr = Or(Comparison("=", ColumnRef("a", "x"), Literal(1)),
+                  Comparison("=", ColumnRef("b", "y"), Literal(2)))
+        assert expr.references() == {"a.x", "b.y"}
+
+
+class TestInList:
+    def test_membership_normalized_text(self):
+        title = ColumnRef("movie", "title")
+        assert InList(title, ("STAR WARS", "other")).evaluate(ROW)
+        assert not InList(title, ("casablanca",)).evaluate(ROW)
+
+    def test_numeric_membership(self):
+        year = ColumnRef("movie", "year")
+        assert InList(year, (1977, 1980)).evaluate(ROW)
+
+    def test_null_not_in_anything(self):
+        rating = ColumnRef("movie", "rating")
+        assert not InList(rating, (None, 5.0)).evaluate(ROW)
+
+
+class TestIsNull:
+    def test_is_null(self):
+        assert IsNull(ColumnRef("movie", "rating")).evaluate(ROW)
+        assert not IsNull(ColumnRef("movie", "title")).evaluate(ROW)
+
+    def test_negated(self):
+        assert IsNull(ColumnRef("movie", "title"), negated=True).evaluate(ROW)
+
+
+class TestContains:
+    def test_substring_normalized(self):
+        title = ColumnRef("movie", "title")
+        assert Contains(title, Literal("wars")).evaluate(ROW)
+        assert Contains(title, Literal("STAR")).evaluate(ROW)
+        assert not Contains(title, Literal("trek")).evaluate(ROW)
+
+    def test_non_text_is_false(self):
+        year = ColumnRef("movie", "year")
+        assert not Contains(year, Literal("19")).evaluate(ROW)
+
+
+class TestStr:
+    def test_readable_rendering(self):
+        expr = And(Comparison("=", ColumnRef("movie", "title"), Param("x")),
+                   Not(IsNull(ColumnRef("movie", "year"))))
+        text = str(expr)
+        assert "movie.title = $x" in text
+        assert "IS NULL" in text

@@ -1,0 +1,71 @@
+"""Tests for hash and inverted text indexes."""
+
+import pytest
+
+from repro.relational.indexes import HashIndex, TextIndex
+
+
+class TestHashIndex:
+    def test_lookup_exact(self, mini_db):
+        index = HashIndex(mini_db.table("movie"), "year")
+        assert index.lookup(1977) == [0]
+        assert index.lookup(1900) == []
+
+    def test_text_normalized(self, mini_db):
+        index = HashIndex(mini_db.table("movie"), "title")
+        assert index.lookup("STAR WARS") == [0]
+        assert index.lookup("Ocean's Eleven!") == index.lookup("ocean's eleven")
+
+    def test_distinct_keys(self, mini_db):
+        index = HashIndex(mini_db.table("cast"), "movie_id")
+        assert index.distinct_keys == 3
+        assert len(index) == 4
+
+    def test_nulls_skipped(self, mini_db):
+        mini_db.insert("cast", {"id": 50, "person_id": 1, "movie_id": 1,
+                                "role": None})
+        index = HashIndex(mini_db.table("cast"), "role")
+        assert len(index) == 4  # the null row is not indexed
+
+    def test_unknown_column(self, mini_db):
+        from repro.errors import UnknownColumnError
+
+        with pytest.raises(UnknownColumnError):
+            HashIndex(mini_db.table("movie"), "nope")
+
+
+class TestTextIndex:
+    def test_token_postings(self, mini_db):
+        index = mini_db.text_index()
+        postings = index.rows_with_token("wars")
+        assert ("movie", "title", 0) in postings
+
+    def test_phrase_requires_full_value(self, mini_db):
+        index = mini_db.text_index()
+        assert index.has_phrase("star wars")
+        assert not index.has_phrase("star")
+
+    def test_document_frequency(self, mini_db):
+        index = mini_db.text_index()
+        # 'actor' appears as the role of cast rows 2..4: one posting each.
+        assert index.document_frequency("actor") == 3
+        assert index.document_frequency("wars") == 1
+        assert index.document_frequency("nonexistent") == 0
+
+    def test_contains(self, mini_db):
+        index = mini_db.text_index()
+        assert "clooney" in index
+        assert "zzzzz" not in index
+
+    def test_explicit_columns(self, mini_db):
+        index = TextIndex()
+        indexed = index.add_table(mini_db.table("person"), ["name"])
+        assert indexed == 3
+        assert index.has_phrase("tom hanks")
+
+    def test_validate_consistency(self, mini_db):
+        index = mini_db.text_index()
+        index.validate()  # must not raise
+
+    def test_vocabulary_size_positive(self, mini_db):
+        assert mini_db.text_index().vocabulary_size() > 5

@@ -1,0 +1,105 @@
+"""Tests for database persistence (save/load round trips)."""
+
+import pathlib
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.relational.io import load_database, save_database
+
+
+class TestRoundTrip:
+    def test_mini_db_round_trips(self, mini_db, tmp_path):
+        save_database(mini_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert loaded.total_rows() == mini_db.total_rows()
+        assert loaded.schema.table_names == mini_db.schema.table_names
+        original = mini_db.lookup("movie", "title", "star wars")[0]
+        restored = loaded.lookup("movie", "title", "star wars")[0]
+        assert original == restored
+
+    def test_imdb_round_trips(self, imdb_db, tmp_path):
+        save_database(imdb_db, tmp_path / "imdb")
+        loaded = load_database(tmp_path / "imdb")
+        assert loaded.total_rows() == imdb_db.total_rows()
+        assert loaded.check_foreign_keys() == []
+
+    def test_schema_metadata_preserved(self, mini_db, tmp_path):
+        save_database(mini_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        person = loaded.schema.table("person")
+        assert person.primary_key == "id"
+        assert person.column("name").searchable
+        cast = loaded.schema.table("cast")
+        assert {fk.ref_table for fk in cast.foreign_keys} == {"person", "movie"}
+
+    def test_nulls_round_trip(self, mini_db, tmp_path):
+        mini_db.insert("cast", {"id": 77, "person_id": 1, "movie_id": 1,
+                                "role": None})
+        save_database(mini_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        row = [r for r in loaded.table("cast") if r["id"] == 77][0]
+        assert row["role"] is None
+
+    def test_special_characters_round_trip(self, mini_db, tmp_path):
+        mini_db.insert("movie", {
+            "id": 50, "title": "Tabs\tand\nnewlines \\ backslash", "year": 1999,
+        })
+        save_database(mini_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        row = loaded.table("movie").by_primary_key(50)
+        assert row["title"] == "Tabs\tand\nnewlines \\ backslash"
+
+    def test_floats_and_bools(self, imdb_db, tmp_path):
+        save_database(imdb_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        original = imdb_db.table("award").row(0)
+        restored = loaded.table("award").row(0)
+        assert original["won"] == restored["won"]
+        assert isinstance(restored["won"], bool)
+
+
+class TestFailureModes:
+    def test_missing_schema(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_database(tmp_path)
+
+    def test_missing_table_file(self, mini_db, tmp_path):
+        save_database(mini_db, tmp_path / "db")
+        (tmp_path / "db" / "cast.tsv").unlink()
+        with pytest.raises(DatasetError):
+            load_database(tmp_path / "db")
+
+    def test_header_mismatch(self, mini_db, tmp_path):
+        save_database(mini_db, tmp_path / "db")
+        path = tmp_path / "db" / "genre.tsv"
+        lines = path.read_text().splitlines()
+        lines[0] = "id\twrong_column"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DatasetError):
+            load_database(tmp_path / "db")
+
+    def test_arity_mismatch(self, mini_db, tmp_path):
+        save_database(mini_db, tmp_path / "db")
+        path = tmp_path / "db" / "genre.tsv"
+        path.write_text(path.read_text() + "99\n")
+        with pytest.raises(DatasetError):
+            load_database(tmp_path / "db")
+
+    def test_corrupted_fk_detected(self, mini_db, tmp_path):
+        from repro.errors import IntegrityError
+
+        save_database(mini_db, tmp_path / "db")
+        path = tmp_path / "db" / "cast.tsv"
+        text = path.read_text().replace("\t3\t1\tactress", "\t999\t1\tactress")
+        path.write_text(text)
+        with pytest.raises(IntegrityError):
+            load_database(tmp_path / "db")
+
+    def test_bad_boolean_cell(self, imdb_db, tmp_path):
+        save_database(imdb_db, tmp_path / "db")
+        path = tmp_path / "db" / "award.tsv"
+        text = path.read_text().replace("\ttrue", "\tmaybe", 1)
+        path.write_text(text)
+        with pytest.raises(DatasetError):
+            load_database(tmp_path / "db")

@@ -1,0 +1,126 @@
+"""Tests for schema objects: columns, tables, foreign keys, validation."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
+from repro.relational.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+
+from tests.conftest import build_mini_schema
+
+
+class TestColumnType:
+    def test_integer_accepts_int_not_bool(self):
+        assert ColumnType.INTEGER.accepts(5)
+        assert not ColumnType.INTEGER.accepts(True)
+        assert not ColumnType.INTEGER.accepts(5.0)
+
+    def test_float_accepts_int_and_float(self):
+        assert ColumnType.FLOAT.accepts(5)
+        assert ColumnType.FLOAT.accepts(5.5)
+        assert not ColumnType.FLOAT.accepts("5")
+
+    def test_text(self):
+        assert ColumnType.TEXT.accepts("x")
+        assert not ColumnType.TEXT.accepts(1)
+
+    def test_boolean(self):
+        assert ColumnType.BOOLEAN.accepts(True)
+        assert not ColumnType.BOOLEAN.accepts(1)
+
+
+class TestColumn:
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.TEXT)
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.TEXT)
+
+
+class TestTableSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.TEXT),
+                              Column("a", ColumnType.TEXT)])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.TEXT)], primary_key="b")
+
+    def test_fk_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.TEXT)],
+                        foreign_keys=[ForeignKey("missing", "x", "id")])
+
+    def test_unknown_column_lookup(self):
+        table = TableSchema("t", [Column("a", ColumnType.TEXT)])
+        with pytest.raises(UnknownColumnError):
+            table.column("zzz")
+
+    def test_is_id_like(self):
+        schema = build_mini_schema()
+        cast = schema.table("cast")
+        assert cast.is_id_like("id")
+        assert cast.is_id_like("person_id")
+        assert not cast.is_id_like("role")
+
+    def test_value_columns_exclude_ids(self):
+        cast = build_mini_schema().table("cast")
+        assert [c.name for c in cast.value_columns()] == ["role"]
+
+    def test_searchable_columns(self):
+        person = build_mini_schema().table("person")
+        assert [c.name for c in person.searchable_columns()] == ["name"]
+
+    def test_foreign_key_for(self):
+        cast = build_mini_schema().table("cast")
+        fk = cast.foreign_key_for("movie_id")
+        assert fk is not None and fk.ref_table == "movie"
+        assert cast.foreign_key_for("role") is None
+
+
+class TestSchema:
+    def test_duplicate_table_rejected(self):
+        table = TableSchema("t", [Column("a", ColumnType.TEXT)])
+        with pytest.raises(SchemaError):
+            Schema([table, TableSchema("t", [Column("b", ColumnType.TEXT)])])
+
+    def test_fk_to_unknown_table_rejected(self):
+        bad = TableSchema("t", [Column("x", ColumnType.INTEGER)],
+                          foreign_keys=[ForeignKey("x", "nowhere", "id")])
+        with pytest.raises(SchemaError):
+            Schema([bad])
+
+    def test_fk_to_unknown_column_rejected(self):
+        target = TableSchema("u", [Column("id", ColumnType.INTEGER)])
+        bad = TableSchema("t", [Column("x", ColumnType.INTEGER)],
+                          foreign_keys=[ForeignKey("x", "u", "nope")])
+        with pytest.raises(SchemaError):
+            Schema([bad, target])
+
+    def test_unknown_table_error_lists_known(self):
+        schema = build_mini_schema()
+        with pytest.raises(UnknownTableError) as exc:
+            schema.table("nope")
+        assert "person" in str(exc.value)
+
+    def test_edges(self):
+        schema = build_mini_schema()
+        edges = {(source, target) for source, target, _fk in schema.edges()}
+        assert ("cast", "person") in edges
+        assert ("cast", "movie") in edges
+        assert ("movie_genre", "genre") in edges
+
+    def test_neighbors_bidirectional(self):
+        schema = build_mini_schema()
+        assert "cast" in schema.neighbors("person")
+        assert "person" in schema.neighbors("cast")
+
+    def test_join_condition_both_directions(self):
+        schema = build_mini_schema()
+        assert schema.join_condition("cast", "movie") == ("movie_id", "id")
+        assert schema.join_condition("movie", "cast") == ("id", "movie_id")
+        assert schema.join_condition("person", "movie") is None

@@ -1,0 +1,86 @@
+"""Tests for row storage and integrity checking."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError, TypeMismatchError
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table(TableSchema("movie", [
+        Column("id", ColumnType.INTEGER, nullable=False),
+        Column("title", ColumnType.TEXT, nullable=False, searchable=True),
+        Column("rating", ColumnType.FLOAT),
+    ], primary_key="id"))
+
+
+class TestInsert:
+    def test_insert_returns_row_id(self, table):
+        assert table.insert({"id": 1, "title": "A"}) == 0
+        assert table.insert({"id": 2, "title": "B"}) == 1
+
+    def test_missing_nullable_defaults_to_none(self, table):
+        table.insert({"id": 1, "title": "A"})
+        assert table.row(0)["rating"] is None
+
+    def test_missing_non_nullable_rejected(self, table):
+        with pytest.raises(IntegrityError):
+            table.insert({"id": 1})
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"id": 1, "title": "A", "bogus": 1})
+
+    def test_type_mismatch_rejected(self, table):
+        with pytest.raises(TypeMismatchError):
+            table.insert({"id": "one", "title": "A"})
+
+    def test_bool_is_not_integer(self, table):
+        with pytest.raises(TypeMismatchError):
+            table.insert({"id": True, "title": "A"})
+
+    def test_duplicate_pk_rejected(self, table):
+        table.insert({"id": 1, "title": "A"})
+        with pytest.raises(IntegrityError):
+            table.insert({"id": 1, "title": "B"})
+
+    def test_null_pk_rejected(self, table):
+        with pytest.raises(IntegrityError):
+            table.insert({"id": None, "title": "A"})
+
+    def test_int_promoted_in_float_column(self, table):
+        table.insert({"id": 1, "title": "A", "rating": 8})
+        assert table.row(0)["rating"] == 8.0
+        assert isinstance(table.row(0)["rating"], float)
+
+
+class TestAccess:
+    def test_len_and_iter(self, table):
+        table.insert({"id": 1, "title": "A"})
+        table.insert({"id": 2, "title": "B"})
+        assert len(table) == 2
+        assert [row["title"] for row in table] == ["A", "B"]
+
+    def test_by_primary_key(self, table):
+        table.insert({"id": 5, "title": "E"})
+        row = table.by_primary_key(5)
+        assert row is not None and row["title"] == "E"
+        assert table.by_primary_key(99) is None
+
+    def test_by_primary_key_without_pk_raises(self):
+        no_pk = Table(TableSchema("t", [Column("a", ColumnType.TEXT)]))
+        with pytest.raises(IntegrityError):
+            no_pk.by_primary_key(1)
+
+    def test_column_values_in_row_order(self, table):
+        table.insert({"id": 1, "title": "A"})
+        table.insert({"id": 2, "title": "B"})
+        assert table.column_values("title") == ["A", "B"]
+
+    def test_column_values_unknown_column(self, table):
+        from repro.errors import UnknownColumnError
+
+        with pytest.raises(UnknownColumnError):
+            table.column_values("nope")

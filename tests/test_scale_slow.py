@@ -1,0 +1,62 @@
+"""Scale smoke tests: the full pipeline at generator scale 1.0.
+
+The paper ran on 34M tuples; our substrate is a simulator, so these tests
+verify the *direction* — everything still builds and answers correctly at
+the largest scale exercised in CI (≈4,600 rows, 6x the unit-test scale) —
+while PERF (benchmarks) documents the latency curves.
+"""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def big_db():
+    from repro.datasets.imdb import generate_imdb
+
+    return generate_imdb(scale=1.0, seed=7)
+
+
+def test_generation_scales_linearly(big_db):
+    assert big_db.row_count("movie") == 200
+    assert big_db.row_count("person") == 320
+    assert big_db.total_rows() > 4000
+    assert big_db.check_foreign_keys() == []
+
+
+def test_qunit_pipeline_at_scale(big_db):
+    from repro.core import QunitCollection
+    from repro.core.derivation import imdb_expert_qunits
+    from repro.core.search import QunitSearchEngine
+
+    engine = QunitSearchEngine(
+        QunitCollection(big_db, imdb_expert_qunits(),
+                        max_instances_per_definition=250),
+        flavor="expert")
+    answer = engine.best("star wars cast")
+    assert answer.meta("definition") == "movie_full_credits"
+    assert ("person", "name", "mark hamill") in answer.atoms
+
+
+def test_baselines_at_scale(big_db):
+    from repro.baselines import BanksSearch, XmlMlcaSearch
+    from repro.graph.data_graph import DataGraph
+    from repro.xmlview import build_xml_view
+    from repro.xmlview.index import TreeTextIndex
+
+    banks = BanksSearch(DataGraph(big_db))
+    assert not banks.best("star wars").is_empty
+    root = build_xml_view(big_db)
+    mlca = XmlMlcaSearch(root, TreeTextIndex(root))
+    assert not mlca.best("star wars cast").is_empty
+
+
+def test_log_statistics_hold_at_scale(big_db):
+    from repro.datasets.querylog import QueryLogAnalyzer, QueryLogGenerator
+
+    generator = QueryLogGenerator(big_db, seed=8)
+    log = generator.generate(generator.recommended_unique())
+    stats = QueryLogAnalyzer(big_db).statistics(log)
+    assert stats.fraction("single_entity") >= 0.30
+    assert stats.movie_related_fraction >= 0.85

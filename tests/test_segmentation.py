@@ -1,0 +1,117 @@
+"""Tests for query segmentation and typing."""
+
+import pytest
+
+from repro.core.search.segmentation import QuerySegmenter, movie_domain_vocabulary
+
+
+@pytest.fixture(scope="module")
+def segmenter(imdb_db):
+    return QuerySegmenter(imdb_db)
+
+
+class TestEntityRecognition:
+    def test_full_value_match(self, segmenter):
+        segmented = segmenter.segment("star wars")
+        assert segmented.template() == "[movie.title]"
+        entity = segmented.entities()[0]
+        assert entity.value == "Star Wars"
+
+    def test_greedy_longest_match(self, segmenter):
+        # "cast away" is a movie even though "cast" is a schema word.
+        segmented = segmenter.segment("cast away")
+        assert segmented.template() == "[movie.title]"
+
+    def test_person_match(self, segmenter):
+        segmented = segmenter.segment("george clooney")
+        assert segmented.template() == "[person.name]"
+        assert segmented.query_class() == "single_entity"
+
+    def test_partial_entity_match(self, segmenter):
+        segmented = segmenter.segment("terminator")
+        entity = segmented.entities()[0]
+        assert entity.table == "movie"
+        assert entity.value == "The Terminator"
+
+    def test_entity_table_preferred_over_junction(self, segmenter):
+        # "the terminator" is both a movie title and a character name; the
+        # movie (entity table) must win.
+        segmented = segmenter.segment("the terminator box office")
+        entity = segmented.entities()[0]
+        assert entity.table == "movie"
+
+    def test_year_recognition(self, segmenter):
+        segmented = segmenter.segment("movies 1977")
+        assert "[movie.release_year]" in segmented.template()
+
+    def test_non_year_number_is_freetext(self, segmenter):
+        segmented = segmenter.segment("catch 22222")
+        assert "[movie.release_year]" not in segmented.template()
+
+
+class TestAttributeRecognition:
+    def test_table_word(self, segmenter):
+        segmented = segmenter.segment("star wars cast")
+        assert segmented.template() == "[movie.title] cast"
+
+    def test_synonyms(self, segmenter):
+        assert segmenter.segment("cast away ost").template() == \
+               "[movie.title] soundtrack"
+        assert segmenter.segment("batman movies").template() == \
+               "[movie.title] movie"
+
+    def test_multiword_attribute(self, segmenter):
+        template = segmenter.segment("the terminator box office").template()
+        assert template in ("[movie.title] box office",
+                            "[movie.title] [info_type.name]")
+
+    def test_unanswerable_attribute_typed(self, segmenter):
+        segmented = segmenter.segment("batman posters")
+        attrs = segmented.attributes()
+        assert attrs and attrs[0].attribute.name == "posters"
+        assert attrs[0].attribute.table is None
+
+    def test_aggregate_markers(self, segmenter):
+        segmented = segmenter.segment("highest box office revenue")
+        assert segmented.query_class() == "complex"
+
+
+class TestClassification:
+    @pytest.mark.parametrize("query,expected", [
+        ("george clooney", "single_entity"),
+        ("star wars cast", "entity_attribute"),
+        ("angelina jolie tomb raider", "multi_entity"),
+        ("best comedy movies", "complex"),
+        ("george clooney gossip stories", "entity_freetext"),
+        ("zzz qqq www", "freetext"),
+    ])
+    def test_classes(self, segmenter, query, expected):
+        assert segmenter.segment(query).query_class() == expected
+
+    def test_dimension_entities_are_not_instances(self, segmenter):
+        segmented = segmenter.segment("george clooney actor")
+        assert len(segmented.instance_entities()) == 1
+        assert len(segmented.dimension_entities()) == 1
+        assert segmented.query_class() == "entity_attribute"
+
+    def test_underspecified_flag(self, segmenter):
+        assert segmenter.segment("tom hanks").is_underspecified
+        assert not segmenter.segment("tom hanks awards").is_underspecified
+
+
+class TestTemplates:
+    def test_adjacent_freetext_collapsed(self, segmenter):
+        segmented = segmenter.segment("zzz qqq star wars")
+        assert segmented.template() == "[freetext] [movie.title]"
+
+    def test_empty_query(self, segmenter):
+        segmented = segmenter.segment("")
+        assert segmented.template() == ""
+        assert segmented.query_class() == "freetext"
+
+    def test_vocabulary_shared(self, imdb_db):
+        vocabulary = movie_domain_vocabulary(imdb_db)
+        seg1 = QuerySegmenter(imdb_db, vocabulary)
+        seg2 = QuerySegmenter(imdb_db, vocabulary)
+        assert seg1.segment("star wars cast").template() == \
+               seg2.segment("star wars cast").template()

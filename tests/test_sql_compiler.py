@@ -1,0 +1,158 @@
+"""Tests for SQL-to-plan compilation and end-to-end execution."""
+
+import pytest
+
+from repro.errors import PlanError, SqlSyntaxError, UnknownColumnError, UnknownTableError
+from repro.relational.sql import run_sql
+
+
+class TestSingleTable:
+    def test_select_star(self, mini_db):
+        rows = run_sql("SELECT * FROM movie", mini_db)
+        assert len(rows) == 3 and "movie.title" in rows[0]
+
+    def test_projection(self, mini_db):
+        rows = run_sql("SELECT movie.title FROM movie", mini_db)
+        assert all(set(r) == {"movie.title"} for r in rows)
+
+    def test_where_filter(self, mini_db):
+        rows = run_sql("SELECT * FROM movie WHERE movie.year > 1990", mini_db)
+        assert len(rows) == 2
+
+    def test_alias_rename(self, mini_db):
+        rows = run_sql("SELECT movie.title AS t FROM movie LIMIT 1", mini_db)
+        assert rows == [{"t": "Star Wars"}]
+
+    def test_order_and_limit(self, mini_db):
+        rows = run_sql(
+            "SELECT movie.title FROM movie ORDER BY movie.rating DESC LIMIT 1",
+            mini_db)
+        assert rows[0]["movie.title"] == "Star Wars"
+
+    def test_distinct(self, mini_db):
+        rows = run_sql("SELECT DISTINCT cast.role FROM cast", mini_db)
+        assert len(rows) == 2
+
+
+class TestJoins:
+    def test_paper_style_implicit_join(self, mini_db):
+        rows = run_sql(
+            "SELECT person.name, movie.title FROM person, cast, movie "
+            "WHERE cast.movie_id = movie.id AND cast.person_id = person.id",
+            mini_db)
+        assert len(rows) == 4
+
+    def test_join_with_parameter(self, mini_db):
+        rows = run_sql(
+            'SELECT person.name FROM person, cast, movie '
+            'WHERE cast.movie_id = movie.id AND cast.person_id = person.id '
+            'AND movie.title = "$x"',
+            mini_db, {"x": "ocean's eleven"})
+        names = {r["person.name"] for r in rows}
+        assert names == {"George Clooney", "Tom Hanks"}
+
+    def test_self_join_with_aliases(self, mini_db):
+        rows = run_sql(
+            "SELECT p2.name FROM person p1, cast c1, movie, cast c2, person p2 "
+            "WHERE c1.person_id = p1.id AND c1.movie_id = movie.id "
+            "AND c2.movie_id = movie.id AND c2.person_id = p2.id "
+            "AND p1.name = 'george clooney' AND NOT p2.name = 'george clooney'",
+            mini_db)
+        assert {r["p2.name"] for r in rows} == {"Tom Hanks"}
+
+    def test_missing_join_predicate_uses_fk_metadata(self, mini_db):
+        # No explicit join condition: the compiler falls back to FK edges.
+        rows = run_sql(
+            "SELECT genre.name FROM movie_genre, genre "
+            "WHERE genre.name = 'drama'",
+            mini_db)
+        assert len(rows) == 1
+
+    def test_disconnected_tables_cross_product(self, mini_db):
+        rows = run_sql("SELECT person.name, genre.name FROM person, genre",
+                       mini_db)
+        assert len(rows) == 9  # 3 x 3
+
+
+class TestAggregates:
+    def test_count_star(self, mini_db):
+        assert run_sql("SELECT COUNT(*) AS n FROM movie", mini_db) == [{"n": 3}]
+
+    def test_group_by_with_order(self, mini_db):
+        rows = run_sql(
+            "SELECT cast.movie_id, COUNT(*) AS n FROM cast "
+            "GROUP BY cast.movie_id ORDER BY cast.movie_id",
+            mini_db)
+        assert [r["n"] for r in rows] == [1, 1, 2]
+
+    def test_aggregate_with_join(self, mini_db):
+        rows = run_sql(
+            "SELECT COUNT(*) AS n FROM cast, person "
+            "WHERE cast.person_id = person.id AND person.name = 'tom hanks'",
+            mini_db)
+        assert rows == [{"n": 2}]
+
+    def test_non_grouped_column_rejected(self, mini_db):
+        with pytest.raises(SqlSyntaxError):
+            run_sql("SELECT movie.title, COUNT(*) FROM movie", mini_db)
+
+    def test_star_with_aggregate_rejected(self, mini_db):
+        with pytest.raises(SqlSyntaxError):
+            run_sql("SELECT *, COUNT(*) FROM movie", mini_db)
+
+
+class TestValidation:
+    def test_unknown_table(self, mini_db):
+        with pytest.raises(UnknownTableError):
+            run_sql("SELECT * FROM nope", mini_db)
+
+    def test_unknown_column(self, mini_db):
+        with pytest.raises(UnknownColumnError):
+            run_sql("SELECT movie.nope FROM movie", mini_db)
+
+    def test_column_outside_from(self, mini_db):
+        with pytest.raises(PlanError):
+            run_sql("SELECT person.name FROM movie", mini_db)
+
+    def test_where_column_validated(self, mini_db):
+        with pytest.raises(UnknownColumnError):
+            run_sql("SELECT * FROM movie WHERE movie.bogus = 1", mini_db)
+
+    def test_duplicate_binding_rejected(self, mini_db):
+        with pytest.raises(SqlSyntaxError):
+            run_sql("SELECT * FROM movie, movie", mini_db)
+
+    def test_aliases_allow_same_table_twice(self, mini_db):
+        rows = run_sql("SELECT a.title, b.title FROM movie a, movie b "
+                       "WHERE a.id = b.id", mini_db)
+        assert len(rows) == 3
+
+
+class TestPredicatePushdown:
+    def test_filter_pushed_below_join(self, mini_db):
+        from repro.relational.algebra import Filter, HashJoin, Scan
+        from repro.relational.sql import compile_select, parse_select
+
+        stmt = parse_select(
+            "SELECT * FROM cast, movie WHERE cast.movie_id = movie.id "
+            "AND movie.year = 1977")
+        plan = compile_select(stmt, mini_db)
+        # Walk the plan: the year filter must sit below the hash join.
+        def find_join(node):
+            if isinstance(node, HashJoin):
+                return node
+            for child in node.children():
+                found = find_join(child)
+                if found:
+                    return found
+            return None
+
+        join = find_join(plan)
+        assert join is not None
+
+        def subtree_has_filter(node):
+            if isinstance(node, Filter) and not isinstance(node.child, HashJoin):
+                return True
+            return any(subtree_has_filter(c) for c in node.children())
+
+        assert subtree_has_filter(join.left) or subtree_has_filter(join.right)

@@ -1,0 +1,79 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.relational.sql.lexer import tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]  # drop eof
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [("keyword", "select")] * 3
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("Movie") == [("ident", "Movie")]
+
+    def test_qualified_name(self):
+        assert kinds("movie.title") == [
+            ("ident", "movie"), ("dot", "."), ("ident", "title"),
+        ]
+
+    def test_eof_token(self):
+        assert tokenize("x")[-1].kind == "eof"
+
+
+class TestLiterals:
+    def test_single_and_double_quotes(self):
+        assert kinds("'abc'") == [("string", "abc")]
+        assert kinds('"abc"') == [("string", "abc")]
+
+    def test_escaped_quote_by_doubling(self):
+        assert kinds("'it''s'") == [("string", "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_integer_and_float(self):
+        assert kinds("42 3.14") == [("number", "42"), ("number", "3.14")]
+
+    def test_negative_number(self):
+        assert kinds("-5") == [("number", "-5")]
+
+    def test_dot_after_number_not_consumed_without_digits(self):
+        # "1." followed by an identifier: the dot is punctuation.
+        assert kinds("1.x")[0] == ("number", "1")
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert kinds("<= >= != <>") == [
+            ("op", "<="), ("op", ">="), ("op", "!="), ("op", "!="),
+        ]
+
+    def test_single_char_operators(self):
+        assert kinds("= < >") == [("op", "="), ("op", "<"), ("op", ">")]
+
+    def test_bare_bang_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("!")
+
+
+class TestParams:
+    def test_param(self):
+        assert kinds("$x $long_name") == [("param", "x"), ("param", "long_name")]
+
+    def test_empty_param_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("$ x")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            tokenize("SELECT #")
+        assert "position" in str(exc.value)

@@ -1,0 +1,155 @@
+"""Tests for the SQL parser and the RETURN-clause splitter."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.relational.expr import And, Comparison, Contains, InList, IsNull, Param
+from repro.relational.sql.ast import AggregateCall, ColumnItem, StarItem
+from repro.relational.sql.parser import parse_select, split_return_clause
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM movie")
+        assert isinstance(stmt.select_items[0], StarItem)
+
+    def test_columns(self):
+        stmt = parse_select("SELECT movie.title, movie.year FROM movie")
+        assert [item.qualified for item in stmt.select_items] == \
+               ["movie.title", "movie.year"]
+
+    def test_alias(self):
+        stmt = parse_select("SELECT movie.title AS t FROM movie")
+        assert stmt.select_items[0].output_name == "t"
+
+    def test_aggregates(self):
+        stmt = parse_select("SELECT COUNT(*) AS n, MAX(movie.year) FROM movie")
+        count, maximum = stmt.select_items
+        assert isinstance(count, AggregateCall) and count.output_name == "n"
+        assert maximum.function == "max"
+        assert maximum.argument.qualified == "movie.year"
+
+    def test_avg_star_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT AVG(*) FROM movie")
+
+    def test_distinct_flag(self):
+        assert parse_select("SELECT DISTINCT movie.title FROM movie").distinct
+
+
+class TestFromClause:
+    def test_multiple_tables(self):
+        stmt = parse_select("SELECT * FROM a, b, c")
+        assert [t.table for t in stmt.from_tables] == ["a", "b", "c"]
+
+    def test_alias_with_as(self):
+        stmt = parse_select("SELECT * FROM person AS p")
+        assert stmt.from_tables[0].binding == "p"
+
+    def test_alias_without_as(self):
+        stmt = parse_select("SELECT * FROM person p1, person p2")
+        assert [t.binding for t in stmt.from_tables] == ["p1", "p2"]
+
+
+class TestWhere:
+    def test_equality_with_param(self):
+        stmt = parse_select('SELECT * FROM movie WHERE movie.title = $x')
+        assert isinstance(stmt.where, Comparison)
+        assert stmt.where.param_names() == {"x"}
+
+    def test_quoted_dollar_param(self):
+        # The paper writes parameters as quoted "$x".
+        stmt = parse_select('SELECT * FROM movie WHERE movie.title = "$x"')
+        assert stmt.where.param_names() == {"x"}
+
+    def test_and_or_precedence(self):
+        stmt = parse_select(
+            "SELECT * FROM m WHERE m.a = 1 OR m.b = 2 AND m.c = 3"
+        )
+        # AND binds tighter: OR(a=1, AND(b=2, c=3))
+        from repro.relational.expr import Or
+
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.right, And)
+
+    def test_parentheses(self):
+        stmt = parse_select(
+            "SELECT * FROM m WHERE (m.a = 1 OR m.b = 2) AND m.c = 3"
+        )
+        assert isinstance(stmt.where, And)
+
+    def test_not(self):
+        from repro.relational.expr import Not
+
+        stmt = parse_select("SELECT * FROM m WHERE NOT m.a = 1")
+        assert isinstance(stmt.where, Not)
+
+    def test_in_list(self):
+        stmt = parse_select(
+            "SELECT * FROM t WHERE t.name IN ('plot', 'tagline')"
+        )
+        assert isinstance(stmt.where, InList)
+        assert stmt.where.values == ("plot", "tagline")
+
+    def test_like_becomes_contains(self):
+        stmt = parse_select("SELECT * FROM t WHERE t.name LIKE '%war%'")
+        assert isinstance(stmt.where, Contains)
+
+    def test_is_null_and_is_not_null(self):
+        stmt = parse_select("SELECT * FROM t WHERE t.a IS NULL")
+        assert isinstance(stmt.where, IsNull) and not stmt.where.negated
+        stmt = parse_select("SELECT * FROM t WHERE t.a IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_number_literals(self):
+        stmt = parse_select("SELECT * FROM t WHERE t.a >= 3.5")
+        assert stmt.where.right.value == 3.5
+
+
+class TestTail:
+    def test_group_by(self):
+        stmt = parse_select(
+            "SELECT movie.year, COUNT(*) FROM movie GROUP BY movie.year"
+        )
+        assert stmt.group_by[0].qualified == "movie.year"
+        assert stmt.is_aggregate
+
+    def test_order_by_desc(self):
+        stmt = parse_select("SELECT * FROM m ORDER BY m.rating DESC")
+        assert stmt.order_by[0].descending
+
+    def test_limit(self):
+        assert parse_select("SELECT * FROM m LIMIT 25").limit == 25
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT * FROM m extra stuff")
+
+
+class TestSplitReturn:
+    def test_splits_sql_and_template(self):
+        sql, template = split_return_clause(
+            'SELECT * FROM movie WHERE movie.title = "$x" '
+            "RETURN <cast movie=\"$x\"></cast>"
+        )
+        assert sql.endswith('"$x"')
+        assert template.startswith("<cast")
+
+    def test_no_return_clause(self):
+        sql, template = split_return_clause("SELECT * FROM movie")
+        assert template is None
+
+    def test_return_inside_string_not_split(self):
+        sql, template = split_return_clause(
+            "SELECT * FROM movie WHERE movie.title = 'Return of the King'"
+        )
+        assert template is None
+        assert "Return of the King" in sql
+
+    def test_case_insensitive(self):
+        _sql, template = split_return_clause("SELECT * FROM m return <x/>")
+        assert template == "<x/>"
+
+    def test_word_boundary(self):
+        sql, template = split_return_clause("SELECT * FROM returns")
+        assert template is None

@@ -1,0 +1,138 @@
+"""Tests for the deterministic RNG utilities."""
+
+import math
+
+import pytest
+
+from repro.utils.rng import DeterministicRng, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(10)
+        assert math.isclose(sum(weights), 1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_single_rank(self):
+        assert zipf_weights(1) == [1.0]
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(4, exponent=0.0)
+        assert all(math.isclose(w, 0.25) for w in weights)
+
+    def test_higher_exponent_more_skew(self):
+        flat = zipf_weights(10, exponent=0.5)
+        steep = zipf_weights(10, exponent=2.0)
+        assert steep[0] > flat[0]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(10)] == \
+               [b.randint(0, 100) for _ in range(10)]
+
+    def test_different_seed_differs(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_is_stable(self):
+        # The critical property: fork seeds must not depend on the process
+        # hash seed (hash() randomization broke this once).
+        child = DeterministicRng(7).fork("movies")
+        again = DeterministicRng(7).fork("movies")
+        assert child.seed == again.seed
+
+    def test_fork_labels_independent(self):
+        root = DeterministicRng(7)
+        assert root.fork("a").seed != root.fork("b").seed
+
+    def test_fork_does_not_consume_parent_stream(self):
+        a = DeterministicRng(3)
+        before = DeterministicRng(3).random()
+        a.fork("x")
+        assert a.random() == before
+
+
+class TestSampling:
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).choice([])
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = DeterministicRng(0)
+        picks = {rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_weighted_choice_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).weighted_choice(["a"], [1.0, 2.0])
+
+    def test_weighted_sample_distinct(self):
+        rng = DeterministicRng(5)
+        sample = rng.weighted_sample(list(range(20)), [1.0] * 20, 10)
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_weighted_sample_whole_population(self):
+        rng = DeterministicRng(5)
+        sample = rng.weighted_sample(["x", "y", "z"], [1, 2, 3], 3)
+        assert sorted(sample) == ["x", "y", "z"]
+
+    def test_weighted_sample_prefers_heavy(self):
+        rng = DeterministicRng(5)
+        heavy_first = 0
+        for trial in range(200):
+            pick = rng.weighted_sample(["heavy", "light"], [100.0, 1.0], 1)[0]
+            heavy_first += pick == "heavy"
+        assert heavy_first > 150
+
+    def test_weighted_sample_too_many(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).weighted_sample([1, 2], [1, 1], 3)
+
+    def test_weighted_sample_negative_k(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).weighted_sample([1], [1], -1)
+
+    def test_zipf_rank_in_range(self):
+        rng = DeterministicRng(9)
+        ranks = [rng.zipf_rank(10) for _ in range(100)]
+        assert all(0 <= r < 10 for r in ranks)
+        # Rank 0 must be the most common.
+        assert ranks.count(0) >= max(ranks.count(r) for r in range(1, 10))
+
+
+class TestDistributions:
+    def test_poisson_zero_lambda(self):
+        assert DeterministicRng(0).poisson(0) == 0
+
+    def test_poisson_negative_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).poisson(-1)
+
+    def test_poisson_mean_approximately(self):
+        rng = DeterministicRng(1)
+        draws = [rng.poisson(4.0) for _ in range(2000)]
+        assert 3.5 < sum(draws) / len(draws) < 4.5
+
+    def test_noisy_count_clamped(self):
+        rng = DeterministicRng(2)
+        for _ in range(100):
+            assert rng.noisy_count(3, spread=2.0, minimum=1) >= 1
+
+    def test_noisy_count_zero_spread(self):
+        assert DeterministicRng(0).noisy_count(7, spread=0.0) == 7
+
+    def test_coin_probability_extremes(self):
+        rng = DeterministicRng(3)
+        assert not any(rng.coin(0.0) for _ in range(20))
+        assert all(rng.coin(1.0) for _ in range(20))

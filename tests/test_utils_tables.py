@@ -1,0 +1,65 @@
+"""Tests for ASCII table / bar-chart rendering."""
+
+import pytest
+
+from repro.utils.tables import ascii_bar_chart, ascii_table, format_float
+
+
+class TestFormatFloat:
+    def test_trims_trailing_zeros(self):
+        assert format_float(0.500) == "0.5"
+
+    def test_keeps_one_decimal(self):
+        assert format_float(1.0) == "1.0"
+
+    def test_digits(self):
+        assert format_float(0.12345, digits=2) == "0.12"
+
+
+class TestAsciiTable:
+    def test_renders_headers_and_rows(self):
+        out = ascii_table(("a", "b"), [(1, "x"), (22, "yy")])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in lines[-1]
+
+    def test_column_width_fits_longest(self):
+        out = ascii_table(("h",), [("longvalue",)])
+        header_line = out.splitlines()[0]
+        assert len(header_line) >= len("longvalue")
+
+    def test_title(self):
+        out = ascii_table(("x",), [("1",)], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_row_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(("a", "b"), [(1,)])
+
+    def test_floats_formatted(self):
+        out = ascii_table(("v",), [(0.250,)])
+        assert "0.25" in out
+
+
+class TestAsciiBarChart:
+    def test_bar_lengths_proportional(self):
+        out = ascii_bar_chart(["a", "b"], [1.0, 0.5], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_max_value_override(self):
+        out = ascii_bar_chart(["a"], [0.5], width=10, max_value=1.0)
+        assert out.count("#") == 5
+
+    def test_zero_values(self):
+        out = ascii_bar_chart(["a"], [0.0], width=10)
+        assert "#" not in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0], width=0)

@@ -1,0 +1,88 @@
+"""Tests for text normalization helpers."""
+
+import pytest
+
+from repro.utils.text import (
+    fold_whitespace,
+    ngrams,
+    normalize,
+    sliding_windows,
+    to_identifier,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("Star WARS") == "star wars"
+
+    def test_strips_accents(self):
+        assert normalize("Amélie") == "amelie"
+
+    def test_collapses_punctuation(self):
+        assert normalize("ocean's eleven!") == "ocean's eleven"
+        assert normalize("spider-man: far, far away") == "spider man far far away"
+
+    def test_idempotent(self):
+        text = "The Quick; Brown. Fox?"
+        assert normalize(normalize(text)) == normalize(text)
+
+    def test_empty(self):
+        assert normalize("") == ""
+        assert normalize("!!!") == ""
+
+    def test_digits_preserved(self):
+        assert normalize("Movie 2001") == "movie 2001"
+
+
+class TestFoldWhitespace:
+    def test_collapses_runs(self):
+        assert fold_whitespace("a   b\t\nc") == "a b c"
+
+    def test_trims(self):
+        assert fold_whitespace("  x  ") == "x"
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_n_longer_than_tokens(self):
+        assert list(ngrams(["a"], 2)) == []
+
+    def test_unigrams(self):
+        assert list(ngrams(["a", "b"], 1)) == [("a",), ("b",)]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+
+class TestSlidingWindows:
+    def test_longest_first_per_position(self):
+        windows = list(sliding_windows(["a", "b", "c"], 2))
+        # At position 0, the 2-gram comes before the 1-gram.
+        assert windows[0] == (0, 2, ("a", "b"))
+        assert windows[1] == (0, 1, ("a",))
+
+    def test_covers_all_positions(self):
+        windows = list(sliding_windows(["a", "b"], 3))
+        starts = {start for start, _end, _gram in windows}
+        assert starts == {0, 1}
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            list(sliding_windows(["a"], 0))
+
+
+class TestToIdentifier:
+    def test_snake_case(self):
+        assert to_identifier("Star Wars") == "star_wars"
+
+    def test_leading_digit_prefixed(self):
+        assert to_identifier("2001 odyssey") == "n2001_odyssey"
+
+    def test_empty_becomes_unnamed(self):
+        assert to_identifier("!!!") == "unnamed"
+
+    def test_apostrophes_dropped(self):
+        assert to_identifier("Ocean's Eleven") == "oceans_eleven"

@@ -1,0 +1,35 @@
+"""Tests for the stopwatch."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch
+
+
+def test_context_manager_accumulates():
+    watch = Stopwatch()
+    with watch:
+        pass
+    with watch:
+        pass
+    assert watch.elapsed >= 0.0
+    assert len(watch.laps) == 2
+
+
+def test_mean_lap():
+    watch = Stopwatch()
+    assert watch.mean_lap == 0.0
+    with watch:
+        pass
+    assert watch.mean_lap == watch.elapsed
+
+
+def test_double_start_raises():
+    watch = Stopwatch()
+    watch.start()
+    with pytest.raises(RuntimeError):
+        watch.start()
+
+
+def test_stop_without_start_raises():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()

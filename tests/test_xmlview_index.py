@@ -1,0 +1,46 @@
+"""Tests for the tree text index."""
+
+import pytest
+
+from repro.xmlview import build_xml_view
+from repro.xmlview.index import TreeTextIndex
+
+
+@pytest.fixture()
+def index(mini_db):
+    return TreeTextIndex(build_xml_view(mini_db))
+
+
+class TestMatching:
+    def test_single_token(self, index):
+        nodes = index.matches("clooney")
+        assert nodes and all("clooney" in node.text.lower() for node in nodes)
+
+    def test_match_sets_per_keyword(self, index):
+        sets = index.match_sets("star wars")
+        assert len(sets) == 2
+        assert all(sets)
+
+    def test_unknown_token_empty(self, index):
+        assert index.matches("xyzzy") == []
+        assert index.match_sets("star xyzzy")[1] == []
+
+    def test_stemmed_section_labels(self, index):
+        # "awards" must reach the "award" section label via stemming --
+        # mini_db has no awards, but role 'actress' stems visibly:
+        assert index.matches("actress") != []
+
+    def test_multi_token_input_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.matches("star wars")
+
+    def test_vocabulary_size(self, index):
+        assert index.vocabulary_size() > 10
+
+    def test_node_listed_once_per_token(self, mini_db):
+        from repro.xmlview.tree import XmlNode
+
+        root = XmlNode("r", ())
+        root.add_child("t", "wars wars wars")
+        index = TreeTextIndex(root)
+        assert len(index.matches("wars")) == 1

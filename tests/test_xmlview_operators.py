@@ -1,0 +1,106 @@
+"""Tests for LCA / SLCA / MLCA operators."""
+
+import pytest
+
+from repro.xmlview.operators import lca, lca_nodes, mlca, slca
+from repro.xmlview.tree import XmlNode
+
+
+def build_tree():
+    """db -> movies -> m1(title:'alpha beta', cast:[x], year:'1990')
+                       m2(title:'alpha', year:'1990')"""
+    root = XmlNode("db", ())
+    movies = root.add_child("movies")
+    m1 = movies.add_child("movie")
+    m1.add_child("title", "alpha beta")
+    m1_cast = m1.add_child("cast")
+    m1_cast.add_child("name", "xavier")
+    m1.add_child("year", "1990")
+    m2 = movies.add_child("movie")
+    m2.add_child("title", "alpha")
+    m2.add_child("year", "1990")
+    return root, movies, m1, m2
+
+
+def matches(root, token):
+    return [node for node in root.walk()
+            if node.text and token in node.text.split()]
+
+
+class TestLca:
+    def test_prefix(self):
+        assert lca((0, 1, 2), (0, 1, 5)) == (0, 1)
+        assert lca((0,), (1,)) == ()
+        assert lca((0, 1), (0, 1)) == (0, 1)
+
+    def test_lca_nodes(self):
+        root, _movies, m1, _m2 = build_tree()
+        title = m1.children[0]
+        year = m1.children[2]
+        assert lca_nodes(root, [title, year]) is m1
+
+    def test_lca_nodes_empty_rejected(self):
+        root, *_ = build_tree()
+        with pytest.raises(ValueError):
+            lca_nodes(root, [])
+
+
+class TestSlca:
+    def test_within_one_movie(self):
+        root, _movies, m1, _m2 = build_tree()
+        result = slca(root, [matches(root, "beta"), matches(root, "xavier")])
+        assert result == [m1]
+
+    def test_smallest_wins_over_ancestor(self):
+        root, _movies, m1, m2 = build_tree()
+        # "alpha" matches both movies; "1990" matches both. The SLCAs are
+        # the individual movies, not the shared <movies> ancestor.
+        result = slca(root, [matches(root, "alpha"), matches(root, "1990")])
+        assert m1 in result and m2 in result
+        assert all(node.tag == "movie" for node in result)
+
+    def test_missing_keyword_returns_empty(self):
+        root, *_ = build_tree()
+        assert slca(root, [matches(root, "alpha"), matches(root, "zzz")]) == []
+        assert slca(root, []) == []
+
+    def test_single_keyword_returns_match_nodes(self):
+        root, *_ = build_tree()
+        result = slca(root, [matches(root, "xavier")])
+        assert len(result) == 1 and result[0].text == "xavier"
+
+    def test_document_order(self):
+        root, _movies, m1, m2 = build_tree()
+        result = slca(root, [matches(root, "alpha"), matches(root, "1990")])
+        deweys = [node.dewey for node in result]
+        assert deweys == sorted(deweys)
+
+
+class TestMlca:
+    def test_subset_of_slca_candidates(self):
+        root, _movies, m1, _m2 = build_tree()
+        result = mlca(root, [matches(root, "beta"), matches(root, "xavier")])
+        assert result == [m1]
+
+    def test_mutual_nearest_filters_cross_pairs(self):
+        # Two movies, each with its own title and year. Pairing m1's title
+        # with m2's year is not mutually nearest, so no <movies>-level LCA.
+        root, _movies, m1, m2 = build_tree()
+        result = mlca(root, [matches(root, "alpha"), matches(root, "1990")])
+        assert all(node.tag == "movie" for node in result)
+
+    def test_empty_on_missing_keyword(self):
+        root, *_ = build_tree()
+        assert mlca(root, [matches(root, "zzz")]) == []
+
+    def test_mlca_no_more_results_than_slca(self, mini_db):
+        from repro.xmlview import build_xml_view
+        from repro.xmlview.index import TreeTextIndex
+
+        root = build_xml_view(mini_db)
+        index = TreeTextIndex(root)
+        for query in ["star wars", "tom hanks actor", "clooney crime"]:
+            sets = index.match_sets(query)
+            if any(not s for s in sets):
+                continue
+            assert len(mlca(root, sets)) <= len(slca(root, sets))

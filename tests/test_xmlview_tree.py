@@ -1,0 +1,106 @@
+"""Tests for the XML view construction and node mechanics."""
+
+import pytest
+
+from repro.xmlview.tree import XmlNode, build_xml_view
+
+
+@pytest.fixture()
+def root(mini_db):
+    return build_xml_view(mini_db)
+
+
+class TestXmlNode:
+    def test_dewey_assignment(self):
+        node = XmlNode("root", ())
+        a = node.add_child("a")
+        b = node.add_child("b")
+        aa = a.add_child("aa")
+        assert a.dewey == (0,) and b.dewey == (1,) and aa.dewey == (0, 0)
+
+    def test_ancestor_test(self):
+        root = XmlNode("root", ())
+        child = root.add_child("c")
+        grandchild = child.add_child("g")
+        assert root.is_ancestor_of(grandchild)
+        assert child.is_ancestor_of(grandchild)
+        assert not grandchild.is_ancestor_of(child)
+        assert not child.is_ancestor_of(child)  # proper ancestor only
+
+    def test_find_by_dewey(self):
+        root = XmlNode("root", ())
+        child = root.add_child("c")
+        target = child.add_child("t")
+        assert root.find_by_dewey((0, 0)) is target
+        with pytest.raises(KeyError):
+            child.find_by_dewey((1,))
+
+    def test_walk_preorder(self):
+        root = XmlNode("root", ())
+        a = root.add_child("a")
+        a.add_child("aa")
+        root.add_child("b")
+        tags = [node.tag for node in root.walk()]
+        assert tags == ["root", "a", "aa", "b"]
+
+    def test_subtree_text_and_size(self):
+        root = XmlNode("root", ())
+        root.add_child("x", "hello")
+        root.add_child("y", "world")
+        assert root.subtree_text() == "hello world"
+        assert root.size() == 3
+
+
+class TestBuildView:
+    def test_collections_for_entity_tables(self, root):
+        tags = {child.tag for child in root.children}
+        assert "movie_collection" in tags
+        assert "person_collection" in tags
+        # Junction tables get no top-level collection.
+        assert "cast_collection" not in tags
+
+    def test_movie_element_contains_values(self, root):
+        movies = next(c for c in root.children if c.tag == "movie_collection")
+        star_wars = movies.children[0]
+        texts = {node.text for node in star_wars.walk() if node.text}
+        assert "Star Wars" in texts
+        assert "1977" in texts
+
+    def test_junction_nesting_inlines_other_side(self, root):
+        movies = next(c for c in root.children if c.tag == "movie_collection")
+        star_wars = movies.children[0]
+        cast_children = [n for n in star_wars.children if n.tag == "cast"]
+        assert len(cast_children) == 1
+        inlined = {node.text for node in cast_children[0].walk() if node.text}
+        assert "Carrie Fisher" in inlined  # person name resolved, not person_id
+
+    def test_section_labels_present(self, root):
+        movies = next(c for c in root.children if c.tag == "movie_collection")
+        star_wars = movies.children[0]
+        labels = {n.text for n in star_wars.children if n.tag == "section_label"}
+        assert "cast" in labels
+        assert "movie genre" in labels
+
+    def test_person_element_lists_filmography(self, root):
+        persons = next(c for c in root.children if c.tag == "person_collection")
+        tom = persons.children[1]  # Tom Hanks
+        texts = {node.text for node in tom.walk() if node.text}
+        assert "Cast Away" in texts and "Ocean's Eleven" in texts
+
+    def test_atoms_have_provenance(self, root):
+        movies = next(c for c in root.children if c.tag == "movie_collection")
+        atoms = movies.children[0].subtree_atoms()
+        assert ("movie", "title", "star wars") in atoms
+
+    def test_cap_limits_children(self, mini_db):
+        capped = build_xml_view(mini_db, max_children_per_group=1)
+        persons = next(c for c in capped.children if c.tag == "person_collection")
+        tom = persons.children[1]
+        cast_children = [n for n in tom.children if n.tag == "cast"]
+        assert len(cast_children) <= 1
+
+    def test_imdb_view_builds(self, imdb_db):
+        root = build_xml_view(imdb_db)
+        assert root.size() > 1000
+        collections = {child.tag for child in root.children}
+        assert "award_collection" in collections
