@@ -1,12 +1,17 @@
-"""PERF — query latency and build cost: qunits vs BANKS vs MLCA.
+"""PERF — query latency and build cost: qunits vs BANKS vs MLCA, plus the
+top-k fast path against exhaustive scoring.
 
 Supports the paper's architectural claim (Sec. 3): once ranking is
 separated from the database, query-time work is index lookups and one view
 materialization — no per-query graph expansion (BANKS) or LCA computation
 over the whole tree (MLCA).  Reports build + per-query costs at three
-database scales.
+database scales, and — for the retrieval hot path itself — the speedup of
+the bounded-heap/max-score fast path (``Searcher.search``) over the
+exhaustive score-everything-and-sort reference
+(``Searcher.search_exhaustive``) on the largest collection size.
 """
 
+import json
 import time
 
 import pytest
@@ -23,7 +28,13 @@ from repro.xmlview.index import TreeTextIndex
 
 QUERIES = ("star wars cast", "george clooney", "tom hanks movies",
            "the terminator box office")
-SCALES = (0.15, 0.3, 0.6)
+SCALES_FULL = (0.15, 0.3, 0.6)
+SCALES_SMOKE = (0.1,)
+
+
+@pytest.fixture(scope="module")
+def perf_scales(bench_full):
+    return SCALES_FULL if bench_full else SCALES_SMOKE
 
 
 def build_systems(scale: float):
@@ -54,10 +65,10 @@ def mean_query_seconds(system) -> float:
     return (time.perf_counter() - start) / len(QUERIES)
 
 
-def test_scaling_table(benchmark, write_artifact):
+def test_scaling_table(benchmark, write_artifact, perf_scales):
     def sweep():
         rows = []
-        for scale in SCALES:
+        for scale in perf_scales:
             db, systems, timings = build_systems(scale)
             row = [f"x{scale}", db.total_rows()]
             for name in ("qunits", "banks", "mlca"):
@@ -78,8 +89,84 @@ def test_scaling_table(benchmark, write_artifact):
 
 
 @pytest.mark.parametrize("system_name", ["qunits", "banks", "mlca"])
-def test_query_latency(benchmark, system_name):
-    _db, systems, _timings = build_systems(0.3)
+def test_query_latency(benchmark, system_name, perf_scales):
+    _db, systems, _timings = build_systems(max(perf_scales))
     system = systems[system_name]
     system.best("star wars cast")  # warm
     benchmark(system.best, "star wars cast")
+
+
+# -- exhaustive vs top-k fast path -----------------------------------------
+
+
+def _retrieval_workload(db, per_table: int) -> list[str]:
+    """Entity-heavy queries sampled deterministically from the database."""
+    queries = list(QUERIES)
+    for table, column, suffix in (("movie", "title", " cast"),
+                                  ("person", "name", " movies")):
+        rows = list(db.table(table))
+        step = max(1, len(rows) // per_table)
+        for row in rows[::step][:per_table]:
+            queries.append(f"{row[column]}{suffix}")
+    return queries
+
+
+def test_topk_fastpath_speedup(benchmark, write_artifact, bench_full,
+                               perf_scales):
+    """Exhaustive vs fast-path retrieval on the largest collection size.
+
+    The fast path must be rank-identical (asserted here over the whole
+    workload) and faster: cold measures snapshot + bound building plus
+    scoring, warm measures the steady state with contribution arrays and
+    the LRU result cache populated.
+    """
+    scale = max(perf_scales)
+    db = generate_imdb(scale=scale, seed=7)
+    collection = QunitCollection(
+        db, imdb_expert_qunits(),
+        max_instances_per_definition=300 if bench_full else 100,
+    )
+    collection.global_index()  # build the index outside all timings
+    searcher = collection.searcher()
+    queries = _retrieval_workload(db, per_table=60 if bench_full else 15)
+    limit = 10
+
+    def measure():
+        # Cold: a fresh snapshot — pays for sorting postings and building
+        # the per-term contribution/bound arrays, amortized over the batch.
+        start = time.perf_counter()
+        searcher.search_many(queries, limit)
+        fast_cold_s = time.perf_counter() - start
+
+        # Warm: steady state, contribution arrays and LRU cache populated.
+        start = time.perf_counter()
+        searcher.search_many(queries, limit)
+        fast_warm_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for query in queries:
+            searcher.search_exhaustive(query, limit)
+        exhaustive_s = time.perf_counter() - start
+        return exhaustive_s, fast_cold_s, fast_warm_s
+
+    exhaustive_s, fast_cold_s, fast_warm_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+
+    for query in queries:  # rank identity on the real workload
+        fast = [(h.doc_id, h.score) for h in searcher.search(query, limit)]
+        slow = [(h.doc_id, h.score)
+                for h in searcher.search_exhaustive(query, limit)]
+        assert fast == slow
+    report = {
+        "scale": scale,
+        "documents": searcher.index.document_count,
+        "queries": len(queries),
+        "limit": limit,
+        "exhaustive_s": round(exhaustive_s, 6),
+        "fastpath_cold_s": round(fast_cold_s, 6),
+        "fastpath_warm_s": round(fast_warm_s, 6),
+        "speedup_cold": round(exhaustive_s / fast_cold_s, 3),
+        "speedup_warm": round(exhaustive_s / fast_warm_s, 3),
+    }
+    write_artifact("perf_topk_fastpath.json", json.dumps(report, indent=2))
+    assert report["speedup_warm"] > 1.0

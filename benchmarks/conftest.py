@@ -4,6 +4,16 @@ Expensive artifacts (database, query log, the Figure 3 experiment) are
 session-scoped so every bench file reuses them.  Each benchmark writes its
 reproduced table/figure to ``benchmarks/results/`` so the artifacts survive
 the run (stdout is captured by pytest-benchmark).
+
+Smoke mode
+----------
+
+Every test collected here is marked ``bench``.  Without ``--bench-full``
+(the tier-1 default) the fixtures shrink to smoke sizes and pytest-benchmark
+is disabled via ``addopts = --benchmark-disable``, so the whole directory
+runs in seconds while still exercising all the perf code.  Full-scale runs:
+
+    PYTHONPATH=src python -m pytest benchmarks --bench-full --benchmark-enable
 """
 
 from __future__ import annotations
@@ -19,9 +29,29 @@ from repro.eval.harness import ResultQualityExperiment
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 # The canonical benchmark configuration (kept in one place so every bench
-# file reports against the same data).
+# file reports against the same data).  Smoke mode shrinks sizes but keeps
+# the same seed so results stay deterministic.
 SCALE = 0.3
 SEED = 7
+SMOKE_SCALE = 0.15
+
+
+def pytest_collection_modifyitems(config, items):
+    bench_dir = pathlib.Path(__file__).parent
+    for item in items:
+        if bench_dir in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
+
+
+@pytest.fixture(scope="session")
+def bench_full(request) -> bool:
+    """True when --bench-full was given (full-scale data sizes)."""
+    return request.config.getoption("--bench-full")
+
+
+@pytest.fixture(scope="session")
+def bench_scale(bench_full) -> float:
+    return SCALE if bench_full else SMOKE_SCALE
 
 
 @pytest.fixture(scope="session")
@@ -31,10 +61,17 @@ def results_dir() -> pathlib.Path:
 
 
 @pytest.fixture(scope="session")
-def write_artifact(results_dir):
-    """Write (and echo) a reproduced table/figure."""
+def write_artifact(results_dir, bench_full):
+    """Write (and echo) a reproduced table/figure.
+
+    Smoke runs write to ``*.smoke.txt`` so they never clobber full-scale
+    artifacts.
+    """
 
     def _write(name: str, content: str) -> None:
+        if not bench_full:
+            stem, dot, suffix = name.rpartition(".")
+            name = f"{stem}.smoke.{suffix}" if dot else f"{name}.smoke"
         path = results_dir / name
         path.write_text(content + "\n")
         print(f"\n[artifact -> {path}]\n{content}")
@@ -43,8 +80,8 @@ def write_artifact(results_dir):
 
 
 @pytest.fixture(scope="session")
-def bench_db():
-    return generate_imdb(scale=SCALE, seed=SEED)
+def bench_db(bench_scale):
+    return generate_imdb(scale=bench_scale, seed=SEED)
 
 
 @pytest.fixture(scope="session")
@@ -59,9 +96,14 @@ def bench_analyzer(bench_db):
 
 
 @pytest.fixture(scope="session")
-def experiment():
+def experiment(bench_full, bench_scale):
     """The fully built Figure 3 experiment (shared by several benches)."""
-    exp = ResultQualityExperiment(scale=SCALE, seed=SEED, n_raters=20,
-                                  n_queries=25)
+    if bench_full:
+        exp = ResultQualityExperiment(scale=bench_scale, seed=SEED,
+                                      n_raters=20, n_queries=25)
+    else:
+        exp = ResultQualityExperiment(scale=bench_scale, seed=SEED,
+                                      n_raters=6, n_queries=8,
+                                      max_instances=60)
     exp.setup()
     return exp

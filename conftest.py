@@ -1,0 +1,17 @@
+"""Root pytest configuration.
+
+Defines the ``--bench-full`` flag (it must live at the rootdir so pytest
+sees it during startup).  Benchmarks under ``benchmarks/`` are collected
+alongside the tests and run in *smoke mode* by default: tiny data sizes
+and ``--benchmark-disable`` (one un-timed call per benchmark), so the perf
+code stays exercised by tier-1 in seconds.  Real benchmark runs use::
+
+    PYTHONPATH=src python -m pytest benchmarks --bench-full --benchmark-enable
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-full", action="store_true", default=False,
+        help="run benchmarks at full scale (default: smoke-sized data)",
+    )

@@ -2,7 +2,8 @@
 
 ::
 
-    python -m repro search "star wars cast" [--scale 0.3] [--flavor expert]
+    python -m repro search "star wars cast" [more queries ...] [--scale 0.3]
+                    [--flavor expert]
     python -m repro derive --strategy schema_data [--k1 4 --k2 3]
     python -m repro loganalysis [--unique 400]
     python -m repro evaluate [--queries 25] [--raters 20]
@@ -43,8 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="generator seed (default 7)")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    search = commands.add_parser("search", help="run a keyword query")
+    search = commands.add_parser("search", help="run keyword queries")
     search.add_argument("query")
+    search.add_argument("more_queries", nargs="*", metavar="query",
+                        help="additional queries, answered as one batch "
+                             "over the engine's shared caches (see also "
+                             "QunitSearchEngine.search_many)")
     search.add_argument("--flavor", default="expert",
                         choices=["expert", "schema_data", "query_log",
                                  "external", "forms"])
@@ -95,21 +100,27 @@ def _command_search(args) -> int:
         QunitCollection(db, definitions, max_instances_per_definition=150),
         flavor=args.flavor,
     )
-    explanation = engine.explain(args.query, limit=args.limit)
-    print(f"query   : {args.query}")
-    print(f"template: {explanation.template}  ({explanation.query_class})")
-    answers = engine.search(args.query, limit=args.limit)
-    if not answers:
-        print("no answers.")
-        return 1
+    queries = [args.query, *args.more_queries]
     from repro.core.search import SnippetExtractor
 
     extractor = SnippetExtractor(window=24)
-    for rank, answer in enumerate(answers, start=1):
-        print(f"\n#{rank}  [{answer.meta('definition')}]  "
-              f"score={answer.score:.3f}")
-        print("   " + extractor.snippet(answer.text, args.query))
-    return 0
+    any_answers = False
+    for i, query in enumerate(queries):
+        if i:
+            print()
+        answers, explanation = engine.search_with_explanation(
+            query, limit=args.limit)
+        print(f"query   : {query}")
+        print(f"template: {explanation.template}  ({explanation.query_class})")
+        if not answers:
+            print("no answers.")
+            continue
+        any_answers = True
+        for rank, answer in enumerate(answers, start=1):
+            print(f"\n#{rank}  [{answer.meta('definition')}]  "
+                  f"score={answer.score:.3f}")
+            print("   " + extractor.snippet(answer.text, query))
+    return 0 if any_answers else 1
 
 
 def _command_derive(args) -> int:

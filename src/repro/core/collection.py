@@ -6,17 +6,26 @@ entity" (Sec. 2).  The collection owns the definitions, materializes
 instances lazily (with caching), and builds the IR indexes the search
 engine queries: one index over all instances, plus per-definition indexes
 for two-stage retrieval.
+
+Searchers handed out by :meth:`QunitCollection.searcher` and
+:meth:`QunitCollection.definition_searcher` are cached per (definition,
+scorer-parameters) pair, so their top-k fast-path machinery — index
+snapshots, per-term score bounds, and LRU result caches (see
+:mod:`repro.ir.retrieval`) — is shared across every query the engine runs,
+including batches submitted through :meth:`QunitCollection.search_many`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
+from collections import OrderedDict
+
 from repro.core.qunit import QunitDefinition, QunitInstance
 from repro.errors import DerivationError
 from repro.ir.analysis import Analyzer
 from repro.ir.index import InvertedIndex
-from repro.ir.retrieval import Searcher
+from repro.ir.retrieval import Searcher, SearchHit
 from repro.ir.scoring import Scorer
 from repro.relational.database import Database
 from repro.utils.text import normalize
@@ -45,6 +54,12 @@ class QunitCollection:
         self._instance_by_id: dict[str, QunitInstance] = {}
         self._global_index: InvertedIndex | None = None
         self._definition_indexes: dict[str, InvertedIndex] = {}
+        # Searchers are cached so their LRU result caches and index
+        # snapshots survive across queries (one searcher per
+        # (definition, scorer-parameters) pair; None = the global index).
+        # Bounded: identity-keyed scorers (see Scorer.cache_key) would
+        # otherwise grow this without limit in long-running processes.
+        self._searchers: "OrderedDict[tuple, Searcher]" = OrderedDict()
 
     # -- definitions ------------------------------------------------------------
 
@@ -124,10 +139,35 @@ class QunitCollection:
         return self._definition_indexes[name]
 
     def searcher(self, scorer: Scorer | None = None) -> Searcher:
-        return Searcher(self.global_index(), scorer)
+        return self._cached_searcher(None, scorer)
 
     def definition_searcher(self, name: str, scorer: Scorer | None = None) -> Searcher:
-        return Searcher(self.definition_index(name), scorer)
+        return self._cached_searcher(name, scorer)
+
+    MAX_CACHED_SEARCHERS = 64
+
+    def _cached_searcher(self, name: str | None, scorer: Scorer | None) -> Searcher:
+        key = (name, scorer.cache_key() if scorer is not None else None)
+        searcher = self._searchers.get(key)
+        if searcher is None:
+            index = (self.global_index() if name is None
+                     else self.definition_index(name))
+            searcher = Searcher(index, scorer)
+            self._searchers[key] = searcher
+            while len(self._searchers) > self.MAX_CACHED_SEARCHERS:
+                self._searchers.popitem(last=False)
+        else:
+            self._searchers.move_to_end(key)
+        return searcher
+
+    def search_many(self, queries: Iterable[str], limit: int = 10,
+                    scorer: Scorer | None = None) -> list[list[SearchHit]]:
+        """Batched flat IR retrieval over every instance of every
+        definition — the collection really is "a flat collection of
+        independent qunits" to callers of this API.  One searcher (and
+        hence one index snapshot and result cache) serves the whole batch.
+        """
+        return self.searcher(scorer).search_many(queries, limit)
 
     def _decorated_document(self, instance: QunitInstance):
         """Instance document with definition keywords folded into the title,

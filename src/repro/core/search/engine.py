@@ -3,10 +3,16 @@
 This is Figure 1 of the paper end to end: the typed query selects qunit
 definitions; instances of the winning definitions are ranked (fully-bound
 matches materialize directly; partially-bound ones fall back to BM25 over
-the definition's instance documents); and, when nothing structural matches,
-plain IR retrieval over the whole flat instance collection takes over —
-the database is, after all, "nothing more than a collection of independent
-qunits" to the front end.
+the definition's instance documents); and whenever structural matching
+leaves the result list short — including producing nothing at all — plain
+IR retrieval over the whole flat instance collection backfills the
+remainder — the database is, after all, "nothing more than a collection of
+independent qunits" to the front end.
+
+Retrieval inside the pipeline rides the top-k fast path (see
+:mod:`repro.ir.topk`): the collection hands the engine cached searchers
+whose snapshots, score bounds, and LRU result caches persist across
+queries and across :meth:`QunitSearchEngine.search_many` batches.
 """
 
 from __future__ import annotations
@@ -67,6 +73,16 @@ class QunitSearchEngine:
         answers, _explanation = self._run(query, limit)
         return answers
 
+    def search_many(self, queries: list[str], limit: int = 5) -> list[list[Answer]]:
+        """Answer a batch of queries, in input order.
+
+        The batch shares the collection's cached searchers, so index
+        snapshots, per-term score bounds, and result caches built for one
+        query are reused by the rest — markedly cheaper than constructing
+        the pipeline per query when queries overlap in vocabulary.
+        """
+        return [self.search(query, limit) for query in queries]
+
     def best(self, query: str) -> Answer:
         answers = self.search(query, limit=1)
         return answers[0] if answers else Answer.empty(self.system_name)
@@ -74,6 +90,14 @@ class QunitSearchEngine:
     def explain(self, query: str, limit: int = 5) -> SearchExplanation:
         _answers, explanation = self._run(query, limit)
         return explanation
+
+    def search_with_explanation(
+            self, query: str, limit: int = 5,
+    ) -> tuple[list[Answer], SearchExplanation]:
+        """Answers and the pipeline trace in one pass (the CLI's path —
+        running :meth:`search` and :meth:`explain` separately would pay
+        for segmentation, matching, and ranking twice)."""
+        return self._run(query, limit)
 
     def segment(self, query: str) -> SegmentedQuery:
         return self.segmenter.segment(query)
@@ -97,8 +121,13 @@ class QunitSearchEngine:
                                         seen_instances)
             )
 
-        if not answers:
-            answers = self._fallback(query, limit, seen_instances)
+        # Structural matches may under-fill the result list (few instances,
+        # heavy dedup); backfill the remainder from flat IR retrieval so a
+        # query with one fully-bound match still returns `limit` answers.
+        if len(answers) < limit:
+            answers.extend(
+                self._fallback(query, limit - len(answers), seen_instances)
+            )
 
         # Mixed text + structure (the paper's Sec. 7 extension): free-text
         # residue that the structural pipeline could not type re-ranks the
@@ -134,18 +163,31 @@ class QunitSearchEngine:
             return [self._brand(instance.to_answer(score=match.score), instance)]
         # Partially bound: rank this definition's instances by IR score.
         searcher = self.collection.definition_searcher(definition.name, self.scorer)
-        hits = searcher.search(query, limit=budget + len(seen))
         answers: list[Answer] = []
-        for hit in hits:
-            if len(answers) >= budget:
-                break
-            if hit.doc_id in seen:
-                continue
+        for hit in self._fresh_hits(searcher, query, budget, seen):
             seen.add(hit.doc_id)
             instance = self.collection.instance(hit.doc_id)
             combined = match.score * (1.0 - 1.0 / (2.0 + hit.score))
             answers.append(self._brand(instance.to_answer(score=combined), instance))
         return answers
+
+    def _fresh_hits(self, searcher, query: str, budget: int, seen: set[str]):
+        """The top ``budget`` hits whose ids are not in ``seen``.
+
+        Fetches with headroom and keeps widening geometrically until the
+        budget is met or the index is exhausted, so a pile-up of
+        already-seen documents at the top of the ranking can never starve
+        lower-ranked fresh hits out of the result list.
+        """
+        if budget <= 0:
+            return []
+        fetch = budget + len(seen)
+        while True:
+            hits = searcher.search(query, limit=fetch)
+            fresh = [hit for hit in hits if hit.doc_id not in seen]
+            if len(fresh) >= budget or len(hits) < fetch:
+                return fresh[:budget]
+            fetch *= 2
 
     def _apply_freetext_rerank(self, segmented: SegmentedQuery,
                                answers: list[Answer],
@@ -169,14 +211,10 @@ class QunitSearchEngine:
         return adjusted[:limit]
 
     def _fallback(self, query: str, limit: int, seen: set[str]) -> list[Answer]:
-        """Flat IR retrieval over all instances (no structural match)."""
+        """Flat IR retrieval over all instances (no/partial structural match)."""
         searcher = self.collection.searcher(self.scorer)
         answers: list[Answer] = []
-        for hit in searcher.search(query, limit=limit + len(seen)):
-            if len(answers) >= limit:
-                break
-            if hit.doc_id in seen:
-                continue
+        for hit in self._fresh_hits(searcher, query, limit, seen):
             seen.add(hit.doc_id)
             instance = self.collection.instance(hit.doc_id)
             answers.append(self._brand(instance.to_answer(score=hit.score), instance))

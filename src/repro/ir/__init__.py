@@ -4,13 +4,15 @@ The qunits paradigm's whole point is that once a database is modeled as a
 flat collection of independent documents, *standard IR techniques* apply.
 This package supplies those techniques: analysis (tokenization, stopwords,
 light stemming), an inverted index with per-field storage, TF-IDF and BM25
-ranked retrieval, and the usual effectiveness metrics.
+ranked retrieval (with a top-k fast path — see :mod:`repro.ir.topk`), and
+the usual effectiveness metrics.
 """
 
 from repro.ir.analysis import Analyzer, STOPWORDS
 from repro.ir.documents import Document
 from repro.ir.feedback import RocchioFeedback
-from repro.ir.index import InvertedIndex, Posting
+from repro.ir.index import IndexSnapshot, InvertedIndex, Posting, TermContributions
+from repro.ir.topk import TopKHeap, topk_scores
 from repro.ir.metrics import (
     average_precision,
     dcg,
@@ -28,8 +30,12 @@ __all__ = [
     "Analyzer",
     "STOPWORDS",
     "Document",
+    "IndexSnapshot",
     "InvertedIndex",
     "Posting",
+    "TermContributions",
+    "TopKHeap",
+    "topk_scores",
     "Searcher",
     "SearchHit",
     "Scorer",

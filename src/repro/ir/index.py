@@ -4,6 +4,15 @@ Term frequencies are accumulated with per-field weights at indexing time, so
 scorers see a single weighted frequency per (term, document).  The index
 keeps enough statistics for both TF-IDF and BM25: document frequencies,
 weighted document lengths, and the collection average length.
+
+The mutable index is optimized for building; retrieval goes through an
+:class:`IndexSnapshot` — a frozen, read-optimized view with sorted postings
+arrays and a per-(scorer, term) cache of score contributions and max-score
+upper bounds (see :mod:`repro.ir.topk`).  Snapshot invalidation rule: every
+:meth:`InvertedIndex.add` bumps :attr:`InvertedIndex.version` and drops the
+cached snapshot, so :meth:`InvertedIndex.snapshot` always reflects the
+current contents and stale derived caches can be detected by comparing
+versions.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ from repro.errors import IndexError_
 from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document
 
-__all__ = ["Posting", "InvertedIndex"]
+__all__ = ["Posting", "TermContributions", "InvertedIndex", "IndexSnapshot"]
 
 
 @dataclass(frozen=True)
@@ -24,6 +33,23 @@ class Posting:
 
     doc_id: str
     weighted_tf: float
+
+
+@dataclass(frozen=True)
+class TermContributions:
+    """Cached per-term scoring data for one (scorer, term) pair.
+
+    ``doc_ids`` and ``contributions`` are aligned, doc_id-sorted arrays;
+    ``bound`` is the largest single contribution — the term's max-score
+    upper bound used for early termination.
+    """
+
+    doc_ids: tuple[str, ...]
+    contributions: tuple[float, ...]
+    bound: float
+
+
+_NO_CONTRIBUTIONS = TermContributions((), (), 0.0)
 
 
 class InvertedIndex:
@@ -35,12 +61,16 @@ class InvertedIndex:
         self._documents: dict[str, Document] = {}
         self._doc_lengths: dict[str, float] = {}
         self._total_length = 0.0
+        self._version = 0
+        self._snapshot: IndexSnapshot | None = None
 
     # -- building -----------------------------------------------------------
 
     def add(self, document: Document) -> None:
         if document.doc_id in self._documents:
             raise IndexError_(f"duplicate document id {document.doc_id!r}")
+        self._version += 1
+        self._snapshot = None
         self._documents[document.doc_id] = document
         length = 0.0
         for field_name, text in document.fields:
@@ -63,6 +93,20 @@ class InvertedIndex:
             self.add(document)
             count += 1
         return count
+
+    # -- snapshots ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone counter, bumped on every :meth:`add`."""
+        return self._version
+
+    def snapshot(self) -> "IndexSnapshot":
+        """The frozen read-optimized view of the current contents (cached;
+        rebuilt after any :meth:`add`)."""
+        if self._snapshot is None:
+            self._snapshot = IndexSnapshot(self)
+        return self._snapshot
 
     # -- statistics ---------------------------------------------------------
 
@@ -131,3 +175,77 @@ class InvertedIndex:
                     f"document {doc_id!r} length mismatch: "
                     f"stored {self._doc_lengths[doc_id]}, recomputed {length}"
                 )
+
+
+class IndexSnapshot:
+    """A frozen, read-optimized view of one :class:`InvertedIndex`.
+
+    Postings are exposed as doc_id-sorted tuples, collection statistics are
+    captured once, and per-(scorer, term) score contributions — together
+    with their max-score upper bounds — are cached across queries.  The
+    snapshot is only handed out by :meth:`InvertedIndex.snapshot`, which
+    discards it whenever a document is added.  Postings are materialized
+    lazily from the live index, so a snapshot held across an ``add``
+    *refuses to serve* (raises :class:`~repro.errors.IndexError_`) rather
+    than silently mixing frozen statistics with fresh postings — fetch a
+    new snapshot instead.
+    """
+
+    def __init__(self, index: InvertedIndex):
+        self._index = index
+        self.version = index.version
+        self.document_count = index.document_count
+        self.average_document_length = index.average_document_length
+        positive = [l for l in index._doc_lengths.values() if l > 0]
+        #: Shortest positive document length — the normalization ceiling
+        #: for length-normalized scorers (documents with zero length never
+        #: appear in postings).
+        self.min_document_length = min(positive) if positive else 0.0
+        self._postings: dict[str, tuple[Posting, ...]] = {}
+        self._contributions: dict[tuple, TermContributions] = {}
+
+    def _check_current(self) -> None:
+        if self._index.version != self.version:
+            raise IndexError_(
+                f"stale IndexSnapshot (version {self.version}, index is at "
+                f"{self._index.version}); call InvertedIndex.snapshot() again"
+            )
+
+    def postings(self, term: str) -> tuple[Posting, ...]:
+        """The term's postings as a doc_id-sorted tuple (cached)."""
+        cached = self._postings.get(term)
+        if cached is None:
+            self._check_current()
+            bucket = self._index._postings.get(term, {})
+            cached = tuple(Posting(doc_id, bucket[doc_id])
+                           for doc_id in sorted(bucket))
+            self._postings[term] = cached
+        return cached
+
+    def document_frequency(self, term: str) -> int:
+        self._check_current()
+        return self._index.document_frequency(term)
+
+    def document_length(self, doc_id: str) -> float:
+        self._check_current()
+        return self._index.document_length(doc_id)
+
+    def term_contributions(self, scorer, term: str) -> TermContributions:
+        """Cached per-document contributions of ``scorer`` for ``term``.
+
+        ``scorer`` must implement the fast-path hooks described in
+        :mod:`repro.ir.scoring`; results are cached under
+        ``scorer.cache_key()`` so equal-parameter scorers share entries.
+        """
+        key = (scorer.cache_key(), term)
+        cached = self._contributions.get(key)
+        if cached is None:
+            doc_ids, contributions = scorer.term_contributions(self, term)
+            if not doc_ids:
+                cached = _NO_CONTRIBUTIONS
+            else:
+                cached = TermContributions(tuple(doc_ids),
+                                           tuple(contributions),
+                                           max(contributions))
+            self._contributions[key] = cached
+        return cached

@@ -1,12 +1,40 @@
-"""Ranked retrieval: analyze a query, score against an index, return top-k."""
+"""Ranked retrieval: analyze a query, score against an index, return top-k.
+
+Fast-path architecture
+----------------------
+
+:meth:`Searcher.search` serves results through three layers, falling back
+one layer at a time:
+
+1. **Result cache** — an LRU keyed on ``(index version, analyzer tokens,
+   scorer cache key, limit)``.  Adding a document bumps the index version,
+   so stale entries can never be served; they simply age out of the LRU.
+2. **Top-k fast path** — when the scorer supports it (BM25, TF-IDF, and
+   prior-weighted wrappers around them), scoring runs over the index's
+   frozen :class:`~repro.ir.index.IndexSnapshot` via
+   :func:`repro.ir.topk.topk_scores`: cached per-term contribution arrays,
+   max-score early termination, bounded-heap selection.
+3. **Exhaustive path** — :meth:`Searcher.search_exhaustive`, the reference
+   implementation that scores every matching document and sorts.  The fast
+   path is rank-identical to it by construction (property-tested in
+   ``tests/test_property_based.py``).
+
+:meth:`Searcher.search_many` batches queries through the same machinery:
+one snapshot serves the whole batch, duplicate queries collapse into cache
+hits, and per-term contribution arrays are shared across the batch — the
+"multiple items per round" counterpart to single-query search.
+"""
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.ir.documents import Document
 from repro.ir.index import InvertedIndex
 from repro.ir.scoring import Bm25Scorer, Scorer
+from repro.ir.topk import topk_scores
 
 __all__ = ["SearchHit", "Searcher"]
 
@@ -29,11 +57,20 @@ class Searcher:
 
     Ties are broken by ``doc_id`` so rankings are fully deterministic — a
     property every benchmark in this repo depends on.
+
+    ``cache_size`` bounds the LRU result cache (0 disables it).  Scorer
+    parameters are treated as immutable once the searcher is constructed;
+    swap scorers by constructing a new searcher.
     """
 
-    def __init__(self, index: InvertedIndex, scorer: Scorer | None = None):
+    def __init__(self, index: InvertedIndex, scorer: Scorer | None = None,
+                 cache_size: int = 256):
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be non-negative, got {cache_size}")
         self.index = index
         self.scorer = scorer or Bm25Scorer()
+        self.cache_size = cache_size
+        self._cache: OrderedDict[tuple, tuple[SearchHit, ...]] = OrderedDict()
 
     def search(self, query: str, limit: int = 10) -> list[SearchHit]:
         if limit < 0:
@@ -41,13 +78,63 @@ class Searcher:
         terms = self.index.analyzer.tokens(query)
         if not terms:
             return []
-        scores = self.scorer.scores(self.index, terms)
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-        hits = []
-        for rank, (doc_id, score) in enumerate(ranked[:limit]):
-            hits.append(SearchHit(self.index.document(doc_id), score, rank))
-        return hits
+        return list(self._search_terms(tuple(terms), limit))
+
+    def search_many(self, queries: Iterable[str],
+                    limit: int = 10) -> list[list[SearchHit]]:
+        """Ranked results for a batch of queries, in input order.
+
+        Equivalent to ``[search(q, limit) for q in queries]`` but built for
+        throughput: the whole batch runs against one index snapshot, term
+        contribution arrays are shared between queries, and duplicate
+        queries are answered from the result cache.
+        """
+        return [self.search(query, limit) for query in queries]
+
+    def search_exhaustive(self, query: str, limit: int = 10) -> list[SearchHit]:
+        """Reference path: score every matching document and sort.
+
+        Kept as the ground truth the fast path is verified against, and as
+        the fallback for scorers without fast-path support.  Bypasses the
+        result cache.
+        """
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        terms = self.index.analyzer.tokens(query)
+        if not terms:
+            return []
+        ranked = self._ranked_exhaustive(list(terms), limit)
+        return [SearchHit(self.index.document(doc_id), score, rank)
+                for rank, (doc_id, score) in enumerate(ranked)]
 
     def best(self, query: str) -> SearchHit | None:
         hits = self.search(query, limit=1)
         return hits[0] if hits else None
+
+    # -- internals ---------------------------------------------------------
+
+    def _search_terms(self, terms: tuple[str, ...],
+                      limit: int) -> tuple[SearchHit, ...]:
+        key = (self.index.version, terms, self.scorer.cache_key(), limit)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            return cached
+        if self.scorer.supports_topk():
+            snapshot = self.index.snapshot()
+            ranked = topk_scores(snapshot, self.scorer, list(terms), limit)
+        else:
+            ranked = self._ranked_exhaustive(list(terms), limit)
+        hits = tuple(SearchHit(self.index.document(doc_id), score, rank)
+                     for rank, (doc_id, score) in enumerate(ranked))
+        if self.cache_size:
+            self._cache[key] = hits
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return hits
+
+    def _ranked_exhaustive(self, terms: list[str],
+                           limit: int) -> list[tuple[str, float]]:
+        scores = self.scorer.scores(self.index, terms)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:limit]

@@ -5,13 +5,44 @@ and smoothed idf; BM25 uses the Robertson/Sparck-Jones idf with the usual
 k1/b length normalization.  The paper's claim is precisely that these
 *unmodified* IR scorers suffice once the database is qunit-ized, so we keep
 them textbook.
+
+Fast-path hooks
+---------------
+
+Each scorer can additionally support the top-k fast path in
+:mod:`repro.ir.topk` by implementing four hooks:
+
+``term_contributions(snapshot, term)``
+    The per-document score contribution of one term, as aligned
+    ``(doc_ids, contributions)`` sequences.  Must compute *bit-identical*
+    floats to the exhaustive :meth:`Scorer.scores` accumulation so the fast
+    path stays rank-identical (contributions are cached per term in the
+    :class:`~repro.ir.index.IndexSnapshot`, which is the max-score /
+    WAND-style "precompute upper bounds at index time" trick).
+
+``finalize(snapshot, doc_id, raw)``
+    Map an accumulated raw score to the final score (TF-IDF's length
+    normalization, prior multiplication).  Must be monotone non-decreasing
+    in ``raw`` — the early-termination proof relies on it.
+
+``ceiling(snapshot, raw)``
+    An upper bound of ``finalize`` over *every* document that can appear in
+    a postings list, given a raw-score upper bound.  Used to decide when no
+    unseen document can still enter the top k.
+
+``cache_key()``
+    A hashable identity of the scorer parameters, keying both the
+    per-snapshot contribution cache and the :class:`~repro.ir.retrieval.
+    Searcher` result cache.  Scorer parameters are treated as immutable
+    after construction.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 
-from repro.ir.index import InvertedIndex
+from repro.ir.index import InvertedIndex, IndexSnapshot
 
 __all__ = ["Scorer", "TfIdfScorer", "Bm25Scorer", "PriorWeightedScorer"]
 
@@ -22,10 +53,50 @@ class Scorer:
     def scores(self, index: InvertedIndex, terms: list[str]) -> dict[str, float]:
         raise NotImplementedError
 
+    # -- fast-path hooks (see module docstring and repro.ir.topk) ----------
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of this scorer's parameters.
+
+        The default is instance identity, which is always safe: result
+        caches are per-:class:`~repro.ir.retrieval.Searcher`, and a
+        searcher keeps its scorer alive for its own lifetime.
+        """
+        return (type(self).__qualname__, id(self))
+
+    def supports_topk(self) -> bool:
+        """Whether this scorer implements the fast-path hooks."""
+        return False
+
+    def term_contributions(
+        self, snapshot: IndexSnapshot, term: str,
+    ) -> tuple[Sequence[str], Sequence[float]]:
+        raise NotImplementedError
+
+    def finalize(self, snapshot: IndexSnapshot, doc_id: str,
+                 raw: float) -> float:
+        return raw
+
+    def ceiling(self, snapshot: IndexSnapshot, raw: float) -> float:
+        return raw
+
 
 class TfIdfScorer(Scorer):
     """Cosine-flavoured TF-IDF: sum over terms of (1+log tf) * idf, with
-    document-length normalization by the euclidean-ish sqrt length."""
+    document-length normalization by the euclidean-ish sqrt length.
+
+    The term-frequency component is clamped at ``1 + log(max(tf, 1))`` so a
+    weighted frequency below 1 — legal whenever a field weight is
+    fractional — can never turn a *match* into a penalty.
+    """
+
+    @staticmethod
+    def _idf(n_docs: int, df: int) -> float:
+        return math.log((n_docs + 1) / (df + 0.5))
+
+    @staticmethod
+    def _tf_component(weighted_tf: float) -> float:
+        return 1.0 + math.log(max(weighted_tf, 1.0))
 
     def scores(self, index: InvertedIndex, terms: list[str]) -> dict[str, float]:
         accumulator: dict[str, float] = {}
@@ -36,9 +107,9 @@ class TfIdfScorer(Scorer):
             df = index.document_frequency(term)
             if df == 0:
                 continue
-            idf = math.log((n_docs + 1) / (df + 0.5))
+            idf = self._idf(n_docs, df)
             for posting in index.postings(term):
-                tf_component = 1.0 + math.log(posting.weighted_tf)
+                tf_component = self._tf_component(posting.weighted_tf)
                 accumulator[posting.doc_id] = (
                     accumulator.get(posting.doc_id, 0.0) + tf_component * idf
                 )
@@ -47,6 +118,39 @@ class TfIdfScorer(Scorer):
             if length > 0:
                 accumulator[doc_id] /= math.sqrt(length)
         return accumulator
+
+    # -- fast path ---------------------------------------------------------
+
+    def cache_key(self) -> tuple:
+        return ("tfidf",)
+
+    def supports_topk(self) -> bool:
+        return True
+
+    def term_contributions(
+        self, snapshot: IndexSnapshot, term: str,
+    ) -> tuple[Sequence[str], Sequence[float]]:
+        df = snapshot.document_frequency(term)
+        if df == 0:
+            return (), ()
+        idf = self._idf(snapshot.document_count, df)
+        doc_ids: list[str] = []
+        contributions: list[float] = []
+        for posting in snapshot.postings(term):
+            doc_ids.append(posting.doc_id)
+            contributions.append(self._tf_component(posting.weighted_tf) * idf)
+        return doc_ids, contributions
+
+    def finalize(self, snapshot: IndexSnapshot, doc_id: str,
+                 raw: float) -> float:
+        length = snapshot.document_length(doc_id)
+        return raw / math.sqrt(length) if length > 0 else raw
+
+    def ceiling(self, snapshot: IndexSnapshot, raw: float) -> float:
+        # Every document in a postings list has positive length, so the
+        # shortest posted document maximizes the normalized score.
+        shortest = snapshot.min_document_length
+        return raw / math.sqrt(shortest) if shortest > 0 else raw
 
 
 class PriorWeightedScorer(Scorer):
@@ -71,6 +175,8 @@ class PriorWeightedScorer(Scorer):
         self.base = base
         self.priors = dict(priors)
         self.default = default
+        self._max_prior = max(max(self.priors.values(), default=default),
+                              default)
 
     def scores(self, index: InvertedIndex, terms: list[str]) -> dict[str, float]:
         base_scores = self.base.scores(index, terms)
@@ -78,6 +184,30 @@ class PriorWeightedScorer(Scorer):
             doc_id: score * self.priors.get(doc_id, self.default)
             for doc_id, score in base_scores.items()
         }
+
+    # -- fast path ---------------------------------------------------------
+
+    def cache_key(self) -> tuple:
+        return ("prior", self.base.cache_key(), id(self))
+
+    def supports_topk(self) -> bool:
+        return self.base.supports_topk()
+
+    def term_contributions(
+        self, snapshot: IndexSnapshot, term: str,
+    ) -> tuple[Sequence[str], Sequence[float]]:
+        # Priors apply at finalize time; raw accumulation is the base's,
+        # so the snapshot can share one contribution cache per base scorer.
+        cached = snapshot.term_contributions(self.base, term)
+        return cached.doc_ids, cached.contributions
+
+    def finalize(self, snapshot: IndexSnapshot, doc_id: str,
+                 raw: float) -> float:
+        return (self.base.finalize(snapshot, doc_id, raw)
+                * self.priors.get(doc_id, self.default))
+
+    def ceiling(self, snapshot: IndexSnapshot, raw: float) -> float:
+        return self.base.ceiling(snapshot, raw) * self._max_prior
 
 
 class Bm25Scorer(Scorer):
@@ -91,6 +221,15 @@ class Bm25Scorer(Scorer):
         self.k1 = k1
         self.b = b
 
+    @staticmethod
+    def _idf(n_docs: int, df: int) -> float:
+        return math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
+
+    def _contribution(self, idf: float, tf: float, length: float,
+                      avg_len: float) -> float:
+        denom = tf + self.k1 * (1.0 - self.b + self.b * length / avg_len)
+        return idf * (tf * (self.k1 + 1.0)) / denom
+
     def scores(self, index: InvertedIndex, terms: list[str]) -> dict[str, float]:
         accumulator: dict[str, float] = {}
         n_docs = index.document_count
@@ -101,13 +240,39 @@ class Bm25Scorer(Scorer):
             df = index.document_frequency(term)
             if df == 0:
                 continue
-            idf = math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
+            idf = self._idf(n_docs, df)
             for posting in index.postings(term):
-                tf = posting.weighted_tf
                 length = index.document_length(posting.doc_id)
-                denom = tf + self.k1 * (1.0 - self.b + self.b * length / avg_len)
                 accumulator[posting.doc_id] = (
                     accumulator.get(posting.doc_id, 0.0)
-                    + idf * (tf * (self.k1 + 1.0)) / denom
+                    + self._contribution(idf, posting.weighted_tf, length,
+                                         avg_len)
                 )
         return accumulator
+
+    # -- fast path ---------------------------------------------------------
+
+    def cache_key(self) -> tuple:
+        return ("bm25", self.k1, self.b)
+
+    def supports_topk(self) -> bool:
+        return True
+
+    def term_contributions(
+        self, snapshot: IndexSnapshot, term: str,
+    ) -> tuple[Sequence[str], Sequence[float]]:
+        df = snapshot.document_frequency(term)
+        if df == 0:
+            return (), ()
+        idf = self._idf(snapshot.document_count, df)
+        avg_len = snapshot.average_document_length or 1.0
+        doc_ids: list[str] = []
+        contributions: list[float] = []
+        for posting in snapshot.postings(term):
+            doc_ids.append(posting.doc_id)
+            contributions.append(
+                self._contribution(idf, posting.weighted_tf,
+                                   snapshot.document_length(posting.doc_id),
+                                   avg_len)
+            )
+        return doc_ids, contributions

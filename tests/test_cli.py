@@ -57,3 +57,20 @@ class TestCommands:
         assert code == 0
         assert "Figure 3" in out
         assert "theoretical-max" in out
+
+
+class TestBatchSearch:
+    def test_multiple_queries_parse(self):
+        args = build_parser().parse_args(
+            ["search", "star wars", "tom hanks", "--limit", "2"])
+        assert args.query == "star wars"
+        assert args.more_queries == ["tom hanks"]
+
+    def test_batch_prints_every_query_block(self, capsys):
+        code = main(["--scale", "0.1", "search", "star wars cast",
+                     "george clooney", "--limit", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("query   :") == 2
+        assert "star wars cast" in out
+        assert "george clooney" in out

@@ -110,3 +110,30 @@ class TestIndexes:
     def test_describe(self, collection):
         rows = collection.describe()
         assert ("movie_page", "manual", 3) in rows
+
+
+class TestSearcherCaching:
+    def test_searcher_reused_across_calls(self, collection):
+        assert collection.searcher() is collection.searcher()
+
+    def test_definition_searcher_reused(self, collection):
+        first = collection.definition_searcher("movie_page")
+        assert collection.definition_searcher("movie_page") is first
+
+    def test_distinct_scorer_params_get_distinct_searchers(self, collection):
+        from repro.ir.scoring import Bm25Scorer
+
+        default = collection.searcher()
+        tuned = collection.searcher(Bm25Scorer(k1=0.3, b=0.1))
+        assert tuned is not default
+        # Equal parameters share a cached searcher.
+        assert collection.searcher(Bm25Scorer(k1=0.3, b=0.1)) is tuned
+
+    def test_search_many_matches_singles(self, collection):
+        queries = ["star wars", "ocean", "nothing matches this zzz"]
+        batch = collection.search_many(queries, limit=2)
+        searcher = collection.searcher()
+        for query, hits in zip(queries, batch):
+            singles = searcher.search(query, limit=2)
+            assert [(h.doc_id, h.score) for h in hits] == \
+                   [(h.doc_id, h.score) for h in singles]

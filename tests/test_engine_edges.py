@@ -42,6 +42,98 @@ class TestPartialBindingPath:
         assert len(ids) == 3
 
 
+class TestBackfill:
+    def _movie_page_engine(self, mini_db):
+        definition = QunitDefinition(
+            name="movie_page",
+            base_sql='SELECT * FROM movie WHERE movie.title = "$x"',
+            binders=(ParamBinder("x", "movie", "title"),),
+            keywords=("movie",),
+        )
+        return QunitSearchEngine(
+            QunitCollection(mini_db, [definition]), flavor="test")
+
+    def test_fully_bound_match_still_fills_limit(self, mini_db):
+        # Regression: one fully-bound match used to return a single answer
+        # even when limit asked for more; flat IR retrieval now backfills
+        # the remainder.
+        engine = self._movie_page_engine(mini_db)
+        answers = engine.search("star wars movie", limit=3)
+        assert len(answers) == 3
+        ids = [a.meta("instance_id") for a in answers]
+        assert ids[0] == "movie_page::star_wars"
+        assert len(set(ids)) == 3
+
+    def test_backfill_deduplicates_structural_answers(self, mini_db):
+        # The structurally-matched instance also ranks highly in the flat
+        # index; backfill must not return it twice.
+        engine = self._movie_page_engine(mini_db)
+        answers = engine.search("star wars movie", limit=5)
+        ids = [a.meta("instance_id") for a in answers]
+        assert len(ids) == len(set(ids))
+
+    def test_best_unaffected_by_backfill(self, mini_db):
+        engine = self._movie_page_engine(mini_db)
+        assert engine.best("star wars movie").meta("instance_id") == \
+               "movie_page::star_wars"
+
+
+class TestFreshHitsHeadroom:
+    def build_searcher(self, mini_db, n: int = 8):
+        from repro.ir.analysis import Analyzer
+        from repro.ir.documents import Document
+        from repro.ir.index import InvertedIndex
+        from repro.ir.retrieval import Searcher
+
+        index = InvertedIndex(Analyzer(stem=False))
+        for i in range(n):
+            # d0 scores highest (most "common" occurrences), d7 lowest.
+            index.add(Document.create(f"d{i}", {"body": "common " * (n - i)}))
+        return Searcher(index)
+
+    def test_budget_met_when_seen_docs_outrank_fresh(self, mini_db):
+        # All five top-ranked docs are already seen; the budget must be
+        # filled from the lower-ranked fresh hits instead of under-filling.
+        engine = QunitSearchEngine(QunitCollection(mini_db, []), flavor="t")
+        searcher = self.build_searcher(mini_db)
+        seen = {f"d{i}" for i in range(5)}
+        hits = engine._fresh_hits(searcher, "common", budget=3, seen=seen)
+        assert [h.doc_id for h in hits] == ["d5", "d6", "d7"]
+
+    def test_seen_ids_outside_index_only_add_headroom(self, mini_db):
+        engine = QunitSearchEngine(QunitCollection(mini_db, []), flavor="t")
+        searcher = self.build_searcher(mini_db)
+        seen = {f"d{i}" for i in range(4)} | {"phantom::1", "phantom::2"}
+        hits = engine._fresh_hits(searcher, "common", budget=4, seen=seen)
+        assert [h.doc_id for h in hits] == ["d4", "d5", "d6", "d7"]
+
+    def test_exhausted_index_returns_what_exists(self, mini_db):
+        engine = QunitSearchEngine(QunitCollection(mini_db, []), flavor="t")
+        searcher = self.build_searcher(mini_db)
+        seen = {f"d{i}" for i in range(6)}
+        hits = engine._fresh_hits(searcher, "common", budget=10, seen=seen)
+        assert [h.doc_id for h in hits] == ["d6", "d7"]
+
+    def test_zero_budget(self, mini_db):
+        engine = QunitSearchEngine(QunitCollection(mini_db, []), flavor="t")
+        searcher = self.build_searcher(mini_db)
+        assert engine._fresh_hits(searcher, "common", 0, set()) == []
+
+
+class TestSearchManyEngine:
+    def test_batch_matches_singles(self, expert_engine):
+        queries = ["star wars cast", "george clooney", "zzzz qqqq"]
+        batch = expert_engine.search_many(queries, limit=3)
+        assert len(batch) == 3
+        for query, answers in zip(queries, batch):
+            singles = expert_engine.search(query, limit=3)
+            assert [a.meta("instance_id") for a in answers] == \
+                   [a.meta("instance_id") for a in singles]
+
+    def test_empty_batch(self, expert_engine):
+        assert expert_engine.search_many([]) == []
+
+
 class TestEmptyCollections:
     def test_engine_over_empty_definition_list(self, mini_db):
         engine = QunitSearchEngine(QunitCollection(mini_db, []),

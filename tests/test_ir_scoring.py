@@ -86,3 +86,25 @@ class TestTfIdfSpecifics:
         idx.add(Document.create("long", {"body": "star " + "filler " * 60}))
         scores = TfIdfScorer().scores(idx, ["star"])
         assert scores["short"] > scores["long"]
+
+    def test_fractional_field_weight_never_penalizes_a_match(self):
+        # Regression: weighted tf in (0, 1) made 1 + log(tf) negative, so a
+        # *matching* document could rank below non-matching ones.  The tf
+        # component is clamped at 1 + log(max(tf, 1)) >= 1.
+        idx = InvertedIndex(Analyzer(stem=False))
+        idx.add(Document.create("frac", {"summary": "star wars"},
+                                {"summary": 0.2}))
+        idx.add(Document.create("other", {"body": "ocean drama heist"}))
+        scores = TfIdfScorer().scores(idx, ["star"])
+        assert set(scores) == {"frac"}
+        assert scores["frac"] > 0
+
+    def test_fractional_weight_ranks_with_full_weight(self):
+        # A fractionally-weighted match scores no higher than the same
+        # match at full weight, but both stay positive.
+        idx = InvertedIndex(Analyzer(stem=False))
+        idx.add(Document.create("a", {"body": "star wars"}, {"body": 0.25}))
+        idx.add(Document.create("b", {"body": "star wars"}))
+        scores = TfIdfScorer().scores(idx, ["star", "wars"])
+        assert 0 < scores["a"]
+        assert 0 < scores["b"]

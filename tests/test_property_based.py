@@ -10,7 +10,8 @@ from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document
 from repro.ir.index import InvertedIndex
 from repro.ir.metrics import dcg, majority_agreement, ndcg, precision_at_k, recall_at_k
-from repro.ir.scoring import Bm25Scorer, TfIdfScorer
+from repro.ir.retrieval import Searcher
+from repro.ir.scoring import Bm25Scorer, PriorWeightedScorer, TfIdfScorer
 from repro.utils.rng import DeterministicRng, zipf_weights
 from repro.utils.text import normalize
 from repro.xmlview.operators import lca
@@ -105,6 +106,67 @@ class TestIndexProperties:
                 document = index.document(doc_id)
                 doc_tokens = set(index.analyzer.tokens(document.full_text()))
                 assert doc_tokens & set(terms)
+
+
+def _scorer_for(kind: str, doc_count: int):
+    """A scorer family member; priors derived deterministically from ids."""
+    if kind == "tfidf":
+        return TfIdfScorer()
+    if kind == "bm25":
+        return Bm25Scorer()
+    if kind == "bm25-tuned":
+        return Bm25Scorer(k1=0.4, b=0.2)
+    priors = {f"d{i}": 1.0 + (i % 5) * 0.7 for i in range(0, doc_count, 2)}
+    base = TfIdfScorer() if kind == "prior-tfidf" else Bm25Scorer()
+    return PriorWeightedScorer(base, priors, default=0.5)
+
+
+class TestTopKFastPathProperties:
+    """The fast path must be *rank-identical* to exhaustive retrieval:
+    same (doc_id, score) lists, same (-score, doc_id) tie-break, across
+    documents, fractional field weights, scorers, and limits."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=10),
+        weights=st.lists(
+            st.sampled_from([0.1, 0.2, 0.5, 1.0, 2.5]), min_size=10, max_size=10),
+        query=texts,
+        kind=st.sampled_from(
+            ["tfidf", "bm25", "bm25-tuned", "prior-tfidf", "prior-bm25"]),
+        limit=st.integers(min_value=0, max_value=12),
+    )
+    def test_fast_path_rank_identical_to_exhaustive(
+            self, bodies, weights, query, kind, limit):
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body},
+                                      {"body": weights[i]}))
+        searcher = Searcher(index, _scorer_for(kind, len(bodies)))
+        fast = searcher.search(query, limit)
+        slow = searcher.search_exhaustive(query, limit)
+        assert [(h.doc_id, h.score, h.rank) for h in fast] == \
+               [(h.doc_id, h.score, h.rank) for h in slow]
+        # And again through the cache / batch API.
+        rerun, = searcher.search_many([query], limit)
+        assert [(h.doc_id, h.score) for h in rerun] == \
+               [(h.doc_id, h.score) for h in fast]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=8),
+        queries=st.lists(texts, min_size=0, max_size=5),
+        limit=st.integers(min_value=1, max_value=6),
+    )
+    def test_search_many_equals_mapped_search(self, bodies, queries, limit):
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body}))
+        searcher = Searcher(index)
+        batch = searcher.search_many(queries, limit)
+        singles = [searcher.search(query, limit) for query in queries]
+        assert [[(h.doc_id, h.score) for h in hits] for hits in batch] == \
+               [[(h.doc_id, h.score) for h in hits] for hits in singles]
 
 
 class TestMetricProperties:
