@@ -8,7 +8,6 @@ responsive but thrashing.
 """
 
 from repro.core.evolution import QunitEvolutionTracker
-from repro.datasets.querylog import QueryLogGenerator
 from repro.utils.rng import DeterministicRng
 from repro.utils.tables import ascii_table
 

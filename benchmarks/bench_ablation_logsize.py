@@ -10,7 +10,6 @@ it aggregates by schema element, not by query string.
 from repro.core.derivation import QueryLogDeriver
 from repro.core.utility import UtilityModel
 from repro.datasets.querylog import QueryLogGenerator
-from repro.ir.metrics import mean
 from repro.utils.tables import ascii_table
 
 LOG_SIZES = (60, 120, 240, 480)

@@ -1,6 +1,6 @@
 """EXP-QL — the Sec. 5.2 query-log statistics and benchmark workload."""
 
-from repro.eval.figures import PAPER_SEC52_TARGETS, render_sec52_statistics
+from repro.eval.figures import render_sec52_statistics
 from repro.utils.tables import ascii_table
 
 

@@ -10,7 +10,7 @@ raters score answers purely from atoms, so no system gains from formatting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.text import normalize
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-import networkx as nx
 
 from repro.answer import Answer, atom
 from repro.graph.data_graph import DataGraph, TupleNode

@@ -3,13 +3,20 @@
 ::
 
     python -m repro search "star wars cast" [more queries ...] [--scale 0.3]
-                    [--flavor expert]
+                    [--flavor expert] [--shards 4]
     python -m repro derive --strategy schema_data [--k1 4 --k2 3]
+    python -m repro save DIR [--flavor expert]
+    python -m repro load DIR ["query" ...] [--shards 4]
     python -m repro loganalysis [--unique 400]
     python -m repro evaluate [--queries 25] [--raters 20]
 
 Everything runs on the synthetic database (deterministic for a given
 ``--seed``), so the CLI doubles as a zero-setup demo of the system.
+``save`` persists a derived collection (definitions + index snapshots) to
+a directory; ``load`` restarts from that directory without re-deriving —
+pass queries to answer them from the loaded snapshots.  ``--shards N``
+scores the flat collection index as N hash-partitioned shards in parallel
+(see ``repro.ir.shard``).
 """
 
 from __future__ import annotations
@@ -54,6 +61,27 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["expert", "schema_data", "query_log",
                                  "external", "forms"])
     search.add_argument("--limit", type=int, default=3)
+    _add_shard_options(search)
+
+    save = commands.add_parser(
+        "save", help="derive a collection and persist it to a directory")
+    save.add_argument("directory",
+                      help="output directory for the manifest + snapshots")
+    save.add_argument("--flavor", default="expert",
+                      choices=["expert", "schema_data", "query_log",
+                               "external", "forms"])
+    save.add_argument("--max-instances", type=int, default=150,
+                      help="instance cap per definition (default 150)")
+
+    load = commands.add_parser(
+        "load", help="restart from a saved collection (no re-derivation)")
+    load.add_argument("directory", help="directory written by `save`")
+    load.add_argument("queries", nargs="*", metavar="query",
+                      help="queries to answer from the loaded snapshots")
+    load.add_argument("--flavor", default="expert",
+                      help="flavor label for branding answers")
+    load.add_argument("--limit", type=int, default=3)
+    _add_shard_options(load)
 
     derive = commands.add_parser("derive", help="derive qunit definitions")
     derive.add_argument("--strategy", default="schema_data",
@@ -72,6 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--queries", type=int, default=25)
     evaluate.add_argument("--raters", type=int, default=20)
     return parser
+
+
+def _add_shard_options(subparser) -> None:
+    subparser.add_argument(
+        "--shards", type=int, default=0,
+        help="hash-partition the flat index into N shards scored in "
+             "parallel (0 = serial; results are identical either way)")
+    subparser.add_argument(
+        "--shard-mode", default="thread",
+        choices=["serial", "thread", "process"],
+        help="executor for sharded scoring (default thread)")
 
 
 def _definitions_for(args, db, strategy: str):
@@ -93,14 +132,7 @@ def _definitions_for(args, db, strategy: str):
     return ExternalEvidenceDeriver(db).derive(pages)
 
 
-def _command_search(args) -> int:
-    db = generate_imdb(scale=args.scale, seed=args.seed)
-    definitions = _definitions_for(args, db, args.flavor)
-    engine = QunitSearchEngine(
-        QunitCollection(db, definitions, max_instances_per_definition=150),
-        flavor=args.flavor,
-    )
-    queries = [args.query, *args.more_queries]
+def _print_answers(engine, queries: list[str], limit: int) -> bool:
     from repro.core.search import SnippetExtractor
 
     extractor = SnippetExtractor(window=24)
@@ -109,7 +141,7 @@ def _command_search(args) -> int:
         if i:
             print()
         answers, explanation = engine.search_with_explanation(
-            query, limit=args.limit)
+            query, limit=limit)
         print(f"query   : {query}")
         print(f"template: {explanation.template}  ({explanation.query_class})")
         if not answers:
@@ -120,7 +152,51 @@ def _command_search(args) -> int:
             print(f"\n#{rank}  [{answer.meta('definition')}]  "
                   f"score={answer.score:.3f}")
             print("   " + extractor.snippet(answer.text, query))
-    return 0 if any_answers else 1
+    return any_answers
+
+
+def _command_search(args) -> int:
+    db = generate_imdb(scale=args.scale, seed=args.seed)
+    definitions = _definitions_for(args, db, args.flavor)
+    engine = QunitSearchEngine(
+        QunitCollection(db, definitions, max_instances_per_definition=150,
+                        shards=args.shards, parallelism=args.shard_mode),
+        flavor=args.flavor,
+    )
+    queries = [args.query, *args.more_queries]
+    return 0 if _print_answers(engine, queries, args.limit) else 1
+
+
+def _command_save(args) -> int:
+    db = generate_imdb(scale=args.scale, seed=args.seed)
+    definitions = _definitions_for(args, db, args.flavor)
+    collection = QunitCollection(
+        db, definitions, max_instances_per_definition=args.max_instances)
+    out = collection.save(args.directory)
+    index = collection.global_index()
+    print(f"saved collection to {out}")
+    print(f"  definitions : {len(collection)}")
+    print(f"  instances   : {collection.instance_count()}")
+    print(f"  documents   : {index.document_count}")
+    print(f"  vocabulary  : {index.vocabulary_size}")
+    return 0
+
+
+def _command_load(args) -> int:
+    db = generate_imdb(scale=args.scale, seed=args.seed)
+    engine = QunitSearchEngine.load(
+        db, args.directory, flavor=args.flavor,
+        shards=args.shards, parallelism=args.shard_mode)
+    collection = engine.collection
+    snapshot = collection.global_snapshot()
+    print(f"loaded collection from {args.directory}")
+    print(f"  definitions : {len(collection)}")
+    print(f"  documents   : {snapshot.document_count}")
+    print(f"  vocabulary  : {snapshot.vocabulary_size}")
+    if not args.queries:
+        return 0
+    print()
+    return 0 if _print_answers(engine, args.queries, args.limit) else 1
 
 
 def _command_derive(args) -> int:
@@ -165,6 +241,8 @@ def _command_evaluate(args) -> int:
 
 _COMMANDS = {
     "search": _command_search,
+    "save": _command_save,
+    "load": _command_load,
     "derive": _command_derive,
     "loganalysis": _command_loganalysis,
     "evaluate": _command_evaluate,

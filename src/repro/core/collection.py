@@ -13,24 +13,48 @@ scorer-parameters) pair, so their top-k fast-path machinery — index
 snapshots, per-term score bounds, and LRU result caches (see
 :mod:`repro.ir.retrieval`) — is shared across every query the engine runs,
 including batches submitted through :meth:`QunitCollection.search_many`.
+
+Derivation is the expensive half of the paradigm; :meth:`QunitCollection.
+save` persists its output — the qunit definitions plus every index
+snapshot — to a directory, and :meth:`QunitCollection.load` brings a
+collection back whose searchers serve straight from the loaded snapshots:
+no re-derivation, no instance materialization, no index rebuild on the
+query path (instances are still materialized lazily from the database
+when an answer's content is actually rendered).  ``shards``/
+``parallelism`` turn on sharded parallel scoring for the flat
+(collection-wide) searcher — see :mod:`repro.ir.shard`.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from collections.abc import Iterable
+from pathlib import Path
 
 from collections import OrderedDict
 
 from repro.core.qunit import QunitDefinition, QunitInstance
-from repro.errors import DerivationError
+from repro.errors import DerivationError, SnapshotError
 from repro.ir.analysis import Analyzer
-from repro.ir.index import InvertedIndex
+from repro.ir.index import IndexSnapshot, InvertedIndex
+from repro.ir.persist import load_snapshot, save_snapshot
 from repro.ir.retrieval import Searcher, SearchHit
 from repro.ir.scoring import Scorer
 from repro.relational.database import Database
 from repro.utils.text import normalize
 
 __all__ = ["QunitCollection"]
+
+MANIFEST_MAGIC = "qunits-collection"
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "collection.json"
+
+
+class _SnapshotPruneRace(SnapshotError):
+    """A referenced snapshot file vanished between the manifest read and
+    the file read — the signature of racing a concurrent re-save's prune.
+    Private: :meth:`QunitCollection.load` retries on exactly this."""
 
 
 class QunitCollection:
@@ -39,7 +63,8 @@ class QunitCollection:
     def __init__(self, database: Database,
                  definitions: Iterable[QunitDefinition],
                  max_instances_per_definition: int | None = None,
-                 analyzer: Analyzer | None = None):
+                 analyzer: Analyzer | None = None,
+                 shards: int = 0, parallelism: str = "thread"):
         self.database = database
         self.definitions: dict[str, QunitDefinition] = {}
         for definition in definitions:
@@ -50,10 +75,18 @@ class QunitCollection:
             self.definitions[definition.name] = definition
         self.max_instances = max_instances_per_definition
         self.analyzer = analyzer or Analyzer()
+        self.shards = shards
+        self.parallelism = parallelism
         self._instances: dict[str, list[QunitInstance]] = {}
         self._instance_by_id: dict[str, QunitInstance] = {}
         self._global_index: InvertedIndex | None = None
         self._definition_indexes: dict[str, InvertedIndex] = {}
+        # Snapshots restored by :meth:`load`, keyed like searchers (None =
+        # the global index).  All referenced snapshots are read eagerly at
+        # load time: a loaded collection pins its whole generation in
+        # memory, so a later re-save pruning old snapshot files can never
+        # yank one out from under it mid-serving.
+        self._loaded_snapshots: dict[str | None, IndexSnapshot] = {}
         # Searchers are cached so their LRU result caches and index
         # snapshots survive across queries (one searcher per
         # (definition, scorer-parameters) pair; None = the global index).
@@ -138,6 +171,44 @@ class QunitCollection:
             self._definition_indexes[name] = index
         return self._definition_indexes[name]
 
+    def _index_for(self, name: str | None) -> InvertedIndex | IndexSnapshot:
+        """The index (or loaded snapshot) behind one searcher.
+
+        A live index built this process wins; otherwise a snapshot
+        restored by :meth:`load` serves directly (explicit ``None`` checks:
+        a legitimately *empty* snapshot is falsy); otherwise the index is
+        built from materialized instances as usual.
+        """
+        if name is None:
+            if self._global_index is not None:
+                return self._global_index
+            snapshot = self._loaded_snapshots.get(None)
+            return snapshot if snapshot is not None else self.global_index()
+        if name in self._definition_indexes:
+            return self._definition_indexes[name]
+        self.definition(name)  # unknown names fail loudly, even when loaded
+        snapshot = self._loaded_snapshots.get(name)
+        return snapshot if snapshot is not None else self.definition_index(name)
+
+    def global_snapshot(self) -> IndexSnapshot:
+        """The frozen snapshot of the flat collection-wide index — loaded
+        from disk when the collection was restored, built (and cached)
+        otherwise.  The public handle for statistics and direct IR use."""
+        return self._index_for(None).snapshot()
+
+    @staticmethod
+    def _database_fingerprint(database: Database) -> dict:
+        """Cheap identity of a database: name + per-table row counts.
+        Saved into the manifest and checked at load time, because snapshot
+        doc_ids only materialize against the database they were derived
+        from — a different database (other scale/seed) would crash on
+        unknown instances or silently render mismatched content."""
+        return {
+            "name": database.name,
+            "row_counts": {table.name: database.row_count(table.name)
+                           for table in database.schema.tables},
+        }
+
     def searcher(self, scorer: Scorer | None = None) -> Searcher:
         return self._cached_searcher(None, scorer)
 
@@ -150,15 +221,24 @@ class QunitCollection:
         key = (name, scorer.cache_key() if scorer is not None else None)
         searcher = self._searchers.get(key)
         if searcher is None:
-            index = (self.global_index() if name is None
-                     else self.definition_index(name))
-            searcher = Searcher(index, scorer)
+            # Sharded parallel scoring applies to the flat collection-wide
+            # searcher, where postings are large enough to repay the
+            # partition; per-definition indexes stay serial.
+            shards = self.shards if name is None else 0
+            searcher = Searcher(self._index_for(name), scorer,
+                                shards=shards, parallelism=self.parallelism)
             self._searchers[key] = searcher
             while len(self._searchers) > self.MAX_CACHED_SEARCHERS:
-                self._searchers.popitem(last=False)
+                evicted = self._searchers.popitem(last=False)
+                evicted[1].close()
         else:
             self._searchers.move_to_end(key)
         return searcher
+
+    def close(self) -> None:
+        """Release shard executors held by cached searchers (idempotent)."""
+        for searcher in self._searchers.values():
+            searcher.close()
 
     def search_many(self, queries: Iterable[str], limit: int = 10,
                     scorer: Scorer | None = None) -> list[list[SearchHit]]:
@@ -168,6 +248,170 @@ class QunitCollection:
         hence one index snapshot and result cache) serves the whole batch.
         """
         return self.searcher(scorer).search_many(queries, limit)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the derived collection to directory ``path``.
+
+        Writes a manifest (qunit definitions, analyzer configuration,
+        instance cap) plus one checksummed snapshot file per index: the
+        global instance index and every per-definition index.  Everything
+        the expensive derivation phase produced is on disk afterwards;
+        :meth:`load` restores it without re-deriving, re-materializing, or
+        re-indexing.  Returns the directory path.
+
+        Saves are crash-consistent at the directory level: each save
+        writes a fresh *generation* of snapshot files, then swaps the
+        manifest in atomically (the manifest only ever references one
+        complete generation), then prunes snapshots no manifest references.
+        A crash mid-save leaves the previous generation fully loadable —
+        never an old manifest pointing at a mix of old and new files.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        generation = os.urandom(4).hex()
+        global_name = f"global-{generation}.snap"
+        snapshot_names: dict[str, str] = {}
+        save_snapshot(self.global_snapshot(), path / global_name)
+        for name in sorted(self.definitions):
+            file_name = f"def-{name}-{generation}.snap"
+            save_snapshot(self._index_for(name).snapshot(), path / file_name)
+            snapshot_names[name] = file_name
+        manifest = {
+            "magic": MANIFEST_MAGIC,
+            "format_version": MANIFEST_VERSION,
+            "analyzer": self.analyzer.config(),
+            "database": self._database_fingerprint(self.database),
+            "max_instances_per_definition": self.max_instances,
+            "definitions": [self.definitions[name].to_dict()
+                            for name in sorted(self.definitions)],
+            "snapshots": {"global": global_name,
+                          "definitions": snapshot_names},
+        }
+        manifest_path = path / MANIFEST_NAME
+        tmp_path = manifest_path.with_name(MANIFEST_NAME + ".tmp")
+        tmp_path.write_text(
+            json.dumps(manifest, indent=2, ensure_ascii=False) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp_path, manifest_path)
+        referenced = {global_name, *snapshot_names.values()}
+        for stale in path.glob("*.snap"):
+            if stale.name not in referenced:
+                stale.unlink(missing_ok=True)
+        return path
+
+    @classmethod
+    def load(cls, database: Database, path: str | Path,
+             shards: int = 0, parallelism: str = "thread") -> "QunitCollection":
+        """Restore a collection saved by :meth:`save`.
+
+        Every snapshot the manifest references is read eagerly, so the
+        loaded collection holds its entire generation in memory and stays
+        fully serviceable even if the directory is re-saved (and old
+        snapshot files pruned) while it is live.  A load that *races* a
+        re-save — manifest read, then a referenced file pruned before it
+        was read — is retried from the fresh manifest.  The database is
+        still required — answers materialize their instances from it on
+        demand — but the derivation, materialization, and indexing cost of
+        building the collection is skipped entirely.
+        """
+        attempts = 3
+        for attempt in range(attempts):
+            try:
+                return cls._load_once(database, path, shards, parallelism)
+            except _SnapshotPruneRace:
+                # Lost the race with a concurrent re-save's prune; the
+                # fresh manifest references a complete generation.  Any
+                # other failure (missing manifest, checksum, version,
+                # fingerprint, analyzer mismatch) is final.
+                if attempt == attempts - 1:
+                    raise
+        raise AssertionError("unreachable")
+
+    @classmethod
+    def _load_once(cls, database: Database, path: str | Path,
+                   shards: int, parallelism: str) -> "QunitCollection":
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise SnapshotError(
+                f"cannot read collection manifest {str(manifest_path)!r}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise SnapshotError(
+                f"collection manifest {str(manifest_path)!r} is not valid "
+                f"JSON ({exc})"
+            ) from exc
+        if manifest.get("magic") != MANIFEST_MAGIC:
+            raise SnapshotError(
+                f"{str(manifest_path)!r} is not a qunits collection manifest"
+            )
+        if manifest.get("format_version") != MANIFEST_VERSION:
+            raise SnapshotError(
+                f"collection manifest {str(manifest_path)!r} has format "
+                f"version {manifest.get('format_version')!r}; this build "
+                f"reads version {MANIFEST_VERSION}"
+            )
+        saved_fingerprint = manifest.get("database")
+        if saved_fingerprint is not None:
+            actual = cls._database_fingerprint(database)
+            if actual != saved_fingerprint:
+                raise SnapshotError(
+                    f"collection at {str(path)!r} was derived from database "
+                    f"{saved_fingerprint.get('name')!r} with row counts "
+                    f"{saved_fingerprint.get('row_counts')}, but the given "
+                    f"database is {actual['name']!r} with "
+                    f"{actual['row_counts']}; snapshot instances would not "
+                    f"materialize against it (same scale/seed required)"
+                )
+        definitions_data = manifest.get("definitions")
+        if not isinstance(definitions_data, list):
+            raise SnapshotError(
+                f"collection manifest {str(manifest_path)!r} has no "
+                f"definitions list"
+            )
+        try:
+            definitions = [QunitDefinition.from_dict(data)
+                           for data in definitions_data]
+        except (KeyError, TypeError) as exc:
+            raise SnapshotError(
+                f"collection manifest {str(manifest_path)!r} has a "
+                f"malformed definition entry ({exc!r})"
+            ) from exc
+        collection = cls(
+            database,
+            definitions,
+            max_instances_per_definition=manifest.get(
+                "max_instances_per_definition"),
+            analyzer=Analyzer.from_config(manifest.get("analyzer", {})),
+            shards=shards,
+            parallelism=parallelism,
+        )
+        snapshots = manifest.get("snapshots", {})
+        entries: list[tuple[str | None, str]] = []
+        if "global" in snapshots:
+            entries.append((None, snapshots["global"]))
+        entries.extend(snapshots.get("definitions", {}).items())
+        for key, file_name in entries:
+            try:
+                snapshot = load_snapshot(path / file_name)
+            except SnapshotError as exc:
+                if isinstance(exc.__cause__, OSError):
+                    raise _SnapshotPruneRace(str(exc)) from exc.__cause__
+                raise
+            if snapshot.analyzer != collection.analyzer:
+                raise SnapshotError(
+                    f"snapshot {file_name!r} was built with analyzer "
+                    f"{snapshot.analyzer!r}, but the collection manifest "
+                    f"says {collection.analyzer!r}; refusing to mix "
+                    f"tokenizations"
+                )
+            collection._loaded_snapshots[key] = snapshot
+        return collection
 
     def _decorated_document(self, instance: QunitInstance):
         """Instance document with definition keywords folded into the title,

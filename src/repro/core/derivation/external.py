@@ -24,7 +24,7 @@ The pipeline here:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.derivation.joins import build_join_sql
 from repro.core.qunit import ParamBinder, QunitDefinition

@@ -12,7 +12,7 @@ exponentially so a single noisy epoch doesn't thrash the collection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.derivation.query_log import QueryLogDeriver
 from repro.core.qunit import QunitDefinition

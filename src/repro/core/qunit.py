@@ -121,6 +121,45 @@ class QunitDefinition:
     def with_utility(self, utility: float) -> "QunitDefinition":
         return replace(self, utility=utility)
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form of the definition (see :meth:`from_dict`).
+
+        Persisting definitions is what lets a derived collection skip
+        re-derivation entirely on the next process start (see
+        :meth:`repro.core.collection.QunitCollection.save`).
+        """
+        return {
+            "name": self.name,
+            "base_sql": self.base_sql,
+            "binders": [[binder.param, binder.table, binder.column]
+                        for binder in self.binders],
+            "conversion": self.conversion,
+            "keywords": list(self.keywords),
+            "description": self.description,
+            "utility": self.utility,
+            "source": self.source,
+            "enumerator_sql": self.enumerator_sql,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "QunitDefinition":
+        """Rebuild a definition serialized by :meth:`to_dict` (validates the
+        base expression exactly like direct construction)."""
+        return QunitDefinition(
+            name=data["name"],
+            base_sql=data["base_sql"],
+            binders=tuple(ParamBinder(param, table, column)
+                          for param, table, column in data["binders"]),
+            conversion=data.get("conversion"),
+            keywords=tuple(data.get("keywords", ())),
+            description=data.get("description", ""),
+            utility=data.get("utility", 1.0),
+            source=data.get("source", "manual"),
+            enumerator_sql=data.get("enumerator_sql"),
+        )
+
     # -- instances --------------------------------------------------------------
 
     def bindings(self, database, limit: int | None = None) -> list[dict[str, object]]:

@@ -87,6 +87,27 @@ class QunitSearchEngine:
         answers = self.search(query, limit=1)
         return answers[0] if answers else Answer.empty(self.system_name)
 
+    def save(self, path) -> None:
+        """Persist the engine's derived collection (definitions + index
+        snapshots) to a directory; see :meth:`QunitCollection.save`."""
+        self.collection.save(path)
+
+    @classmethod
+    def load(cls, database, path, flavor: str = "qunits",
+             vocabulary: SchemaVocabulary | None = None,
+             scorer: Scorer | None = None, shards: int = 0,
+             parallelism: str = "thread") -> "QunitSearchEngine":
+        """An engine over a collection restored from :meth:`save` output.
+
+        Cold start skips derivation, materialization, and indexing; the
+        loaded snapshots serve retrieval directly, optionally sharded
+        (``shards``/``parallelism`` — see :mod:`repro.ir.shard`).
+        """
+        collection = QunitCollection.load(database, path, shards=shards,
+                                          parallelism=parallelism)
+        return cls(collection, flavor=flavor, vocabulary=vocabulary,
+                   scorer=scorer)
+
     def explain(self, query: str, limit: int = 5) -> SearchExplanation:
         _answers, explanation = self._run(query, limit)
         return explanation

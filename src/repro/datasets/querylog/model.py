@@ -8,7 +8,7 @@ strings.  That is exactly what :class:`QueryLog` stores.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["QueryLog"]
 

@@ -21,6 +21,7 @@ __all__ = [
     "PlanError",
     "BindError",
     "IndexError_",
+    "SnapshotError",
     "TemplateError",
     "DerivationError",
     "SegmentationError",
@@ -104,6 +105,15 @@ class BindError(QueryError):
 
 class IndexError_(ReproError):
     """An index was used inconsistently with its definition."""
+
+
+class SnapshotError(ReproError):
+    """A persisted snapshot could not be written or read back.
+
+    Raised for unserializable content at save time and, at load time, for
+    missing/truncated files, checksum mismatches, and unknown format
+    versions (see :mod:`repro.ir.persist` for the file format).
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,7 @@ every answer every rater scores 1.0.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.answer import Answer, Atom, atom
 from repro.baselines import (
@@ -42,7 +42,7 @@ from repro.datasets.imdb import generate_imdb
 from repro.datasets.querylog import QueryLogAnalyzer, QueryLogGenerator
 from repro.errors import EvaluationError
 from repro.eval.needs import NeedModel
-from repro.eval.relevance import SimulatedRater, SimulatedRaterPool
+from repro.eval.relevance import SimulatedRaterPool
 from repro.graph.data_graph import DataGraph
 from repro.ir.metrics import majority_agreement, mean
 from repro.utils.rng import DeterministicRng

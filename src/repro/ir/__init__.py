@@ -4,15 +4,18 @@ The qunits paradigm's whole point is that once a database is modeled as a
 flat collection of independent documents, *standard IR techniques* apply.
 This package supplies those techniques: analysis (tokenization, stopwords,
 light stemming), an inverted index with per-field storage, TF-IDF and BM25
-ranked retrieval (with a top-k fast path — see :mod:`repro.ir.topk`), and
-the usual effectiveness metrics.
+ranked retrieval (with a top-k fast path — see :mod:`repro.ir.topk`),
+persistent index snapshots (:mod:`repro.ir.persist`), sharded parallel
+scoring (:mod:`repro.ir.shard`), and the usual effectiveness metrics.
 """
 
 from repro.ir.analysis import Analyzer, STOPWORDS
 from repro.ir.documents import Document
 from repro.ir.feedback import RocchioFeedback
 from repro.ir.index import IndexSnapshot, InvertedIndex, Posting, TermContributions
-from repro.ir.topk import TopKHeap, topk_scores
+from repro.ir.persist import load_snapshot, save_snapshot
+from repro.ir.shard import ShardedTopK, shard_snapshot
+from repro.ir.topk import TopKHeap, merge_ranked, topk_scores
 from repro.ir.metrics import (
     average_precision,
     dcg,
@@ -36,6 +39,11 @@ __all__ = [
     "TermContributions",
     "TopKHeap",
     "topk_scores",
+    "merge_ranked",
+    "save_snapshot",
+    "load_snapshot",
+    "ShardedTopK",
+    "shard_snapshot",
     "Searcher",
     "SearchHit",
     "Scorer",

@@ -65,6 +65,37 @@ class Analyzer:
                     return stem
         return token
 
+    # -- serialization -------------------------------------------------------
+
+    def config(self) -> dict:
+        """The constructor arguments as a plain dict — the single source
+        of truth for persisting analyzer configuration (snapshot headers,
+        collection manifests) and for equality.  A new Analyzer option
+        only needs to be added here (and in :meth:`from_config`) to be
+        persisted and mismatch-checked everywhere."""
+        return {
+            "remove_stopwords": self.remove_stopwords,
+            "stem": self.stem,
+            "min_token_length": self.min_token_length,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Analyzer":
+        """Rebuild from :meth:`config` output (missing keys get defaults)."""
+        return cls(
+            remove_stopwords=config.get("remove_stopwords", True),
+            stem=config.get("stem", True),
+            min_token_length=config.get("min_token_length", 1),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Analyzer):
+            return NotImplemented
+        return self.config() == other.config()
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.config().items())))
+
     def __repr__(self) -> str:
         return (
             f"Analyzer(remove_stopwords={self.remove_stopwords}, "

@@ -6,13 +6,17 @@ keeps enough statistics for both TF-IDF and BM25: document frequencies,
 weighted document lengths, and the collection average length.
 
 The mutable index is optimized for building; retrieval goes through an
-:class:`IndexSnapshot` — a frozen, read-optimized view with sorted postings
-arrays and a per-(scorer, term) cache of score contributions and max-score
-upper bounds (see :mod:`repro.ir.topk`).  Snapshot invalidation rule: every
-:meth:`InvertedIndex.add` bumps :attr:`InvertedIndex.version` and drops the
-cached snapshot, so :meth:`InvertedIndex.snapshot` always reflects the
-current contents and stale derived caches can be detected by comparing
-versions.
+:class:`IndexSnapshot` — a frozen, *self-contained* copy of the index
+contents with sorted postings arrays and a per-(scorer, term) cache of
+score contributions and max-score upper bounds (see :mod:`repro.ir.topk`).
+Because a snapshot owns its data outright (it holds no reference back to
+the index it came from), it can outlive the index, be persisted to disk
+(:mod:`repro.ir.persist`), or be partitioned into shards for parallel
+scoring (:mod:`repro.ir.shard`).  Every :meth:`InvertedIndex.add` bumps
+:attr:`InvertedIndex.version` and drops the cached snapshot, so
+:meth:`InvertedIndex.snapshot` always reflects the current contents; a
+snapshot held across an ``add`` simply keeps serving the contents it was
+built from, and derived caches can detect staleness by comparing versions.
 """
 
 from __future__ import annotations
@@ -102,10 +106,10 @@ class InvertedIndex:
         return self._version
 
     def snapshot(self) -> "IndexSnapshot":
-        """The frozen read-optimized view of the current contents (cached;
+        """The frozen read-optimized copy of the current contents (cached;
         rebuilt after any :meth:`add`)."""
         if self._snapshot is None:
-            self._snapshot = IndexSnapshot(self)
+            self._snapshot = IndexSnapshot.from_index(self)
         return self._snapshot
 
     # -- statistics ---------------------------------------------------------
@@ -178,57 +182,129 @@ class InvertedIndex:
 
 
 class IndexSnapshot:
-    """A frozen, read-optimized view of one :class:`InvertedIndex`.
+    """A frozen, self-contained, read-optimized copy of an index.
 
-    Postings are exposed as doc_id-sorted tuples, collection statistics are
-    captured once, and per-(scorer, term) score contributions — together
-    with their max-score upper bounds — are cached across queries.  The
-    snapshot is only handed out by :meth:`InvertedIndex.snapshot`, which
-    discards it whenever a document is added.  Postings are materialized
-    lazily from the live index, so a snapshot held across an ``add``
-    *refuses to serve* (raises :class:`~repro.errors.IndexError_`) rather
-    than silently mixing frozen statistics with fresh postings — fetch a
-    new snapshot instead.
+    The snapshot owns every statistic retrieval needs — documents, doc_id-
+    sorted postings tuples, per-document lengths, per-term document
+    frequencies, and the collection aggregates — so it serves queries with
+    no live :class:`InvertedIndex` behind it.  That self-containment is
+    what makes snapshots durable artifacts: they can be persisted and
+    reloaded (:mod:`repro.ir.persist`) or hash-partitioned into shards
+    that score in parallel (:mod:`repro.ir.shard`).  On top of the frozen
+    data sits a per-(scorer, term) cache of score contributions and
+    max-score upper bounds, reused across queries by the top-k fast path.
+
+    A snapshot never goes stale: one held across an
+    :meth:`InvertedIndex.add` keeps serving the contents it was built
+    from, while :meth:`InvertedIndex.snapshot` hands out a fresh copy
+    (distinguishable by :attr:`version`).  Snapshots also implement enough
+    of the :class:`InvertedIndex` read protocol (``postings``,
+    ``document_frequency``, ``document_length``, ``document``,
+    ``document_count``, ``average_document_length``) that exhaustive
+    scorers and :class:`~repro.ir.retrieval.Searcher` work over either
+    interchangeably; :meth:`snapshot` returns ``self``.
+
+    Sharded snapshots deliberately carry the *collection-wide* statistics
+    (``document_count``, ``average_document_length``,
+    ``min_document_length``, document frequencies) rather than their own
+    partition's, so per-shard scoring is float-identical to scoring the
+    whole collection — hence ``document_count`` may exceed
+    ``len(snapshot)``.
     """
 
-    def __init__(self, index: InvertedIndex):
-        self._index = index
-        self.version = index.version
-        self.document_count = index.document_count
-        self.average_document_length = index.average_document_length
-        positive = [l for l in index._doc_lengths.values() if l > 0]
-        #: Shortest positive document length — the normalization ceiling
-        #: for length-normalized scorers (documents with zero length never
-        #: appear in postings).
-        self.min_document_length = min(positive) if positive else 0.0
-        self._postings: dict[str, tuple[Posting, ...]] = {}
+    def __init__(self, *, version: int, analyzer: Analyzer,
+                 documents: dict[str, Document],
+                 postings: dict[str, tuple[Posting, ...]],
+                 doc_lengths: dict[str, float],
+                 doc_frequencies: dict[str, int],
+                 document_count: int,
+                 average_document_length: float,
+                 min_document_length: float):
+        # Mappings are stored as handed in, not copied: callers transfer
+        # ownership (or knowingly share — snapshots never mutate them, so
+        # shards can alias one frozen doc_frequencies dict instead of
+        # duplicating the whole vocabulary per shard).  from_index copies
+        # what it takes from the *live* index explicitly.
+        self.version = version
+        self.analyzer = analyzer
+        self.document_count = document_count
+        self.average_document_length = average_document_length
+        #: Shortest positive document length in the collection — the
+        #: normalization ceiling for length-normalized scorers (documents
+        #: with zero length never appear in postings).
+        self.min_document_length = min_document_length
+        self._documents = documents
+        self._postings = postings
+        self._doc_lengths = doc_lengths
+        self._doc_frequencies = doc_frequencies
         self._contributions: dict[tuple, TermContributions] = {}
 
-    def _check_current(self) -> None:
-        if self._index.version != self.version:
-            raise IndexError_(
-                f"stale IndexSnapshot (version {self.version}, index is at "
-                f"{self._index.version}); call InvertedIndex.snapshot() again"
-            )
+    @classmethod
+    def from_index(cls, index: InvertedIndex) -> "IndexSnapshot":
+        """Freeze the full current contents of ``index`` into a snapshot."""
+        postings = {
+            term: tuple(Posting(doc_id, bucket[doc_id])
+                        for doc_id in sorted(bucket))
+            for term, bucket in index._postings.items()
+        }
+        positive = [length for length in index._doc_lengths.values() if length > 0]
+        return cls(
+            version=index.version,
+            analyzer=index.analyzer,
+            documents=dict(index._documents),
+            postings=postings,
+            doc_lengths=dict(index._doc_lengths),
+            doc_frequencies={term: len(plist)
+                             for term, plist in postings.items()},
+            document_count=index.document_count,
+            average_document_length=index.average_document_length,
+            min_document_length=min(positive) if positive else 0.0,
+        )
 
-    def postings(self, term: str) -> tuple[Posting, ...]:
-        """The term's postings as a doc_id-sorted tuple (cached)."""
-        cached = self._postings.get(term)
-        if cached is None:
-            self._check_current()
-            bucket = self._index._postings.get(term, {})
-            cached = tuple(Posting(doc_id, bucket[doc_id])
-                           for doc_id in sorted(bucket))
-            self._postings[term] = cached
-        return cached
+    def snapshot(self) -> "IndexSnapshot":
+        """Snapshots are already frozen; returns ``self`` (index protocol)."""
+        return self
+
+    # -- statistics ----------------------------------------------------------
 
     def document_frequency(self, term: str) -> int:
-        self._check_current()
-        return self._index.document_frequency(term)
+        return self._doc_frequencies.get(term, 0)
 
     def document_length(self, doc_id: str) -> float:
-        self._check_current()
-        return self._index.document_length(doc_id)
+        try:
+            return self._doc_lengths[doc_id]
+        except KeyError:
+            raise IndexError_(f"unknown document {doc_id!r}") from None
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    # -- access --------------------------------------------------------------
+
+    def postings(self, term: str) -> tuple[Posting, ...]:
+        """The term's postings as a doc_id-sorted tuple."""
+        return self._postings.get(term, ())
+
+    def terms(self) -> Iterator[str]:
+        return iter(self._postings)
+
+    def document(self, doc_id: str) -> Document:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise IndexError_(f"unknown document {doc_id!r}") from None
+
+    def documents(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    # -- scoring caches ------------------------------------------------------
 
     def term_contributions(self, scorer, term: str) -> TermContributions:
         """Cached per-document contributions of ``scorer`` for ``term``.
@@ -249,3 +325,32 @@ class IndexSnapshot:
                                            max(contributions))
             self._contributions[key] = cached
         return cached
+
+    def scoring_view(self) -> "IndexSnapshot":
+        """A copy without the document store.
+
+        Scoring touches postings, lengths, document frequencies, and the
+        collection aggregates — never document content — so this is what
+        ships to sharded worker processes: the full field texts and
+        metadata stay behind, cutting pickle and worker-memory cost to the
+        statistics alone.  Document lookups on the view raise; hits are
+        resolved to documents in the parent process.
+        """
+        return IndexSnapshot(
+            version=self.version,
+            analyzer=self.analyzer,
+            documents={},
+            postings=self._postings,
+            doc_lengths=self._doc_lengths,
+            doc_frequencies=self._doc_frequencies,
+            document_count=self.document_count,
+            average_document_length=self.average_document_length,
+            min_document_length=self.min_document_length,
+        )
+
+    def __getstate__(self) -> dict:
+        """Pickle without the contribution cache (workers rebuild their own,
+        and scorer cache keys may contain process-local ids)."""
+        state = self.__dict__.copy()
+        state["_contributions"] = {}
+        return state

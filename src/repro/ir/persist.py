@@ -1,0 +1,287 @@
+"""Persistent :class:`~repro.ir.index.IndexSnapshot` storage.
+
+Collections in this system are expensive to derive (schema analysis, query
+logs, instance materialization) but cheap to query; persistence splits the
+two across process lifetimes: :func:`save_snapshot` writes a snapshot to
+disk once, :func:`load_snapshot` brings it back in a form that serves
+queries with no live :class:`~repro.ir.index.InvertedIndex` behind it.
+
+File format (version 1)
+-----------------------
+
+A snapshot file is UTF-8 text, one JSON object per line (JSON-lines):
+
+``line 1`` — header::
+
+    {"magic": "qunits-snapshot", "format_version": 1,
+     "index_version": <int>,
+     "analyzer": {"remove_stopwords": <bool>, "stem": <bool>,
+                  "min_token_length": <int>},
+     "document_count": <int>, "average_document_length": <float>,
+     "min_document_length": <float>,
+     "stored_documents": <int>, "stored_terms": <int>}
+
+``stored_documents`` / ``stored_terms`` count the records that follow;
+``document_count`` is the *collection-wide* statistic scorers use, which
+exceeds ``stored_documents`` for shard snapshots (see
+:mod:`repro.ir.shard`).
+
+``next stored_documents lines`` — one document record each::
+
+    {"t": "doc", "id": <doc_id>, "fields": [[name, text], ...],
+     "weights": [[name, weight], ...], "meta": [[key, value], ...],
+     "length": <float>}
+
+``next stored_terms lines`` — one term record each::
+
+    {"t": "term", "term": <term>, "df": <int>,
+     "postings": [[doc_id, weighted_tf], ...]}
+
+``df`` is stored explicitly (not recomputed from the postings length) so
+shard snapshots round-trip their collection-wide document frequencies.
+
+``last line`` — footer::
+
+    {"t": "end", "records": <int>, "sha256": <hex digest>}
+
+``sha256`` is the digest of every preceding line's UTF-8 bytes, each
+including its trailing newline.  A missing or malformed footer means the
+file was truncated; a digest mismatch means it was corrupted; both raise
+:class:`~repro.errors.SnapshotError`, as does an unrecognized
+``format_version`` (files are never silently reinterpreted).
+
+Fidelity
+--------
+
+Floats are serialized with :mod:`json`, whose ``repr``-based encoding is
+shortest-round-trip exact, so a loaded snapshot scores *float-identical*
+to the one saved.  Tuples inside document metadata are encoded as JSON
+arrays and restored as tuples on load, preserving
+:class:`~repro.ir.documents.Document` equality across the round trip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.errors import SnapshotError
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.index import IndexSnapshot, Posting
+
+__all__ = ["FORMAT_MAGIC", "FORMAT_VERSION", "save_snapshot", "load_snapshot"]
+
+FORMAT_MAGIC = "qunits-snapshot"
+FORMAT_VERSION = 1
+
+
+def _to_jsonable(value: object) -> object:
+    """Metadata values for serialization (tuples become arrays)."""
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise SnapshotError(
+        f"unserializable metadata value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _from_jsonable(value: object) -> object:
+    """Inverse of :func:`_to_jsonable` (arrays come back as tuples)."""
+    if isinstance(value, list):
+        return tuple(_from_jsonable(item) for item in value)
+    return value
+
+
+def _dumps(record: dict) -> str:
+    try:
+        return json.dumps(record, ensure_ascii=False, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(f"unserializable snapshot record: {exc}") from exc
+
+
+def save_snapshot(snapshot: IndexSnapshot, path: str | os.PathLike) -> Path:
+    """Write ``snapshot`` to ``path`` in the format above; returns the path.
+
+    The file is written to a temporary sibling and renamed into place, so
+    readers never observe a half-written snapshot.
+    """
+    path = Path(path)
+    doc_ids = sorted(snapshot._documents)
+    terms = sorted(snapshot._postings)
+    header = {
+        "magic": FORMAT_MAGIC,
+        "format_version": FORMAT_VERSION,
+        "index_version": snapshot.version,
+        "analyzer": snapshot.analyzer.config(),
+        "document_count": snapshot.document_count,
+        "average_document_length": snapshot.average_document_length,
+        "min_document_length": snapshot.min_document_length,
+        "stored_documents": len(doc_ids),
+        "stored_terms": len(terms),
+    }
+
+    def records():
+        yield header
+        for doc_id in doc_ids:
+            document = snapshot._documents[doc_id]
+            yield {
+                "t": "doc",
+                "id": doc_id,
+                "fields": [[name, text] for name, text in document.fields],
+                "weights": [[name, weight]
+                            for name, weight in document.field_weights],
+                "meta": [[key, _to_jsonable(value)]
+                         for key, value in document.metadata],
+                "length": snapshot._doc_lengths[doc_id],
+            }
+        for term in terms:
+            yield {
+                "t": "term",
+                "term": term,
+                "df": snapshot._doc_frequencies.get(
+                    term, len(snapshot._postings[term])),
+                "postings": [[posting.doc_id, posting.weighted_tf]
+                             for posting in snapshot._postings[term]],
+            }
+
+    digest = hashlib.sha256()
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for record in records():
+                line = _dumps(record) + "\n"
+                digest.update(line.encode("utf-8"))
+                handle.write(line)
+            footer = {
+                "t": "end",
+                "records": len(doc_ids) + len(terms),
+                "sha256": digest.hexdigest(),
+            }
+            handle.write(_dumps(footer) + "\n")
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+    os.replace(tmp_path, path)
+    return path
+
+
+def _corrupt(path: Path, reason: str) -> SnapshotError:
+    return SnapshotError(f"snapshot file {str(path)!r} is unreadable: {reason}")
+
+
+def _parse_line(path: Path, line: str, what: str) -> dict:
+    try:
+        record = json.loads(line)
+    except ValueError as exc:
+        raise _corrupt(path, f"{what} is not valid JSON ({exc})") from exc
+    if not isinstance(record, dict):
+        raise _corrupt(path, f"{what} is not a JSON object")
+    return record
+
+
+def load_snapshot(path: str | os.PathLike) -> IndexSnapshot:
+    """Read a snapshot saved by :func:`save_snapshot`.
+
+    Raises :class:`~repro.errors.SnapshotError` on missing/truncated files,
+    checksum mismatches, and format-version mismatches.  The returned
+    snapshot is fully self-contained: it answers searches (and hands out
+    documents) without any live index.
+    """
+    path = Path(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read snapshot file {str(path)!r}: {exc}") from exc
+    if len(lines) < 2:
+        raise _corrupt(path, "missing header or footer (truncated?)")
+
+    header = _parse_line(path, lines[0], "header")
+    if header.get("magic") != FORMAT_MAGIC:
+        raise _corrupt(path, "not a qunits snapshot file (bad magic)")
+    format_version = header.get("format_version")
+    if format_version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot file {str(path)!r} has format version "
+            f"{format_version!r}; this build reads version {FORMAT_VERSION}"
+        )
+
+    footer_line = lines[-1]
+    if not footer_line.endswith("\n"):
+        raise _corrupt(path, "unterminated final line (truncated?)")
+    footer = _parse_line(path, footer_line, "footer")
+    if footer.get("t") != "end":
+        raise _corrupt(path, "missing end-of-file footer (truncated?)")
+
+    body = lines[1:-1]
+    expected_records = header.get("stored_documents", 0) + header.get(
+        "stored_terms", 0)
+    if footer.get("records") != len(body) or expected_records != len(body):
+        raise _corrupt(
+            path,
+            f"expected {expected_records} records, found {len(body)} "
+            f"(truncated?)",
+        )
+    digest = hashlib.sha256()
+    for line in lines[:-1]:
+        digest.update(line.encode("utf-8"))
+    if digest.hexdigest() != footer.get("sha256"):
+        raise _corrupt(path, "checksum mismatch (corrupted)")
+
+    analyzer = Analyzer.from_config(header.get("analyzer", {}))
+    documents: dict[str, Document] = {}
+    doc_lengths: dict[str, float] = {}
+    postings: dict[str, tuple[Posting, ...]] = {}
+    doc_frequencies: dict[str, int] = {}
+    # A file can pass the checksum yet lack required keys (e.g. written by
+    # a foreign tool); that is still a malformed snapshot, never a raw
+    # KeyError escaping to the caller.
+    try:
+        for i, line in enumerate(body):
+            record = _parse_line(path, line, f"record {i + 1}")
+            kind = record.get("t")
+            if kind == "doc":
+                doc_id = record["id"]
+                documents[doc_id] = Document(
+                    doc_id=doc_id,
+                    fields=tuple((name, text)
+                                 for name, text in record["fields"]),
+                    field_weights=tuple(
+                        (name, weight) for name, weight in record["weights"]),
+                    metadata=tuple((key, _from_jsonable(value))
+                                   for key, value in record["meta"]),
+                )
+                doc_lengths[doc_id] = record["length"]
+            elif kind == "term":
+                term = record["term"]
+                postings[term] = tuple(
+                    Posting(doc_id, weighted_tf)
+                    for doc_id, weighted_tf in record["postings"])
+                doc_frequencies[term] = record["df"]
+            else:
+                raise _corrupt(path, f"record {i + 1} has unknown type {kind!r}")
+
+        if len(documents) != header["stored_documents"]:
+            raise _corrupt(path, "document record count does not match header")
+        if len(postings) != header["stored_terms"]:
+            raise _corrupt(path, "term record count does not match header")
+        return IndexSnapshot(
+            version=header["index_version"],
+            analyzer=analyzer,
+            documents=documents,
+            postings=postings,
+            doc_lengths=doc_lengths,
+            doc_frequencies=doc_frequencies,
+            document_count=header["document_count"],
+            average_document_length=header["average_document_length"],
+            min_document_length=header["min_document_length"],
+        )
+    except KeyError as exc:
+        raise _corrupt(path, f"missing required key {exc.args[0]!r}") from exc
+    except (TypeError, ValueError) as exc:
+        raise _corrupt(path, f"malformed record structure ({exc})") from exc

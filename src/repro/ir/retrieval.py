@@ -13,16 +13,25 @@ one layer at a time:
    prior-weighted wrappers around them), scoring runs over the index's
    frozen :class:`~repro.ir.index.IndexSnapshot` via
    :func:`repro.ir.topk.topk_scores`: cached per-term contribution arrays,
-   max-score early termination, bounded-heap selection.
+   max-score early termination, bounded-heap selection.  With ``shards >=
+   2`` the snapshot is hash-partitioned and shards are scored in parallel,
+   then merged (see :mod:`repro.ir.shard`) — still rank-identical.
 3. **Exhaustive path** — :meth:`Searcher.search_exhaustive`, the reference
    implementation that scores every matching document and sorts.  The fast
    path is rank-identical to it by construction (property-tested in
    ``tests/test_property_based.py``).
 
+A searcher works over either a live :class:`~repro.ir.index.InvertedIndex`
+or a frozen :class:`~repro.ir.index.IndexSnapshot` — e.g. one loaded from
+disk by :func:`repro.ir.persist.load_snapshot` — since snapshots are
+self-contained and implement the read protocol.
+
 :meth:`Searcher.search_many` batches queries through the same machinery:
 one snapshot serves the whole batch, duplicate queries collapse into cache
 hits, and per-term contribution arrays are shared across the batch — the
-"multiple items per round" counterpart to single-query search.
+"multiple items per round" counterpart to single-query search.  Under
+sharding, the whole batch is dispatched as one task per shard, amortizing
+inter-process overhead.
 """
 
 from __future__ import annotations
@@ -32,8 +41,9 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.ir.documents import Document
-from repro.ir.index import InvertedIndex
+from repro.ir.index import IndexSnapshot, InvertedIndex
 from repro.ir.scoring import Bm25Scorer, Scorer
+from repro.ir.shard import PARALLELISM_MODES, ShardedTopK
 from repro.ir.topk import topk_scores
 
 __all__ = ["SearchHit", "Searcher"]
@@ -53,7 +63,7 @@ class SearchHit:
 
 
 class Searcher:
-    """A query interface over one inverted index.
+    """A query interface over one inverted index (or frozen snapshot).
 
     Ties are broken by ``doc_id`` so rankings are fully deterministic — a
     property every benchmark in this repo depends on.
@@ -61,16 +71,34 @@ class Searcher:
     ``cache_size`` bounds the LRU result cache (0 disables it).  Scorer
     parameters are treated as immutable once the searcher is constructed;
     swap scorers by constructing a new searcher.
+
+    ``shards >= 2`` turns on sharded scoring for fast-path queries:
+    postings are hash-partitioned and scored via ``parallelism``
+    (``"serial"``, ``"thread"``, or ``"process"`` — see
+    :mod:`repro.ir.shard`).  Results are rank-identical either way.
+    :meth:`close` releases the shard executor; searchers are usable as
+    context managers.
     """
 
-    def __init__(self, index: InvertedIndex, scorer: Scorer | None = None,
-                 cache_size: int = 256):
+    def __init__(self, index: InvertedIndex | IndexSnapshot,
+                 scorer: Scorer | None = None, cache_size: int = 256,
+                 shards: int = 0, parallelism: str = "thread"):
         if cache_size < 0:
             raise ValueError(f"cache_size must be non-negative, got {cache_size}")
+        if shards < 0:
+            raise ValueError(f"shards must be non-negative, got {shards}")
+        if parallelism not in PARALLELISM_MODES:
+            raise ValueError(
+                f"parallelism must be one of {PARALLELISM_MODES}, "
+                f"got {parallelism!r}"
+            )
         self.index = index
         self.scorer = scorer or Bm25Scorer()
         self.cache_size = cache_size
+        self.shards = shards
+        self.parallelism = parallelism
         self._cache: OrderedDict[tuple, tuple[SearchHit, ...]] = OrderedDict()
+        self._sharded: ShardedTopK | None = None
 
     def search(self, query: str, limit: int = 10) -> list[SearchHit]:
         if limit < 0:
@@ -87,9 +115,34 @@ class Searcher:
         Equivalent to ``[search(q, limit) for q in queries]`` but built for
         throughput: the whole batch runs against one index snapshot, term
         contribution arrays are shared between queries, and duplicate
-        queries are answered from the result cache.
+        queries are answered from the result cache.  Under sharding, all
+        cache-missing queries go to the shard executor as one batch.
         """
-        return [self.search(query, limit) for query in queries]
+        queries = list(queries)
+        if not (self.shards >= 2 and self.scorer.supports_topk()):
+            return [self.search(query, limit) for query in queries]
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        analyzer = self.index.analyzer
+        term_tuples = [tuple(analyzer.tokens(query)) for query in queries]
+        # Resolve cache hits immediately (storing this batch's own results
+        # can evict pre-batch entries from the LRU, so a later re-lookup
+        # could come up empty); distinct misses go to the shards as one
+        # batch, deduplicated.
+        resolved: list[tuple[SearchHit, ...] | None] = []
+        pending: dict[tuple[str, ...], tuple[SearchHit, ...]] = {}
+        for terms in term_tuples:
+            resolved.append(self._cached_hits(terms, limit) if terms else ())
+            if terms and resolved[-1] is None:
+                pending.setdefault(terms, ())
+        if pending:
+            sharded = self._sharded_topk()
+            ranked_lists = sharded.topk_many(
+                self.scorer, [list(terms) for terms in pending], limit)
+            for terms, ranked in zip(pending, ranked_lists):
+                pending[terms] = self._store_hits(terms, limit, ranked)
+        return [list(hits) if hits is not None else list(pending[terms])
+                for hits, terms in zip(resolved, term_tuples)]
 
     def search_exhaustive(self, query: str, limit: int = 10) -> list[SearchHit]:
         """Reference path: score every matching document and sort.
@@ -111,27 +164,65 @@ class Searcher:
         hits = self.search(query, limit=1)
         return hits[0] if hits else None
 
+    def close(self) -> None:
+        """Release the shard executor, if any (idempotent)."""
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
+
+    def __enter__(self) -> "Searcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- internals ---------------------------------------------------------
 
-    def _search_terms(self, terms: tuple[str, ...],
-                      limit: int) -> tuple[SearchHit, ...]:
-        key = (self.index.version, terms, self.scorer.cache_key(), limit)
+    def _cache_key(self, terms: tuple[str, ...], limit: int) -> tuple:
+        return (self.index.version, terms, self.scorer.cache_key(), limit)
+
+    def _cached_hits(self, terms: tuple[str, ...],
+                     limit: int) -> tuple[SearchHit, ...] | None:
+        key = self._cache_key(terms, limit)
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
-            return cached
-        if self.scorer.supports_topk():
-            snapshot = self.index.snapshot()
-            ranked = topk_scores(snapshot, self.scorer, list(terms), limit)
-        else:
-            ranked = self._ranked_exhaustive(list(terms), limit)
+        return cached
+
+    def _store_hits(self, terms: tuple[str, ...], limit: int,
+                    ranked: list[tuple[str, float]]) -> tuple[SearchHit, ...]:
         hits = tuple(SearchHit(self.index.document(doc_id), score, rank)
                      for rank, (doc_id, score) in enumerate(ranked))
         if self.cache_size:
-            self._cache[key] = hits
+            self._cache[self._cache_key(terms, limit)] = hits
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
         return hits
+
+    def _sharded_topk(self) -> ShardedTopK:
+        """The shard set for the current snapshot (rebuilt after any add)."""
+        snapshot = self.index.snapshot()
+        if self._sharded is None or self._sharded.version != snapshot.version:
+            self.close()
+            self._sharded = ShardedTopK(snapshot, self.shards,
+                                        self.parallelism)
+        return self._sharded
+
+    def _search_terms(self, terms: tuple[str, ...],
+                      limit: int) -> tuple[SearchHit, ...]:
+        cached = self._cached_hits(terms, limit)
+        if cached is not None:
+            return cached
+        if self.scorer.supports_topk():
+            if self.shards >= 2:
+                ranked = self._sharded_topk().topk(self.scorer, list(terms),
+                                                   limit)
+            else:
+                snapshot = self.index.snapshot()
+                ranked = topk_scores(snapshot, self.scorer, list(terms), limit)
+        else:
+            ranked = self._ranked_exhaustive(list(terms), limit)
+        return self._store_hits(terms, limit, ranked)
 
     def _ranked_exhaustive(self, terms: list[str],
                            limit: int) -> list[tuple[str, float]]:

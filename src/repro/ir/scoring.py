@@ -39,12 +39,30 @@ Each scorer can additionally support the top-k fast path in
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections.abc import Sequence
 
 from repro.ir.index import InvertedIndex, IndexSnapshot
 
 __all__ = ["Scorer", "TfIdfScorer", "Bm25Scorer", "PriorWeightedScorer"]
+
+
+class _InstanceCacheKey:
+    """Hashable identity wrapper for the default :meth:`Scorer.cache_key`.
+
+    Hashes/compares by wrapper identity while pinning the scorer with a
+    strong reference, so (a) unhashable scorers (e.g. ``__eq__``-defining
+    dataclasses) still get a working default key, and (b) the scorer can
+    never be garbage-collected while a cache references its key — unlike
+    a raw ``id()``, whose reuse after collection would let one scorer be
+    served another's cached contributions.
+    """
+
+    __slots__ = ("scorer",)
+
+    def __init__(self, scorer: "Scorer"):
+        self.scorer = scorer
 
 
 class Scorer:
@@ -58,11 +76,20 @@ class Scorer:
     def cache_key(self) -> tuple:
         """Hashable identity of this scorer's parameters.
 
-        The default is instance identity, which is always safe: result
-        caches are per-:class:`~repro.ir.retrieval.Searcher`, and a
-        searcher keeps its scorer alive for its own lifetime.
+        The default is per-instance (see :class:`_InstanceCacheKey`): safe
+        for any scorer, but every instance gets its own cache entries.
+        Override with a value-based key (as the built-ins do) so
+        equal-parameter scorers share cache entries and survive pickling
+        into shard workers; include the class in it so subclasses that
+        change the scoring math never share entries with their base.
         """
-        return (type(self).__qualname__, id(self))
+        try:
+            return self._default_cache_key
+        except AttributeError:
+            key = (type(self).__qualname__, _InstanceCacheKey(self))
+            # object.__setattr__ so frozen-dataclass scorers work too.
+            object.__setattr__(self, "_default_cache_key", key)
+            return key
 
     def supports_topk(self) -> bool:
         """Whether this scorer implements the fast-path hooks."""
@@ -122,7 +149,7 @@ class TfIdfScorer(Scorer):
     # -- fast path ---------------------------------------------------------
 
     def cache_key(self) -> tuple:
-        return ("tfidf",)
+        return (type(self).__qualname__,)
 
     def supports_topk(self) -> bool:
         return True
@@ -177,6 +204,15 @@ class PriorWeightedScorer(Scorer):
         self.default = default
         self._max_prior = max(max(self.priors.values(), default=default),
                               default)
+        # Value-based identity: stable across pickling, so worker processes
+        # in sharded retrieval reuse their contribution/result caches
+        # instead of growing a fresh entry set per unpickled copy.  A
+        # digest keeps the key small however large the prior table is
+        # (repr of floats is shortest-round-trip exact).
+        digest = hashlib.sha256(
+            repr((sorted(self.priors.items()), self.default)).encode("utf-8")
+        ).hexdigest()
+        self._cache_key = (type(self).__qualname__, base.cache_key(), digest)
 
     def scores(self, index: InvertedIndex, terms: list[str]) -> dict[str, float]:
         base_scores = self.base.scores(index, terms)
@@ -188,7 +224,7 @@ class PriorWeightedScorer(Scorer):
     # -- fast path ---------------------------------------------------------
 
     def cache_key(self) -> tuple:
-        return ("prior", self.base.cache_key(), id(self))
+        return self._cache_key
 
     def supports_topk(self) -> bool:
         return self.base.supports_topk()
@@ -253,7 +289,7 @@ class Bm25Scorer(Scorer):
     # -- fast path ---------------------------------------------------------
 
     def cache_key(self) -> tuple:
-        return ("bm25", self.k1, self.b)
+        return (type(self).__qualname__, self.k1, self.b)
 
     def supports_topk(self) -> bool:
         return True

@@ -1,0 +1,204 @@
+"""Sharded retrieval: hash-partitioned snapshots scored in parallel.
+
+:func:`shard_snapshot` splits one self-contained
+:class:`~repro.ir.index.IndexSnapshot` into ``n`` smaller snapshots by
+hashing doc_ids (stable CRC32, so the partition is identical across
+processes and process restarts).  Each shard keeps only its partition's
+documents, postings, and lengths, but carries the *collection-wide*
+aggregates — document count, average/minimum document length, and per-term
+document frequencies — so scoring a shard produces exactly the floats the
+unsharded snapshot would for the same documents.  That makes the sharded
+path rank-identical to the serial one: per-shard top-k lists merged with
+:func:`~repro.ir.topk.merge_ranked` reproduce the global ranking,
+tie-breaks included.
+
+:class:`ShardedTopK` owns the shards plus an executor and serves one query
+(:meth:`~ShardedTopK.topk`) or a whole batch (:meth:`~ShardedTopK.
+topk_many`).  Batches are dispatched as *one task per shard* covering all
+queries, so process-mode IPC is amortized across the batch.  Executor
+choices:
+
+``"serial"``
+    Score shards in-process, one after another.  Zero overhead; useful for
+    tests and as the degenerate case.
+``"thread"``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Safe everywhere
+    (shares the shard objects), though CPython's GIL limits pure-Python
+    speedups.
+``"process"``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`; workers receive
+    the shard list once at pool start-up and keep their per-shard
+    contribution caches warm across calls.  This is the mode that turns
+    cores into latency on large collections.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.ir.index import IndexSnapshot
+from repro.ir.topk import merge_ranked, topk_scores
+
+__all__ = ["shard_id", "shard_snapshot", "ShardedTopK", "PARALLELISM_MODES"]
+
+PARALLELISM_MODES = ("serial", "thread", "process")
+
+
+def shard_id(doc_id: str, shards: int) -> int:
+    """The shard a document belongs to: stable across processes/restarts."""
+    return zlib.crc32(doc_id.encode("utf-8")) % shards
+
+
+def shard_snapshot(snapshot: IndexSnapshot, shards: int) -> list[IndexSnapshot]:
+    """Partition ``snapshot`` into ``shards`` self-contained snapshots.
+
+    Every document lands in exactly one shard (by :func:`shard_id`); the
+    collection-wide statistics are replicated into each shard so per-shard
+    scoring is float-identical to scoring the whole snapshot.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    assignments = {doc_id: shard_id(doc_id, shards)
+                   for doc_id in snapshot._documents}
+    documents: list[dict] = [{} for _ in range(shards)]
+    doc_lengths: list[dict] = [{} for _ in range(shards)]
+    postings: list[dict] = [{} for _ in range(shards)]
+    for doc_id, document in snapshot._documents.items():
+        shard = assignments[doc_id]
+        documents[shard][doc_id] = document
+        doc_lengths[shard][doc_id] = snapshot._doc_lengths[doc_id]
+    for term, plist in snapshot._postings.items():
+        buckets: list[list] = [[] for _ in range(shards)]
+        for posting in plist:
+            buckets[assignments[posting.doc_id]].append(posting)
+        for shard, bucket in enumerate(buckets):
+            if bucket:
+                postings[shard][term] = tuple(bucket)
+    return [
+        IndexSnapshot(
+            version=snapshot.version,
+            analyzer=snapshot.analyzer,
+            documents=documents[shard],
+            postings=postings[shard],
+            doc_lengths=doc_lengths[shard],
+            doc_frequencies=snapshot._doc_frequencies,
+            document_count=snapshot.document_count,
+            average_document_length=snapshot.average_document_length,
+            min_document_length=snapshot.min_document_length,
+        )
+        for shard in range(shards)
+    ]
+
+
+# Worker-process state: the shard list, installed once per worker by the
+# pool initializer so per-call IPC carries only (scorer, terms, limit).
+_WORKER_SHARDS: list[IndexSnapshot] = []
+
+
+def _init_worker(shards: list[IndexSnapshot]) -> None:
+    global _WORKER_SHARDS
+    _WORKER_SHARDS = shards
+
+
+def _score_shard_batch_worker(shard_index: int, scorer, term_lists, limit):
+    shard = _WORKER_SHARDS[shard_index]
+    return [topk_scores(shard, scorer, terms, limit) for terms in term_lists]
+
+
+class ShardedTopK:
+    """Parallel top-k over the shards of one frozen snapshot.
+
+    Rank-identical to :func:`~repro.ir.topk.topk_scores` on the unsharded
+    snapshot (property-tested).  The executor is created lazily on first
+    use and shut down by :meth:`close` (also a context manager).  In
+    process mode the scorer is pickled per call, so scorers must be
+    picklable *and* should use value-based ``cache_key()`` (the built-ins
+    do) — an identity-based key changes on every unpickle, defeating the
+    workers' warm per-shard contribution caches.
+    """
+
+    def __init__(self, snapshot: IndexSnapshot, shards: int,
+                 parallelism: str = "thread", max_workers: int | None = None):
+        if parallelism not in PARALLELISM_MODES:
+            raise ValueError(
+                f"parallelism must be one of {PARALLELISM_MODES}, "
+                f"got {parallelism!r}"
+            )
+        self.version = snapshot.version
+        self.parallelism = parallelism
+        self.shards = shard_snapshot(snapshot, shards)
+        self.max_workers = max_workers or len(self.shards)
+        self._executor: Executor | None = None
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.parallelism == "process":
+                # Workers only score; shipping document-free views keeps
+                # the per-worker pickle and memory cost to the statistics
+                # (doc_ids resolve to documents in the parent).
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_init_worker,
+                    initargs=([shard.scoring_view()
+                               for shard in self.shards],),
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers)
+        return self._executor
+
+    def topk(self, scorer, terms: list[str],
+             limit: int) -> list[tuple[str, float]]:
+        """The global top-``limit`` ``(doc_id, score)`` list for one query."""
+        return self.topk_many(scorer, [terms], limit)[0]
+
+    def topk_many(self, scorer, term_lists: list[list[str]],
+                  limit: int) -> list[list[tuple[str, float]]]:
+        """Top-``limit`` lists for a batch of queries, in input order.
+
+        One task per shard scores the whole batch, then per-query results
+        are merged across shards.
+        """
+        if not term_lists:
+            return []
+        if self.parallelism == "serial":
+            per_shard = [
+                [topk_scores(shard, scorer, terms, limit)
+                 for terms in term_lists]
+                for shard in self.shards
+            ]
+        elif self.parallelism == "thread":
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(
+                    lambda shard=shard: [topk_scores(shard, scorer, terms, limit)
+                                         for terms in term_lists])
+                for shard in self.shards
+            ]
+            per_shard = [future.result() for future in futures]
+        else:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(_score_shard_batch_worker, shard_index,
+                                scorer, term_lists, limit)
+                for shard_index in range(len(self.shards))
+            ]
+            per_shard = [future.result() for future in futures]
+        return [
+            merge_ranked([shard_results[query_index]
+                          for shard_results in per_shard], limit)
+            for query_index in range(len(term_lists))
+        ]
+
+    def close(self) -> None:
+        """Shut down the executor (idempotent); shards stay usable."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ShardedTopK":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -41,7 +41,7 @@ import heapq
 
 from repro.ir.index import IndexSnapshot
 
-__all__ = ["TopKHeap", "topk_scores"]
+__all__ = ["TopKHeap", "topk_scores", "merge_ranked"]
 
 
 class _Entry:
@@ -105,6 +105,25 @@ class TopKHeap:
         ordered = sorted(self._heap,
                          key=lambda entry: (-entry.score, entry.doc_id))
         return [(entry.doc_id, entry.score) for entry in ordered]
+
+
+def merge_ranked(ranked_lists: list[list[tuple[str, float]]],
+                 limit: int) -> list[tuple[str, float]]:
+    """Merge independently ranked ``(doc_id, score)`` lists into one global
+    top-``limit`` list under the ``(-score, doc_id)`` order.
+
+    The inputs are per-shard top-k lists over *disjoint* document sets
+    (shards partition doc_ids), so every document appears at most once
+    across all lists and the merge is exactly the global top-``limit``:
+    any document in the global top-k ranks at least as high within its own
+    shard, hence is present in its shard's list.  Cross-shard ties are
+    broken by ascending doc_id, same as the single-process path.
+    """
+    best = TopKHeap(limit)
+    for ranked in ranked_lists:
+        for doc_id, score in ranked:
+            best.offer(doc_id, score)
+    return best.ranked()
 
 
 def topk_scores(snapshot: IndexSnapshot, scorer, terms: list[str],

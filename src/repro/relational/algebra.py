@@ -9,8 +9,8 @@ theta join fallback, aggregate with grouping, sort, limit, distinct.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Mapping
-from dataclasses import dataclass, field
+from collections.abc import Iterator
+from dataclasses import dataclass
 
 from repro.errors import PlanError
 from repro.relational.expr import Expression, Params

@@ -10,7 +10,7 @@ treat it accordingly.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
 

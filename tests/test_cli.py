@@ -74,3 +74,69 @@ class TestBatchSearch:
         assert out.count("query   :") == 2
         assert "star wars cast" in out
         assert "george clooney" in out
+
+
+class TestSaveLoad:
+    def test_save_then_load_answers_queries(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "snap")
+        code = main(["--scale", "0.1", "save", out_dir,
+                     "--max-instances", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "saved collection" in out
+        assert "definitions :" in out
+
+        code = main(["--scale", "0.1", "load", out_dir, "star wars cast",
+                     "--limit", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loaded collection" in out
+        assert "star wars cast" in out
+        assert "movie_full_credits" in out
+
+    def test_load_without_queries_prints_stats(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "snap")
+        assert main(["--scale", "0.1", "save", out_dir,
+                     "--max-instances", "40"]) == 0
+        capsys.readouterr()
+        code = main(["--scale", "0.1", "load", out_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "documents   :" in out
+
+    def test_load_matches_direct_search(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "snap")
+        assert main(["--scale", "0.1", "save", out_dir,
+                     "--max-instances", "150"]) == 0
+        capsys.readouterr()
+        assert main(["--scale", "0.1", "search", "star wars cast",
+                     "--limit", "2"]) == 0
+        direct = capsys.readouterr().out
+        assert main(["--scale", "0.1", "load", out_dir, "star wars cast",
+                     "--limit", "2"]) == 0
+        loaded = capsys.readouterr().out
+        # Same ranked answers, scores included (the loaded path is
+        # rank-identical), modulo the load-stats preamble.
+        assert direct[direct.index("query   :"):] == \
+               loaded[loaded.index("query   :"):]
+
+    def test_sharded_search_matches_serial(self, capsys):
+        assert main(["--scale", "0.1", "search", "star wars cast",
+                     "--limit", "2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--scale", "0.1", "search", "star wars cast",
+                     "--limit", "2", "--shards", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert serial == sharded
+
+    def test_shard_args_parse(self):
+        args = build_parser().parse_args(
+            ["search", "x", "--shards", "4", "--shard-mode", "process"])
+        assert args.shards == 4
+        assert args.shard_mode == "process"
+
+    def test_load_rejects_missing_directory(self, tmp_path):
+        from repro.errors import SnapshotError
+
+        with pytest.raises(SnapshotError):
+            main(["--scale", "0.1", "load", str(tmp_path / "missing")])

@@ -1,6 +1,5 @@
 """Tests for qunit-set validation (the authoring-support API)."""
 
-import pytest
 
 from repro.core.collection import QunitCollection
 from repro.core.qunit import ParamBinder, QunitDefinition

@@ -137,3 +137,220 @@ class TestSearcherCaching:
             singles = searcher.search(query, limit=2)
             assert [(h.doc_id, h.score) for h in hits] == \
                    [(h.doc_id, h.score) for h in singles]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, mini_db, tmp_path):
+        import json
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        assert (out / "collection.json").exists()
+        manifest = json.loads((out / "collection.json").read_text())
+        assert (out / manifest["snapshots"]["global"]).exists()
+        assert (out / manifest["snapshots"]["definitions"]["movie_page"]
+                ).exists()
+
+        loaded = QunitCollection.load(mini_db, out)
+        assert sorted(loaded.definitions) == sorted(collection.definitions)
+        assert loaded.definitions["movie_page"] == \
+               collection.definitions["movie_page"]
+        assert loaded.analyzer.stem == collection.analyzer.stem
+
+    def test_loaded_collection_search_rank_identical(self, mini_db, tmp_path):
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        loaded = QunitCollection.load(mini_db, out)
+        for query in ("star wars", "person", "movie summary", "zzz"):
+            fresh = collection.searcher().search(query, limit=4)
+            cold = loaded.searcher().search(query, limit=4)
+            assert [(h.doc_id, h.score) for h in cold] == \
+                   [(h.doc_id, h.score) for h in fresh]
+
+    def test_loaded_collection_serves_without_materializing(self, mini_db,
+                                                            tmp_path):
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        loaded = QunitCollection.load(mini_db, out)
+        assert loaded.searcher().best("star wars") is not None
+        # The query was answered from the loaded snapshot: nothing was
+        # re-materialized and no live index was built.
+        assert loaded._instances == {}
+        assert loaded._global_index is None
+
+    def test_load_pins_generation_against_resave_pruning(self, mini_db,
+                                                         tmp_path):
+        # Regression: load() reads every referenced snapshot eagerly, so a
+        # re-save that prunes the old generation's files cannot break an
+        # already-loaded collection mid-serving.
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        loaded = QunitCollection.load(mini_db, out)
+        assert "movie_page" in loaded._loaded_snapshots
+        QunitCollection(mini_db, definitions()[:1]).save(out)  # prunes gen 1
+        hits = loaded.definition_searcher("movie_page").search("star wars")
+        assert hits
+        assert loaded.searcher().best("star wars") is not None
+
+    def test_loaded_collection_still_materializes_instances(self, mini_db,
+                                                            tmp_path):
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        loaded = QunitCollection.load(mini_db, out)
+        hit = loaded.searcher().best("star wars")
+        instance = loaded.instance(hit.doc_id)
+        assert instance.instance_id == hit.doc_id
+        assert not instance.is_empty
+
+    def test_resave_swaps_generations_and_prunes(self, mini_db, tmp_path):
+        import json
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        first = json.loads((out / "collection.json").read_text())
+        QunitCollection(mini_db, definitions()[:1]).save(out)
+        second = json.loads((out / "collection.json").read_text())
+        # A fresh generation replaced the old one, and every snapshot on
+        # disk is referenced by the new manifest — no mixed generations.
+        assert second["snapshots"]["global"] != first["snapshots"]["global"]
+        referenced = {second["snapshots"]["global"],
+                      *second["snapshots"]["definitions"].values()}
+        on_disk = {entry.name for entry in out.glob("*.snap")}
+        assert on_disk == referenced
+        loaded = QunitCollection.load(mini_db, out)
+        assert sorted(loaded.definitions) == ["movie_page"]
+
+    def test_empty_collection_round_trips_without_rebuild(self, mini_db,
+                                                          tmp_path):
+        # Regression: an *empty* loaded snapshot is falsy; index resolution
+        # must still serve it rather than rebuilding from the database.
+        empty = QunitCollection(mini_db, [])
+        out = empty.save(tmp_path / "empty")
+        loaded = QunitCollection.load(mini_db, out)
+        assert loaded.searcher().search("star wars") == []
+        assert loaded._global_index is None
+        assert loaded._instances == {}
+
+    def test_load_rejects_analyzer_mismatch(self, mini_db, tmp_path):
+        import json
+
+        from repro.errors import SnapshotError
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        manifest_path = out / "collection.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["analyzer"]["stem"] = not manifest["analyzer"]["stem"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="analyzer"):
+            QunitCollection.load(mini_db, out)
+
+    def test_global_snapshot_public_accessor(self, mini_db, tmp_path):
+        collection = QunitCollection(mini_db, definitions())
+        built = collection.global_snapshot()
+        assert built.document_count == collection.instance_count()
+        out = collection.save(tmp_path / "snap")
+        loaded = QunitCollection.load(mini_db, out)
+        assert loaded.global_snapshot().document_count == built.document_count
+
+    def test_load_rejects_different_database(self, mini_db, tmp_path):
+        from repro.datasets.imdb import generate_imdb
+        from repro.errors import SnapshotError
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        other = generate_imdb(scale=0.05, seed=1)
+        with pytest.raises(SnapshotError, match="derived from database"):
+            QunitCollection.load(other, out)
+
+    def test_load_missing_manifest(self, mini_db, tmp_path):
+        from repro.errors import SnapshotError
+
+        with pytest.raises(SnapshotError, match="manifest"):
+            QunitCollection.load(mini_db, tmp_path / "nowhere")
+
+    def test_load_bad_manifest_version(self, mini_db, tmp_path):
+        import json
+
+        from repro.errors import SnapshotError
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        manifest_path = out / "collection.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="format version"):
+            QunitCollection.load(mini_db, out)
+
+    def test_load_manifest_missing_definitions_is_clean_error(self, mini_db,
+                                                              tmp_path):
+        import json
+
+        from repro.errors import SnapshotError
+
+        out = QunitCollection(mini_db, definitions()).save(tmp_path / "snap")
+        manifest_path = out / "collection.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["definitions"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="definitions"):
+            QunitCollection.load(mini_db, out)
+
+    def test_load_retries_when_racing_a_resave(self, mini_db, tmp_path,
+                                               monkeypatch):
+        # Simulate losing the race: the first snapshot read hits a file a
+        # concurrent re-save just pruned; the retry (fresh manifest) wins.
+        from repro.core import collection as collection_module
+        from repro.errors import SnapshotError
+
+        out = QunitCollection(mini_db, definitions()).save(tmp_path / "snap")
+        real_load = collection_module.load_snapshot
+        calls = {"n": 0}
+
+        def flaky_load(path):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise SnapshotError(
+                    f"cannot read snapshot file {str(path)!r}: gone"
+                ) from FileNotFoundError(2, "gone")
+            return real_load(path)
+
+        monkeypatch.setattr(collection_module, "load_snapshot", flaky_load)
+        loaded = QunitCollection.load(mini_db, out)
+        assert loaded.searcher().best("star wars") is not None
+        assert calls["n"] > 1
+
+    def test_unknown_definition_still_fails_after_load(self, mini_db,
+                                                       tmp_path):
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        loaded = QunitCollection.load(mini_db, out)
+        with pytest.raises(DerivationError):
+            loaded.definition_searcher("nope")
+
+    def test_definition_dict_round_trip(self):
+        from repro.core.qunit import QunitDefinition
+
+        for definition in definitions():
+            assert QunitDefinition.from_dict(definition.to_dict()) == \
+                   definition
+
+
+class TestSharding:
+    def test_sharded_collection_search_matches_serial(self, mini_db):
+        serial = QunitCollection(mini_db, definitions())
+        sharded = QunitCollection(mini_db, definitions(), shards=2,
+                                  parallelism="serial")
+        for query in ("star wars", "person", "zzz"):
+            assert [(h.doc_id, h.score)
+                    for h in sharded.searcher().search(query, limit=4)] == \
+                   [(h.doc_id, h.score)
+                    for h in serial.searcher().search(query, limit=4)]
+        sharded.close()
+
+    def test_definition_searchers_stay_serial(self, mini_db):
+        sharded = QunitCollection(mini_db, definitions(), shards=4)
+        assert sharded.searcher().shards == 4
+        assert sharded.definition_searcher("movie_page").shards == 0
+        sharded.close()

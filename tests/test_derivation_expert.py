@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.derivation import imdb_expert_qunits
-from repro.core.qunit import QunitDefinition
 
 
 @pytest.fixture(scope="module")

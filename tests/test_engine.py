@@ -1,6 +1,5 @@
 """Tests for the end-to-end qunit search engine."""
 
-import pytest
 
 
 class TestFigureOneWalkthrough:

@@ -1,6 +1,5 @@
 """Edge-path tests for the search engine and related plumbing."""
 
-import pytest
 
 from repro.core import QunitCollection
 from repro.core.qunit import ParamBinder, QunitDefinition

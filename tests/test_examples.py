@@ -3,7 +3,6 @@ docstring promises.  Keeps the examples from rotting as the API evolves."""
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

@@ -1,0 +1,182 @@
+"""Tests for persistent snapshot storage (save_snapshot/load_snapshot)."""
+
+import json
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.index import InvertedIndex
+from repro.ir.persist import FORMAT_VERSION, load_snapshot, save_snapshot
+from repro.ir.retrieval import Searcher
+from repro.ir.scoring import Bm25Scorer, TfIdfScorer
+
+
+def build_index(bodies: dict[str, str], analyzer: Analyzer | None = None):
+    index = InvertedIndex(analyzer or Analyzer(stem=False))
+    for doc_id, body in bodies.items():
+        index.add(Document.create(
+            doc_id, {"body": body},
+            metadata={"definition": f"def_{doc_id}",
+                      "params": (("x", doc_id), ("y", "v"))},
+        ))
+    return index
+
+
+BODIES = {"a": "star wars cast", "b": "star trek", "c": "ocean wars wars",
+          "d": "star star wars ocean", "empty-ish": "the of"}
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    index = build_index(BODIES)
+    path = tmp_path / "index.snap"
+    save_snapshot(index.snapshot(), path)
+    return index, path
+
+
+class TestRoundTrip:
+    def test_statistics_survive(self, saved):
+        index, path = saved
+        loaded = load_snapshot(path)
+        snapshot = index.snapshot()
+        assert loaded.version == snapshot.version
+        assert loaded.document_count == snapshot.document_count
+        assert loaded.average_document_length == snapshot.average_document_length
+        assert loaded.min_document_length == snapshot.min_document_length
+        assert loaded.vocabulary_size == snapshot.vocabulary_size
+        for term in snapshot.terms():
+            assert loaded.postings(term) == snapshot.postings(term)
+            assert loaded.document_frequency(term) == \
+                   snapshot.document_frequency(term)
+
+    def test_documents_survive_exactly(self, saved):
+        index, path = saved
+        loaded = load_snapshot(path)
+        for document in index.documents():
+            assert loaded.document(document.doc_id) == document
+
+    def test_metadata_tuples_restored_as_tuples(self, saved):
+        _index, path = saved
+        loaded = load_snapshot(path)
+        params = loaded.document("a").meta("params")
+        assert params == (("x", "a"), ("y", "v"))
+        assert isinstance(params, tuple)
+        assert isinstance(params[0], tuple)
+
+    def test_analyzer_config_survives(self, tmp_path):
+        analyzer = Analyzer(remove_stopwords=False, stem=True,
+                            min_token_length=2)
+        index = build_index({"a": "star wars"}, analyzer)
+        path = save_snapshot(index.snapshot(), tmp_path / "a.snap")
+        loaded = load_snapshot(path)
+        assert loaded.analyzer.remove_stopwords is False
+        assert loaded.analyzer.stem is True
+        assert loaded.analyzer.min_token_length == 2
+
+    @pytest.mark.parametrize("scorer_factory", [Bm25Scorer, TfIdfScorer])
+    def test_search_rank_identical_float_exact(self, saved, scorer_factory):
+        index, path = saved
+        loaded = load_snapshot(path)
+        live = Searcher(index, scorer_factory())
+        cold = Searcher(loaded, scorer_factory())
+        for query in ("star wars", "ocean", "trek star wars", "zzz", "the"):
+            expected = [(h.doc_id, h.score) for h in live.search(query, 4)]
+            assert [(h.doc_id, h.score) for h in cold.search(query, 4)] == \
+                   expected
+            assert [(h.doc_id, h.score)
+                    for h in cold.search_exhaustive(query, 4)] == expected
+
+    def test_empty_index_round_trips(self, tmp_path):
+        index = InvertedIndex(Analyzer())
+        path = save_snapshot(index.snapshot(), tmp_path / "empty.snap")
+        loaded = load_snapshot(path)
+        assert len(loaded) == 0
+        assert Searcher(loaded).search("anything") == []
+
+    def test_save_returns_path_and_overwrites_atomically(self, saved, tmp_path):
+        index, path = saved
+        assert save_snapshot(index.snapshot(), path) == path
+        assert not path.with_name(path.name + ".tmp").exists()
+        load_snapshot(path)  # still valid after overwrite
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(tmp_path / "nope.snap")
+
+    def test_truncated_file(self, saved):
+        _index, path = saved
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-2]))  # drop a record + the footer
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+
+    def test_truncated_mid_line(self, saved):
+        _index, path = saved
+        content = path.read_text()
+        path.write_text(content[: len(content) - 7])
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_corrupted_byte(self, saved):
+        _index, path = saved
+        raw = bytearray(path.read_bytes())
+        offset = len(raw) // 2
+        raw[offset] = ord("x") if raw[offset] != ord("x") else ord("y")
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_format_version_mismatch(self, saved):
+        _index, path = saved
+        lines = path.read_text().splitlines(keepends=True)
+        header = json.loads(lines[0])
+        header["format_version"] = FORMAT_VERSION + 1
+        lines[0] = json.dumps(header) + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(SnapshotError, match="format version"):
+            load_snapshot(path)
+
+    def test_wrong_magic(self, saved):
+        _index, path = saved
+        path.write_text('{"magic": "something-else"}\n{"t": "end"}\n')
+        with pytest.raises(SnapshotError, match="magic"):
+            load_snapshot(path)
+
+    def test_not_json(self, saved):
+        _index, path = saved
+        path.write_text("definitely not json\nstill not\n")
+        with pytest.raises(SnapshotError, match="JSON"):
+            load_snapshot(path)
+
+    def test_checksum_valid_but_missing_header_key(self, saved):
+        # A foreign writer can produce a checksummed file lacking required
+        # keys; that must surface as SnapshotError, never a raw KeyError.
+        import hashlib
+
+        _index, path = saved
+        lines = path.read_text().splitlines(keepends=True)
+        header = json.loads(lines[0])
+        del header["index_version"]
+        lines[0] = json.dumps(header, separators=(",", ":")) + "\n"
+        digest = hashlib.sha256()
+        for line in lines[:-1]:
+            digest.update(line.encode("utf-8"))
+        footer = json.loads(lines[-1])
+        footer["sha256"] = digest.hexdigest()
+        lines[-1] = json.dumps(footer, separators=(",", ":")) + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(SnapshotError, match="missing required key"):
+            load_snapshot(path)
+
+    def test_unserializable_metadata_rejected_cleanly(self, tmp_path):
+        index = InvertedIndex(Analyzer())
+        index.add(Document.create("a", {"body": "star"},
+                                  metadata={"obj": object()}))
+        with pytest.raises(SnapshotError, match="unserializable"):
+            save_snapshot(index.snapshot(), tmp_path / "bad.snap")
+        assert not (tmp_path / "bad.snap").exists()
+        assert not (tmp_path / "bad.snap.tmp").exists()

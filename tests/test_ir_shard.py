@@ -1,0 +1,263 @@
+"""Tests for sharded snapshots and parallel top-k retrieval."""
+
+import pytest
+
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.index import InvertedIndex
+from repro.ir.retrieval import Searcher
+from repro.ir.scoring import Bm25Scorer, PriorWeightedScorer, TfIdfScorer
+from repro.ir.shard import ShardedTopK, shard_id, shard_snapshot
+from repro.ir.topk import topk_scores
+
+
+def build_index(bodies: dict[str, str]):
+    index = InvertedIndex(Analyzer(stem=False))
+    for doc_id, body in bodies.items():
+        index.add(Document.create(doc_id, {"body": body}))
+    return index
+
+
+BODIES = {f"d{i}": text for i, text in enumerate([
+    "star wars cast", "star trek", "ocean wars wars", "star star wars ocean",
+    "trek ocean", "wars", "star ocean trek wars", "cast cast star",
+])}
+QUERIES = (["star", "wars"], ["ocean"], ["trek", "star", "wars"], ["zzz"], [])
+
+
+@pytest.fixture()
+def snapshot():
+    return build_index(BODIES).snapshot()
+
+
+class TestShardSnapshot:
+    def test_partition_is_exact_and_stable(self, snapshot):
+        shards = shard_snapshot(snapshot, 3)
+        assert len(shards) == 3
+        seen: dict[str, int] = {}
+        for i, shard in enumerate(shards):
+            for document in shard.documents():
+                assert document.doc_id not in seen
+                seen[document.doc_id] = i
+                assert shard_id(document.doc_id, 3) == i
+        assert set(seen) == set(BODIES)
+
+    def test_shards_carry_global_statistics(self, snapshot):
+        for shard in shard_snapshot(snapshot, 3):
+            assert shard.document_count == snapshot.document_count
+            assert shard.average_document_length == \
+                   snapshot.average_document_length
+            assert shard.min_document_length == snapshot.min_document_length
+            for term in snapshot.terms():
+                assert shard.document_frequency(term) == \
+                       snapshot.document_frequency(term)
+
+    def test_shard_postings_are_the_partition(self, snapshot):
+        shards = shard_snapshot(snapshot, 2)
+        for term in snapshot.terms():
+            merged = sorted(
+                (posting for shard in shards
+                 for posting in shard.postings(term)),
+                key=lambda posting: posting.doc_id,
+            )
+            assert merged == list(snapshot.postings(term))
+
+    def test_single_shard_is_the_whole_snapshot(self, snapshot):
+        (shard,) = shard_snapshot(snapshot, 1)
+        assert len(shard) == len(snapshot)
+        assert sorted(shard.terms()) == sorted(snapshot.terms())
+
+    def test_invalid_shard_count(self, snapshot):
+        with pytest.raises(ValueError):
+            shard_snapshot(snapshot, 0)
+
+    def test_more_shards_than_documents(self, snapshot):
+        shards = shard_snapshot(snapshot, 50)
+        assert sum(len(shard) for shard in shards) == len(snapshot)
+
+
+class TestShardedTopK:
+    @pytest.mark.parametrize("parallelism", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_rank_identical_to_unsharded(self, snapshot, parallelism, shards):
+        scorer = Bm25Scorer()
+        with ShardedTopK(snapshot, shards, parallelism) as sharded:
+            for terms in QUERIES:
+                assert sharded.topk(scorer, list(terms), 4) == \
+                       topk_scores(snapshot, scorer, list(terms), 4)
+
+    def test_batch_matches_singles(self, snapshot):
+        scorer = TfIdfScorer()
+        with ShardedTopK(snapshot, 3, "serial") as sharded:
+            batch = sharded.topk_many(scorer, [list(q) for q in QUERIES], 3)
+            singles = [sharded.topk(scorer, list(q), 3) for q in QUERIES]
+        assert batch == singles
+
+    def test_empty_batch(self, snapshot):
+        with ShardedTopK(snapshot, 2, "serial") as sharded:
+            assert sharded.topk_many(Bm25Scorer(), [], 3) == []
+
+    def test_prior_weighted_scorer(self, snapshot):
+        scorer = PriorWeightedScorer(Bm25Scorer(), {"d1": 9.0, "d5": 4.0})
+        with ShardedTopK(snapshot, 3, "serial") as sharded:
+            assert sharded.topk(scorer, ["star", "wars"], 5) == \
+                   topk_scores(snapshot, scorer, ["star", "wars"], 5)
+
+    def test_limit_edges(self, snapshot):
+        scorer = Bm25Scorer()
+        with ShardedTopK(snapshot, 3, "serial") as sharded:
+            assert sharded.topk(scorer, ["star"], 0) == []
+            assert sharded.topk(scorer, ["star"], 1) == \
+                   topk_scores(snapshot, scorer, ["star"], 1)
+
+    def test_invalid_parallelism(self, snapshot):
+        with pytest.raises(ValueError):
+            ShardedTopK(snapshot, 2, "fibers")
+
+    def test_close_is_idempotent(self, snapshot):
+        sharded = ShardedTopK(snapshot, 2, "thread")
+        sharded.topk(Bm25Scorer(), ["star"], 2)
+        sharded.close()
+        sharded.close()
+
+
+class TestSearcherSharding:
+    @pytest.mark.parametrize("parallelism", ["serial", "thread"])
+    def test_search_matches_serial_searcher(self, parallelism):
+        index = build_index(BODIES)
+        serial = Searcher(index)
+        with Searcher(index, shards=3, parallelism=parallelism) as sharded:
+            for query in ("star wars", "ocean trek", "zzz", "cast"):
+                assert [(h.doc_id, h.score, h.rank)
+                        for h in sharded.search(query, 4)] == \
+                       [(h.doc_id, h.score, h.rank)
+                        for h in serial.search(query, 4)]
+
+    def test_search_many_matches_serial_searcher(self):
+        index = build_index(BODIES)
+        serial = Searcher(index)
+        queries = ["star wars", "ocean", "star wars", "", "zzz"]
+        with Searcher(index, shards=2) as sharded:
+            batch = sharded.search_many(queries, 3)
+        expected = serial.search_many(queries, 3)
+        assert [[(h.doc_id, h.score) for h in hits] for hits in batch] == \
+               [[(h.doc_id, h.score) for h in hits] for hits in expected]
+
+    def test_search_many_survives_mid_batch_cache_eviction(self):
+        # Regression: a query cached *before* the batch must not come back
+        # empty when the batch's own stores evict its LRU entry.
+        index = build_index(BODIES)
+        vocabulary = sorted({token for body in BODIES.values()
+                             for token in body.split()})
+        with Searcher(index, cache_size=2, shards=2) as sharded:
+            expected = [(h.doc_id, h.score)
+                        for h in Searcher(index).search("star wars", 3)]
+            sharded.search("star wars", 3)  # now cached
+            batch_queries = ["star wars"] + vocabulary  # evicts it mid-batch
+            batch = sharded.search_many(batch_queries, 3)
+        assert [(h.doc_id, h.score) for h in batch[0]] == expected
+
+    def test_sharded_search_many_uses_result_cache(self):
+        index = build_index(BODIES)
+        with Searcher(index, shards=2) as sharded:
+            first = sharded.search_many(["star wars"], 3)
+            second = sharded.search_many(["star wars"], 3)
+        assert [(h.doc_id, h.score) for h in first[0]] == \
+               [(h.doc_id, h.score) for h in second[0]]
+        assert len(sharded._cache) == 1
+
+    def test_shards_rebuilt_after_add(self):
+        index = build_index({"a": "star"})
+        with Searcher(index, shards=2) as sharded:
+            assert [h.doc_id for h in sharded.search("star")] == ["a"]
+            index.add(Document.create("b", {"body": "star star"}))
+            assert [h.doc_id for h in sharded.search("star")] == ["b", "a"]
+
+    def test_unsupported_scorer_falls_back_to_exhaustive(self):
+        class OpaqueScorer(Bm25Scorer):
+            def supports_topk(self):
+                return False
+
+        index = build_index(BODIES)
+        reference = Searcher(index).search_many(["star wars", "ocean"], 3)
+        with Searcher(index, OpaqueScorer(), shards=3) as sharded:
+            batch = sharded.search_many(["star wars", "ocean"], 3)
+        assert [[(h.doc_id, h.score) for h in hits] for hits in batch] == \
+               [[(h.doc_id, h.score) for h in hits] for hits in reference]
+
+    def test_scoring_view_scores_identically_without_documents(self, snapshot):
+        from repro.errors import IndexError_
+
+        view = snapshot.scoring_view()
+        assert len(view) == 0
+        with pytest.raises(IndexError_):
+            view.document("d0")
+        scorer = Bm25Scorer()
+        assert topk_scores(view, scorer, ["star", "wars"], 4) == \
+               topk_scores(snapshot, scorer, ["star", "wars"], 4)
+
+    def test_prior_scorer_cache_key_stable_across_pickle(self):
+        # Process-mode workers unpickle the scorer per call; the cache key
+        # must survive the round trip or worker contribution caches never
+        # warm up (and grow without bound).
+        import pickle
+
+        scorer = PriorWeightedScorer(Bm25Scorer(), {"d1": 2.0}, default=0.5)
+        clone = pickle.loads(pickle.dumps(scorer))
+        assert clone.cache_key() == scorer.cache_key()
+        assert PriorWeightedScorer(Bm25Scorer(), {"d1": 2.0},
+                                   default=0.5).cache_key() == \
+               scorer.cache_key()
+        assert PriorWeightedScorer(Bm25Scorer(), {"d1": 3.0},
+                                   default=0.5).cache_key() != \
+               scorer.cache_key()
+
+    def test_scorer_subclass_never_shares_cache_with_base(self, snapshot):
+        # A subclass that changes the scoring math must not be served the
+        # base class's cached contributions (keys embed the class).
+        class HalvedBm25(Bm25Scorer):
+            def _contribution(self, idf, tf, length, avg_len):
+                return super()._contribution(idf, tf, length, avg_len) / 2.0
+
+        base, halved = Bm25Scorer(), HalvedBm25()
+        assert base.cache_key() != halved.cache_key()
+        full = snapshot.term_contributions(base, "star")
+        half = snapshot.term_contributions(halved, "star")
+        assert half.contributions == tuple(c / 2.0 for c in full.contributions)
+
+    def test_default_cache_key_pins_the_scorer(self):
+        # The fallback key holds the instance (not id()), so a recycled
+        # address can never alias two scorers' cache entries; it is also
+        # stable across calls.
+        from repro.ir.scoring import Scorer
+
+        scorer = Scorer()
+        key = scorer.cache_key()
+        assert key[-1].scorer is scorer
+        assert scorer.cache_key() == key
+        assert Scorer().cache_key() != key
+
+    def test_default_cache_key_works_for_unhashable_scorers(self):
+        # An __eq__-defining (hence unhashable) dataclass scorer must
+        # still get a usable default key.
+        from dataclasses import dataclass
+
+        from repro.ir.scoring import Scorer
+
+        @dataclass(frozen=True)
+        class FancyScorer(Scorer):
+            boost: float = 2.0
+
+        scorer = FancyScorer()
+        key = scorer.cache_key()
+        assert scorer.cache_key() == key
+        hash(key)  # usable as a dict key
+        assert FancyScorer().cache_key() != key  # per-instance, by design
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ValueError):
+            Searcher(build_index({"a": "star"}), shards=-1)
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            Searcher(build_index({"a": "star"}), parallelism="bogus")

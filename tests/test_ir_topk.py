@@ -7,7 +7,7 @@ from repro.ir.documents import Document
 from repro.ir.index import InvertedIndex
 from repro.ir.retrieval import Searcher
 from repro.ir.scoring import Bm25Scorer, PriorWeightedScorer, TfIdfScorer
-from repro.ir.topk import TopKHeap, topk_scores
+from repro.ir.topk import TopKHeap, merge_ranked, topk_scores
 
 
 def build_index(bodies: dict[str, str], weights: dict[str, float] | None = None):
@@ -56,6 +56,34 @@ class TestTopKHeap:
             TopKHeap(-1)
 
 
+class TestMergeRanked:
+    """Cross-shard merge of independently ranked lists (disjoint doc_ids)."""
+
+    def test_merges_to_global_topk(self):
+        shard_a = [("d1", 5.0), ("d4", 2.0)]
+        shard_b = [("d2", 4.0), ("d3", 3.0)]
+        assert merge_ranked([shard_a, shard_b], 3) == \
+               [("d1", 5.0), ("d2", 4.0), ("d3", 3.0)]
+
+    def test_k_zero(self):
+        assert merge_ranked([[("a", 1.0)], [("b", 2.0)]], 0) == []
+
+    def test_k_one(self):
+        assert merge_ranked([[("b", 1.0)], [("a", 3.0)], []], 1) == [("a", 3.0)]
+
+    def test_k_one_tie_breaks_on_doc_id(self):
+        assert merge_ranked([[("b", 2.0)], [("a", 2.0)]], 1) == [("a", 2.0)]
+        assert merge_ranked([[("a", 2.0)], [("b", 2.0)]], 1) == [("a", 2.0)]
+
+    def test_cross_shard_ties_sorted_by_doc_id(self):
+        shards = [[("c", 1.0)], [("a", 1.0)], [("b", 1.0)]]
+        assert merge_ranked(shards, 2) == [("a", 1.0), ("b", 1.0)]
+
+    def test_empty_inputs(self):
+        assert merge_ranked([], 3) == []
+        assert merge_ranked([[], []], 3) == []
+
+
 class TestSnapshot:
     def test_postings_sorted_and_cached(self):
         index = build_index({"b": "star", "a": "star wars"})
@@ -89,20 +117,32 @@ class TestSnapshot:
         second = snapshot.term_contributions(Bm25Scorer(), "star")
         assert first is second
 
-    def test_stale_snapshot_refuses_to_serve(self):
+    def test_snapshot_is_a_frozen_self_contained_copy(self):
         from repro.errors import IndexError_
 
         index = build_index({"a": "star"})
         snapshot = index.snapshot()
-        snapshot.postings("star")  # cached before the add: still served
-        index.add(Document.create("b", {"body": "star"}))
+        index.add(Document.create("b", {"body": "star wars"}))
+        # The old snapshot keeps serving exactly the contents it froze —
+        # it never mixes in (or even sees) the post-add state.
         assert [p.doc_id for p in snapshot.postings("star")] == ["a"]
-        with pytest.raises(IndexError_):
-            snapshot.postings("wars")  # uncached: must not read fresh data
-        with pytest.raises(IndexError_):
-            snapshot.document_frequency("star")
+        assert snapshot.postings("wars") == ()
+        assert snapshot.document_frequency("star") == 1
+        assert snapshot.document_count == 1
+        assert "b" not in snapshot
         with pytest.raises(IndexError_):
             snapshot.document_length("b")
+        # A fresh snapshot reflects the add.
+        assert index.snapshot().document_frequency("wars") == 1
+
+    def test_snapshot_serves_without_the_index(self):
+        index = build_index({"a": "star wars", "b": "star"})
+        snapshot = index.snapshot()
+        del index
+        searcher = Searcher(snapshot)
+        assert [h.doc_id for h in searcher.search("star")] == ["b", "a"]
+        assert snapshot.document("a").doc_id == "a"
+        assert snapshot.snapshot() is snapshot
 
     def test_unknown_term_contributions_empty(self):
         index = build_index({"a": "star"})

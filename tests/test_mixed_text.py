@@ -8,7 +8,6 @@ flat IR fallback, and structured queries carrying free-text residue that
 re-ranks the structural candidates.
 """
 
-import pytest
 
 from repro.utils.text import normalize
 

@@ -169,6 +169,87 @@ class TestTopKFastPathProperties:
                [[(h.doc_id, h.score) for h in hits] for hits in singles]
 
 
+class TestPersistenceProperties:
+    """save → load → search must be *float-exact* rank-identical to the
+    in-memory path, for any documents, weights, scorer, and query."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=8),
+        weights=st.lists(
+            st.sampled_from([0.1, 0.5, 1.0, 2.5]), min_size=8, max_size=8),
+        query=texts,
+        kind=st.sampled_from(["tfidf", "bm25", "bm25-tuned"]),
+        limit=st.integers(min_value=0, max_value=10),
+    )
+    def test_loaded_snapshot_rank_identical(
+            self, bodies, weights, query, kind, limit):
+        import tempfile
+        from pathlib import Path
+
+        from repro.ir.persist import load_snapshot, save_snapshot
+
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body},
+                                      {"body": weights[i]}))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = save_snapshot(index.snapshot(), Path(tmp) / "prop.snap")
+            loaded = load_snapshot(path)
+        scorer = _scorer_for(kind, len(bodies))
+        live = Searcher(index, scorer).search(query, limit)
+        cold = Searcher(loaded, scorer).search(query, limit)
+        assert [(h.doc_id, h.score, h.rank) for h in cold] == \
+               [(h.doc_id, h.score, h.rank) for h in live]
+
+
+class TestShardingProperties:
+    """Sharded retrieval must be *float-exact* rank-identical to the serial
+    single-snapshot path — same scores, same (-score, doc_id) tie-breaks —
+    for any shard count, scorer, and query mix."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=10),
+        query=texts,
+        kind=st.sampled_from(
+            ["tfidf", "bm25", "bm25-tuned", "prior-tfidf", "prior-bm25"]),
+        shards=st.integers(min_value=1, max_value=6),
+        limit=st.integers(min_value=0, max_value=12),
+    )
+    def test_sharded_rank_identical_to_serial(
+            self, bodies, query, kind, shards, limit):
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body}))
+        scorer = _scorer_for(kind, len(bodies))
+        serial = Searcher(index, scorer).search(query, limit)
+        with Searcher(index, scorer, shards=shards,
+                      parallelism="serial") as sharded_searcher:
+            sharded = sharded_searcher.search(query, limit)
+        assert [(h.doc_id, h.score, h.rank) for h in sharded] == \
+               [(h.doc_id, h.score, h.rank) for h in serial]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=8),
+        queries=st.lists(texts, min_size=0, max_size=5),
+        shards=st.integers(min_value=2, max_value=4),
+        limit=st.integers(min_value=1, max_value=6),
+    )
+    def test_sharded_search_many_equals_serial_batch(
+            self, bodies, queries, shards, limit):
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body}))
+        serial = Searcher(index).search_many(queries, limit)
+        with Searcher(index, shards=shards,
+                      parallelism="serial") as sharded_searcher:
+            sharded = sharded_searcher.search_many(queries, limit)
+        assert [[(h.doc_id, h.score) for h in hits] for hits in sharded] == \
+               [[(h.doc_id, h.score) for h in hits] for hits in serial]
+
+
 class TestMetricProperties:
     @given(st.lists(words, min_size=1, max_size=15, unique=True),
            st.sets(words, max_size=10),

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.relational.catalog import StatisticsCatalog
 
 
 class TestTableStatistics:

@@ -1,6 +1,5 @@
 """Tests for database persistence (save/load round trips)."""
 
-import pathlib
 
 import pytest
 

@@ -130,7 +130,7 @@ class TestValidation:
 
 class TestPredicatePushdown:
     def test_filter_pushed_below_join(self, mini_db):
-        from repro.relational.algebra import Filter, HashJoin, Scan
+        from repro.relational.algebra import Filter, HashJoin
         from repro.relational.sql import compile_select, parse_select
 
         stmt = parse_select(

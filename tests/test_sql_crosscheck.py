@@ -16,7 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.relational.database import Database
-from repro.relational.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.relational.schema import Column, ColumnType, Schema, TableSchema
 from repro.relational.sql import compile_select, parse_select
 from repro.relational.algebra import execute
 

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import SqlSyntaxError
-from repro.relational.expr import And, Comparison, Contains, InList, IsNull, Param
-from repro.relational.sql.ast import AggregateCall, ColumnItem, StarItem
+from repro.relational.expr import And, Comparison, Contains, InList, IsNull
+from repro.relational.sql.ast import AggregateCall, StarItem
 from repro.relational.sql.parser import parse_select, split_return_clause
 
 
