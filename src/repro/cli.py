@@ -5,18 +5,22 @@
     python -m repro search "star wars cast" [more queries ...] [--scale 0.3]
                     [--flavor expert] [--shards 4]
     python -m repro derive --strategy schema_data [--k1 4 --k2 3]
-    python -m repro save DIR [--flavor expert]
+    python -m repro save DIR [--flavor expert] [--shards 4]
     python -m repro load DIR ["query" ...] [--shards 4]
+    python -m repro compact PATH
     python -m repro loganalysis [--unique 400]
     python -m repro evaluate [--queries 25] [--raters 20]
 
 Everything runs on the synthetic database (deterministic for a given
 ``--seed``), so the CLI doubles as a zero-setup demo of the system.
-``save`` persists a derived collection (definitions + index snapshots) to
-a directory; ``load`` restarts from that directory without re-deriving —
-pass queries to answer them from the loaded snapshots.  ``--shards N``
-scores the flat collection index as N hash-partitioned shards in parallel
-(see ``repro.ir.shard``).
+``save`` persists a derived collection (definitions + a deduplicated
+document store + index snapshots; with ``--shards N`` also one snapshot
+per shard partition) to a directory; ``load`` restarts from that
+directory without re-deriving — pass queries to answer them from the
+loaded snapshots.  ``compact`` folds any delta segments trailing snapshot
+files back into clean bases.  ``--shards N`` scores the flat collection
+index as N hash-partitioned shards in parallel, Bloom-routing each query
+batch only to shards that can match (see ``repro.ir.shard``).
 """
 
 from __future__ import annotations
@@ -72,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
                                "external", "forms"])
     save.add_argument("--max-instances", type=int, default=150,
                       help="instance cap per definition (default 150)")
+    save.add_argument(
+        "--shards", type=int, default=0,
+        help="also persist N per-shard snapshots (with term Bloom "
+             "filters) so servers can load single partitions and "
+             "`load --shards N` skips the in-memory re-partition")
+
+    compact = commands.add_parser(
+        "compact",
+        help="fold delta segments in snapshot files into clean bases")
+    compact.add_argument(
+        "path",
+        help="a generation directory written by `save` (compacts every "
+             "*.snap in it) or a single snapshot file")
 
     load = commands.add_parser(
         "load", help="restart from a saved collection (no re-derivation)")
@@ -171,7 +188,8 @@ def _command_save(args) -> int:
     db = generate_imdb(scale=args.scale, seed=args.seed)
     definitions = _definitions_for(args, db, args.flavor)
     collection = QunitCollection(
-        db, definitions, max_instances_per_definition=args.max_instances)
+        db, definitions, max_instances_per_definition=args.max_instances,
+        shards=args.shards)
     out = collection.save(args.directory)
     index = collection.global_index()
     print(f"saved collection to {out}")
@@ -179,6 +197,41 @@ def _command_save(args) -> int:
     print(f"  instances   : {collection.instance_count()}")
     print(f"  documents   : {index.document_count}")
     print(f"  vocabulary  : {index.vocabulary_size}")
+    if args.shards >= 2:
+        print(f"  shards      : {args.shards}")
+    return 0
+
+
+def _command_compact(args) -> int:
+    from pathlib import Path
+
+    from repro.ir.persist import (
+        compact_snapshot,
+        load_document_store,
+        read_snapshot_header,
+    )
+
+    target = Path(args.path)
+    files = sorted(target.glob("*.snap")) if target.is_dir() else [target]
+    if not files:
+        print(f"no snapshot files found in {target}")
+        return 1
+    # One generation shares one document store; parse it once, not once
+    # per snapshot file.
+    stores = {}
+    for path in files:
+        store = None
+        store_name = read_snapshot_header(path).get("docstore")
+        if store_name is not None:
+            store_path = (path.parent / store_name).resolve()
+            if store_path not in stores:
+                stores[store_path] = load_document_store(store_path)
+            store = stores[store_path]
+        before = path.stat().st_size
+        segments = compact_snapshot(path, store=store)
+        after = path.stat().st_size
+        print(f"{path.name}: folded {segments} delta segment(s), "
+              f"{before} -> {after} bytes")
     return 0
 
 
@@ -242,6 +295,7 @@ def _command_evaluate(args) -> int:
 _COMMANDS = {
     "search": _command_search,
     "save": _command_save,
+    "compact": _command_compact,
     "load": _command_load,
     "derive": _command_derive,
     "loganalysis": _command_loganalysis,

@@ -23,6 +23,15 @@ query path (instances are still materialized lazily from the database
 when an answer's content is actually rendered).  ``shards``/
 ``parallelism`` turn on sharded parallel scoring for the flat
 (collection-wide) searcher — see :mod:`repro.ir.shard`.
+
+A saved generation uses the version-2 deduplicated layout (see
+:mod:`repro.ir.persist` and ``docs/PERSISTENCE.md``): one shared document
+store holds every decorated instance document once, and the global,
+per-definition, and (when sharding is configured) per-shard snapshot
+files reference it by doc_id.  Loading shares the store's
+:class:`~repro.ir.documents.Document` objects across every snapshot, so a
+loaded generation pins exactly one copy of the documents; version-1
+directories written by earlier builds still load read-only.
 """
 
 from __future__ import annotations
@@ -38,16 +47,25 @@ from repro.core.qunit import QunitDefinition, QunitInstance
 from repro.errors import DerivationError, SnapshotError
 from repro.ir.analysis import Analyzer
 from repro.ir.index import IndexSnapshot, InvertedIndex
-from repro.ir.persist import load_snapshot, save_snapshot
+from repro.ir.persist import (
+    DocumentStore,
+    load_document_store,
+    load_snapshot,
+    read_snapshot_header,
+    save_document_store,
+    save_snapshot,
+)
 from repro.ir.retrieval import Searcher, SearchHit
 from repro.ir.scoring import Scorer
+from repro.ir.shard import ShardedTopK, TermBloomFilter, shard_snapshot
 from repro.relational.database import Database
 from repro.utils.text import normalize
 
 __all__ = ["QunitCollection"]
 
 MANIFEST_MAGIC = "qunits-collection"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 MANIFEST_NAME = "collection.json"
 
 
@@ -85,8 +103,14 @@ class QunitCollection:
         # the global index).  All referenced snapshots are read eagerly at
         # load time: a loaded collection pins its whole generation in
         # memory, so a later re-save pruning old snapshot files can never
-        # yank one out from under it mid-serving.
+        # yank one out from under it mid-serving.  Under the version-2
+        # layout every snapshot shares the generation's document-store
+        # objects, so "the whole generation" is one copy of the documents.
         self._loaded_snapshots: dict[str | None, IndexSnapshot] = {}
+        # A ShardedTopK restored from persisted per-shard snapshot files
+        # (with their Bloom filters); handed to the flat searcher so it
+        # skips the in-memory re-partition.
+        self._loaded_sharded: ShardedTopK | None = None
         # Searchers are cached so their LRU result caches and index
         # snapshots survive across queries (one searcher per
         # (definition, scorer-parameters) pair; None = the global index).
@@ -97,6 +121,11 @@ class QunitCollection:
     # -- definitions ------------------------------------------------------------
 
     def definition(self, name: str) -> QunitDefinition:
+        """Look up one qunit definition by name.
+
+        Raises:
+            DerivationError: for unknown names (listing the known ones).
+        """
         try:
             return self.definitions[name]
         except KeyError:
@@ -128,6 +157,7 @@ class QunitCollection:
         return self._instances[name]
 
     def all_instances(self) -> list[QunitInstance]:
+        """Every (bounded) instance of every definition, name-sorted."""
         result: list[QunitInstance] = []
         for name in sorted(self.definitions):
             result.extend(self.instances_of(name))
@@ -210,9 +240,11 @@ class QunitCollection:
         }
 
     def searcher(self, scorer: Scorer | None = None) -> Searcher:
+        """The cached flat (collection-wide) searcher for ``scorer``."""
         return self._cached_searcher(None, scorer)
 
     def definition_searcher(self, name: str, scorer: Scorer | None = None) -> Searcher:
+        """The cached searcher over one definition's instance documents."""
         return self._cached_searcher(name, scorer)
 
     MAX_CACHED_SEARCHERS = 64
@@ -223,10 +255,14 @@ class QunitCollection:
         if searcher is None:
             # Sharded parallel scoring applies to the flat collection-wide
             # searcher, where postings are large enough to repay the
-            # partition; per-definition indexes stay serial.
+            # partition; per-definition indexes stay serial.  Shards
+            # restored from persisted per-shard files are shared across
+            # every flat searcher (one partition, one executor).
             shards = self.shards if name is None else 0
+            sharded = self._loaded_sharded if name is None else None
             searcher = Searcher(self._index_for(name), scorer,
-                                shards=shards, parallelism=self.parallelism)
+                                shards=shards, parallelism=self.parallelism,
+                                sharded=sharded)
             self._searchers[key] = searcher
             while len(self._searchers) > self.MAX_CACHED_SEARCHERS:
                 evicted = self._searchers.popitem(last=False)
@@ -239,6 +275,8 @@ class QunitCollection:
         """Release shard executors held by cached searchers (idempotent)."""
         for searcher in self._searchers.values():
             searcher.close()
+        if self._loaded_sharded is not None:
+            self._loaded_sharded.close()
 
     def search_many(self, queries: Iterable[str], limit: int = 10,
                     scorer: Scorer | None = None) -> list[list[SearchHit]]:
@@ -255,29 +293,73 @@ class QunitCollection:
         """Persist the derived collection to directory ``path``.
 
         Writes a manifest (qunit definitions, analyzer configuration,
-        instance cap) plus one checksummed snapshot file per index: the
-        global instance index and every per-definition index.  Everything
-        the expensive derivation phase produced is on disk afterwards;
-        :meth:`load` restores it without re-deriving, re-materializing, or
-        re-indexing.  Returns the directory path.
+        instance cap) plus one *generation* of version-2 snapshot files:
+        a shared document store holding every decorated instance document
+        exactly once, a global postings snapshot, one per-definition
+        snapshot (both referencing the store by doc_id), and — when the
+        collection is configured with ``shards >= 2`` — one snapshot per
+        hash-partition shard, each carrying its term Bloom filter so a
+        multi-process server can load and route to single partitions.
+        Everything the expensive derivation phase produced is on disk
+        afterwards; :meth:`load` restores it without re-deriving,
+        re-materializing, or re-indexing.
 
         Saves are crash-consistent at the directory level: each save
-        writes a fresh *generation* of snapshot files, then swaps the
-        manifest in atomically (the manifest only ever references one
-        complete generation), then prunes snapshots no manifest references.
-        A crash mid-save leaves the previous generation fully loadable —
-        never an old manifest pointing at a mix of old and new files.
+        writes a fresh generation of files, then swaps the manifest in
+        atomically (the manifest only ever references one complete
+        generation), then prunes files no manifest references.  A crash
+        mid-save leaves the previous generation fully loadable — never an
+        old manifest pointing at a mix of old and new files.
+
+        Args:
+            path: the generation directory (created if missing).
+
+        Returns:
+            The directory path.
+
+        Raises:
+            SnapshotError: if a document carries unserializable metadata.
         """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         generation = os.urandom(4).hex()
+        global_snapshot = self.global_snapshot()
+        store_name = f"docs-{generation}.store"
+        save_document_store(DocumentStore.from_snapshot(global_snapshot),
+                            path / store_name)
         global_name = f"global-{generation}.snap"
+        save_snapshot(global_snapshot, path / global_name,
+                      docstore=store_name)
         snapshot_names: dict[str, str] = {}
-        save_snapshot(self.global_snapshot(), path / global_name)
         for name in sorted(self.definitions):
             file_name = f"def-{name}-{generation}.snap"
-            save_snapshot(self._index_for(name).snapshot(), path / file_name)
+            definition_snapshot = self._index_for(name).snapshot()
+            missing = [doc_id for doc_id in definition_snapshot._documents
+                       if doc_id not in global_snapshot._documents]
+            if missing:
+                # Writing refs for these would produce a generation that
+                # fails at load time with a dangling-reference error;
+                # fail at save time with the real cause instead.
+                raise SnapshotError(
+                    f"definition {name!r} indexes documents missing from "
+                    f"the global snapshot (e.g. {missing[0]!r}); cannot "
+                    f"deduplicate against the shared document store"
+                )
+            save_snapshot(definition_snapshot, path / file_name,
+                          docstore=store_name)
             snapshot_names[name] = file_name
+        shard_entry = None
+        shard_names: list[str] = []
+        if self.shards >= 2:
+            shard_list = shard_snapshot(global_snapshot, self.shards)
+            for i, shard in enumerate(shard_list):
+                file_name = f"shard-{i}of{self.shards}-{generation}.snap"
+                bloom = TermBloomFilter.build(shard.terms())
+                save_snapshot(shard, path / file_name, docstore=store_name,
+                              shard={"index": i, "count": self.shards},
+                              bloom=bloom.to_dict())
+                shard_names.append(file_name)
+            shard_entry = {"count": self.shards, "files": shard_names}
         manifest = {
             "magic": MANIFEST_MAGIC,
             "format_version": MANIFEST_VERSION,
@@ -286,8 +368,10 @@ class QunitCollection:
             "max_instances_per_definition": self.max_instances,
             "definitions": [self.definitions[name].to_dict()
                             for name in sorted(self.definitions)],
+            "docstore": store_name,
             "snapshots": {"global": global_name,
                           "definitions": snapshot_names},
+            "shards": shard_entry,
         }
         manifest_path = path / MANIFEST_NAME
         tmp_path = manifest_path.with_name(MANIFEST_NAME + ".tmp")
@@ -296,8 +380,9 @@ class QunitCollection:
             encoding="utf-8",
         )
         os.replace(tmp_path, manifest_path)
-        referenced = {global_name, *snapshot_names.values()}
-        for stale in path.glob("*.snap"):
+        referenced = {store_name, global_name, *snapshot_names.values(),
+                      *shard_names}
+        for stale in (*path.glob("*.snap"), *path.glob("*.store")):
             if stale.name not in referenced:
                 stale.unlink(missing_ok=True)
         return path
@@ -310,12 +395,33 @@ class QunitCollection:
         Every snapshot the manifest references is read eagerly, so the
         loaded collection holds its entire generation in memory and stays
         fully serviceable even if the directory is re-saved (and old
-        snapshot files pruned) while it is live.  A load that *races* a
-        re-save — manifest read, then a referenced file pruned before it
-        was read — is retried from the fresh manifest.  The database is
-        still required — answers materialize their instances from it on
-        demand — but the derivation, materialization, and indexing cost of
-        building the collection is skipped entirely.
+        snapshot files pruned) while it is live.  Under the version-2
+        layout the generation's documents are loaded once from the shared
+        store and *shared* across the global and per-definition snapshots
+        — eager loading no longer costs a second copy of the corpus.  A
+        load that *races* a re-save — manifest read, then a referenced
+        file pruned before it was read — is retried from the fresh
+        manifest.  The database is still required — answers materialize
+        their instances from it on demand — but the derivation,
+        materialization, and indexing cost of building the collection is
+        skipped entirely.
+
+        Args:
+            database: the database the collection was derived from (its
+                fingerprint is checked against the manifest).
+            shards: sharded parallel scoring for the flat searcher.  When
+                the saved generation persisted the same shard count, the
+                per-shard snapshot files (and their Bloom filters) are
+                restored directly instead of re-partitioning in memory.
+            parallelism: shard executor mode (see :mod:`repro.ir.shard`).
+
+        Returns:
+            The restored collection.
+
+        Raises:
+            SnapshotError: on missing/corrupt manifests or snapshots,
+                format-version mismatches, analyzer disagreements, or a
+                database fingerprint mismatch.
         """
         attempts = 3
         for attempt in range(attempts):
@@ -350,11 +456,11 @@ class QunitCollection:
             raise SnapshotError(
                 f"{str(manifest_path)!r} is not a qunits collection manifest"
             )
-        if manifest.get("format_version") != MANIFEST_VERSION:
+        if manifest.get("format_version") not in SUPPORTED_MANIFEST_VERSIONS:
             raise SnapshotError(
                 f"collection manifest {str(manifest_path)!r} has format "
                 f"version {manifest.get('format_version')!r}; this build "
-                f"reads version {MANIFEST_VERSION}"
+                f"reads versions {SUPPORTED_MANIFEST_VERSIONS}"
             )
         saved_fingerprint = manifest.get("database")
         if saved_fingerprint is not None:
@@ -391,18 +497,20 @@ class QunitCollection:
             shards=shards,
             parallelism=parallelism,
         )
+        store: DocumentStore | None = None
+        store_name = manifest.get("docstore")
+        if store_name is not None:
+            store = cls._race_guarded(lambda: load_document_store(
+                path / store_name))
         snapshots = manifest.get("snapshots", {})
         entries: list[tuple[str | None, str]] = []
         if "global" in snapshots:
             entries.append((None, snapshots["global"]))
         entries.extend(snapshots.get("definitions", {}).items())
         for key, file_name in entries:
-            try:
-                snapshot = load_snapshot(path / file_name)
-            except SnapshotError as exc:
-                if isinstance(exc.__cause__, OSError):
-                    raise _SnapshotPruneRace(str(exc)) from exc.__cause__
-                raise
+            snapshot = cls._race_guarded(
+                lambda file_name=file_name: load_snapshot(path / file_name,
+                                                          store=store))
             if snapshot.analyzer != collection.analyzer:
                 raise SnapshotError(
                     f"snapshot {file_name!r} was built with analyzer "
@@ -411,7 +519,100 @@ class QunitCollection:
                     f"tokenizations"
                 )
             collection._loaded_snapshots[key] = snapshot
+        shard_entry = manifest.get("shards")
+        if shards >= 2 and shard_entry and shard_entry.get("count") == shards:
+            shard_snapshots: list[IndexSnapshot] = []
+            blooms: list[TermBloomFilter | None] = []
+            for file_name in shard_entry.get("files", []):
+                shard_snapshots.append(cls._race_guarded(
+                    lambda file_name=file_name: load_snapshot(
+                        path / file_name, store=store)))
+                header = cls._race_guarded(
+                    lambda file_name=file_name: read_snapshot_header(
+                        path / file_name))
+                bloom_data = header.get("bloom")
+                blooms.append(TermBloomFilter.from_dict(bloom_data)
+                              if bloom_data else None)
+            if len(shard_snapshots) == shards:
+                restored_blooms = ([bloom for bloom in blooms]
+                                   if all(blooms) else None)
+                collection._loaded_sharded = ShardedTopK.from_shards(
+                    shard_snapshots, parallelism=parallelism,
+                    blooms=restored_blooms)
         return collection
+
+    @staticmethod
+    def _race_guarded(read):
+        """Run one snapshot-file read, translating a vanished-file error
+        into :class:`_SnapshotPruneRace` so :meth:`load` retries from a
+        fresh manifest instead of failing on a concurrent re-save."""
+        try:
+            return read()
+        except SnapshotError as exc:
+            if isinstance(exc.__cause__, OSError):
+                raise _SnapshotPruneRace(str(exc)) from exc.__cause__
+            raise
+
+    @staticmethod
+    def load_shard(path: str | Path, shard_index: int,
+                   ) -> tuple[IndexSnapshot, "TermBloomFilter | None"]:
+        """Load exactly one persisted shard partition of the flat index.
+
+        This is the multi-process-server entry point: a worker process
+        serving partition ``shard_index`` reads the manifest, the shared
+        document store, and its own shard snapshot — never the other
+        partitions' postings.  (The store read does parse every document;
+        only this shard's partition stays pinned by the returned
+        snapshot.)
+
+        Args:
+            path: a generation directory written by :meth:`save` with
+                ``shards >= 2`` configured.
+            shard_index: which partition to load (0-based).
+
+        Returns:
+            ``(snapshot, bloom)``: the shard's self-contained snapshot
+            (collection-wide statistics included, so scoring it is
+            float-identical to the unsharded path) and its term Bloom
+            filter (``None`` if the file predates Bloom persistence).
+
+        Raises:
+            SnapshotError: if the directory has no persisted shards, the
+                index is out of range, or any file fails verification.
+        """
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise SnapshotError(
+                f"cannot read collection manifest {str(manifest_path)!r}: "
+                f"{exc}") from exc
+        except ValueError as exc:
+            raise SnapshotError(
+                f"collection manifest {str(manifest_path)!r} is not valid "
+                f"JSON ({exc})") from exc
+        shard_entry = manifest.get("shards")
+        if not shard_entry or not shard_entry.get("files"):
+            raise SnapshotError(
+                f"collection at {str(path)!r} has no persisted shard "
+                f"snapshots (save with shards >= 2 configured)"
+            )
+        files = shard_entry["files"]
+        if not 0 <= shard_index < len(files):
+            raise SnapshotError(
+                f"shard index {shard_index} out of range (collection has "
+                f"{len(files)} shards)"
+            )
+        store = None
+        if manifest.get("docstore"):
+            store = load_document_store(path / manifest["docstore"])
+        file_name = files[shard_index]
+        snapshot = load_snapshot(path / file_name, store=store)
+        header = read_snapshot_header(path / file_name)
+        bloom_data = header.get("bloom")
+        bloom = TermBloomFilter.from_dict(bloom_data) if bloom_data else None
+        return snapshot, bloom
 
     def _decorated_document(self, instance: QunitInstance):
         """Instance document with definition keywords folded into the title,
@@ -523,6 +724,7 @@ class QunitCollection:
     # -- statistics -----------------------------------------------------------------------
 
     def instance_count(self) -> int:
+        """Total materialized (non-empty, bounded) instances."""
         return sum(len(self.instances_of(name)) for name in self.definitions)
 
     def describe(self) -> list[tuple[str, str, int]]:

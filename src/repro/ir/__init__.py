@@ -13,8 +13,16 @@ from repro.ir.analysis import Analyzer, STOPWORDS
 from repro.ir.documents import Document
 from repro.ir.feedback import RocchioFeedback
 from repro.ir.index import IndexSnapshot, InvertedIndex, Posting, TermContributions
-from repro.ir.persist import load_snapshot, save_snapshot
-from repro.ir.shard import ShardedTopK, shard_snapshot
+from repro.ir.persist import (
+    DocumentStore,
+    SnapshotJournal,
+    compact_snapshot,
+    load_document_store,
+    load_snapshot,
+    save_document_store,
+    save_snapshot,
+)
+from repro.ir.shard import ShardedTopK, TermBloomFilter, shard_snapshot
 from repro.ir.topk import TopKHeap, merge_ranked, topk_scores
 from repro.ir.metrics import (
     average_precision,
@@ -42,7 +50,13 @@ __all__ = [
     "merge_ranked",
     "save_snapshot",
     "load_snapshot",
+    "save_document_store",
+    "load_document_store",
+    "compact_snapshot",
+    "DocumentStore",
+    "SnapshotJournal",
     "ShardedTopK",
+    "TermBloomFilter",
     "shard_snapshot",
     "Searcher",
     "SearchHit",

@@ -1,4 +1,4 @@
-"""Persistent :class:`~repro.ir.index.IndexSnapshot` storage.
+"""Persistent snapshot storage: document store + postings overlays + deltas.
 
 Collections in this system are expensive to derive (schema analysis, query
 logs, instance materialization) but cheap to query; persistence splits the
@@ -6,49 +6,46 @@ two across process lifetimes: :func:`save_snapshot` writes a snapshot to
 disk once, :func:`load_snapshot` brings it back in a form that serves
 queries with no live :class:`~repro.ir.index.InvertedIndex` behind it.
 
-File format (version 1)
------------------------
+``docs/PERSISTENCE.md`` specifies the on-disk formats precisely (record
+grammars, checksum rules, version negotiation, compaction semantics); this
+docstring is the orientation summary.
 
-A snapshot file is UTF-8 text, one JSON object per line (JSON-lines):
+Format version 2 (current)
+--------------------------
 
-``line 1`` — header::
+Version 2 splits a saved generation into a **document store** plus
+**postings overlays**:
 
-    {"magic": "qunits-snapshot", "format_version": 1,
-     "index_version": <int>,
-     "analyzer": {"remove_stopwords": <bool>, "stem": <bool>,
-                  "min_token_length": <int>},
-     "document_count": <int>, "average_document_length": <float>,
-     "min_document_length": <float>,
-     "stored_documents": <int>, "stored_terms": <int>}
+- A *document store* file (:func:`save_document_store`) holds every
+  decorated instance document — and its weighted length — exactly once.
+- Snapshot files written with ``docstore=<name>`` record only ``ref``
+  lines (doc_ids) instead of full ``doc`` records; on load the referenced
+  :class:`DocumentStore` supplies the shared :class:`~repro.ir.documents.
+  Document` objects, so N snapshots over the same corpus pin one copy of
+  the documents instead of N.
+- Snapshot files written without a ``docstore`` inline their documents
+  (the standalone layout, used by :class:`SnapshotJournal`).
 
-``stored_documents`` / ``stored_terms`` count the records that follow;
-``document_count`` is the *collection-wide* statistic scorers use, which
-exceeds ``stored_documents`` for shard snapshots (see
-:mod:`repro.ir.shard`).
+All files are UTF-8 JSON-lines with a header line, body records, and a
+footer carrying a sha256 digest of every preceding line; truncation,
+corruption, and unknown format versions raise
+:class:`~repro.errors.SnapshotError` (files are never silently
+reinterpreted).  Version-1 files (single snapshot, inline documents) are
+still read; :func:`save_snapshot_v1` keeps the legacy writer available for
+compatibility tests and size comparisons.
 
-``next stored_documents lines`` — one document record each::
+Delta segments
+--------------
 
-    {"t": "doc", "id": <doc_id>, "fields": [[name, text], ...],
-     "weights": [[name, weight], ...], "meta": [[key, value], ...],
-     "length": <float>}
-
-``next stored_terms lines`` — one term record each::
-
-    {"t": "term", "term": <term>, "df": <int>,
-     "postings": [[doc_id, weighted_tf], ...]}
-
-``df`` is stored explicitly (not recomputed from the postings length) so
-shard snapshots round-trip their collection-wide document frequencies.
-
-``last line`` — footer::
-
-    {"t": "end", "records": <int>, "sha256": <hex digest>}
-
-``sha256`` is the digest of every preceding line's UTF-8 bytes, each
-including its trailing newline.  A missing or malformed footer means the
-file was truncated; a digest mismatch means it was corrupted; both raise
-:class:`~repro.errors.SnapshotError`, as does an unrecognized
-``format_version`` (files are never silently reinterpreted).
+A version-2 snapshot file may carry **delta segments** after its base
+footer: each segment is one ``delta`` record (new inline documents,
+postings additions, refreshed collection statistics) followed by a
+``delta-end`` record with a sha256 of the segment line.  Appending a delta
+is O(new documents), not O(file) — :class:`SnapshotJournal` hooks
+:meth:`~repro.ir.index.InvertedIndex.add` so every add appends a
+checksummed segment instead of rewriting the snapshot, and compaction
+(:func:`compact_snapshot`, or the journal's threshold) folds segments back
+into a clean base.
 
 Fidelity
 --------
@@ -58,6 +55,9 @@ shortest-round-trip exact, so a loaded snapshot scores *float-identical*
 to the one saved.  Tuples inside document metadata are encoded as JSON
 arrays and restored as tuples on load, preserving
 :class:`~repro.ir.documents.Document` equality across the round trip.
+Delta postings additions are recomputed with the same per-token
+accumulation order as :meth:`~repro.ir.index.InvertedIndex.add`, so
+journaled snapshots also load float-identical.
 """
 
 from __future__ import annotations
@@ -70,12 +70,36 @@ from pathlib import Path
 from repro.errors import SnapshotError
 from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document
-from repro.ir.index import IndexSnapshot, Posting
+from repro.ir.index import IndexSnapshot, InvertedIndex, Posting
 
-__all__ = ["FORMAT_MAGIC", "FORMAT_VERSION", "save_snapshot", "load_snapshot"]
+__all__ = [
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "DEFAULT_COMPACT_THRESHOLD",
+    "DocumentStore",
+    "SnapshotJournal",
+    "save_snapshot",
+    "save_snapshot_v1",
+    "load_snapshot",
+    "save_document_store",
+    "load_document_store",
+    "read_snapshot_header",
+    "compact_snapshot",
+    "delta_segment_count",
+]
 
 FORMAT_MAGIC = "qunits-snapshot"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
+STORE_MAGIC = "qunits-docstore"
+STORE_VERSION = 1
+#: Minimum number of delta segments before a :class:`SnapshotJournal`
+#: considers folding them back into a clean base snapshot (folding also
+#: waits until the delta reaches 25% of the base — see the class docs).
+DEFAULT_COMPACT_THRESHOLD = 16
 
 
 def _to_jsonable(value: object) -> object:
@@ -103,64 +127,50 @@ def _dumps(record: dict) -> str:
         raise SnapshotError(f"unserializable snapshot record: {exc}") from exc
 
 
-def save_snapshot(snapshot: IndexSnapshot, path: str | os.PathLike) -> Path:
-    """Write ``snapshot`` to ``path`` in the format above; returns the path.
-
-    The file is written to a temporary sibling and renamed into place, so
-    readers never observe a half-written snapshot.
-    """
-    path = Path(path)
-    doc_ids = sorted(snapshot._documents)
-    terms = sorted(snapshot._postings)
-    header = {
-        "magic": FORMAT_MAGIC,
-        "format_version": FORMAT_VERSION,
-        "index_version": snapshot.version,
-        "analyzer": snapshot.analyzer.config(),
-        "document_count": snapshot.document_count,
-        "average_document_length": snapshot.average_document_length,
-        "min_document_length": snapshot.min_document_length,
-        "stored_documents": len(doc_ids),
-        "stored_terms": len(terms),
+def _doc_record(doc_id: str, document: Document, length: float) -> dict:
+    return {
+        "t": "doc",
+        "id": doc_id,
+        "fields": [[name, text] for name, text in document.fields],
+        "weights": [[name, weight] for name, weight in document.field_weights],
+        "meta": [[key, _to_jsonable(value)]
+                 for key, value in document.metadata],
+        "length": length,
     }
 
-    def records():
-        yield header
-        for doc_id in doc_ids:
-            document = snapshot._documents[doc_id]
-            yield {
-                "t": "doc",
-                "id": doc_id,
-                "fields": [[name, text] for name, text in document.fields],
-                "weights": [[name, weight]
-                            for name, weight in document.field_weights],
-                "meta": [[key, _to_jsonable(value)]
-                         for key, value in document.metadata],
-                "length": snapshot._doc_lengths[doc_id],
-            }
-        for term in terms:
-            yield {
-                "t": "term",
-                "term": term,
-                "df": snapshot._doc_frequencies.get(
-                    term, len(snapshot._postings[term])),
-                "postings": [[posting.doc_id, posting.weighted_tf]
-                             for posting in snapshot._postings[term]],
-            }
 
+def _doc_from_record(record: dict) -> tuple[str, Document, float]:
+    doc_id = record["id"]
+    document = Document(
+        doc_id=doc_id,
+        fields=tuple((name, text) for name, text in record["fields"]),
+        field_weights=tuple((name, weight)
+                            for name, weight in record["weights"]),
+        metadata=tuple((key, _from_jsonable(value))
+                       for key, value in record["meta"]),
+    )
+    return doc_id, document, record["length"]
+
+
+def _write_checksummed(path: Path, records) -> Path:
+    """Write header+body ``records`` plus a digest footer, atomically.
+
+    The file is written to a temporary sibling and renamed into place, so
+    readers never observe a half-written file.  The footer's ``records``
+    count excludes the header line, matching the loaders' expectations.
+    """
     digest = hashlib.sha256()
+    count = -1  # the header line is not a body record
     tmp_path = path.with_name(path.name + ".tmp")
     try:
         with open(tmp_path, "w", encoding="utf-8") as handle:
-            for record in records():
+            for record in records:
                 line = _dumps(record) + "\n"
                 digest.update(line.encode("utf-8"))
                 handle.write(line)
-            footer = {
-                "t": "end",
-                "records": len(doc_ids) + len(terms),
-                "sha256": digest.hexdigest(),
-            }
+                count += 1
+            footer = {"t": "end", "records": count,
+                      "sha256": digest.hexdigest()}
             handle.write(_dumps(footer) + "\n")
     except BaseException:
         tmp_path.unlink(missing_ok=True)
@@ -183,41 +193,359 @@ def _parse_line(path: Path, line: str, what: str) -> dict:
     return record
 
 
-def load_snapshot(path: str | os.PathLike) -> IndexSnapshot:
-    """Read a snapshot saved by :func:`save_snapshot`.
-
-    Raises :class:`~repro.errors.SnapshotError` on missing/truncated files,
-    checksum mismatches, and format-version mismatches.  The returned
-    snapshot is fully self-contained: it answers searches (and hands out
-    documents) without any live index.
-    """
-    path = Path(path)
+def _read_lines(path: Path) -> list[str]:
     try:
         with open(path, encoding="utf-8") as handle:
-            lines = handle.readlines()
+            return handle.readlines()
     except OSError as exc:
         raise SnapshotError(
             f"cannot read snapshot file {str(path)!r}: {exc}") from exc
+
+
+# -- document store ----------------------------------------------------------
+
+
+class DocumentStore:
+    """The deduplicated per-generation document store.
+
+    One store holds every decorated instance document (and its weighted
+    length) exactly once; snapshot files saved against it reference
+    documents by id (``ref`` records) instead of inlining them.  All
+    snapshots loaded against the same store *share* its
+    :class:`~repro.ir.documents.Document` objects, so a generation's
+    documents are pinned in memory once no matter how many per-definition
+    or per-shard snapshots reference them.
+    """
+
+    def __init__(self, analyzer: Analyzer, documents: dict[str, Document],
+                 doc_lengths: dict[str, float]):
+        """Wrap already-built mappings (no copies are taken).
+
+        Args:
+            analyzer: the analyzer the documents were tokenized with
+                (checked against snapshots loaded from this store).
+            documents: ``doc_id -> Document`` for every stored document.
+            doc_lengths: ``doc_id -> weighted length``, same keys.
+        """
+        self.analyzer = analyzer
+        self.documents = documents
+        self.doc_lengths = doc_lengths
+
+    @classmethod
+    def from_snapshot(cls, snapshot: IndexSnapshot) -> "DocumentStore":
+        """A store holding (copies of the mappings of) every document in
+        ``snapshot`` — typically the collection-wide global snapshot, whose
+        documents are a superset of every per-definition snapshot's."""
+        return cls(snapshot.analyzer, dict(snapshot._documents),
+                   dict(snapshot._doc_lengths))
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self.documents
+
+
+def save_document_store(store: DocumentStore, path: str | os.PathLike) -> Path:
+    """Write ``store`` to ``path`` (atomically); returns the path.
+
+    Raises:
+        SnapshotError: if a document carries unserializable metadata.
+    """
+    path = Path(path)
+    header = {
+        "magic": STORE_MAGIC,
+        "format_version": STORE_VERSION,
+        "analyzer": store.analyzer.config(),
+        "stored_documents": len(store.documents),
+    }
+
+    def records():
+        yield header
+        for doc_id in sorted(store.documents):
+            yield _doc_record(doc_id, store.documents[doc_id],
+                              store.doc_lengths[doc_id])
+
+    return _write_checksummed(path, records())
+
+
+def load_document_store(path: str | os.PathLike) -> DocumentStore:
+    """Read a document store saved by :func:`save_document_store`.
+
+    Raises:
+        SnapshotError: on missing/truncated files, checksum mismatches,
+            and format-version mismatches.
+    """
+    path = Path(path)
+    lines = _read_lines(path)
     if len(lines) < 2:
         raise _corrupt(path, "missing header or footer (truncated?)")
-
     header = _parse_line(path, lines[0], "header")
-    if header.get("magic") != FORMAT_MAGIC:
-        raise _corrupt(path, "not a qunits snapshot file (bad magic)")
-    format_version = header.get("format_version")
-    if format_version != FORMAT_VERSION:
+    if header.get("magic") != STORE_MAGIC:
+        raise _corrupt(path, "not a qunits document store file (bad magic)")
+    if header.get("format_version") != STORE_VERSION:
         raise SnapshotError(
-            f"snapshot file {str(path)!r} has format version "
-            f"{format_version!r}; this build reads version {FORMAT_VERSION}"
+            f"document store {str(path)!r} has format version "
+            f"{header.get('format_version')!r}; this build reads version "
+            f"{STORE_VERSION}"
         )
-
     footer_line = lines[-1]
     if not footer_line.endswith("\n"):
         raise _corrupt(path, "unterminated final line (truncated?)")
     footer = _parse_line(path, footer_line, "footer")
     if footer.get("t") != "end":
         raise _corrupt(path, "missing end-of-file footer (truncated?)")
+    body = lines[1:-1]
+    if footer.get("records") != len(body) or \
+            header.get("stored_documents") != len(body):
+        raise _corrupt(path, f"expected {header.get('stored_documents')} "
+                             f"records, found {len(body)} (truncated?)")
+    digest = hashlib.sha256()
+    for line in lines[:-1]:
+        digest.update(line.encode("utf-8"))
+    if digest.hexdigest() != footer.get("sha256"):
+        raise _corrupt(path, "checksum mismatch (corrupted)")
 
+    documents: dict[str, Document] = {}
+    doc_lengths: dict[str, float] = {}
+    try:
+        for i, line in enumerate(body):
+            record = _parse_line(path, line, f"record {i + 1}")
+            if record.get("t") != "doc":
+                raise _corrupt(
+                    path, f"record {i + 1} has unexpected type "
+                          f"{record.get('t')!r}")
+            doc_id, document, length = _doc_from_record(record)
+            if doc_id in documents:
+                raise _corrupt(path, f"duplicate document {doc_id!r}")
+            documents[doc_id] = document
+            doc_lengths[doc_id] = length
+    except KeyError as exc:
+        raise _corrupt(path, f"missing required key {exc.args[0]!r}") from exc
+    except (TypeError, ValueError) as exc:
+        raise _corrupt(path, f"malformed record structure ({exc})") from exc
+    return DocumentStore(Analyzer.from_config(header.get("analyzer", {})),
+                         documents, doc_lengths)
+
+
+# -- snapshot writers --------------------------------------------------------
+
+
+def save_snapshot(snapshot: IndexSnapshot, path: str | os.PathLike, *,
+                  docstore: str | None = None, shard: dict | None = None,
+                  bloom: dict | None = None) -> Path:
+    """Write ``snapshot`` to ``path`` in the version-2 format; returns it.
+
+    The file is written to a temporary sibling and renamed into place, so
+    readers never observe a half-written snapshot.  Any delta segments a
+    previous file at ``path`` carried are folded away by the rewrite.
+
+    Args:
+        snapshot: the frozen snapshot to persist.
+        docstore: file name (relative to ``path``'s directory) of the
+            document store the snapshot's documents live in.  When given,
+            the file records only ``ref`` lines — the deduplicated layout;
+            the caller is responsible for the store actually covering the
+            snapshot's doc_ids.  When ``None``, documents are inlined
+            (standalone layout).
+        shard: optional ``{"index": i, "count": n}`` partition coordinates
+            recorded in the header (see :mod:`repro.ir.shard`).
+        bloom: optional serialized term Bloom filter
+            (:meth:`~repro.ir.shard.TermBloomFilter.to_dict`) recorded in
+            the header so routers can read it without parsing postings.
+
+    Raises:
+        SnapshotError: if a document carries unserializable metadata.
+    """
+    path = Path(path)
+    doc_ids = sorted(snapshot._documents)
+    terms = sorted(snapshot._postings)
+    header = {
+        "magic": FORMAT_MAGIC,
+        "format_version": FORMAT_VERSION,
+        "index_version": snapshot.version,
+        "analyzer": snapshot.analyzer.config(),
+        "document_count": snapshot.document_count,
+        "average_document_length": snapshot.average_document_length,
+        "min_document_length": snapshot.min_document_length,
+        "stored_documents": len(doc_ids),
+        "stored_terms": len(terms),
+        "docstore": docstore,
+        "shard": shard,
+        "bloom": bloom,
+    }
+
+    # Version-2 term records intern doc_ids: postings carry the position
+    # of the document in this file's (sorted) doc/ref record order, not
+    # the doc_id string — qunit doc_ids are long, and repeating them per
+    # (term, document) would dominate the file size.
+    position = {doc_id: i for i, doc_id in enumerate(doc_ids)}
+
+    def records():
+        yield header
+        for doc_id in doc_ids:
+            if docstore is None:
+                yield _doc_record(doc_id, snapshot._documents[doc_id],
+                                  snapshot._doc_lengths[doc_id])
+            else:
+                yield {"t": "ref", "id": doc_id}
+        for term in terms:
+            yield {
+                "t": "term",
+                "term": term,
+                "df": snapshot._doc_frequencies.get(
+                    term, len(snapshot._postings[term])),
+                "postings": [[position[posting.doc_id], posting.weighted_tf]
+                             for posting in snapshot._postings[term]],
+            }
+
+    return _write_checksummed(path, records())
+
+
+def save_snapshot_v1(snapshot: IndexSnapshot, path: str | os.PathLike) -> Path:
+    """Write ``snapshot`` in the legacy version-1 layout (inline documents,
+    no docstore/shard/bloom header fields, no delta support).
+
+    Kept for compatibility tests and for measuring what the deduplicated
+    version-2 layout saves; new code should use :func:`save_snapshot`.
+    """
+    path = Path(path)
+    doc_ids = sorted(snapshot._documents)
+    terms = sorted(snapshot._postings)
+    header = {
+        "magic": FORMAT_MAGIC,
+        "format_version": 1,
+        "index_version": snapshot.version,
+        "analyzer": snapshot.analyzer.config(),
+        "document_count": snapshot.document_count,
+        "average_document_length": snapshot.average_document_length,
+        "min_document_length": snapshot.min_document_length,
+        "stored_documents": len(doc_ids),
+        "stored_terms": len(terms),
+    }
+
+    def records():
+        yield header
+        for doc_id in doc_ids:
+            yield _doc_record(doc_id, snapshot._documents[doc_id],
+                              snapshot._doc_lengths[doc_id])
+        for term in terms:
+            yield {
+                "t": "term",
+                "term": term,
+                "df": snapshot._doc_frequencies.get(
+                    term, len(snapshot._postings[term])),
+                "postings": [[posting.doc_id, posting.weighted_tf]
+                             for posting in snapshot._postings[term]],
+            }
+
+    return _write_checksummed(path, records())
+
+
+# -- snapshot readers --------------------------------------------------------
+
+
+def read_snapshot_header(path: str | os.PathLike) -> dict:
+    """The parsed header line of a snapshot file (magic/version checked).
+
+    Reads one line only — cheap enough for routers that need a shard
+    file's Bloom filter or partition coordinates without its postings.
+
+    Raises:
+        SnapshotError: on unreadable files, bad magic, or an unsupported
+            format version.
+    """
+    path = Path(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            first = handle.readline()
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read snapshot file {str(path)!r}: {exc}") from exc
+    if not first:
+        raise _corrupt(path, "empty file")
+    header = _parse_line(path, first, "header")
+    if header.get("magic") != FORMAT_MAGIC:
+        raise _corrupt(path, "not a qunits snapshot file (bad magic)")
+    if header.get("format_version") not in SUPPORTED_VERSIONS:
+        raise SnapshotError(
+            f"snapshot file {str(path)!r} has format version "
+            f"{header.get('format_version')!r}; this build reads versions "
+            f"{SUPPORTED_VERSIONS}"
+        )
+    return header
+
+
+def load_snapshot(path: str | os.PathLike,
+                  store: DocumentStore | None = None) -> IndexSnapshot:
+    """Read a snapshot saved by :func:`save_snapshot` (or the legacy v1
+    writer), applying any delta segments.
+
+    Args:
+        path: the snapshot file.
+        store: the document store backing the file's ``ref`` records.
+            When ``None`` and the header names a docstore, the store is
+            loaded from the sibling file automatically; pass a pre-loaded
+            store to share one copy of the documents across many snapshot
+            loads (what :meth:`~repro.core.collection.QunitCollection.load`
+            does).
+
+    Returns:
+        A fully self-contained snapshot: it answers searches (and hands
+        out documents) without any live index.  Documents resolved through
+        a store are *shared* with it, not copied.
+
+    Raises:
+        SnapshotError: on missing/truncated files, checksum mismatches
+            (base or delta), format-version mismatches, dangling document
+            references, and analyzer disagreements with the store.
+    """
+    snapshot, _header, _segments = _load_snapshot_file(Path(path), store)
+    return snapshot
+
+
+def delta_segment_count(path: str | os.PathLike) -> int:
+    """How many delta segments trail the base snapshot in ``path``
+    (0 for version-1 files and freshly compacted version-2 files)."""
+    _snapshot, _header, segments = _load_snapshot_file(Path(path), None)
+    return segments
+
+
+def _load_snapshot_file(path: Path, store: DocumentStore | None,
+                        ) -> tuple[IndexSnapshot, dict, int]:
+    lines = _read_lines(path)
+    if len(lines) < 2:
+        raise _corrupt(path, "missing header or footer (truncated?)")
+    header = _parse_line(path, lines[0], "header")
+    if header.get("magic") != FORMAT_MAGIC:
+        raise _corrupt(path, "not a qunits snapshot file (bad magic)")
+    format_version = header.get("format_version")
+    if format_version == 1:
+        return _load_v1(path, lines, header), header, 0
+    if format_version == 2:
+        return _load_v2(path, lines, header, store)
+    raise SnapshotError(
+        f"snapshot file {str(path)!r} has format version "
+        f"{format_version!r}; this build reads versions {SUPPORTED_VERSIONS}"
+    )
+
+
+def _verify_base_digest(path: Path, lines: list[str], footer: dict) -> None:
+    digest = hashlib.sha256()
+    for line in lines:
+        digest.update(line.encode("utf-8"))
+    if digest.hexdigest() != footer.get("sha256"):
+        raise _corrupt(path, "checksum mismatch (corrupted)")
+
+
+def _load_v1(path: Path, lines: list[str], header: dict) -> IndexSnapshot:
+    """The legacy single-file layout: footer last, documents inline."""
+    footer_line = lines[-1]
+    if not footer_line.endswith("\n"):
+        raise _corrupt(path, "unterminated final line (truncated?)")
+    footer = _parse_line(path, footer_line, "footer")
+    if footer.get("t") != "end":
+        raise _corrupt(path, "missing end-of-file footer (truncated?)")
     body = lines[1:-1]
     expected_records = header.get("stored_documents", 0) + header.get(
         "stored_terms", 0)
@@ -227,11 +555,7 @@ def load_snapshot(path: str | os.PathLike) -> IndexSnapshot:
             f"expected {expected_records} records, found {len(body)} "
             f"(truncated?)",
         )
-    digest = hashlib.sha256()
-    for line in lines[:-1]:
-        digest.update(line.encode("utf-8"))
-    if digest.hexdigest() != footer.get("sha256"):
-        raise _corrupt(path, "checksum mismatch (corrupted)")
+    _verify_base_digest(path, lines[:-1], footer)
 
     analyzer = Analyzer.from_config(header.get("analyzer", {}))
     documents: dict[str, Document] = {}
@@ -246,17 +570,9 @@ def load_snapshot(path: str | os.PathLike) -> IndexSnapshot:
             record = _parse_line(path, line, f"record {i + 1}")
             kind = record.get("t")
             if kind == "doc":
-                doc_id = record["id"]
-                documents[doc_id] = Document(
-                    doc_id=doc_id,
-                    fields=tuple((name, text)
-                                 for name, text in record["fields"]),
-                    field_weights=tuple(
-                        (name, weight) for name, weight in record["weights"]),
-                    metadata=tuple((key, _from_jsonable(value))
-                                   for key, value in record["meta"]),
-                )
-                doc_lengths[doc_id] = record["length"]
+                doc_id, document, length = _doc_from_record(record)
+                documents[doc_id] = document
+                doc_lengths[doc_id] = length
             elif kind == "term":
                 term = record["term"]
                 postings[term] = tuple(
@@ -285,3 +601,416 @@ def load_snapshot(path: str | os.PathLike) -> IndexSnapshot:
         raise _corrupt(path, f"missing required key {exc.args[0]!r}") from exc
     except (TypeError, ValueError) as exc:
         raise _corrupt(path, f"malformed record structure ({exc})") from exc
+
+
+def _load_v2(path: Path, lines: list[str], header: dict,
+             store: DocumentStore | None) -> tuple[IndexSnapshot, dict, int]:
+    """The document-store + postings-overlay layout, plus delta segments."""
+    try:
+        expected_records = header["stored_documents"] + header["stored_terms"]
+    except KeyError as exc:
+        raise _corrupt(path, f"missing required key {exc.args[0]!r}") from exc
+    footer_index = 1 + expected_records
+    if len(lines) <= footer_index:
+        raise _corrupt(
+            path,
+            f"expected {expected_records} records before the footer, found "
+            f"{len(lines) - 1} lines (truncated?)",
+        )
+    footer_line = lines[footer_index]
+    if not footer_line.endswith("\n"):
+        raise _corrupt(path, "unterminated footer line (truncated?)")
+    footer = _parse_line(path, footer_line, "footer")
+    if footer.get("t") != "end":
+        raise _corrupt(path, "missing base footer (truncated?)")
+    if footer.get("records") != expected_records:
+        raise _corrupt(path, "footer record count does not match header")
+    _verify_base_digest(path, lines[:footer_index], footer)
+
+    docstore_name = header.get("docstore")
+    if docstore_name is not None and store is None:
+        store = load_document_store(path.parent / docstore_name)
+    analyzer = Analyzer.from_config(header.get("analyzer", {}))
+    if store is not None and store.analyzer != analyzer:
+        raise SnapshotError(
+            f"snapshot {str(path)!r} was built with analyzer {analyzer!r}, "
+            f"but its document store uses {store.analyzer!r}; refusing to "
+            f"mix tokenizations"
+        )
+
+    documents: dict[str, Document] = {}
+    doc_lengths: dict[str, float] = {}
+    postings: dict[str, tuple[Posting, ...]] = {}
+    doc_frequencies: dict[str, int] = {}
+    doc_order: list[str] = []  # record order; postings intern into it
+    body = lines[1:footer_index]
+    try:
+        for i, line in enumerate(body):
+            record = _parse_line(path, line, f"record {i + 1}")
+            kind = record.get("t")
+            if kind == "doc":
+                doc_id, document, length = _doc_from_record(record)
+                documents[doc_id] = document
+                doc_lengths[doc_id] = length
+                doc_order.append(doc_id)
+            elif kind == "ref":
+                doc_id = record["id"]
+                if store is None:
+                    raise _corrupt(
+                        path, f"record {i + 1} references a document store "
+                              f"but the header names none")
+                if doc_id not in store.documents:
+                    raise _corrupt(
+                        path, f"document {doc_id!r} is not in the document "
+                              f"store")
+                documents[doc_id] = store.documents[doc_id]
+                doc_lengths[doc_id] = store.doc_lengths[doc_id]
+                doc_order.append(doc_id)
+            elif kind == "term":
+                term = record["term"]
+                plist = []
+                for index, weighted_tf in record["postings"]:
+                    if not isinstance(index, int) or \
+                            not 0 <= index < len(doc_order):
+                        raise _corrupt(
+                            path, f"term {term!r} references document index "
+                                  f"{index!r}, outside this file's "
+                                  f"{len(doc_order)} document records")
+                    plist.append(Posting(doc_order[index], weighted_tf))
+                postings[term] = tuple(plist)
+                doc_frequencies[term] = record["df"]
+            else:
+                raise _corrupt(path, f"record {i + 1} has unknown type {kind!r}")
+        if len(documents) != header["stored_documents"]:
+            raise _corrupt(path, "document record count does not match header")
+        if len(postings) != header["stored_terms"]:
+            raise _corrupt(path, "term record count does not match header")
+
+        stats = {
+            "index_version": header["index_version"],
+            "document_count": header["document_count"],
+            "average_document_length": header["average_document_length"],
+            "min_document_length": header["min_document_length"],
+        }
+        segments = _apply_deltas(path, lines[footer_index + 1:], documents,
+                                 doc_lengths, postings, doc_frequencies,
+                                 stats)
+        return IndexSnapshot(
+            version=stats["index_version"],
+            analyzer=analyzer,
+            documents=documents,
+            postings=postings,
+            doc_lengths=doc_lengths,
+            doc_frequencies=doc_frequencies,
+            document_count=stats["document_count"],
+            average_document_length=stats["average_document_length"],
+            min_document_length=stats["min_document_length"],
+        ), header, segments
+    except KeyError as exc:
+        raise _corrupt(path, f"missing required key {exc.args[0]!r}") from exc
+    except (TypeError, ValueError) as exc:
+        raise _corrupt(path, f"malformed record structure ({exc})") from exc
+
+
+def _apply_deltas(path: Path, rest: list[str], documents: dict,
+                  doc_lengths: dict, postings: dict, doc_frequencies: dict,
+                  stats: dict) -> int:
+    """Fold trailing delta segments into the base mappings; returns the
+    segment count.  Each segment is independently checksummed; a truncated
+    or corrupted tail raises rather than silently serving a prefix."""
+    segments = 0
+    i = 0
+    while i < len(rest):
+        what = f"delta segment {segments + 1}"
+        delta_line = rest[i]
+        if i + 1 >= len(rest) or not rest[i + 1].endswith("\n"):
+            raise _corrupt(path, f"{what} is missing its checksum line "
+                                 f"(truncated?)")
+        record = _parse_line(path, delta_line, what)
+        end = _parse_line(path, rest[i + 1], f"{what} checksum")
+        if record.get("t") != "delta" or end.get("t") != "delta-end":
+            raise _corrupt(path, f"{what} has malformed record types")
+        if record.get("seq") != segments + 1 or end.get("seq") != segments + 1:
+            raise _corrupt(path, f"{what} is out of sequence")
+        if hashlib.sha256(delta_line.encode("utf-8")).hexdigest() != \
+                end.get("sha256"):
+            raise _corrupt(path, f"{what} checksum mismatch (corrupted)")
+        for doc_record in record["docs"]:
+            doc_id, document, length = _doc_from_record(doc_record)
+            if doc_id in documents:
+                raise _corrupt(path, f"{what} re-adds document {doc_id!r}")
+            documents[doc_id] = document
+            doc_lengths[doc_id] = length
+        for term, df, additions in record["terms"]:
+            merged = list(postings.get(term, ()))
+            merged.extend(Posting(doc_id, weighted_tf)
+                          for doc_id, weighted_tf in additions)
+            merged.sort(key=lambda posting: posting.doc_id)
+            postings[term] = tuple(merged)
+            doc_frequencies[term] = df
+        stats["index_version"] = record["index_version"]
+        stats["document_count"] = record["document_count"]
+        stats["average_document_length"] = record["average_document_length"]
+        stats["min_document_length"] = record["min_document_length"]
+        segments += 1
+        i += 2
+    return segments
+
+
+# -- compaction --------------------------------------------------------------
+
+
+def compact_snapshot(path: str | os.PathLike,
+                     store: DocumentStore | None = None) -> int:
+    """Fold a snapshot file's delta segments into a clean base.
+
+    Rewrites ``path`` atomically as a delta-free base snapshot with the
+    same contents, returning the number of segments folded.  A
+    docstore-backed file with no deltas keeps its ``ref`` layout (and
+    shard/bloom header fields); a file that carried deltas is rewritten
+    standalone, since delta documents are inline and not present in the
+    store.  Version-1 files are upgraded to version 2.  An
+    already-compact version-2 file is left untouched (returns 0, no
+    rewrite).
+
+    Args:
+        path: the snapshot file.
+        store: optional pre-loaded document store backing the file's
+            ``ref`` records, so directory-wide compaction parses the
+            shared store once instead of once per file.
+
+    Raises:
+        SnapshotError: if the file (or any delta segment) fails
+            verification.
+    """
+    path = Path(path)
+    snapshot, header, segments = _load_snapshot_file(path, store)
+    if segments == 0 and header.get("format_version") == FORMAT_VERSION:
+        return 0
+    # Version-1 files upgrade in place; delta-bearing files fold into a
+    # standalone base (delta documents are inline and absent from any
+    # store, so preserving ``ref`` layout would leave dangling ids).
+    save_snapshot(snapshot, path, shard=header.get("shard"),
+                  bloom=header.get("bloom"))
+    return segments
+
+
+# -- incremental journaling --------------------------------------------------
+
+
+class SnapshotJournal:
+    """Incremental on-disk persistence for a live
+    :class:`~repro.ir.index.InvertedIndex`.
+
+    The journal keeps one snapshot file continuously up to date with the
+    index: a base snapshot plus checksummed delta segments, one appended
+    per :meth:`commit` (O(new documents), never a file rewrite).  In
+    ``auto`` mode (the default) the journal subscribes to the index, so
+    every :meth:`~repro.ir.index.InvertedIndex.add` appends a segment by
+    itself.
+
+    Auto-compaction is size-proportional so bulk ingest stays amortized
+    O(1) per document: the journal folds segments into a clean base once
+    at least ``compact_threshold`` segments have accumulated *and* the
+    delta documents amount to >= 25% of the base (a fixed every-K-adds
+    rewrite would make loading N documents O(N^2) in file I/O).
+    :meth:`compact` folds on demand regardless.
+
+    Crash safety: the base is written atomically; each delta segment is
+    verified against its own sha256 on load, so a torn append is detected
+    (and raises) rather than serving a silently truncated index.
+    """
+
+    def __init__(self, index: InvertedIndex, path: str | os.PathLike,
+                 auto: bool = True,
+                 compact_threshold: int = DEFAULT_COMPACT_THRESHOLD):
+        """Attach a journal for ``index`` at ``path``.
+
+        If ``path`` does not exist, a base snapshot of the index's current
+        contents is written.  If it exists, it must hold a subset of the
+        index's documents (the usual flow is :meth:`open`, which rebuilds
+        the index from the file first); documents present in the file but
+        unknown to the index raise.
+
+        Args:
+            index: the live index to persist.
+            path: the snapshot file to keep up to date.
+            auto: subscribe to the index so every ``add`` commits itself.
+            compact_threshold: minimum delta segments before the journal
+                considers folding them into a clean base (must be >= 1;
+                folding additionally waits until the delta reaches 25% of
+                the base — see the class docstring).
+
+        Raises:
+            ValueError: on a non-positive ``compact_threshold``.
+            SnapshotError: if an existing file fails verification or is
+                not a subset of the index.
+        """
+        if compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be >= 1, got {compact_threshold}")
+        self.index = index
+        self.path = Path(path)
+        self.compact_threshold = compact_threshold
+        if self.path.exists():
+            persisted, _header, segments = _load_snapshot_file(self.path, None)
+            unknown = [doc_id for doc_id in persisted._documents
+                       if doc_id not in index._documents]
+            if unknown:
+                raise SnapshotError(
+                    f"journal file {str(self.path)!r} holds documents the "
+                    f"index does not (e.g. {unknown[0]!r}); it is not a "
+                    f"snapshot of this index"
+                )
+            self._persisted = set(persisted._documents)
+            self._segments = segments
+            minimum = persisted.min_document_length
+        else:
+            save_snapshot(index.snapshot(), self.path)
+            self._persisted = set(index._documents)
+            self._segments = 0
+            minimum = index.snapshot().min_document_length
+        # Compaction accounting: documents in the base at the last full
+        # rewrite vs. documents appended as deltas since.  An existing
+        # file's base/delta split is approximated as all-base, which only
+        # delays the next fold.
+        self._base_docs = len(self._persisted)
+        self._delta_docs = 0
+        # Running minimum positive document length (None = none yet), kept
+        # incrementally so commits never rescan the whole index.
+        self._min_length: float | None = minimum if minimum > 0 else None
+        if auto:
+            index.subscribe(self._on_add)
+
+    @classmethod
+    def open(cls, path: str | os.PathLike, analyzer: Analyzer | None = None,
+             **kwargs) -> "SnapshotJournal":
+        """Open (or create) a journaled index at ``path``.
+
+        If the file exists, a live index is rebuilt from it
+        (:meth:`~repro.ir.index.InvertedIndex.from_snapshot`) and the
+        journal resumes appending; otherwise an empty index is created and
+        a base snapshot written.  ``analyzer`` applies only to the
+        fresh-index case.
+
+        Returns:
+            The journal; its live index is at :attr:`SnapshotJournal.index`.
+        """
+        path = Path(path)
+        if path.exists():
+            index = InvertedIndex.from_snapshot(load_snapshot(path))
+        else:
+            index = InvertedIndex(analyzer)
+        return cls(index, path, **kwargs)
+
+    @property
+    def delta_segments(self) -> int:
+        """Delta segments currently trailing the base in the file."""
+        return self._segments
+
+    def pending(self) -> list[str]:
+        """Doc_ids added to the index but not yet committed, sorted.
+
+        Scans the index (O(index size)) — the manual-commit path; the
+        ``auto`` listener commits each added document directly without
+        this scan.
+        """
+        return sorted(doc_id for doc_id in self.index._documents
+                      if doc_id not in self._persisted)
+
+    def _on_add(self, document: Document) -> None:
+        if document.doc_id not in self._persisted:
+            self._commit_ids([document.doc_id])
+
+    def commit(self) -> int:
+        """Append one delta segment covering every uncommitted document.
+
+        Returns the number of documents persisted (0 = nothing pending, no
+        write).  The append itself is O(new documents' text); auto-compacts
+        once :attr:`compact_threshold` segments accumulate.
+        """
+        new_ids = self.pending()
+        if not new_ids:
+            return 0
+        self._commit_ids(new_ids)
+        return len(new_ids)
+
+    def _commit_ids(self, new_ids: list[str]) -> None:
+        self._append_segment(new_ids)
+        self._persisted.update(new_ids)
+        self._segments += 1
+        self._delta_docs += len(new_ids)
+        # Size-proportional folding: enough segments *and* a delta worth
+        # >= 25% of the base, so the total rewrite cost of a bulk load is
+        # a geometric series (amortized O(1) per document).
+        if self._segments >= self.compact_threshold and \
+                self._delta_docs * 4 >= self._base_docs:
+            self.compact()
+
+    def compact(self) -> Path:
+        """Rewrite the file as a clean base of the index's full current
+        contents (folding deltas *and* anything uncommitted); returns the
+        path."""
+        save_snapshot(self.index.snapshot(), self.path)
+        self._persisted = set(self.index._documents)
+        self._segments = 0
+        self._base_docs = len(self._persisted)
+        self._delta_docs = 0
+        minimum = self.index.snapshot().min_document_length
+        self._min_length = minimum if minimum > 0 else None
+        return self.path
+
+    def snapshot(self) -> IndexSnapshot:
+        """The live index's current frozen snapshot (not a file read)."""
+        return self.index.snapshot()
+
+    def _append_segment(self, new_ids: list[str]) -> None:
+        """Serialize ``new_ids`` as one checksummed delta segment.
+
+        Per-term weighted frequencies are recomputed by re-tokenizing each
+        document with the same accumulation order as
+        :meth:`InvertedIndex.add`, so the floats in the segment are
+        bit-identical to the live postings — O(new documents' text), never
+        a scan of the index.
+        """
+        index = self.index
+        docs_records = []
+        term_additions: dict[str, list[tuple[str, float]]] = {}
+        for doc_id in new_ids:
+            document = index._documents[doc_id]
+            length = index._doc_lengths[doc_id]
+            docs_records.append(_doc_record(doc_id, document, length))
+            if length > 0 and (self._min_length is None
+                               or length < self._min_length):
+                self._min_length = length
+            weighted_tfs: dict[str, float] = {}
+            for field_name, text in document.fields:
+                weight = document.weight(field_name)
+                for token in index.analyzer.tokens(text):
+                    weighted_tfs[token] = weighted_tfs.get(token, 0.0) + weight
+            for term, weighted_tf in weighted_tfs.items():
+                term_additions.setdefault(term, []).append(
+                    (doc_id, weighted_tf))
+        terms_payload = [
+            [term, index.document_frequency(term), sorted(additions)]
+            for term, additions in sorted(term_additions.items())
+        ]
+        record = {
+            "t": "delta",
+            "seq": self._segments + 1,
+            "index_version": index.version,
+            "document_count": index.document_count,
+            "average_document_length": index.average_document_length,
+            "min_document_length": self._min_length or 0.0,
+            "docs": docs_records,
+            "terms": terms_payload,
+        }
+        line = _dumps(record) + "\n"
+        end = {
+            "t": "delta-end",
+            "seq": self._segments + 1,
+            "sha256": hashlib.sha256(line.encode("utf-8")).hexdigest(),
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.write(_dumps(end) + "\n")

@@ -75,14 +75,18 @@ class Searcher:
     ``shards >= 2`` turns on sharded scoring for fast-path queries:
     postings are hash-partitioned and scored via ``parallelism``
     (``"serial"``, ``"thread"``, or ``"process"`` — see
-    :mod:`repro.ir.shard`).  Results are rank-identical either way.
-    :meth:`close` releases the shard executor; searchers are usable as
-    context managers.
+    :mod:`repro.ir.shard`), with query batches Bloom-routed only to shards
+    that can match.  Results are rank-identical either way.  A prebuilt
+    :class:`~repro.ir.shard.ShardedTopK` (e.g. restored from per-shard
+    snapshot files) can be handed in via ``sharded`` to skip the in-memory
+    re-partition.  :meth:`close` releases the shard executor; searchers
+    are usable as context managers.
     """
 
     def __init__(self, index: InvertedIndex | IndexSnapshot,
                  scorer: Scorer | None = None, cache_size: int = 256,
-                 shards: int = 0, parallelism: str = "thread"):
+                 shards: int = 0, parallelism: str = "thread",
+                 sharded: ShardedTopK | None = None):
         if cache_size < 0:
             raise ValueError(f"cache_size must be non-negative, got {cache_size}")
         if shards < 0:
@@ -95,10 +99,15 @@ class Searcher:
         self.index = index
         self.scorer = scorer or Bm25Scorer()
         self.cache_size = cache_size
-        self.shards = shards
+        self.shards = shards if sharded is None else \
+            max(shards, len(sharded.shards))
         self.parallelism = parallelism
         self._cache: OrderedDict[tuple, tuple[SearchHit, ...]] = OrderedDict()
-        self._sharded: ShardedTopK | None = None
+        self._sharded: ShardedTopK | None = sharded
+        # A handed-in shard set may be shared across searchers (e.g. the
+        # collection's restored partitions); only shard sets this searcher
+        # builds itself are its to shut down.
+        self._owns_sharded = sharded is None
 
     def search(self, query: str, limit: int = 10) -> list[SearchHit]:
         if limit < 0:
@@ -165,8 +174,10 @@ class Searcher:
         return hits[0] if hits else None
 
     def close(self) -> None:
-        """Release the shard executor, if any (idempotent)."""
-        if self._sharded is not None:
+        """Release the shard executor this searcher owns, if any
+        (idempotent).  A shared shard set handed in at construction is
+        left running — its owner (e.g. the collection) closes it."""
+        if self._sharded is not None and self._owns_sharded:
             self._sharded.close()
             self._sharded = None
 
@@ -200,12 +211,14 @@ class Searcher:
         return hits
 
     def _sharded_topk(self) -> ShardedTopK:
-        """The shard set for the current snapshot (rebuilt after any add)."""
+        """The shard set for the current snapshot (rebuilt after any add;
+        a stale *shared* set is abandoned to its owner, never closed)."""
         snapshot = self.index.snapshot()
         if self._sharded is None or self._sharded.version != snapshot.version:
             self.close()
             self._sharded = ShardedTopK(snapshot, self.shards,
                                         self.parallelism)
+            self._owns_sharded = True
         return self._sharded
 
     def _search_terms(self, terms: tuple[str, ...],

@@ -140,3 +140,51 @@ class TestSaveLoad:
 
         with pytest.raises(SnapshotError):
             main(["--scale", "0.1", "load", str(tmp_path / "missing")])
+
+    def test_save_with_shards_persists_partitions(self, capsys, tmp_path):
+        import json
+
+        out_dir = str(tmp_path / "sharded")
+        code = main(["--scale", "0.1", "save", out_dir,
+                     "--max-instances", "40", "--shards", "2"])
+        assert code == 0
+        assert "shards      : 2" in capsys.readouterr().out
+        manifest = json.loads(
+            (tmp_path / "sharded" / "collection.json").read_text())
+        assert manifest["shards"]["count"] == 2
+        # Loading with the same shard count restores the partitions.
+        assert main(["--scale", "0.1", "load", out_dir, "star wars cast",
+                     "--shards", "2", "--shard-mode", "serial"]) == 0
+
+
+class TestCompactCommand:
+    def test_compact_directory(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "snap")
+        assert main(["--scale", "0.1", "save", out_dir,
+                     "--max-instances", "40"]) == 0
+        capsys.readouterr()
+        assert main(["compact", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "folded 0 delta segment(s)" in out
+        # The directory still loads after compaction.
+        assert main(["--scale", "0.1", "load", out_dir]) == 0
+
+    def test_compact_single_journaled_file(self, capsys, tmp_path):
+        from repro.ir.analysis import Analyzer
+        from repro.ir.documents import Document
+        from repro.ir.index import InvertedIndex
+        from repro.ir.persist import SnapshotJournal, delta_segment_count
+
+        path = tmp_path / "journal.snap"
+        index = InvertedIndex(Analyzer(stem=False))
+        index.add(Document.create("a", {"body": "star wars"}))
+        SnapshotJournal(index, path)
+        index.add(Document.create("b", {"body": "ocean"}))
+        assert delta_segment_count(path) == 1
+        assert main(["compact", str(path)]) == 0
+        assert "folded 1 delta segment(s)" in capsys.readouterr().out
+        assert delta_segment_count(path) == 0
+
+    def test_compact_empty_directory(self, capsys, tmp_path):
+        assert main(["compact", str(tmp_path)]) == 1
+        assert "no snapshot files" in capsys.readouterr().out

@@ -308,13 +308,13 @@ class TestPersistence:
         real_load = collection_module.load_snapshot
         calls = {"n": 0}
 
-        def flaky_load(path):
+        def flaky_load(path, store=None):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise SnapshotError(
                     f"cannot read snapshot file {str(path)!r}: gone"
                 ) from FileNotFoundError(2, "gone")
-            return real_load(path)
+            return real_load(path, store=store)
 
         monkeypatch.setattr(collection_module, "load_snapshot", flaky_load)
         loaded = QunitCollection.load(mini_db, out)
@@ -354,3 +354,201 @@ class TestSharding:
         assert sharded.searcher().shards == 4
         assert sharded.definition_searcher("movie_page").shards == 0
         sharded.close()
+
+
+class TestSnapshotV2Layout:
+    def test_save_writes_document_store_and_refs(self, mini_db, tmp_path):
+        import json
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        manifest = json.loads((out / "collection.json").read_text())
+        assert manifest["format_version"] == 2
+        store_name = manifest["docstore"]
+        assert (out / store_name).exists()
+        # Snapshot files reference the store instead of inlining documents.
+        global_header = json.loads(
+            (out / manifest["snapshots"]["global"]).read_text()
+            .splitlines()[0])
+        assert global_header["format_version"] == 2
+        assert global_header["docstore"] == store_name
+
+    def test_documents_stored_once_directory_smaller_than_v1(self, mini_db,
+                                                             tmp_path):
+        from repro.ir.persist import save_snapshot_v1
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "v2")
+        # Snapshot payload only: both layouts carry the same manifest.
+        v2_bytes = sum(entry.stat().st_size for entry in out.iterdir()
+                       if entry.name != "collection.json")
+
+        legacy = tmp_path / "v1"
+        legacy.mkdir()
+        save_snapshot_v1(collection.global_snapshot(), legacy / "global.snap")
+        for name in sorted(collection.definitions):
+            save_snapshot_v1(collection.definition_index(name).snapshot(),
+                             legacy / f"def-{name}.snap")
+        v1_bytes = sum(entry.stat().st_size for entry in legacy.iterdir())
+        assert v2_bytes < v1_bytes
+
+    def test_load_shares_documents_across_snapshots(self, mini_db, tmp_path):
+        # Regression for the double-pin: eager load used to hold two full
+        # copies of every document (global + per-definition snapshots).
+        # With the deduplicated store, every loaded snapshot must share
+        # the same Document objects, and the number of distinct pinned
+        # documents must equal the store size exactly.
+        import json
+
+        from repro.ir.persist import load_document_store
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        manifest = json.loads((out / "collection.json").read_text())
+        store = load_document_store(out / manifest["docstore"])
+
+        loaded = QunitCollection.load(mini_db, out)
+        global_snapshot = loaded._loaded_snapshots[None]
+        unique_objects = {id(document)
+                          for document in global_snapshot.documents()}
+        for name in loaded.definitions:
+            definition_snapshot = loaded._loaded_snapshots[name]
+            for document in definition_snapshot.documents():
+                # Shared with the global snapshot, not a second copy.
+                assert global_snapshot.document(document.doc_id) is document
+                unique_objects.add(id(document))
+        assert len(unique_objects) == len(store)
+
+    def test_v1_generation_still_loads(self, mini_db, tmp_path):
+        # A directory written by the previous build: version-1 manifest,
+        # version-1 snapshot files with inline documents.
+        import json
+
+        from repro.ir.persist import save_snapshot_v1
+
+        collection = QunitCollection(mini_db, definitions())
+        out = tmp_path / "legacy"
+        out.mkdir()
+        save_snapshot_v1(collection.global_snapshot(), out / "global.snap")
+        names = {}
+        for name in sorted(collection.definitions):
+            save_snapshot_v1(collection.definition_index(name).snapshot(),
+                             out / f"def-{name}.snap")
+            names[name] = f"def-{name}.snap"
+        manifest = {
+            "magic": "qunits-collection",
+            "format_version": 1,
+            "analyzer": collection.analyzer.config(),
+            "database": collection._database_fingerprint(mini_db),
+            "max_instances_per_definition": None,
+            "definitions": [collection.definitions[name].to_dict()
+                            for name in sorted(collection.definitions)],
+            "snapshots": {"global": "global.snap", "definitions": names},
+        }
+        (out / "collection.json").write_text(json.dumps(manifest))
+
+        loaded = QunitCollection.load(mini_db, out)
+        for query in ("star wars", "person", "zzz"):
+            assert [(h.doc_id, h.score)
+                    for h in loaded.searcher().search(query, limit=4)] == \
+                   [(h.doc_id, h.score)
+                    for h in collection.searcher().search(query, limit=4)]
+
+    def test_resave_prunes_stale_store_files(self, mini_db, tmp_path):
+        import json
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        QunitCollection(mini_db, definitions()[:1]).save(out)
+        manifest = json.loads((out / "collection.json").read_text())
+        on_disk = {entry.name for entry in out.glob("*.store")}
+        assert on_disk == {manifest["docstore"]}
+
+
+class TestShardPersistence:
+    def test_save_with_shards_writes_shard_files(self, mini_db, tmp_path):
+        import json
+
+        collection = QunitCollection(mini_db, definitions(), shards=2,
+                                     parallelism="serial")
+        out = collection.save(tmp_path / "snap")
+        manifest = json.loads((out / "collection.json").read_text())
+        assert manifest["shards"]["count"] == 2
+        assert len(manifest["shards"]["files"]) == 2
+        for i, file_name in enumerate(manifest["shards"]["files"]):
+            header = json.loads((out / file_name).read_text().splitlines()[0])
+            assert header["shard"] == {"index": i, "count": 2}
+            assert header["bloom"] is not None
+
+    def test_unsharded_save_has_no_shard_files(self, mini_db, tmp_path):
+        import json
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        manifest = json.loads((out / "collection.json").read_text())
+        assert manifest["shards"] is None
+        assert not list(out.glob("shard-*"))
+
+    def test_load_restores_persisted_shards(self, mini_db, tmp_path):
+        collection = QunitCollection(mini_db, definitions(), shards=2,
+                                     parallelism="serial")
+        out = collection.save(tmp_path / "snap")
+        loaded = QunitCollection.load(mini_db, out, shards=2,
+                                      parallelism="serial")
+        assert loaded._loaded_sharded is not None
+        assert len(loaded._loaded_sharded.shards) == 2
+        # The flat searcher serves from the restored shards, and results
+        # match the serial path exactly.
+        serial = QunitCollection.load(mini_db, out)
+        for query in ("star wars", "person", "zzz"):
+            assert [(h.doc_id, h.score)
+                    for h in loaded.searcher().search(query, limit=4)] == \
+                   [(h.doc_id, h.score)
+                    for h in serial.searcher().search(query, limit=4)]
+        loaded.close()
+
+    def test_load_with_other_shard_count_repartitions(self, mini_db,
+                                                      tmp_path):
+        collection = QunitCollection(mini_db, definitions(), shards=2,
+                                     parallelism="serial")
+        out = collection.save(tmp_path / "snap")
+        loaded = QunitCollection.load(mini_db, out, shards=3,
+                                      parallelism="serial")
+        assert loaded._loaded_sharded is None  # falls back to in-memory
+        serial = QunitCollection.load(mini_db, out)
+        for query in ("star wars", "person"):
+            assert [(h.doc_id, h.score)
+                    for h in loaded.searcher().search(query, limit=4)] == \
+                   [(h.doc_id, h.score)
+                    for h in serial.searcher().search(query, limit=4)]
+        loaded.close()
+
+    def test_load_shard_returns_single_partition(self, mini_db, tmp_path):
+        from repro.ir.shard import shard_snapshot
+
+        collection = QunitCollection(mini_db, definitions(), shards=2,
+                                     parallelism="serial")
+        out = collection.save(tmp_path / "snap")
+        expected = shard_snapshot(collection.global_snapshot(), 2)
+        for i in range(2):
+            snapshot, bloom = QunitCollection.load_shard(out, i)
+            assert sorted(d.doc_id for d in snapshot.documents()) == \
+                   sorted(d.doc_id for d in expected[i].documents())
+            # Collection-wide statistics, not partition-local ones.
+            assert snapshot.document_count == \
+                   collection.global_snapshot().document_count
+            assert bloom is not None
+            for term in snapshot.terms():
+                assert term in bloom
+
+    def test_load_shard_errors(self, mini_db, tmp_path):
+        from repro.errors import SnapshotError
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        with pytest.raises(SnapshotError, match="no persisted shard"):
+            QunitCollection.load_shard(out, 0)
+        sharded_out = QunitCollection(
+            mini_db, definitions(), shards=2).save(tmp_path / "sharded")
+        with pytest.raises(SnapshotError, match="out of range"):
+            QunitCollection.load_shard(sharded_out, 9)

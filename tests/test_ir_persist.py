@@ -8,7 +8,19 @@ from repro.errors import SnapshotError
 from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document
 from repro.ir.index import InvertedIndex
-from repro.ir.persist import FORMAT_VERSION, load_snapshot, save_snapshot
+from repro.ir.persist import (
+    FORMAT_VERSION,
+    DocumentStore,
+    SnapshotJournal,
+    compact_snapshot,
+    delta_segment_count,
+    load_document_store,
+    load_snapshot,
+    read_snapshot_header,
+    save_document_store,
+    save_snapshot,
+    save_snapshot_v1,
+)
 from repro.ir.retrieval import Searcher
 from repro.ir.scoring import Bm25Scorer, TfIdfScorer
 
@@ -180,3 +192,360 @@ class TestRejection:
             save_snapshot(index.snapshot(), tmp_path / "bad.snap")
         assert not (tmp_path / "bad.snap").exists()
         assert not (tmp_path / "bad.snap.tmp").exists()
+
+
+class TestDocumentStore:
+    def test_round_trip(self, tmp_path):
+        index = build_index(BODIES)
+        snapshot = index.snapshot()
+        store = DocumentStore.from_snapshot(snapshot)
+        path = save_document_store(store, tmp_path / "docs.store")
+        loaded = load_document_store(path)
+        assert len(loaded) == len(store)
+        for doc_id in store.documents:
+            assert doc_id in loaded
+            assert loaded.documents[doc_id] == store.documents[doc_id]
+            assert loaded.doc_lengths[doc_id] == store.doc_lengths[doc_id]
+        assert loaded.analyzer == store.analyzer
+
+    def test_corruption_detected(self, tmp_path):
+        index = build_index(BODIES)
+        path = save_document_store(
+            DocumentStore.from_snapshot(index.snapshot()),
+            tmp_path / "docs.store")
+        raw = bytearray(path.read_bytes())
+        offset = len(raw) // 2
+        raw[offset] = ord("x") if raw[offset] != ord("x") else ord("y")
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError):
+            load_document_store(path)
+
+    def test_truncation_detected(self, tmp_path):
+        index = build_index(BODIES)
+        path = save_document_store(
+            DocumentStore.from_snapshot(index.snapshot()),
+            tmp_path / "docs.store")
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-2]))
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_document_store(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_document_store(tmp_path / "nope.store")
+
+
+class TestDocstoreBackedSnapshots:
+    def test_ref_snapshot_round_trips_and_shares_documents(self, tmp_path):
+        index = build_index(BODIES)
+        snapshot = index.snapshot()
+        store = DocumentStore.from_snapshot(snapshot)
+        save_document_store(store, tmp_path / "docs.store")
+        path = save_snapshot(snapshot, tmp_path / "index.snap",
+                             docstore="docs.store")
+        loaded_store = load_document_store(tmp_path / "docs.store")
+        loaded = load_snapshot(path, store=loaded_store)
+        for document in index.documents():
+            assert loaded.document(document.doc_id) == document
+            # The loaded snapshot shares the store's Document objects —
+            # that sharing is the whole point of the dedup layout.
+            assert loaded.document(document.doc_id) is \
+                   loaded_store.documents[document.doc_id]
+        for term in snapshot.terms():
+            assert loaded.postings(term) == snapshot.postings(term)
+
+    def test_ref_snapshot_is_smaller_than_inline(self, tmp_path):
+        index = build_index(BODIES)
+        snapshot = index.snapshot()
+        save_document_store(DocumentStore.from_snapshot(snapshot),
+                            tmp_path / "docs.store")
+        ref_path = save_snapshot(snapshot, tmp_path / "ref.snap",
+                                 docstore="docs.store")
+        inline_path = save_snapshot(snapshot, tmp_path / "inline.snap")
+        assert ref_path.stat().st_size < inline_path.stat().st_size
+
+    def test_store_autoloaded_from_header(self, tmp_path):
+        index = build_index(BODIES)
+        snapshot = index.snapshot()
+        save_document_store(DocumentStore.from_snapshot(snapshot),
+                            tmp_path / "docs.store")
+        path = save_snapshot(snapshot, tmp_path / "index.snap",
+                             docstore="docs.store")
+        loaded = load_snapshot(path)  # no explicit store
+        assert loaded.document("a") == index.document("a")
+
+    def test_missing_store_is_clean_error(self, tmp_path):
+        index = build_index(BODIES)
+        path = save_snapshot(index.snapshot(), tmp_path / "index.snap",
+                             docstore="gone.store")
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(path)
+
+    def test_dangling_ref_is_clean_error(self, tmp_path):
+        index = build_index(BODIES)
+        snapshot = index.snapshot()
+        partial = build_index({"a": BODIES["a"]})
+        save_document_store(DocumentStore.from_snapshot(partial.snapshot()),
+                            tmp_path / "docs.store")
+        path = save_snapshot(snapshot, tmp_path / "index.snap",
+                             docstore="docs.store")
+        with pytest.raises(SnapshotError, match="not in the document store"):
+            load_snapshot(path)
+
+    def test_analyzer_mismatch_with_store_rejected(self, tmp_path):
+        index = build_index(BODIES)
+        other = build_index({"a": "star"}, Analyzer(stem=True))
+        save_document_store(DocumentStore.from_snapshot(other.snapshot()),
+                            tmp_path / "docs.store")
+        path = save_snapshot(index.snapshot(), tmp_path / "index.snap",
+                             docstore="docs.store")
+        with pytest.raises(SnapshotError, match="mix tokenizations"):
+            load_snapshot(path)
+
+    def test_read_snapshot_header(self, tmp_path):
+        index = build_index(BODIES)
+        path = save_snapshot(index.snapshot(), tmp_path / "index.snap",
+                             docstore="docs.store",
+                             shard={"index": 1, "count": 4})
+        header = read_snapshot_header(path)
+        assert header["docstore"] == "docs.store"
+        assert header["shard"] == {"index": 1, "count": 4}
+        assert header["format_version"] == FORMAT_VERSION
+
+
+class TestV1BackCompat:
+    def test_v1_file_still_loads(self, tmp_path):
+        index = build_index(BODIES)
+        snapshot = index.snapshot()
+        path = save_snapshot_v1(snapshot, tmp_path / "legacy.snap")
+        assert json.loads(path.read_text().splitlines()[0]
+                          )["format_version"] == 1
+        loaded = load_snapshot(path)
+        for document in index.documents():
+            assert loaded.document(document.doc_id) == document
+        live = Searcher(index)
+        cold = Searcher(loaded)
+        for query in ("star wars", "ocean", "zzz"):
+            assert [(h.doc_id, h.score) for h in cold.search(query, 4)] == \
+                   [(h.doc_id, h.score) for h in live.search(query, 4)]
+
+    def test_v1_and_v2_load_identically(self, tmp_path):
+        index = build_index(BODIES)
+        snapshot = index.snapshot()
+        v1 = load_snapshot(save_snapshot_v1(snapshot, tmp_path / "v1.snap"))
+        v2 = load_snapshot(save_snapshot(snapshot, tmp_path / "v2.snap"))
+        assert sorted(v1.terms()) == sorted(v2.terms())
+        for term in v1.terms():
+            assert v1.postings(term) == v2.postings(term)
+        assert v1.average_document_length == v2.average_document_length
+
+    def test_compact_upgrades_v1_to_v2(self, tmp_path):
+        index = build_index(BODIES)
+        path = save_snapshot_v1(index.snapshot(), tmp_path / "legacy.snap")
+        compact_snapshot(path)
+        header = read_snapshot_header(path)
+        assert header["format_version"] == FORMAT_VERSION
+        loaded = load_snapshot(path)
+        assert loaded.document("a") == index.document("a")
+
+
+class TestDeltaSegments:
+    def test_journal_appends_instead_of_rewriting(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        journal = SnapshotJournal(index, path)
+        base_lines = len(path.read_text().splitlines())
+        index.add(Document.create("z1", {"body": "fresh star ocean"}))
+        index.add(Document.create("z2", {"body": "fresh trek"}))
+        assert journal.delta_segments == 2
+        assert delta_segment_count(path) == 2
+        # Appends only: the base lines are untouched.
+        lines = path.read_text().splitlines()
+        assert len(lines) == base_lines + 4  # 2 segments x (delta + end)
+
+    def test_journaled_snapshot_loads_float_identical(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        SnapshotJournal(index, path)
+        index.add(Document.create("z1", {"body": "fresh star ocean wars"}))
+        index.add(Document.create("z2", {"body": "cast fresh"}))
+        loaded = load_snapshot(path)
+        snapshot = index.snapshot()
+        assert loaded.version == snapshot.version
+        assert loaded.document_count == snapshot.document_count
+        assert loaded.average_document_length == \
+               snapshot.average_document_length
+        assert loaded.min_document_length == snapshot.min_document_length
+        for term in snapshot.terms():
+            assert loaded.postings(term) == snapshot.postings(term)
+            assert loaded.document_frequency(term) == \
+                   snapshot.document_frequency(term)
+        live = Searcher(index)
+        cold = Searcher(loaded)
+        for query in ("star wars", "fresh", "cast ocean", "zzz"):
+            assert [(h.doc_id, h.score) for h in cold.search(query, 5)] == \
+                   [(h.doc_id, h.score) for h in live.search(query, 5)]
+
+    def test_manual_commit_batches_pending_docs(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        journal = SnapshotJournal(index, path, auto=False)
+        index.add(Document.create("z1", {"body": "fresh star"}))
+        index.add(Document.create("z2", {"body": "fresh trek"}))
+        assert journal.pending() == ["z1", "z2"]
+        assert journal.commit() == 2
+        assert journal.pending() == []
+        assert journal.delta_segments == 1
+        assert journal.commit() == 0  # idempotent, no empty segments
+        assert journal.delta_segments == 1
+        loaded = load_snapshot(path)
+        assert loaded.document("z1").field("body") == "fresh star"
+
+    def test_auto_compaction_past_threshold(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        journal = SnapshotJournal(index, path, compact_threshold=3)
+        for i in range(7):
+            index.add(Document.create(f"z{i}", {"body": f"fresh {i} star"}))
+        assert journal.delta_segments < 3
+        loaded = load_snapshot(path)
+        assert loaded.document_count == len(BODIES) + 7
+
+    def test_explicit_compaction(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        journal = SnapshotJournal(index, path)
+        index.add(Document.create("z1", {"body": "fresh star"}))
+        assert delta_segment_count(path) == 1
+        journal.compact()
+        assert delta_segment_count(path) == 0
+        assert journal.delta_segments == 0
+        loaded = load_snapshot(path)
+        assert loaded.document_count == len(BODIES) + 1
+
+    def test_compact_snapshot_function(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        SnapshotJournal(index, path)
+        index.add(Document.create("z1", {"body": "fresh star"}))
+        before = load_snapshot(path)
+        compact_snapshot(path)
+        assert delta_segment_count(path) == 0
+        after = load_snapshot(path)
+        assert after.document_count == before.document_count
+        for term in before.terms():
+            assert after.postings(term) == before.postings(term)
+
+    def test_truncated_delta_detected(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        SnapshotJournal(index, path)
+        index.add(Document.create("z1", {"body": "fresh star"}))
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]))  # drop the delta-end line
+        with pytest.raises(SnapshotError, match="checksum line"):
+            load_snapshot(path)
+
+    def test_corrupted_delta_detected(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        SnapshotJournal(index, path)
+        index.add(Document.create("z1", {"body": "fresh star"}))
+        content = path.read_text()
+        path.write_text(content.replace("fresh", "frxsh"))
+        with pytest.raises(SnapshotError, match="delta segment"):
+            load_snapshot(path)
+
+    def test_journal_reopen_resumes(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        SnapshotJournal(index, path)
+        index.add(Document.create("z1", {"body": "fresh star"}))
+
+        reopened = SnapshotJournal.open(path)
+        assert reopened.pending() == []
+        assert set(reopened.index._documents) == set(index._documents)
+        reopened.index.add(Document.create("z2", {"body": "fresh trek"}))
+        loaded = load_snapshot(path)
+        assert loaded.document_count == len(BODIES) + 2
+        hits = Searcher(loaded).search("fresh trek", 3)
+        assert hits and hits[0].doc_id == "z2"
+
+    def test_journal_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        save_snapshot(build_index(BODIES).snapshot(), path)
+        other = build_index({"q": "unrelated"})
+        with pytest.raises(SnapshotError, match="not a snapshot of"):
+            SnapshotJournal(other, path)
+
+    def test_invalid_compact_threshold(self, tmp_path):
+        index = build_index(BODIES)
+        with pytest.raises(ValueError):
+            SnapshotJournal(index, tmp_path / "j.snap", compact_threshold=0)
+
+    def test_rejected_add_leaves_journal_functional(self, tmp_path):
+        # Regression: a document rejected mid-add (non-positive weight)
+        # must leave the index untouched — previously it stayed
+        # half-registered and the journal's next auto-commit crashed on
+        # the poisoned doc_id, permanently breaking the index.
+        from repro.errors import IndexError_
+
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        journal = SnapshotJournal(index, path)
+        bad = Document.create("bad", {"body": "boom"}, {"body": 0.0})
+        with pytest.raises(IndexError_):
+            index.add(bad)
+        assert "bad" not in index._documents
+        assert journal.pending() == []
+        index.add(Document.create("z1", {"body": "fresh star"}))  # still works
+        loaded = load_snapshot(path)
+        assert "z1" in loaded
+        assert "bad" not in loaded
+
+    def test_compact_leaves_clean_v2_file_untouched(self, tmp_path):
+        path = save_snapshot(build_index(BODIES).snapshot(),
+                             tmp_path / "clean.snap")
+        before = path.read_bytes()
+        assert compact_snapshot(path) == 0
+        assert path.read_bytes() == before
+
+    def test_compact_returns_folded_segment_count(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        SnapshotJournal(index, path)
+        index.add(Document.create("z1", {"body": "fresh star"}))
+        index.add(Document.create("z2", {"body": "fresh trek"}))
+        assert compact_snapshot(path) == 2
+        assert compact_snapshot(path) == 0
+
+    def test_bulk_ingest_compaction_is_size_proportional(self, tmp_path):
+        # Regression: auto mode must not rewrite the whole file every
+        # compact_threshold adds — folding waits until the delta is a
+        # real fraction (25%) of the base, so bulk loading N documents
+        # costs O(N) file I/O, not O(N^2).
+        path = tmp_path / "journal.snap"
+        index = build_index(BODIES)
+        journal = SnapshotJournal(index, path, compact_threshold=2)
+        compactions = {"n": 0}
+        original = journal.compact
+
+        def counting_compact():
+            compactions["n"] += 1
+            return original()
+
+        journal.compact = counting_compact
+        for i in range(64):
+            index.add(Document.create(f"bulk{i}", {"body": f"term{i} star"}))
+        # Doubling-style growth: a handful of folds, not 64/2 = 32.
+        assert compactions["n"] <= 10
+        loaded = load_snapshot(path)
+        assert loaded.document_count == len(BODIES) + 64
+
+    def test_small_delta_on_large_base_not_compacted(self, tmp_path):
+        path = tmp_path / "journal.snap"
+        index = build_index({f"d{i}": f"word{i} star" for i in range(40)})
+        journal = SnapshotJournal(index, path, compact_threshold=1)
+        index.add(Document.create("tail", {"body": "fresh star"}))
+        # One doc against a 40-doc base: appended, not folded.
+        assert journal.delta_segments == 1

@@ -261,3 +261,161 @@ class TestSearcherSharding:
     def test_invalid_parallelism_rejected(self):
         with pytest.raises(ValueError):
             Searcher(build_index({"a": "star"}), parallelism="bogus")
+
+
+class TestTermBloomFilter:
+    def test_no_false_negatives(self, snapshot):
+        from repro.ir.shard import TermBloomFilter
+
+        terms = list(snapshot.terms())
+        bloom = TermBloomFilter.build(terms)
+        assert all(term in bloom for term in terms)
+
+    def test_mostly_rejects_absent_terms(self):
+        from repro.ir.shard import TermBloomFilter
+
+        bloom = TermBloomFilter.build([f"term{i}" for i in range(500)],
+                                      false_positive_rate=0.01)
+        false_positives = sum(1 for i in range(1000)
+                              if f"absent{i}" in bloom)
+        assert false_positives < 50  # ~1% expected, generous margin
+
+    def test_empty_vocabulary_matches_nothing(self):
+        from repro.ir.shard import TermBloomFilter
+
+        bloom = TermBloomFilter.build([])
+        assert "anything" not in bloom
+        assert not bloom.might_match_any(["a", "b"])
+
+    def test_dict_round_trip(self):
+        from repro.ir.shard import TermBloomFilter
+
+        bloom = TermBloomFilter.build(["star", "wars", "ocean"])
+        clone = TermBloomFilter.from_dict(bloom.to_dict())
+        assert clone.bits == bloom.bits
+        assert clone.hashes == bloom.hashes
+        for term in ("star", "wars", "ocean", "trek", "zzz"):
+            assert (term in clone) == (term in bloom)
+
+    def test_from_dict_rejects_garbage(self):
+        from repro.ir.shard import TermBloomFilter
+
+        with pytest.raises(ValueError):
+            TermBloomFilter.from_dict({"bits": 8})
+        with pytest.raises(ValueError):
+            TermBloomFilter.from_dict({"bits": 64, "hashes": 2, "data": "AA"})
+
+    def test_invalid_sizes(self):
+        from repro.ir.shard import TermBloomFilter
+
+        with pytest.raises(ValueError):
+            TermBloomFilter(0, 1)
+        with pytest.raises(ValueError):
+            TermBloomFilter(8, 0)
+
+
+class TestBloomRouting:
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    def test_routed_rank_identical_to_broadcast(self, snapshot, shards):
+        scorer = Bm25Scorer()
+        with ShardedTopK(snapshot, shards, "serial") as routed, \
+                ShardedTopK(snapshot, shards, "serial",
+                            route=False) as broadcast:
+            term_lists = [list(q) for q in QUERIES]
+            assert routed.topk_many(scorer, term_lists, 4) == \
+                   broadcast.topk_many(scorer, term_lists, 4)
+
+    def test_routing_skips_nonmatching_shards(self, snapshot):
+        # A term held by exactly one document can match at most one shard;
+        # with several shards the other tasks must be skipped.
+        scorer = Bm25Scorer()
+        with ShardedTopK(snapshot, 4, "serial") as sharded:
+            ranked = sharded.topk(scorer, ["cast"], 4)  # df("cast") == 2
+            assert ranked
+            stats = sharded.routing_stats
+            assert stats["batches"] == 1
+            assert stats["shard_tasks_skipped"] >= 1
+            assert stats["query_pairs_skipped"] >= 1
+
+    def test_unroutable_query_returns_empty(self, snapshot):
+        with ShardedTopK(snapshot, 3, "serial") as sharded:
+            assert sharded.topk(Bm25Scorer(), ["zzz"], 4) == []
+            assert sharded.topk(Bm25Scorer(), [], 4) == []
+            assert sharded.routing_stats["shard_tasks_skipped"] == 6
+
+    @pytest.mark.parametrize("parallelism", ["serial", "thread", "process"])
+    def test_routing_identical_across_executors(self, snapshot, parallelism):
+        scorer = Bm25Scorer()
+        expected = [topk_scores(snapshot, scorer, list(q), 4)
+                    for q in QUERIES]
+        with ShardedTopK(snapshot, 3, parallelism) as sharded:
+            assert sharded.topk_many(scorer, [list(q) for q in QUERIES],
+                                     4) == expected
+
+
+class TestFromShards:
+    def test_prebuilt_shards_rank_identical(self, snapshot):
+        shards = shard_snapshot(snapshot, 3)
+        scorer = Bm25Scorer()
+        with ShardedTopK.from_shards(shards, "serial") as sharded:
+            for terms in QUERIES:
+                assert sharded.topk(scorer, list(terms), 4) == \
+                       topk_scores(snapshot, scorer, list(terms), 4)
+
+    def test_prebuilt_blooms_accepted(self, snapshot):
+        from repro.ir.shard import TermBloomFilter
+
+        shards = shard_snapshot(snapshot, 2)
+        blooms = [TermBloomFilter.build(shard.terms()) for shard in shards]
+        with ShardedTopK.from_shards(shards, "serial",
+                                     blooms=blooms) as sharded:
+            assert sharded.topk(Bm25Scorer(), ["star"], 3) == \
+                   topk_scores(snapshot, Bm25Scorer(), ["star"], 3)
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedTopK.from_shards([])
+
+    def test_version_mismatch_rejected(self):
+        a = build_index({"a": "star"}).snapshot()
+        index_b = build_index({"b": "wars"})
+        index_b.add(Document.create("c", {"body": "trek"}))
+        b = index_b.snapshot()
+        with pytest.raises(ValueError, match="version"):
+            ShardedTopK.from_shards([a, b])
+
+    def test_wrong_bloom_count_rejected(self, snapshot):
+        from repro.ir.shard import TermBloomFilter
+
+        shards = shard_snapshot(snapshot, 3)
+        with pytest.raises(ValueError, match="bloom"):
+            ShardedTopK.from_shards(shards,
+                                    blooms=[TermBloomFilter.build([])])
+
+
+class TestSharedShardOwnership:
+    def test_searcher_close_leaves_shared_shards_running(self, snapshot):
+        # Regression: a searcher handed a shared ShardedTopK (e.g. the
+        # collection's restored partitions) must not shut it down on
+        # close/eviction — only shard sets it built itself are its own.
+        shared = ShardedTopK.from_shards(shard_snapshot(snapshot, 2),
+                                         "serial")
+        first = Searcher(snapshot, sharded=shared)
+        expected = first.search("star wars", 3)
+        first.close()
+        second = Searcher(snapshot, sharded=shared)
+        hits = second.search("star wars", 3)
+        assert [(h.doc_id, h.score) for h in hits] == \
+               [(h.doc_id, h.score) for h in expected]
+        # The shared set is still the one serving (not silently replaced
+        # by an in-memory re-partition).
+        assert second._sharded is shared
+        shared.close()
+
+    def test_searcher_closes_shards_it_built(self):
+        index = build_index(BODIES)
+        searcher = Searcher(index, shards=2)
+        searcher.search("star", 2)
+        assert searcher._sharded is not None
+        searcher.close()
+        assert searcher._sharded is None

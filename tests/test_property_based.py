@@ -249,6 +249,33 @@ class TestShardingProperties:
         assert [[(h.doc_id, h.score) for h in hits] for hits in sharded] == \
                [[(h.doc_id, h.score) for h in hits] for hits in serial]
 
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=12),
+        queries=st.lists(texts, min_size=0, max_size=6),
+        kind=st.sampled_from(["tfidf", "bm25", "prior-bm25"]),
+        shards=st.integers(min_value=1, max_value=6),
+        limit=st.integers(min_value=0, max_value=10),
+    )
+    def test_bloom_routing_rank_identical_to_broadcast(
+            self, bodies, queries, kind, shards, limit):
+        # Bloom filters have no false negatives, so routing a batch only
+        # to shards that might match must reproduce the broadcast results
+        # exactly — same (doc_id, score) lists, tie-breaks included.
+        from repro.ir.shard import ShardedTopK
+
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body}))
+        snapshot = index.snapshot()
+        scorer = _scorer_for(kind, len(bodies))
+        term_lists = [snapshot.analyzer.tokens(query) for query in queries]
+        with ShardedTopK(snapshot, shards, "serial") as routed, \
+                ShardedTopK(snapshot, shards, "serial",
+                            route=False) as broadcast:
+            assert routed.topk_many(scorer, term_lists, limit) == \
+                   broadcast.topk_many(scorer, term_lists, limit)
+
 
 class TestMetricProperties:
     @given(st.lists(words, min_size=1, max_size=15, unique=True),
