@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""CI entry point for the benchmark perf-regression check.
+
+Runs after a full-scale benchmark pass (``pytest benchmarks -q
+--bench-full --benchmark-enable``) and compares the fresh
+``benchmarks/results/BENCH_*.json`` reports against the committed
+baselines in ``benchmarks/baselines/``, failing (exit 1) when any
+tracked metric regressed by more than the threshold.  All the logic
+lives in :mod:`repro.bench.regression` (shared with the ``repro
+bench-diff`` CLI subcommand); this wrapper only supplies the repo-layout
+default directories so the nightly workflow can invoke it with no
+arguments::
+
+    python benchmarks/check_regression.py
+    python benchmarks/check_regression.py <baseline_dir> <current_dir>
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    from repro.bench.regression import main
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.regression import main
+
+def _has_positional(argv: list[str]) -> bool:
+    """Whether ``argv`` names any directory, skipping option values
+    (``--threshold 0.5`` is two option tokens, not a positional)."""
+    expect_value = False
+    for arg in argv:
+        if expect_value:
+            expect_value = False
+            continue
+        if arg == "--threshold":
+            expect_value = True
+            continue
+        if arg.startswith("-"):
+            continue
+        return True
+    return False
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if not _has_positional(argv):
+        argv = [str(REPO_ROOT / "benchmarks" / "baselines"),
+                str(REPO_ROOT / "benchmarks" / "results"), *argv]
+    sys.exit(main(argv))

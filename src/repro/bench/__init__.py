@@ -1,0 +1,26 @@
+"""Benchmark tooling that ships with the package (not the benchmarks
+themselves, which live in ``benchmarks/`` at the repo root): regression
+checking of the ``BENCH_*.json`` performance reports against committed
+baselines, used by the nightly CI job (``benchmarks/check_regression.py``)
+and the ``repro bench-diff`` CLI subcommand.
+"""
+
+from repro.bench.regression import (
+    DEFAULT_THRESHOLD,
+    TRACKED_METRICS,
+    MetricComparison,
+    compare_dirs,
+    compare_reports,
+    metric_value,
+    render_comparison,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "TRACKED_METRICS",
+    "MetricComparison",
+    "compare_dirs",
+    "compare_reports",
+    "metric_value",
+    "render_comparison",
+]

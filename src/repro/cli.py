@@ -3,11 +3,12 @@
 ::
 
     python -m repro search "star wars cast" [more queries ...] [--scale 0.3]
-                    [--flavor expert] [--shards 4]
+                    [--flavor expert] [--shards 4] [--strategy wand]
     python -m repro derive --strategy schema_data [--k1 4 --k2 3]
     python -m repro save DIR [--flavor expert] [--shards 4]
-    python -m repro load DIR ["query" ...] [--shards 4]
+    python -m repro load DIR ["query" ...] [--shards 4] [--strategy auto]
     python -m repro compact PATH
+    python -m repro bench-diff BASELINE_DIR CURRENT_DIR [--threshold 0.25]
     python -m repro loganalysis [--unique 400]
     python -m repro evaluate [--queries 25] [--raters 20]
 
@@ -18,9 +19,14 @@ document store + index snapshots; with ``--shards N`` also one snapshot
 per shard partition) to a directory; ``load`` restarts from that
 directory without re-deriving — pass queries to answer them from the
 loaded snapshots.  ``compact`` folds any delta segments trailing snapshot
-files back into clean bases.  ``--shards N`` scores the flat collection
-index as N hash-partitioned shards in parallel, Bloom-routing each query
-batch only to shards that can match (see ``repro.ir.shard``).
+files back into clean bases.  ``bench-diff`` compares two directories of
+``BENCH_*.json`` benchmark reports (the perf-regression check CI runs
+nightly — see ``repro.bench.regression``).  ``--shards N`` scores the
+flat collection index as N hash-partitioned shards in parallel,
+Bloom-routing each query batch only to shards that can match (see
+``repro.ir.shard``); ``--strategy`` picks the retrieval algorithm
+(term-at-a-time max-score, document-at-a-time WAND/block-max, or
+per-query ``auto`` — see ``repro.ir.wand``).
 """
 
 from __future__ import annotations
@@ -90,6 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="a generation directory written by `save` (compacts every "
              "*.snap in it) or a single snapshot file")
 
+    bench_diff = commands.add_parser(
+        "bench-diff",
+        help="compare two directories of BENCH_*.json benchmark reports; "
+             "exits nonzero when a tracked metric regressed")
+    bench_diff.add_argument("baseline_dir",
+                            help="baseline reports (e.g. "
+                                 "benchmarks/baselines)")
+    bench_diff.add_argument("current_dir",
+                            help="reports to check (e.g. "
+                                 "benchmarks/results)")
+    bench_diff.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed relative regression before failing (default 0.25)")
+
     load = commands.add_parser(
         "load", help="restart from a saved collection (no re-derivation)")
     load.add_argument("directory", help="directory written by `save`")
@@ -128,6 +148,12 @@ def _add_shard_options(subparser) -> None:
         "--shard-mode", default="thread",
         choices=["serial", "thread", "process"],
         help="executor for sharded scoring (default thread)")
+    subparser.add_argument(
+        "--strategy", default="auto",
+        choices=["auto", "maxscore", "wand", "blockmax"],
+        help="fast-path retrieval algorithm: term-at-a-time max-score, "
+             "document-at-a-time WAND, block-max WAND, or per-query "
+             "auto selection (default auto; results are identical)")
 
 
 def _definitions_for(args, db, strategy: str):
@@ -177,7 +203,8 @@ def _command_search(args) -> int:
     definitions = _definitions_for(args, db, args.flavor)
     engine = QunitSearchEngine(
         QunitCollection(db, definitions, max_instances_per_definition=150,
-                        shards=args.shards, parallelism=args.shard_mode),
+                        shards=args.shards, parallelism=args.shard_mode,
+                        strategy=args.strategy),
         flavor=args.flavor,
     )
     queries = [args.query, *args.more_queries]
@@ -235,11 +262,21 @@ def _command_compact(args) -> int:
     return 0
 
 
+def _command_bench_diff(args) -> int:
+    from repro.bench.regression import compare_dirs, render_comparison
+
+    comparisons = compare_dirs(args.baseline_dir, args.current_dir,
+                               args.threshold)
+    print(render_comparison(comparisons, args.threshold))
+    return 1 if any(c.regressed for c in comparisons) else 0
+
+
 def _command_load(args) -> int:
     db = generate_imdb(scale=args.scale, seed=args.seed)
     engine = QunitSearchEngine.load(
         db, args.directory, flavor=args.flavor,
-        shards=args.shards, parallelism=args.shard_mode)
+        shards=args.shards, parallelism=args.shard_mode,
+        strategy=args.strategy)
     collection = engine.collection
     snapshot = collection.global_snapshot()
     print(f"loaded collection from {args.directory}")
@@ -296,6 +333,7 @@ _COMMANDS = {
     "search": _command_search,
     "save": _command_save,
     "compact": _command_compact,
+    "bench-diff": _command_bench_diff,
     "load": _command_load,
     "derive": _command_derive,
     "loganalysis": _command_loganalysis,

@@ -50,7 +50,9 @@ from repro.ir.index import IndexSnapshot, InvertedIndex
 from repro.ir.persist import (
     DocumentStore,
     load_document_store,
+    load_document_store_partition,
     load_snapshot,
+    read_snapshot_doc_ids,
     read_snapshot_header,
     save_document_store,
     save_snapshot,
@@ -82,7 +84,8 @@ class QunitCollection:
                  definitions: Iterable[QunitDefinition],
                  max_instances_per_definition: int | None = None,
                  analyzer: Analyzer | None = None,
-                 shards: int = 0, parallelism: str = "thread"):
+                 shards: int = 0, parallelism: str = "thread",
+                 strategy: str = "auto"):
         self.database = database
         self.definitions: dict[str, QunitDefinition] = {}
         for definition in definitions:
@@ -95,6 +98,7 @@ class QunitCollection:
         self.analyzer = analyzer or Analyzer()
         self.shards = shards
         self.parallelism = parallelism
+        self.strategy = strategy
         self._instances: dict[str, list[QunitInstance]] = {}
         self._instance_by_id: dict[str, QunitInstance] = {}
         self._global_index: InvertedIndex | None = None
@@ -262,7 +266,7 @@ class QunitCollection:
             sharded = self._loaded_sharded if name is None else None
             searcher = Searcher(self._index_for(name), scorer,
                                 shards=shards, parallelism=self.parallelism,
-                                sharded=sharded)
+                                sharded=sharded, strategy=self.strategy)
             self._searchers[key] = searcher
             while len(self._searchers) > self.MAX_CACHED_SEARCHERS:
                 evicted = self._searchers.popitem(last=False)
@@ -389,7 +393,8 @@ class QunitCollection:
 
     @classmethod
     def load(cls, database: Database, path: str | Path,
-             shards: int = 0, parallelism: str = "thread") -> "QunitCollection":
+             shards: int = 0, parallelism: str = "thread",
+             strategy: str = "auto") -> "QunitCollection":
         """Restore a collection saved by :meth:`save`.
 
         Every snapshot the manifest references is read eagerly, so the
@@ -414,6 +419,8 @@ class QunitCollection:
                 per-shard snapshot files (and their Bloom filters) are
                 restored directly instead of re-partitioning in memory.
             parallelism: shard executor mode (see :mod:`repro.ir.shard`).
+            strategy: fast-path retrieval strategy for the restored
+                searchers (see :mod:`repro.ir.wand`).
 
         Returns:
             The restored collection.
@@ -426,7 +433,8 @@ class QunitCollection:
         attempts = 3
         for attempt in range(attempts):
             try:
-                return cls._load_once(database, path, shards, parallelism)
+                return cls._load_once(database, path, shards, parallelism,
+                                      strategy)
             except _SnapshotPruneRace:
                 # Lost the race with a concurrent re-save's prune; the
                 # fresh manifest references a complete generation.  Any
@@ -438,7 +446,8 @@ class QunitCollection:
 
     @classmethod
     def _load_once(cls, database: Database, path: str | Path,
-                   shards: int, parallelism: str) -> "QunitCollection":
+                   shards: int, parallelism: str,
+                   strategy: str = "auto") -> "QunitCollection":
         path = Path(path)
         manifest_path = path / MANIFEST_NAME
         try:
@@ -496,6 +505,7 @@ class QunitCollection:
             analyzer=Analyzer.from_config(manifest.get("analyzer", {})),
             shards=shards,
             parallelism=parallelism,
+            strategy=strategy,
         )
         store: DocumentStore | None = None
         store_name = manifest.get("docstore")
@@ -559,11 +569,12 @@ class QunitCollection:
         """Load exactly one persisted shard partition of the flat index.
 
         This is the multi-process-server entry point: a worker process
-        serving partition ``shard_index`` reads the manifest, the shared
-        document store, and its own shard snapshot — never the other
-        partitions' postings.  (The store read does parse every document;
-        only this shard's partition stays pinned by the returned
-        snapshot.)
+        serving partition ``shard_index`` reads the manifest, its own
+        shard snapshot, and — via the store header's byte-offset index —
+        *only its partition's* documents from the shared store
+        (:func:`~repro.ir.persist.load_document_store_partition`), never
+        the other partitions' postings or documents.  The whole load is
+        O(partition), not O(collection).
 
         Args:
             path: a generation directory written by :meth:`save` with
@@ -604,10 +615,15 @@ class QunitCollection:
                 f"shard index {shard_index} out of range (collection has "
                 f"{len(files)} shards)"
             )
+        file_name = files[shard_index]
         store = None
         if manifest.get("docstore"):
-            store = load_document_store(path / manifest["docstore"])
-        file_name = files[shard_index]
+            # Which documents this partition needs is written in the
+            # shard file's own ref records; fetch exactly those from the
+            # store via its header offset index.
+            wanted = read_snapshot_doc_ids(path / file_name)
+            store = load_document_store_partition(
+                path / manifest["docstore"], wanted)
         snapshot = load_snapshot(path / file_name, store=store)
         header = read_snapshot_header(path / file_name)
         bloom_data = header.get("bloom")

@@ -96,15 +96,18 @@ class QunitSearchEngine:
     def load(cls, database, path, flavor: str = "qunits",
              vocabulary: SchemaVocabulary | None = None,
              scorer: Scorer | None = None, shards: int = 0,
-             parallelism: str = "thread") -> "QunitSearchEngine":
+             parallelism: str = "thread",
+             strategy: str = "auto") -> "QunitSearchEngine":
         """An engine over a collection restored from :meth:`save` output.
 
         Cold start skips derivation, materialization, and indexing; the
         loaded snapshots serve retrieval directly, optionally sharded
-        (``shards``/``parallelism`` — see :mod:`repro.ir.shard`).
+        (``shards``/``parallelism`` — see :mod:`repro.ir.shard`) and under
+        any retrieval strategy (``strategy`` — see :mod:`repro.ir.wand`).
         """
         collection = QunitCollection.load(database, path, shards=shards,
-                                          parallelism=parallelism)
+                                          parallelism=parallelism,
+                                          strategy=strategy)
         return cls(collection, flavor=flavor, vocabulary=vocabulary,
                    scorer=scorer)
 

@@ -4,7 +4,8 @@ The qunits paradigm's whole point is that once a database is modeled as a
 flat collection of independent documents, *standard IR techniques* apply.
 This package supplies those techniques: analysis (tokenization, stopwords,
 light stemming), an inverted index with per-field storage, TF-IDF and BM25
-ranked retrieval (with a top-k fast path — see :mod:`repro.ir.topk`),
+ranked retrieval (with term-at-a-time and document-at-a-time top-k fast
+paths — see :mod:`repro.ir.topk` and :mod:`repro.ir.wand`),
 persistent index snapshots (:mod:`repro.ir.persist`), sharded parallel
 scoring (:mod:`repro.ir.shard`), and the usual effectiveness metrics.
 """
@@ -24,6 +25,7 @@ from repro.ir.persist import (
 )
 from repro.ir.shard import ShardedTopK, TermBloomFilter, shard_snapshot
 from repro.ir.topk import TopKHeap, merge_ranked, topk_scores
+from repro.ir.wand import STRATEGIES, retrieve, wand_scores
 from repro.ir.metrics import (
     average_precision,
     dcg,
@@ -48,6 +50,9 @@ __all__ = [
     "TopKHeap",
     "topk_scores",
     "merge_ranked",
+    "STRATEGIES",
+    "retrieve",
+    "wand_scores",
     "save_snapshot",
     "load_snapshot",
     "save_document_store",

@@ -291,6 +291,7 @@ class IndexSnapshot:
         self._doc_lengths = doc_lengths
         self._doc_frequencies = doc_frequencies
         self._contributions: dict[tuple, TermContributions] = {}
+        self._block_bounds: dict[tuple, tuple[float, ...]] = {}
 
     @classmethod
     def from_index(cls, index: InvertedIndex) -> "IndexSnapshot":
@@ -379,6 +380,34 @@ class IndexSnapshot:
             self._contributions[key] = cached
         return cached
 
+    def term_block_bounds(self, scorer, term: str,
+                          block_size: int) -> tuple[float, ...]:
+        """Per-block maxima of the term's contribution array.
+
+        Block ``i`` caps the contribution of postings ``[i * block_size,
+        (i + 1) * block_size)`` — the block-max refinement used by
+        :func:`repro.ir.wand.wand_scores`.  Cached per ``(scorer
+        cache key, term, block_size)`` on the snapshot, so like the
+        contribution cache it is version-invalidated for free: an
+        :meth:`InvertedIndex.add` produces a *new* snapshot whose caches
+        start empty, while this snapshot keeps serving its frozen data.
+
+        Raises:
+            ValueError: on a non-positive ``block_size``.
+        """
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        key = (scorer.cache_key(), term, block_size)
+        cached = self._block_bounds.get(key)
+        if cached is None:
+            contributions = self.term_contributions(scorer, term).contributions
+            cached = tuple(
+                max(contributions[start:start + block_size])
+                for start in range(0, len(contributions), block_size)
+            )
+            self._block_bounds[key] = cached
+        return cached
+
     def scoring_view(self) -> "IndexSnapshot":
         """A copy without the document store.
 
@@ -402,8 +431,10 @@ class IndexSnapshot:
         )
 
     def __getstate__(self) -> dict:
-        """Pickle without the contribution cache (workers rebuild their own,
-        and scorer cache keys may contain process-local ids)."""
+        """Pickle without the contribution/block-bound caches (workers
+        rebuild their own, and scorer cache keys may contain process-local
+        ids)."""
         state = self.__dict__.copy()
         state["_contributions"] = {}
+        state["_block_bounds"] = {}
         return state

@@ -18,6 +18,9 @@ Version 2 splits a saved generation into a **document store** plus
 
 - A *document store* file (:func:`save_document_store`) holds every
   decorated instance document — and its weighted length — exactly once.
+  Its header carries a ``doc_id -> [byte offset, length]`` index so a
+  shard server can read *only its partition's* documents
+  (:func:`load_document_store_partition`) instead of parsing the store.
 - Snapshot files written with ``docstore=<name>`` record only ``ref``
   lines (doc_ids) instead of full ``doc`` records; on load the referenced
   :class:`DocumentStore` supplies the shared :class:`~repro.ir.documents.
@@ -86,6 +89,8 @@ __all__ = [
     "load_snapshot",
     "save_document_store",
     "load_document_store",
+    "load_document_store_partition",
+    "read_snapshot_doc_ids",
     "read_snapshot_header",
     "compact_snapshot",
     "delta_segment_count",
@@ -158,6 +163,9 @@ def _write_checksummed(path: Path, records) -> Path:
     The file is written to a temporary sibling and renamed into place, so
     readers never observe a half-written file.  The footer's ``records``
     count excludes the header line, matching the loaders' expectations.
+    A record may be a pre-serialized line (``str`` ending in a newline)
+    instead of a dict — used when the writer needed the exact bytes up
+    front, e.g. to compute the document store's offset index.
     """
     digest = hashlib.sha256()
     count = -1  # the header line is not a body record
@@ -165,7 +173,8 @@ def _write_checksummed(path: Path, records) -> Path:
     try:
         with open(tmp_path, "w", encoding="utf-8") as handle:
             for record in records:
-                line = _dumps(record) + "\n"
+                line = record if isinstance(record, str) \
+                    else _dumps(record) + "\n"
                 digest.update(line.encode("utf-8"))
                 handle.write(line)
                 count += 1
@@ -249,24 +258,37 @@ class DocumentStore:
 def save_document_store(store: DocumentStore, path: str | os.PathLike) -> Path:
     """Write ``store`` to ``path`` (atomically); returns the path.
 
+    The header carries a ``doc_index`` — ``doc_id -> [byte offset,
+    length]`` of each document record, offsets relative to the end of the
+    header line — so partition loads
+    (:func:`load_document_store_partition`) can seek straight to their
+    own documents instead of parsing the whole store.  The index has to
+    live in the header (readable before any record), which is why the
+    record lines are serialized up front here: their exact byte lengths
+    are part of the header.
+
     Raises:
         SnapshotError: if a document carries unserializable metadata.
     """
     path = Path(path)
+    doc_lines: list[str] = []
+    doc_index: dict[str, list[int]] = {}
+    offset = 0
+    for doc_id in sorted(store.documents):
+        line = _dumps(_doc_record(doc_id, store.documents[doc_id],
+                                  store.doc_lengths[doc_id])) + "\n"
+        size = len(line.encode("utf-8"))
+        doc_index[doc_id] = [offset, size]
+        doc_lines.append(line)
+        offset += size
     header = {
         "magic": STORE_MAGIC,
         "format_version": STORE_VERSION,
         "analyzer": store.analyzer.config(),
         "stored_documents": len(store.documents),
+        "doc_index": doc_index,
     }
-
-    def records():
-        yield header
-        for doc_id in sorted(store.documents):
-            yield _doc_record(doc_id, store.documents[doc_id],
-                              store.doc_lengths[doc_id])
-
-    return _write_checksummed(path, records())
+    return _write_checksummed(path, [header, *doc_lines])
 
 
 def load_document_store(path: str | os.PathLike) -> DocumentStore:
@@ -326,6 +348,143 @@ def load_document_store(path: str | os.PathLike) -> DocumentStore:
         raise _corrupt(path, f"malformed record structure ({exc})") from exc
     return DocumentStore(Analyzer.from_config(header.get("analyzer", {})),
                          documents, doc_lengths)
+
+
+def load_document_store_partition(path: str | os.PathLike,
+                                  doc_ids) -> DocumentStore:
+    """Read only ``doc_ids`` from a document store — O(partition), not
+    O(store).
+
+    Uses the header's ``doc_index`` (``doc_id -> [offset, length]``) to
+    seek directly to the requested records; a store written before the
+    index existed falls back to a full :func:`load_document_store` (whose
+    result is a superset of the partition).  Partition reads trade the
+    whole-file sha256 verification for the O(partition) I/O that is their
+    point; each fetched record is still verified to parse and to carry
+    the expected doc_id, and a full load (which always verifies the
+    checksum) remains available for auditing.
+
+    Args:
+        path: the store file written by :func:`save_document_store`.
+        doc_ids: the document ids to load (an iterable; duplicates are
+            read once).
+
+    Raises:
+        SnapshotError: on unreadable files, bad magic, format-version
+            mismatches, ids absent from the store, or records that fail
+            verification.
+    """
+    path = Path(path)
+    try:
+        handle = open(path, "rb")
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read snapshot file {str(path)!r}: {exc}") from exc
+    with handle:
+        first = handle.readline()
+        if not first:
+            raise _corrupt(path, "empty file")
+        try:
+            header = _parse_line(path, first.decode("utf-8"), "header")
+        except UnicodeDecodeError as exc:
+            raise _corrupt(path, f"header is not UTF-8 ({exc})") from exc
+        if header.get("magic") != STORE_MAGIC:
+            raise _corrupt(path, "not a qunits document store file "
+                                 "(bad magic)")
+        if header.get("format_version") != STORE_VERSION:
+            raise SnapshotError(
+                f"document store {str(path)!r} has format version "
+                f"{header.get('format_version')!r}; this build reads "
+                f"version {STORE_VERSION}"
+            )
+        doc_index = header.get("doc_index")
+        if doc_index is None:
+            # Pre-index store: the only way to find a record is to read
+            # them all.  The full loader also verifies the checksum.
+            return load_document_store(path)
+        base = len(first)
+        documents: dict[str, Document] = {}
+        doc_lengths: dict[str, float] = {}
+        for doc_id in sorted(set(doc_ids)):
+            entry = doc_index.get(doc_id)
+            if entry is None:
+                raise _corrupt(
+                    path, f"document {doc_id!r} is not in the store's "
+                          f"doc_index")
+            try:
+                offset, size = entry
+                handle.seek(base + offset)
+                raw = handle.read(size).decode("utf-8")
+            except (TypeError, ValueError, UnicodeDecodeError) as exc:
+                raise _corrupt(
+                    path, f"doc_index entry for {doc_id!r} is unusable "
+                          f"({exc})") from exc
+            record = _parse_line(path, raw, f"document {doc_id!r}")
+            if record.get("t") != "doc" or record.get("id") != doc_id:
+                raise _corrupt(
+                    path, f"doc_index for {doc_id!r} points at a "
+                          f"{record.get('t')!r} record for "
+                          f"{record.get('id')!r}")
+            try:
+                _, document, length = _doc_from_record(record)
+            except KeyError as exc:
+                raise _corrupt(
+                    path, f"missing required key {exc.args[0]!r}") from exc
+            except (TypeError, ValueError) as exc:
+                raise _corrupt(
+                    path, f"malformed record structure ({exc})") from exc
+            documents[doc_id] = document
+            doc_lengths[doc_id] = length
+    return DocumentStore(Analyzer.from_config(header.get("analyzer", {})),
+                         documents, doc_lengths)
+
+
+def read_snapshot_doc_ids(path: str | os.PathLike) -> list[str]:
+    """The doc_ids of a snapshot file's base records (``ref`` or inline
+    ``doc``), in record order — without loading postings, resolving a
+    document store, or applying deltas.
+
+    This is how a shard server discovers *which* documents its partition
+    needs before fetching exactly those from the store
+    (:func:`load_document_store_partition`).
+
+    Raises:
+        SnapshotError: on unreadable/truncated files, bad magic, or an
+            unsupported format version.
+    """
+    path = Path(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            first = handle.readline()
+            if not first:
+                raise _corrupt(path, "empty file")
+            header = _parse_line(path, first, "header")
+            if header.get("magic") != FORMAT_MAGIC:
+                raise _corrupt(path, "not a qunits snapshot file (bad magic)")
+            if header.get("format_version") not in SUPPORTED_VERSIONS:
+                raise SnapshotError(
+                    f"snapshot file {str(path)!r} has format version "
+                    f"{header.get('format_version')!r}; this build reads "
+                    f"versions {SUPPORTED_VERSIONS}"
+                )
+            count = header.get("stored_documents", 0)
+            doc_ids: list[str] = []
+            for i in range(count):
+                line = handle.readline()
+                if not line:
+                    raise _corrupt(
+                        path, f"expected {count} document records, found "
+                              f"{i} (truncated?)")
+                record = _parse_line(path, line, f"record {i + 1}")
+                if record.get("t") not in ("doc", "ref") or \
+                        "id" not in record:
+                    raise _corrupt(
+                        path, f"record {i + 1} is not a document record")
+                doc_ids.append(record["id"])
+            return doc_ids
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read snapshot file {str(path)!r}: {exc}") from exc
 
 
 # -- snapshot writers --------------------------------------------------------

@@ -12,10 +12,15 @@ one layer at a time:
 2. **Top-k fast path** — when the scorer supports it (BM25, TF-IDF, and
    prior-weighted wrappers around them), scoring runs over the index's
    frozen :class:`~repro.ir.index.IndexSnapshot` via
-   :func:`repro.ir.topk.topk_scores`: cached per-term contribution arrays,
-   max-score early termination, bounded-heap selection.  With ``shards >=
-   2`` the snapshot is hash-partitioned and shards are scored in parallel,
-   then merged (see :mod:`repro.ir.shard`) — still rank-identical.
+   :func:`repro.ir.wand.retrieve`, which dispatches on the searcher's
+   ``strategy``: term-at-a-time max-score
+   (:func:`repro.ir.topk.topk_scores`), document-at-a-time WAND or
+   block-max WAND (:mod:`repro.ir.wand`), or per-query ``"auto"``
+   selection on query length.  All strategies share the snapshot's cached
+   per-term contribution arrays and return identical rankings.  With
+   ``shards >= 2`` the snapshot is hash-partitioned and shards are scored
+   in parallel, then merged (see :mod:`repro.ir.shard`) — still
+   rank-identical.
 3. **Exhaustive path** — :meth:`Searcher.search_exhaustive`, the reference
    implementation that scores every matching document and sorts.  The fast
    path is rank-identical to it by construction (property-tested in
@@ -44,7 +49,7 @@ from repro.ir.documents import Document
 from repro.ir.index import IndexSnapshot, InvertedIndex
 from repro.ir.scoring import Bm25Scorer, Scorer
 from repro.ir.shard import PARALLELISM_MODES, ShardedTopK
-from repro.ir.topk import topk_scores
+from repro.ir.wand import STRATEGIES, retrieve
 
 __all__ = ["SearchHit", "Searcher"]
 
@@ -81,12 +86,20 @@ class Searcher:
     snapshot files) can be handed in via ``sharded`` to skip the in-memory
     re-partition.  :meth:`close` releases the shard executor; searchers
     are usable as context managers.
+
+    ``strategy`` selects the fast-path retrieval algorithm (see
+    :mod:`repro.ir.wand`): ``"maxscore"`` (term-at-a-time), ``"wand"`` /
+    ``"blockmax"`` (document-at-a-time), or ``"auto"`` (the default),
+    which resolves per query on its term count.  Strategies return
+    identical rankings — float-exact, tie-breaks included — so the result
+    cache is shared across them.
     """
 
     def __init__(self, index: InvertedIndex | IndexSnapshot,
                  scorer: Scorer | None = None, cache_size: int = 256,
                  shards: int = 0, parallelism: str = "thread",
-                 sharded: ShardedTopK | None = None):
+                 sharded: ShardedTopK | None = None,
+                 strategy: str = "auto"):
         if cache_size < 0:
             raise ValueError(f"cache_size must be non-negative, got {cache_size}")
         if shards < 0:
@@ -96,8 +109,12 @@ class Searcher:
                 f"parallelism must be one of {PARALLELISM_MODES}, "
                 f"got {parallelism!r}"
             )
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}")
         self.index = index
         self.scorer = scorer or Bm25Scorer()
+        self.strategy = strategy
         self.cache_size = cache_size
         self.shards = shards if sharded is None else \
             max(shards, len(sharded.shards))
@@ -147,7 +164,8 @@ class Searcher:
         if pending:
             sharded = self._sharded_topk()
             ranked_lists = sharded.topk_many(
-                self.scorer, [list(terms) for terms in pending], limit)
+                self.scorer, [list(terms) for terms in pending], limit,
+                self.strategy)
             for terms, ranked in zip(pending, ranked_lists):
                 pending[terms] = self._store_hits(terms, limit, ranked)
         return [list(hits) if hits is not None else list(pending[terms])
@@ -229,10 +247,11 @@ class Searcher:
         if self.scorer.supports_topk():
             if self.shards >= 2:
                 ranked = self._sharded_topk().topk(self.scorer, list(terms),
-                                                   limit)
+                                                   limit, self.strategy)
             else:
                 snapshot = self.index.snapshot()
-                ranked = topk_scores(snapshot, self.scorer, list(terms), limit)
+                ranked = retrieve(snapshot, self.scorer, list(terms), limit,
+                                  self.strategy)
         else:
             ranked = self._ranked_exhaustive(list(terms), limit)
         return self._store_hits(terms, limit, ranked)

@@ -61,7 +61,8 @@ from collections.abc import Iterable
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.ir.index import IndexSnapshot
-from repro.ir.topk import merge_ranked, topk_scores
+from repro.ir.topk import merge_ranked
+from repro.ir.wand import retrieve
 
 __all__ = ["shard_id", "shard_snapshot", "ShardedTopK", "TermBloomFilter",
            "PARALLELISM_MODES"]
@@ -256,16 +257,21 @@ def _init_worker(shards: list[IndexSnapshot]) -> None:
     _WORKER_SHARDS = shards
 
 
-def _score_shard_batch_worker(shard_index: int, scorer, term_lists, limit):
+def _score_shard_batch_worker(shard_index: int, scorer, term_lists, limit,
+                              strategy):
     shard = _WORKER_SHARDS[shard_index]
-    return [topk_scores(shard, scorer, terms, limit) for terms in term_lists]
+    return [retrieve(shard, scorer, terms, limit, strategy)
+            for terms in term_lists]
 
 
 class ShardedTopK:
     """Parallel top-k over the shards of one frozen snapshot.
 
     Rank-identical to :func:`~repro.ir.topk.topk_scores` on the unsharded
-    snapshot (property-tested), with or without Bloom routing.  The
+    snapshot (property-tested), with or without Bloom routing, under every
+    retrieval strategy (:meth:`topk`/:meth:`topk_many` take a
+    ``strategy`` — maxscore, WAND, block-max, or per-query ``auto``; see
+    :mod:`repro.ir.wand`).  The
     executor is created lazily on first use and shut down by :meth:`close`
     (also a context manager).  In process mode the scorer is pickled per
     call, so scorers must be picklable *and* should use value-based
@@ -374,18 +380,22 @@ class ShardedTopK:
                     max_workers=self.max_workers)
         return self._executor
 
-    def topk(self, scorer, terms: list[str],
-             limit: int) -> list[tuple[str, float]]:
+    def topk(self, scorer, terms: list[str], limit: int,
+             strategy: str = "auto") -> list[tuple[str, float]]:
         """The global top-``limit`` ``(doc_id, score)`` list for one query."""
-        return self.topk_many(scorer, [terms], limit)[0]
+        return self.topk_many(scorer, [terms], limit, strategy)[0]
 
     def topk_many(self, scorer, term_lists: list[list[str]],
-                  limit: int) -> list[list[tuple[str, float]]]:
+                  limit: int,
+                  strategy: str = "auto") -> list[list[tuple[str, float]]]:
         """Top-``limit`` lists for a batch of queries, in input order.
 
         One task per shard scores the queries routed to that shard
         (Bloom-filtered unless ``route=False``), then per-query results
-        are merged across the shards that ran them.
+        are merged across the shards that ran them.  ``strategy`` picks
+        the per-shard retrieval algorithm (see :mod:`repro.ir.wand`); it
+        ships to the workers unresolved, so ``"auto"`` resolves per query
+        inside each shard task — results are identical either way.
         """
         if not term_lists:
             return []
@@ -420,8 +430,8 @@ class ShardedTopK:
                  for shard_index, plan in enumerate(plans) if plan]
         if self.parallelism == "serial":
             results = [
-                [topk_scores(self.shards[shard_index], scorer,
-                             term_lists[i], limit) for i in plan]
+                [retrieve(self.shards[shard_index], scorer,
+                          term_lists[i], limit, strategy) for i in plan]
                 for shard_index, plan in tasks
             ]
         elif self.parallelism == "thread":
@@ -430,7 +440,7 @@ class ShardedTopK:
                 executor.submit(
                     lambda shard=self.shards[shard_index],
                            sub=[term_lists[i] for i in plan]:
-                    [topk_scores(shard, scorer, terms, limit)
+                    [retrieve(shard, scorer, terms, limit, strategy)
                      for terms in sub])
                 for shard_index, plan in tasks
             ]
@@ -439,7 +449,8 @@ class ShardedTopK:
             executor = self._ensure_executor()
             futures = [
                 executor.submit(_score_shard_batch_worker, shard_index,
-                                scorer, [term_lists[i] for i in plan], limit)
+                                scorer, [term_lists[i] for i in plan], limit,
+                                strategy)
                 for shard_index, plan in tasks
             ]
             results = [future.result() for future in futures]

@@ -1,0 +1,595 @@
+"""Document-at-a-time WAND and block-max retrieval.
+
+:func:`~repro.ir.topk.topk_scores` prunes *term-at-a-time*: it walks every
+posting of every query term and merely stops admitting new candidates once
+the remaining terms cannot lift an unseen document into the top k.  WAND
+(Broder et al., "Efficient query evaluation using a two-level retrieval
+process") prunes *document-at-a-time*: posting cursors — one per query
+term, over the :class:`~repro.ir.index.IndexSnapshot`'s doc_id-sorted
+postings — advance together through doc_id order, and whole posting
+ranges are skipped with a binary-search :meth:`PostingCursor.seek`
+whenever the per-term upper bounds prove no document in the range can
+enter the top k.  On long queries whose selective terms drive the
+threshold up quickly, that skipping is the next integer factor over the
+term-at-a-time path.
+
+The algorithm, per round:
+
+1. sort the active cursors by their current doc_id;
+2. **pivot selection** — walk cursors in that order accumulating their
+   max-score bounds; the first cursor at which the finalized ceiling
+   reaches the current k-th best score marks the *pivot document*: no
+   document before it can make the top k (cursors past the pivot sit on
+   later doc_ids, and the bounds of cursors before it were just shown to
+   ceiling strictly below the threshold);
+3. if the smallest cursor already sits on the pivot, the pivot document
+   is **fully scored** (see *Float exactness* below) and offered to the
+   bounded heap; otherwise every cursor before the pivot ``seek``\\ s to
+   it, skipping its intervening postings outright.
+
+With ``block_size > 0`` the candidate check is refined by **block-max
+bounds**: each term's contribution array is cut into fixed-size blocks
+with a per-block score cap, cached lazily per (scorer, term) on the
+snapshot (:meth:`~repro.ir.index.IndexSnapshot.term_block_bounds`) and
+version-invalidated exactly like the contribution caches — a new
+snapshot after any :meth:`~repro.ir.index.InvertedIndex.add` starts
+empty.  A pivot whose *block* caps already ceiling strictly below the
+threshold is skipped without touching its contributions.
+
+Float exactness
+---------------
+
+Term order changes float sums, so a naive sorted-by-bound accumulation
+would drift from the exhaustive path in the last ulp and break the
+repo-wide rank-identity invariant.  WAND here therefore separates
+*traversal* order from *accumulation* order: cursors move in bound-driven
+document-at-a-time order, but when a document is actually scored its
+contributions are summed in canonical **query-term order** — the same
+order :func:`~repro.ir.topk.topk_scores` and the exhaustive scorers use.
+The result is *float-exact* rank-and-score identity with both (property-
+tested in ``tests/test_property_based.py``), ``(-score, doc_id)``
+tie-breaks included; pruning uses the same strict-inequality rule as
+:mod:`repro.ir.topk` (only a ceiling *strictly below* the threshold may
+be skipped, since an equal-scoring document could still win the doc_id
+tie-break).
+
+Strategy selection
+------------------
+
+:func:`retrieve` is the single dispatch point the
+:class:`~repro.ir.retrieval.Searcher`, :class:`~repro.ir.shard.
+ShardedTopK` (all three executors), and the CLI ``--strategy`` flag all
+go through.  ``"auto"`` resolves per query: term-at-a-time max-score for
+short queries (its per-posting loop is a tight C-level ``zip``), WAND
+from :data:`AUTO_WAND_MIN_TERMS` query terms up, where bound-sorted
+skipping amortizes the per-document Python overhead.  See
+``docs/ARCHITECTURE.md`` ("Choosing a retrieval strategy") for the
+walkthrough and ``benchmarks/results/BENCH_wand.json`` for measurements.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from operator import attrgetter
+
+from repro.ir.index import IndexSnapshot
+from repro.ir.scoring import Scorer
+from repro.ir.topk import TopKHeap, topk_scores
+
+__all__ = [
+    "STRATEGIES",
+    "DEFAULT_BLOCK_SIZE",
+    "AUTO_WAND_MIN_TERMS",
+    "PostingCursor",
+    "resolve_strategy",
+    "retrieve",
+    "wand_scores",
+]
+
+#: Retrieval strategies understood by :func:`retrieve` (and everything
+#: that forwards to it: ``Searcher``, ``ShardedTopK``, the CLI).
+STRATEGIES = ("auto", "maxscore", "wand", "blockmax")
+
+#: Postings per block for the ``"blockmax"`` strategy's per-block caps.
+DEFAULT_BLOCK_SIZE = 64
+
+#: ``"auto"`` switches from term-at-a-time max-score to WAND at this many
+#: query terms: below it, whole-postings ``zip`` loops beat per-document
+#: pivoting; at it and above, bound-driven skipping wins (measured in
+#: ``BENCH_wand.json``).
+AUTO_WAND_MIN_TERMS = 4
+
+
+class PostingCursor:
+    """One query term's position in its doc_id-sorted contribution arrays.
+
+    ``order`` is the term's position *in the query*, kept so a scored
+    document's contributions can be re-sorted into canonical query-term
+    order (the float-exactness trick of the module docstring).  ``doc``
+    mirrors ``doc_ids[position]`` so the hot loop reads an attribute
+    instead of indexing.
+    """
+
+    __slots__ = ("order", "doc_ids", "contributions", "bound", "blocks",
+                 "block_size", "length", "position", "doc")
+
+    def __init__(self, order: int, doc_ids, contributions, bound: float,
+                 blocks=None, block_size: int = 0):
+        """A cursor at the first posting of one term's arrays.
+
+        Args:
+            order: the term's position in the query (canonical sum order).
+            doc_ids: doc_id-sorted document ids (non-empty).
+            contributions: scores aligned with ``doc_ids``.
+            bound: the term's max-score upper bound.
+            blocks: optional per-block contribution caps
+                (:meth:`~repro.ir.index.IndexSnapshot.term_block_bounds`).
+            block_size: postings per block (0 = no block refinement).
+        """
+        self.order = order
+        self.doc_ids = doc_ids
+        self.contributions = contributions
+        self.bound = bound
+        self.blocks = blocks
+        self.block_size = block_size
+        self.length = len(doc_ids)
+        self.position = 0
+        self.doc = doc_ids[0]
+
+    def __len__(self) -> int:
+        return self.length - self.position
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the cursor has moved past its last posting."""
+        return self.position >= self.length
+
+    @property
+    def contribution(self) -> float:
+        """The contribution at the current position."""
+        return self.contributions[self.position]
+
+    def block_bound(self) -> float:
+        """The cap of the block containing the current position (the
+        term's global ``bound`` when the cursor has no block caps)."""
+        if self.blocks is None:
+            return self.bound
+        return self.blocks[self.position // self.block_size]
+
+    def advance(self) -> bool:
+        """Move to the next posting; ``False`` once exhausted."""
+        position = self.position + 1
+        self.position = position
+        if position >= self.length:
+            return False
+        self.doc = self.doc_ids[position]
+        return True
+
+    def seek(self, doc_id: str) -> bool:
+        """Skip forward to the first posting with doc_id >= ``doc_id``
+        (binary search from the current position — never backwards);
+        ``False`` once exhausted."""
+        position = bisect_left(self.doc_ids, doc_id, self.position)
+        self.position = position
+        if position >= self.length:
+            return False
+        self.doc = self.doc_ids[position]
+        return True
+
+
+def resolve_strategy(strategy: str, terms: list[str]) -> str:
+    """The concrete strategy ``"auto"`` picks for ``terms``.
+
+    Query length is the deciding signal: short queries stay on the
+    term-at-a-time max-score path, queries with
+    :data:`AUTO_WAND_MIN_TERMS` or more terms go document-at-a-time
+    (see the module docstring for why).
+
+    Raises:
+        ValueError: on a strategy not in :data:`STRATEGIES`.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    if strategy != "auto":
+        return strategy
+    return "wand" if len(terms) >= AUTO_WAND_MIN_TERMS else "maxscore"
+
+
+def retrieve(snapshot: IndexSnapshot, scorer, terms: list[str], limit: int,
+             strategy: str = "auto") -> list[tuple[str, float]]:
+    """The ``limit`` best ``(doc_id, score)`` pairs for ``terms`` under
+    ``strategy`` — the strategy dispatch point.
+
+    Every strategy returns the *identical* ranked list (scores float-
+    exact, ``(-score, doc_id)`` tie-breaks included); they differ only in
+    how much work they skip.  ``scorer`` must support the fast-path hooks
+    (see :mod:`repro.ir.scoring`).
+
+    Raises:
+        ValueError: on a strategy not in :data:`STRATEGIES`.
+    """
+    resolved = resolve_strategy(strategy, terms)
+    if resolved == "maxscore":
+        return topk_scores(snapshot, scorer, terms, limit)
+    block_size = DEFAULT_BLOCK_SIZE if resolved == "blockmax" else 0
+    return wand_scores(snapshot, scorer, terms, limit, block_size=block_size)
+
+
+def wand_scores(snapshot: IndexSnapshot, scorer, terms: list[str],
+                limit: int, block_size: int = 0) -> list[tuple[str, float]]:
+    """Document-at-a-time WAND top-``limit`` retrieval.
+
+    Rank- and score-identical to :func:`~repro.ir.topk.topk_scores` and to
+    exhaustive scoring (see the module docstring for the argument).  With
+    ``block_size > 0`` candidates are additionally screened against
+    per-block contribution caps before their contributions are touched.
+
+    Args:
+        snapshot: the frozen index to score against.
+        scorer: a scorer with fast-path hooks (:mod:`repro.ir.scoring`).
+        terms: analyzed query terms, in query order.
+        limit: how many results to return.
+        block_size: postings per block-max block (0 = plain WAND).
+
+    Raises:
+        ValueError: on a negative ``block_size``.
+    """
+    if block_size < 0:
+        raise ValueError(f"block_size must be non-negative, got {block_size}")
+    if limit <= 0 or snapshot.document_count == 0:
+        return []
+    cursors = []
+    for order, term in enumerate(terms):
+        plan = snapshot.term_contributions(scorer, term)
+        if not plan.doc_ids:
+            continue
+        blocks = (snapshot.term_block_bounds(scorer, term, block_size)
+                  if block_size else None)
+        cursors.append(PostingCursor(order, plan.doc_ids, plan.contributions,
+                                     plan.bound, blocks, block_size))
+    if not cursors:
+        return []
+
+    heap = TopKHeap(limit)
+    offer = heap.offer
+    finalize = scorer.finalize
+    ceiling = scorer.ceiling
+    prune_bound = scorer.prune_bound
+    # Hot-loop fast paths: skip the finalize call when the scorer never
+    # overrides it (raw scores *are* final, e.g. BM25), and compare bound
+    # sums directly in raw space when the scorer can invert its ceiling
+    # (prune_bound) instead of calling ceiling once per cursor prefix.
+    plain_finalize = type(scorer).finalize is Scorer.finalize
+    #: raw-space pruning threshold — valid only while ``threshold`` is
+    #: set; ``None`` means the scorer has no inverse and the generic
+    #: per-prefix ceiling scan runs instead.
+    raw_threshold: float | None = None
+    threshold: float | None = None
+    #: doc_id of the k-th best hit, tracked alongside ``threshold`` so an
+    #: equal-scoring candidate's (-score, doc_id) tie-break resolves
+    #: without touching the heap.
+    worst_doc = ""
+    active = cursors
+    by_doc = _BY_DOC
+    while active:
+        n_active = len(active)
+        if n_active < 3:
+            # Endgame: long queries spend most of their rounds here, after
+            # the selective terms exhaust — one cursor degenerates to a
+            # linear scan, two to a specialized pair loop; both shed the
+            # general loop's sorting and list rebuilding.
+            if n_active == 1:
+                _drain_single(active[0], snapshot, scorer, heap, threshold,
+                              raw_threshold, worst_doc, plain_finalize)
+            else:
+                _drain_pair(active[0], active[1], snapshot, scorer, heap,
+                            threshold, raw_threshold, worst_doc,
+                            plain_finalize, block_size)
+            break
+        # (falls through to the general pivot round below)
+        active.sort(key=by_doc)
+        if threshold is None:
+            # Heap not yet full: every document must be scored, so the
+            # pivot is simply the smallest current doc_id.
+            pivot_index = 0
+        else:
+            # Pivot selection: the first cursor (in doc_id order) at which
+            # the accumulated bounds could finalize to >= the k-th best.
+            # Equality must still evaluate — an equal-scoring document can
+            # win the (-score, doc_id) tie-break (same strictness rule as
+            # topk_scores).
+            acc = 0.0
+            pivot_index = -1
+            if raw_threshold is not None:
+                for i, cursor in enumerate(active):
+                    acc += cursor.bound
+                    if acc >= raw_threshold:
+                        pivot_index = i
+                        break
+            else:
+                for i, cursor in enumerate(active):
+                    acc += cursor.bound
+                    if ceiling(snapshot, acc) >= threshold:
+                        pivot_index = i
+                        break
+            if pivot_index < 0:
+                # Even all remaining terms together ceiling strictly below
+                # the k-th best: no unseen document can enter or tie in.
+                break
+        pivot_doc = active[pivot_index].doc
+        first = active[0]
+        if first.doc == pivot_doc:
+            # Candidate: every cursor sitting on the pivot forms a prefix
+            # of the doc_id-sorted cursor list (cursors are sorted and
+            # active[pivot_index] is also on it).
+            end = pivot_index + 1
+            n = len(active)
+            while end < n and active[end].doc == pivot_doc:
+                end += 1
+            if end <= 2 and end < n:
+                # Bounded sub-drain: every document below the next
+                # cursor's doc lives only in these 1-2 cursors, so the
+                # whole stretch is a closed subproblem the specialized
+                # drains chew through without per-document sorting.
+                limit_doc = active[end].doc
+                if end == 1:
+                    threshold, raw_threshold, worst_doc = _drain_single(
+                        first, snapshot, scorer, heap, threshold,
+                        raw_threshold, worst_doc, plain_finalize, limit_doc)
+                else:
+                    threshold, raw_threshold, worst_doc = _drain_pair(
+                        first, active[1], snapshot, scorer, heap, threshold,
+                        raw_threshold, worst_doc, plain_finalize,
+                        block_size, limit_doc)
+                if any(cursor.position >= cursor.length
+                       for cursor in active[:end]):
+                    active = [cursor for cursor in active
+                              if cursor.position < cursor.length]
+                continue
+            at_pivot = active[:end]
+            evaluate = True
+            if block_size and threshold is not None:
+                # Block-max refinement: the caps of the blocks the pivot
+                # actually lives in are far tighter than the global
+                # bounds; if even they ceiling strictly below the
+                # threshold, skip the document without summing anything.
+                cap = 0.0
+                for cursor in at_pivot:
+                    blocks = cursor.blocks
+                    cap += (cursor.bound if blocks is None
+                            else blocks[cursor.position // block_size])
+                if raw_threshold is not None:
+                    evaluate = cap >= raw_threshold
+                else:
+                    evaluate = ceiling(snapshot, cap) >= threshold
+            if evaluate:
+                # Full evaluation — accumulate in canonical query-term
+                # order so the float sum is bit-identical to the
+                # term-at-a-time and exhaustive paths.
+                if end == 1:
+                    raw = first.contributions[first.position]
+                else:
+                    at_pivot.sort(key=_BY_ORDER)
+                    raw = 0.0
+                    for cursor in at_pivot:
+                        raw += cursor.contributions[cursor.position]
+                score = (raw if plain_finalize
+                         else finalize(snapshot, pivot_doc, raw))
+                # Touch the heap only when the hit actually lands in it:
+                # (threshold, worst_doc) mirror heap.worst(), so losing
+                # scores (and losing tie-breaks) are rejected with plain
+                # comparisons.
+                if threshold is None or score > threshold or (
+                        score == threshold and pivot_doc < worst_doc):
+                    offer(pivot_doc, score)
+                    if heap.full:
+                        worst_score, worst_doc = heap.worst()
+                        if worst_score != threshold:
+                            threshold = worst_score
+                            raw_threshold = prune_bound(snapshot, threshold)
+            survivors = [cursor for cursor in at_pivot if cursor.advance()]
+            if end < n:
+                survivors.extend(active[end:])
+            active = survivors
+        else:
+            # Every document before the pivot ceilings strictly below the
+            # threshold (shown cursor-prefix by cursor-prefix during pivot
+            # selection): skip whole posting ranges by seeking every
+            # pre-pivot cursor directly to the pivot document.
+            survivors = []
+            for cursor in active:
+                if cursor.doc >= pivot_doc or cursor.seek(pivot_doc):
+                    survivors.append(cursor)
+            active = survivors
+    return heap.ranked()
+
+
+def _drain_pair(a: PostingCursor, b: PostingCursor, snapshot: IndexSnapshot,
+                scorer, heap: TopKHeap, threshold: float | None,
+                raw_threshold: float | None, worst_doc: str,
+                plain_finalize: bool, block_size: int,
+                limit_doc: str | None = None) -> tuple:
+    """WAND over exactly two cursors, without the general loop's sorting
+    and list rebuilding.
+
+    Semantically identical to the main loop — same pivot rule, same
+    strict-inequality pruning, same canonical-order accumulation, same
+    block-max refinement.  With ``limit_doc`` the drain stops once both
+    cursors reach it: documents below ``limit_doc`` exist *only* in these
+    two cursors (every other active cursor already sits at or past it),
+    so the stretch is a closed two-term subproblem.  Hands off to
+    :func:`_drain_single` when either cursor runs out.
+
+    Returns the updated ``(threshold, raw_threshold, worst_doc)`` so the
+    caller's pruning state stays current.
+    """
+    offer = heap.offer
+    finalize = scorer.finalize
+    ceiling = scorer.ceiling
+    prune_bound = scorer.prune_bound
+    while True:
+        if a.doc > b.doc:
+            a, b = b, a
+        # Invariant: a.doc <= b.doc, so `a` is the pivot-selection prefix.
+        if limit_doc is not None:
+            if a.doc >= limit_doc:
+                return threshold, raw_threshold, worst_doc
+            if b.doc >= limit_doc:
+                # Only `a` still has documents below the fence: the rest
+                # of the subproblem is single-cursor.
+                return _drain_single(a, snapshot, scorer, heap, threshold,
+                                     raw_threshold, worst_doc,
+                                     plain_finalize, limit_doc)
+        if threshold is not None:
+            if raw_threshold is not None:
+                if a.bound >= raw_threshold:
+                    pass  # pivot is a.doc — evaluate it
+                elif a.bound + b.bound >= raw_threshold:
+                    if a.doc != b.doc:
+                        # Pivot is b.doc: skip a's postings up to it —
+                        # clamped to limit_doc, past which documents may
+                        # live in cursors outside this subproblem.
+                        target = b.doc if limit_doc is None \
+                            or b.doc <= limit_doc else limit_doc
+                        if not a.seek(target):
+                            return _drain_single(
+                                b, snapshot, scorer, heap, threshold,
+                                raw_threshold, worst_doc, plain_finalize,
+                                limit_doc)
+                        continue
+                else:
+                    # Even both terms together cannot enter: this
+                    # subproblem is done.
+                    if limit_doc is None:
+                        return threshold, raw_threshold, worst_doc
+                    if not a.seek(limit_doc):
+                        b.seek(limit_doc)
+                        return threshold, raw_threshold, worst_doc
+                    if not b.seek(limit_doc):
+                        return threshold, raw_threshold, worst_doc
+                    continue
+            else:
+                if ceiling(snapshot, a.bound) >= threshold:
+                    pass
+                elif ceiling(snapshot, a.bound + b.bound) >= threshold:
+                    if a.doc != b.doc:
+                        target = b.doc if limit_doc is None \
+                            or b.doc <= limit_doc else limit_doc
+                        if not a.seek(target):
+                            return _drain_single(
+                                b, snapshot, scorer, heap, threshold,
+                                raw_threshold, worst_doc, plain_finalize,
+                                limit_doc)
+                        continue
+                else:
+                    if limit_doc is None:
+                        return threshold, raw_threshold, worst_doc
+                    if not a.seek(limit_doc):
+                        b.seek(limit_doc)
+                        return threshold, raw_threshold, worst_doc
+                    if not b.seek(limit_doc):
+                        return threshold, raw_threshold, worst_doc
+                    continue
+        doc_id = a.doc
+        both = b.doc == doc_id
+        evaluate = True
+        if block_size and threshold is not None:
+            blocks = a.blocks
+            cap = (a.bound if blocks is None
+                   else blocks[a.position // block_size])
+            if both:
+                blocks = b.blocks
+                cap += (b.bound if blocks is None
+                        else blocks[b.position // block_size])
+            if raw_threshold is not None:
+                evaluate = cap >= raw_threshold
+            else:
+                evaluate = ceiling(snapshot, cap) >= threshold
+        if evaluate:
+            if both:
+                # Canonical query-term accumulation order (float-exact).
+                if a.order < b.order:
+                    raw = (a.contributions[a.position]
+                           + b.contributions[b.position])
+                else:
+                    raw = (b.contributions[b.position]
+                           + a.contributions[a.position])
+            else:
+                raw = a.contributions[a.position]
+            score = raw if plain_finalize \
+                else finalize(snapshot, doc_id, raw)
+            if threshold is None or score > threshold or (
+                    score == threshold and doc_id < worst_doc):
+                offer(doc_id, score)
+                if heap.full:
+                    worst_score, worst_doc = heap.worst()
+                    if worst_score != threshold:
+                        threshold = worst_score
+                        raw_threshold = prune_bound(snapshot, threshold)
+        if both and not b.advance():
+            b = None
+        if not a.advance():
+            a = b
+        if a is None:
+            return threshold, raw_threshold, worst_doc
+        if b is None or a is b:
+            return _drain_single(a, snapshot, scorer, heap, threshold,
+                                 raw_threshold, worst_doc, plain_finalize,
+                                 limit_doc)
+
+
+def _drain_single(cursor: PostingCursor, snapshot: IndexSnapshot, scorer,
+                  heap: TopKHeap, threshold: float | None,
+                  raw_threshold: float | None, worst_doc: str,
+                  plain_finalize: bool,
+                  limit_doc: str | None = None) -> tuple:
+    """Score one cursor's postings straight into ``heap``, up to (not
+    including) ``limit_doc`` — or to the end when it is ``None``.
+
+    Documents in the drained range exist only in this cursor (the caller
+    guarantees every other active cursor sits at or past ``limit_doc``),
+    so each posting's contribution is the document's *entire* raw score.
+    The pruning rules match the main loop exactly: a posting is skipped
+    only when that contribution ceilings *strictly* below the current
+    k-th best.
+
+    Returns the updated ``(threshold, raw_threshold, worst_doc)``.
+    """
+    offer = heap.offer
+    finalize = scorer.finalize
+    ceiling = scorer.ceiling
+    prune_bound = scorer.prune_bound
+    doc_ids = cursor.doc_ids
+    contributions = cursor.contributions
+    if limit_doc is None:
+        stop = cursor.length
+    else:
+        stop = bisect_left(doc_ids, limit_doc, cursor.position)
+    for position in range(cursor.position, stop):
+        contribution = contributions[position]
+        if threshold is not None:
+            if raw_threshold is not None:
+                if contribution < raw_threshold:
+                    continue
+            elif ceiling(snapshot, contribution) < threshold:
+                continue
+        doc_id = doc_ids[position]
+        score = (contribution if plain_finalize
+                 else finalize(snapshot, doc_id, contribution))
+        if threshold is None or score > threshold or (
+                score == threshold and doc_id < worst_doc):
+            offer(doc_id, score)
+            if heap.full:
+                worst_score, worst_doc = heap.worst()
+                if worst_score != threshold:
+                    threshold = worst_score
+                    raw_threshold = prune_bound(snapshot, threshold)
+    cursor.position = stop
+    if stop < cursor.length:
+        cursor.doc = doc_ids[stop]
+    return threshold, raw_threshold, worst_doc
+
+
+_BY_DOC = attrgetter("doc")
+_BY_ORDER = attrgetter("order")

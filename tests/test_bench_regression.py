@@ -1,0 +1,241 @@
+"""The perf-regression gate (``repro.bench.regression`` +
+``benchmarks/check_regression.py`` + ``repro bench-diff``) must catch a
+real slowdown and stay quiet on a clean run."""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.bench.regression import (
+    DEFAULT_THRESHOLD,
+    TRACKED_METRICS,
+    compare_dirs,
+    compare_reports,
+    main,
+    metric_value,
+    render_comparison,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+
+
+def _write(path: Path, data: dict) -> None:
+    path.write_text(json.dumps(data), encoding="utf-8")
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    baseline_dir = tmp_path / "baseline"
+    current_dir = tmp_path / "current"
+    baseline_dir.mkdir()
+    current_dir.mkdir()
+    report = {"cold_start_s": 2.0, "cold_start_speedup": 10.0}
+    _write(baseline_dir / "BENCH_cold_start.json", report)
+    _write(current_dir / "BENCH_cold_start.json", dict(report))
+    return baseline_dir, current_dir
+
+
+class TestMetricValue:
+    def test_flat_and_nested_paths(self):
+        report = {"a": 1.5, "routing": {"routed_s": 0.25}}
+        assert metric_value(report, "a") == 1.5
+        assert metric_value(report, "routing.routed_s") == 0.25
+
+    def test_missing_and_non_numeric_raise(self):
+        with pytest.raises(KeyError):
+            metric_value({}, "a")
+        with pytest.raises(KeyError):
+            metric_value({"a": "fast"}, "a")
+        with pytest.raises(KeyError):
+            metric_value({"a": True}, "a")
+
+
+class TestCompareReports:
+    def test_equal_runs_pass(self):
+        report = {"t_s": 1.0}
+        comparisons = compare_reports("f.json", report, dict(report),
+                                      {"t_s": "lower"})
+        assert [c.regressed for c in comparisons] == [False]
+
+    def test_lower_is_better_direction(self):
+        base = {"t_s": 1.0}
+        slower = compare_reports("f.json", base, {"t_s": 1.3},
+                                 {"t_s": "lower"})
+        faster = compare_reports("f.json", base, {"t_s": 0.5},
+                                 {"t_s": "lower"})
+        assert slower[0].regressed
+        assert not faster[0].regressed
+
+    def test_higher_is_better_direction(self):
+        base = {"speedup": 10.0}
+        worse = compare_reports("f.json", base, {"speedup": 5.0},
+                                {"speedup": "higher"})
+        better = compare_reports("f.json", base, {"speedup": 20.0},
+                                 {"speedup": "higher"})
+        assert worse[0].regressed
+        assert not better[0].regressed
+
+    def test_higher_direction_trips_at_documented_point(self):
+        # Documented contract: regression when
+        # current < baseline / (1 + threshold).
+        base = {"speedup": 10.0}
+        just_inside = compare_reports(
+            "f.json", base, {"speedup": 10.0 / 1.25}, {"speedup": "higher"},
+            threshold=0.25)
+        just_outside = compare_reports(
+            "f.json", base, {"speedup": 10.0 / 1.26}, {"speedup": "higher"},
+            threshold=0.25)
+        assert not just_inside[0].regressed
+        assert just_outside[0].regressed
+
+    def test_higher_direction_zero_current_is_regression(self):
+        comparisons = compare_reports("f.json", {"speedup": 10.0},
+                                      {"speedup": 0.0},
+                                      {"speedup": "higher"})
+        assert comparisons[0].regressed
+
+    def test_within_threshold_passes(self):
+        base = {"t_s": 1.0}
+        ok = compare_reports("f.json", base, {"t_s": 1.2}, {"t_s": "lower"},
+                             threshold=DEFAULT_THRESHOLD)
+        assert not ok[0].regressed
+
+    def test_metric_missing_from_current_is_regression(self):
+        comparisons = compare_reports("f.json", {"t_s": 1.0}, {},
+                                      {"t_s": "lower"})
+        assert comparisons[0].regressed
+        assert "missing" in comparisons[0].note
+
+    def test_metric_missing_from_baseline_is_skipped(self):
+        comparisons = compare_reports("f.json", {}, {"t_s": 1.0},
+                                      {"t_s": "lower"})
+        assert not comparisons[0].regressed
+        assert "no baseline" in comparisons[0].note
+
+
+class TestCompareDirs:
+    def test_clean_run_passes(self, dirs):
+        baseline_dir, current_dir = dirs
+        comparisons = compare_dirs(baseline_dir, current_dir)
+        assert comparisons
+        assert not any(c.regressed for c in comparisons)
+
+    def test_synthetic_2x_slowdown_fails(self, dirs):
+        # The acceptance scenario: copy the baseline, inject a 2x
+        # slowdown into the copy, and the checker must exit nonzero.
+        baseline_dir, current_dir = dirs
+        path = current_dir / "BENCH_cold_start.json"
+        report = json.loads(path.read_text())
+        report["cold_start_s"] *= 2.0
+        _write(path, report)
+        comparisons = compare_dirs(baseline_dir, current_dir)
+        regressed = [c for c in comparisons if c.regressed]
+        assert [c.metric for c in regressed] == ["cold_start_s"]
+        assert main([str(baseline_dir), str(current_dir)]) == 1
+
+    def test_missing_current_report_fails(self, dirs):
+        baseline_dir, current_dir = dirs
+        (current_dir / "BENCH_cold_start.json").unlink()
+        comparisons = compare_dirs(baseline_dir, current_dir)
+        assert any(c.regressed and "missing" in c.note for c in comparisons)
+
+    def test_corrupt_current_report_fails(self, dirs):
+        baseline_dir, current_dir = dirs
+        (current_dir / "BENCH_cold_start.json").write_text("{oops")
+        comparisons = compare_dirs(baseline_dir, current_dir)
+        assert any(c.regressed and "JSON" in c.note for c in comparisons)
+
+    def test_threshold_is_respected(self, dirs):
+        baseline_dir, current_dir = dirs
+        path = current_dir / "BENCH_cold_start.json"
+        report = json.loads(path.read_text())
+        report["cold_start_s"] *= 2.0
+        _write(path, report)
+        # A 2x slowdown passes a 150% threshold, fails the default.
+        assert main([str(baseline_dir), str(current_dir),
+                     "--threshold", "1.5"]) == 0
+        assert main([str(baseline_dir), str(current_dir)]) == 1
+
+
+class TestCommittedBaselines:
+    def test_baselines_exist_for_every_tracked_report(self):
+        for file_name in TRACKED_METRICS:
+            assert (BASELINES / file_name).exists(), (
+                f"benchmarks/baselines/{file_name} is not committed")
+
+    def test_baselines_carry_every_tracked_metric(self):
+        for file_name, metrics in TRACKED_METRICS.items():
+            report = json.loads(
+                (BASELINES / file_name).read_text(encoding="utf-8"))
+            for metric in metrics:
+                metric_value(report, metric)  # raises if absent
+
+    def test_baselines_compare_clean_against_themselves(self, tmp_path):
+        current = tmp_path / "current"
+        shutil.copytree(BASELINES, current)
+        comparisons = compare_dirs(BASELINES, current)
+        assert comparisons
+        assert not any(c.regressed for c in comparisons)
+
+
+class TestEntryPoints:
+    def test_main_prints_table_and_passes(self, dirs, capsys):
+        baseline_dir, current_dir = dirs
+        assert main([str(baseline_dir), str(current_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "cold_start_s" in out
+
+    def test_render_mentions_regressions(self, dirs):
+        baseline_dir, current_dir = dirs
+        path = current_dir / "BENCH_cold_start.json"
+        report = json.loads(path.read_text())
+        report["cold_start_s"] *= 3.0
+        _write(path, report)
+        text = render_comparison(compare_dirs(baseline_dir, current_dir))
+        assert "REGRESSED" in text
+        assert "FAIL" in text
+
+    def test_cli_bench_diff_subcommand(self, dirs, capsys):
+        from repro.cli import main as cli_main
+
+        baseline_dir, current_dir = dirs
+        assert cli_main(["bench-diff", str(baseline_dir),
+                         str(current_dir)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        path = current_dir / "BENCH_cold_start.json"
+        report = json.loads(path.read_text())
+        report["cold_start_s"] *= 2.0
+        _write(path, report)
+        assert cli_main(["bench-diff", str(baseline_dir),
+                         str(current_dir)]) == 1
+
+    def test_check_regression_script_wrapper(self):
+        # The CI wrapper must exist and point at the shared main().
+        script = REPO_ROOT / "benchmarks" / "check_regression.py"
+        assert script.exists()
+        text = script.read_text(encoding="utf-8")
+        assert "repro.bench.regression" in text
+
+    def test_wrapper_positional_detection(self):
+        # `--threshold 0.5` is two option tokens, not a positional — the
+        # wrapper must still fall back to the repo-default directories
+        # (regression: it used to hand argparse an empty positional list
+        # and die with exit code 2, which CI would misread as a perf
+        # regression).
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_regression",
+            REPO_ROOT / "benchmarks" / "check_regression.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert not module._has_positional([])
+        assert not module._has_positional(["--threshold", "0.5"])
+        assert not module._has_positional(["--threshold=0.5"])
+        assert module._has_positional(["baselines", "results"])
+        assert module._has_positional(["--threshold", "0.5", "baselines",
+                                       "results"])

@@ -1,5 +1,7 @@
-"""Docs cannot silently rot: README/docs links must resolve, and every CLI
-invocation shown in the docs must name a real subcommand that parses.
+"""Docs cannot silently rot: README/docs links must resolve, every CLI
+invocation shown in the docs must name a real subcommand that parses, and
+the GitHub workflow files (including the nightly benchmark job) must stay
+valid YAML whose `repro` invocations and referenced scripts exist.
 
 This is the test behind the CI ``docs`` job (see
 ``.github/workflows/ci.yml``); it also runs under tier-1 so link breakage
@@ -10,20 +12,23 @@ import re
 from pathlib import Path
 
 import pytest
+import yaml
 
 from repro.cli import build_parser
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = sorted([REPO_ROOT / "README.md",
                     *(REPO_ROOT / "docs").glob("*.md")])
+WORKFLOW_FILES = sorted((REPO_ROOT / ".github" / "workflows").glob("*.yml"))
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
 # `repro <sub>` / `python -m repro <sub>` inside fenced code blocks, with
 # optional global options (--scale/--seed take a value) before the
-# subcommand.
+# subcommand.  Subcommand names may be hyphenated (bench-diff).
 COMMAND_RE = re.compile(
-    r"(?:python -m )?\brepro\b((?:\s+--(?:scale|seed)\s+\S+)*)\s+([a-z][a-z_]*)"
+    r"(?:python -m )?\brepro\b((?:\s+--(?:scale|seed)\s+\S+)*)\s+"
+    r"([a-z][a-z_-]*)"
 )
 
 
@@ -63,6 +68,12 @@ def _documented_subcommands() -> set[str]:
         for block in FENCE_RE.findall(text):
             for match in COMMAND_RE.finditer(block):
                 found.add(match.group(2))
+    # Workflow `run:` lines invoke the CLI too — a renamed subcommand
+    # must not strand the nightly job.
+    for workflow_path in WORKFLOW_FILES:
+        for match in COMMAND_RE.finditer(
+                workflow_path.read_text(encoding="utf-8")):
+            found.add(match.group(2))
     return found
 
 
@@ -87,3 +98,62 @@ def test_documented_subcommands_exist_and_parse():
         with pytest.raises(SystemExit) as excinfo:
             parser.parse_args([command, "--help"])
         assert excinfo.value.code == 0, f"`repro {command} --help` failed"
+
+
+# -- GitHub workflows --------------------------------------------------------
+
+
+def test_workflow_files_exist():
+    names = {path.name for path in WORKFLOW_FILES}
+    assert "ci.yml" in names
+    assert "nightly-bench.yml" in names
+
+
+@pytest.mark.parametrize("workflow_path", WORKFLOW_FILES,
+                         ids=lambda path: path.name)
+def test_workflows_parse(workflow_path):
+    """Every workflow must be valid YAML with the minimal GitHub Actions
+    shape (a trigger and at least one job with steps)."""
+    data = yaml.safe_load(workflow_path.read_text(encoding="utf-8"))
+    assert isinstance(data, dict), f"{workflow_path.name} is not a mapping"
+    # PyYAML parses the bare `on:` key as boolean True (YAML 1.1).
+    assert "on" in data or True in data, f"{workflow_path.name} has no trigger"
+    jobs = data.get("jobs")
+    assert isinstance(jobs, dict) and jobs, f"{workflow_path.name} has no jobs"
+    for name, job in jobs.items():
+        assert job.get("steps"), f"{workflow_path.name}: job {name} is empty"
+
+
+def test_nightly_bench_workflow_shape():
+    """The nightly perf job must keep the pieces the regression gate
+    relies on: a schedule + manual dispatch, a full-scale benchmark run,
+    the regression check script, and artifact upload."""
+    path = REPO_ROOT / ".github" / "workflows" / "nightly-bench.yml"
+    data = yaml.safe_load(path.read_text(encoding="utf-8"))
+    triggers = data.get("on", data.get(True))
+    assert "schedule" in triggers
+    assert "workflow_dispatch" in triggers
+    runs = [step.get("run", "")
+            for job in data["jobs"].values() for step in job["steps"]]
+    assert any("--bench-full" in run and "--benchmark-enable" in run
+               for run in runs)
+    assert any("check_regression.py" in run for run in runs)
+    assert (REPO_ROOT / "benchmarks" / "check_regression.py").exists()
+    assert (REPO_ROOT / "benchmarks" / "baselines").is_dir()
+
+
+def test_workflow_script_paths_exist():
+    """Repo paths named in workflow `run:` lines must exist — a moved
+    script would otherwise only fail at the next scheduled run."""
+    pattern = re.compile(r"(?:python\s+)?((?:benchmarks|tests|src)/[\w./-]+)")
+    for workflow_path in WORKFLOW_FILES:
+        data = yaml.safe_load(workflow_path.read_text(encoding="utf-8"))
+        for job in data["jobs"].values():
+            for step in job["steps"]:
+                for match in pattern.finditer(step.get("run", "") or ""):
+                    target = match.group(1)
+                    if "*" in target:
+                        continue
+                    assert (REPO_ROOT / target).exists(), (
+                        f"{workflow_path.name} references missing "
+                        f"path {target!r}")

@@ -8,9 +8,11 @@ import inspect
 import pytest
 
 import repro
+import repro.bench.regression
 import repro.core.collection
 import repro.ir.persist
 import repro.ir.shard
+import repro.ir.wand
 
 
 def test_package_docstring_example():
@@ -30,7 +32,8 @@ def test_version():
 
 # -- docstring coverage ------------------------------------------------------
 
-COVERED_MODULES = [repro.ir.persist, repro.ir.shard, repro.core.collection]
+COVERED_MODULES = [repro.ir.persist, repro.ir.shard, repro.ir.wand,
+                   repro.core.collection, repro.bench.regression]
 
 
 def _public_members(module):

@@ -549,3 +549,146 @@ class TestDeltaSegments:
         index.add(Document.create("tail", {"body": "fresh star"}))
         # One doc against a 40-doc base: appended, not folded.
         assert journal.delta_segments == 1
+
+
+class TestDocStorePartitionLoads:
+    """The store header's doc_id -> byte-offset index must let partition
+    loads fetch exactly their documents, byte-identical to a full load."""
+
+    def make_store(self, tmp_path):
+        index = build_index(BODIES)
+        store = DocumentStore.from_snapshot(index.snapshot())
+        path = save_document_store(store, tmp_path / "docs.store")
+        return store, path
+
+    def test_header_carries_offset_index(self, tmp_path):
+        import json
+
+        _store, path = self.make_store(tmp_path)
+        header = json.loads(path.read_text().splitlines()[0])
+        doc_index = header["doc_index"]
+        assert sorted(doc_index) == sorted(BODIES)
+        # Offsets are relative to the end of the header line and must
+        # point exactly at each record's bytes.
+        raw = path.read_bytes()
+        base = raw.index(b"\n") + 1
+        for doc_id, (offset, size) in doc_index.items():
+            record = json.loads(raw[base + offset:base + offset + size])
+            assert record["t"] == "doc"
+            assert record["id"] == doc_id
+
+    def test_partition_load_matches_full_load(self, tmp_path):
+        from repro.ir.persist import load_document_store_partition
+
+        store, path = self.make_store(tmp_path)
+        full = load_document_store(path)
+        part = load_document_store_partition(path, ["a", "c"])
+        assert sorted(part.documents) == ["a", "c"]
+        for doc_id in ("a", "c"):
+            assert part.documents[doc_id] == full.documents[doc_id]
+            assert part.doc_lengths[doc_id] == full.doc_lengths[doc_id]
+        assert part.analyzer == full.analyzer
+
+    def test_partition_load_duplicates_collapse(self, tmp_path):
+        from repro.ir.persist import load_document_store_partition
+
+        _store, path = self.make_store(tmp_path)
+        part = load_document_store_partition(path, ["b", "b", "b"])
+        assert sorted(part.documents) == ["b"]
+
+    def test_partition_load_unknown_id_raises(self, tmp_path):
+        from repro.ir.persist import load_document_store_partition
+
+        _store, path = self.make_store(tmp_path)
+        with pytest.raises(SnapshotError, match="doc_index"):
+            load_document_store_partition(path, ["nope"])
+
+    def test_partition_load_without_index_falls_back(self, tmp_path):
+        # Stores written before the offset index existed still load (the
+        # full-store fallback), so old generations stay readable.
+        import json
+
+        _store, path = self.make_store(tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        header = json.loads(lines[0])
+        del header["doc_index"]
+        body = lines[1:-1]
+        import hashlib
+
+        header_line = json.dumps(
+            header, ensure_ascii=False, separators=(",", ":")) + "\n"
+        digest = hashlib.sha256()
+        for line in (header_line, *body):
+            digest.update(line.encode("utf-8"))
+        footer = {"t": "end", "records": len(body),
+                  "sha256": digest.hexdigest()}
+        footer_line = json.dumps(
+            footer, ensure_ascii=False, separators=(",", ":")) + "\n"
+        path.write_text("".join([header_line, *body, footer_line]))
+
+        from repro.ir.persist import load_document_store_partition
+
+        loaded = load_document_store_partition(path, ["a"])
+        assert "a" in loaded.documents  # full-store superset is fine
+        assert len(loaded.documents) == len(BODIES)
+
+    def test_tampered_record_detected(self, tmp_path):
+        import json
+
+        from repro.ir.persist import load_document_store_partition
+
+        _store, path = self.make_store(tmp_path)
+        header = json.loads(path.read_text().splitlines()[0])
+        # Point one entry's offset at a different record.
+        header["doc_index"]["a"] = header["doc_index"]["b"]
+        lines = path.read_text().splitlines(keepends=True)
+        lines[0] = json.dumps(
+            header, ensure_ascii=False, separators=(",", ":")) + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(SnapshotError, match="points at"):
+            load_document_store_partition(path, ["a"])
+
+    def test_read_snapshot_doc_ids(self, tmp_path):
+        from repro.ir.persist import read_snapshot_doc_ids
+
+        index = build_index(BODIES)
+        snapshot = index.snapshot()
+        store = DocumentStore.from_snapshot(snapshot)
+        save_document_store(store, tmp_path / "docs.store")
+        ref_path = save_snapshot(snapshot, tmp_path / "refs.snap",
+                                 docstore="docs.store")
+        inline_path = save_snapshot(snapshot, tmp_path / "inline.snap")
+        assert read_snapshot_doc_ids(ref_path) == sorted(BODIES)
+        assert read_snapshot_doc_ids(inline_path) == sorted(BODIES)
+
+    def test_read_snapshot_doc_ids_truncated(self, tmp_path):
+        from repro.ir.persist import read_snapshot_doc_ids
+
+        index = build_index(BODIES)
+        path = save_snapshot(index.snapshot(), tmp_path / "t.snap")
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:2]))  # header + one record
+        with pytest.raises(SnapshotError, match="truncated"):
+            read_snapshot_doc_ids(path)
+
+    def test_load_shard_pins_only_its_partition(self, tmp_path):
+        # The ROADMAP item this closes: a shard-local load must not parse
+        # or pin the other partitions' documents.
+        from repro.core import QunitCollection
+        from repro.core.derivation import imdb_expert_qunits
+        from repro.datasets.imdb import generate_imdb
+
+        db = generate_imdb(scale=0.1, seed=7)
+        collection = QunitCollection(db, imdb_expert_qunits(),
+                                     max_instances_per_definition=30,
+                                     shards=3, parallelism="serial")
+        out = tmp_path / "gen"
+        collection.save(out)
+        total = len(collection.global_snapshot())
+        for shard_index in range(3):
+            snapshot, bloom = QunitCollection.load_shard(out, shard_index)
+            assert 0 < len(snapshot) < total
+            assert len(snapshot._documents) == len(snapshot)
+            assert bloom is not None
+            # Collection-wide statistics survive partition loading.
+            assert snapshot.document_count == total

@@ -1,0 +1,303 @@
+"""Unit tests for document-at-a-time WAND/block-max retrieval
+(``repro.ir.wand``) and its strategy plumbing through Searcher,
+ShardedTopK, the collection, and the CLI."""
+
+import pickle
+
+import pytest
+
+from repro.ir.analysis import Analyzer
+from repro.ir.documents import Document
+from repro.ir.index import InvertedIndex
+from repro.ir.retrieval import Searcher
+from repro.ir.scoring import Bm25Scorer, PriorWeightedScorer, TfIdfScorer
+from repro.ir.topk import topk_scores
+from repro.ir.wand import (
+    AUTO_WAND_MIN_TERMS,
+    STRATEGIES,
+    PostingCursor,
+    resolve_strategy,
+    retrieve,
+    wand_scores,
+)
+
+
+def build_index(rows):
+    index = InvertedIndex(Analyzer(stem=False))
+    for doc_id, body in rows:
+        index.add(Document.create(doc_id, {"body": body}))
+    return index
+
+
+@pytest.fixture()
+def snapshot():
+    rows = [
+        ("d0", "apple banana cherry"),
+        ("d1", "apple apple banana"),
+        ("d2", "cherry date elderberry"),
+        ("d3", "apple banana cherry date elderberry"),
+        ("d4", "banana banana banana"),
+        ("d5", "fig"),
+        ("d6", "apple cherry"),
+        ("d7", "date date banana"),
+    ]
+    return build_index(rows).snapshot()
+
+
+class TestPostingCursor:
+    def make(self):
+        return PostingCursor(0, ("a", "c", "f", "k"), (1.0, 2.0, 0.5, 3.0),
+                             3.0)
+
+    def test_initial_state(self):
+        cursor = self.make()
+        assert cursor.doc == "a"
+        assert cursor.contribution == 1.0
+        assert not cursor.exhausted
+        assert len(cursor) == 4
+
+    def test_advance_walks_every_posting(self):
+        cursor = self.make()
+        seen = [cursor.doc]
+        while cursor.advance():
+            seen.append(cursor.doc)
+        assert seen == ["a", "c", "f", "k"]
+        assert cursor.exhausted
+        assert len(cursor) == 0
+
+    def test_seek_skips_forward_only(self):
+        cursor = self.make()
+        assert cursor.seek("d")
+        assert cursor.doc == "f"
+        # Seeking backwards never rewinds (binary search starts at the
+        # current position).
+        assert cursor.seek("a")
+        assert cursor.doc == "f"
+
+    def test_seek_to_exact_doc(self):
+        cursor = self.make()
+        assert cursor.seek("c")
+        assert cursor.doc == "c"
+        assert cursor.contribution == 2.0
+
+    def test_seek_past_end_exhausts(self):
+        cursor = self.make()
+        assert not cursor.seek("z")
+        assert cursor.exhausted
+
+    def test_block_bound_without_blocks_is_term_bound(self):
+        assert self.make().block_bound() == 3.0
+
+    def test_block_bound_with_blocks(self):
+        cursor = PostingCursor(0, ("a", "c", "f", "k"), (1.0, 2.0, 0.5, 3.0),
+                               3.0, blocks=(2.0, 3.0), block_size=2)
+        assert cursor.block_bound() == 2.0
+        cursor.seek("f")
+        assert cursor.block_bound() == 3.0
+
+
+class TestResolveStrategy:
+    def test_explicit_strategies_pass_through(self):
+        for strategy in ("maxscore", "wand", "blockmax"):
+            assert resolve_strategy(strategy, ["a"] * 10) == strategy
+
+    def test_auto_picks_by_query_length(self):
+        short = ["t"] * (AUTO_WAND_MIN_TERMS - 1)
+        long = ["t"] * AUTO_WAND_MIN_TERMS
+        assert resolve_strategy("auto", short) == "maxscore"
+        assert resolve_strategy("auto", long) == "wand"
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError, match="strategy"):
+            resolve_strategy("bogus", ["a"])
+
+    def test_strategies_constant_covers_auto(self):
+        assert set(STRATEGIES) == {"auto", "maxscore", "wand", "blockmax"}
+
+
+class TestWandScores:
+    @pytest.mark.parametrize("block_size", [0, 1, 2, 64])
+    @pytest.mark.parametrize("query", [
+        "apple", "apple banana", "banana cherry date elderberry",
+        "apple apple banana", "missing", "apple missing fig",
+    ])
+    @pytest.mark.parametrize("limit", [1, 3, 100])
+    def test_identical_to_maxscore(self, snapshot, query, limit, block_size):
+        terms = snapshot.analyzer.tokens(query)
+        for scorer in (Bm25Scorer(), TfIdfScorer(), Bm25Scorer(0.5, 0.1)):
+            assert wand_scores(snapshot, scorer, terms, limit,
+                               block_size=block_size) == \
+                topk_scores(snapshot, scorer, terms, limit)
+
+    def test_empty_terms(self, snapshot):
+        assert wand_scores(snapshot, Bm25Scorer(), [], 5) == []
+
+    def test_zero_limit(self, snapshot):
+        assert wand_scores(snapshot, Bm25Scorer(), ["apple"], 0) == []
+
+    def test_unknown_terms_only(self, snapshot):
+        assert wand_scores(snapshot, Bm25Scorer(), ["zzz", "qqq"], 5) == []
+
+    def test_negative_block_size_raises(self, snapshot):
+        with pytest.raises(ValueError, match="block_size"):
+            wand_scores(snapshot, Bm25Scorer(), ["apple"], 5, block_size=-1)
+
+    def test_prior_weighted_scorer(self, snapshot):
+        scorer = PriorWeightedScorer(
+            Bm25Scorer(), {"d1": 3.0, "d4": 0.5}, default=1.0)
+        terms = ["apple", "banana", "cherry", "date"]
+        assert wand_scores(snapshot, scorer, terms, 4) == \
+            topk_scores(snapshot, scorer, terms, 4)
+
+    def test_duplicate_score_tie_break(self):
+        # Identical documents score identically; ranking must fall back
+        # to ascending doc_id, exactly like the other paths.
+        snapshot = build_index(
+            [(f"d{i}", "same words here") for i in range(9)]).snapshot()
+        ranked = wand_scores(snapshot, Bm25Scorer(), ["same", "words"], 4)
+        assert [doc_id for doc_id, _ in ranked] == ["d0", "d1", "d2", "d3"]
+        assert ranked == topk_scores(snapshot, Bm25Scorer(),
+                                     ["same", "words"], 4)
+
+    def test_retrieve_dispatches_every_strategy(self, snapshot):
+        terms = ["apple", "banana", "cherry", "date"]
+        expected = topk_scores(snapshot, Bm25Scorer(), terms, 5)
+        for strategy in STRATEGIES:
+            assert retrieve(snapshot, Bm25Scorer(), terms, 5,
+                            strategy) == expected
+
+    def test_retrieve_rejects_unknown_strategy(self, snapshot):
+        with pytest.raises(ValueError, match="strategy"):
+            retrieve(snapshot, Bm25Scorer(), ["apple"], 5, "bogus")
+
+
+class TestBlockBoundsCache:
+    def test_blocks_cap_their_ranges(self, snapshot):
+        scorer = Bm25Scorer()
+        plan = snapshot.term_contributions(scorer, "banana")
+        blocks = snapshot.term_block_bounds(scorer, "banana", 2)
+        assert len(blocks) == (len(plan.contributions) + 1) // 2
+        for i, cap in enumerate(blocks):
+            chunk = plan.contributions[i * 2:(i + 1) * 2]
+            assert cap == max(chunk)
+
+    def test_cached_per_scorer_term_and_size(self, snapshot):
+        scorer = Bm25Scorer()
+        first = snapshot.term_block_bounds(scorer, "banana", 2)
+        assert snapshot.term_block_bounds(scorer, "banana", 2) is first
+        assert snapshot.term_block_bounds(scorer, "banana", 3) is not first
+        # Equal-parameter scorers share entries (value-based cache keys).
+        assert snapshot.term_block_bounds(Bm25Scorer(), "banana", 2) is first
+
+    def test_unknown_term_yields_empty(self, snapshot):
+        assert snapshot.term_block_bounds(Bm25Scorer(), "zzz", 4) == ()
+
+    def test_non_positive_block_size_raises(self, snapshot):
+        with pytest.raises(ValueError, match="block_size"):
+            snapshot.term_block_bounds(Bm25Scorer(), "banana", 0)
+
+    def test_pickle_drops_block_cache(self, snapshot):
+        snapshot.term_block_bounds(Bm25Scorer(), "banana", 2)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone._block_bounds == {}
+
+    def test_new_snapshot_after_add_starts_cold(self):
+        index = build_index([("d0", "apple banana")])
+        old = index.snapshot()
+        old.term_block_bounds(Bm25Scorer(), "apple", 2)
+        index.add(Document.create("d1", {"body": "apple apple"}))
+        fresh = index.snapshot()
+        assert fresh is not old
+        assert fresh._block_bounds == {}
+        # The old snapshot keeps serving its frozen contents.
+        assert len(old.term_block_bounds(Bm25Scorer(), "apple", 2)) == 1
+
+
+class TestPruneBound:
+    """prune_bound must never overestimate the raw-space inverse of
+    ceiling: ceiling(raw) < score for every raw < prune_bound(score)."""
+
+    def probe(self, scorer, snapshot, score):
+        bound = scorer.prune_bound(snapshot, score)
+        assert bound is not None
+        for fraction in (0.5, 0.9, 0.999, 0.9999999999):
+            raw = bound * fraction
+            assert scorer.ceiling(snapshot, raw) < score
+
+    def test_bm25_identity(self, snapshot):
+        assert Bm25Scorer().prune_bound(snapshot, 2.5) == 2.5
+
+    def test_tfidf_inverse_is_conservative(self, snapshot):
+        self.probe(TfIdfScorer(), snapshot, 1.7)
+
+    def test_prior_inverse_is_conservative(self, snapshot):
+        scorer = PriorWeightedScorer(TfIdfScorer(), {"d0": 7.0}, default=0.5)
+        self.probe(scorer, snapshot, 1.7)
+
+    def test_base_scorer_has_no_inverse(self, snapshot):
+        from repro.ir.scoring import Scorer
+
+        class Custom(Scorer):
+            def ceiling(self, snap, raw):
+                return raw * 2.0
+
+        assert Custom().prune_bound(snapshot, 1.0) is None
+
+
+class TestSearcherStrategy:
+    def test_invalid_strategy_rejected(self, snapshot):
+        with pytest.raises(ValueError, match="strategy"):
+            Searcher(snapshot, strategy="bogus")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_search_matches_exhaustive(self, snapshot, strategy):
+        searcher = Searcher(snapshot, strategy=strategy, cache_size=0)
+        for query in ("apple banana cherry date", "banana", ""):
+            fast = [(h.doc_id, h.score) for h in searcher.search(query, 5)]
+            slow = [(h.doc_id, h.score)
+                    for h in searcher.search_exhaustive(query, 5)]
+            assert fast == slow
+
+    @pytest.mark.parametrize("strategy", ["wand", "blockmax", "auto"])
+    def test_sharded_search_many_matches_serial(self, snapshot, strategy):
+        queries = ["apple banana cherry date", "banana fig", "date", ""]
+        serial = Searcher(snapshot, strategy="maxscore", cache_size=0)
+        expected = [[(h.doc_id, h.score) for h in hits]
+                    for hits in serial.search_many(queries, 5)]
+        with Searcher(snapshot, strategy=strategy, shards=3,
+                      parallelism="serial", cache_size=0) as sharded:
+            got = [[(h.doc_id, h.score) for h in hits]
+                   for hits in sharded.search_many(queries, 5)]
+        assert got == expected
+
+    def test_collection_threads_strategy_to_searchers(self):
+        from repro.core import QunitCollection
+        from repro.core.derivation import imdb_expert_qunits
+        from repro.datasets.imdb import generate_imdb
+
+        db = generate_imdb(scale=0.1, seed=7)
+        collection = QunitCollection(db, imdb_expert_qunits(),
+                                     max_instances_per_definition=20,
+                                     strategy="wand")
+        assert collection.searcher().strategy == "wand"
+        assert collection.definition_searcher(
+            next(iter(collection.definitions))).strategy == "wand"
+
+
+class TestCliStrategy:
+    def test_search_and_load_accept_strategy(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["search", "q", "--strategy", "blockmax"])
+        assert args.strategy == "blockmax"
+        args = parser.parse_args(["load", "dir", "--strategy", "wand"])
+        assert args.strategy == "wand"
+
+    def test_bench_diff_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench-diff", "old", "new", "--threshold", "0.5"])
+        assert args.command == "bench-diff"
+        assert args.threshold == 0.5

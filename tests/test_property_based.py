@@ -169,6 +169,98 @@ class TestTopKFastPathProperties:
                [[(h.doc_id, h.score) for h in hits] for hits in singles]
 
 
+class TestWandProperties:
+    """Document-at-a-time WAND and block-max must be rank- AND score-
+    identical (float-exact, not tolerance) to the term-at-a-time max-score
+    path and to exhaustive retrieval — duplicate-score tie-breaks,
+    duplicate query terms, empty and one-term queries included."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=12),
+        weights=st.lists(
+            st.sampled_from([0.1, 0.2, 0.5, 1.0, 2.5]),
+            min_size=12, max_size=12),
+        query=texts,
+        kind=st.sampled_from(
+            ["tfidf", "bm25", "bm25-tuned", "prior-tfidf", "prior-bm25"]),
+        limit=st.integers(min_value=0, max_value=12),
+        block_size=st.sampled_from([0, 1, 3, 64]),
+    )
+    def test_wand_identical_to_maxscore_and_exhaustive(
+            self, bodies, weights, query, kind, limit, block_size):
+        from repro.ir.topk import topk_scores
+        from repro.ir.wand import wand_scores
+
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body},
+                                      {"body": weights[i]}))
+        snapshot = index.snapshot()
+        scorer = _scorer_for(kind, len(bodies))
+        terms = snapshot.analyzer.tokens(query)
+        expected = topk_scores(snapshot, scorer, terms, limit)
+        got = wand_scores(snapshot, scorer, terms, limit,
+                          block_size=block_size)
+        assert got == expected  # same docs, bit-identical floats
+        searcher = Searcher(index, scorer)
+        exhaustive = [(h.doc_id, h.score)
+                      for h in searcher.search_exhaustive(query, limit)]
+        assert got == exhaustive
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        # Duplicated bodies force score ties, so the (-score, doc_id)
+        # tie-break is exercised hard.
+        body_pool=st.lists(texts, min_size=1, max_size=4),
+        count=st.integers(min_value=2, max_value=12),
+        query=texts,
+        limit=st.integers(min_value=1, max_value=8),
+        strategy=st.sampled_from(["maxscore", "wand", "blockmax", "auto"]),
+    )
+    def test_strategies_identical_under_duplicate_scores(
+            self, body_pool, count, query, limit, strategy):
+        index = InvertedIndex(Analyzer(stem=False))
+        for i in range(count):
+            index.add(Document.create(
+                f"d{i}", {"body": body_pool[i % len(body_pool)]}))
+        reference = Searcher(index, strategy="maxscore", cache_size=0)
+        candidate = Searcher(index, strategy=strategy, cache_size=0)
+        expected = [(h.doc_id, h.score, h.rank)
+                    for h in reference.search(query, limit)]
+        got = [(h.doc_id, h.score, h.rank)
+               for h in candidate.search(query, limit)]
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=10),
+        queries=st.lists(texts, min_size=0, max_size=5),
+        kind=st.sampled_from(["tfidf", "bm25", "prior-bm25"]),
+        shards=st.integers(min_value=1, max_value=5),
+        limit=st.integers(min_value=0, max_value=10),
+        strategy=st.sampled_from(["wand", "blockmax", "auto"]),
+    )
+    def test_sharded_bloom_routed_wand_identical(
+            self, bodies, queries, kind, shards, limit, strategy):
+        # WAND dispatched per shard (Bloom routing on) must reproduce the
+        # unsharded max-score results exactly, batch API included.
+        from repro.ir.shard import ShardedTopK
+        from repro.ir.topk import topk_scores
+
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body}))
+        snapshot = index.snapshot()
+        scorer = _scorer_for(kind, len(bodies))
+        term_lists = [snapshot.analyzer.tokens(query) for query in queries]
+        expected = [topk_scores(snapshot, scorer, terms, limit)
+                    for terms in term_lists]
+        with ShardedTopK(snapshot, shards, "serial") as sharded:
+            got = sharded.topk_many(scorer, term_lists, limit, strategy)
+        assert got == expected
+
+
 class TestPersistenceProperties:
     """save → load → search must be *float-exact* rank-identical to the
     in-memory path, for any documents, weights, scorer, and query."""
