@@ -25,7 +25,12 @@ files CI uploads):
   every shard;
 - ``BENCH_wand.json`` — term-at-a-time max-score versus document-at-a-time
   WAND and block-max WAND across query lengths (the ``--strategy`` flag /
-  ``Searcher(strategy=...)`` choice; see ``repro.ir.wand``).
+  ``Searcher(strategy=...)`` choice; see ``repro.ir.wand``);
+- ``BENCH_pipeline.json`` — the staged query pipeline's batched serving
+  path (``QunitSearchEngine.search_many``) versus the sequential
+  per-query loop on a sharded process-mode collection (see
+  ``repro.serve``): batching groups the whole batch's retrieval into one
+  dispatch per shard per round instead of paying IPC per query.
 
 The ``BENCH_*.json`` metrics named in ``repro.bench.regression`` are
 guarded by the nightly perf-regression job
@@ -492,6 +497,149 @@ def test_sharded_vs_serial(benchmark, write_artifact, bench_full,
     write_artifact("BENCH_sharded_scaling.json", json.dumps(report, indent=2))
     if bench_full and cpus >= 2:
         assert sharded_warm_s < serial_warm_s
+
+
+# -- staged pipeline: batched vs sequential engine serving ------------------
+
+
+def _pipeline_workload(db, snapshot, per_table: int,
+                       freetext: int) -> list[str]:
+    """Entity-heavy queries mixed with exploratory free-text pairs.
+
+    The entity half exercises the structural path (segmentation,
+    matching, materialization); the free-text half — pairs of
+    mid-frequency vocabulary terms with no structural match — always
+    falls through to flat IR backfill, the sharded dispatch whose
+    batching the pipeline exists to exploit.  Real traffic is exactly
+    this mix: head entity lookups plus a long tail of exploratory text.
+    """
+    queries = _retrieval_workload(db, per_table)
+    terms = sorted(term for term in snapshot.terms()
+                   if 2 <= snapshot.document_frequency(term) <= 50)
+    step = max(1, len(terms) // max(1, 2 * freetext))
+    picked = terms[::step]
+    queries.extend(f"{picked[i]} {picked[i + 1]}"
+                   for i in range(0, min(2 * freetext, len(picked) - 1), 2))
+    return queries
+
+
+def test_pipeline_batched_vs_sequential(benchmark, write_artifact,
+                                        bench_full, perf_scales):
+    """Batched engine serving against the sequential per-query path.
+
+    Both engines are identical — sharded process-mode flat retrieval over
+    separate but equal collections, so snapshots, searcher pools, and
+    executors are independent.  The flat searchers' result caches are
+    disabled, making the comparison pure pipeline + dispatch + scoring:
+    the sequential path pays a shard dispatch (process IPC round trip)
+    per query, while ``search_many`` runs the whole batch through the
+    staged pipeline and groups flat retrieval into one dispatch per
+    shard per round.  Answers are asserted identical over the entire
+    workload (the property the pipeline is built on); on full-scale
+    runs the batched path must deliver at least 1.2x the sequential
+    throughput.
+    """
+    scale = max(perf_scales)
+    db = generate_imdb(scale=scale, seed=7)
+    max_instances = 300 if bench_full else 100
+    shards = 4
+    parallelism = "process"
+    limit = 5
+
+    def build_engine():
+        collection = QunitCollection(
+            db, imdb_expert_qunits(),
+            max_instances_per_definition=max_instances,
+            shards=shards, parallelism=parallelism)
+        engine = QunitSearchEngine(collection, flavor="expert")
+        collection.global_index()  # index build outside all timings
+        # The workload's queries are all distinct, so the LRU could only
+        # flatter whichever path runs second; disabling it keeps every
+        # pass an honest dispatch + scoring measurement.
+        engine.pipeline.searcher_for(None).cache_size = 0
+        return engine
+
+    # A throwaway probe supplies the workload's vocabulary and warms the
+    # database's lazy caches (text index, statistics), so neither
+    # engine's cold pass is skewed by one-time substrate costs that
+    # would otherwise land entirely on whichever path runs first.
+    probe = build_engine()
+    queries = _pipeline_workload(
+        db, probe.collection.global_snapshot(),
+        per_table=60 if bench_full else 15,
+        freetext=120 if bench_full else 20)
+    probe.collection.close()
+    sequential_engine = build_engine()
+    batched_engine = build_engine()
+
+    repeats = 3 if bench_full else 1
+
+    def measure():
+        # Cold: first pass pays the shard partition, worker pool spawn,
+        # contribution-array builds, and first-binding materializations
+        # (equal on both sides).  Warm passes measure the steady state;
+        # best-of-``repeats`` guards the comparison against scheduler
+        # jitter on a shared box (same policy as the WAND bench).
+        start = time.perf_counter()
+        for query in queries:
+            sequential_engine.search(query, limit)
+        sequential_cold_s = time.perf_counter() - start
+        sequential_warm_s = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for query in queries:
+                sequential_engine.search(query, limit)
+            elapsed = time.perf_counter() - start
+            sequential_warm_s = elapsed if sequential_warm_s is None \
+                else min(sequential_warm_s, elapsed)
+
+        start = time.perf_counter()
+        batched_engine.search_many(queries, limit)
+        batched_cold_s = time.perf_counter() - start
+        batched_warm_s = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            batched_engine.search_many(queries, limit)
+            elapsed = time.perf_counter() - start
+            batched_warm_s = elapsed if batched_warm_s is None \
+                else min(batched_warm_s, elapsed)
+        return (sequential_cold_s, sequential_warm_s,
+                batched_cold_s, batched_warm_s)
+
+    sequential_cold_s, sequential_warm_s, batched_cold_s, batched_warm_s = \
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Answer identity over the real workload — scores included.
+    sequential_answers = [sequential_engine.search(query, limit)
+                          for query in queries]
+    batched_answers = batched_engine.search_many(queries, limit)
+    assert [[(a.meta("instance_id"), a.score) for a in answers]
+            for answers in batched_answers] == \
+           [[(a.meta("instance_id"), a.score) for a in answers]
+            for answers in sequential_answers]
+    sequential_engine.collection.close()
+    batched_engine.collection.close()
+
+    report = {
+        "scale": scale,
+        "documents": batched_engine.collection.global_snapshot()
+                     .document_count,
+        "queries": len(queries),
+        "limit": limit,
+        "shards": shards,
+        "parallelism": parallelism,
+        "sequential_cold_s": round(sequential_cold_s, 6),
+        "sequential_warm_s": round(sequential_warm_s, 6),
+        "batched_cold_s": round(batched_cold_s, 6),
+        "batched_warm_s": round(batched_warm_s, 6),
+        "speedup_cold": round(sequential_cold_s / batched_cold_s, 3),
+        "speedup_warm": round(sequential_warm_s / batched_warm_s, 3),
+    }
+    write_artifact("BENCH_pipeline.json", json.dumps(report, indent=2))
+    if bench_full:
+        # The acceptance bar for the staged pipeline: batched serving
+        # must beat the sequential per-query loop by >= 1.2x.
+        assert report["speedup_warm"] >= 1.2
 
 
 # -- snapshot v2: deduplicated storage + Bloom-routed sharding --------------

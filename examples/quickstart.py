@@ -35,7 +35,10 @@ def main() -> None:
     explanation = engine.explain(query)
     print(f"  typed query   : {explanation.template}")
     print(f"  query class   : {explanation.query_class}")
-    print(f"  top candidates: {explanation.candidates[:3]}")
+    candidates = ", ".join(
+        f"{name} ({score:.2f}{', rejected' if rejected else ''})"
+        for name, score, rejected in explanation.candidates[:3])
+    print(f"  top candidates: {candidates}")
 
     answer = engine.best(query)
     print(f"  chosen qunit  : {answer.meta('definition')}")

@@ -4,9 +4,11 @@
 
     python -m repro search "star wars cast" [more queries ...] [--scale 0.3]
                     [--flavor expert] [--shards 4] [--strategy wand]
+                    [--batch-file queries.txt] [--explain]
     python -m repro derive --strategy schema_data [--k1 4 --k2 3]
     python -m repro save DIR [--flavor expert] [--shards 4]
     python -m repro load DIR ["query" ...] [--shards 4] [--strategy auto]
+                    [--explain]
     python -m repro compact PATH
     python -m repro bench-diff BASELINE_DIR CURRENT_DIR [--threshold 0.25]
     python -m repro loganalysis [--unique 400]
@@ -18,8 +20,14 @@ Everything runs on the synthetic database (deterministic for a given
 document store + index snapshots; with ``--shards N`` also one snapshot
 per shard partition) to a directory; ``load`` restarts from that
 directory without re-deriving — pass queries to answer them from the
-loaded snapshots.  ``compact`` folds any delta segments trailing snapshot
-files back into clean bases.  ``bench-diff`` compares two directories of
+loaded snapshots.  All queries given to ``search``/``load`` — positional
+ones plus any read from ``--batch-file`` (one query per line) — are
+answered as *one batch* through the staged query pipeline
+(``repro.serve``), so sharded executors see batched dispatches;
+``--explain`` prints each query's full stage trace (per-stage wall time,
+the query plan, the strategy the df-skew cost model chose, cache and
+shard-routing counters, and rejected candidate definitions).  ``compact``
+folds any delta segments trailing snapshot files back into clean bases.  ``bench-diff`` compares two directories of
 ``BENCH_*.json`` benchmark reports (the perf-regression check CI runs
 nightly — see ``repro.bench.regression``).  ``--shards N`` scores the
 flat collection index as N hash-partitioned shards in parallel,
@@ -62,11 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     search = commands.add_parser("search", help="run keyword queries")
-    search.add_argument("query")
+    search.add_argument("query", nargs="?", default=None)
     search.add_argument("more_queries", nargs="*", metavar="query",
                         help="additional queries, answered as one batch "
-                             "over the engine's shared caches (see also "
+                             "through the staged pipeline (see also "
                              "QunitSearchEngine.search_many)")
+    search.add_argument("--batch-file", default=None, metavar="PATH",
+                        help="file with one query per line, appended to "
+                             "the positional queries and answered as one "
+                             "batch through the staged pipeline")
     search.add_argument("--flavor", default="expert",
                         choices=["expert", "schema_data", "query_log",
                                  "external", "forms"])
@@ -115,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("directory", help="directory written by `save`")
     load.add_argument("queries", nargs="*", metavar="query",
                       help="queries to answer from the loaded snapshots")
+    load.add_argument("--batch-file", default=None, metavar="PATH",
+                      help="file with one query per line, appended to "
+                           "the positional queries and answered as one "
+                           "batch through the staged pipeline")
     load.add_argument("--flavor", default="expert",
                       help="flavor label for branding answers")
     load.add_argument("--limit", type=int, default=3)
@@ -153,7 +169,13 @@ def _add_shard_options(subparser) -> None:
         choices=["auto", "maxscore", "wand", "blockmax"],
         help="fast-path retrieval algorithm: term-at-a-time max-score, "
              "document-at-a-time WAND, block-max WAND, or per-query "
-             "auto selection (default auto; results are identical)")
+             "auto selection via the df-skew cost model (default auto; "
+             "results are identical)")
+    subparser.add_argument(
+        "--explain", action="store_true",
+        help="print each query's full pipeline stage trace (plan, "
+             "strategy chosen, per-stage wall time, cache and shard "
+             "routing counters, rejected candidates)")
 
 
 def _definitions_for(args, db, strategy: str):
@@ -175,18 +197,26 @@ def _definitions_for(args, db, strategy: str):
     return ExternalEvidenceDeriver(db).derive(pages)
 
 
-def _print_answers(engine, queries: list[str], limit: int) -> bool:
+def _print_answers(engine, queries: list[str], limit: int,
+                   explain: bool = False) -> bool:
     from repro.core.search import SnippetExtractor
 
     extractor = SnippetExtractor(window=24)
     any_answers = False
-    for i, query in enumerate(queries):
+    # One pipeline run for the whole batch: segmentation, matching, and
+    # retrieval dispatch are all batched (the sequential per-query loop
+    # this replaces paid a shard dispatch per query).
+    results = engine.search_many_with_explanations(queries, limit=limit)
+    for i, (query, (answers, explanation)) in enumerate(zip(queries,
+                                                            results)):
         if i:
             print()
-        answers, explanation = engine.search_with_explanation(
-            query, limit=limit)
         print(f"query   : {query}")
-        print(f"template: {explanation.template}  ({explanation.query_class})")
+        if explain:
+            print(explanation.render())
+        else:
+            print(f"template: {explanation.template}  "
+                  f"({explanation.query_class})")
         if not answers:
             print("no answers.")
             continue
@@ -198,8 +228,36 @@ def _print_answers(engine, queries: list[str], limit: int) -> bool:
     return any_answers
 
 
+def _gather_queries(positional: list[str], batch_file: str | None,
+                    parser_hint: str | None = None) -> list[str]:
+    """Positional queries plus any ``batch_file`` lines (one query per
+    non-blank line).  With ``parser_hint`` set, an empty result exits
+    with an argument error (status 2)."""
+    queries = list(positional)
+    if batch_file:
+        from pathlib import Path
+
+        try:
+            text = Path(batch_file).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            print(f"cannot read --batch-file {batch_file!r}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2) from exc
+        queries.extend(line.strip() for line in text.splitlines()
+                       if line.strip())
+    if not queries and parser_hint is not None:
+        print(f"{parser_hint}: no queries given "
+              f"(pass them positionally or via --batch-file)",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return queries
+
+
 def _command_search(args) -> int:
     db = generate_imdb(scale=args.scale, seed=args.seed)
+    positional = [query for query in [args.query, *args.more_queries]
+                  if query is not None]
+    queries = _gather_queries(positional, args.batch_file, "repro search")
     definitions = _definitions_for(args, db, args.flavor)
     engine = QunitSearchEngine(
         QunitCollection(db, definitions, max_instances_per_definition=150,
@@ -207,8 +265,8 @@ def _command_search(args) -> int:
                         strategy=args.strategy),
         flavor=args.flavor,
     )
-    queries = [args.query, *args.more_queries]
-    return 0 if _print_answers(engine, queries, args.limit) else 1
+    return 0 if _print_answers(engine, queries, args.limit,
+                               explain=args.explain) else 1
 
 
 def _command_save(args) -> int:
@@ -283,10 +341,12 @@ def _command_load(args) -> int:
     print(f"  definitions : {len(collection)}")
     print(f"  documents   : {snapshot.document_count}")
     print(f"  vocabulary  : {snapshot.vocabulary_size}")
-    if not args.queries:
-        return 0
+    queries = _gather_queries(args.queries, args.batch_file)
+    if not queries:
+        return 0  # stats-only load stays valid with no queries anywhere
     print()
-    return 0 if _print_answers(engine, args.queries, args.limit) else 1
+    return 0 if _print_answers(engine, queries, args.limit,
+                               explain=args.explain) else 1
 
 
 def _command_derive(args) -> int:

@@ -8,11 +8,16 @@ engine queries: one index over all instances, plus per-definition indexes
 for two-stage retrieval.
 
 Searchers handed out by :meth:`QunitCollection.searcher` and
-:meth:`QunitCollection.definition_searcher` are cached per (definition,
+:meth:`QunitCollection.definition_searcher` live in a bounded
+:class:`~repro.serve.pool.SearcherPool` keyed per (definition,
 scorer-parameters) pair, so their top-k fast-path machinery — index
 snapshots, per-term score bounds, and LRU result caches (see
-:mod:`repro.ir.retrieval`) — is shared across every query the engine runs,
-including batches submitted through :meth:`QunitCollection.search_many`.
+:mod:`repro.ir.retrieval`) — is shared across every query the serving
+pipeline runs, including batches submitted through
+:meth:`QunitCollection.search_many`.  Each definition index additionally
+exposes a term Bloom filter (:meth:`QunitCollection.definition_bloom`,
+persisted in definition snapshot headers) that the pipeline's plan stage
+uses to skip definition retrieval that provably cannot match.
 
 Derivation is the expensive half of the paradigm; :meth:`QunitCollection.
 save` persists its output — the qunit definitions plus every index
@@ -38,10 +43,9 @@ from __future__ import annotations
 
 import json
 import os
+from collections import OrderedDict
 from collections.abc import Iterable
 from pathlib import Path
-
-from collections import OrderedDict
 
 from repro.core.qunit import QunitDefinition, QunitInstance
 from repro.errors import DerivationError, SnapshotError
@@ -51,9 +55,8 @@ from repro.ir.persist import (
     DocumentStore,
     load_document_store,
     load_document_store_partition,
-    load_snapshot,
+    load_snapshot_with_header,
     read_snapshot_doc_ids,
-    read_snapshot_header,
     save_document_store,
     save_snapshot,
 )
@@ -61,6 +64,7 @@ from repro.ir.retrieval import Searcher, SearchHit
 from repro.ir.scoring import Scorer
 from repro.ir.shard import ShardedTopK, TermBloomFilter, shard_snapshot
 from repro.relational.database import Database
+from repro.serve.pool import SearcherPool
 from repro.utils.text import normalize
 
 __all__ = ["QunitCollection"]
@@ -101,6 +105,13 @@ class QunitCollection:
         self.strategy = strategy
         self._instances: dict[str, list[QunitInstance]] = {}
         self._instance_by_id: dict[str, QunitInstance] = {}
+        # On-demand materializations keyed by (definition, binding), so
+        # repeat fully-bound queries skip re-running the definition's
+        # SQL — the hot path of entity-heavy (Zipf-head) traffic.
+        # Bounded LRU: diverse bindings in a long-running server would
+        # otherwise grow it monotonically.
+        self._materialized: "OrderedDict[tuple, QunitInstance]" = \
+            OrderedDict()
         self._global_index: InvertedIndex | None = None
         self._definition_indexes: dict[str, InvertedIndex] = {}
         # Snapshots restored by :meth:`load`, keyed like searchers (None =
@@ -115,12 +126,17 @@ class QunitCollection:
         # (with their Bloom filters); handed to the flat searcher so it
         # skips the in-memory re-partition.
         self._loaded_sharded: ShardedTopK | None = None
-        # Searchers are cached so their LRU result caches and index
+        # Searchers are pooled so their LRU result caches and index
         # snapshots survive across queries (one searcher per
         # (definition, scorer-parameters) pair; None = the global index).
         # Bounded: identity-keyed scorers (see Scorer.cache_key) would
         # otherwise grow this without limit in long-running processes.
-        self._searchers: "OrderedDict[tuple, Searcher]" = OrderedDict()
+        self.searcher_pool = SearcherPool(self.MAX_CACHED_SEARCHERS)
+        # Per-definition term Bloom filters for two-stage retrieval:
+        # version-stamped (index version, filter) pairs, restored from
+        # definition snapshot headers at load time or built lazily from
+        # an already-materialized index (see :meth:`definition_bloom`).
+        self._definition_blooms: dict[str, tuple[int, TermBloomFilter]] = {}
 
     # -- definitions ------------------------------------------------------------
 
@@ -179,10 +195,32 @@ class QunitCollection:
         except KeyError:
             raise DerivationError(f"unknown qunit instance {instance_id!r}") from None
 
+    MAX_MATERIALIZE_MEMO = 4096
+
     def materialize(self, name: str, params: dict[str, object]) -> QunitInstance:
-        """Materialize one specific binding on demand (and cache it)."""
+        """Materialize one specific binding on demand (and cache it).
+
+        Materializations are memoized on the (definition, binding) pair
+        — the database is frozen while serving, so a repeat binding
+        (the common case under Zipf-head traffic) returns the cached
+        instance instead of re-running the definition's SQL.  The memo
+        is a bounded LRU (:attr:`MAX_MATERIALIZE_MEMO` entries); bindings
+        with unhashable values simply bypass it.
+        """
+        try:
+            key = (name, tuple(sorted(params.items())))
+            cached = self._materialized.get(key)
+        except TypeError:
+            key, cached = None, None
+        if cached is not None:
+            self._materialized.move_to_end(key)
+            return cached
         instance = self.definition(name).materialize(self.database, params)
         self._instance_by_id.setdefault(instance.instance_id, instance)
+        if key is not None:
+            self._materialized[key] = instance
+            while len(self._materialized) > self.MAX_MATERIALIZE_MEMO:
+                self._materialized.popitem(last=False)
         return instance
 
     # -- indexes ----------------------------------------------------------------------
@@ -230,6 +268,34 @@ class QunitCollection:
         otherwise.  The public handle for statistics and direct IR use."""
         return self._index_for(None).snapshot()
 
+    def peek_definition_snapshot(self, name: str) -> IndexSnapshot | None:
+        """One definition's snapshot *if it already exists* (index built
+        this process or restored by :meth:`load`); ``None`` otherwise —
+        never triggers materialization or an index build.  The query
+        pipeline's plan stage resolves per-definition retrieval
+        strategies against this.
+
+        Raises:
+            DerivationError: for unknown definition names.
+        """
+        self.definition(name)  # unknown names fail loudly
+        index = self._definition_indexes.get(name)
+        if index is not None:
+            return index.snapshot()
+        return self._loaded_snapshots.get(name)
+
+    def peek_global_snapshot(self) -> IndexSnapshot | None:
+        """The flat snapshot *if one already exists* (built this process
+        or restored by :meth:`load`); ``None`` otherwise — never triggers
+        the index build.  The query pipeline's plan stage resolves its
+        cost model against this, so planning a fully-bound query on a
+        cold live collection cannot force materializing every instance;
+        the first query that actually backfills builds the index, and
+        every later plan resolves against its statistics."""
+        if self._global_index is not None:
+            return self._global_index.snapshot()
+        return self._loaded_snapshots.get(None)
+
     @staticmethod
     def _database_fingerprint(database: Database) -> dict:
         """Cheap identity of a database: name + per-table row counts.
@@ -255,8 +321,8 @@ class QunitCollection:
 
     def _cached_searcher(self, name: str | None, scorer: Scorer | None) -> Searcher:
         key = (name, scorer.cache_key() if scorer is not None else None)
-        searcher = self._searchers.get(key)
-        if searcher is None:
+
+        def build() -> Searcher:
             # Sharded parallel scoring applies to the flat collection-wide
             # searcher, where postings are large enough to repay the
             # partition; per-definition indexes stay serial.  Shards
@@ -264,21 +330,46 @@ class QunitCollection:
             # every flat searcher (one partition, one executor).
             shards = self.shards if name is None else 0
             sharded = self._loaded_sharded if name is None else None
-            searcher = Searcher(self._index_for(name), scorer,
-                                shards=shards, parallelism=self.parallelism,
-                                sharded=sharded, strategy=self.strategy)
-            self._searchers[key] = searcher
-            while len(self._searchers) > self.MAX_CACHED_SEARCHERS:
-                evicted = self._searchers.popitem(last=False)
-                evicted[1].close()
-        else:
-            self._searchers.move_to_end(key)
-        return searcher
+            return Searcher(self._index_for(name), scorer,
+                            shards=shards, parallelism=self.parallelism,
+                            sharded=sharded, strategy=self.strategy)
+
+        return self.searcher_pool.get(key, build)
+
+    def definition_bloom(self, name: str) -> TermBloomFilter | None:
+        """The term Bloom filter over one definition index's vocabulary.
+
+        The query pipeline's plan stage uses it to skip a definition's
+        retrieval task when *no* query term has postings in that
+        definition's index — rank-identical to running the search
+        (Bloom filters have no false negatives, so a skip only ever
+        replaces an empty result).
+
+        The filter comes from the definition snapshot's persisted
+        header (restored by :meth:`load`) or is built lazily from an
+        already-materialized index or snapshot; ``None`` means building
+        one would first require materializing the definition's
+        instances — pruning exists to save work, not cause it.  Filters
+        are stamped with the index version they were built from, so an
+        ``add`` after the fact can never leave a stale filter skipping
+        real postings.
+
+        Raises:
+            DerivationError: for unknown definition names.
+        """
+        snapshot = self.peek_definition_snapshot(name)
+        if snapshot is None:
+            return None
+        cached = self._definition_blooms.get(name)
+        if cached is not None and cached[0] == snapshot.version:
+            return cached[1]
+        bloom = TermBloomFilter.build(snapshot.terms())
+        self._definition_blooms[name] = (snapshot.version, bloom)
+        return bloom
 
     def close(self) -> None:
-        """Release shard executors held by cached searchers (idempotent)."""
-        for searcher in self._searchers.values():
-            searcher.close()
+        """Release shard executors held by pooled searchers (idempotent)."""
+        self.searcher_pool.close()
         if self._loaded_sharded is not None:
             self._loaded_sharded.close()
 
@@ -349,8 +440,15 @@ class QunitCollection:
                     f"the global snapshot (e.g. {missing[0]!r}); cannot "
                     f"deduplicate against the shared document store"
                 )
+            # Each definition snapshot carries a term Bloom filter in its
+            # header so a loaded collection's plan stage can skip
+            # definition retrieval that provably cannot match (the
+            # per-definition counterpart of the per-shard filters).
+            definition_bloom = TermBloomFilter.build(
+                definition_snapshot.terms())
             save_snapshot(definition_snapshot, path / file_name,
-                          docstore=store_name)
+                          docstore=store_name,
+                          bloom=definition_bloom.to_dict())
             snapshot_names[name] = file_name
         shard_entry = None
         shard_names: list[str] = []
@@ -518,9 +616,9 @@ class QunitCollection:
             entries.append((None, snapshots["global"]))
         entries.extend(snapshots.get("definitions", {}).items())
         for key, file_name in entries:
-            snapshot = cls._race_guarded(
-                lambda file_name=file_name: load_snapshot(path / file_name,
-                                                          store=store))
+            snapshot, header = cls._race_guarded(
+                lambda file_name=file_name: load_snapshot_with_header(
+                    path / file_name, store=store))
             if snapshot.analyzer != collection.analyzer:
                 raise SnapshotError(
                     f"snapshot {file_name!r} was built with analyzer "
@@ -529,20 +627,41 @@ class QunitCollection:
                     f"tokenizations"
                 )
             collection._loaded_snapshots[key] = snapshot
+            if key is not None:
+                # Definition snapshots persist a term Bloom filter in
+                # their header (files from older builds simply lack it);
+                # restoring it lets the plan stage prune definition
+                # retrieval without ever touching postings.  The filter
+                # describes the *base* snapshot's vocabulary: when delta
+                # segments advanced the snapshot past the header's
+                # index_version, the persisted filter has never seen the
+                # delta terms and pruning on it would drop real answers —
+                # skip the restore and let :meth:`definition_bloom`
+                # rebuild from the delta-applied snapshot on first use.
+                bloom_data = header.get("bloom")
+                if bloom_data and \
+                        header.get("index_version") == snapshot.version:
+                    collection._definition_blooms[key] = (
+                        snapshot.version,
+                        TermBloomFilter.from_dict(bloom_data))
         shard_entry = manifest.get("shards")
         if shards >= 2 and shard_entry and shard_entry.get("count") == shards:
             shard_snapshots: list[IndexSnapshot] = []
             blooms: list[TermBloomFilter | None] = []
             for file_name in shard_entry.get("files", []):
-                shard_snapshots.append(cls._race_guarded(
-                    lambda file_name=file_name: load_snapshot(
-                        path / file_name, store=store)))
-                header = cls._race_guarded(
-                    lambda file_name=file_name: read_snapshot_header(
-                        path / file_name))
+                shard_snapshot_obj, header = cls._race_guarded(
+                    lambda file_name=file_name: load_snapshot_with_header(
+                        path / file_name, store=store))
+                shard_snapshots.append(shard_snapshot_obj)
+                # Same staleness rule as the definition filters: a
+                # persisted Bloom only describes the base vocabulary, so
+                # a delta-advanced snapshot discards it (from_shards
+                # rebuilds missing filters from the shard vocabularies).
                 bloom_data = header.get("bloom")
+                fresh = header.get("index_version") == \
+                    shard_snapshot_obj.version
                 blooms.append(TermBloomFilter.from_dict(bloom_data)
-                              if bloom_data else None)
+                              if bloom_data and fresh else None)
             if len(shard_snapshots) == shards:
                 restored_blooms = ([bloom for bloom in blooms]
                                    if all(blooms) else None)
@@ -585,7 +704,8 @@ class QunitCollection:
             ``(snapshot, bloom)``: the shard's self-contained snapshot
             (collection-wide statistics included, so scoring it is
             float-identical to the unsharded path) and its term Bloom
-            filter (``None`` if the file predates Bloom persistence).
+            filter (``None`` if the file predates Bloom persistence or
+            carries delta segments the persisted filter has never seen).
 
         Raises:
             SnapshotError: if the directory has no persisted shards, the
@@ -624,10 +744,16 @@ class QunitCollection:
             wanted = read_snapshot_doc_ids(path / file_name)
             store = load_document_store_partition(
                 path / manifest["docstore"], wanted)
-        snapshot = load_snapshot(path / file_name, store=store)
-        header = read_snapshot_header(path / file_name)
+        snapshot, header = load_snapshot_with_header(path / file_name,
+                                                     store=store)
+        # A persisted Bloom filter describes the base snapshot only;
+        # delta segments may have added vocabulary it has never seen, so
+        # a delta-advanced shard hands back no filter (routing on a
+        # stale one could skip real postings).
         bloom_data = header.get("bloom")
-        bloom = TermBloomFilter.from_dict(bloom_data) if bloom_data else None
+        fresh = header.get("index_version") == snapshot.version
+        bloom = TermBloomFilter.from_dict(bloom_data) \
+            if bloom_data and fresh else None
         return snapshot, bloom
 
     def _decorated_document(self, instance: QunitInstance):

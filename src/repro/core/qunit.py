@@ -92,6 +92,13 @@ class QunitDefinition:
                 f"qunit {self.name!r}: base expression parameters {sorted(params)} "
                 f"do not match declared binders {sorted(declared)}"
             )
+        # The schema footprint is immutable with the definition; caching
+        # it here keeps :meth:`tables` from re-parsing the base SQL on
+        # every matcher scoring call (the serving path scores every
+        # definition against every query).
+        object.__setattr__(self, "_footprint",
+                           tuple(dict.fromkeys(
+                               statement.referenced_tables())))
 
     # -- structure ------------------------------------------------------------
 
@@ -106,8 +113,9 @@ class QunitDefinition:
                                **kwargs)  # type: ignore[arg-type]
 
     def tables(self) -> list[str]:
-        """Tables referenced by the base expression (schema footprint)."""
-        return list(dict.fromkeys(parse_select(self.base_sql).referenced_tables()))
+        """Tables referenced by the base expression (schema footprint,
+        parsed once at construction)."""
+        return list(self._footprint)
 
     def schema_terms(self) -> set[str]:
         """Vocabulary induced by the footprint: table names, keywords."""

@@ -1,4 +1,4 @@
-"""The qunit search engine: segmentation → matching → IR ranking.
+"""The qunit search engine: a façade over the staged query pipeline.
 
 This is Figure 1 of the paper end to end: the typed query selects qunit
 definitions; instances of the winning definitions are ranked (fully-bound
@@ -9,38 +9,42 @@ IR retrieval over the whole flat instance collection backfills the
 remainder — the database is, after all, "nothing more than a collection of
 independent qunits" to the front end.
 
+Since the staged-pipeline refactor the engine itself is thin: every query
+— single or batch — runs through one :class:`~repro.serve.pipeline.
+QueryPipeline` (segment → match → plan → execute → assemble, see
+:mod:`repro.serve`).  Batches are served batch-natively: N queries are
+segmented and matched together, and their retrieval calls are grouped per
+target index so the sharded executors receive real batches
+(:meth:`~repro.ir.retrieval.Searcher.search_many` /
+:meth:`~repro.ir.shard.ShardedTopK.topk_many`) instead of per-query
+dispatches.  :meth:`QunitSearchEngine.search_many` is answer- and
+order-identical to mapping :meth:`QunitSearchEngine.search`
+(property-tested in ``tests/test_property_based.py``); it is just faster.
+
 Retrieval inside the pipeline rides the top-k fast path (see
-:mod:`repro.ir.topk`): the collection hands the engine cached searchers
-whose snapshots, score bounds, and LRU result caches persist across
-queries and across :meth:`QunitSearchEngine.search_many` batches.
+:mod:`repro.ir.topk`): the collection hands the pipeline pooled searchers
+(:class:`~repro.serve.pool.SearcherPool`) whose snapshots, score bounds,
+and LRU result caches persist across queries and batches.  Engine knobs —
+the match threshold, the backfill budget, and the optional result-cache /
+admission middleware — live in :class:`~repro.serve.pipeline.EngineConfig`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.answer import Answer
 from repro.core.collection import QunitCollection
-from repro.core.search.matcher import DefinitionMatch, QunitMatcher
+from repro.core.search.matcher import QunitMatcher
 from repro.core.search.segmentation import (
     QuerySegmenter,
     SchemaVocabulary,
     SegmentedQuery,
 )
 from repro.ir.scoring import Bm25Scorer, Scorer
+from repro.serve.explain import SearchExplanation, StageTiming
+from repro.serve.pipeline import EngineConfig, QueryPipeline
 
-__all__ = ["QunitSearchEngine", "SearchExplanation"]
-
-
-@dataclass(frozen=True)
-class SearchExplanation:
-    """Pipeline trace for one query (used by examples and debugging)."""
-
-    query: str
-    template: str
-    query_class: str
-    candidates: tuple[tuple[str, float], ...]   # (definition, match score)
-    answers: tuple[str, ...]                    # instance ids, ranked
+__all__ = ["QunitSearchEngine", "SearchExplanation", "StageTiming",
+           "EngineConfig"]
 
 
 class QunitSearchEngine:
@@ -48,20 +52,36 @@ class QunitSearchEngine:
 
     ``flavor`` names the derivation behind the collection ("expert",
     "schema_data", ...) and brands the answers' ``system`` field so the
-    evaluation harness can compare engines side by side.
+    evaluation harness can compare engines side by side.  ``config``
+    tunes the serving pipeline (:class:`~repro.serve.pipeline.
+    EngineConfig`); when omitted, the defaults reproduce the historical
+    behavior — in particular a match threshold of
+    :attr:`MIN_MATCH_SCORE` and backfill up to the result limit.
     """
 
+    #: Default match threshold.  Read ONCE at construction into the
+    #: engine's ``EngineConfig`` — subclasses may override the class
+    #: attribute, but changing it on a live instance no longer affects
+    #: queries (the pre-pipeline engine read it per query); configure a
+    #: custom threshold via ``EngineConfig(min_match_score=...)``.
     MIN_MATCH_SCORE = 0.15
 
     def __init__(self, collection: QunitCollection, flavor: str = "qunits",
                  vocabulary: SchemaVocabulary | None = None,
-                 scorer: Scorer | None = None):
+                 scorer: Scorer | None = None,
+                 config: EngineConfig | None = None):
         self.collection = collection
         self.database = collection.database
         self.flavor = flavor
         self.segmenter = QuerySegmenter(self.database, vocabulary)
         self.matcher = QunitMatcher(self.database)
         self.scorer = scorer or Bm25Scorer()
+        self.config = config if config is not None else \
+            EngineConfig(min_match_score=self.MIN_MATCH_SCORE)
+        self.pipeline = QueryPipeline(
+            collection=collection, segmenter=self.segmenter,
+            matcher=self.matcher, scorer=self.scorer, config=self.config,
+            system_name=self.system_name)
 
     @property
     def system_name(self) -> str:
@@ -70,18 +90,28 @@ class QunitSearchEngine:
     # -- public API ---------------------------------------------------------------
 
     def search(self, query: str, limit: int = 5) -> list[Answer]:
-        answers, _explanation = self._run(query, limit)
-        return answers
+        return self.pipeline.run([query], limit)[0].answers
 
     def search_many(self, queries: list[str], limit: int = 5) -> list[list[Answer]]:
         """Answer a batch of queries, in input order.
 
-        The batch shares the collection's cached searchers, so index
-        snapshots, per-term score bounds, and result caches built for one
-        query are reused by the rest — markedly cheaper than constructing
-        the pipeline per query when queries overlap in vocabulary.
+        The whole batch runs through the staged pipeline together:
+        segmented together, matched together, and with retrieval calls
+        grouped per target index so sharded executors see one task per
+        shard per round instead of per query.  Answers are identical to
+        ``[search(q, limit) for q in queries]`` (property-tested); the
+        batch is just markedly cheaper, especially under process-mode
+        sharding where per-query dispatch costs IPC round trips.
         """
-        return [self.search(query, limit) for query in queries]
+        return [ctx.answers for ctx in self.pipeline.run(queries, limit)]
+
+    def search_many_with_explanations(
+            self, queries: list[str], limit: int = 5,
+    ) -> list[tuple[list[Answer], SearchExplanation]]:
+        """Batched answers *and* pipeline traces, in input order — the
+        CLI's batch path (one pipeline run, no double work)."""
+        return [(ctx.answers, ctx.explanation)
+                for ctx in self.pipeline.run(queries, limit)]
 
     def best(self, query: str) -> Answer:
         answers = self.search(query, limit=1)
@@ -97,7 +127,8 @@ class QunitSearchEngine:
              vocabulary: SchemaVocabulary | None = None,
              scorer: Scorer | None = None, shards: int = 0,
              parallelism: str = "thread",
-             strategy: str = "auto") -> "QunitSearchEngine":
+             strategy: str = "auto",
+             config: EngineConfig | None = None) -> "QunitSearchEngine":
         """An engine over a collection restored from :meth:`save` output.
 
         Cold start skips derivation, materialization, and indexing; the
@@ -109,143 +140,19 @@ class QunitSearchEngine:
                                           parallelism=parallelism,
                                           strategy=strategy)
         return cls(collection, flavor=flavor, vocabulary=vocabulary,
-                   scorer=scorer)
+                   scorer=scorer, config=config)
 
     def explain(self, query: str, limit: int = 5) -> SearchExplanation:
-        _answers, explanation = self._run(query, limit)
-        return explanation
+        return self.pipeline.run([query], limit)[0].explanation
 
     def search_with_explanation(
             self, query: str, limit: int = 5,
     ) -> tuple[list[Answer], SearchExplanation]:
-        """Answers and the pipeline trace in one pass (the CLI's path —
-        running :meth:`search` and :meth:`explain` separately would pay
-        for segmentation, matching, and ranking twice)."""
-        return self._run(query, limit)
+        """Answers and the pipeline trace in one pass (running
+        :meth:`search` and :meth:`explain` separately would pay for the
+        pipeline twice)."""
+        ctx = self.pipeline.run([query], limit)[0]
+        return ctx.answers, ctx.explanation
 
     def segment(self, query: str) -> SegmentedQuery:
         return self.segmenter.segment(query)
-
-    # -- pipeline -----------------------------------------------------------------
-
-    def _run(self, query: str, limit: int) -> tuple[list[Answer], SearchExplanation]:
-        segmented = self.segmenter.segment(query)
-        definitions = list(self.collection.definitions.values())
-        matches = self.matcher.match(segmented, definitions)
-
-        answers: list[Answer] = []
-        seen_instances: set[str] = set()
-        for match in matches:
-            if len(answers) >= limit:
-                break
-            if match.score < self.MIN_MATCH_SCORE:
-                break
-            answers.extend(
-                self._answers_for_match(match, query, limit - len(answers),
-                                        seen_instances)
-            )
-
-        # Structural matches may under-fill the result list (few instances,
-        # heavy dedup); backfill the remainder from flat IR retrieval so a
-        # query with one fully-bound match still returns `limit` answers.
-        if len(answers) < limit:
-            answers.extend(
-                self._fallback(query, limit - len(answers), seen_instances)
-            )
-
-        # Mixed text + structure (the paper's Sec. 7 extension): free-text
-        # residue that the structural pipeline could not type re-ranks the
-        # candidate answers by how well their *content* covers it.
-        answers = self._apply_freetext_rerank(segmented, answers, limit)
-
-        explanation = SearchExplanation(
-            query=query,
-            template=segmented.template(),
-            query_class=segmented.query_class(),
-            candidates=tuple(
-                (match.definition.name, round(match.score, 4))
-                for match in matches[:5]
-            ),
-            answers=tuple(
-                str(answer.meta("instance_id", "")) for answer in answers
-            ),
-        )
-        return answers, explanation
-
-    def _answers_for_match(self, match: DefinitionMatch, query: str,
-                           budget: int, seen: set[str]) -> list[Answer]:
-        if budget <= 0:
-            return []
-        definition = match.definition
-        if match.fully_bound:
-            instance = self.collection.materialize(
-                definition.name, match.bound_params
-            )
-            if instance.is_empty or instance.instance_id in seen:
-                return []
-            seen.add(instance.instance_id)
-            return [self._brand(instance.to_answer(score=match.score), instance)]
-        # Partially bound: rank this definition's instances by IR score.
-        searcher = self.collection.definition_searcher(definition.name, self.scorer)
-        answers: list[Answer] = []
-        for hit in self._fresh_hits(searcher, query, budget, seen):
-            seen.add(hit.doc_id)
-            instance = self.collection.instance(hit.doc_id)
-            combined = match.score * (1.0 - 1.0 / (2.0 + hit.score))
-            answers.append(self._brand(instance.to_answer(score=combined), instance))
-        return answers
-
-    def _fresh_hits(self, searcher, query: str, budget: int, seen: set[str]):
-        """The top ``budget`` hits whose ids are not in ``seen``.
-
-        Fetches with headroom and keeps widening geometrically until the
-        budget is met or the index is exhausted, so a pile-up of
-        already-seen documents at the top of the ranking can never starve
-        lower-ranked fresh hits out of the result list.
-        """
-        if budget <= 0:
-            return []
-        fetch = budget + len(seen)
-        while True:
-            hits = searcher.search(query, limit=fetch)
-            fresh = [hit for hit in hits if hit.doc_id not in seen]
-            if len(fresh) >= budget or len(hits) < fetch:
-                return fresh[:budget]
-            fetch *= 2
-
-    def _apply_freetext_rerank(self, segmented: SegmentedQuery,
-                               answers: list[Answer],
-                               limit: int) -> list[Answer]:
-        free_terms: list[str] = []
-        for segment in segmented.freetext():
-            for token in segment.tokens:
-                free_terms.extend(self.collection.analyzer.tokens(token))
-        if not free_terms or not answers:
-            return answers
-        from dataclasses import replace
-
-        unique_terms = set(free_terms)
-        adjusted: list[Answer] = []
-        for answer in answers:
-            text_terms = set(self.collection.analyzer.tokens(answer.text))
-            coverage = len(unique_terms & text_terms) / len(unique_terms)
-            adjusted.append(replace(
-                answer, score=answer.score * (0.55 + 0.45 * coverage)))
-        adjusted.sort(key=lambda a: (-a.score, str(a.meta("instance_id", ""))))
-        return adjusted[:limit]
-
-    def _fallback(self, query: str, limit: int, seen: set[str]) -> list[Answer]:
-        """Flat IR retrieval over all instances (no/partial structural match)."""
-        searcher = self.collection.searcher(self.scorer)
-        answers: list[Answer] = []
-        for hit in self._fresh_hits(searcher, query, limit, seen):
-            seen.add(hit.doc_id)
-            instance = self.collection.instance(hit.doc_id)
-            answers.append(self._brand(instance.to_answer(score=hit.score), instance))
-        return answers
-
-    def _brand(self, answer: Answer, instance) -> Answer:
-        from dataclasses import replace
-
-        provenance = answer.provenance + (("instance_id", instance.instance_id),)
-        return replace(answer, system=self.system_name, provenance=provenance)

@@ -65,6 +65,18 @@ class QunitMatcher:
         matches.sort(key=lambda m: (-m.score, m.definition.name))
         return matches[:limit] if limit is not None else matches
 
+    def match_many(self, queries: list[SegmentedQuery],
+                   definitions: list[QunitDefinition],
+                   limit: int | None = None) -> list[list[DefinitionMatch]]:
+        """Ranked candidates for a batch of typed queries, in input order.
+
+        The batch entry point the staged query pipeline drives
+        (:class:`~repro.serve.stages.MatchStage`): the matcher's
+        dimension-value cache warms on the first query of a batch and
+        serves every later one.
+        """
+        return [self.match(query, definitions, limit) for query in queries]
+
     # -- scoring -------------------------------------------------------------------
 
     def _score(self, query: SegmentedQuery,

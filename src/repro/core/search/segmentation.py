@@ -258,6 +258,16 @@ class QuerySegmenter:
         self._text_index = database.text_index()
         self._schema_graph = None  # built lazily for disambiguation
 
+    def segment_many(self, queries: list[str]) -> list[SegmentedQuery]:
+        """Segment a batch of queries, in input order.
+
+        The batch entry point the staged query pipeline drives
+        (:class:`~repro.serve.stages.SegmentStage`): one segmenter —
+        and hence one lazily built schema graph and one database text
+        index — serves the whole batch.
+        """
+        return [self.segment(query) for query in queries]
+
     def segment(self, query: str) -> SegmentedQuery:
         tokens = normalize(query).split()
         segments: list[Segment] = []

@@ -87,6 +87,7 @@ __all__ = [
     "save_snapshot",
     "save_snapshot_v1",
     "load_snapshot",
+    "load_snapshot_with_header",
     "save_document_store",
     "load_document_store",
     "load_document_store_partition",
@@ -663,6 +664,22 @@ def load_snapshot(path: str | os.PathLike,
     return snapshot
 
 
+def load_snapshot_with_header(path: str | os.PathLike,
+                              store: DocumentStore | None = None,
+                              ) -> tuple[IndexSnapshot, dict]:
+    """Like :func:`load_snapshot`, but also returning the parsed header.
+
+    One file read serves callers that need header fields (shard
+    coordinates, a Bloom filter) alongside the snapshot — re-reading
+    the header through :func:`read_snapshot_header` would open and
+    parse the file a second time, a cost
+    :meth:`~repro.core.collection.QunitCollection.load` pays once per
+    definition on the cold-start path.
+    """
+    snapshot, header, _segments = _load_snapshot_file(Path(path), store)
+    return snapshot, header
+
+
 def delta_segment_count(path: str | os.PathLike) -> int:
     """How many delta segments trail the base snapshot in ``path``
     (0 for version-1 files and freshly compacted version-2 files)."""
@@ -946,11 +963,19 @@ def compact_snapshot(path: str | os.PathLike,
     snapshot, header, segments = _load_snapshot_file(path, store)
     if segments == 0 and header.get("format_version") == FORMAT_VERSION:
         return 0
+    bloom = header.get("bloom")
+    if bloom is not None and segments:
+        # Delta documents may carry vocabulary the persisted filter has
+        # never seen; the folded base must refresh it, or the compacted
+        # file would pin a filter with false negatives — routing on it
+        # would skip real postings.
+        from repro.ir.shard import TermBloomFilter
+
+        bloom = TermBloomFilter.build(snapshot.terms()).to_dict()
     # Version-1 files upgrade in place; delta-bearing files fold into a
     # standalone base (delta documents are inline and absent from any
     # store, so preserving ``ref`` layout would leave dangling ids).
-    save_snapshot(snapshot, path, shard=header.get("shard"),
-                  bloom=header.get("bloom"))
+    save_snapshot(snapshot, path, shard=header.get("shard"), bloom=bloom)
     return segments
 
 

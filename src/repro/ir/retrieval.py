@@ -119,6 +119,12 @@ class Searcher:
         self.shards = shards if sharded is None else \
             max(shards, len(sharded.shards))
         self.parallelism = parallelism
+        #: Result-cache effectiveness counters, cumulative over the
+        #: searcher's lifetime (read by the serving pipeline's ``--explain``
+        #: instrumentation; duplicate queries in one batch each count one
+        #: lookup).
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._cache: OrderedDict[tuple, tuple[SearchHit, ...]] = OrderedDict()
         self._sharded: ShardedTopK | None = sharded
         # A handed-in shard set may be shared across searchers (e.g. the
@@ -191,6 +197,15 @@ class Searcher:
         hits = self.search(query, limit=1)
         return hits[0] if hits else None
 
+    @property
+    def routing_stats(self) -> dict | None:
+        """Cumulative Bloom-routing statistics of the shard set this
+        searcher dispatches to (see :attr:`ShardedTopK.routing_stats`),
+        or ``None`` while no shard set exists — the plumbing the serving
+        pipeline reads to report "shards routed" per batch."""
+        return self._sharded.routing_stats if self._sharded is not None \
+            else None
+
     def close(self) -> None:
         """Release the shard executor this searcher owns, if any
         (idempotent).  A shared shard set handed in at construction is
@@ -216,6 +231,9 @@ class Searcher:
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
         return cached
 
     def _store_hits(self, terms: tuple[str, ...], limit: int,

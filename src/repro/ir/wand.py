@@ -59,12 +59,21 @@ Strategy selection
 :func:`retrieve` is the single dispatch point the
 :class:`~repro.ir.retrieval.Searcher`, :class:`~repro.ir.shard.
 ShardedTopK` (all three executors), and the CLI ``--strategy`` flag all
-go through.  ``"auto"`` resolves per query: term-at-a-time max-score for
-short queries (its per-posting loop is a tight C-level ``zip``), WAND
-from :data:`AUTO_WAND_MIN_TERMS` query terms up, where bound-sorted
-skipping amortizes the per-document Python overhead.  See
-``docs/ARCHITECTURE.md`` ("Choosing a retrieval strategy") for the
-walkthrough and ``benchmarks/results/BENCH_wand.json`` for measurements.
+go through.  ``"auto"`` resolves per query with a **df-skew cost model**
+(:func:`resolve_strategy`): term-at-a-time max-score for short queries
+(its per-posting loop is a tight C-level ``zip``), WAND from
+:data:`AUTO_WAND_MIN_TERMS` query terms up, where bound-sorted skipping
+amortizes the per-document Python overhead — *and* WAND already at
+:data:`AUTO_SKEW_MIN_TERMS` terms when the query's document frequencies
+are skewed enough (a rare term driving the top-k threshold up next to a
+common term whose long postings can be seek-skipped wholesale; the
+regime where document-at-a-time pruning wins biggest).  Shard snapshots
+carry collection-wide document frequencies, so the model resolves
+identically inside every shard worker; and since every strategy returns
+identical rankings, the cost model can only ever change *speed*, never
+results.  See ``docs/ARCHITECTURE.md`` ("Choosing a retrieval
+strategy") for the walkthrough and
+``benchmarks/results/BENCH_wand.json`` for measurements.
 """
 
 from __future__ import annotations
@@ -80,6 +89,9 @@ __all__ = [
     "STRATEGIES",
     "DEFAULT_BLOCK_SIZE",
     "AUTO_WAND_MIN_TERMS",
+    "AUTO_SKEW_MIN_TERMS",
+    "AUTO_SKEW_RATIO",
+    "AUTO_SKEW_MIN_DF",
     "PostingCursor",
     "resolve_strategy",
     "retrieve",
@@ -98,6 +110,22 @@ DEFAULT_BLOCK_SIZE = 64
 #: pivoting; at it and above, bound-driven skipping wins (measured in
 #: ``BENCH_wand.json``).
 AUTO_WAND_MIN_TERMS = 4
+
+#: With snapshot statistics available, the df-skew cost model considers
+#: WAND from this many query terms (below :data:`AUTO_WAND_MIN_TERMS`,
+#: where the length-only rule alone would keep max-score).
+AUTO_SKEW_MIN_TERMS = 2
+
+#: Minimum (most common df) / (rarest df) ratio, over the query terms
+#: that match at all, before a short query counts as rare-term-driven:
+#: the rare term drives the top-k threshold up quickly while the common
+#: term's postings are long enough for ``seek`` skipping to pay.
+AUTO_SKEW_RATIO = 8.0
+
+#: The most common query term must have at least this many postings for
+#: skew routing to trigger — skipping ranges of a short postings list
+#: cannot beat max-score's tight per-posting loop.
+AUTO_SKEW_MIN_DF = 64
 
 
 class PostingCursor:
@@ -177,13 +205,22 @@ class PostingCursor:
         return True
 
 
-def resolve_strategy(strategy: str, terms: list[str]) -> str:
+def resolve_strategy(strategy: str, terms: list[str],
+                     snapshot: IndexSnapshot | None = None) -> str:
     """The concrete strategy ``"auto"`` picks for ``terms``.
 
-    Query length is the deciding signal: short queries stay on the
+    Query length is the first signal: short queries stay on the
     term-at-a-time max-score path, queries with
     :data:`AUTO_WAND_MIN_TERMS` or more terms go document-at-a-time
-    (see the module docstring for why).
+    (see the module docstring for why).  With ``snapshot`` statistics
+    available the **df-skew cost model** refines the short-query side:
+    a query of :data:`AUTO_SKEW_MIN_TERMS`+ terms whose document
+    frequencies are skewed — rarest vs most common df at least
+    :data:`AUTO_SKEW_RATIO` apart, the common term carrying at least
+    :data:`AUTO_SKEW_MIN_DF` postings — is rare-term-driven and routes
+    to WAND early.  Resolution is deterministic for a given snapshot,
+    and every strategy is rank-identical, so the model only affects
+    speed.
 
     Raises:
         ValueError: on a strategy not in :data:`STRATEGIES`.
@@ -193,7 +230,19 @@ def resolve_strategy(strategy: str, terms: list[str]) -> str:
             f"strategy must be one of {STRATEGIES}, got {strategy!r}")
     if strategy != "auto":
         return strategy
-    return "wand" if len(terms) >= AUTO_WAND_MIN_TERMS else "maxscore"
+    if len(terms) >= AUTO_WAND_MIN_TERMS:
+        return "wand"
+    if snapshot is not None and len(terms) >= AUTO_SKEW_MIN_TERMS:
+        frequencies = sorted(
+            df for df in (snapshot.document_frequency(term)
+                          for term in set(terms))
+            if df > 0
+        )
+        if (len(frequencies) >= 2
+                and frequencies[-1] >= AUTO_SKEW_MIN_DF
+                and frequencies[-1] >= AUTO_SKEW_RATIO * frequencies[0]):
+            return "wand"
+    return "maxscore"
 
 
 def retrieve(snapshot: IndexSnapshot, scorer, terms: list[str], limit: int,
@@ -209,7 +258,7 @@ def retrieve(snapshot: IndexSnapshot, scorer, terms: list[str], limit: int,
     Raises:
         ValueError: on a strategy not in :data:`STRATEGIES`.
     """
-    resolved = resolve_strategy(strategy, terms)
+    resolved = resolve_strategy(strategy, terms, snapshot)
     if resolved == "maxscore":
         return topk_scores(snapshot, scorer, terms, limit)
     block_size = DEFAULT_BLOCK_SIZE if resolved == "blockmax" else 0

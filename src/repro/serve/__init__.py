@@ -1,0 +1,85 @@
+"""The staged query-execution pipeline behind the qunit serving path.
+
+The paper's Figure 1 describes query time as a fixed pipeline —
+segmentation → qunit matching → ranking — over "nothing more than a
+collection of independent qunits".  This package makes that pipeline an
+explicit, *batched* object instead of a monolithic per-query method:
+
+- :mod:`repro.serve.plan` — :class:`~repro.serve.plan.QueryPlan` /
+  :class:`~repro.serve.plan.PlannedTask`: one query's decided retrieval
+  work (materializations, per-definition IR tasks, the flat backfill),
+  with the retrieval strategy resolved by the df-skew cost model
+  (:func:`repro.ir.wand.resolve_strategy`) against snapshot statistics
+  at planning time and per-definition Bloom filters pruning tasks that
+  provably cannot match.
+- :mod:`repro.serve.stages` — :class:`~repro.serve.stages.PipelineStage`
+  and the five concrete stages (segment → match → plan → execute →
+  assemble), each batch-native: N queries segmented together, matched
+  together, and their retrieval calls grouped per target index so
+  :meth:`~repro.ir.retrieval.Searcher.search_many` /
+  :meth:`~repro.ir.shard.ShardedTopK.topk_many` see real batches from
+  the engine layer.
+- :mod:`repro.serve.pipeline` — :class:`~repro.serve.pipeline.
+  QueryPipeline` (drives the stages, times them, applies middleware),
+  :class:`~repro.serve.pipeline.EngineConfig`, and the stage middleware
+  (result caching, admission control).
+- :mod:`repro.serve.explain` — the rewritten
+  :class:`~repro.serve.explain.SearchExplanation` carrying the full
+  stage trace (per-stage wall time, cache hits/misses, shards routed,
+  strategy chosen, rejected candidates).
+- :mod:`repro.serve.pool` — :class:`~repro.serve.pool.SearcherPool`,
+  the bounded LRU searcher cache the collection hands the pipeline.
+
+Exports resolve lazily (PEP 562): :mod:`repro.core.collection` imports
+:mod:`repro.serve.pool` while :mod:`repro.serve.stages` type-references
+the collection, and lazy resolution keeps that pair cycle-free.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EngineConfig",
+    "PipelineMiddleware",
+    "AdmissionMiddleware",
+    "ResultCacheMiddleware",
+    "PipelineStage",
+    "PlannedTask",
+    "QueryContext",
+    "QueryPipeline",
+    "QueryPlan",
+    "SearchExplanation",
+    "SearcherPool",
+    "StageTiming",
+]
+
+_EXPORTS = {
+    "EngineConfig": "repro.serve.pipeline",
+    "PipelineMiddleware": "repro.serve.pipeline",
+    "AdmissionMiddleware": "repro.serve.pipeline",
+    "ResultCacheMiddleware": "repro.serve.pipeline",
+    "QueryContext": "repro.serve.pipeline",
+    "QueryPipeline": "repro.serve.pipeline",
+    "PipelineStage": "repro.serve.stages",
+    "PlannedTask": "repro.serve.plan",
+    "QueryPlan": "repro.serve.plan",
+    "SearchExplanation": "repro.serve.explain",
+    "StageTiming": "repro.serve.explain",
+    "SearcherPool": "repro.serve.pool",
+}
+
+
+def __getattr__(name: str):
+    """Resolve a package export on first access (PEP 562 lazy import)."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    """The package's public names (lazy exports included)."""
+    return sorted(__all__)

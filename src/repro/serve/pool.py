@@ -1,0 +1,98 @@
+"""A bounded LRU pool of live :class:`~repro.ir.retrieval.Searcher`\\ s.
+
+Searchers are expensive to lose: each one accumulates an index snapshot,
+per-(scorer, term) contribution arrays, an LRU result cache, and — for
+the sharded flat searcher — a partition plus executor.  They are also
+unbounded to keep: identity-keyed scorers (see
+:meth:`~repro.ir.scoring.Scorer.cache_key`) would otherwise grow a
+per-collection cache without limit in a long-running server.
+
+:class:`SearcherPool` is the compromise the collection hands the query
+pipeline: searchers are cached per ``(index name, scorer parameters)``
+key, reused in LRU order, and the least-recently-used one is *closed*
+(releasing any shard executor it owns) when the pool overflows.  The
+pool owns searcher lifecycle so the pipeline's execute stage can grab
+the same warm searcher for every query of a batch without knowing how
+the collection builds them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+
+from repro.ir.retrieval import Searcher
+
+__all__ = ["SearcherPool"]
+
+
+class SearcherPool:
+    """Bounded LRU cache of searchers, keyed by caller-chosen keys.
+
+    ``max_size`` bounds the pool; overflow closes and evicts the least
+    recently used searcher.  :meth:`close` shuts down every pooled
+    searcher (idempotent — pools are also context managers).
+    """
+
+    def __init__(self, max_size: int = 64):
+        """An empty pool holding at most ``max_size`` searchers.
+
+        Raises:
+            ValueError: when ``max_size`` < 1.
+        """
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.max_size = max_size
+        self._searchers: OrderedDict[Hashable, Searcher] = OrderedDict()
+
+    def get(self, key: Hashable,
+            factory: Callable[[], Searcher]) -> Searcher:
+        """The pooled searcher for ``key``, building it on first use.
+
+        Args:
+            key: identity of the searcher (e.g. ``(definition name,
+                scorer cache key)``); must be hashable.
+            factory: zero-argument builder invoked only on a pool miss.
+
+        Returns:
+            The cached (or freshly built) searcher, marked most
+            recently used.
+        """
+        searcher = self._searchers.get(key)
+        if searcher is None:
+            searcher = factory()
+            self._searchers[key] = searcher
+            while len(self._searchers) > self.max_size:
+                _key, evicted = self._searchers.popitem(last=False)
+                evicted.close()
+        else:
+            self._searchers.move_to_end(key)
+        return searcher
+
+    def searchers(self) -> list[Searcher]:
+        """The pooled searchers, least recently used first."""
+        return list(self._searchers.values())
+
+    def close(self) -> None:
+        """Close and evict every pooled searcher (idempotent); the pool
+        stays usable — a later :meth:`get` rebuilds via its factory.
+
+        Entries are dropped, not kept: handing a closed searcher back
+        out would depend on it lazily self-healing, a contract a future
+        searcher with a terminal ``close()`` would silently break.
+        """
+        for searcher in self._searchers.values():
+            searcher.close()
+        self._searchers.clear()
+
+    def __len__(self) -> int:
+        return len(self._searchers)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._searchers
+
+    def __enter__(self) -> "SearcherPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,430 @@
+"""The five batch-native stages of the query pipeline.
+
+Each stage processes a whole batch of
+:class:`~repro.serve.pipeline.QueryContext` objects at once:
+
+1. :class:`SegmentStage` — type every query against the schema
+   vocabulary (:meth:`~repro.core.search.segmentation.QuerySegmenter.
+   segment_many`).
+2. :class:`MatchStage` — score every definition against every typed
+   query (:meth:`~repro.core.search.matcher.QunitMatcher.match_many`).
+3. :class:`PlanStage` — decide each query's retrieval work up front: a
+   :class:`~repro.serve.plan.QueryPlan` of materialize/definition/flat
+   tasks, with the flat strategy resolved by the df-skew cost model
+   against snapshot statistics and definition tasks Bloom-pruned.
+4. :class:`ExecuteStage` — run every plan *batched*: the per-query
+   execution logic is written once as a generator that yields retrieval
+   requests, and the stage drives all generators in lockstep rounds,
+   grouping concurrent requests per (target index, fetch size) into
+   single :meth:`~repro.ir.retrieval.Searcher.search_many` calls — so a
+   sharded executor receives one task per shard per *round*, not per
+   query.  Because :meth:`search_many` is property-tested identical to
+   mapped :meth:`search`, the batched execution is answer-identical to
+   the sequential path by construction.
+5. :class:`AssembleStage` — free-text re-ranking, explanation
+   assembly.
+
+Stages never import the collection/matcher modules at runtime (type
+references only), which keeps ``repro.core.collection`` free to import
+:mod:`repro.serve.pool`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.ir.wand import resolve_strategy
+from repro.serve.explain import SearchExplanation
+from repro.serve.plan import PlannedTask, QueryPlan
+
+if TYPE_CHECKING:  # circular-import-free type references only
+    from repro.answer import Answer
+    from repro.ir.retrieval import SearchHit
+    from repro.serve.pipeline import QueryContext, QueryPipeline
+
+__all__ = [
+    "PipelineStage",
+    "SegmentStage",
+    "MatchStage",
+    "PlanStage",
+    "ExecuteStage",
+    "AssembleStage",
+]
+
+
+class PipelineStage:
+    """One batch-native step of the query pipeline.
+
+    Subclasses set :attr:`name` (the label in stage timings and
+    ``--explain`` traces) and implement :meth:`run`, mutating the
+    contexts in place.  Stages hold no per-query state, so one stage
+    instance serves every batch of its pipeline.
+    """
+
+    name = "stage"
+
+    def run(self, contexts: "list[QueryContext]",
+            pipeline: "QueryPipeline") -> None:
+        """Process one batch of query contexts (in place)."""
+        raise NotImplementedError
+
+
+class SegmentStage(PipelineStage):
+    """Type every query of the batch against the schema vocabulary."""
+
+    name = "segment"
+
+    def run(self, contexts, pipeline) -> None:
+        """Fill ``ctx.segmented`` for the whole batch in one call."""
+        segmented = pipeline.segmenter.segment_many(
+            [ctx.query for ctx in contexts])
+        for ctx, result in zip(contexts, segmented):
+            ctx.segmented = result
+
+
+class MatchStage(PipelineStage):
+    """Score every qunit definition against every typed query."""
+
+    name = "match"
+
+    def run(self, contexts, pipeline) -> None:
+        """Fill ``ctx.matches`` (ranked definition matches) batch-wide."""
+        definitions = list(pipeline.collection.definitions.values())
+        matched = pipeline.matcher.match_many(
+            [ctx.segmented for ctx in contexts], definitions)
+        for ctx, matches in zip(contexts, matched):
+            ctx.matches = matches
+
+
+class PlanStage(PipelineStage):
+    """Decide each query's retrieval work before any of it runs.
+
+    Match tasks cover every definition match at or above the engine's
+    match threshold, in rank order: fully-bound matches become
+    ``materialize`` tasks, partially-bound ones ``definition`` tasks —
+    pruned (``bloom_skipped``) when the definition's term Bloom filter
+    proves no query term has postings in its index.  The flat backfill
+    task's strategy is resolved here by the df-skew cost model against
+    the flat snapshot's statistics (the planner, not the scorer, owns
+    the routing decision the ROADMAP asked for).
+    """
+
+    name = "plan"
+
+    def run(self, contexts, pipeline) -> None:
+        """Fill ``ctx.plan`` for the whole batch."""
+        collection = pipeline.collection
+        analyzer = collection.analyzer
+        # Resolve against the flat snapshot's statistics when it already
+        # exists (always, after the first backfilling query); planning
+        # must never *build* the flat index — a fully-bound query may
+        # finish without it.  Without stats, resolve_strategy falls back
+        # to the length-only rule here and the execute-time retrieve()
+        # still applies the full cost model in-shard.
+        snapshot = collection.peek_global_snapshot()
+        min_score = pipeline.config.min_match_score
+        for ctx in contexts:
+            terms = tuple(analyzer.tokens(ctx.query))
+            tasks: list[PlannedTask] = []
+            for match in ctx.matches:
+                if match.score < min_score:
+                    break  # matches are rank-sorted; the rest scored lower
+                name = match.definition.name
+                if match.fully_bound:
+                    tasks.append(PlannedTask(
+                        kind="materialize", definition=name, match=match))
+                    continue
+                bloom = collection.definition_bloom(name)
+                skipped = bloom is not None and \
+                    not bloom.might_match_any(terms)
+                tasks.append(PlannedTask(
+                    kind="definition", definition=name, match=match,
+                    strategy=resolve_strategy(
+                        pipeline.strategy, list(terms),
+                        collection.peek_definition_snapshot(name)),
+                    bloom_skipped=skipped))
+            flat = PlannedTask(
+                kind="flat",
+                strategy=resolve_strategy(pipeline.strategy, list(terms),
+                                          snapshot),
+            )
+            ctx.plan = QueryPlan(query=ctx.query, terms=terms,
+                                 limit=ctx.limit, tasks=tuple(tasks),
+                                 flat=flat)
+
+
+@dataclass
+class _Request:
+    """One pending retrieval call a query's executor generator needs."""
+
+    target: str | None  # None = the flat collection-wide index
+    query: str
+    fetch: int
+
+
+class ExecuteStage(PipelineStage):
+    """Run every query's plan, with retrieval batched across queries.
+
+    Per-query semantics are the generator :meth:`_drive` — a direct
+    port of the sequential engine loop (match tasks in rank order until
+    the limit fills, then flat backfill, with geometric fetch-widening
+    around already-seen documents).  The stage drives all generators in
+    lockstep rounds; each round's outstanding requests are grouped by
+    (target index, fetch size) and dispatched as one ``search_many``
+    per group, so the sharded flat executor sees one task per shard per
+    round instead of per query.
+    """
+
+    name = "execute"
+
+    def run(self, contexts, pipeline) -> None:
+        """Execute the batch's plans; fills ``ctx.answers`` and the
+        batch-level retrieval counters in ``ctx.retrieval_stats``."""
+        # Instrumentation is captured lazily at each searcher's first
+        # dispatch of the batch (asking for the flat searcher up front
+        # would build the flat index even for batches of fully-bound
+        # queries that never need it — the laziness the pre-pipeline
+        # engine had).  Cache counters cover *every* searcher the batch
+        # touched, flat and per-definition; shard-routing counters exist
+        # only on the flat searcher (definition indexes stay serial).
+        watched: dict[int, tuple] = {}  # id -> (searcher, hits0, misses0)
+        flat = None
+        routing_before: dict = {}
+
+        drivers: list[list] = []  # [ctx, generator, pending request]
+        for ctx in contexts:
+            generator = self._drive(ctx, pipeline)
+            try:
+                request = generator.send(None)
+            except StopIteration:
+                continue
+            drivers.append([ctx, generator, request])
+        while drivers:
+            groups: dict[tuple[str | None, int], list[list]] = {}
+            for row in drivers:
+                request = row[2]
+                groups.setdefault((request.target, request.fetch),
+                                  []).append(row)
+            drivers = []
+            for (target, fetch), rows in groups.items():
+                searcher = pipeline.searcher_for(target)
+                if id(searcher) not in watched:
+                    watched[id(searcher)] = (searcher, searcher.cache_hits,
+                                             searcher.cache_misses)
+                if target is None and flat is None:
+                    flat = searcher
+                    routing_before = dict(flat.routing_stats or {})
+                for row in rows:
+                    row[0].executed_targets.add(target)
+                hit_lists = searcher.search_many(
+                    [row[2].query for row in rows], fetch)
+                for row, hits in zip(rows, hit_lists):
+                    try:
+                        row[2] = row[1].send(hits)
+                    except StopIteration:
+                        continue
+                    drivers.append(row)
+
+        stats = {}
+        if watched:
+            stats["cache_hits"] = sum(
+                searcher.cache_hits - hits0
+                for searcher, hits0, _m in watched.values())
+            stats["cache_misses"] = sum(
+                searcher.cache_misses - misses0
+                for searcher, _h, misses0 in watched.values())
+        if flat is not None:
+            # A batch touching more searcher keys than the pool holds can
+            # evict (and close) the flat searcher mid-batch, dropping its
+            # shard set; fall back to the before-counters so the deltas
+            # degrade to zero instead of going negative.
+            routing_after = dict(flat.routing_stats or routing_before)
+            tasks_delta = routing_after.get("shard_tasks", 0) - \
+                routing_before.get("shard_tasks", 0)
+            skipped_delta = routing_after.get("shard_tasks_skipped", 0) - \
+                routing_before.get("shard_tasks_skipped", 0)
+            stats["shard_tasks"] = max(0, tasks_delta - skipped_delta)
+            stats["shard_tasks_skipped"] = max(0, skipped_delta)
+        for ctx in contexts:
+            ctx.retrieval_stats = dict(stats)
+
+    # -- per-query execution (exact port of the sequential engine loop) -----
+
+    def _drive(self, ctx, pipeline):
+        """Generator running one query's plan; yields :class:`_Request`
+        and receives the corresponding hit list.  Sets ``ctx.answers``
+        (pre-rerank) before finishing."""
+        limit = ctx.limit
+        collection = pipeline.collection
+        answers: list[Answer] = []
+        seen: set[str] = set()
+        for task in ctx.plan.tasks:
+            if len(answers) >= limit:
+                break
+            match = task.match
+            if task.kind == "materialize":
+                instance = collection.materialize(task.definition,
+                                                  match.bound_params)
+                if instance.is_empty or instance.instance_id in seen:
+                    continue
+                seen.add(instance.instance_id)
+                answers.append(pipeline.brand(
+                    instance.to_answer(score=match.score), instance))
+                continue
+            if task.bloom_skipped:
+                continue  # provably no postings: retrieval would return []
+            budget = limit - len(answers)
+            hits = yield from self._fresh_hits(task.definition, ctx.query,
+                                               budget, seen)
+            for hit in hits:
+                seen.add(hit.doc_id)
+                instance = collection.instance(hit.doc_id)
+                combined = match.score * (1.0 - 1.0 / (2.0 + hit.score))
+                answers.append(pipeline.brand(
+                    instance.to_answer(score=combined), instance))
+
+        # Structural matches may under-fill the result list (few
+        # instances, heavy dedup); backfill the remainder from flat IR
+        # retrieval so a query with one fully-bound match still returns
+        # `limit` answers (bounded by the configured backfill budget).
+        if len(answers) < limit:
+            budget = limit - len(answers)
+            if pipeline.config.backfill_budget is not None:
+                budget = min(budget, pipeline.config.backfill_budget)
+            hits = yield from self._fresh_hits(None, ctx.query, budget, seen)
+            for hit in hits:
+                seen.add(hit.doc_id)
+                instance = collection.instance(hit.doc_id)
+                answers.append(pipeline.brand(
+                    instance.to_answer(score=hit.score), instance))
+        ctx.answers = answers
+
+    def _fresh_hits(self, target: str | None, query: str, budget: int,
+                    seen: set[str]):
+        """Generator sub-routine: the top ``budget`` hits from ``target``
+        whose ids are not in ``seen``.
+
+        Fetches with headroom and keeps widening geometrically until the
+        budget is met or the index is exhausted, so a pile-up of
+        already-seen documents at the top of the ranking can never
+        starve lower-ranked fresh hits out of the result list.
+        """
+        if budget <= 0:
+            return []
+        fetch = budget + len(seen)
+        while True:
+            hits: list[SearchHit] = yield _Request(target, query, fetch)
+            fresh = [hit for hit in hits if hit.doc_id not in seen]
+            if len(fresh) >= budget or len(hits) < fetch:
+                return fresh[:budget]
+            fetch *= 2
+
+
+class AssembleStage(PipelineStage):
+    """Free-text re-ranking and explanation assembly.
+
+    Mixed text + structure (the paper's Sec. 7 extension): free-text
+    residue that the structural pipeline could not type re-ranks the
+    candidate answers by how well their *content* covers it.  The
+    explanation carries the plan, the resolved strategy, the rejected
+    candidates, and the execute stage's retrieval counters; the
+    pipeline patches in the final stage timings after this stage's own
+    clock stops.
+    """
+
+    name = "assemble"
+
+    def run(self, contexts, pipeline) -> None:
+        """Re-rank and build ``ctx.explanation`` for the whole batch."""
+        for ctx in contexts:
+            ctx.answers = self._apply_freetext_rerank(
+                ctx.segmented, ctx.answers, ctx.limit, pipeline)
+            self._finalize_strategy(ctx, pipeline)
+            ctx.explanation = self._explanation(ctx, pipeline)
+
+    def _finalize_strategy(self, ctx, pipeline) -> None:
+        """Re-resolve strategies for the retrieval tasks this query
+        *actually dispatched*, so the trace reports what ran.
+
+        On a cold live collection the plan stage had no snapshot
+        statistics (it must not build an index), so it labeled tasks
+        with the length-only resolution — but the retrieval itself,
+        having just built its index, resolved the full df-skew model.
+        Resolution is deterministic per snapshot, so recomputing here
+        yields exactly the executed choice.  Tasks the query never
+        dispatched (limit filled earlier, Bloom-skipped) keep their
+        planning-time label — for them any strategy is hypothetical.
+        """
+        collection = pipeline.collection
+        terms = list(ctx.plan.terms)
+        executed = ctx.executed_targets
+        changed = False
+        flat_strategy = ctx.plan.flat.strategy
+        if None in executed:
+            flat_strategy = resolve_strategy(
+                pipeline.strategy, terms, collection.peek_global_snapshot())
+            changed = flat_strategy != ctx.plan.flat.strategy
+        tasks = []
+        for task in ctx.plan.tasks:
+            if task.kind == "definition" and task.definition in executed:
+                resolved = resolve_strategy(
+                    pipeline.strategy, terms,
+                    collection.peek_definition_snapshot(task.definition))
+                if resolved != task.strategy:
+                    task = replace(task, strategy=resolved)
+                    changed = True
+            tasks.append(task)
+        if changed:
+            ctx.plan = replace(ctx.plan, tasks=tuple(tasks),
+                               flat=replace(ctx.plan.flat,
+                                            strategy=flat_strategy))
+
+    def _apply_freetext_rerank(self, segmented, answers, limit, pipeline):
+        """Coverage re-rank against the query's untyped free-text terms."""
+        analyzer = pipeline.collection.analyzer
+        free_terms: list[str] = []
+        for segment in segmented.freetext():
+            for token in segment.tokens:
+                free_terms.extend(analyzer.tokens(token))
+        if not free_terms or not answers:
+            return answers
+        unique_terms = set(free_terms)
+        adjusted: list[Answer] = []
+        for answer in answers:
+            text_terms = set(analyzer.tokens(answer.text))
+            coverage = len(unique_terms & text_terms) / len(unique_terms)
+            adjusted.append(replace(
+                answer, score=answer.score * (0.55 + 0.45 * coverage)))
+        adjusted.sort(key=lambda a: (-a.score, str(a.meta("instance_id", ""))))
+        return adjusted[:limit]
+
+    def _explanation(self, ctx, pipeline) -> SearchExplanation:
+        """The query's trace: all above-threshold candidates plus the
+        best rejected ones (flagged), the plan, and retrieval counters."""
+        min_score = pipeline.config.min_match_score
+        # Matches are rank-sorted, so above-threshold candidates form a
+        # prefix; show all of them plus the best rejected ones (flagged)
+        # so the trace explains why a definition lost, not just who won.
+        used = sum(1 for match in ctx.matches if match.score >= min_score)
+        shown = ctx.matches[:used + pipeline.config.candidate_limit]
+        stats = ctx.retrieval_stats
+        return SearchExplanation(
+            query=ctx.query,
+            template=ctx.segmented.template(),
+            query_class=ctx.segmented.query_class(),
+            candidates=tuple(
+                (match.definition.name, round(match.score, 4),
+                 match.score < min_score)
+                for match in shown
+            ),
+            answers=tuple(
+                str(answer.meta("instance_id", "")) for answer in ctx.answers
+            ),
+            strategy=ctx.plan.flat.strategy,
+            plan=ctx.plan.describe(),
+            cache_hits=stats.get("cache_hits", 0),
+            cache_misses=stats.get("cache_misses", 0),
+            shard_tasks=stats.get("shard_tasks", 0),
+            shard_tasks_skipped=stats.get("shard_tasks_skipped", 0),
+        )

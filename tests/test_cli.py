@@ -59,6 +59,64 @@ class TestCommands:
         assert "theoretical-max" in out
 
 
+class TestExplain:
+    def test_explain_prints_stage_trace(self, capsys):
+        code = main(["--scale", "0.1", "search", "star wars cast",
+                     "--limit", "1", "--explain"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stages   :" in out
+        assert "plan     :" in out
+        assert "retrieval: strategy=" in out
+        assert "candidates:" in out
+
+    def test_explain_shows_rejected_candidates(self, capsys):
+        code = main(["--scale", "0.1", "search", "star wars cast",
+                     "--limit", "1", "--explain"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rejected: below min match score" in out
+
+
+class TestBatchFile:
+    def test_batch_file_queries_run(self, capsys, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("star wars cast\n\ngeorge clooney\n")
+        code = main(["--scale", "0.1", "search", "--batch-file", str(batch),
+                     "--limit", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("query   :") == 2
+        assert "star wars cast" in out
+        assert "george clooney" in out
+
+    def test_batch_file_combines_with_positional(self, capsys, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("george clooney\n")
+        code = main(["--scale", "0.1", "search", "star wars cast",
+                     "--batch-file", str(batch), "--limit", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("query   :") == 2
+
+    def test_no_queries_at_all_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--scale", "0.1", "search"])
+
+    def test_load_accepts_batch_file(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "snap")
+        assert main(["--scale", "0.1", "save", out_dir,
+                     "--max-instances", "40"]) == 0
+        capsys.readouterr()
+        batch = tmp_path / "queries.txt"
+        batch.write_text("star wars cast\ngeorge clooney\n")
+        code = main(["--scale", "0.1", "load", out_dir,
+                     "--batch-file", str(batch), "--limit", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("query   :") == 2
+
+
 class TestBatchSearch:
     def test_multiple_queries_parse(self):
         args = build_parser().parse_args(

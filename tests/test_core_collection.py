@@ -305,7 +305,7 @@ class TestPersistence:
         from repro.errors import SnapshotError
 
         out = QunitCollection(mini_db, definitions()).save(tmp_path / "snap")
-        real_load = collection_module.load_snapshot
+        real_load = collection_module.load_snapshot_with_header
         calls = {"n": 0}
 
         def flaky_load(path, store=None):
@@ -316,7 +316,8 @@ class TestPersistence:
                 ) from FileNotFoundError(2, "gone")
             return real_load(path, store=store)
 
-        monkeypatch.setattr(collection_module, "load_snapshot", flaky_load)
+        monkeypatch.setattr(collection_module, "load_snapshot_with_header",
+                            flaky_load)
         loaded = QunitCollection.load(mini_db, out)
         assert loaded.searcher().best("star wars") is not None
         assert calls["n"] > 1

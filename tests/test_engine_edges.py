@@ -78,7 +78,11 @@ class TestBackfill:
 
 
 class TestFreshHitsHeadroom:
-    def build_searcher(self, mini_db, n: int = 8):
+    """The fetch-widening logic now lives in the pipeline's execute
+    stage as a generator (``ExecuteStage._fresh_hits``); these tests
+    drive it against a real searcher, answering its yielded requests."""
+
+    def build_searcher(self, n: int = 8):
         from repro.ir.analysis import Analyzer
         from repro.ir.documents import Document
         from repro.ir.index import InvertedIndex
@@ -90,33 +94,43 @@ class TestFreshHitsHeadroom:
             index.add(Document.create(f"d{i}", {"body": "common " * (n - i)}))
         return Searcher(index)
 
-    def test_budget_met_when_seen_docs_outrank_fresh(self, mini_db):
+    @staticmethod
+    def fresh_hits(searcher, query, budget, seen):
+        from repro.serve.stages import ExecuteStage
+
+        generator = ExecuteStage()._fresh_hits(None, query, budget, seen)
+        request = None
+        try:
+            request = generator.send(None)
+            while True:
+                hits = searcher.search(request.query, request.fetch)
+                request = generator.send(hits)
+        except StopIteration as stop:
+            return stop.value
+
+    def test_budget_met_when_seen_docs_outrank_fresh(self):
         # All five top-ranked docs are already seen; the budget must be
         # filled from the lower-ranked fresh hits instead of under-filling.
-        engine = QunitSearchEngine(QunitCollection(mini_db, []), flavor="t")
-        searcher = self.build_searcher(mini_db)
+        searcher = self.build_searcher()
         seen = {f"d{i}" for i in range(5)}
-        hits = engine._fresh_hits(searcher, "common", budget=3, seen=seen)
+        hits = self.fresh_hits(searcher, "common", budget=3, seen=seen)
         assert [h.doc_id for h in hits] == ["d5", "d6", "d7"]
 
-    def test_seen_ids_outside_index_only_add_headroom(self, mini_db):
-        engine = QunitSearchEngine(QunitCollection(mini_db, []), flavor="t")
-        searcher = self.build_searcher(mini_db)
+    def test_seen_ids_outside_index_only_add_headroom(self):
+        searcher = self.build_searcher()
         seen = {f"d{i}" for i in range(4)} | {"phantom::1", "phantom::2"}
-        hits = engine._fresh_hits(searcher, "common", budget=4, seen=seen)
+        hits = self.fresh_hits(searcher, "common", budget=4, seen=seen)
         assert [h.doc_id for h in hits] == ["d4", "d5", "d6", "d7"]
 
-    def test_exhausted_index_returns_what_exists(self, mini_db):
-        engine = QunitSearchEngine(QunitCollection(mini_db, []), flavor="t")
-        searcher = self.build_searcher(mini_db)
+    def test_exhausted_index_returns_what_exists(self):
+        searcher = self.build_searcher()
         seen = {f"d{i}" for i in range(6)}
-        hits = engine._fresh_hits(searcher, "common", budget=10, seen=seen)
+        hits = self.fresh_hits(searcher, "common", budget=10, seen=seen)
         assert [h.doc_id for h in hits] == ["d6", "d7"]
 
-    def test_zero_budget(self, mini_db):
-        engine = QunitSearchEngine(QunitCollection(mini_db, []), flavor="t")
-        searcher = self.build_searcher(mini_db)
-        assert engine._fresh_hits(searcher, "common", 0, set()) == []
+    def test_zero_budget(self):
+        searcher = self.build_searcher()
+        assert self.fresh_hits(searcher, "common", 0, set()) == []
 
 
 class TestSearchManyEngine:

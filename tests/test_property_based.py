@@ -369,6 +369,91 @@ class TestShardingProperties:
                    broadcast.topk_many(scorer, term_lists, limit)
 
 
+#: Query shapes covering every pipeline path: fully-bound structural
+#: matches, partially-bound matches (definition IR), dimension entities,
+#: aggregates, free text, garbage, and the empty query.
+PIPELINE_QUERY_POOL = (
+    "star wars cast",
+    "george clooney",
+    "tom hanks movies",
+    "science fiction movies",
+    "the terminator box office",
+    "top rated movies",
+    "angelina jolie tomb raider",
+    "clooney oceans",
+    "star wars",
+    "zzzz qqqq wwww",
+    "",
+)
+
+
+_PIPELINE_ENGINES: dict = {}
+
+
+def _pipeline_engine(imdb_db, shards: int, strategy: str):
+    """A cached engine variant over the shared scale-0.15 database (one
+    collection per (shards, strategy), serial shard executors)."""
+    _cache = _PIPELINE_ENGINES
+    key = (id(imdb_db), shards, strategy)
+    if key not in _cache:
+        from repro.core import QunitCollection
+        from repro.core.derivation import imdb_expert_qunits
+        from repro.core.search import QunitSearchEngine
+
+        collection = QunitCollection(
+            imdb_db, imdb_expert_qunits(),
+            max_instances_per_definition=60,
+            shards=shards, parallelism="serial", strategy=strategy)
+        _cache[key] = QunitSearchEngine(collection, flavor="expert")
+    return _cache[key]
+
+
+def _answer_keys(answers):
+    return [(a.meta("instance_id"), a.score, a.system) for a in answers]
+
+
+class TestPipelineProperties:
+    """The staged pipeline's batched path must be *answer- and
+    order-identical* to the sequential per-query path — same instance
+    ids, same float-exact scores, same order — across retrieval
+    strategies, shard counts, and Bloom routing."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        queries=st.lists(st.sampled_from(PIPELINE_QUERY_POOL),
+                         min_size=0, max_size=5),
+        shards=st.sampled_from([0, 2, 3]),
+        strategy=st.sampled_from(["auto", "maxscore", "wand", "blockmax"]),
+        limit=st.integers(min_value=1, max_value=5),
+    )
+    def test_search_many_identical_to_mapped_search(
+            self, imdb_db, queries, shards, strategy, limit):
+        engine = _pipeline_engine(imdb_db, shards, strategy)
+        batch = engine.search_many(queries, limit)
+        singles = [engine.search(query, limit) for query in queries]
+        assert [_answer_keys(answers) for answers in batch] == \
+               [_answer_keys(answers) for answers in singles]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        queries=st.lists(st.sampled_from(PIPELINE_QUERY_POOL),
+                         min_size=1, max_size=4),
+        shards=st.sampled_from([2, 3]),
+        strategy=st.sampled_from(["auto", "wand", "blockmax"]),
+        limit=st.integers(min_value=1, max_value=5),
+    )
+    def test_sharded_bloom_routed_engine_identical_to_serial(
+            self, imdb_db, queries, shards, strategy, limit):
+        # The sharded engine Bloom-routes its flat dispatches; answers
+        # must match the unsharded max-score engine exactly.
+        serial = _pipeline_engine(imdb_db, 0, "maxscore")
+        sharded = _pipeline_engine(imdb_db, shards, strategy)
+        assert [_answer_keys(answers)
+                for answers in sharded.search_many(queries, limit)] == \
+               [_answer_keys(answers)
+                for answers in serial.search_many(queries, limit)]
+
+
 class TestMetricProperties:
     @given(st.lists(words, min_size=1, max_size=15, unique=True),
            st.sets(words, max_size=10),
