@@ -51,6 +51,8 @@ TRACKED_METRICS: dict[str, dict[str, str]] = {
     "BENCH_cold_start.json": {
         "cold_start_s": "lower",
         "cold_start_speedup": "higher",
+        "load_v3_s": "lower",
+        "mmap_speedup": "higher",
     },
     "BENCH_sharded_scaling.json": {
         "sharded_cold_s": "lower",

@@ -108,6 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="a generation directory written by `save` (compacts every "
              "*.snap in it) or a single snapshot file")
 
+    migrate = commands.add_parser(
+        "migrate",
+        help="convert v1/v2 snapshot files to the v3 binary columnar "
+             "container in place (atomic swap; v3 files are left alone)")
+    migrate.add_argument(
+        "path",
+        help="a generation directory written by `save` (migrates every "
+             "*.snap in it) or a single snapshot file")
+
     bench_diff = commands.add_parser(
         "bench-diff",
         help="compare two directories of BENCH_*.json benchmark reports; "
@@ -163,7 +172,9 @@ def _add_shard_options(subparser) -> None:
     subparser.add_argument(
         "--shard-mode", default="thread",
         choices=["serial", "thread", "process"],
-        help="executor for sharded scoring (default thread)")
+        help="executor for sharded scoring (default thread; process is "
+             "the mode that actually scales — thread mode is "
+             "GIL-serialized and usually slower than serial)")
     subparser.add_argument(
         "--strategy", default="auto",
         choices=["auto", "maxscore", "wand", "blockmax"],
@@ -254,6 +265,7 @@ def _gather_queries(positional: list[str], batch_file: str | None,
 
 
 def _command_search(args) -> int:
+    _warn_thread_mode(args)
     db = generate_imdb(scale=args.scale, seed=args.seed)
     positional = [query for query in [args.query, *args.more_queries]
                   if query is not None]
@@ -320,6 +332,56 @@ def _command_compact(args) -> int:
     return 0
 
 
+def _command_migrate(args) -> int:
+    from pathlib import Path
+
+    from repro.ir.persist import (
+        FORMAT_VERSION,
+        compact_snapshot,
+        load_document_store,
+        read_snapshot_header,
+    )
+
+    target = Path(args.path)
+    files = sorted(target.glob("*.snap")) if target.is_dir() else [target]
+    if not files:
+        print(f"no snapshot files found in {target}")
+        return 1
+    stores = {}
+    migrated = 0
+    for path in files:
+        header = read_snapshot_header(path)
+        old_version = header.get("format_version")
+        if old_version == FORMAT_VERSION:
+            print(f"{path.name}: already v{FORMAT_VERSION}, skipped")
+            continue
+        store = None
+        store_name = header.get("docstore")
+        if store_name is not None:
+            store_path = (path.parent / store_name).resolve()
+            if store_path not in stores:
+                stores[store_path] = load_document_store(store_path)
+            store = stores[store_path]
+        before = path.stat().st_size
+        compact_snapshot(path, store=store)
+        after = path.stat().st_size
+        print(f"{path.name}: v{old_version} -> v{FORMAT_VERSION}, "
+              f"{before} -> {after} bytes")
+        migrated += 1
+    print(f"migrated {migrated} of {len(files)} file(s)")
+    return 0
+
+
+def _warn_thread_mode(args) -> None:
+    """Steer users away from the GIL-serialized thread executor."""
+    if args.shards >= 2 and args.shard_mode == "thread":
+        print("warning: --shard-mode thread is GIL-serialized and "
+              "benchmarks slower than serial scoring; use "
+              "--shard-mode process for real speedups "
+              "(workers mmap v3 snapshots and share one page cache)",
+              file=sys.stderr)
+
+
 def _command_bench_diff(args) -> int:
     from repro.bench.regression import compare_dirs, render_comparison
 
@@ -330,6 +392,7 @@ def _command_bench_diff(args) -> int:
 
 
 def _command_load(args) -> int:
+    _warn_thread_mode(args)
     db = generate_imdb(scale=args.scale, seed=args.seed)
     engine = QunitSearchEngine.load(
         db, args.directory, flavor=args.flavor,
@@ -393,6 +456,7 @@ _COMMANDS = {
     "search": _command_search,
     "save": _command_save,
     "compact": _command_compact,
+    "migrate": _command_migrate,
     "bench-diff": _command_bench_diff,
     "load": _command_load,
     "derive": _command_derive,

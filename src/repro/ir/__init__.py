@@ -13,13 +13,20 @@ scoring (:mod:`repro.ir.shard`), and the usual effectiveness metrics.
 from repro.ir.analysis import Analyzer, STOPWORDS
 from repro.ir.documents import Document
 from repro.ir.feedback import RocchioFeedback
-from repro.ir.index import IndexSnapshot, InvertedIndex, Posting, TermContributions
+from repro.ir.index import (
+    ColumnarIndexSnapshot,
+    IndexSnapshot,
+    InvertedIndex,
+    Posting,
+    TermContributions,
+)
 from repro.ir.persist import (
     DocumentStore,
     SnapshotJournal,
     compact_snapshot,
     load_document_store,
     load_snapshot,
+    open_scoring_snapshot,
     save_document_store,
     save_snapshot,
 )
@@ -43,6 +50,7 @@ __all__ = [
     "Analyzer",
     "STOPWORDS",
     "Document",
+    "ColumnarIndexSnapshot",
     "IndexSnapshot",
     "InvertedIndex",
     "Posting",
@@ -55,6 +63,7 @@ __all__ = [
     "wand_scores",
     "save_snapshot",
     "load_snapshot",
+    "open_scoring_snapshot",
     "save_document_store",
     "load_document_store",
     "compact_snapshot",

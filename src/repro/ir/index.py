@@ -28,7 +28,8 @@ from repro.errors import IndexError_
 from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document
 
-__all__ = ["Posting", "TermContributions", "InvertedIndex", "IndexSnapshot"]
+__all__ = ["Posting", "TermContributions", "InvertedIndex", "IndexSnapshot",
+           "ColumnarIndexSnapshot"]
 
 
 @dataclass(frozen=True)
@@ -265,6 +266,13 @@ class IndexSnapshot:
     ``len(snapshot)``.
     """
 
+    #: Path of the mmap-backed columnar container this snapshot serves
+    #: from, when any (set by :class:`ColumnarIndexSnapshot`); ``None``
+    #: for live and fully-materialized snapshots.  Shard executors use it
+    #: to hand worker processes a *path* to mmap instead of a pickled
+    #: snapshot (see :class:`~repro.ir.shard.ShardedTopK`).
+    mmap_path = None
+
     def __init__(self, *, version: int, analyzer: Analyzer,
                  documents: dict[str, Document],
                  postings: dict[str, tuple[Posting, ...]],
@@ -438,3 +446,98 @@ class IndexSnapshot:
         state["_contributions"] = {}
         state["_block_bounds"] = {}
         return state
+
+
+def _rebuild_plain_snapshot(version, analyzer, documents, postings,
+                            doc_lengths, doc_frequencies, document_count,
+                            average_document_length,
+                            min_document_length) -> "IndexSnapshot":
+    """Unpickle target for :meth:`ColumnarIndexSnapshot.__reduce__` — a
+    column-backed snapshot crosses process boundaries as a plain,
+    fully-materialized snapshot (an mmap handle cannot)."""
+    return IndexSnapshot(
+        version=version, analyzer=analyzer, documents=documents,
+        postings=postings, doc_lengths=doc_lengths,
+        doc_frequencies=doc_frequencies, document_count=document_count,
+        average_document_length=average_document_length,
+        min_document_length=min_document_length,
+    )
+
+
+class ColumnarIndexSnapshot(IndexSnapshot):
+    """A snapshot whose postings/contribution/block-bound data live in an
+    mmap-backed columnar container (:mod:`repro.ir.persist` format v3).
+
+    Behaves exactly like a plain :class:`IndexSnapshot` — the ``postings``
+    and ``documents`` mappings it is handed are lazy views that
+    materialize per term (or per document blob) straight out of the
+    mmap'd columns — but additionally consults *persisted* per-(scorer,
+    term) contribution and block-bound columns before computing them,
+    so the scorers the save precomputed for skip the arithmetic
+    entirely on load.  ``backing`` is duck-typed (see
+    ``repro.ir.persist._V3Backing``): it must provide
+    ``term_contributions(scorer_key, term)`` and
+    ``term_block_bounds(scorer_key, term, block_size)``, each returning
+    ``None`` when no matching column was persisted.
+
+    Float-exactness holds either way: persisted columns are bit-exact
+    float64 round trips of the same arithmetic the lazy path runs.
+    """
+
+    def __init__(self, *, backing, mmap_path, **kwargs):
+        super().__init__(**kwargs)
+        self._backing = backing
+        self.mmap_path = mmap_path
+
+    def term_contributions(self, scorer, term: str) -> TermContributions:
+        key = (scorer.cache_key(), term)
+        cached = self._contributions.get(key)
+        if cached is None:
+            cached = self._backing.term_contributions(key[0], term)
+            if cached is None:
+                return super().term_contributions(scorer, term)
+            self._contributions[key] = cached
+        return cached
+
+    def term_block_bounds(self, scorer, term: str,
+                          block_size: int) -> tuple[float, ...]:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        key = (scorer.cache_key(), term, block_size)
+        cached = self._block_bounds.get(key)
+        if cached is None:
+            cached = self._backing.term_block_bounds(key[0], term, block_size)
+            if cached is None:
+                return super().term_block_bounds(scorer, term, block_size)
+            self._block_bounds[key] = cached
+        return cached
+
+    def scoring_view(self) -> "IndexSnapshot":
+        """A document-free view that *keeps* the columnar backing (and
+        :attr:`mmap_path`), so shard executors can still route workers to
+        the file instead of pickling the view."""
+        return ColumnarIndexSnapshot(
+            backing=self._backing,
+            mmap_path=self.mmap_path,
+            version=self.version,
+            analyzer=self.analyzer,
+            documents={},
+            postings=self._postings,
+            doc_lengths=self._doc_lengths,
+            doc_frequencies=self._doc_frequencies,
+            document_count=self.document_count,
+            average_document_length=self.average_document_length,
+            min_document_length=self.min_document_length,
+        )
+
+    def __reduce__(self):
+        # Pickling safety net: materialize everything (mmap handles do not
+        # cross process boundaries).  The shard executors avoid this cost
+        # by shipping mmap_path instead — this path only runs when a
+        # caller pickles a columnar snapshot directly.
+        return (_rebuild_plain_snapshot, (
+            self.version, self.analyzer, dict(self._documents),
+            dict(self._postings), dict(self._doc_lengths),
+            dict(self._doc_frequencies), self.document_count,
+            self.average_document_length, self.min_document_length,
+        ))

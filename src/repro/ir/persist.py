@@ -6,15 +6,40 @@ two across process lifetimes: :func:`save_snapshot` writes a snapshot to
 disk once, :func:`load_snapshot` brings it back in a form that serves
 queries with no live :class:`~repro.ir.index.InvertedIndex` behind it.
 
-``docs/PERSISTENCE.md`` specifies the on-disk formats precisely (record
-grammars, checksum rules, version negotiation, compaction semantics); this
-docstring is the orientation summary.
+``docs/PERSISTENCE.md`` specifies the on-disk formats precisely (byte
+layouts, record grammars, checksum rules, version negotiation, compaction
+semantics); this docstring is the orientation summary.
 
-Format version 2 (current)
+Format version 3 (current)
 --------------------------
 
+Version 3 is a **binary columnar container** built for mmap zero-copy
+loads: a fixed-size struct header, a JSON meta blob (the same keys the v2
+header carried — analyzer, collection statistics, docstore/shard/bloom),
+a JSON *term directory* mapping each term to the byte extents of its
+columns, and a columns region holding fixed-width little-endian arrays —
+u32 interned doc positions and float64 weighted frequencies per term,
+float64 document lengths, plus optional per-(scorer, term) contribution
+and block-max bound columns precomputed at save time.  Every column (and
+the meta/directory blobs) carries a sha256 checksum, verified lazily on
+first access.
+
+Loading (:func:`load_snapshot`) maps the file with :mod:`mmap` and parses
+only the header, meta, and directory — O(header + directory), not
+O(postings) — returning a :class:`~repro.ir.index.ColumnarIndexSnapshot`
+whose postings materialize per term on demand straight out of the mapped
+columns.  N shard workers mapping the same file share one OS page cache
+instead of N parsed heaps; :func:`open_scoring_snapshot` is the worker
+entry point (documents skipped entirely).  Float-exactness is preserved
+across formats: float64 columns round-trip bit-exactly, so a v3 load is
+rank-and-score identical to the v2 load and the live index it came from.
+
+Format version 2
+----------------
+
 Version 2 splits a saved generation into a **document store** plus
-**postings overlays**:
+**postings overlays** (JSON-lines; still written by
+:func:`save_snapshot_v2`, still loaded transparently):
 
 - A *document store* file (:func:`save_document_store`) holds every
   decorated instance document — and its weighted length — exactly once.
@@ -40,15 +65,17 @@ compatibility tests and size comparisons.
 Delta segments
 --------------
 
-A version-2 snapshot file may carry **delta segments** after its base
-footer: each segment is one ``delta`` record (new inline documents,
-postings additions, refreshed collection statistics) followed by a
-``delta-end`` record with a sha256 of the segment line.  Appending a delta
-is O(new documents), not O(file) — :class:`SnapshotJournal` hooks
+A version-2 or version-3 snapshot file may carry **delta segments** after
+its base (after the footer line for v2, after the columns region for v3):
+each segment is one ``delta`` record (new inline documents, postings
+additions, refreshed collection statistics) followed by a ``delta-end``
+record with a sha256 of the segment line.  Appending a delta is O(new
+documents), not O(file) — :class:`SnapshotJournal` hooks
 :meth:`~repro.ir.index.InvertedIndex.add` so every add appends a
 checksummed segment instead of rewriting the snapshot, and compaction
 (:func:`compact_snapshot`, or the journal's threshold) folds segments back
-into a clean base.
+into a clean base.  A v3 file with deltas loads eagerly (deltas mutate
+postings, which forfeits the lazy column view until the next compaction).
 
 Fidelity
 --------
@@ -67,18 +94,30 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
+import struct
+import sys
+from array import array
+from collections.abc import Mapping
 from pathlib import Path
 
 from repro.errors import SnapshotError
 from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document
-from repro.ir.index import IndexSnapshot, InvertedIndex, Posting
+from repro.ir.index import (
+    ColumnarIndexSnapshot,
+    IndexSnapshot,
+    InvertedIndex,
+    Posting,
+    TermContributions,
+)
 
 __all__ = [
     "FORMAT_MAGIC",
     "FORMAT_VERSION",
     "SUPPORTED_VERSIONS",
+    "V3_MAGIC",
     "STORE_MAGIC",
     "STORE_VERSION",
     "DEFAULT_COMPACT_THRESHOLD",
@@ -86,8 +125,10 @@ __all__ = [
     "SnapshotJournal",
     "save_snapshot",
     "save_snapshot_v1",
+    "save_snapshot_v2",
     "load_snapshot",
     "load_snapshot_with_header",
+    "open_scoring_snapshot",
     "save_document_store",
     "load_document_store",
     "load_document_store_partition",
@@ -98,8 +139,19 @@ __all__ = [
 ]
 
 FORMAT_MAGIC = "qunits-snapshot"
-FORMAT_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+FORMAT_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
+#: First bytes of a version-3 binary columnar container (12 bytes; the
+#: trailing newline makes an accidental text-mode read fail fast).
+V3_MAGIC = b"qunits-col3\n"
+
+#: Posting-list length below which contribution/block-bound columns are
+#: not persisted (lazy recomputation is cheaper than the bytes).
+_PRECOMPUTE_MIN_POSTINGS = 16
+#: Fixed-size v3 container header: magic, format version, then byte
+#: extents of the meta blob, term directory, and columns region, then
+#: raw sha256 digests of the meta and directory blobs.
+_V3_HEADER = struct.Struct("<12sI6Q32s32s")
 STORE_MAGIC = "qunits-docstore"
 STORE_VERSION = 1
 #: Minimum number of delta segments before a :class:`SnapshotJournal`
@@ -210,6 +262,8 @@ def _read_lines(path: Path) -> list[str]:
     except OSError as exc:
         raise SnapshotError(
             f"cannot read snapshot file {str(path)!r}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise _corrupt(path, f"not UTF-8 text ({exc})") from exc
 
 
 # -- document store ----------------------------------------------------------
@@ -454,6 +508,12 @@ def read_snapshot_doc_ids(path: str | os.PathLike) -> list[str]:
             unsupported format version.
     """
     path = Path(path)
+    if _probe_magic(path) == V3_MAGIC:
+        backing = _V3Backing.open(path)
+        try:
+            return list(backing.doc_ids)
+        finally:
+            backing.close()
     try:
         with open(path, encoding="utf-8") as handle:
             first = handle.readline()
@@ -486,6 +546,61 @@ def read_snapshot_doc_ids(path: str | os.PathLike) -> list[str]:
     except OSError as exc:
         raise SnapshotError(
             f"cannot read snapshot file {str(path)!r}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise _corrupt(path, f"not UTF-8 text ({exc})") from exc
+
+
+# -- binary columns (format v3) ----------------------------------------------
+
+
+def _pack_u32(values) -> bytes:
+    """``values`` as a little-endian u32 array (portable across byte
+    orders; falls back to :mod:`struct` on exotic ``array`` sizes)."""
+    data = array("I", values)
+    if data.itemsize != 4:
+        return struct.pack(f"<{len(data)}I", *data)
+    if sys.byteorder != "little":
+        data.byteswap()
+    return data.tobytes()
+
+
+def _unpack_u32(buffer):
+    """Inverse of :func:`_pack_u32`; returns an int sequence."""
+    data = array("I")
+    if data.itemsize != 4:
+        return struct.unpack(f"<{len(buffer) // 4}I", bytes(buffer))
+    data.frombytes(buffer)
+    if sys.byteorder != "little":
+        data.byteswap()
+    return data
+
+
+def _pack_f64(values) -> bytes:
+    """``values`` as a little-endian float64 array (bit-exact)."""
+    data = array("d", values)
+    if sys.byteorder != "little":
+        data.byteswap()
+    return data.tobytes()
+
+
+def _unpack_f64(buffer):
+    """Inverse of :func:`_pack_f64`; returns a float sequence."""
+    data = array("d")
+    data.frombytes(buffer)
+    if sys.byteorder != "little":
+        data.byteswap()
+    return data
+
+
+def _default_precompute_scorers():
+    """Scorers whose per-term contribution/block-bound columns
+    :func:`save_snapshot` persists: the default BM25 configuration —
+    what the collection layer scores with unless told otherwise.  Other
+    scorers fall back to lazy computation on load (identical floats,
+    just not prepaid)."""
+    from repro.ir.scoring import Bm25Scorer
+
+    return (Bm25Scorer(),)
 
 
 # -- snapshot writers --------------------------------------------------------
@@ -493,9 +608,164 @@ def read_snapshot_doc_ids(path: str | os.PathLike) -> list[str]:
 
 def save_snapshot(snapshot: IndexSnapshot, path: str | os.PathLike, *,
                   docstore: str | None = None, shard: dict | None = None,
-                  bloom: dict | None = None) -> Path:
-    """Write ``snapshot`` to ``path`` in the version-2 format; returns it.
+                  bloom: dict | None = None, precompute: bool = True) -> Path:
+    """Write ``snapshot`` to ``path`` in the version-3 binary columnar
+    container; returns the path.
 
+    The file is written to a temporary sibling and renamed into place, so
+    readers never observe a half-written snapshot.  Any delta segments a
+    previous file at ``path`` carried are folded away by the rewrite.
+
+    Layout: the :data:`V3_MAGIC` struct header, a JSON meta blob carrying
+    the same keys the v2 header line did, a JSON term directory (term →
+    df and column extents), then the columns region — per-term u32
+    interned-doc-position and float64 weighted-frequency columns, the
+    float64 document-length column, the doc_id list blob, inline
+    documents (standalone layout only), and per-(scorer, term)
+    contribution/block-bound columns for the default scorers.  Every
+    column carries a sha256, verified lazily on load.
+
+    Args:
+        snapshot: the frozen snapshot to persist.
+        docstore: file name (relative to ``path``'s directory) of the
+            document store the snapshot's documents live in.  When given,
+            the file stores no document bodies — the deduplicated layout;
+            the caller is responsible for the store actually covering the
+            snapshot's doc_ids.  When ``None``, documents are inlined
+            (standalone layout).
+        shard: optional ``{"index": i, "count": n}`` partition coordinates
+            recorded in the meta blob (see :mod:`repro.ir.shard`).
+        bloom: optional serialized term Bloom filter
+            (:meth:`~repro.ir.shard.TermBloomFilter.to_dict`) recorded in
+            the meta blob so routers can read it without parsing postings.
+        precompute: also persist contribution and block-max bound columns
+            for the default scorers, so loads serve the hot path without
+            recomputing them.
+
+    Raises:
+        SnapshotError: if a document carries unserializable metadata.
+    """
+    path = Path(path)
+    doc_ids = sorted(snapshot._documents)
+    terms = sorted(snapshot._postings)
+    position = {doc_id: i for i, doc_id in enumerate(doc_ids)}
+
+    columns = bytearray()
+
+    def add_column(payload: bytes) -> list:
+        offset = len(columns)
+        columns.extend(payload)
+        return [offset, len(payload),
+                hashlib.sha256(payload).hexdigest()]
+
+    docs_directory = {
+        "doc_ids": add_column(_dumps(doc_ids).encode("utf-8")),
+        "doc_lengths": add_column(_pack_f64(
+            snapshot._doc_lengths[doc_id] for doc_id in doc_ids)),
+        "documents": None,
+    }
+    if docstore is None:
+        records = [_doc_record(doc_id, snapshot._documents[doc_id],
+                               snapshot._doc_lengths[doc_id])
+                   for doc_id in doc_ids]
+        docs_directory["documents"] = add_column(
+            _dumps(records).encode("utf-8"))
+
+    terms_directory = {}
+    for term in terms:
+        plist = snapshot._postings[term]
+        terms_directory[term] = {
+            "df": snapshot._doc_frequencies.get(term, len(plist)),
+            "n": len(plist),
+            "pos": add_column(_pack_u32(
+                position[posting.doc_id] for posting in plist)),
+            "tf": add_column(_pack_f64(
+                posting.weighted_tf for posting in plist)),
+        }
+
+    scorers_directory = {}
+    if precompute:
+        from repro.ir.wand import term_block_size
+
+        for scorer in _default_precompute_scorers():
+            per_term = {}
+            for term in terms:
+                plist = snapshot._postings[term]
+                if len(plist) < _PRECOMPUTE_MIN_POSTINGS:
+                    # Long-tail terms recompute lazily in microseconds;
+                    # column + directory overhead would dominate their
+                    # on-disk footprint.
+                    continue
+                plan = snapshot.term_contributions(scorer, term)
+                if len(plan.doc_ids) != len(plist) or any(
+                        doc_id != posting.doc_id for doc_id, posting
+                        in zip(plan.doc_ids, plist)):
+                    # The scorer's contributions do not align with the
+                    # postings order; a load could not reconstruct the
+                    # doc_ids, so leave this term to the lazy path.
+                    continue
+                block_size = term_block_size(len(plan.doc_ids))
+                blocks = snapshot.term_block_bounds(scorer, term, block_size)
+                per_term[term] = {
+                    "contrib": add_column(_pack_f64(plan.contributions)),
+                    "bound": plan.bound,
+                    "block_size": block_size,
+                    "blocks": add_column(_pack_f64(blocks)),
+                }
+            if per_term:
+                scorers_directory[repr(scorer.cache_key())] = per_term
+
+    meta = {
+        "magic": FORMAT_MAGIC,
+        "format_version": FORMAT_VERSION,
+        "index_version": snapshot.version,
+        "analyzer": snapshot.analyzer.config(),
+        "document_count": snapshot.document_count,
+        "average_document_length": snapshot.average_document_length,
+        "min_document_length": snapshot.min_document_length,
+        "stored_documents": len(doc_ids),
+        "stored_terms": len(terms),
+        "docstore": docstore,
+        "shard": shard,
+        "bloom": bloom,
+    }
+    directory = {
+        "docs": docs_directory,
+        "terms": terms_directory,
+        "scorers": scorers_directory,
+    }
+    meta_blob = _dumps(meta).encode("utf-8")
+    dir_blob = _dumps(directory).encode("utf-8")
+    meta_off = _V3_HEADER.size
+    dir_off = meta_off + len(meta_blob)
+    cols_off = dir_off + len(dir_blob)
+    header = _V3_HEADER.pack(
+        V3_MAGIC, FORMAT_VERSION, meta_off, len(meta_blob), dir_off,
+        len(dir_blob), cols_off, len(columns),
+        hashlib.sha256(meta_blob).digest(), hashlib.sha256(dir_blob).digest())
+
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(header)
+            handle.write(meta_blob)
+            handle.write(dir_blob)
+            handle.write(columns)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+    os.replace(tmp_path, path)
+    return path
+
+
+def save_snapshot_v2(snapshot: IndexSnapshot, path: str | os.PathLike, *,
+                     docstore: str | None = None, shard: dict | None = None,
+                     bloom: dict | None = None) -> Path:
+    """Write ``snapshot`` to ``path`` in the version-2 JSON-lines format;
+    returns the path.
+
+    Kept for compatibility tests and for measuring what the columnar
+    version-3 container buys; new code should use :func:`save_snapshot`.
     The file is written to a temporary sibling and renamed into place, so
     readers never observe a half-written snapshot.  Any delta segments a
     previous file at ``path`` carried are folded away by the rewrite.
@@ -522,7 +792,7 @@ def save_snapshot(snapshot: IndexSnapshot, path: str | os.PathLike, *,
     terms = sorted(snapshot._postings)
     header = {
         "magic": FORMAT_MAGIC,
-        "format_version": FORMAT_VERSION,
+        "format_version": 2,
         "index_version": snapshot.version,
         "analyzer": snapshot.analyzer.config(),
         "document_count": snapshot.document_count,
@@ -602,26 +872,425 @@ def save_snapshot_v1(snapshot: IndexSnapshot, path: str | os.PathLike) -> Path:
     return _write_checksummed(path, records())
 
 
+# -- columnar container access (format v3) -----------------------------------
+
+
+def _probe_magic(path: Path) -> bytes:
+    """The file's first ``len(V3_MAGIC)`` bytes (format sniffing)."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(V3_MAGIC))
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read snapshot file {str(path)!r}: {exc}") from exc
+
+
+def _read_v3_struct(path: Path, handle) -> tuple:
+    """Read and validate the fixed container header from ``handle``
+    (positioned at 0); returns the unpacked extent/digest fields."""
+    raw = handle.read(_V3_HEADER.size)
+    if len(raw) < _V3_HEADER.size:
+        raise _corrupt(path, "truncated container header")
+    (magic, version, meta_off, meta_len, dir_off, dir_len, cols_off,
+     cols_len, meta_sha, dir_sha) = _V3_HEADER.unpack(raw)
+    if magic != V3_MAGIC:
+        raise _corrupt(path, "not a qunits snapshot file (bad magic)")
+    if version != 3:
+        raise SnapshotError(
+            f"snapshot file {str(path)!r} has format version {version!r}; "
+            f"this build reads versions {SUPPORTED_VERSIONS}"
+        )
+    return (meta_off, meta_len, dir_off, dir_len, cols_off, cols_len,
+            meta_sha, dir_sha)
+
+
+def _parse_blob(path: Path, blob: bytes, what: str) -> dict:
+    try:
+        parsed = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise _corrupt(path, f"{what} is not valid JSON ({exc})") from exc
+    if not isinstance(parsed, dict):
+        raise _corrupt(path, f"{what} is not a JSON object")
+    return parsed
+
+
+def _read_v3_meta(path: Path) -> dict:
+    """The meta blob of a v3 container — header-struct plus one seek;
+    no term directory or column I/O (the router-cheap path)."""
+    try:
+        with open(path, "rb") as handle:
+            (meta_off, meta_len, _dir_off, _dir_len, _cols_off, _cols_len,
+             meta_sha, _dir_sha) = _read_v3_struct(path, handle)
+            handle.seek(meta_off)
+            meta_blob = handle.read(meta_len)
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read snapshot file {str(path)!r}: {exc}") from exc
+    if len(meta_blob) < meta_len:
+        raise _corrupt(path, "truncated meta blob (truncated?)")
+    if hashlib.sha256(meta_blob).digest() != meta_sha:
+        raise _corrupt(path, "meta checksum mismatch (corrupted)")
+    return _parse_blob(path, meta_blob, "meta blob")
+
+
+class _V3Backing:
+    """An open mmap over one v3 container, shared by every lazy view of
+    the snapshot.
+
+    Owns the map plus the parsed meta/directory, materializes individual
+    columns on demand, and verifies each column's sha256 exactly once (on
+    first touch — cold start never pays for columns it does not read).
+    The mapping is read-only; it is closed explicitly by transient users
+    (header/doc_id reads) and otherwise lives as long as the snapshot
+    referencing it, keeping the file's inode alive even across a
+    concurrent re-save/prune of the generation (POSIX semantics).
+    """
+
+    def __init__(self, path: Path, handle, view: mmap.mmap, meta: dict,
+                 directory: dict, cols_off: int, cols_len: int):
+        self.path = path
+        self._handle = handle
+        self._view = view
+        self.meta = meta
+        self.directory = directory
+        self._cols_off = cols_off
+        self._cols_len = cols_len
+        self.container_end = cols_off + cols_len
+        self._verified: set[tuple[int, int]] = set()
+        self._term_doc_ids: dict[str, tuple[str, ...]] = {}
+        try:
+            docs = directory["docs"]
+            self.term_directory = directory["terms"]
+            self._scorer_directory = directory.get("scorers", {})
+            doc_ids = json.loads(
+                self.column(docs["doc_ids"]).decode("utf-8"))
+        except (KeyError, TypeError) as exc:
+            self.close()
+            raise _corrupt(
+                path, f"malformed term directory ({exc!r})") from exc
+        except (ValueError, UnicodeDecodeError) as exc:
+            self.close()
+            raise _corrupt(
+                path, f"doc_id column is not valid JSON ({exc})") from exc
+        except SnapshotError:
+            self.close()
+            raise
+        if not isinstance(doc_ids, list) or \
+                not all(isinstance(doc_id, str) for doc_id in doc_ids):
+            self.close()
+            raise _corrupt(path, "doc_id column is not a list of strings")
+        self.doc_ids: list[str] = doc_ids
+
+    @classmethod
+    def open(cls, path: Path) -> "_V3Backing":
+        try:
+            handle = open(path, "rb")
+        except OSError as exc:
+            raise SnapshotError(
+                f"cannot read snapshot file {str(path)!r}: {exc}") from exc
+        try:
+            (meta_off, meta_len, dir_off, dir_len, cols_off, cols_len,
+             meta_sha, dir_sha) = _read_v3_struct(path, handle)
+            size = os.fstat(handle.fileno()).st_size
+            if size < cols_off + cols_len:
+                raise _corrupt(
+                    path, f"file is {size} bytes but the header promises "
+                          f"{cols_off + cols_len} (truncated?)")
+            try:
+                view = mmap.mmap(handle.fileno(), 0,
+                                 access=mmap.ACCESS_READ)
+            except (OSError, ValueError) as exc:
+                raise _corrupt(path, f"cannot mmap ({exc})") from exc
+        except BaseException:
+            handle.close()
+            raise
+        try:
+            meta_blob = view[meta_off:meta_off + meta_len]
+            if hashlib.sha256(meta_blob).digest() != meta_sha:
+                raise _corrupt(path, "meta checksum mismatch (corrupted)")
+            dir_blob = view[dir_off:dir_off + dir_len]
+            if hashlib.sha256(dir_blob).digest() != dir_sha:
+                raise _corrupt(
+                    path, "term directory checksum mismatch (corrupted)")
+            meta = _parse_blob(path, meta_blob, "meta blob")
+            directory = _parse_blob(path, dir_blob, "term directory")
+        except BaseException:
+            view.close()
+            handle.close()
+            raise
+        return cls(path, handle, view, meta, directory, cols_off, cols_len)
+
+    def close(self) -> None:
+        self._view.close()
+        self._handle.close()
+
+    # -- columns -------------------------------------------------------------
+
+    def column(self, descriptor) -> bytes:
+        """The raw bytes of one column, sha256-verified on first access."""
+        try:
+            offset, length, sha = descriptor
+            offset = int(offset)
+            length = int(length)
+        except (TypeError, ValueError) as exc:
+            raise _corrupt(
+                self.path,
+                f"malformed column descriptor {descriptor!r}") from exc
+        if offset < 0 or length < 0 or offset + length > self._cols_len:
+            raise _corrupt(
+                self.path,
+                f"column [{offset}, {length}] exceeds the {self._cols_len}"
+                f"-byte columns region (truncated?)")
+        start = self._cols_off + offset
+        payload = self._view[start:start + length]
+        key = (offset, length)
+        if key not in self._verified:
+            if hashlib.sha256(payload).hexdigest() != sha:
+                raise _corrupt(self.path,
+                               "column checksum mismatch (corrupted)")
+            self._verified.add(key)
+        return payload
+
+    def _term_entry(self, term: str) -> dict:
+        entry = self.term_directory[term]  # KeyError = unknown term
+        if not isinstance(entry, dict):
+            raise _corrupt(self.path,
+                           f"malformed directory entry for term {term!r}")
+        return entry
+
+    def term_doc_ids(self, term: str) -> tuple[str, ...]:
+        """The term's doc_ids, resolved from its interned-position column
+        (cached per term — contributions reuse the postings' resolution)."""
+        cached = self._term_doc_ids.get(term)
+        if cached is None:
+            entry = self._term_entry(term)
+            try:
+                positions = _unpack_u32(self.column(entry["pos"]))
+            except KeyError as exc:
+                raise _corrupt(
+                    self.path, f"term {term!r} directory entry is missing "
+                               f"its {exc.args[0]!r} column") from exc
+            doc_ids = self.doc_ids
+            try:
+                cached = tuple(doc_ids[i] for i in positions)
+            except IndexError:
+                raise _corrupt(
+                    self.path,
+                    f"term {term!r} references a document position outside "
+                    f"this file's {len(doc_ids)} document records") from None
+            self._term_doc_ids[term] = cached
+        return cached
+
+    def term_postings(self, term: str) -> tuple[Posting, ...]:
+        """Materialize one term's postings tuple from its columns.
+
+        Raises ``KeyError`` for a term the directory does not hold (the
+        lazy postings mapping's contract) and ``SnapshotError`` for
+        malformed or corrupted columns.
+        """
+        entry = self._term_entry(term)
+        doc_ids = self.term_doc_ids(term)
+        try:
+            tfs = _unpack_f64(self.column(entry["tf"]))
+        except KeyError as exc:
+            raise _corrupt(
+                self.path, f"term {term!r} directory entry is missing its "
+                           f"{exc.args[0]!r} column") from exc
+        if len(tfs) != len(doc_ids):
+            raise _corrupt(
+                self.path, f"term {term!r} has {len(doc_ids)} positions "
+                           f"but {len(tfs)} frequencies")
+        return tuple(Posting(doc_id, tf)
+                     for doc_id, tf in zip(doc_ids, tfs))
+
+    def term_contributions(self, scorer_key, term: str):
+        """The persisted :class:`~repro.ir.index.TermContributions` for
+        ``(scorer_key, term)``, or ``None`` when none was saved."""
+        per_term = self._scorer_directory.get(repr(scorer_key))
+        entry = per_term.get(term) if isinstance(per_term, dict) else None
+        if entry is None or term not in self.term_directory:
+            return None
+        try:
+            contributions = tuple(_unpack_f64(self.column(entry["contrib"])))
+            bound = entry["bound"]
+        except (TypeError, KeyError) as exc:
+            raise _corrupt(
+                self.path, f"malformed contribution entry for term "
+                           f"{term!r} ({exc!r})") from exc
+        doc_ids = self.term_doc_ids(term)
+        if len(contributions) != len(doc_ids):
+            raise _corrupt(
+                self.path, f"term {term!r} has {len(doc_ids)} postings but "
+                           f"{len(contributions)} persisted contributions")
+        return TermContributions(doc_ids, contributions, bound)
+
+    def term_block_bounds(self, scorer_key, term: str, block_size: int):
+        """The persisted block-max bounds for ``(scorer_key, term)`` at
+        exactly ``block_size``, or ``None`` when none match."""
+        per_term = self._scorer_directory.get(repr(scorer_key))
+        entry = per_term.get(term) if isinstance(per_term, dict) else None
+        if entry is None or not isinstance(entry, dict) or \
+                entry.get("block_size") != block_size:
+            return None
+        try:
+            blocks = tuple(_unpack_f64(self.column(entry["blocks"])))
+        except KeyError as exc:
+            raise _corrupt(
+                self.path, f"malformed block-bound entry for term "
+                           f"{term!r} ({exc!r})") from exc
+        n = len(self.term_doc_ids(term))
+        if len(blocks) != -(-n // block_size):
+            raise _corrupt(
+                self.path, f"term {term!r} has {len(blocks)} block bounds "
+                           f"for {n} postings at block size {block_size}")
+        return blocks
+
+    # -- documents and deltas ------------------------------------------------
+
+    def doc_lengths_mapping(self) -> dict[str, float]:
+        """``doc_id -> weighted length`` from the length column."""
+        try:
+            lengths = _unpack_f64(
+                self.column(self.directory["docs"]["doc_lengths"]))
+        except (TypeError, KeyError) as exc:
+            raise _corrupt(self.path,
+                           "missing document length column") from exc
+        if len(lengths) != len(self.doc_ids):
+            raise _corrupt(
+                self.path, f"{len(self.doc_ids)} documents but "
+                           f"{len(lengths)} stored lengths")
+        return dict(zip(self.doc_ids, lengths))
+
+    def inline_documents(self) -> dict[str, Document]:
+        """Parse the standalone layout's inline document blob (one whole-
+        blob parse, on first document access)."""
+        descriptor = self.directory["docs"].get("documents")
+        if descriptor is None:
+            raise _corrupt(
+                self.path, "snapshot is docstore-backed but was asked for "
+                           "inline documents")
+        try:
+            records = json.loads(self.column(descriptor).decode("utf-8"))
+            documents = {}
+            for record in records:
+                doc_id, document, _length = _doc_from_record(record)
+                documents[doc_id] = document
+        except (KeyError, TypeError, ValueError,
+                UnicodeDecodeError) as exc:
+            raise _corrupt(
+                self.path, f"malformed document blob ({exc!r})") from exc
+        if set(documents) != set(self.doc_ids):
+            raise _corrupt(self.path,
+                           "document blob does not match the doc_id column")
+        return documents
+
+    def delta_lines(self) -> list[str]:
+        """Any delta-segment text trailing the container, as lines."""
+        if len(self._view) <= self.container_end:
+            return []
+        tail = self._view[self.container_end:]
+        try:
+            text = tail.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise _corrupt(
+                self.path, f"delta tail is not UTF-8 ({exc})") from exc
+        return text.splitlines(keepends=True)
+
+
+class _LazyPostings(Mapping):
+    """``term -> tuple[Posting, ...]`` materialized per term from the
+    mmap'd columns, cached after first touch.  Pickles as a plain dict
+    (materializing everything) — mmap handles do not cross processes."""
+
+    __slots__ = ("_backing", "_cache")
+
+    def __init__(self, backing: _V3Backing):
+        self._backing = backing
+        self._cache: dict[str, tuple[Posting, ...]] = {}
+
+    def __getitem__(self, term: str) -> tuple[Posting, ...]:
+        try:
+            return self._cache[term]
+        except KeyError:
+            pass
+        plist = self._backing.term_postings(term)
+        self._cache[term] = plist
+        return plist
+
+    def __iter__(self):
+        return iter(self._backing.term_directory)
+
+    def __len__(self) -> int:
+        return len(self._backing.term_directory)
+
+    def __contains__(self, term) -> bool:
+        return term in self._backing.term_directory
+
+    def __reduce__(self):
+        return (dict, (dict(self),))
+
+
+class _LazyDocuments(Mapping):
+    """``doc_id -> Document`` for the standalone layout: keys come from
+    the (eagerly loaded) doc_id column, bodies from one whole-blob parse
+    deferred until the first document access.  Pickles as a plain dict."""
+
+    __slots__ = ("_backing", "_documents", "_ids")
+
+    def __init__(self, backing: _V3Backing):
+        self._backing = backing
+        self._documents: dict[str, Document] | None = None
+        self._ids: frozenset[str] | None = None
+
+    def _materialized(self) -> dict[str, Document]:
+        if self._documents is None:
+            self._documents = self._backing.inline_documents()
+        return self._documents
+
+    def __getitem__(self, doc_id: str) -> Document:
+        return self._materialized()[doc_id]
+
+    def __iter__(self):
+        return iter(self._backing.doc_ids)
+
+    def __len__(self) -> int:
+        return len(self._backing.doc_ids)
+
+    def __contains__(self, doc_id) -> bool:
+        if self._ids is None:
+            self._ids = frozenset(self._backing.doc_ids)
+        return doc_id in self._ids
+
+    def __reduce__(self):
+        return (dict, (dict(self),))
+
+
 # -- snapshot readers --------------------------------------------------------
 
 
 def read_snapshot_header(path: str | os.PathLike) -> dict:
-    """The parsed header line of a snapshot file (magic/version checked).
+    """The parsed header of a snapshot file (magic/version checked).
 
-    Reads one line only — cheap enough for routers that need a shard
-    file's Bloom filter or partition coordinates without its postings.
+    Cheap enough for routers that need a shard file's Bloom filter or
+    partition coordinates without its postings: one line for JSON-lines
+    formats, the fixed struct header plus the meta blob for v3
+    containers (the term directory and columns are not touched).
 
     Raises:
         SnapshotError: on unreadable files, bad magic, or an unsupported
             format version.
     """
     path = Path(path)
+    if _probe_magic(path) == V3_MAGIC:
+        return _read_v3_meta(path)
     try:
         with open(path, encoding="utf-8") as handle:
             first = handle.readline()
     except OSError as exc:
         raise SnapshotError(
             f"cannot read snapshot file {str(path)!r}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise _corrupt(path, f"header is not UTF-8 ({exc})") from exc
     if not first:
         raise _corrupt(path, "empty file")
     header = _parse_line(path, first, "header")
@@ -689,6 +1358,8 @@ def delta_segment_count(path: str | os.PathLike) -> int:
 
 def _load_snapshot_file(path: Path, store: DocumentStore | None,
                         ) -> tuple[IndexSnapshot, dict, int]:
+    if _probe_magic(path) == V3_MAGIC:
+        return _load_v3(path, store)
     lines = _read_lines(path)
     if len(lines) < 2:
         raise _corrupt(path, "missing header or footer (truncated?)")
@@ -888,6 +1559,175 @@ def _load_v2(path: Path, lines: list[str], header: dict,
         raise _corrupt(path, f"malformed record structure ({exc})") from exc
 
 
+def _resolve_v3_store(path: Path, backing: _V3Backing,
+                      store: DocumentStore | None) -> DocumentStore | None:
+    """Resolve (and analyzer-check) the document store a v3 container's
+    meta names, mirroring the v2 ``ref`` resolution rules."""
+    docstore_name = backing.meta.get("docstore")
+    if docstore_name is not None and store is None:
+        store = load_document_store(path.parent / docstore_name)
+    if store is not None:
+        analyzer = Analyzer.from_config(backing.meta.get("analyzer", {}))
+        if store.analyzer != analyzer:
+            raise SnapshotError(
+                f"snapshot {str(path)!r} was built with analyzer "
+                f"{analyzer!r}, but its document store uses "
+                f"{store.analyzer!r}; refusing to mix tokenizations"
+            )
+    return store
+
+
+def _v3_documents(path: Path, backing: _V3Backing,
+                  store: DocumentStore | None):
+    """The documents mapping for a v3 load: store-shared dict for the
+    docstore layout, a lazily parsed view for the standalone layout."""
+    if backing.meta.get("docstore") is not None:
+        if store is None:
+            raise _corrupt(
+                path, "snapshot references a document store but the meta "
+                      "blob names none")
+        documents: dict[str, Document] = {}
+        for doc_id in backing.doc_ids:
+            if doc_id not in store.documents:
+                raise _corrupt(
+                    path, f"document {doc_id!r} is not in the document "
+                          f"store")
+            documents[doc_id] = store.documents[doc_id]
+        return documents
+    return _LazyDocuments(backing)
+
+
+def _columnar_snapshot(path: Path, backing: _V3Backing,
+                       documents) -> ColumnarIndexSnapshot:
+    """Assemble the lazy column-backed snapshot over an open backing."""
+    meta = backing.meta
+    try:
+        if len(backing.doc_ids) != meta["stored_documents"]:
+            raise _corrupt(path, "document record count does not match "
+                                 "header")
+        if len(backing.term_directory) != meta["stored_terms"]:
+            raise _corrupt(path, "term record count does not match header")
+        doc_frequencies: dict[str, int] = {}
+        for term, entry in backing.term_directory.items():
+            doc_frequencies[term] = entry["df"]
+        return ColumnarIndexSnapshot(
+            backing=backing,
+            mmap_path=path,
+            version=meta["index_version"],
+            analyzer=Analyzer.from_config(meta.get("analyzer", {})),
+            documents=documents,
+            postings=_LazyPostings(backing),
+            doc_lengths=backing.doc_lengths_mapping(),
+            doc_frequencies=doc_frequencies,
+            document_count=meta["document_count"],
+            average_document_length=meta["average_document_length"],
+            min_document_length=meta["min_document_length"],
+        )
+    except KeyError as exc:
+        raise _corrupt(path, f"missing required key {exc.args[0]!r}") from exc
+    except (TypeError, ValueError) as exc:
+        raise _corrupt(path, f"malformed record structure ({exc})") from exc
+
+
+def _load_v3(path: Path, store: DocumentStore | None,
+             ) -> tuple[IndexSnapshot, dict, int]:
+    """The binary columnar container (mmap-backed, columns on demand).
+
+    A delta-free container loads as a :class:`ColumnarIndexSnapshot`
+    whose postings/contributions materialize per term from the map — the
+    O(header + term directory) cold-start path.  A container with a
+    trailing delta tail is materialized eagerly (postings mutate during
+    folding), exactly like a v2 load.
+    """
+    backing = _V3Backing.open(path)
+    try:
+        meta = backing.meta
+        if meta.get("magic") != FORMAT_MAGIC:
+            raise _corrupt(path, "meta blob carries the wrong magic")
+        store = _resolve_v3_store(path, backing, store)
+        documents = _v3_documents(path, backing, store)
+        delta_tail = backing.delta_lines()
+        if not delta_tail:
+            return _columnar_snapshot(path, backing, documents), meta, 0
+        # Deltas mutate postings/documents in place: materialize the
+        # columns into plain dicts, fold, and drop the map.
+        try:
+            documents = dict(documents)
+            doc_lengths = backing.doc_lengths_mapping()
+            postings = {term: backing.term_postings(term)
+                        for term in backing.term_directory}
+            doc_frequencies = {term: entry["df"]
+                               for term, entry
+                               in backing.term_directory.items()}
+            if len(documents) != meta["stored_documents"]:
+                raise _corrupt(path, "document record count does not match "
+                                     "header")
+            if len(postings) != meta["stored_terms"]:
+                raise _corrupt(path, "term record count does not match "
+                                     "header")
+            stats = {
+                "index_version": meta["index_version"],
+                "document_count": meta["document_count"],
+                "average_document_length": meta["average_document_length"],
+                "min_document_length": meta["min_document_length"],
+            }
+            segments = _apply_deltas(path, delta_tail, documents,
+                                     doc_lengths, postings, doc_frequencies,
+                                     stats)
+            return IndexSnapshot(
+                version=stats["index_version"],
+                analyzer=Analyzer.from_config(meta.get("analyzer", {})),
+                documents=documents,
+                postings=postings,
+                doc_lengths=doc_lengths,
+                doc_frequencies=doc_frequencies,
+                document_count=stats["document_count"],
+                average_document_length=stats["average_document_length"],
+                min_document_length=stats["min_document_length"],
+            ), meta, segments
+        except KeyError as exc:
+            raise _corrupt(
+                path, f"missing required key {exc.args[0]!r}") from exc
+        except (TypeError, ValueError) as exc:
+            raise _corrupt(
+                path, f"malformed record structure ({exc})") from exc
+        finally:
+            backing.close()
+    except BaseException:
+        backing.close()
+        raise
+
+
+def open_scoring_snapshot(path: str | os.PathLike) -> IndexSnapshot:
+    """Open a snapshot for scoring only, skipping document bodies.
+
+    For a delta-free v3 container this is the zero-copy worker path: the
+    columns are mmap'd, no document store is opened, no document blob is
+    parsed, and postings materialize per queried term — what a process-
+    mode shard worker calls instead of receiving a pickled snapshot over
+    the fork boundary (N workers then share one OS page cache).  Any
+    other file (v1/v2, or a v3 container with a delta tail) falls back
+    to a full :func:`load_snapshot` and returns its
+    :meth:`~repro.ir.index.IndexSnapshot.scoring_view`.
+
+    Raises:
+        SnapshotError: as :func:`load_snapshot`.
+    """
+    path = Path(path)
+    if _probe_magic(path) == V3_MAGIC:
+        backing = _V3Backing.open(path)
+        try:
+            if backing.meta.get("magic") != FORMAT_MAGIC:
+                raise _corrupt(path, "meta blob carries the wrong magic")
+            if not backing.delta_lines():
+                return _columnar_snapshot(path, backing, documents={})
+        except BaseException:
+            backing.close()
+            raise
+        backing.close()
+    return load_snapshot(path).scoring_view()
+
+
 def _apply_deltas(path: Path, rest: list[str], documents: dict,
                   doc_lengths: dict, postings: dict, doc_frequencies: dict,
                   stats: dict) -> int:
@@ -940,13 +1780,14 @@ def compact_snapshot(path: str | os.PathLike,
                      store: DocumentStore | None = None) -> int:
     """Fold a snapshot file's delta segments into a clean base.
 
-    Rewrites ``path`` atomically as a delta-free base snapshot with the
+    Rewrites ``path`` atomically as a delta-free version-3 base with the
     same contents, returning the number of segments folded.  A
-    docstore-backed file with no deltas keeps its ``ref`` layout (and
-    shard/bloom header fields); a file that carried deltas is rewritten
-    standalone, since delta documents are inline and not present in the
-    store.  Version-1 files are upgraded to version 2.  An
-    already-compact version-2 file is left untouched (returns 0, no
+    docstore-backed file with no deltas keeps its store-reference layout
+    (and shard/bloom header fields); a file that carried deltas is
+    rewritten standalone, since delta documents are inline and not
+    present in the store.  Version-1 and version-2 files are upgraded to
+    the columnar version-3 container (what ``repro migrate`` runs).  An
+    already-compact version-3 file is left untouched (returns 0, no
     rewrite).
 
     Args:
@@ -972,10 +1813,13 @@ def compact_snapshot(path: str | os.PathLike,
         from repro.ir.shard import TermBloomFilter
 
         bloom = TermBloomFilter.build(snapshot.terms()).to_dict()
-    # Version-1 files upgrade in place; delta-bearing files fold into a
-    # standalone base (delta documents are inline and absent from any
-    # store, so preserving ``ref`` layout would leave dangling ids).
-    save_snapshot(snapshot, path, shard=header.get("shard"), bloom=bloom)
+    # Old-format files upgrade in place, keeping their docstore linkage;
+    # delta-bearing files fold into a standalone base (delta documents
+    # are inline and absent from any store, so preserving the reference
+    # layout would leave dangling ids).
+    docstore = header.get("docstore") if segments == 0 else None
+    save_snapshot(snapshot, path, docstore=docstore,
+                  shard=header.get("shard"), bloom=bloom)
     return segments
 
 

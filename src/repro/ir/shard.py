@@ -56,6 +56,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import math
+import os
 import zlib
 from collections.abc import Iterable
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -252,9 +253,22 @@ class TermBloomFilter:
 _WORKER_SHARDS: list[IndexSnapshot] = []
 
 
-def _init_worker(shards: list[IndexSnapshot]) -> None:
+def _init_worker(entries: list[tuple[str, object]]) -> None:
+    """Install the worker's shard list from tagged entries.
+
+    ``("path", str)`` entries mmap the shard's columnar container in the
+    worker (``open_scoring_snapshot``) — every worker then shares one OS
+    page cache for that file instead of holding a pickled private heap
+    copy.  ``("snap", IndexSnapshot)`` entries are pre-pickled scoring
+    views, the fallback for shards with no on-disk container.
+    """
+    from repro.ir.persist import open_scoring_snapshot
+
     global _WORKER_SHARDS
-    _WORKER_SHARDS = shards
+    _WORKER_SHARDS = [
+        open_scoring_snapshot(payload) if kind == "path" else payload
+        for kind, payload in entries
+    ]
 
 
 def _score_shard_batch_worker(shard_index: int, scorer, term_lists, limit,
@@ -366,14 +380,23 @@ class ShardedTopK:
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
             if self.parallelism == "process":
-                # Workers only score; shipping document-free views keeps
-                # the per-worker pickle and memory cost to the statistics
-                # (doc_ids resolve to documents in the parent).
+                # Workers only score.  Shards backed by an on-disk v3
+                # container ship as a path and are mmap'd in the worker
+                # (shared page cache, near-zero pickle cost); the rest
+                # ship as document-free scoring views so the per-worker
+                # pickle and memory cost is just the statistics (doc_ids
+                # resolve to documents in the parent).
+                entries: list[tuple[str, object]] = []
+                for shard in self.shards:
+                    mmap_path = getattr(shard, "mmap_path", None)
+                    if mmap_path is not None and os.path.exists(mmap_path):
+                        entries.append(("path", os.fspath(mmap_path)))
+                    else:
+                        entries.append(("snap", shard.scoring_view()))
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.max_workers,
                     initializer=_init_worker,
-                    initargs=([shard.scoring_view()
-                               for shard in self.shards],),
+                    initargs=(entries,),
                 )
             else:
                 self._executor = ThreadPoolExecutor(

@@ -27,14 +27,20 @@ The algorithm, per round:
    bounded heap; otherwise every cursor before the pivot ``seek``\\ s to
    it, skipping its intervening postings outright.
 
-With ``block_size > 0`` the candidate check is refined by **block-max
-bounds**: each term's contribution array is cut into fixed-size blocks
-with a per-block score cap, cached lazily per (scorer, term) on the
-snapshot (:meth:`~repro.ir.index.IndexSnapshot.term_block_bounds`) and
+With block-max enabled the candidate check is refined by **block-max
+bounds**: each term's contribution array is cut into blocks with a
+per-block score cap, cached lazily per (scorer, term) on the snapshot
+(:meth:`~repro.ir.index.IndexSnapshot.term_block_bounds`) and
 version-invalidated exactly like the contribution caches — a new
 snapshot after any :meth:`~repro.ir.index.InvertedIndex.add` starts
-empty.  A pivot whose *block* caps already ceiling strictly below the
-threshold is skipped without touching its contributions.
+empty.  Block sizes are *per term*: ``"blockmax"`` derives each term's
+size from its postings-list length (:func:`term_block_size`, ~sqrt of
+the list length), so short lists get tight caps and long lists do not
+drown in block bookkeeping; column-backed snapshots
+(:class:`~repro.ir.index.ColumnarIndexSnapshot`) load these bounds
+from persisted v3 columns instead of recomputing them.  A pivot whose
+*block* caps already ceiling strictly below the threshold is skipped
+without touching its contributions.
 
 Float exactness
 ---------------
@@ -78,6 +84,7 @@ strategy") for the walkthrough and
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from operator import attrgetter
 
@@ -88,12 +95,15 @@ from repro.ir.topk import TopKHeap, topk_scores
 __all__ = [
     "STRATEGIES",
     "DEFAULT_BLOCK_SIZE",
+    "MIN_BLOCK_SIZE",
+    "MAX_BLOCK_SIZE",
     "AUTO_WAND_MIN_TERMS",
     "AUTO_SKEW_MIN_TERMS",
     "AUTO_SKEW_RATIO",
     "AUTO_SKEW_MIN_DF",
     "PostingCursor",
     "resolve_strategy",
+    "term_block_size",
     "retrieve",
     "wand_scores",
 ]
@@ -102,8 +112,18 @@ __all__ = [
 #: that forwards to it: ``Searcher``, ``ShardedTopK``, the CLI).
 STRATEGIES = ("auto", "maxscore", "wand", "blockmax")
 
-#: Postings per block for the ``"blockmax"`` strategy's per-block caps.
+#: Historical fixed block size, kept for callers that pin one explicitly;
+#: the ``"blockmax"`` strategy now sizes blocks per term with
+#: :func:`term_block_size`.
 DEFAULT_BLOCK_SIZE = 64
+
+#: Smallest per-term block size :func:`term_block_size` hands out —
+#: below this, per-block bookkeeping costs more than the skipped sums.
+MIN_BLOCK_SIZE = 8
+
+#: Largest per-term block size — past this, a block spans so many
+#: postings that its cap degenerates toward the term's global bound.
+MAX_BLOCK_SIZE = 256
 
 #: ``"auto"`` switches from term-at-a-time max-score to WAND at this many
 #: query terms: below it, whole-postings ``zip`` loops beat per-document
@@ -245,6 +265,26 @@ def resolve_strategy(strategy: str, terms: list[str],
     return "maxscore"
 
 
+def term_block_size(n_postings: int) -> int:
+    """The block-max block size for a postings list of ``n_postings``.
+
+    The per-block cap of a block of ``s`` postings prunes at granularity
+    ``s`` but costs one extra float comparison per candidate; balancing
+    the two gives ``s ~ sqrt(n)``.  The result is the smallest power of
+    two at or above ``isqrt(n_postings)``, clamped to
+    [:data:`MIN_BLOCK_SIZE`, :data:`MAX_BLOCK_SIZE`] — powers of two so
+    persisted block-bound columns line up across equal-length lists.
+    Deterministic in ``n_postings`` alone, so the size computed at save
+    time (persisted v3 block columns) always matches the size requested
+    at query time.
+    """
+    root = math.isqrt(max(n_postings, 0))
+    size = MIN_BLOCK_SIZE
+    while size < root and size < MAX_BLOCK_SIZE:
+        size *= 2
+    return size
+
+
 def retrieve(snapshot: IndexSnapshot, scorer, terms: list[str], limit: int,
              strategy: str = "auto") -> list[tuple[str, float]]:
     """The ``limit`` best ``(doc_id, score)`` pairs for ``terms`` under
@@ -261,17 +301,18 @@ def retrieve(snapshot: IndexSnapshot, scorer, terms: list[str], limit: int,
     resolved = resolve_strategy(strategy, terms, snapshot)
     if resolved == "maxscore":
         return topk_scores(snapshot, scorer, terms, limit)
-    block_size = DEFAULT_BLOCK_SIZE if resolved == "blockmax" else 0
+    block_size = None if resolved == "blockmax" else 0
     return wand_scores(snapshot, scorer, terms, limit, block_size=block_size)
 
 
 def wand_scores(snapshot: IndexSnapshot, scorer, terms: list[str],
-                limit: int, block_size: int = 0) -> list[tuple[str, float]]:
+                limit: int,
+                block_size: int | None = 0) -> list[tuple[str, float]]:
     """Document-at-a-time WAND top-``limit`` retrieval.
 
     Rank- and score-identical to :func:`~repro.ir.topk.topk_scores` and to
     exhaustive scoring (see the module docstring for the argument).  With
-    ``block_size > 0`` candidates are additionally screened against
+    block-max enabled, candidates are additionally screened against
     per-block contribution caps before their contributions are touched.
 
     Args:
@@ -279,24 +320,32 @@ def wand_scores(snapshot: IndexSnapshot, scorer, terms: list[str],
         scorer: a scorer with fast-path hooks (:mod:`repro.ir.scoring`).
         terms: analyzed query terms, in query order.
         limit: how many results to return.
-        block_size: postings per block-max block (0 = plain WAND).
+        block_size: postings per block-max block.  ``None`` (what
+            ``strategy="blockmax"`` passes) sizes blocks *per term* from
+            each postings list's length (:func:`term_block_size` — the
+            sizes persisted v3 block-bound columns were computed with);
+            ``0`` disables block caps (plain WAND); a positive value
+            pins one fixed size for every term.
 
     Raises:
         ValueError: on a negative ``block_size``.
     """
-    if block_size < 0:
+    if block_size is not None and block_size < 0:
         raise ValueError(f"block_size must be non-negative, got {block_size}")
     if limit <= 0 or snapshot.document_count == 0:
         return []
+    use_blocks = block_size is None or block_size > 0
     cursors = []
     for order, term in enumerate(terms):
         plan = snapshot.term_contributions(scorer, term)
         if not plan.doc_ids:
             continue
-        blocks = (snapshot.term_block_bounds(scorer, term, block_size)
-                  if block_size else None)
+        size = (term_block_size(len(plan.doc_ids)) if block_size is None
+                else block_size)
+        blocks = (snapshot.term_block_bounds(scorer, term, size)
+                  if size else None)
         cursors.append(PostingCursor(order, plan.doc_ids, plan.contributions,
-                                     plan.bound, blocks, block_size))
+                                     plan.bound, blocks, size))
     if not cursors:
         return []
 
@@ -334,7 +383,7 @@ def wand_scores(snapshot: IndexSnapshot, scorer, terms: list[str],
             else:
                 _drain_pair(active[0], active[1], snapshot, scorer, heap,
                             threshold, raw_threshold, worst_doc,
-                            plain_finalize, block_size)
+                            plain_finalize, use_blocks)
             break
         # (falls through to the general pivot round below)
         active.sort(key=by_doc)
@@ -390,7 +439,7 @@ def wand_scores(snapshot: IndexSnapshot, scorer, terms: list[str],
                     threshold, raw_threshold, worst_doc = _drain_pair(
                         first, active[1], snapshot, scorer, heap, threshold,
                         raw_threshold, worst_doc, plain_finalize,
-                        block_size, limit_doc)
+                        use_blocks, limit_doc)
                 if any(cursor.position >= cursor.length
                        for cursor in active[:end]):
                     active = [cursor for cursor in active
@@ -398,7 +447,7 @@ def wand_scores(snapshot: IndexSnapshot, scorer, terms: list[str],
                 continue
             at_pivot = active[:end]
             evaluate = True
-            if block_size and threshold is not None:
+            if use_blocks and threshold is not None:
                 # Block-max refinement: the caps of the blocks the pivot
                 # actually lives in are far tighter than the global
                 # bounds; if even they ceiling strictly below the
@@ -407,7 +456,7 @@ def wand_scores(snapshot: IndexSnapshot, scorer, terms: list[str],
                 for cursor in at_pivot:
                     blocks = cursor.blocks
                     cap += (cursor.bound if blocks is None
-                            else blocks[cursor.position // block_size])
+                            else blocks[cursor.position // cursor.block_size])
                 if raw_threshold is not None:
                     evaluate = cap >= raw_threshold
                 else:
@@ -457,7 +506,7 @@ def wand_scores(snapshot: IndexSnapshot, scorer, terms: list[str],
 def _drain_pair(a: PostingCursor, b: PostingCursor, snapshot: IndexSnapshot,
                 scorer, heap: TopKHeap, threshold: float | None,
                 raw_threshold: float | None, worst_doc: str,
-                plain_finalize: bool, block_size: int,
+                plain_finalize: bool, use_blocks: bool,
                 limit_doc: str | None = None) -> tuple:
     """WAND over exactly two cursors, without the general loop's sorting
     and list rebuilding.
@@ -543,14 +592,14 @@ def _drain_pair(a: PostingCursor, b: PostingCursor, snapshot: IndexSnapshot,
         doc_id = a.doc
         both = b.doc == doc_id
         evaluate = True
-        if block_size and threshold is not None:
+        if use_blocks and threshold is not None:
             blocks = a.blocks
             cap = (a.bound if blocks is None
-                   else blocks[a.position // block_size])
+                   else blocks[a.position // a.block_size])
             if both:
                 blocks = b.blocks
                 cap += (b.bound if blocks is None
-                        else blocks[b.position // block_size])
+                        else blocks[b.position // b.block_size])
             if raw_threshold is not None:
                 evaluate = cap >= raw_threshold
             else:

@@ -361,6 +361,8 @@ class TestSnapshotV2Layout:
     def test_save_writes_document_store_and_refs(self, mini_db, tmp_path):
         import json
 
+        from repro.ir.persist import FORMAT_VERSION, read_snapshot_header
+
         collection = QunitCollection(mini_db, definitions())
         out = collection.save(tmp_path / "snap")
         manifest = json.loads((out / "collection.json").read_text())
@@ -368,30 +370,33 @@ class TestSnapshotV2Layout:
         store_name = manifest["docstore"]
         assert (out / store_name).exists()
         # Snapshot files reference the store instead of inlining documents.
-        global_header = json.loads(
-            (out / manifest["snapshots"]["global"]).read_text()
-            .splitlines()[0])
-        assert global_header["format_version"] == 2
+        global_header = read_snapshot_header(
+            out / manifest["snapshots"]["global"])
+        assert global_header["format_version"] == FORMAT_VERSION
         assert global_header["docstore"] == store_name
 
-    def test_documents_stored_once_directory_smaller_than_v1(self, mini_db,
-                                                             tmp_path):
-        from repro.ir.persist import save_snapshot_v1
+    def test_documents_stored_once_directory_smaller_than_standalone(
+            self, mini_db, tmp_path):
+        # The dedup property, format-for-format: a generation whose
+        # snapshots reference the shared store must be smaller than the
+        # same snapshots saved standalone (documents inlined per file).
+        from repro.ir.persist import save_snapshot
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "v2")
-        # Snapshot payload only: both layouts carry the same manifest.
-        v2_bytes = sum(entry.stat().st_size for entry in out.iterdir()
-                       if entry.name != "collection.json")
+        out = collection.save(tmp_path / "deduped")
+        deduped_bytes = sum(entry.stat().st_size for entry in out.iterdir()
+                            if entry.name != "collection.json")
 
-        legacy = tmp_path / "v1"
-        legacy.mkdir()
-        save_snapshot_v1(collection.global_snapshot(), legacy / "global.snap")
+        standalone = tmp_path / "standalone"
+        standalone.mkdir()
+        save_snapshot(collection.global_snapshot(),
+                      standalone / "global.snap")
         for name in sorted(collection.definitions):
-            save_snapshot_v1(collection.definition_index(name).snapshot(),
-                             legacy / f"def-{name}.snap")
-        v1_bytes = sum(entry.stat().st_size for entry in legacy.iterdir())
-        assert v2_bytes < v1_bytes
+            save_snapshot(collection.definition_index(name).snapshot(),
+                          standalone / f"def-{name}.snap")
+        standalone_bytes = sum(entry.stat().st_size
+                               for entry in standalone.iterdir())
+        assert deduped_bytes < standalone_bytes
 
     def test_load_shares_documents_across_snapshots(self, mini_db, tmp_path):
         # Regression for the double-pin: eager load used to hold two full
@@ -476,8 +481,10 @@ class TestShardPersistence:
         manifest = json.loads((out / "collection.json").read_text())
         assert manifest["shards"]["count"] == 2
         assert len(manifest["shards"]["files"]) == 2
+        from repro.ir.persist import read_snapshot_header
+
         for i, file_name in enumerate(manifest["shards"]["files"]):
-            header = json.loads((out / file_name).read_text().splitlines()[0])
+            header = read_snapshot_header(out / file_name)
             assert header["shard"] == {"index": i, "count": 2}
             assert header["bloom"] is not None
 

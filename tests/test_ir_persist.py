@@ -10,16 +10,19 @@ from repro.ir.documents import Document
 from repro.ir.index import InvertedIndex
 from repro.ir.persist import (
     FORMAT_VERSION,
+    V3_MAGIC,
     DocumentStore,
     SnapshotJournal,
     compact_snapshot,
     delta_segment_count,
     load_document_store,
     load_snapshot,
+    open_scoring_snapshot,
     read_snapshot_header,
     save_document_store,
     save_snapshot,
     save_snapshot_v1,
+    save_snapshot_v2,
 )
 from repro.ir.retrieval import Searcher
 from repro.ir.scoring import Bm25Scorer, TfIdfScorer
@@ -45,6 +48,15 @@ def saved(tmp_path):
     index = build_index(BODIES)
     path = tmp_path / "index.snap"
     save_snapshot(index.snapshot(), path)
+    return index, path
+
+
+@pytest.fixture()
+def saved_v2(tmp_path):
+    """A legacy JSON-lines (v2) file, for line-level corruption tests."""
+    index = build_index(BODIES)
+    path = tmp_path / "index.snap"
+    save_snapshot_v2(index.snapshot(), path)
     return index, path
 
 
@@ -119,15 +131,15 @@ class TestRejection:
         with pytest.raises(SnapshotError, match="cannot read"):
             load_snapshot(tmp_path / "nope.snap")
 
-    def test_truncated_file(self, saved):
-        _index, path = saved
+    def test_truncated_file(self, saved_v2):
+        _index, path = saved_v2
         lines = path.read_text().splitlines(keepends=True)
         path.write_text("".join(lines[:-2]))  # drop a record + the footer
         with pytest.raises(SnapshotError, match="truncated"):
             load_snapshot(path)
 
-    def test_truncated_mid_line(self, saved):
-        _index, path = saved
+    def test_truncated_mid_line(self, saved_v2):
+        _index, path = saved_v2
         content = path.read_text()
         path.write_text(content[: len(content) - 7])
         with pytest.raises(SnapshotError):
@@ -142,8 +154,8 @@ class TestRejection:
         with pytest.raises(SnapshotError):
             load_snapshot(path)
 
-    def test_format_version_mismatch(self, saved):
-        _index, path = saved
+    def test_format_version_mismatch(self, saved_v2):
+        _index, path = saved_v2
         lines = path.read_text().splitlines(keepends=True)
         header = json.loads(lines[0])
         header["format_version"] = FORMAT_VERSION + 1
@@ -164,12 +176,12 @@ class TestRejection:
         with pytest.raises(SnapshotError, match="JSON"):
             load_snapshot(path)
 
-    def test_checksum_valid_but_missing_header_key(self, saved):
+    def test_checksum_valid_but_missing_header_key(self, saved_v2):
         # A foreign writer can produce a checksummed file lacking required
         # keys; that must surface as SnapshotError, never a raw KeyError.
         import hashlib
 
-        _index, path = saved
+        _index, path = saved_v2
         lines = path.read_text().splitlines(keepends=True)
         header = json.loads(lines[0])
         del header["index_version"]
@@ -192,6 +204,129 @@ class TestRejection:
             save_snapshot(index.snapshot(), tmp_path / "bad.snap")
         assert not (tmp_path / "bad.snap").exists()
         assert not (tmp_path / "bad.snap.tmp").exists()
+
+
+class TestV3Rejection:
+    """Torn writes, truncated columns, and bad checksums on the binary
+    columnar container must all surface as SnapshotError — never a raw
+    struct/JSON/Key/Unicode error, and never silently wrong postings."""
+
+    def _directory_extents(self, raw: bytes) -> tuple[int, int, int, int]:
+        import struct
+
+        fields = struct.unpack_from("<12sI6Q", raw)
+        (_magic, _version, meta_off, _meta_len, dir_off, dir_len,
+         cols_off, cols_len) = fields
+        return dir_off, dir_len, cols_off, cols_len
+
+    def test_torn_write_header_only(self, saved):
+        _index, path = saved
+        raw = path.read_bytes()
+        path.write_bytes(raw[:20])  # mid-struct-header torn write
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+
+    def test_torn_write_mid_columns(self, saved):
+        _index, path = saved
+        raw = path.read_bytes()
+        path.write_bytes(raw[: int(len(raw) * 0.75)])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+
+    def test_struct_version_mismatch(self, saved):
+        import struct
+
+        _index, path = saved
+        raw = bytearray(path.read_bytes())
+        raw[len(V3_MAGIC):len(V3_MAGIC) + 4] = struct.pack("<I", 99)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="format version"):
+            load_snapshot(path)
+
+    def test_corrupted_meta_detected(self, saved):
+        _index, path = saved
+        raw = bytearray(path.read_bytes())
+        offset = len(V3_MAGIC) + 4 + 48 + 64  # first meta byte
+        raw[offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="checksum mismatch"):
+            load_snapshot(path)
+
+    def test_corrupted_term_directory_detected(self, saved):
+        _index, path = saved
+        raw = bytearray(path.read_bytes())
+        dir_off, dir_len, _cols_off, _cols_len = self._directory_extents(raw)
+        raw[dir_off + dir_len // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="checksum mismatch"):
+            load_snapshot(path)
+
+    def test_corrupted_column_detected_on_access(self, saved):
+        # Column checksums verify lazily: the load itself only touches the
+        # doc_id/length columns, but the poisoned term must refuse to
+        # materialize rather than serve corrupt postings.
+        _index, path = saved
+        raw = bytearray(path.read_bytes())
+        dir_off, dir_len, cols_off, cols_len = self._directory_extents(raw)
+        directory = json.loads(bytes(raw[dir_off:dir_off + dir_len]))
+        term_cols = {term: entry for term, entry
+                     in directory["terms"].items()}
+        # Poison every term's tf column so any access path hits one.
+        for entry in term_cols.values():
+            offset, _length, _sha = entry["tf"]
+            raw[cols_off + offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        loaded = load_snapshot(path)
+        with pytest.raises(SnapshotError, match="checksum mismatch"):
+            loaded.postings("star")
+
+    def test_column_extent_past_region_detected(self, saved):
+        import hashlib
+        import struct
+
+        _index, path = saved
+        raw = bytearray(path.read_bytes())
+        dir_off, dir_len, cols_off, cols_len = self._directory_extents(raw)
+        directory = json.loads(bytes(raw[dir_off:dir_off + dir_len]))
+        # Rewrite one column's extent to reach past the columns region,
+        # re-sign the directory so only the extent is wrong.
+        directory["terms"]["star"]["tf"][1] = cols_len + 1024
+        dir_blob = json.dumps(directory, ensure_ascii=False,
+                              separators=(",", ":")).encode("utf-8")
+        header = struct.pack(
+            "<12sI6Q32s32s", V3_MAGIC, FORMAT_VERSION,
+            struct.unpack_from("<12sI6Q", raw)[2],
+            struct.unpack_from("<12sI6Q", raw)[3],
+            dir_off, len(dir_blob), dir_off + len(dir_blob), cols_len,
+            bytes(raw[len(V3_MAGIC) + 4 + 48:len(V3_MAGIC) + 4 + 48 + 32]),
+            hashlib.sha256(dir_blob).digest())
+        meta_blob = bytes(raw[struct.unpack_from("<12sI6Q", raw)[2]:dir_off])
+        cols = bytes(raw[cols_off:cols_off + cols_len])
+        path.write_bytes(header + meta_blob + dir_blob + cols)
+        loaded = load_snapshot(path)
+        with pytest.raises(SnapshotError, match="columns region"):
+            loaded.postings("star")
+
+    def test_scoring_snapshot_skips_documents(self, saved):
+        # The worker path: ranked (doc_id, score) pairs only, no document
+        # bodies parsed or held.
+        from repro.errors import IndexError_
+        from repro.ir.scoring import Bm25Scorer
+        from repro.ir.wand import retrieve
+
+        index, path = saved
+        view = open_scoring_snapshot(path)
+        live = index.snapshot()
+        scorer = Bm25Scorer()
+        analyzer = live.analyzer
+        for query in ("star wars", "ocean", "trek star wars", "zzz"):
+            terms = analyzer.tokens(query)
+            for strategy in ("maxscore", "wand", "blockmax"):
+                assert retrieve(view, scorer, terms, 4, strategy=strategy) \
+                    == retrieve(live, scorer, terms, 4, strategy=strategy)
+        assert len(view._documents) == 0
+        with pytest.raises(IndexError_):
+            view.document("a")
 
 
 class TestDocumentStore:
@@ -354,14 +489,17 @@ class TestDeltaSegments:
         path = tmp_path / "journal.snap"
         index = build_index(BODIES)
         journal = SnapshotJournal(index, path)
-        base_lines = len(path.read_text().splitlines())
+        base_bytes = path.read_bytes()
         index.add(Document.create("z1", {"body": "fresh star ocean"}))
         index.add(Document.create("z2", {"body": "fresh trek"}))
         assert journal.delta_segments == 2
         assert delta_segment_count(path) == 2
-        # Appends only: the base lines are untouched.
-        lines = path.read_text().splitlines()
-        assert len(lines) == base_lines + 4  # 2 segments x (delta + end)
+        # Appends only: the base container's bytes are untouched, the
+        # delta tail is 2 segments x (delta + end) text lines.
+        raw = path.read_bytes()
+        assert raw[:len(base_bytes)] == base_bytes
+        tail = raw[len(base_bytes):].decode("utf-8")
+        assert len(tail.splitlines()) == 4
 
     def test_journaled_snapshot_loads_float_identical(self, tmp_path):
         path = tmp_path / "journal.snap"
@@ -441,8 +579,10 @@ class TestDeltaSegments:
         index = build_index(BODIES)
         SnapshotJournal(index, path)
         index.add(Document.create("z1", {"body": "fresh star"}))
-        lines = path.read_text().splitlines(keepends=True)
-        path.write_text("".join(lines[:-1]))  # drop the delta-end line
+        # Drop the delta-end line: the tail's last newline-terminated line.
+        raw = path.read_bytes()
+        cut = raw.rfind(b"\n", 0, len(raw) - 1) + 1
+        path.write_bytes(raw[:cut])
         with pytest.raises(SnapshotError, match="checksum line"):
             load_snapshot(path)
 
@@ -451,8 +591,10 @@ class TestDeltaSegments:
         index = build_index(BODIES)
         SnapshotJournal(index, path)
         index.add(Document.create("z1", {"body": "fresh star"}))
-        content = path.read_text()
-        path.write_text(content.replace("fresh", "frxsh"))
+        # "fresh" appears only in the appended delta text, not the base.
+        raw = path.read_bytes()
+        assert raw.count(b"fresh")
+        path.write_bytes(raw.replace(b"fresh", b"frxsh"))
         with pytest.raises(SnapshotError, match="delta segment"):
             load_snapshot(path)
 
@@ -666,6 +808,16 @@ class TestDocStorePartitionLoads:
 
         index = build_index(BODIES)
         path = save_snapshot(index.snapshot(), tmp_path / "t.snap")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(SnapshotError, match="truncated"):
+            read_snapshot_doc_ids(path)
+
+    def test_read_snapshot_doc_ids_truncated_v2(self, tmp_path):
+        from repro.ir.persist import read_snapshot_doc_ids
+
+        index = build_index(BODIES)
+        path = save_snapshot_v2(index.snapshot(), tmp_path / "t.snap")
         lines = path.read_text().splitlines(keepends=True)
         path.write_text("".join(lines[:2]))  # header + one record
         with pytest.raises(SnapshotError, match="truncated"):
