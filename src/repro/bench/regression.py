@@ -83,6 +83,14 @@ TRACKED_METRICS: dict[str, dict[str, str]] = {
         # *ratio* is the stable, meaningful guard.
         "speedup_warm": "higher",
     },
+    "BENCH_serving.json": {
+        # The serving front end's reason to exist: micro-batching over
+        # HTTP must keep beating per-request serving.  Both arms run on
+        # the same host in the same process, so the ratio is stable
+        # where absolute QPS is machine-bound.
+        "speedup_batched_qps": "higher",
+        "batched.qps": "higher",
+    },
 }
 
 

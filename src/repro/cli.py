@@ -13,6 +13,11 @@
     python -m repro bench-diff BASELINE_DIR CURRENT_DIR [--threshold 0.25]
     python -m repro loganalysis [--unique 400]
     python -m repro evaluate [--queries 25] [--raters 20]
+    python -m repro serve [DIR] [--port 8080] [--window-ms 2 --max-batch 32]
+                    [--cache-size 512 --quota-rate 50]
+    python -m repro loadtest [--clients 8 --sessions 200]
+                    [--compare-unbatched] [--assert-min-qps QPS]
+                    [--assert-p99-ms MS] [--output report.json]
 
 Everything runs on the synthetic database (deterministic for a given
 ``--seed``), so the CLI doubles as a zero-setup demo of the system.
@@ -32,15 +37,31 @@ folds any delta segments trailing snapshot files back into clean bases.  ``bench
 nightly — see ``repro.bench.regression``).  ``--shards N`` scores the
 flat collection index as N hash-partitioned shards in parallel,
 Bloom-routing each query batch only to shards that can match (see
-``repro.ir.shard``); ``--strategy`` picks the retrieval algorithm
-(term-at-a-time max-score, document-at-a-time WAND/block-max, or
-per-query ``auto`` — see ``repro.ir.wand``).
+``repro.ir.shard``); ``--shard-mode`` picks the executor (``serial`` or
+``process`` — multiprocess workers that mmap v3 snapshots);
+``--strategy`` picks the retrieval algorithm (term-at-a-time max-score,
+document-at-a-time WAND/block-max, or per-query ``auto`` — see
+``repro.ir.wand``).
+
+``serve`` puts the engine behind the asyncio HTTP front end
+(``repro.serve.server``): concurrent requests micro-batch through one
+pipeline run, a bounded queue gives backpressure (429 + Retry-After),
+``--quota-rate`` adds per-client token buckets, and ``--cache-size`` /
+``--cache-coverage`` enable the result cache with Zipf-head store
+admission learned from the synthetic session log.  ``loadtest`` is the
+closed-loop measurement harness for that server: it starts one
+in-process on an ephemeral port, replays session-structured traffic
+over N concurrent clients, and reports sustained QPS, p50/p99 latency,
+and cache hit rate (``--compare-unbatched`` re-runs with batching
+disabled and reports the speedup; the ``--assert-*`` flags make it a CI
+smoke check).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
 from repro.core import QunitCollection, UtilityModel
 from repro.core.derivation import (
@@ -49,7 +70,7 @@ from repro.core.derivation import (
     SchemaDataDeriver,
     imdb_expert_qunits,
 )
-from repro.core.search import QunitSearchEngine
+from repro.core.search import QunitSearchEngine, SearchRequest
 from repro.datasets.evidence import generate_wiki_corpus
 from repro.datasets.imdb import generate_imdb
 from repro.datasets.querylog import QueryLogAnalyzer, QueryLogGenerator
@@ -161,20 +182,110 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate", help="run the Figure 3 result-quality experiment")
     evaluate.add_argument("--queries", type=int, default=25)
     evaluate.add_argument("--raters", type=int, default=20)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve search over HTTP: asyncio front end with "
+             "micro-batching, backpressure, and per-client quotas")
+    serve.add_argument("directory", nargs="?", default=None,
+                       help="saved collection directory (from `save`); "
+                            "omitted = derive live at --scale")
+    serve.add_argument("--flavor", default="expert",
+                       choices=["expert", "schema_data", "query_log",
+                                "external", "forms"])
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (default 8080; 0 = ephemeral)")
+    _add_serving_options(serve)
+    _add_executor_options(serve)
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="measure the serving front end: start a server in-process "
+             "and replay session-structured Zipf traffic closed-loop")
+    loadtest.add_argument("--flavor", default="expert",
+                          choices=["expert", "schema_data", "query_log",
+                                   "external", "forms"])
+    loadtest.add_argument("--clients", type=int, default=8,
+                          help="concurrent closed-loop clients (default 8)")
+    loadtest.add_argument("--sessions", type=int, default=200,
+                          help="user sessions to replay (default 200)")
+    loadtest.add_argument("--limit", type=int, default=5,
+                          help="result limit per request (default 5)")
+    loadtest.add_argument(
+        "--compare-unbatched", action="store_true",
+        help="re-run the same workload with micro-batching disabled "
+             "(window 0, batch size 1) and report the QPS speedup")
+    loadtest.add_argument(
+        "--assert-min-qps", type=float, default=None, metavar="QPS",
+        help="exit nonzero unless batched throughput reaches QPS "
+             "(CI smoke gate)")
+    loadtest.add_argument(
+        "--assert-p99-ms", type=float, default=None, metavar="MS",
+        help="exit nonzero if batched p99 latency exceeds MS "
+             "(CI smoke gate)")
+    loadtest.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the report as JSON (the BENCH_serving shape)")
+    _add_serving_options(loadtest)
+    _add_executor_options(loadtest)
     return parser
 
 
+def _add_serving_options(subparser) -> None:
+    subparser.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="micro-batch window in ms, measured from the batch's first "
+             "request (0 = no batching; default 2)")
+    subparser.add_argument(
+        "--max-batch", type=int, default=32,
+        help="requests per micro-batch at most (default 32)")
+    subparser.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="waiting requests before the server answers 429 "
+             "(default 256)")
+    subparser.add_argument(
+        "--quota-rate", type=float, default=None,
+        help="per-client requests/second quota (token bucket; "
+             "default off)")
+    subparser.add_argument(
+        "--quota-burst", type=float, default=20.0,
+        help="per-client burst allowance (default 20)")
+    subparser.add_argument(
+        "--cache-size", type=int, default=512,
+        help="pipeline result-cache entries (0 disables; default 512)")
+    subparser.add_argument(
+        "--cache-coverage", type=float, default=0.5,
+        help="volume fraction of the query log whose Zipf head is "
+             "admitted to the result cache (0 = admit everything; "
+             "default 0.5)")
+
+
 def _add_shard_options(subparser) -> None:
+    _add_executor_options(subparser)
+    subparser.add_argument(
+        "--explain", action="store_true",
+        help="print each query's full pipeline stage trace (plan, "
+             "strategy chosen, per-stage wall time, cache and shard "
+             "routing counters, rejected candidates)")
+
+
+def _add_executor_options(subparser) -> None:
     subparser.add_argument(
         "--shards", type=int, default=0,
         help="hash-partition the flat index into N shards scored in "
              "parallel (0 = serial; results are identical either way)")
+    # "thread" stays parseable as a hidden debugging alias (hard-
+    # deprecated: GIL-serialized, slower than serial) — the metavar
+    # keeps it out of help and usage text.
     subparser.add_argument(
-        "--shard-mode", default="thread",
+        "--shard-mode", default="serial",
         choices=["serial", "thread", "process"],
-        help="executor for sharded scoring (default thread; process is "
-             "the mode that actually scales — thread mode is "
-             "GIL-serialized and usually slower than serial)")
+        metavar="{serial,process}",
+        help="executor for sharded scoring (default serial; process "
+             "scales across cores — workers mmap v3 snapshots and "
+             "share one page cache)")
     subparser.add_argument(
         "--strategy", default="auto",
         choices=["auto", "maxscore", "wand", "blockmax"],
@@ -182,11 +293,6 @@ def _add_shard_options(subparser) -> None:
              "document-at-a-time WAND, block-max WAND, or per-query "
              "auto selection via the df-skew cost model (default auto; "
              "results are identical)")
-    subparser.add_argument(
-        "--explain", action="store_true",
-        help="print each query's full pipeline stage trace (plan, "
-             "strategy chosen, per-stage wall time, cache and shard "
-             "routing counters, rejected candidates)")
 
 
 def _definitions_for(args, db, strategy: str):
@@ -216,13 +322,17 @@ def _print_answers(engine, queries: list[str], limit: int,
     any_answers = False
     # One pipeline run for the whole batch: segmentation, matching, and
     # retrieval dispatch are all batched (the sequential per-query loop
-    # this replaces paid a shard dispatch per query).
-    results = engine.search_many_with_explanations(queries, limit=limit)
-    for i, (query, (answers, explanation)) in enumerate(zip(queries,
-                                                            results)):
+    # this replaces paid a shard dispatch per query).  The CLI speaks
+    # the typed request/response API natively — the same types the HTTP
+    # server serializes onto the wire.
+    responses = engine.execute([
+        SearchRequest(query=query, limit=limit, explain=True)
+        for query in queries])
+    for i, response in enumerate(responses):
+        answers, explanation = response.answers, response.explanation
         if i:
             print()
-        print(f"query   : {query}")
+        print(f"query   : {response.query}")
         if explain:
             print(explanation.render())
         else:
@@ -235,7 +345,7 @@ def _print_answers(engine, queries: list[str], limit: int,
         for rank, answer in enumerate(answers, start=1):
             print(f"\n#{rank}  [{answer.meta('definition')}]  "
                   f"score={answer.score:.3f}")
-            print("   " + extractor.snippet(answer.text, query))
+            print("   " + extractor.snippet(answer.text, response.query))
     return any_answers
 
 
@@ -373,13 +483,22 @@ def _command_migrate(args) -> int:
 
 
 def _warn_thread_mode(args) -> None:
-    """Steer users away from the GIL-serialized thread executor."""
-    if args.shards >= 2 and args.shard_mode == "thread":
-        print("warning: --shard-mode thread is GIL-serialized and "
-              "benchmarks slower than serial scoring; use "
-              "--shard-mode process for real speedups "
-              "(workers mmap v3 snapshots and share one page cache)",
-              file=sys.stderr)
+    """Hard deprecation for the retired thread executor.
+
+    ``--shard-mode thread`` is gone from the public surface (help and
+    docs list only serial/process); the spelling still parses as a
+    debugging alias so existing scripts fail loudly rather than
+    silently, but every use warns.
+    """
+    if getattr(args, "shard_mode", None) == "thread":
+        message = ("--shard-mode thread is deprecated and hidden from "
+                   "the CLI: the thread executor is GIL-serialized and "
+                   "benchmarks slower than serial scoring.  Use "
+                   "--shard-mode process (workers mmap v3 snapshots and "
+                   "share one page cache) or serial; the alias remains "
+                   "for debugging only and will be removed.")
+        warnings.warn(message, DeprecationWarning, stacklevel=2)
+        print(f"warning: {message}", file=sys.stderr)
 
 
 def _command_bench_diff(args) -> int:
@@ -452,6 +571,192 @@ def _command_evaluate(args) -> int:
     return 0
 
 
+# -- serving --------------------------------------------------------------
+
+
+def _engine_config(args, log):
+    """The pipeline config for serving: result cache sized by
+    ``--cache-size``, with store admission restricted to ``log``'s Zipf
+    head at ``--cache-coverage`` (None log or coverage 0 = admit all)."""
+    from repro.serve.pipeline import EngineConfig
+
+    admission = None
+    if args.cache_size > 0 and log is not None and args.cache_coverage > 0:
+        from repro.datasets.querylog import zipf_head
+
+        admission = zipf_head(log, args.cache_coverage).__contains__
+    return EngineConfig(result_cache_size=args.cache_size,
+                        cache_admission=admission)
+
+
+def _server_config(args):
+    """A :class:`~repro.serve.server.ServerConfig` from CLI options
+    (commands without ``--host``/``--port`` bind ephemeral loopback)."""
+    from repro.serve.server import ServerConfig
+
+    return ServerConfig(
+        host=getattr(args, "host", "127.0.0.1"),
+        port=getattr(args, "port", 0),
+        window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+    )
+
+
+def _session_log(args, db, n_sessions: int):
+    """The deterministic session workload (and its aggregate log) the
+    serving commands share — the same seed feeds both the cache
+    admission head and the loadtest traffic, so the head describes the
+    traffic that will actually arrive."""
+    from repro.datasets.querylog import SessionLogGenerator
+
+    generator = SessionLogGenerator(db, seed=args.seed + 3)
+    sessions = generator.generate(n_sessions)
+    return sessions, generator.as_query_log(sessions)
+
+
+def _command_serve(args) -> int:
+    import asyncio
+
+    _warn_thread_mode(args)
+    db = generate_imdb(scale=args.scale, seed=args.seed)
+    log = None
+    if args.cache_size > 0 and args.cache_coverage > 0:
+        _sessions, log = _session_log(args, db, 400)
+    config = _engine_config(args, log)
+    if args.directory:
+        engine = QunitSearchEngine.load(
+            db, args.directory, flavor=args.flavor, shards=args.shards,
+            parallelism=args.shard_mode, strategy=args.strategy,
+            config=config)
+    else:
+        definitions = _definitions_for(args, db, args.flavor)
+        engine = QunitSearchEngine(
+            QunitCollection(db, definitions,
+                            max_instances_per_definition=150,
+                            shards=args.shards,
+                            parallelism=args.shard_mode,
+                            strategy=args.strategy),
+            flavor=args.flavor, config=config)
+    try:
+        asyncio.run(_serve_forever(engine, _server_config(args)))
+    except KeyboardInterrupt:
+        print("\nshutting down (draining in-flight batches)")
+    return 0
+
+
+async def _serve_forever(engine, server_config) -> None:
+    import asyncio
+
+    from repro.serve.server import SearchServer
+
+    async with SearchServer(engine, server_config) as server:
+        host, port = server.address
+        print(f"serving on http://{host}:{port}  (Ctrl-C to stop)")
+        print("  POST /search  POST /search/batch  "
+              "GET /healthz  GET /stats")
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+
+
+async def _run_loadtest(engine, server_config, workload, limit):
+    """One arm of the loadtest: server up, closed-loop run, server down."""
+    from repro.serve.client import run_load
+    from repro.serve.server import SearchServer
+
+    async with SearchServer(engine, server_config) as server:
+        host, port = server.address
+        return await run_load(host, port, workload, limit=limit)
+
+
+def _print_load_report(label: str, report) -> None:
+    print(f"{label:10s} qps={report.qps:8.1f}  p50={report.p50_ms:7.2f}ms  "
+          f"p99={report.p99_ms:7.2f}ms  "
+          f"cache_hit_rate={report.cache_hit_rate:.3f}  "
+          f"completed={report.completed}  rejected={report.rejected}  "
+          f"errors={report.errors}")
+
+
+def _command_loadtest(args) -> int:
+    import asyncio
+    import json
+    from dataclasses import replace as dc_replace
+
+    from repro.serve.client import build_session_workload
+
+    _warn_thread_mode(args)
+    db = generate_imdb(scale=args.scale, seed=args.seed)
+    sessions, log = _session_log(args, db, args.sessions)
+    workload = build_session_workload(sessions, args.clients)
+    total = sum(len(stream) for stream in workload)
+    print(f"workload: {len(sessions)} sessions -> {len(workload)} "
+          f"clients, {total} requests")
+    definitions = _definitions_for(args, db, args.flavor)
+    # Both arms share one collection (indexes and materializations warm
+    # once) but get a fresh engine, hence a fresh result cache, each.
+    collection = QunitCollection(
+        db, definitions, max_instances_per_definition=150,
+        shards=args.shards, parallelism=args.shard_mode,
+        strategy=args.strategy)
+    engine_config = _engine_config(args, log)
+    server_config = _server_config(args)
+
+    def run_arm(config):
+        engine = QunitSearchEngine(collection, flavor=args.flavor,
+                                   config=engine_config)
+        return asyncio.run(_run_loadtest(engine, config, workload,
+                                         args.limit))
+
+    # Warm the shared substrate (searcher pool, indexes, lazy
+    # materializations) through a throwaway engine before either arm,
+    # so neither pays one-time build costs and the arms measure steady
+    # state.  The probe engine's result cache is its own, so each arm
+    # still starts cache-cold.
+    from repro.serve.api import SearchRequest
+
+    probe = QunitSearchEngine(collection, flavor=args.flavor)
+    warm = [SearchRequest(query=query, limit=args.limit)
+            for query in sorted({q for s in sessions for q in s.queries})]
+    for _ in range(2):
+        probe.execute(warm)
+
+    batched = run_arm(server_config)
+    _print_load_report("batched", batched)
+    report = {"batched": batched.to_dict(),
+              "repetition_rate": round(batched.repetition_rate, 4)}
+    if args.compare_unbatched:
+        unbatched = run_arm(dc_replace(server_config, window=0.0,
+                                       max_batch=1))
+        _print_load_report("unbatched", unbatched)
+        speedup = (batched.qps / unbatched.qps
+                   if unbatched.qps > 0 else float("inf"))
+        print(f"speedup (batched qps / unbatched qps): {speedup:.2f}x")
+        report["unbatched"] = unbatched.to_dict()
+        report["speedup_batched_qps"] = round(speedup, 3)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.output}")
+    failures = []
+    if args.assert_min_qps is not None and batched.qps < args.assert_min_qps:
+        failures.append(f"batched qps {batched.qps:.1f} < required "
+                        f"{args.assert_min_qps}")
+    if args.assert_p99_ms is not None and batched.p99_ms > args.assert_p99_ms:
+        failures.append(f"batched p99 {batched.p99_ms:.1f}ms > allowed "
+                        f"{args.assert_p99_ms}ms")
+    if batched.errors:
+        failures.append(f"{batched.errors} request(s) failed hard")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "search": _command_search,
     "save": _command_save,
@@ -462,6 +767,8 @@ _COMMANDS = {
     "derive": _command_derive,
     "loganalysis": _command_loganalysis,
     "evaluate": _command_evaluate,
+    "serve": _command_serve,
+    "loadtest": _command_loadtest,
 }
 
 

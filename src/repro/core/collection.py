@@ -319,7 +319,8 @@ class QunitCollection:
 
     MAX_CACHED_SEARCHERS = 64
 
-    def _cached_searcher(self, name: str | None, scorer: Scorer | None) -> Searcher:
+    def _searcher_entry(self, name: str | None, scorer: Scorer | None):
+        """The pool key and factory for one (target, scorer) searcher."""
         key = (name, scorer.cache_key() if scorer is not None else None)
 
         def build() -> Searcher:
@@ -334,7 +335,28 @@ class QunitCollection:
                             shards=shards, parallelism=self.parallelism,
                             sharded=sharded, strategy=self.strategy)
 
+        return key, build
+
+    def _cached_searcher(self, name: str | None, scorer: Scorer | None) -> Searcher:
+        key, build = self._searcher_entry(name, scorer)
         return self.searcher_pool.get(key, build)
+
+    def acquire_searcher(self, name: str | None,
+                         scorer: Scorer | None = None) -> Searcher:
+        """The pooled searcher for ``name`` (``None`` = flat), *pinned*:
+        pool overflow or :meth:`close` cannot close it until the matching
+        :meth:`release_searcher`.  The query pipeline's execute stage
+        pins every searcher it dispatches to for the length of a batch,
+        and the serving front end pins the flat searcher for the length
+        of the server's life (see :class:`~repro.serve.pool.
+        SearcherPool`)."""
+        key, build = self._searcher_entry(name, scorer)
+        return self.searcher_pool.acquire(key, build)
+
+    def release_searcher(self, searcher: Searcher) -> None:
+        """Return one :meth:`acquire_searcher` lease; a searcher evicted
+        while pinned closes here, on its last release."""
+        self.searcher_pool.release(searcher)
 
     def definition_bloom(self, name: str) -> TermBloomFilter | None:
         """The term Bloom filter over one definition index's vocabulary.

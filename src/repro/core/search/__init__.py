@@ -8,7 +8,11 @@ definitions; finally, instances of the winning definitions are ranked with
 **standard IR scoring** and returned as answers.
 """
 
-from repro.core.search.engine import QunitSearchEngine
+from repro.core.search.engine import (
+    QunitSearchEngine,
+    SearchRequest,
+    SearchResponse,
+)
 from repro.core.search.matcher import DefinitionMatch, QunitMatcher
 from repro.core.search.segmentation import (
     AttributeRef,
@@ -22,6 +26,8 @@ from repro.core.search.snippets import SnippetExtractor
 
 __all__ = [
     "QunitSearchEngine",
+    "SearchRequest",
+    "SearchResponse",
     "QunitMatcher",
     "DefinitionMatch",
     "QuerySegmenter",

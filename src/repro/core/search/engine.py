@@ -31,6 +31,9 @@ admission middleware — live in :class:`~repro.serve.pipeline.EngineConfig`.
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Sequence
+
 from repro.answer import Answer
 from repro.core.collection import QunitCollection
 from repro.core.search.matcher import QunitMatcher
@@ -40,11 +43,12 @@ from repro.core.search.segmentation import (
     SegmentedQuery,
 )
 from repro.ir.scoring import Bm25Scorer, Scorer
+from repro.serve.api import SearchRequest, SearchResponse
 from repro.serve.explain import SearchExplanation, StageTiming
-from repro.serve.pipeline import EngineConfig, QueryPipeline
+from repro.serve.pipeline import EngineConfig, QueryContext, QueryPipeline
 
-__all__ = ["QunitSearchEngine", "SearchExplanation", "StageTiming",
-           "EngineConfig"]
+__all__ = ["QunitSearchEngine", "SearchRequest", "SearchResponse",
+           "SearchExplanation", "StageTiming", "EngineConfig"]
 
 
 class QunitSearchEngine:
@@ -89,33 +93,84 @@ class QunitSearchEngine:
 
     # -- public API ---------------------------------------------------------------
 
-    def search(self, query: str, limit: int = 5) -> list[Answer]:
-        return self.pipeline.run([query], limit)[0].answers
-
-    def search_many(self, queries: list[str], limit: int = 5) -> list[list[Answer]]:
-        """Answer a batch of queries, in input order.
+    def execute(self, requests: Sequence[SearchRequest],
+                ) -> list[SearchResponse]:
+        """Serve a batch of typed requests — THE core entry point.
 
         The whole batch runs through the staged pipeline together:
         segmented together, matched together, and with retrieval calls
         grouped per target index so sharded executors see one task per
-        shard per round instead of per query.  Answers are identical to
-        ``[search(q, limit) for q in queries]`` (property-tested); the
-        batch is just markedly cheaper, especially under process-mode
-        sharding where per-query dispatch costs IPC round trips.
+        shard per round instead of per query.  Each request keeps its
+        own result limit and client id; responses come back in input
+        order, answer-identical to serving each request alone
+        (property-tested in ``tests/test_property_based.py``).
+
+        The historical ``search``/``search_many``/
+        ``search_with_explanation``/``search_many_with_explanations``
+        methods are thin deprecated wrappers over this; the HTTP front
+        end (:mod:`repro.serve.server`) and the CLI speak
+        :class:`~repro.serve.api.SearchRequest` /
+        :class:`~repro.serve.api.SearchResponse` natively.
         """
-        return [ctx.answers for ctx in self.pipeline.run(queries, limit)]
+        contexts = [QueryContext(query=request.query, limit=request.limit,
+                                 client_id=request.client_id)
+                    for request in requests]
+        finished = self.pipeline.run_contexts(contexts)
+        responses = []
+        for request, ctx in zip(requests, finished):
+            explanation = ctx.explanation if request.explain else None
+            timings = (ctx.explanation.stages
+                       if ctx.explanation is not None else ())
+            responses.append(SearchResponse(
+                query=ctx.query, answers=tuple(ctx.answers),
+                explanation=explanation, timings=timings,
+                cached=ctx.served_from_cache, admitted=ctx.admitted,
+                client_id=ctx.client_id))
+        return responses
+
+    def best(self, query: str) -> Answer:
+        response = self.execute([SearchRequest(query=query, limit=1)])[0]
+        return response.answers[0] if response.answers \
+            else Answer.empty(self.system_name)
+
+    # -- deprecated wrappers over execute() ---------------------------------------
+
+    @staticmethod
+    def _warn_deprecated(name: str) -> None:
+        """One hard deprecation warning per legacy entry point."""
+        warnings.warn(
+            f"QunitSearchEngine.{name}() is deprecated; build "
+            f"SearchRequest objects and call execute() instead",
+            DeprecationWarning, stacklevel=3)
+
+    def search(self, query: str, limit: int = 5) -> list[Answer]:
+        """Deprecated — use :meth:`execute` with a
+        :class:`~repro.serve.api.SearchRequest`."""
+        self._warn_deprecated("search")
+        return list(self.execute(
+            [SearchRequest(query=query, limit=limit)])[0].answers)
+
+    def search_many(self, queries: list[str], limit: int = 5) -> list[list[Answer]]:
+        """Deprecated — use :meth:`execute` with a batch of
+        :class:`~repro.serve.api.SearchRequest` objects (the batch
+        semantics are identical: one pipeline run, grouped retrieval).
+        """
+        self._warn_deprecated("search_many")
+        requests = [SearchRequest(query=query, limit=limit)
+                    for query in queries]
+        return [list(response.answers)
+                for response in self.execute(requests)]
 
     def search_many_with_explanations(
             self, queries: list[str], limit: int = 5,
     ) -> list[tuple[list[Answer], SearchExplanation]]:
-        """Batched answers *and* pipeline traces, in input order — the
-        CLI's batch path (one pipeline run, no double work)."""
-        return [(ctx.answers, ctx.explanation)
-                for ctx in self.pipeline.run(queries, limit)]
-
-    def best(self, query: str) -> Answer:
-        answers = self.search(query, limit=1)
-        return answers[0] if answers else Answer.empty(self.system_name)
+        """Deprecated — use :meth:`execute` with ``explain=True``
+        requests; responses carry answers and the trace together."""
+        self._warn_deprecated("search_many_with_explanations")
+        requests = [SearchRequest(query=query, limit=limit, explain=True)
+                    for query in queries]
+        return [(list(response.answers), response.explanation)
+                for response in self.execute(requests)]
 
     def save(self, path) -> None:
         """Persist the engine's derived collection (definitions + index
@@ -143,16 +198,20 @@ class QunitSearchEngine:
                    scorer=scorer, config=config)
 
     def explain(self, query: str, limit: int = 5) -> SearchExplanation:
-        return self.pipeline.run([query], limit)[0].explanation
+        """The pipeline trace for one query (see :meth:`execute` with
+        ``explain=True`` for answers and trace in one pass)."""
+        return self.execute([SearchRequest(query=query, limit=limit,
+                                           explain=True)])[0].explanation
 
     def search_with_explanation(
             self, query: str, limit: int = 5,
     ) -> tuple[list[Answer], SearchExplanation]:
-        """Answers and the pipeline trace in one pass (running
-        :meth:`search` and :meth:`explain` separately would pay for the
-        pipeline twice)."""
-        ctx = self.pipeline.run([query], limit)[0]
-        return ctx.answers, ctx.explanation
+        """Deprecated — use :meth:`execute` with an ``explain=True``
+        request; the response carries answers and trace together."""
+        self._warn_deprecated("search_with_explanation")
+        response = self.execute([SearchRequest(query=query, limit=limit,
+                                               explain=True)])[0]
+        return list(response.answers), response.explanation
 
     def segment(self, query: str) -> SegmentedQuery:
         return self.segmenter.segment(query)

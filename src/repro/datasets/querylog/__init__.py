@@ -1,6 +1,12 @@
 """Synthetic web-search query log (AOL-log stand-in) and its analysis."""
 
-from repro.datasets.querylog.analysis import BenchmarkQuery, LogStatistics, QueryLogAnalyzer
+from repro.datasets.querylog.analysis import (
+    BenchmarkQuery,
+    LogStatistics,
+    QueryLogAnalyzer,
+    client_repetition_rates,
+    zipf_head,
+)
 from repro.datasets.querylog.generator import QueryLogGenerator, generate_query_log
 from repro.datasets.querylog.model import QueryLog
 from repro.datasets.querylog.sessions import (
@@ -21,4 +27,6 @@ __all__ = [
     "SessionLogGenerator",
     "SessionAnalyzer",
     "RefinementStatistics",
+    "zipf_head",
+    "client_repetition_rates",
 ]

@@ -8,11 +8,21 @@ Reproduces the paper's pipeline over the (synthetic) base log:
   complex / other;
 * the benchmark workload picks the top-14 typed templates by frequency and
   samples two queries per template (the paper's 28-query workload).
+
+Beyond the paper's own measurements, two serving-side statistics feed
+the HTTP front end's cache admission policy (:mod:`repro.serve.server`):
+:func:`zipf_head` — the smallest set of most-frequent queries covering a
+volume fraction of the log (the queries repetition makes worth caching)
+— and :func:`client_repetition_rates` — per-client repeat fractions
+measured the way workload-repetition studies define them (a query's
+first occurrence for a client is not a repetition; every later
+occurrence is).  Both work on plain log data with no database attached.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.search.segmentation import QuerySegmenter, SchemaVocabulary
@@ -21,7 +31,79 @@ from repro.errors import EvaluationError
 from repro.relational.database import Database
 from repro.utils.rng import DeterministicRng
 
-__all__ = ["LogStatistics", "BenchmarkQuery", "QueryLogAnalyzer"]
+__all__ = ["LogStatistics", "BenchmarkQuery", "QueryLogAnalyzer",
+           "zipf_head", "client_repetition_rates"]
+
+
+def zipf_head(log: QueryLog, coverage: float = 0.5) -> frozenset[str]:
+    """The smallest set of most-frequent queries covering ``coverage``
+    of the log's total volume.
+
+    Under the Zipf-shaped traffic real query logs exhibit, a small head
+    of distinct queries carries most of the volume; those are the only
+    queries whose results repay a result-cache slot (a tail query, by
+    definition, rarely repeats before eviction).  The serving front end
+    wires the returned set into :class:`~repro.serve.pipeline.
+    EngineConfig` as the result cache's store-side admission policy:
+    ``EngineConfig(cache_admission=zipf_head(log).__contains__, ...)``.
+
+    Ties at the coverage boundary are broken by frequency, then query
+    string, so the head is deterministic for a given log.
+
+    Args:
+        log: the aggregate (query, frequency) log.
+        coverage: the volume fraction the head must reach, in (0, 1].
+
+    Returns:
+        The head queries, as a frozenset (O(1) admission checks).
+
+    Raises:
+        EvaluationError: on an empty log or a coverage outside (0, 1].
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise EvaluationError(
+            f"coverage must be in (0, 1], got {coverage}")
+    if not len(log):
+        raise EvaluationError("cannot take the head of an empty query log")
+    target = coverage * log.total_queries
+    head: set[str] = set()
+    covered = 0
+    for query, frequency in sorted(log,
+                                   key=lambda item: (-item[1], item[0])):
+        head.add(query)
+        covered += frequency
+        if covered >= target:
+            break
+    return frozenset(head)
+
+
+def client_repetition_rates(
+        stream: Iterable[tuple[str, str]]) -> dict[str, float]:
+    """Per-client query repetition rates over a request stream.
+
+    Follows the standard workload-repetition definition: within one
+    client's request sequence, a query's *first* occurrence is not a
+    repetition and every later occurrence is, so the rate is
+    ``1 - distinct/total`` per client.  This is the number the serving
+    benchmark reports next to its cache hit rate — the hit rate of a
+    per-client-keyed cache is bounded above by the client's repetition
+    rate, so reporting both shows how much of the attainable locality
+    the cache actually captured.
+
+    Args:
+        stream: ``(client_id, query)`` pairs in arrival order.
+
+    Returns:
+        ``client_id -> repetition rate`` (clients with one request have
+        rate 0.0).  Empty input yields an empty dict.
+    """
+    totals: Counter = Counter()
+    seen: dict[str, set[str]] = {}
+    for client_id, query in stream:
+        totals[client_id] += 1
+        seen.setdefault(client_id, set()).add(query)
+    return {client_id: 1.0 - len(seen[client_id]) / total
+            for client_id, total in totals.items()}
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,23 @@ explicit, *batched* object instead of a monolithic per-query method:
   stage trace (per-stage wall time, cache hits/misses, shards routed,
   strategy chosen, rejected candidates).
 - :mod:`repro.serve.pool` — :class:`~repro.serve.pool.SearcherPool`,
-  the bounded LRU searcher cache the collection hands the pipeline.
+  the bounded LRU searcher cache the collection hands the pipeline,
+  with lease-based pinning so eviction never closes a searcher a batch
+  still holds.
+- :mod:`repro.serve.api` — :class:`~repro.serve.api.SearchRequest` /
+  :class:`~repro.serve.api.SearchResponse`, the one typed
+  request/response pair every serving surface (engine ``execute``,
+  HTTP server, CLI) speaks, plus the JSON wire codecs.
+- :mod:`repro.serve.batcher` — :class:`~repro.serve.batcher.
+  MicroBatcher` (accumulates concurrent requests into micro-batches)
+  and :class:`~repro.serve.batcher.ClientQuotas` (per-client token
+  buckets).
+- :mod:`repro.serve.server` — the asyncio HTTP front end
+  (:class:`~repro.serve.server.SearchServer`), with backpressure,
+  quotas, and graceful shard-worker shutdown.
+- :mod:`repro.serve.client` — :class:`~repro.serve.client.
+  SearchClient` and the closed-loop load generator behind
+  ``repro loadtest`` / ``BENCH_serving.json``.
 
 Exports resolve lazily (PEP 562): :mod:`repro.core.collection` imports
 :mod:`repro.serve.pool` while :mod:`repro.serve.stages` type-references
@@ -49,7 +65,14 @@ __all__ = [
     "QueryPlan",
     "SearchExplanation",
     "SearcherPool",
+    "SearchRequest",
+    "SearchResponse",
     "StageTiming",
+    "MicroBatcher",
+    "ClientQuotas",
+    "ServerConfig",
+    "SearchServer",
+    "SearchClient",
 ]
 
 _EXPORTS = {
@@ -65,6 +88,13 @@ _EXPORTS = {
     "SearchExplanation": "repro.serve.explain",
     "StageTiming": "repro.serve.explain",
     "SearcherPool": "repro.serve.pool",
+    "SearchRequest": "repro.serve.api",
+    "SearchResponse": "repro.serve.api",
+    "MicroBatcher": "repro.serve.batcher",
+    "ClientQuotas": "repro.serve.batcher",
+    "ServerConfig": "repro.serve.server",
+    "SearchServer": "repro.serve.server",
+    "SearchClient": "repro.serve.client",
 }
 
 

@@ -1,0 +1,302 @@
+"""Micro-batching and admission primitives for the asyncio front end.
+
+The serving thesis of the staged pipeline is that batches are cheaper
+per query than singles: one segmentation call, one matcher call, and
+retrieval grouped per target index so sharded executors receive one
+task per shard per round.  A network front end only collects that win
+if *concurrent requests from different clients* actually meet in one
+pipeline run.  :class:`MicroBatcher` is that meeting point: requests
+queue up, a drainer closes each batch on whichever comes first — the
+batching window elapsing or the batch size cap filling — and the whole
+batch runs through a single
+:meth:`~repro.core.search.engine.QunitSearchEngine.execute` call.
+
+Backpressure is the queue bound: when more requests are waiting than
+the server is willing to buffer, :meth:`MicroBatcher.submit` raises
+:class:`ServerOverloaded` *immediately* (the HTTP layer turns that into
+429 + ``Retry-After``) instead of letting latency grow without bound.
+:class:`ClientQuotas` adds per-client token buckets in front of the
+queue, so one chatty client exhausts its own budget rather than the
+shared buffer.
+
+Everything here is event-loop native but engine-agnostic: the batcher
+is handed an opaque ``runner`` callable (requests in, responses out)
+and runs it in a single-thread executor, serializing pipeline access
+off the event loop — the pipeline is synchronous and its searcher
+caches are not thread-safe, so exactly one batch executes at a time
+while the loop keeps accepting and queueing new requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve.api import SearchRequest, SearchResponse
+
+__all__ = [
+    "ServerOverloaded",
+    "ServerClosed",
+    "MicroBatcher",
+    "TokenBucket",
+    "ClientQuotas",
+]
+
+
+class ServerOverloaded(Exception):
+    """The request queue (or a client's quota) cannot take this request
+    now; ``retry_after`` is the seconds the caller should wait."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServerClosed(Exception):
+    """The batcher is shutting down and accepts no new requests."""
+
+
+class MicroBatcher:
+    """Accumulates concurrent requests into micro-batches.
+
+    One drainer task owns the queue: it blocks for the first request,
+    then keeps collecting until the batching window (measured from the
+    first request — the bound on added latency) elapses or the batch
+    reaches ``max_batch``, whichever comes first, and hands the batch to
+    ``runner`` in a single-thread executor.  ``window=0`` or
+    ``max_batch=1`` degenerates to unbatched serving — the control arm
+    of the serving benchmark.
+
+    ``queue_limit`` bounds the number of *waiting* requests; an arriving
+    request past it fails fast with :class:`ServerOverloaded` rather
+    than queueing into unbounded latency.
+    """
+
+    def __init__(self, runner: Callable[[Sequence[SearchRequest]],
+                                        list[SearchResponse]],
+                 window: float = 0.005, max_batch: int = 32,
+                 queue_limit: int = 256):
+        """Configure the batcher (call :meth:`start` inside the loop).
+
+        Args:
+            runner: synchronous batch executor — typically
+                ``engine.execute``; called from a worker thread, never
+                the event loop.
+            window: seconds a batch stays open after its first request.
+            max_batch: requests per batch at most.
+            queue_limit: waiting requests at most (backpressure bound).
+
+        Raises:
+            ValueError: on a negative window or non-positive sizes.
+        """
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.runner = runner
+        self.window = window
+        self.max_batch = max_batch
+        self.queue_limit = queue_limit
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-batch")
+        self._drainer: asyncio.Task | None = None
+        self._closing = False
+        #: Batches executed and requests served, for ``/stats``.
+        self.batches = 0
+        self.served = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the drainer task on the running event loop."""
+        if self._drainer is None:
+            self._drainer = asyncio.get_running_loop().create_task(
+                self._drain())
+
+    async def close(self) -> None:
+        """Graceful shutdown: refuse new requests, serve everything
+        already queued (mid-batch requests complete), stop the drainer,
+        and release the worker thread."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._drainer is not None:
+            # The sentinel queues *behind* every accepted request, so the
+            # drainer serves the backlog before it sees the stop signal.
+            await self._queue.put(None)
+            await self._drainer
+            self._drainer = None
+        self._executor.shutdown(wait=True)
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, request: SearchRequest) -> SearchResponse:
+        """Queue one request and await its response.
+
+        Raises:
+            ServerClosed: when the batcher is shutting down.
+            ServerOverloaded: when the queue is full (fail fast — the
+                HTTP layer answers 429 + Retry-After).
+            asyncio.TimeoutError: when the request carries a ``timeout``
+                and the response does not arrive within it.
+        """
+        if self._closing:
+            raise ServerClosed("server is shutting down")
+        future: asyncio.Future = \
+            asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((request, future))
+        except asyncio.QueueFull:
+            raise ServerOverloaded(
+                f"request queue is full ({self.queue_limit} waiting)",
+                retry_after=max(self.window * 4, 0.05)) from None
+        if request.timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, request.timeout)
+        except asyncio.TimeoutError:
+            # The queue entry still holds a reference; the drainer skips
+            # cancelled futures instead of answering them.
+            raise
+
+    # -- the drainer ---------------------------------------------------------
+
+    async def _drain(self) -> None:
+        """Forever: collect one micro-batch, run it, resolve futures."""
+        loop = asyncio.get_running_loop()
+        while True:
+            entry = await self._queue.get()
+            if entry is None:
+                return
+            batch = [entry]
+            deadline = loop.time() + self.window
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = await asyncio.wait_for(self._queue.get(),
+                                                   remaining)
+                except asyncio.TimeoutError:
+                    break
+                if entry is None:
+                    stop = True  # close() raced the window: finish batch
+                    break
+                batch.append(entry)
+            await self._run_batch(batch, loop)
+            if stop:
+                return
+
+    async def _run_batch(self, batch: list, loop) -> None:
+        """Execute one batch off-loop and resolve its futures."""
+        live = [(request, future) for request, future in batch
+                if not future.cancelled()]
+        if not live:
+            return
+        requests = [request for request, _future in live]
+        try:
+            responses = await loop.run_in_executor(
+                self._executor, self.runner, requests)
+        except Exception as exc:
+            for _request, future in live:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        self.batches += 1
+        self.served += len(live)
+        for (_request, future), response in zip(live, responses):
+            if not future.cancelled():
+                future.set_result(response)
+
+
+class TokenBucket:
+    """One client's token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    Buckets start full (a new client may burst immediately).  The clock
+    is injectable so tests advance time without sleeping.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        """A full bucket refilling at ``rate`` up to ``burst`` tokens.
+
+        Raises:
+            ValueError: on non-positive rate or burst.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self.tokens = float(burst)
+        self._last = clock()
+
+    def try_take(self, amount: float = 1.0) -> float:
+        """Take ``amount`` tokens if available.
+
+        Returns:
+            ``0.0`` when granted; otherwise the seconds until the bucket
+            will hold ``amount`` tokens (the ``Retry-After`` value).
+        """
+        now = self.clock()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return 0.0
+        return (amount - self.tokens) / self.rate
+
+
+class ClientQuotas:
+    """Per-client token buckets, LRU-bounded.
+
+    ``None`` client ids share one anonymous bucket, so quota cannot be
+    dodged by omitting the id.  The bucket table is bounded: an idle
+    client's bucket may be evicted and later recreated *full*, which
+    slightly favors returning clients — acceptable for an admission
+    mechanism whose job is protecting the queue, not billing.
+    """
+
+    MAX_CLIENTS = 4096
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        """Quotas granting each client ``rate`` requests/second with
+        bursts up to ``burst``."""
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        #: Requests turned away across all clients, for ``/stats``.
+        self.rejections = 0
+
+    def try_admit(self, client_id: str | None) -> float:
+        """Charge one request to ``client_id``'s bucket.
+
+        Returns:
+            ``0.0`` when admitted, else seconds until the client should
+            retry (and counts the rejection).
+        """
+        key = client_id if client_id is not None else ""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, self.clock)
+            self._buckets[key] = bucket
+            while len(self._buckets) > self.MAX_CLIENTS:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(key)
+        retry_after = bucket.try_take()
+        if retry_after > 0:
+            self.rejections += 1
+        return retry_after

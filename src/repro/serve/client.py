@@ -1,0 +1,309 @@
+"""HTTP client and closed-loop load generator for the serving front end.
+
+:class:`SearchClient` is the protocol counterpart of
+:class:`~repro.serve.server.SearchServer`: one persistent keep-alive
+connection speaking the JSON wire format of :mod:`repro.serve.api`, with
+429/503 surfaced as :class:`ServerBusy` (carrying the server's
+``Retry-After``) so callers can implement their own retry policy.
+
+:func:`run_load` drives N concurrent closed-loop clients — each sends
+its next request only after receiving the previous response, the
+standard closed-loop load model — over session-structured Zipf traffic
+(:func:`build_session_workload` distributes
+:class:`~repro.datasets.querylog.sessions.SessionLogGenerator` sessions
+round-robin across clients, preserving the within-session query order
+that gives each client its repetition structure).  The resulting
+:class:`LoadReport` carries sustained QPS, p50/p99 latency, and the
+cache hit rate read off the responses' ``cached`` flags — the numbers
+``BENCH_serving.json`` tracks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.datasets.querylog.analysis import client_repetition_rates
+from repro.datasets.querylog.sessions import QuerySession
+from repro.errors import ReproError
+from repro.serve.api import SearchRequest, SearchResponse
+
+__all__ = ["ServerBusy", "SearchClient", "LoadReport",
+           "build_session_workload", "run_load", "percentile"]
+
+
+class ServerBusy(ReproError):
+    """The server answered 429/503; wait ``retry_after`` and retry."""
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class SearchClient:
+    """One persistent connection to a :class:`~repro.serve.server.
+    SearchServer` (async context manager)."""
+
+    def __init__(self, host: str, port: int):
+        """A client for ``host:port``; connects lazily on first use."""
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> tuple[asyncio.StreamReader,
+                                      asyncio.StreamWriter]:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+        assert self._reader is not None and self._writer is not None
+        return self._reader, self._writer
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "SearchClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- requests ------------------------------------------------------------
+
+    async def request(self, method: str, path: str,
+                      payload: dict | None = None) -> tuple[int, dict]:
+        """One HTTP round trip; returns (status, decoded JSON body).
+
+        Reconnects once on a connection dropped between requests (the
+        server may close idle keep-alive connections at shutdown).
+        """
+        body = json.dumps(payload).encode("utf-8") \
+            if payload is not None else b""
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: keep-alive\r\n\r\n").encode("latin-1")
+        for attempt in (0, 1):
+            reader, writer = await self._connect()
+            try:
+                writer.write(head + body)
+                await writer.drain()
+                return await self._read_response(reader)
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.IncompleteReadError):
+                await self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    @staticmethod
+    async def _read_response(reader: asyncio.StreamReader,
+                             ) -> tuple[int, dict]:
+        """Parse one HTTP response off the stream."""
+        head = await reader.readuntil(b"\r\n\r\n")
+        status_line, _, header_block = head.partition(b"\r\n")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        for line in header_block.decode("latin-1").split("\r\n"):
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await reader.readexactly(length) if length else b""
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        if isinstance(data, dict) and status in (429, 503):
+            data.setdefault("retry_after", headers.get("retry-after"))
+        return status, data
+
+    async def search(self, request: SearchRequest) -> SearchResponse:
+        """Serve one typed request over the wire.
+
+        Raises:
+            ServerBusy: on 429/503 (with the server's Retry-After).
+            ReproError: on any other non-200 answer.
+        """
+        status, data = await self.request("POST", "/search",
+                                          request.to_dict())
+        if status == 200:
+            return SearchResponse.from_dict(data)
+        if status in (429, 503):
+            try:
+                retry_after = float(data.get("retry_after") or 0.05)
+            except (TypeError, ValueError):
+                retry_after = 0.05
+            raise ServerBusy(data.get("error", f"HTTP {status}"),
+                             retry_after=retry_after)
+        raise ReproError(
+            f"server answered {status}: {data.get('error', data)!r}")
+
+    async def stats(self) -> dict:
+        """The server's ``/stats`` counters."""
+        status, data = await self.request("GET", "/stats")
+        if status != 200:
+            raise ReproError(f"/stats answered {status}")
+        return data
+
+
+# -- closed-loop load generation --------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One closed-loop run's headline numbers.
+
+    ``qps`` is completed requests over wall time; latencies are
+    milliseconds over successful requests; ``cache_hit_rate`` is the
+    fraction of responses served from the pipeline result cache (their
+    ``cached`` flag); ``repetition_rate`` is the workload's volume-
+    weighted per-client repetition (the ceiling a per-query cache could
+    theoretically hit); ``rejected`` counts 429/503 answers (each
+    retried after the server's Retry-After), ``errors`` hard failures.
+    """
+
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    cache_hit_rate: float
+    repetition_rate: float
+    completed: int
+    rejected: int
+    errors: int
+    wall_seconds: float
+    latencies_ms: tuple[float, ...] = field(repr=False, default=())
+
+    def to_dict(self) -> dict:
+        """The JSON-able report (latency samples elided)."""
+        return {
+            "qps": round(self.qps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "repetition_rate": round(self.repetition_rate, 4),
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by nearest-rank; 0.0 on empty."""
+    if not samples:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def build_session_workload(sessions: list[QuerySession], clients: int,
+                           ) -> list[list[str]]:
+    """Distribute user sessions round-robin across ``clients`` streams.
+
+    Sessions stay intact and ordered within a stream, so each client's
+    request sequence keeps the refinement structure (and hence the
+    repetition rate) the session generator produced — the property the
+    cache-admission measurement depends on.
+
+    Raises:
+        ValueError: on a non-positive client count or no sessions.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if not sessions:
+        raise ValueError("need at least one session")
+    streams: list[list[str]] = [[] for _ in range(clients)]
+    for i, session in enumerate(sessions):
+        streams[i % clients].extend(session.queries)
+    return [stream for stream in streams if stream]
+
+
+async def run_load(host: str, port: int, workload: list[list[str]],
+                   limit: int = 5, timeout: float = 30.0) -> LoadReport:
+    """Drive one closed-loop client per workload stream to completion.
+
+    Each client sends its stream in order, one request outstanding at a
+    time; a :class:`ServerBusy` answer is retried after the server's
+    ``Retry-After`` (counted in ``rejected``), so the run measures the
+    server's *sustained* throughput under admission control rather than
+    failing on the first 429.
+
+    Args:
+        host, port: the server address.
+        workload: per-client query streams (from
+            :func:`build_session_workload`).
+        limit: result limit per request.
+        timeout: per-request timeout (seconds), carried in the request.
+
+    Returns:
+        The aggregated :class:`LoadReport`.
+    """
+    latencies: list[float] = []
+    cached = 0
+    rejected = 0
+    errors = 0
+
+    async def one_client(index: int, stream: list[str]) -> None:
+        nonlocal cached, rejected, errors
+        client_id = f"client-{index}"
+        async with SearchClient(host, port) as client:
+            for query in stream:
+                request = SearchRequest(query=query, limit=limit,
+                                        client_id=client_id,
+                                        timeout=timeout)
+                while True:
+                    started = time.perf_counter()
+                    try:
+                        response = await client.search(request)
+                    except ServerBusy as busy:
+                        rejected += 1
+                        await asyncio.sleep(min(busy.retry_after, 1.0))
+                        continue
+                    except ReproError:
+                        errors += 1
+                        break
+                    latencies.append(
+                        (time.perf_counter() - started) * 1000.0)
+                    if response.cached:
+                        cached += 1
+                    break
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one_client(i, stream)
+                           for i, stream in enumerate(workload)))
+    wall = time.perf_counter() - started
+    completed = len(latencies)
+    stream_pairs = [(f"client-{i}", query)
+                    for i, stream in enumerate(workload)
+                    for query in stream]
+    rates = client_repetition_rates(stream_pairs)
+    total = len(stream_pairs)
+    repetition = sum(rates[f"client-{i}"] * len(stream)
+                     for i, stream in enumerate(workload)) / total \
+        if total else 0.0
+    return LoadReport(
+        qps=completed / wall if wall > 0 else 0.0,
+        p50_ms=percentile(latencies, 50),
+        p99_ms=percentile(latencies, 99),
+        cache_hit_rate=cached / completed if completed else 0.0,
+        repetition_rate=repetition,
+        completed=completed,
+        rejected=rejected,
+        errors=errors,
+        wall_seconds=wall,
+        latencies_ms=tuple(latencies),
+    )

@@ -39,6 +39,8 @@ from repro.serve.stages import (
 from repro.utils.text import normalize
 
 if TYPE_CHECKING:  # circular-import-free type references only
+    from collections.abc import Callable
+
     from repro.answer import Answer
     from repro.core.collection import QunitCollection
     from repro.core.search.matcher import DefinitionMatch, QunitMatcher
@@ -73,6 +75,12 @@ class EngineConfig:
     with that LRU capacity.
     ``max_query_terms`` — set to enable :class:`AdmissionMiddleware`,
     rejecting queries with more whitespace-separated terms than this.
+    ``cache_admission`` — optional predicate ``query -> bool`` deciding
+    which finished results the result cache may *store* (serving
+    existing entries is unaffected).  Wire it to the query log's Zipf
+    head (:func:`repro.datasets.querylog.analysis.zipf_head`) so only
+    head queries — the ones repetition makes worth caching — occupy
+    cache slots; tail queries then cannot evict them.
     """
 
     min_match_score: float = 0.15
@@ -80,6 +88,7 @@ class EngineConfig:
     candidate_limit: int = 5
     result_cache_size: int = 0
     max_query_terms: int | None = None
+    cache_admission: "Callable[[str], bool] | None" = None
 
     def __post_init__(self) -> None:
         """Validate the knobs (fail at construction, not mid-query)."""
@@ -112,6 +121,10 @@ class QueryContext:
 
     query: str
     limit: int
+    #: The requesting client (from :class:`~repro.serve.api.
+    #: SearchRequest.client_id`); informational to the stages, carried
+    #: so middleware and responses can attribute the result.
+    client_id: str | None = None
     segmented: "SegmentedQuery | None" = None
     matches: "list[DefinitionMatch]" = field(default_factory=list)
     plan: "QueryPlan | None" = None
@@ -124,6 +137,12 @@ class QueryContext:
     #: assembly only re-labels strategies for tasks that ran.
     executed_targets: set = field(default_factory=set)
     done: bool = False
+    #: Set by :class:`ResultCacheMiddleware` when the answers came from
+    #: the result cache rather than a pipeline run.
+    served_from_cache: bool = False
+    #: Cleared by :class:`AdmissionMiddleware` when the query was
+    #: rejected without running the pipeline.
+    admitted: bool = True
 
 
 class PipelineMiddleware:
@@ -169,6 +188,7 @@ class AdmissionMiddleware(PipelineMiddleware):
                 admitted.append(ctx)
                 continue
             ctx.answers = []
+            ctx.admitted = False
             ctx.explanation = SearchExplanation(
                 query=ctx.query, template="", query_class="rejected",
                 candidates=(), answers=(),
@@ -190,8 +210,15 @@ class ResultCacheMiddleware(PipelineMiddleware):
 
     CACHE_NOTE = "served from the pipeline result cache"
 
-    def __init__(self, size: int):
+    def __init__(self, size: int,
+                 admit: "Callable[[str], bool] | None" = None):
         """A cache holding at most ``size`` finished results.
+
+        ``admit`` is an optional store-side admission policy: a finished
+        result is only cached when ``admit(query)`` is true (lookups are
+        unaffected).  The serving front end wires this to the query
+        log's Zipf head so tail queries — which by definition rarely
+        repeat — cannot evict the entries that earn their keep.
 
         Raises:
             ValueError: when ``size`` < 1.
@@ -199,8 +226,13 @@ class ResultCacheMiddleware(PipelineMiddleware):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
         self.size = size
+        self.admit = admit
         self.hits = 0
         self.misses = 0
+        #: Store-side admission outcomes: how many finished results the
+        #: policy let into the cache vs turned away.
+        self.stores = 0
+        self.store_rejections = 0
         self._cache: OrderedDict[tuple[str, int], tuple] = OrderedDict()
 
     def enter(self, contexts, pipeline):
@@ -216,6 +248,7 @@ class ResultCacheMiddleware(PipelineMiddleware):
             self.hits += 1
             self._cache.move_to_end(key)
             answers, explanation = cached
+            ctx.served_from_cache = True
             ctx.answers = list(answers)
             if self.CACHE_NOTE not in explanation.notes:
                 explanation = replace(
@@ -225,8 +258,13 @@ class ResultCacheMiddleware(PipelineMiddleware):
         return missed
 
     def exit(self, contexts, pipeline):
-        """Store every finished context's result (LRU eviction)."""
+        """Store finished results the admission policy accepts (LRU
+        eviction past ``size``)."""
         for ctx in contexts:
+            if self.admit is not None and not self.admit(ctx.query):
+                self.store_rejections += 1
+                continue
+            self.stores += 1
             self._cache[(ctx.query, ctx.limit)] = (tuple(ctx.answers),
                                                    ctx.explanation)
             while len(self._cache) > self.size:
@@ -276,22 +314,29 @@ class QueryPipeline:
             self.middleware.append(AdmissionMiddleware(config.max_query_terms))
         if config.result_cache_size:
             self.middleware.append(
-                ResultCacheMiddleware(config.result_cache_size))
+                ResultCacheMiddleware(config.result_cache_size,
+                                      admit=config.cache_admission))
 
     def run(self, queries: list[str], limit: int) -> list[QueryContext]:
-        """Serve a batch of queries; one finished context per query,
-        in input order.
-
-        Every context comes back with ``answers`` and ``explanation``
-        filled — by the stages, or by a middleware short-circuit.
+        """Serve a batch of queries at one shared ``limit``; one
+        finished context per query, in input order.
 
         Raises:
             ValueError: on a negative ``limit``.
         """
         if limit < 0:
             raise ValueError(f"limit must be non-negative, got {limit}")
-        contexts = [QueryContext(query=query, limit=limit)
-                    for query in queries]
+        return self.run_contexts([QueryContext(query=query, limit=limit)
+                                  for query in queries])
+
+    def run_contexts(self, contexts: list[QueryContext],
+                     ) -> list[QueryContext]:
+        """Serve a batch of pre-built contexts (the typed-request entry
+        point: each context carries its own limit and client id).
+
+        Every context comes back with ``answers`` and ``explanation``
+        filled — by the stages, or by a middleware short-circuit.
+        """
         active = contexts
         for middleware in self.middleware:
             active = middleware.enter(active, self)
@@ -318,6 +363,19 @@ class QueryPipeline:
         if target is None:
             return self.collection.searcher(self.scorer)
         return self.collection.definition_searcher(target, self.scorer)
+
+    def acquire_for(self, target: str | None) -> "Searcher":
+        """:meth:`searcher_for`, but pinned against pool eviction until
+        the matching :meth:`release_searcher` — the execute stage holds
+        one lease per target for the length of a batch, so a batch
+        touching more searcher keys than the pool holds can no longer
+        close the flat searcher (and its shard executors) out from
+        under its own later rounds."""
+        return self.collection.acquire_searcher(target, self.scorer)
+
+    def release_searcher(self, searcher: "Searcher") -> None:
+        """Return one :meth:`acquire_for` lease."""
+        self.collection.release_searcher(searcher)
 
     def brand(self, answer: "Answer", instance) -> "Answer":
         """Stamp an answer with the engine's system name and instance

@@ -14,6 +14,16 @@ key, reused in LRU order, and the least-recently-used one is *closed*
 pool owns searcher lifecycle so the pipeline's execute stage can grab
 the same warm searcher for every query of a batch without knowing how
 the collection builds them.
+
+Concurrent batches share the pool, so eviction must not close a
+searcher out from under a batch still dispatching to it: callers that
+hold a searcher across yield points **pin** it with :meth:`acquire` and
+:meth:`release`.  A pinned searcher evicted at ``max_size`` (or swept
+by :meth:`close`) is *retired* — dropped from the pool but kept open —
+and actually closed only when its last lease is released.  This is the
+lifecycle seam the asyncio serving front end shuts shard workers down
+through: draining releases the last leases, and only then do executors
+die.
 """
 
 from __future__ import annotations
@@ -29,9 +39,11 @@ __all__ = ["SearcherPool"]
 class SearcherPool:
     """Bounded LRU cache of searchers, keyed by caller-chosen keys.
 
-    ``max_size`` bounds the pool; overflow closes and evicts the least
-    recently used searcher.  :meth:`close` shuts down every pooled
-    searcher (idempotent — pools are also context managers).
+    ``max_size`` bounds the pool; overflow evicts the least recently
+    used searcher — closing it immediately when unpinned, deferring the
+    close to the final :meth:`release` when leases are outstanding.
+    :meth:`close` sweeps every pooled searcher the same way (idempotent
+    — pools are also context managers).
     """
 
     def __init__(self, max_size: int = 64):
@@ -44,10 +56,19 @@ class SearcherPool:
             raise ValueError(f"max_size must be >= 1, got {max_size}")
         self.max_size = max_size
         self._searchers: OrderedDict[Hashable, Searcher] = OrderedDict()
+        #: Outstanding leases per live searcher (id -> count).
+        self._leases: dict[int, int] = {}
+        #: Searchers evicted (or swept by :meth:`close`) while leased:
+        #: kept open until their last lease is released.
+        self._retired: dict[int, Searcher] = {}
 
     def get(self, key: Hashable,
             factory: Callable[[], Searcher]) -> Searcher:
         """The pooled searcher for ``key``, building it on first use.
+
+        The searcher is *not* pinned: a later overflow may evict and
+        close it.  Callers that hold the reference across other pool
+        traffic (e.g. for a whole batch) should use :meth:`acquire`.
 
         Args:
             key: identity of the searcher (e.g. ``(definition name,
@@ -64,10 +85,52 @@ class SearcherPool:
             self._searchers[key] = searcher
             while len(self._searchers) > self.max_size:
                 _key, evicted = self._searchers.popitem(last=False)
-                evicted.close()
+                self._retire(evicted)
         else:
             self._searchers.move_to_end(key)
         return searcher
+
+    def acquire(self, key: Hashable,
+                factory: Callable[[], Searcher]) -> Searcher:
+        """:meth:`get`, but pinned: the searcher stays open — even if
+        evicted at ``max_size`` or swept by :meth:`close` — until the
+        matching :meth:`release`.  Leases nest (acquire twice, release
+        twice)."""
+        searcher = self.get(key, factory)
+        sid = id(searcher)
+        self._leases[sid] = self._leases.get(sid, 0) + 1
+        return searcher
+
+    def release(self, searcher: Searcher) -> None:
+        """Return one :meth:`acquire` lease.
+
+        Dropping the last lease of a searcher that was evicted (or
+        swept by :meth:`close`) in the meantime finally closes it; a
+        still-pooled searcher just becomes evictable again.
+
+        Raises:
+            ValueError: when ``searcher`` has no outstanding lease.
+        """
+        sid = id(searcher)
+        count = self._leases.get(sid)
+        if count is None:
+            raise ValueError("release() without a matching acquire()")
+        if count > 1:
+            self._leases[sid] = count - 1
+            return
+        del self._leases[sid]
+        retired = self._retired.pop(sid, None)
+        if retired is not None:
+            retired.close()
+
+    def _retire(self, searcher: Searcher) -> None:
+        """Drop one searcher from the pool: close it now when unpinned,
+        else park it until its last lease is released."""
+        sid = id(searcher)
+        if self._leases.get(sid, 0) > 0:
+            self._retired[sid] = searcher
+        else:
+            searcher.close()
 
     def searchers(self) -> list[Searcher]:
         """The pooled searchers, least recently used first."""
@@ -80,9 +143,12 @@ class SearcherPool:
         Entries are dropped, not kept: handing a closed searcher back
         out would depend on it lazily self-healing, a contract a future
         searcher with a terminal ``close()`` would silently break.
+        Searchers with outstanding :meth:`acquire` leases are retired
+        instead of closed — an in-flight batch finishes against a live
+        searcher, and the close lands on its final :meth:`release`.
         """
         for searcher in self._searchers.values():
-            searcher.close()
+            self._retire(searcher)
         self._searchers.clear()
 
     def __len__(self) -> int:

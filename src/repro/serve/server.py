@@ -1,0 +1,384 @@
+"""The asyncio HTTP serving front end over one qunit search engine.
+
+:class:`SearchServer` puts the staged pipeline behind a network
+boundary without giving up its batch-native economics: concurrent
+requests from independent connections meet in a
+:class:`~repro.serve.batcher.MicroBatcher`, each micro-batch drains
+through a single :meth:`~repro.core.search.engine.QunitSearchEngine.
+execute` call, and the admission line in front of the queue is a
+per-client token bucket (:class:`~repro.serve.batcher.ClientQuotas`).
+
+The wire protocol is deliberately small — HTTP/1.1 with JSON bodies,
+spoken directly over ``asyncio.start_server`` (no web framework in the
+dependency set, and none needed for four routes):
+
+- ``POST /search`` — one :class:`~repro.serve.api.SearchRequest` dict
+  in, one :class:`~repro.serve.api.SearchResponse` dict out.
+- ``POST /search/batch`` — ``{"requests": [...]}`` in, ``{"responses":
+  [...]}`` out; the batch is submitted as one unit (it may be merged
+  with other clients' requests but never split below the caller's
+  grouping by the queue bound).
+- ``GET /healthz`` — liveness.
+- ``GET /stats`` — serving counters (batches, batch occupancy, quota
+  rejections, result-cache hits/stores).
+
+Failure surface: 400 malformed JSON or request fields, 404/405 unknown
+routes, 429 + ``Retry-After`` for quota exhaustion *and* queue
+backpressure, 503 while shutting down, 504 when a request's own
+``timeout`` elapses in the queue.
+
+Lifecycle is the point of the design: :meth:`SearchServer.start` pins
+the flat searcher through the collection's lease API
+(:meth:`~repro.core.collection.QunitCollection.acquire_searcher`), so
+shard executors spawn once at startup and pool churn can never close
+them mid-serving; :meth:`SearchServer.close` stops accepting, drains
+in-flight batches, releases the lease, and only then closes the
+collection (shard workers die last).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+from repro.core.search.engine import QunitSearchEngine
+from repro.serve.api import SearchRequest
+from repro.serve.batcher import (
+    ClientQuotas,
+    MicroBatcher,
+    ServerClosed,
+    ServerOverloaded,
+)
+
+__all__ = ["ServerConfig", "SearchServer"]
+
+MAX_BODY_BYTES = 1 << 20  # 1 MiB: far above any sane batch of queries
+MAX_HEADER_BYTES = 16 << 10
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of the serving front end.
+
+    ``window``/``max_batch`` shape micro-batches (seconds the batch
+    stays open after its first request; requests per batch at most);
+    ``queue_limit`` bounds waiting requests (backpressure);
+    ``quota_rate``/``quota_burst`` configure per-client token buckets
+    (``quota_rate=None`` disables quotas entirely).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off the server
+    window: float = 0.002
+    max_batch: int = 32
+    queue_limit: int = 256
+    quota_rate: float | None = None
+    quota_burst: float = 20.0
+
+    def __post_init__(self) -> None:
+        """Validate at construction, not at first request."""
+        if self.quota_rate is not None and self.quota_rate <= 0:
+            raise ValueError(
+                f"quota_rate must be positive or None, got {self.quota_rate}")
+
+
+class _HttpError(Exception):
+    """An error the handler answers with a specific status code."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict[str, str] | None = None):
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+class SearchServer:
+    """One engine behind an asyncio HTTP front end.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`close` explicitly.  The bound address is :attr:`address`
+    (useful with the default ephemeral port).
+    """
+
+    def __init__(self, engine: QunitSearchEngine,
+                 config: ServerConfig | None = None):
+        """Wrap ``engine``; nothing starts until :meth:`start`."""
+        self.engine = engine
+        self.config = config or ServerConfig()
+        self.batcher = MicroBatcher(
+            engine.execute, window=self.config.window,
+            max_batch=self.config.max_batch,
+            queue_limit=self.config.queue_limit)
+        self.quotas = (ClientQuotas(self.config.quota_rate,
+                                    self.config.quota_burst)
+                       if self.config.quota_rate is not None else None)
+        self._server: asyncio.base_events.Server | None = None
+        self._flat_lease = None
+        self._closing = False
+        #: Request counters by outcome, for ``/stats``.
+        self.requests = 0
+        self.rejected = 0
+        self.timeouts = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and warm the serving path.
+
+        The flat searcher is acquired (pinned) here — shard executors
+        spawn at startup, not on the first query, and the pool cannot
+        close them while the server lives.
+        """
+        loop = asyncio.get_running_loop()
+        # Searcher construction may build indexes / spawn executors;
+        # keep it off the event loop like every other pipeline call.
+        self._flat_lease = await loop.run_in_executor(
+            None, self.engine.collection.acquire_searcher, None,
+            self.engine.scorer)
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); raises before :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def close(self) -> None:
+        """Graceful shutdown, in dependency order: stop accepting,
+        drain queued requests through the batcher (mid-batch requests
+        complete), release the flat-searcher lease, then close the
+        collection — shard workers die only after the last batch that
+        could touch them has finished."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.batcher.close()
+        if self._flat_lease is not None:
+            self.engine.collection.release_searcher(self._flat_lease)
+            self._flat_lease = None
+        self.engine.collection.close()
+
+    async def __aenter__(self) -> "SearchServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """Serve one keep-alive connection until EOF or error."""
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except asyncio.IncompleteReadError:
+                    return  # clean EOF between requests
+                except _HttpError as exc:
+                    await self._respond(writer, exc.status,
+                                        {"error": str(exc)}, exc.headers,
+                                        close=True)
+                    return
+                if request is None:
+                    return
+                method, path, body = request
+                try:
+                    status, payload, headers = \
+                        await self._route(method, path, body)
+                except _HttpError as exc:
+                    status, payload, headers = \
+                        exc.status, {"error": str(exc)}, exc.headers
+                await self._respond(writer, status, payload, headers)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            ) -> tuple[str, str, bytes] | None:
+        """Parse one HTTP/1.1 request; ``None`` on immediate EOF.
+
+        Raises:
+            _HttpError: on malformed request lines or oversized
+                headers/bodies.
+            asyncio.IncompleteReadError: on EOF mid-request.
+        """
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "headers too large") from None
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise
+        if len(head) > MAX_HEADER_BYTES:
+            raise _HttpError(413, "headers too large")
+        request_line, _, header_block = head.partition(b"\r\n")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        for line in header_block.decode("latin-1").split("\r\n"):
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: dict, headers: dict[str, str] | None = None,
+                       close: bool = False) -> None:
+        """Write one JSON response (keep-alive unless ``close``)."""
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: " + ("close" if close else "keep-alive"),
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     ) -> tuple[int, dict, dict]:
+        """Dispatch one request; returns (status, payload, headers).
+
+        Raises:
+            _HttpError: for every non-200 outcome.
+        """
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, {"status": "ok"}, {}
+        if path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, self.stats(), {}
+        if path == "/search":
+            if method != "POST":
+                raise _HttpError(405, "use POST")
+            request = self._parse_request(self._parse_json(body))
+            response = await self._submit(request)
+            return 200, response.to_dict(), {}
+        if path == "/search/batch":
+            if method != "POST":
+                raise _HttpError(405, "use POST")
+            data = self._parse_json(body)
+            if not isinstance(data, dict) or \
+                    not isinstance(data.get("requests"), list):
+                raise _HttpError(
+                    400, "batch body must be {\"requests\": [...]}")
+            requests = [self._parse_request(entry)
+                        for entry in data["requests"]]
+            responses = await asyncio.gather(
+                *(self._submit(request) for request in requests))
+            return 200, {"responses": [response.to_dict()
+                                       for response in responses]}, {}
+        raise _HttpError(404, f"no route {path!r}")
+
+    @staticmethod
+    def _parse_json(body: bytes):
+        """Decode a JSON body or answer 400."""
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"malformed JSON body: {exc}") from None
+
+    @staticmethod
+    def _parse_request(data) -> SearchRequest:
+        """A validated :class:`SearchRequest` or a 400."""
+        try:
+            return SearchRequest.from_dict(data)
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from None
+
+    async def _submit(self, request: SearchRequest):
+        """Run one request through quota → queue → batcher.
+
+        Raises:
+            _HttpError: 429 on quota/backpressure, 503 when closing,
+                504 when the request's timeout elapses queued.
+        """
+        self.requests += 1
+        if self.quotas is not None:
+            retry_after = self.quotas.try_admit(request.client_id)
+            if retry_after > 0:
+                self.rejected += 1
+                raise _HttpError(
+                    429, f"client quota exhausted; retry in "
+                         f"{retry_after:.2f}s",
+                    {"Retry-After": f"{max(retry_after, 0.01):.2f}"})
+        try:
+            return await self.batcher.submit(request)
+        except ServerOverloaded as exc:
+            self.rejected += 1
+            raise _HttpError(
+                429, str(exc),
+                {"Retry-After": f"{exc.retry_after:.2f}"}) from None
+        except ServerClosed:
+            raise _HttpError(503, "server is shutting down") from None
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            raise _HttpError(
+                504, f"request did not complete within "
+                     f"{request.timeout}s") from None
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Serving counters: requests by outcome, batch occupancy, and
+        the pipeline result cache's hit/store counters when enabled."""
+        batches = self.batcher.batches
+        data = {
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "batches": batches,
+            "served": self.batcher.served,
+            "mean_batch_size": (self.batcher.served / batches
+                                if batches else 0.0),
+        }
+        if self.quotas is not None:
+            data["quota_rejections"] = self.quotas.rejections
+        for middleware in self.engine.pipeline.middleware:
+            if hasattr(middleware, "hits") and hasattr(middleware, "stores"):
+                data["result_cache"] = {
+                    "hits": middleware.hits,
+                    "misses": middleware.misses,
+                    "stores": middleware.stores,
+                    "store_rejections": middleware.store_rejections,
+                }
+        return data

@@ -40,7 +40,7 @@ from repro.serve.plan import PlannedTask, QueryPlan
 
 if TYPE_CHECKING:  # circular-import-free type references only
     from repro.answer import Answer
-    from repro.ir.retrieval import SearchHit
+    from repro.ir.retrieval import Searcher, SearchHit
     from repro.serve.pipeline import QueryContext, QueryPipeline
 
 __all__ = [
@@ -191,6 +191,12 @@ class ExecuteStage(PipelineStage):
         watched: dict[int, tuple] = {}  # id -> (searcher, hits0, misses0)
         flat = None
         routing_before: dict = {}
+        # One pool lease per target for the length of the batch: a batch
+        # touching more searcher keys than the pool holds used to evict
+        # (and close) the flat searcher mid-batch, dropping its shard
+        # executors out from under later rounds.  Leased searchers stay
+        # open even if evicted; the finally block returns every lease.
+        leases: dict[str | None, Searcher] = {}
 
         drivers: list[list] = []  # [ctx, generator, pending request]
         for ctx in contexts:
@@ -200,33 +206,48 @@ class ExecuteStage(PipelineStage):
             except StopIteration:
                 continue
             drivers.append([ctx, generator, request])
-        while drivers:
-            groups: dict[tuple[str | None, int], list[list]] = {}
-            for row in drivers:
-                request = row[2]
-                groups.setdefault((request.target, request.fetch),
-                                  []).append(row)
-            drivers = []
-            for (target, fetch), rows in groups.items():
-                searcher = pipeline.searcher_for(target)
-                if id(searcher) not in watched:
-                    watched[id(searcher)] = (searcher, searcher.cache_hits,
-                                             searcher.cache_misses)
-                if target is None and flat is None:
-                    flat = searcher
-                    routing_before = dict(flat.routing_stats or {})
-                for row in rows:
-                    row[0].executed_targets.add(target)
-                hit_lists = searcher.search_many(
-                    [row[2].query for row in rows], fetch)
-                for row, hits in zip(rows, hit_lists):
-                    try:
-                        row[2] = row[1].send(hits)
-                    except StopIteration:
-                        continue
-                    drivers.append(row)
+        try:
+            while drivers:
+                groups: dict[tuple[str | None, int], list[list]] = {}
+                for row in drivers:
+                    request = row[2]
+                    groups.setdefault((request.target, request.fetch),
+                                      []).append(row)
+                drivers = []
+                for (target, fetch), rows in groups.items():
+                    searcher = leases.get(target)
+                    if searcher is None:
+                        searcher = pipeline.acquire_for(target)
+                        leases[target] = searcher
+                    if id(searcher) not in watched:
+                        watched[id(searcher)] = (searcher,
+                                                 searcher.cache_hits,
+                                                 searcher.cache_misses)
+                    if target is None and flat is None:
+                        flat = searcher
+                        routing_before = dict(flat.routing_stats or {})
+                    for row in rows:
+                        row[0].executed_targets.add(target)
+                    hit_lists = searcher.search_many(
+                        [row[2].query for row in rows], fetch)
+                    for row, hits in zip(rows, hit_lists):
+                        try:
+                            row[2] = row[1].send(hits)
+                        except StopIteration:
+                            continue
+                        drivers.append(row)
 
-        stats = {}
+            stats = self._batch_stats(watched, flat, routing_before)
+        finally:
+            for searcher in leases.values():
+                pipeline.release_searcher(searcher)
+        for ctx in contexts:
+            ctx.retrieval_stats = dict(stats)
+
+    @staticmethod
+    def _batch_stats(watched: dict, flat, routing_before: dict) -> dict:
+        """The batch-level retrieval counters from the watched searchers."""
+        stats: dict = {}
         if watched:
             stats["cache_hits"] = sum(
                 searcher.cache_hits - hits0
@@ -235,10 +256,10 @@ class ExecuteStage(PipelineStage):
                 searcher.cache_misses - misses0
                 for searcher, _h, misses0 in watched.values())
         if flat is not None:
-            # A batch touching more searcher keys than the pool holds can
-            # evict (and close) the flat searcher mid-batch, dropping its
-            # shard set; fall back to the before-counters so the deltas
-            # degrade to zero instead of going negative.
+            # The batch lease keeps the flat searcher alive even if the
+            # pool evicted it, but a defensive fallback to the before-
+            # counters keeps the deltas at zero (not negative) should
+            # its shard set ever vanish.
             routing_after = dict(flat.routing_stats or routing_before)
             tasks_delta = routing_after.get("shard_tasks", 0) - \
                 routing_before.get("shard_tasks", 0)
@@ -246,8 +267,7 @@ class ExecuteStage(PipelineStage):
                 routing_before.get("shard_tasks_skipped", 0)
             stats["shard_tasks"] = max(0, tasks_delta - skipped_delta)
             stats["shard_tasks_skipped"] = max(0, skipped_delta)
-        for ctx in contexts:
-            ctx.retrieval_stats = dict(stats)
+        return stats
 
     # -- per-query execution (exact port of the sequential engine loop) -----
 

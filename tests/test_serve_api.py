@@ -1,0 +1,152 @@
+"""Tests for the unified serving API (``repro.serve.api``): typed
+request/response wire round trips, validation at the boundary, and the
+deprecated engine entry points delegating to the one core path."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.answer import Answer
+from repro.serve.api import (
+    SearchRequest,
+    SearchResponse,
+    answer_from_dict,
+    answer_to_dict,
+)
+from repro.serve.explain import StageTiming
+
+
+class TestSearchRequest:
+    def test_round_trip_defaults_elided(self):
+        request = SearchRequest(query="hello")
+        data = request.to_dict()
+        assert data == {"query": "hello", "limit": 5}
+        assert SearchRequest.from_dict(data) == request
+
+    def test_round_trip_full(self):
+        request = SearchRequest(query="q", limit=3, explain=True,
+                                client_id="c1", timeout=2.5)
+        rebuilt = SearchRequest.from_dict(
+            json.loads(json.dumps(request.to_dict())))
+        assert rebuilt == request
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchRequest(query=123)
+        with pytest.raises(ValueError):
+            SearchRequest(query="q", limit=-1)
+        with pytest.raises(ValueError):
+            SearchRequest(query="q", limit=True)
+        with pytest.raises(ValueError):
+            SearchRequest(query="q", timeout=0)
+        with pytest.raises(ValueError):
+            SearchRequest(query="q", client_id=7)
+
+    def test_from_dict_rejects_unknown_and_missing_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SearchRequest.from_dict({"query": "q", "surprise": 1})
+        with pytest.raises(ValueError, match="query"):
+            SearchRequest.from_dict({"limit": 3})
+        with pytest.raises(ValueError):
+            SearchRequest.from_dict(["not", "a", "dict"])
+        with pytest.raises(ValueError):
+            SearchRequest.from_dict({"query": "q", "timeout": "soon"})
+
+    @given(query=st.text(max_size=40),
+           limit=st.integers(min_value=0, max_value=50),
+           explain=st.booleans(),
+           client_id=st.none() | st.text(min_size=1, max_size=10))
+    def test_round_trip_property(self, query, limit, explain, client_id):
+        request = SearchRequest(query=query, limit=limit, explain=explain,
+                                client_id=client_id)
+        assert SearchRequest.from_dict(
+            json.loads(json.dumps(request.to_dict()))) == request
+
+
+def _answer():
+    return Answer(
+        system="qunits-expert",
+        atoms=frozenset({("movie", "title", "heat"),
+                         ("person", "name", "al pacino")}),
+        text="heat (1995)",
+        score=0.75,
+        provenance=(("definition", "movie_main_page"),
+                    ("params", (("x", "Heat"),)),
+                    ("rows", 12)),
+    )
+
+
+class TestSearchResponse:
+    def test_answer_round_trip_is_lossless(self):
+        answer = _answer()
+        rebuilt = answer_from_dict(json.loads(json.dumps(
+            answer_to_dict(answer))))
+        assert rebuilt == answer
+        assert rebuilt.provenance == answer.provenance  # tuples restored
+
+    def test_answer_from_dict_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            answer_from_dict({"system": "x"})
+
+    def test_response_round_trip(self):
+        response = SearchResponse(
+            query="q", answers=(_answer(),),
+            timings=(StageTiming("segment", 0.001),
+                     StageTiming("execute", 0.02)),
+            cached=True, admitted=True, client_id="c9")
+        rebuilt = SearchResponse.from_dict(
+            json.loads(json.dumps(response.to_dict())))
+        assert rebuilt == response
+
+    def test_response_from_dict_rejects_missing_fields(self):
+        with pytest.raises(ValueError):
+            SearchResponse.from_dict({"answers": []})
+        with pytest.raises(ValueError):
+            SearchResponse.from_dict("nope")
+
+
+class TestDeprecatedEngineWrappers:
+    """The four historical entry points still work — as thin warned
+    wrappers whose results match the core execute() path."""
+
+    def test_search_matches_execute(self, expert_engine):
+        query = "movies"
+        with pytest.warns(DeprecationWarning):
+            old = expert_engine.search(query, limit=4)
+        [response] = expert_engine.execute(
+            [SearchRequest(query=query, limit=4)])
+        assert tuple(old) == response.answers
+
+    def test_search_many_matches_execute(self, expert_engine):
+        queries = ["movies", "actors"]
+        with pytest.warns(DeprecationWarning):
+            old = expert_engine.search_many(queries, limit=3)
+        responses = expert_engine.execute(
+            [SearchRequest(query=query, limit=3) for query in queries])
+        assert [tuple(answers) for answers in old] \
+            == [response.answers for response in responses]
+
+    def test_search_with_explanation_matches_execute(self, expert_engine):
+        query = "movies"
+        with pytest.warns(DeprecationWarning):
+            old_answers, old_explanation = \
+                expert_engine.search_with_explanation(query, limit=3)
+        [response] = expert_engine.execute(
+            [SearchRequest(query=query, limit=3, explain=True)])
+        assert tuple(old_answers) == response.answers
+        assert old_explanation.candidates == response.explanation.candidates
+
+    def test_search_many_with_explanations_matches_execute(
+            self, expert_engine):
+        queries = ["movies", "actors"]
+        with pytest.warns(DeprecationWarning):
+            old = expert_engine.search_many_with_explanations(
+                queries, limit=2)
+        responses = expert_engine.execute(
+            [SearchRequest(query=query, limit=2, explain=True)
+             for query in queries])
+        for (old_answers, old_explanation), response in zip(old, responses):
+            assert tuple(old_answers) == response.answers
+            assert old_explanation.query == response.explanation.query

@@ -1,0 +1,252 @@
+"""Unit tests for the serving front end's batching and admission
+primitives (``repro.serve.batcher``): micro-batch close conditions,
+queue backpressure, graceful shutdown ordering, and the token-bucket
+quotas — all against a fake runner, no engine involved."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.api import SearchRequest, SearchResponse
+from repro.serve.batcher import (
+    ClientQuotas,
+    MicroBatcher,
+    ServerClosed,
+    ServerOverloaded,
+    TokenBucket,
+)
+
+
+def echo_runner(requests):
+    """The simplest valid runner: one empty response per request."""
+    return [SearchResponse(query=request.query, answers=())
+            for request in requests]
+
+
+class _BlockingRunner:
+    """A runner that parks in the worker thread until released, so
+    tests can pile requests up behind an in-flight batch."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.calls = []
+
+    def __call__(self, requests):
+        self.release.wait(timeout=10)
+        self.calls.append([request.query for request in requests])
+        return echo_runner(requests)
+
+
+class TestMicroBatcher:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(echo_runner, window=-0.001)
+        with pytest.raises(ValueError):
+            MicroBatcher(echo_runner, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(echo_runner, queue_limit=0)
+
+    def test_concurrent_requests_meet_in_one_batch(self):
+        """Requests submitted within the window drain as one batch."""
+
+        async def main():
+            batcher = MicroBatcher(echo_runner, window=0.2, max_batch=10)
+            batcher.start()
+            responses = await asyncio.gather(*(
+                batcher.submit(SearchRequest(query=f"q{i}"))
+                for i in range(3)))
+            await batcher.close()
+            return batcher, responses
+
+        batcher, responses = asyncio.run(main())
+        assert [response.query for response in responses] \
+            == ["q0", "q1", "q2"]
+        assert batcher.batches == 1
+        assert batcher.served == 3
+
+    def test_size_threshold_closes_before_window(self):
+        """A full batch runs immediately — the (long) window is the
+        maximum added latency, never a mandatory wait."""
+
+        async def main():
+            batcher = MicroBatcher(echo_runner, window=30.0, max_batch=2)
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            await asyncio.gather(
+                batcher.submit(SearchRequest(query="a")),
+                batcher.submit(SearchRequest(query="b")))
+            elapsed = loop.time() - started
+            await batcher.close()
+            return batcher, elapsed
+
+        batcher, elapsed = asyncio.run(main())
+        assert batcher.batches == 1 and batcher.served == 2
+        assert elapsed < 5.0  # nowhere near the 30s window
+
+    def test_window_expiry_closes_partial_batch(self):
+        """A lone request is served once the window elapses."""
+
+        async def main():
+            batcher = MicroBatcher(echo_runner, window=0.01, max_batch=50)
+            batcher.start()
+            response = await batcher.submit(SearchRequest(query="solo"))
+            await batcher.close()
+            return batcher, response
+
+        batcher, response = asyncio.run(main())
+        assert response.query == "solo"
+        assert batcher.batches == 1 and batcher.served == 1
+
+    def test_queue_overflow_fails_fast(self):
+        """Requests beyond queue_limit get ServerOverloaded, and the
+        queued ones still complete once the runner unblocks."""
+        runner = _BlockingRunner()
+
+        async def main():
+            batcher = MicroBatcher(runner, window=0.0, max_batch=1,
+                                   queue_limit=2)
+            batcher.start()
+            # Let the drainer pull the first request into the in-flight
+            # (blocked) batch, then fill the queue behind it.
+            pending = [asyncio.ensure_future(
+                batcher.submit(SearchRequest(query="q0")))]
+            await asyncio.sleep(0.05)
+            pending += [asyncio.ensure_future(
+                batcher.submit(SearchRequest(query=f"q{i}")))
+                for i in (1, 2)]
+            await asyncio.sleep(0)
+            with pytest.raises(ServerOverloaded) as excinfo:
+                await batcher.submit(SearchRequest(query="overflow"))
+            assert excinfo.value.retry_after > 0
+            runner.release.set()
+            responses = await asyncio.gather(*pending)
+            await batcher.close()
+            return batcher, responses
+
+        batcher, responses = asyncio.run(main())
+        assert len(responses) == 3
+        assert batcher.served == 3
+
+    def test_close_drains_backlog_then_refuses(self):
+        """close() serves every accepted request (the stop sentinel
+        queues behind the backlog) and later submits get ServerClosed."""
+        runner = _BlockingRunner()
+
+        async def main():
+            batcher = MicroBatcher(runner, window=0.0, max_batch=1,
+                                   queue_limit=8)
+            batcher.start()
+            pending = [asyncio.ensure_future(
+                batcher.submit(SearchRequest(query=f"q{i}")))
+                for i in range(3)]
+            await asyncio.sleep(0.05)  # first batch in flight, 2 queued
+            closer = asyncio.ensure_future(batcher.close())
+            runner.release.set()
+            responses = await asyncio.gather(*pending)
+            await closer
+            with pytest.raises(ServerClosed):
+                await batcher.submit(SearchRequest(query="late"))
+            return batcher, responses
+
+        batcher, responses = asyncio.run(main())
+        assert [response.query for response in responses] \
+            == ["q0", "q1", "q2"]
+        assert batcher.served == 3
+
+    def test_request_timeout_is_not_served_later(self):
+        """A request whose timeout elapses while queued raises, and the
+        drainer skips its cancelled future instead of answering it."""
+        runner = _BlockingRunner()
+
+        async def main():
+            batcher = MicroBatcher(runner, window=0.0, max_batch=1,
+                                   queue_limit=8)
+            batcher.start()
+            first = asyncio.ensure_future(
+                batcher.submit(SearchRequest(query="inflight")))
+            await asyncio.sleep(0.05)
+            with pytest.raises(asyncio.TimeoutError):
+                await batcher.submit(
+                    SearchRequest(query="hasty", timeout=0.01))
+            runner.release.set()
+            await first
+            await batcher.close()
+            return batcher
+
+        batcher = asyncio.run(main())
+        # Only the in-flight request was served; the timed-out one's
+        # batch found a cancelled future and ran nothing.
+        assert batcher.served == 1
+        assert ["inflight"] in runner.calls
+        assert ["hasty"] not in runner.calls
+
+    def test_runner_failure_propagates_to_every_waiter(self):
+        def broken(requests):
+            raise RuntimeError("engine exploded")
+
+        async def main():
+            batcher = MicroBatcher(broken, window=0.05, max_batch=4)
+            batcher.start()
+            results = await asyncio.gather(
+                batcher.submit(SearchRequest(query="a")),
+                batcher.submit(SearchRequest(query="b")),
+                return_exceptions=True)
+            await batcher.close()
+            return results
+
+        results = asyncio.run(main())
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=5)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+    def test_burst_then_deny_with_retry_after(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3, clock=lambda: now[0])
+        assert [bucket.try_take() for _ in range(3)] == [0.0, 0.0, 0.0]
+        # Empty: one token refills in 1/rate = 0.5s.
+        assert bucket.try_take() == pytest.approx(0.5)
+
+    def test_refill_is_capped_at_burst(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2, clock=lambda: now[0])
+        for _ in range(2):
+            bucket.try_take()
+        now[0] = 100.0  # a long idle refills to burst, not to 100
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0
+
+
+class TestClientQuotas:
+    def test_clients_get_independent_buckets(self):
+        now = [0.0]
+        quotas = ClientQuotas(rate=1.0, burst=1, clock=lambda: now[0])
+        assert quotas.try_admit("alice") == 0.0
+        assert quotas.try_admit("alice") > 0.0  # alice is out
+        assert quotas.try_admit("bob") == 0.0  # bob is unaffected
+        assert quotas.rejections == 1
+
+    def test_anonymous_requests_share_one_bucket(self):
+        now = [0.0]
+        quotas = ClientQuotas(rate=1.0, burst=1, clock=lambda: now[0])
+        assert quotas.try_admit(None) == 0.0
+        assert quotas.try_admit(None) > 0.0  # no dodging by omitting id
+
+    def test_bucket_table_is_lru_bounded(self):
+        now = [0.0]
+        quotas = ClientQuotas(rate=1.0, burst=1, clock=lambda: now[0])
+        quotas.MAX_CLIENTS = 2
+        quotas.try_admit("a")
+        quotas.try_admit("b")
+        quotas.try_admit("c")  # evicts "a"
+        assert len(quotas._buckets) == 2
+        # "a" returns with a fresh (full) bucket: admitted again.
+        assert quotas.try_admit("a") == 0.0

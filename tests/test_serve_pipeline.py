@@ -422,3 +422,76 @@ class TestSearcherPool:
     def test_size_validation(self):
         with pytest.raises(ValueError):
             SearcherPool(max_size=0)
+
+
+class _TrackedSearcher:
+    """A stand-in searcher that records whether it has been closed."""
+
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestSearcherPoolLeases:
+    """The acquire/release lease protocol: an evicted-but-leased
+    searcher must stay open until the batch holding it finishes."""
+
+    def test_eviction_defers_close_until_last_release(self):
+        pool = SearcherPool(max_size=1)
+        held = pool.acquire("a", _TrackedSearcher)
+        pool.get("b", _TrackedSearcher)  # evicts "a" while leased
+        assert "a" not in pool
+        assert not held.closed  # the lease keeps it open
+        pool.release(held)
+        assert held.closed  # last release lands the deferred close
+
+    def test_unleased_eviction_closes_immediately(self):
+        pool = SearcherPool(max_size=1)
+        victim = pool.get("a", _TrackedSearcher)
+        pool.get("b", _TrackedSearcher)
+        assert victim.closed
+
+    def test_leases_nest(self):
+        pool = SearcherPool(max_size=1)
+        first = pool.acquire("a", _TrackedSearcher)
+        second = pool.acquire("a", lambda: pytest.fail("must be cached"))
+        assert first is second
+        pool.get("b", _TrackedSearcher)  # evict while doubly leased
+        pool.release(first)
+        assert not first.closed  # one lease still outstanding
+        pool.release(first)
+        assert first.closed
+
+    def test_release_of_still_pooled_searcher_keeps_it_open(self):
+        pool = SearcherPool(max_size=4)
+        held = pool.acquire("a", _TrackedSearcher)
+        pool.release(held)
+        assert not held.closed
+        assert "a" in pool  # back to plain evictable pool residency
+
+    def test_release_without_acquire_raises(self):
+        pool = SearcherPool()
+        searcher = pool.get("a", _TrackedSearcher)
+        with pytest.raises(ValueError):
+            pool.release(searcher)
+
+    def test_close_sweep_respects_leases(self):
+        pool = SearcherPool(max_size=4)
+        held = pool.acquire("a", _TrackedSearcher)
+        other = pool.get("b", _TrackedSearcher)
+        pool.close()
+        assert other.closed  # unleased: swept immediately
+        assert not held.closed  # leased: survives the sweep...
+        pool.release(held)
+        assert held.closed  # ...until its last release
+
+    def test_key_is_rebuildable_after_leased_eviction(self):
+        pool = SearcherPool(max_size=1)
+        old = pool.acquire("a", _TrackedSearcher)
+        pool.get("b", _TrackedSearcher)
+        rebuilt = pool.get("a", _TrackedSearcher)  # evicts "b"
+        assert rebuilt is not old
+        pool.release(old)
+        assert old.closed and not rebuilt.closed

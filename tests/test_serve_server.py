@@ -1,0 +1,367 @@
+"""Integration tests for the asyncio HTTP serving front end
+(``repro.serve.server`` + ``repro.serve.client``): routing and error
+codes over a real socket, micro-batch formation, backpressure and
+quota 429s, graceful shutdown mid-batch, and the property that answers
+served over HTTP are identical to in-process answers."""
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import QunitCollection
+from repro.core.derivation import imdb_expert_qunits
+from repro.core.search import QunitSearchEngine
+from repro.datasets.querylog import SessionLogGenerator
+from repro.serve.api import SearchRequest
+from repro.serve.client import SearchClient, ServerBusy, build_session_workload
+from repro.serve.server import SearchServer, ServerConfig
+
+
+@pytest.fixture(scope="module")
+def serve_collection(imdb_db):
+    return QunitCollection(imdb_db, imdb_expert_qunits(),
+                           max_instances_per_definition=40)
+
+
+@pytest.fixture(scope="module")
+def workload_queries(imdb_db):
+    generator = SessionLogGenerator(imdb_db, seed=5)
+    sessions = generator.generate(25)
+    return sorted({query for session in sessions
+                   for query in session.queries})[:15]
+
+
+@pytest.fixture(scope="module")
+def live_server(serve_collection):
+    """One server on a background event-loop thread, so synchronous
+    ``http.client`` (and hypothesis) can talk to it per example."""
+    engine = QunitSearchEngine(serve_collection, flavor="expert")
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    server = SearchServer(engine, ServerConfig(window=0.002, max_batch=8))
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=120)
+    try:
+        yield server
+    finally:
+        asyncio.run_coroutine_threadsafe(server.close(),
+                                         loop).result(timeout=120)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+
+
+def _request(server, method, path, payload=None):
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        connection.request(method, path, body=body,
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw) if raw else {}
+    finally:
+        connection.close()
+
+
+class TestRouting:
+    def test_healthz(self, live_server):
+        status, data = _request(live_server, "GET", "/healthz")
+        assert (status, data) == (200, {"status": "ok"})
+
+    def test_wrong_method_is_405(self, live_server):
+        assert _request(live_server, "POST", "/healthz",
+                        {})[0] == 405
+        assert _request(live_server, "GET", "/search")[0] == 405
+
+    def test_unknown_route_is_404(self, live_server):
+        assert _request(live_server, "GET", "/nope")[0] == 404
+
+    def test_malformed_json_is_400(self, live_server):
+        host, port = live_server.address
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            connection.request("POST", "/search", body="{not json",
+                               headers={"Content-Type": "application/json"})
+            assert connection.getresponse().status == 400
+        finally:
+            connection.close()
+
+    def test_unknown_request_field_is_400(self, live_server):
+        status, data = _request(live_server, "POST", "/search",
+                                {"query": "x", "bogus": 1})
+        assert status == 400
+        assert "bogus" in data["error"]
+
+    def test_missing_query_is_400(self, live_server):
+        status, data = _request(live_server, "POST", "/search",
+                                {"limit": 3})
+        assert status == 400 and "query" in data["error"]
+
+    def test_malformed_batch_is_400(self, live_server):
+        status, _data = _request(live_server, "POST", "/search/batch",
+                                 {"requests": "not a list"})
+        assert status == 400
+
+    def test_search_and_stats(self, live_server, workload_queries):
+        status, data = _request(live_server, "POST", "/search",
+                                {"query": workload_queries[0], "limit": 3})
+        assert status == 200
+        assert data["query"] == workload_queries[0]
+        assert len(data["answers"]) <= 3
+        status, stats = _request(live_server, "GET", "/stats")
+        assert status == 200
+        assert stats["requests"] >= 1 and stats["served"] >= 1
+        assert stats["batches"] >= 1
+
+    def test_batch_route(self, live_server, workload_queries):
+        payload = {"requests": [{"query": query, "limit": 2}
+                                for query in workload_queries[:3]]}
+        status, data = _request(live_server, "POST", "/search/batch",
+                                payload)
+        assert status == 200
+        assert [entry["query"] for entry in data["responses"]] \
+            == workload_queries[:3]
+
+    def test_keep_alive_connection_reuse(self, live_server):
+        host, port = live_server.address
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            for _ in range(2):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+
+
+class TestHttpMatchesInProcess:
+    """The core serving property: batched-over-HTTP answers are
+    identical, field by field, to in-process engine answers."""
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=st.data())
+    def test_answers_identical(self, live_server, serve_collection,
+                               workload_queries, data):
+        query = data.draw(st.sampled_from(workload_queries))
+        limit = data.draw(st.integers(min_value=1, max_value=8))
+        explain = data.draw(st.booleans())
+        request = SearchRequest(query=query, limit=limit, explain=explain)
+
+        reference_engine = QunitSearchEngine(serve_collection,
+                                             flavor="expert")
+        [reference] = reference_engine.execute([request])
+
+        async def over_http():
+            host, port = live_server.address
+            async with SearchClient(host, port) as client:
+                return await client.search(request)
+
+        served = asyncio.run(over_http())
+        assert served.query == reference.query
+        assert served.answers == reference.answers
+        if explain:
+            assert served.explanation is not None
+            assert served.explanation.candidates \
+                == reference.explanation.candidates
+            assert served.explanation.answers \
+                == reference.explanation.answers
+        else:
+            assert served.explanation is None
+
+
+def _start_server(collection, config, slow=None):
+    """An engine + server pair (unstarted); ``slow`` wraps the batch
+    runner with a delay or gate for tests that need in-flight batches."""
+    engine = QunitSearchEngine(collection, flavor="expert")
+    server = SearchServer(engine, config)
+    if slow is not None:
+        real = server.batcher.runner
+
+        def gated(requests):
+            slow()
+            return real(requests)
+
+        server.batcher.runner = gated
+    return server
+
+
+class TestServingBehavior:
+    def test_concurrent_requests_form_one_batch(self, serve_collection,
+                                                workload_queries):
+        """Requests arriving within the window are served by a single
+        engine call (the micro-batch), visible in /stats."""
+
+        async def main():
+            config = ServerConfig(window=0.3, max_batch=10)
+            async with _start_server(serve_collection, config) as server:
+                host, port = server.address
+
+                async def one(query):
+                    async with SearchClient(host, port) as client:
+                        return await client.search(
+                            SearchRequest(query=query, limit=3))
+
+                responses = await asyncio.gather(
+                    *(one(query) for query in workload_queries[:4]))
+                return server.stats(), responses
+
+        stats, responses = asyncio.run(main())
+        assert len(responses) == 4
+        assert stats["batches"] == 1
+        assert stats["served"] == 4
+        assert stats["mean_batch_size"] == pytest.approx(4.0)
+
+    def test_backpressure_answers_429_with_retry_after(
+            self, serve_collection, workload_queries):
+        gate = threading.Event()
+
+        async def main():
+            config = ServerConfig(window=0.0, max_batch=1, queue_limit=1)
+            async with _start_server(
+                    serve_collection, config,
+                    slow=lambda: gate.wait(timeout=10)) as server:
+                host, port = server.address
+                clients = [SearchClient(host, port) for _ in range(3)]
+                try:
+                    first = asyncio.ensure_future(clients[0].search(
+                        SearchRequest(query=workload_queries[0])))
+                    await asyncio.sleep(0.2)  # in the (gated) batch
+                    second = asyncio.ensure_future(clients[1].search(
+                        SearchRequest(query=workload_queries[1])))
+                    await asyncio.sleep(0.2)  # fills the queue
+                    with pytest.raises(ServerBusy) as excinfo:
+                        await clients[2].search(
+                            SearchRequest(query=workload_queries[2]))
+                    assert excinfo.value.retry_after > 0
+                    gate.set()
+                    responses = await asyncio.gather(first, second)
+                    return server.stats(), responses
+                finally:
+                    gate.set()
+                    for client in clients:
+                        await client.close()
+
+        stats, responses = asyncio.run(main())
+        assert len(responses) == 2
+        assert stats["rejected"] == 1
+
+    def test_quota_exhaustion_answers_429(self, serve_collection,
+                                          workload_queries):
+        async def main():
+            config = ServerConfig(window=0.0, max_batch=1,
+                                  quota_rate=0.001, quota_burst=1)
+            async with _start_server(serve_collection, config) as server:
+                host, port = server.address
+                async with SearchClient(host, port) as client:
+                    first = await client.search(SearchRequest(
+                        query=workload_queries[0], client_id="greedy"))
+                    with pytest.raises(ServerBusy) as excinfo:
+                        await client.search(SearchRequest(
+                            query=workload_queries[1], client_id="greedy"))
+                    # An unrelated client is admitted normally.
+                    other = await client.search(SearchRequest(
+                        query=workload_queries[1], client_id="modest"))
+                return first, excinfo.value, other, server.stats()
+
+        first, busy, other, stats = asyncio.run(main())
+        assert first.query == workload_queries[0]
+        assert other.query == workload_queries[1]
+        assert busy.retry_after > 0
+        assert stats["quota_rejections"] == 1
+
+    def test_graceful_shutdown_completes_inflight_batch(
+            self, serve_collection, workload_queries):
+        """close() mid-batch: queued requests are still answered, and
+        the listener is gone afterwards."""
+        gate = threading.Event()
+
+        async def main():
+            config = ServerConfig(window=0.0, max_batch=1, queue_limit=8)
+            server = _start_server(serve_collection, config,
+                                   slow=lambda: gate.wait(timeout=10))
+            await server.start()
+            host, port = server.address
+            clients = [SearchClient(host, port) for _ in range(3)]
+            try:
+                pending = [asyncio.ensure_future(client.search(
+                    SearchRequest(query=query)))
+                    for client, query in zip(clients, workload_queries)]
+                await asyncio.sleep(0.3)  # one in flight, two queued
+                closer = asyncio.ensure_future(server.close())
+                await asyncio.sleep(0.1)
+                gate.set()
+                responses = await asyncio.gather(*pending)
+                await closer
+                with pytest.raises(OSError):
+                    await asyncio.open_connection(host, port)
+                return responses
+            finally:
+                gate.set()
+                for client in clients:
+                    await client.close()
+
+        responses = asyncio.run(main())
+        assert [response.query for response in responses] \
+            == workload_queries[:3]
+
+    def test_queued_timeout_answers_504(self, serve_collection,
+                                        workload_queries):
+        gate = threading.Event()
+
+        async def main():
+            config = ServerConfig(window=0.0, max_batch=1, queue_limit=8)
+            async with _start_server(
+                    serve_collection, config,
+                    slow=lambda: gate.wait(timeout=10)) as server:
+                host, port = server.address
+                clients = [SearchClient(host, port) for _ in range(2)]
+                try:
+                    first = asyncio.ensure_future(clients[0].search(
+                        SearchRequest(query=workload_queries[0])))
+                    await asyncio.sleep(0.2)
+                    status, data = await clients[1].request(
+                        "POST", "/search",
+                        SearchRequest(query=workload_queries[1],
+                                      timeout=0.05).to_dict())
+                    gate.set()
+                    await first
+                    return status, data, server.stats()
+                finally:
+                    gate.set()
+                    for client in clients:
+                        await client.close()
+
+        status, data, stats = asyncio.run(main())
+        assert status == 504
+        assert stats["timeouts"] == 1
+
+
+class TestLoadClientHelpers:
+    def test_build_session_workload_preserves_session_order(self, imdb_db):
+        generator = SessionLogGenerator(imdb_db, seed=6)
+        sessions = generator.generate(10)
+        streams = build_session_workload(sessions, 3)
+        assert 1 <= len(streams) <= 3
+        total = sum(len(stream) for stream in streams)
+        assert total == sum(len(session.queries) for session in sessions)
+        # Round-robin: stream 0 holds sessions 0, 3, 6, 9 concatenated.
+        expected = [query for i in (0, 3, 6, 9)
+                    for query in sessions[i].queries]
+        assert streams[0] == expected
+
+    def test_build_session_workload_validation(self, imdb_db):
+        generator = SessionLogGenerator(imdb_db, seed=6)
+        sessions = generator.generate(2)
+        with pytest.raises(ValueError):
+            build_session_workload(sessions, 0)
+        with pytest.raises(ValueError):
+            build_session_workload([], 4)
