@@ -1,0 +1,138 @@
+"""HYBRID — the retrieval-quality delta of rank fusion, and its price.
+
+Every prior benchmark defends *speed* under a rank-identity constraint;
+this one measures the first intentional rank change: the ``"hybrid"``
+strategy (lexical top-k fused with char-n-gram cosine neighbours by
+reciprocal-rank fusion, :mod:`repro.ir.vector`).  The paper's central
+scenario is the query whose phrasing misses the decorated instance text,
+so the eval set is built exactly from that failure mode:
+
+1. **Gold** — for each clean entity query, the lexical top-k over the
+   flat instance collection (the ranking everyone agrees on when the
+   words match).
+2. **Paraphrase** — each query is lexically broken by one seeded
+   character edit per token (:mod:`repro.eval.paraphrase`): the
+   inverted index loses the token match, the n-gram embedder mostly
+   does not.
+3. **Measure** — nDCG@k and recall@k of the lexical and hybrid
+   strategies *on the paraphrased queries* against the clean-query gold,
+   plus cold/warm wall-clock for both.
+
+``BENCH_hybrid.json`` carries the headline numbers the nightly gate
+tracks: ``ndcg_hybrid`` / ``ndcg_delta`` (higher is better — the
+quality claim) and ``hybrid_warm_s`` / ``latency_ratio`` (lower is
+better — fusion must not price itself out of serving; warm includes the
+searcher result caches, matching every other benchmark's steady-state
+definition).  The quality assertion is hard in both modes: hybrid nDCG
+must be *strictly* above lexical on the paraphrased set.
+"""
+
+import json
+import time
+
+from conftest import SEED
+
+from repro.core import QunitCollection
+from repro.core.derivation import imdb_expert_qunits
+from repro.eval.paraphrase import paraphrase_query
+from repro.ir.metrics import mean, ndcg, recall_at_k
+from repro.ir.retrieval import Searcher
+
+LIMIT = 10
+
+
+def _entity_queries(db, per_table: int) -> list[str]:
+    """Entity-heavy clean queries sampled deterministically from the
+    database — the phrasing-sensitive workload hybrid exists for."""
+    queries = ["star wars cast", "science fiction movies",
+               "ocean adventure film"]
+    for table, column, suffix in (("movie", "title", " cast"),
+                                  ("person", "name", " movies")):
+        rows = list(db.table(table))
+        step = max(1, len(rows) // per_table)
+        for row in rows[::step][:per_table]:
+            queries.append(f"{row[column]}{suffix}")
+    return queries
+
+
+def _gains(ranked_ids: list[str], gold: list[str]) -> list[float]:
+    """Graded gains of a ranking against the gold list (gold rank ``i``
+    carries gain ``k - i``; unknown documents carry zero)."""
+    grade = {doc_id: float(len(gold) - i) for i, doc_id in enumerate(gold)}
+    return [grade.get(doc_id, 0.0) for doc_id in ranked_ids]
+
+
+def test_hybrid_quality_and_latency(bench_full, bench_db, bench_scale,
+                                    write_artifact):
+    per_table = 60 if bench_full else 15
+    instances = 300 if bench_full else 100
+    collection = QunitCollection(bench_db, imdb_expert_qunits(),
+                                 max_instances_per_definition=instances)
+    snapshot = collection.global_index().snapshot()
+    clean = _entity_queries(bench_db, per_table)
+    perturbed = [paraphrase_query(query, seed=SEED) for query in clean]
+
+    lexical = Searcher(snapshot, strategy="auto")
+    hybrid = Searcher(snapshot, strategy="hybrid")
+
+    # Gold: the lexical ranking of the *clean* phrasing.  Queries whose
+    # clean form already matches nothing carry no signal — drop them.
+    gold_lists = [[hit.doc_id for hit in hits]
+                  for hits in lexical.search_many(clean, LIMIT)]
+    kept = [i for i, gold in enumerate(gold_lists) if gold]
+    eval_queries = [perturbed[i] for i in kept]
+
+    def timed_pass(searcher):
+        start = time.perf_counter()
+        hit_lists = searcher.search_many(eval_queries, LIMIT)
+        return time.perf_counter() - start, \
+            [[hit.doc_id for hit in hits] for hits in hit_lists]
+
+    lexical_cold_s, lexical_ids = timed_pass(lexical)
+    lexical_warm_s, _ = timed_pass(lexical)
+    hybrid_cold_s, hybrid_ids = timed_pass(hybrid)
+    hybrid_warm_s, _ = timed_pass(hybrid)
+
+    def scores(id_lists):
+        ndcgs, recalls = [], []
+        for i, ranked in zip(kept, id_lists):
+            gold = gold_lists[i]
+            ndcgs.append(ndcg(_gains(ranked, gold), LIMIT))
+            recalls.append(recall_at_k(ranked, set(gold), LIMIT))
+        return mean(ndcgs), mean(recalls)
+
+    ndcg_lexical, recall_lexical = scores(lexical_ids)
+    ndcg_hybrid, recall_hybrid = scores(hybrid_ids)
+    latency_ratio = hybrid_warm_s / lexical_warm_s if lexical_warm_s \
+        else 0.0
+
+    report = {
+        "scale": bench_scale,
+        "documents": snapshot.document_count,
+        "queries": len(eval_queries),
+        "limit": LIMIT,
+        "ndcg_lexical": round(ndcg_lexical, 4),
+        "ndcg_hybrid": round(ndcg_hybrid, 4),
+        "ndcg_delta": round(ndcg_hybrid - ndcg_lexical, 4),
+        "recall_lexical": round(recall_lexical, 4),
+        "recall_hybrid": round(recall_hybrid, 4),
+        "lexical_cold_s": round(lexical_cold_s, 6),
+        "lexical_warm_s": round(lexical_warm_s, 6),
+        "hybrid_cold_s": round(hybrid_cold_s, 6),
+        "hybrid_warm_s": round(hybrid_warm_s, 6),
+        "latency_ratio": round(latency_ratio, 3),
+    }
+    write_artifact("BENCH_hybrid.json", json.dumps(report, indent=2))
+
+    # The quality claim — the reason the hybrid strategy exists: on
+    # lexically-broken phrasings it must strictly beat pure lexical
+    # retrieval against the clean-query gold.  Hard in both modes.
+    assert ndcg_hybrid > ndcg_lexical, (
+        f"hybrid nDCG@{LIMIT} must exceed lexical on paraphrased "
+        f"queries, got {ndcg_hybrid:.4f} vs {ndcg_lexical:.4f}")
+    assert recall_hybrid >= recall_lexical
+    if bench_full:
+        # Steady-state price cap: fused serving at most 2x lexical.
+        assert hybrid_warm_s <= 2 * lexical_warm_s, (
+            f"hybrid warm pass must stay within 2x lexical, got "
+            f"{hybrid_warm_s:.4f}s vs {lexical_warm_s:.4f}s")

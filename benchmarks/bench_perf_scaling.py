@@ -490,13 +490,11 @@ def test_sharded_vs_serial(benchmark, write_artifact, bench_full,
     cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
         else (os.cpu_count() or 1)
     shards = max(2, min(4, cpus))
-    parallelism = "process" if cpus >= 2 else "thread"
+    parallelism = "process" if cpus >= 2 else "serial"
 
     serial = Searcher(snapshot, cache_size=0)
     sharded = Searcher(snapshot, cache_size=0, shards=shards,
                        parallelism=parallelism)
-    threaded = Searcher(snapshot, cache_size=0, shards=shards,
-                        parallelism="thread")
 
     def measure():
         start = time.perf_counter()
@@ -512,20 +510,11 @@ def test_sharded_vs_serial(benchmark, write_artifact, bench_full,
         start = time.perf_counter()
         sharded.search_many(queries, limit)
         sharded_warm_s = time.perf_counter() - start
-
-        # The standing verdict on thread-mode sharding, re-measured every
-        # run: scoring holds the GIL, so threads serialize regardless of
-        # how cheap snapshot loads have become — the number that justifies
-        # the CLI's --shard-mode thread warning.
-        threaded.search_many(queries, limit)  # warm-up (pool + bounds)
-        start = time.perf_counter()
-        threaded.search_many(queries, limit)
-        thread_warm_s = time.perf_counter() - start
         return (serial_cold_s, serial_warm_s, sharded_cold_s,
-                sharded_warm_s, thread_warm_s)
+                sharded_warm_s)
 
     (serial_cold_s, serial_warm_s, sharded_cold_s, sharded_warm_s,
-     thread_warm_s) = benchmark.pedantic(measure, rounds=1, iterations=1)
+     ) = benchmark.pedantic(measure, rounds=1, iterations=1)
 
     # Rank identity over the real workload, tie-breaks included.
     serial_hits = serial.search_many(queries, limit)
@@ -533,7 +522,6 @@ def test_sharded_vs_serial(benchmark, write_artifact, bench_full,
     assert [[(h.doc_id, h.score) for h in hits] for hits in sharded_hits] == \
            [[(h.doc_id, h.score) for h in hits] for hits in serial_hits]
     sharded.close()
-    threaded.close()
 
     report = {
         "scale": scale,
@@ -549,8 +537,6 @@ def test_sharded_vs_serial(benchmark, write_artifact, bench_full,
         "sharded_warm_s": round(sharded_warm_s, 6),
         "speedup_cold": round(serial_cold_s / sharded_cold_s, 3),
         "speedup_warm": round(serial_warm_s / sharded_warm_s, 3),
-        "thread_warm_s": round(thread_warm_s, 6),
-        "thread_speedup_warm": round(serial_warm_s / thread_warm_s, 3),
     }
     write_artifact("BENCH_sharded_scaling.json", json.dumps(report, indent=2))
     if bench_full and cpus >= 2:
@@ -758,7 +744,10 @@ def test_snapshot_v2_dedup_and_bloom_routing(benchmark, write_artifact,
     # -- on-disk dedup: the current (v3) generation vs standalone saves -----
     v3_dir = tmp_path_factory.mktemp("snapshot-v3") / "generation"
     start = time.perf_counter()
-    collection.save(v3_dir)
+    # vectors=False: this benchmark scores the document-dedup layout;
+    # the standalone saves below carry no vector extents, so a
+    # like-for-like byte comparison must not either.
+    collection.save(v3_dir, vectors=False)
     save_v3_s = time.perf_counter() - start
     # Like-for-like: exclude the manifest (identical either way) and the
     # per-shard files (the standalone layout has none to compare).

@@ -41,7 +41,7 @@ from repro.core.derivation import imdb_expert_qunits
 from repro.core.search import QunitSearchEngine
 from repro.datasets.querylog import SessionLogGenerator, zipf_head
 from repro.serve.api import SearchRequest
-from repro.serve.client import build_session_workload, run_load
+from repro.serve.client import build_session_workload, run_load_in_process
 from repro.serve.pipeline import EngineConfig
 from repro.serve.server import SearchServer, ServerConfig
 
@@ -51,9 +51,12 @@ LIMIT = 5
 
 
 async def _serve_arm(engine, config, workload):
+    # The fleet runs in a child process: in-process clients share the
+    # server's event loop and GIL, so client-side JSON/socket work would
+    # contaminate the very serving numbers under measurement.
     async with SearchServer(engine, config) as server:
         host, port = server.address
-        return await run_load(host, port, workload, limit=LIMIT)
+        return await run_load_in_process(host, port, workload, limit=LIMIT)
 
 
 def test_serving_micro_batching(bench_full, bench_db, bench_scale,

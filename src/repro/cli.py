@@ -40,8 +40,9 @@ Bloom-routing each query batch only to shards that can match (see
 ``repro.ir.shard``); ``--shard-mode`` picks the executor (``serial`` or
 ``process`` — multiprocess workers that mmap v3 snapshots);
 ``--strategy`` picks the retrieval algorithm (term-at-a-time max-score,
-document-at-a-time WAND/block-max, or per-query ``auto`` — see
-``repro.ir.wand``).
+document-at-a-time WAND/block-max, per-query ``auto``, or ``hybrid`` —
+lexical retrieval fused with cosine scoring over document embeddings by
+reciprocal rank; see ``repro.ir.wand`` and ``repro.ir.vector``).
 
 ``serve`` puts the engine behind the asyncio HTTP front end
 (``repro.serve.server``): concurrent requests micro-batch through one
@@ -61,7 +62,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import warnings
 
 from repro.core import QunitCollection, UtilityModel
 from repro.core.derivation import (
@@ -276,23 +276,21 @@ def _add_executor_options(subparser) -> None:
         "--shards", type=int, default=0,
         help="hash-partition the flat index into N shards scored in "
              "parallel (0 = serial; results are identical either way)")
-    # "thread" stays parseable as a hidden debugging alias (hard-
-    # deprecated: GIL-serialized, slower than serial) — the metavar
-    # keeps it out of help and usage text.
     subparser.add_argument(
         "--shard-mode", default="serial",
-        choices=["serial", "thread", "process"],
-        metavar="{serial,process}",
+        choices=["serial", "process"],
         help="executor for sharded scoring (default serial; process "
              "scales across cores — workers mmap v3 snapshots and "
              "share one page cache)")
     subparser.add_argument(
         "--strategy", default="auto",
-        choices=["auto", "maxscore", "wand", "blockmax"],
+        choices=["auto", "maxscore", "wand", "blockmax", "hybrid"],
         help="fast-path retrieval algorithm: term-at-a-time max-score, "
              "document-at-a-time WAND, block-max WAND, or per-query "
              "auto selection via the df-skew cost model (default auto; "
-             "results are identical)")
+             "the lexical strategies return identical results); "
+             "'hybrid' fuses lexical retrieval with cosine scoring "
+             "over document embeddings by reciprocal rank")
 
 
 def _definitions_for(args, db, strategy: str):
@@ -375,7 +373,6 @@ def _gather_queries(positional: list[str], batch_file: str | None,
 
 
 def _command_search(args) -> int:
-    _warn_thread_mode(args)
     db = generate_imdb(scale=args.scale, seed=args.seed)
     positional = [query for query in [args.query, *args.more_queries]
                   if query is not None]
@@ -482,25 +479,6 @@ def _command_migrate(args) -> int:
     return 0
 
 
-def _warn_thread_mode(args) -> None:
-    """Hard deprecation for the retired thread executor.
-
-    ``--shard-mode thread`` is gone from the public surface (help and
-    docs list only serial/process); the spelling still parses as a
-    debugging alias so existing scripts fail loudly rather than
-    silently, but every use warns.
-    """
-    if getattr(args, "shard_mode", None) == "thread":
-        message = ("--shard-mode thread is deprecated and hidden from "
-                   "the CLI: the thread executor is GIL-serialized and "
-                   "benchmarks slower than serial scoring.  Use "
-                   "--shard-mode process (workers mmap v3 snapshots and "
-                   "share one page cache) or serial; the alias remains "
-                   "for debugging only and will be removed.")
-        warnings.warn(message, DeprecationWarning, stacklevel=2)
-        print(f"warning: {message}", file=sys.stderr)
-
-
 def _command_bench_diff(args) -> int:
     from repro.bench.regression import compare_dirs, render_comparison
 
@@ -511,7 +489,6 @@ def _command_bench_diff(args) -> int:
 
 
 def _command_load(args) -> int:
-    _warn_thread_mode(args)
     db = generate_imdb(scale=args.scale, seed=args.seed)
     engine = QunitSearchEngine.load(
         db, args.directory, flavor=args.flavor,
@@ -620,7 +597,6 @@ def _session_log(args, db, n_sessions: int):
 def _command_serve(args) -> int:
     import asyncio
 
-    _warn_thread_mode(args)
     db = generate_imdb(scale=args.scale, seed=args.seed)
     log = None
     if args.cache_size > 0 and args.cache_coverage > 0:
@@ -664,13 +640,17 @@ async def _serve_forever(engine, server_config) -> None:
 
 
 async def _run_loadtest(engine, server_config, workload, limit):
-    """One arm of the loadtest: server up, closed-loop run, server down."""
-    from repro.serve.client import run_load
+    """One arm of the loadtest: server up, closed-loop run, server down.
+
+    The client fleet runs in a child process so the server keeps its
+    event loop (and the GIL) to itself — the same isolation the serving
+    benchmark uses."""
+    from repro.serve.client import run_load_in_process
     from repro.serve.server import SearchServer
 
     async with SearchServer(engine, server_config) as server:
         host, port = server.address
-        return await run_load(host, port, workload, limit=limit)
+        return await run_load_in_process(host, port, workload, limit=limit)
 
 
 def _print_load_report(label: str, report) -> None:
@@ -688,7 +668,6 @@ def _command_loadtest(args) -> int:
 
     from repro.serve.client import build_session_workload
 
-    _warn_thread_mode(args)
     db = generate_imdb(scale=args.scale, seed=args.seed)
     sessions, log = _session_log(args, db, args.sessions)
     workload = build_session_workload(sessions, args.clients)

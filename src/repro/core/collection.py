@@ -88,7 +88,7 @@ class QunitCollection:
                  definitions: Iterable[QunitDefinition],
                  max_instances_per_definition: int | None = None,
                  analyzer: Analyzer | None = None,
-                 shards: int = 0, parallelism: str = "thread",
+                 shards: int = 0, parallelism: str = "serial",
                  strategy: str = "auto"):
         self.database = database
         self.definitions: dict[str, QunitDefinition] = {}
@@ -406,7 +406,7 @@ class QunitCollection:
 
     # -- persistence ------------------------------------------------------------
 
-    def save(self, path: str | Path) -> Path:
+    def save(self, path: str | Path, vectors: bool = True) -> Path:
         """Persist the derived collection to directory ``path``.
 
         Writes a manifest (qunit definitions, analyzer configuration,
@@ -420,6 +420,15 @@ class QunitCollection:
         Everything the expensive derivation phase produced is on disk
         afterwards; :meth:`load` restores it without re-deriving,
         re-materializing, or re-indexing.
+
+        With ``vectors`` (the default), every document is embedded once
+        (:mod:`repro.ir.embed`, default configuration) and each snapshot
+        file carries the vector rows for its own documents, so a loaded
+        collection can serve the ``"hybrid"`` retrieval strategy without
+        re-embedding — embedding at save time is the vector analogue of
+        precomputing postings.  ``vectors=False`` skips the extents;
+        hybrid searches over such a load degrade gracefully to lexical
+        (see :mod:`repro.ir.retrieval`).
 
         Saves are crash-consistent at the directory level: each save
         writes a fresh generation of files, then swaps the manifest in
@@ -441,12 +450,21 @@ class QunitCollection:
         path.mkdir(parents=True, exist_ok=True)
         generation = os.urandom(4).hex()
         global_snapshot = self.global_snapshot()
+        vector_index = None
+        if vectors:
+            from repro.ir.embed import HashingEmbedder
+            from repro.ir.vector import VectorIndex
+
+            # One embedding pass over the global corpus; each snapshot
+            # file below persists the restriction to its own documents.
+            vector_index = VectorIndex.build(HashingEmbedder(),
+                                             global_snapshot._documents)
         store_name = f"docs-{generation}.store"
         save_document_store(DocumentStore.from_snapshot(global_snapshot),
                             path / store_name)
         global_name = f"global-{generation}.snap"
         save_snapshot(global_snapshot, path / global_name,
-                      docstore=store_name)
+                      docstore=store_name, vectors=vector_index)
         snapshot_names: dict[str, str] = {}
         for name in sorted(self.definitions):
             file_name = f"def-{name}-{generation}.snap"
@@ -470,7 +488,8 @@ class QunitCollection:
                 definition_snapshot.terms())
             save_snapshot(definition_snapshot, path / file_name,
                           docstore=store_name,
-                          bloom=definition_bloom.to_dict())
+                          bloom=definition_bloom.to_dict(),
+                          vectors=vector_index)
             snapshot_names[name] = file_name
         shard_entry = None
         shard_names: list[str] = []
@@ -481,7 +500,7 @@ class QunitCollection:
                 bloom = TermBloomFilter.build(shard.terms())
                 save_snapshot(shard, path / file_name, docstore=store_name,
                               shard={"index": i, "count": self.shards},
-                              bloom=bloom.to_dict())
+                              bloom=bloom.to_dict(), vectors=vector_index)
                 shard_names.append(file_name)
             shard_entry = {"count": self.shards, "files": shard_names}
         manifest = {
@@ -513,7 +532,7 @@ class QunitCollection:
 
     @classmethod
     def load(cls, database: Database, path: str | Path,
-             shards: int = 0, parallelism: str = "thread",
+             shards: int = 0, parallelism: str = "serial",
              strategy: str = "auto") -> "QunitCollection":
         """Restore a collection saved by :meth:`save`.
 

@@ -113,7 +113,8 @@ class QunitSearchEngine:
         :class:`~repro.serve.api.SearchResponse` natively.
         """
         contexts = [QueryContext(query=request.query, limit=request.limit,
-                                 client_id=request.client_id)
+                                 client_id=request.client_id,
+                                 strategy=request.strategy)
                     for request in requests]
         finished = self.pipeline.run_contexts(contexts)
         responses = []
@@ -181,7 +182,7 @@ class QunitSearchEngine:
     def load(cls, database, path, flavor: str = "qunits",
              vocabulary: SchemaVocabulary | None = None,
              scorer: Scorer | None = None, shards: int = 0,
-             parallelism: str = "thread",
+             parallelism: str = "serial",
              strategy: str = "auto",
              config: EngineConfig | None = None) -> "QunitSearchEngine":
         """An engine over a collection restored from :meth:`save` output.

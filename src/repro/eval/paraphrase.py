@@ -1,0 +1,66 @@
+"""Deterministic query paraphrasing for the hybrid-retrieval eval.
+
+The Qunits paper's central retrieval scenario is the query whose
+*phrasing* misses the decorated instance text — the user asks for the
+concept, not the exact keywords the qunit document happens to contain.
+To measure how much the hybrid (lexical + char-n-gram vector) strategy
+recovers of what pure lexical retrieval loses, ``BENCH_hybrid.json``
+needs queries that are *lexically broken but visually close* to their
+clean originals.
+
+:func:`paraphrase_query` produces exactly that: every sufficiently long
+token is perturbed by one seeded character-level edit (adjacent-swap,
+double, or drop), so the edited token no longer equals any index term —
+killing the inverted-index match — while most of its character n-grams
+survive, keeping the hashing embedder's cosine similarity high.  The
+perturbation is a pure function of ``(query, seed)`` (the RNG forks off
+:class:`~repro.utils.rng.DeterministicRng`), so the eval set is
+reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import DeterministicRng
+
+__all__ = ["perturb_token", "paraphrase_query", "MIN_PERTURB_LENGTH"]
+
+#: Tokens shorter than this pass through unmodified: a one-character
+#: edit on a 3-letter word leaves too few shared n-grams for *any*
+#: embedder to recover, which would measure noise, not retrieval.
+MIN_PERTURB_LENGTH = 4
+
+
+def perturb_token(token: str, rng: DeterministicRng) -> str:
+    """One seeded character-level edit of ``token``.
+
+    Picks uniformly among swapping two adjacent interior characters,
+    doubling one character, and dropping one interior character.  The
+    edit position avoids the first character, which both keeps the edit
+    visually plausible (typos cluster word-internally) and preserves the
+    token's leading n-grams.  Tokens shorter than
+    :data:`MIN_PERTURB_LENGTH` are returned unchanged.
+    """
+    if len(token) < MIN_PERTURB_LENGTH:
+        return token
+    kind = rng.choice(("swap", "double", "drop"))
+    if kind == "swap":
+        i = rng.randint(1, len(token) - 2)
+        return token[:i] + token[i + 1] + token[i] + token[i + 2:]
+    if kind == "double":
+        i = rng.randint(1, len(token) - 1)
+        return token[:i] + token[i] + token[i:]
+    i = rng.randint(1, len(token) - 2)
+    return token[:i] + token[i + 1:]
+
+
+def paraphrase_query(query: str, seed: int = 0) -> str:
+    """The lexically-broken paraphrase of ``query``.
+
+    Every whitespace token of length >= :data:`MIN_PERTURB_LENGTH` gets
+    one character edit from its own forked RNG stream, so perturbing one
+    token never changes how another is perturbed and the result is a
+    pure function of ``(query, seed)``.
+    """
+    rng = DeterministicRng(seed).fork(query)
+    return " ".join(perturb_token(token, rng.fork(f"{i}:{token}"))
+                    for i, token in enumerate(query.split()))

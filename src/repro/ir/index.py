@@ -273,6 +273,15 @@ class IndexSnapshot:
     #: snapshot (see :class:`~repro.ir.shard.ShardedTopK`).
     mmap_path = None
 
+    #: Whether :meth:`vectors` may *build* document vectors on demand.
+    #: Only true for snapshots frozen straight from a live index
+    #: (:meth:`from_index`), where the documents are authoritative.
+    #: Loaded snapshots serve vectors exclusively from persisted vector
+    #: extents (:class:`ColumnarIndexSnapshot`) — a file saved without
+    #: them yields ``None``, the signal the hybrid retrieval strategy
+    #: degrades to lexical on (see :mod:`repro.ir.retrieval`).
+    _buildable_vectors = False
+
     def __init__(self, *, version: int, analyzer: Analyzer,
                  documents: dict[str, Document],
                  postings: dict[str, tuple[Posting, ...]],
@@ -300,6 +309,7 @@ class IndexSnapshot:
         self._doc_frequencies = doc_frequencies
         self._contributions: dict[tuple, TermContributions] = {}
         self._block_bounds: dict[tuple, tuple[float, ...]] = {}
+        self._vector_indexes: dict[tuple, object] = {}
 
     @classmethod
     def from_index(cls, index: InvertedIndex) -> "IndexSnapshot":
@@ -310,7 +320,7 @@ class IndexSnapshot:
             for term, bucket in index._postings.items()
         }
         positive = [length for length in index._doc_lengths.values() if length > 0]
-        return cls(
+        snapshot = cls(
             version=index.version,
             analyzer=index.analyzer,
             documents=dict(index._documents),
@@ -322,6 +332,8 @@ class IndexSnapshot:
             average_document_length=index.average_document_length,
             min_document_length=min(positive) if positive else 0.0,
         )
+        snapshot._buildable_vectors = True
+        return snapshot
 
     def snapshot(self) -> "IndexSnapshot":
         """Snapshots are already frozen; returns ``self`` (index protocol)."""
@@ -416,6 +428,34 @@ class IndexSnapshot:
             self._block_bounds[key] = cached
         return cached
 
+    # -- vectors -------------------------------------------------------------
+
+    def vectors(self, embedder):
+        """The snapshot's :class:`~repro.ir.vector.VectorIndex` for
+        ``embedder``, or ``None`` when none is available.
+
+        A snapshot frozen from a live index embeds its own documents on
+        first demand (cached per embedder identity, like the scorer
+        caches).  Loaded snapshots serve only *persisted* vector extents
+        (see :class:`ColumnarIndexSnapshot`); a file saved without them
+        — or with extents from a different embedder configuration —
+        returns ``None``, and the hybrid strategy degrades to lexical
+        with a warning instead of silently re-embedding text the load
+        may not even carry (docstore-backed scoring views have no
+        document bodies).
+        """
+        key = embedder.cache_key()
+        if key not in self._vector_indexes:
+            self._vector_indexes[key] = self._build_vectors(embedder)
+        return self._vector_indexes[key]
+
+    def _build_vectors(self, embedder):
+        if not self._buildable_vectors:
+            return None
+        from repro.ir.vector import VectorIndex
+
+        return VectorIndex.build(embedder, self._documents)
+
     def scoring_view(self) -> "IndexSnapshot":
         """A copy without the document store.
 
@@ -445,6 +485,7 @@ class IndexSnapshot:
         state = self.__dict__.copy()
         state["_contributions"] = {}
         state["_block_bounds"] = {}
+        state["_vector_indexes"] = {}
         return state
 
 
@@ -511,6 +552,18 @@ class ColumnarIndexSnapshot(IndexSnapshot):
                 return super().term_block_bounds(scorer, term, block_size)
             self._block_bounds[key] = cached
         return cached
+
+    def _build_vectors(self, embedder):
+        # Persisted vector extents only: the container either carries a
+        # matrix built by this embedder configuration, or the hybrid
+        # strategy degrades to lexical.  Re-embedding here would be
+        # wrong — docstore-backed loads may have no document bodies, and
+        # silently rebuilding would hide a save that forgot its vectors.
+        persisted = self._backing.vector_index()
+        if persisted is None or persisted.embedder_config != \
+                embedder.config():
+            return None
+        return persisted
 
     def scoring_view(self) -> "IndexSnapshot":
         """A document-free view that *keeps* the columnar backing (and

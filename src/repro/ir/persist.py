@@ -608,7 +608,8 @@ def _default_precompute_scorers():
 
 def save_snapshot(snapshot: IndexSnapshot, path: str | os.PathLike, *,
                   docstore: str | None = None, shard: dict | None = None,
-                  bloom: dict | None = None, precompute: bool = True) -> Path:
+                  bloom: dict | None = None, precompute: bool = True,
+                  vectors=None) -> Path:
     """Write ``snapshot`` to ``path`` in the version-3 binary columnar
     container; returns the path.
 
@@ -641,9 +642,17 @@ def save_snapshot(snapshot: IndexSnapshot, path: str | os.PathLike, *,
         precompute: also persist contribution and block-max bound columns
             for the default scorers, so loads serve the hot path without
             recomputing them.
+        vectors: optional :class:`~repro.ir.vector.VectorIndex` to
+            persist as vector extents (a ``"vectors"`` directory section:
+            the embedder config plus doc_id and row-major float64 matrix
+            columns).  Only rows for the snapshot's own documents are
+            written.  Files without this section load fine — the hybrid
+            retrieval strategy then degrades to lexical with a warning
+            (see :mod:`repro.ir.retrieval`).
 
     Raises:
-        SnapshotError: if a document carries unserializable metadata.
+        SnapshotError: if a document carries unserializable metadata, or
+            ``vectors`` does not cover every snapshot document.
     """
     path = Path(path)
     doc_ids = sorted(snapshot._documents)
@@ -715,6 +724,24 @@ def save_snapshot(snapshot: IndexSnapshot, path: str | os.PathLike, *,
             if per_term:
                 scorers_directory[repr(scorer.cache_key())] = per_term
 
+    vectors_directory = None
+    if vectors is not None:
+        restricted = vectors.restrict(doc_ids)
+        if len(restricted) != len(doc_ids):
+            missing = sorted(set(doc_ids) - set(restricted.doc_ids))
+            raise SnapshotError(
+                f"vector index is missing {len(missing)} snapshot "
+                f"document(s) (e.g. {missing[0]!r}); refusing to persist "
+                f"partial vector extents")
+        vectors_directory = {
+            "embedder": restricted.embedder_config,
+            "dims": restricted.dims,
+            "count": len(restricted),
+            "doc_ids": add_column(
+                _dumps(list(restricted.doc_ids)).encode("utf-8")),
+            "matrix": add_column(_pack_f64(restricted.matrix)),
+        }
+
     meta = {
         "magic": FORMAT_MAGIC,
         "format_version": FORMAT_VERSION,
@@ -734,6 +761,8 @@ def save_snapshot(snapshot: IndexSnapshot, path: str | os.PathLike, *,
         "terms": terms_directory,
         "scorers": scorers_directory,
     }
+    if vectors_directory is not None:
+        directory["vectors"] = vectors_directory
     meta_blob = _dumps(meta).encode("utf-8")
     dir_blob = _dumps(directory).encode("utf-8")
     meta_off = _V3_HEADER.size
@@ -1144,6 +1173,39 @@ class _V3Backing:
                 self.path, f"term {term!r} has {len(blocks)} block bounds "
                            f"for {n} postings at block size {block_size}")
         return blocks
+
+    # -- vectors -------------------------------------------------------------
+
+    def vector_index(self):
+        """The persisted :class:`~repro.ir.vector.VectorIndex`, or
+        ``None`` when this container carries no vector extents (files
+        written before the hybrid backend, migrated v1/v2 files, or
+        saves with ``vectors=None`` — the graceful-degradation case the
+        hybrid strategy falls back to lexical on)."""
+        entry = self.directory.get("vectors")
+        if entry is None:
+            return None
+        from repro.ir.vector import VectorIndex
+
+        try:
+            doc_ids = json.loads(
+                self.column(entry["doc_ids"]).decode("utf-8"))
+            matrix = _unpack_f64(self.column(entry["matrix"]))
+            dims = int(entry["dims"])
+            config = entry["embedder"]
+        except (KeyError, TypeError, ValueError,
+                UnicodeDecodeError) as exc:
+            raise _corrupt(
+                self.path,
+                f"malformed vector extents ({exc!r})") from exc
+        if not isinstance(doc_ids, list) or not isinstance(config, dict):
+            raise _corrupt(self.path, "malformed vector extents")
+        try:
+            return VectorIndex(tuple(doc_ids), matrix, dims, config)
+        except ValueError as exc:
+            raise _corrupt(
+                self.path, f"vector extents are inconsistent "
+                           f"({exc})") from exc
 
     # -- documents and deltas ------------------------------------------------
 

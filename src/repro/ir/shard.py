@@ -21,15 +21,15 @@ Executor choices:
 ``"serial"``
     Score shards in-process, one after another.  Zero overhead; useful for
     tests and as the degenerate case.
-``"thread"``
-    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Safe everywhere
-    (shares the shard objects), though CPython's GIL limits pure-Python
-    speedups.
 ``"process"``
     A :class:`~concurrent.futures.ProcessPoolExecutor`; workers receive
     the shard list once at pool start-up and keep their per-shard
     contribution caches warm across calls.  This is the mode that turns
     cores into latency on large collections.
+
+(A ``"thread"`` mode once sat between the two; CPython's GIL made it a
+measured no-op over serial for this pure-Python scoring path, so it was
+retired — requesting it now raises a ``ValueError`` pointing here.)
 
 Bloom routing
 -------------
@@ -59,7 +59,7 @@ import math
 import os
 import zlib
 from collections.abc import Iterable
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 
 from repro.ir.index import IndexSnapshot
 from repro.ir.topk import merge_ranked
@@ -68,7 +68,7 @@ from repro.ir.wand import retrieve
 __all__ = ["shard_id", "shard_snapshot", "ShardedTopK", "TermBloomFilter",
            "PARALLELISM_MODES"]
 
-PARALLELISM_MODES = ("serial", "thread", "process")
+PARALLELISM_MODES = ("serial", "process")
 
 
 def shard_id(doc_id: str, shards: int) -> int:
@@ -295,7 +295,7 @@ class ShardedTopK:
     """
 
     def __init__(self, snapshot: IndexSnapshot, shards: int,
-                 parallelism: str = "thread", max_workers: int | None = None,
+                 parallelism: str = "serial", max_workers: int | None = None,
                  route: bool = True):
         """Partition ``snapshot`` into ``shards`` and serve top-k over them.
 
@@ -315,7 +315,7 @@ class ShardedTopK:
 
     @classmethod
     def from_shards(cls, shards: list[IndexSnapshot],
-                    parallelism: str = "thread",
+                    parallelism: str = "serial",
                     max_workers: int | None = None,
                     blooms: list[TermBloomFilter] | None = None,
                     route: bool = True) -> "ShardedTopK":
@@ -349,6 +349,13 @@ class ShardedTopK:
     def _setup(self, shards: list[IndexSnapshot], version: int,
                parallelism: str, max_workers: int | None,
                blooms: list[TermBloomFilter] | None, route: bool) -> None:
+        if parallelism == "thread":
+            raise ValueError(
+                "the 'thread' executor was retired (the GIL made it a "
+                "no-op over 'serial' for this pure-Python scoring path); "
+                "use 'serial' for in-process scoring or 'process' for "
+                "parallelism"
+            )
         if parallelism not in PARALLELISM_MODES:
             raise ValueError(
                 f"parallelism must be one of {PARALLELISM_MODES}, "
@@ -379,28 +386,24 @@ class ShardedTopK:
 
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
-            if self.parallelism == "process":
-                # Workers only score.  Shards backed by an on-disk v3
-                # container ship as a path and are mmap'd in the worker
-                # (shared page cache, near-zero pickle cost); the rest
-                # ship as document-free scoring views so the per-worker
-                # pickle and memory cost is just the statistics (doc_ids
-                # resolve to documents in the parent).
-                entries: list[tuple[str, object]] = []
-                for shard in self.shards:
-                    mmap_path = getattr(shard, "mmap_path", None)
-                    if mmap_path is not None and os.path.exists(mmap_path):
-                        entries.append(("path", os.fspath(mmap_path)))
-                    else:
-                        entries.append(("snap", shard.scoring_view()))
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.max_workers,
-                    initializer=_init_worker,
-                    initargs=(entries,),
-                )
-            else:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self.max_workers)
+            # Workers only score.  Shards backed by an on-disk v3
+            # container ship as a path and are mmap'd in the worker
+            # (shared page cache, near-zero pickle cost); the rest
+            # ship as document-free scoring views so the per-worker
+            # pickle and memory cost is just the statistics (doc_ids
+            # resolve to documents in the parent).
+            entries: list[tuple[str, object]] = []
+            for shard in self.shards:
+                mmap_path = getattr(shard, "mmap_path", None)
+                if mmap_path is not None and os.path.exists(mmap_path):
+                    entries.append(("path", os.fspath(mmap_path)))
+                else:
+                    entries.append(("snap", shard.scoring_view()))
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_worker,
+                initargs=(entries,),
+            )
         return self._executor
 
     def topk(self, scorer, terms: list[str], limit: int,
@@ -457,17 +460,6 @@ class ShardedTopK:
                           term_lists[i], limit, strategy) for i in plan]
                 for shard_index, plan in tasks
             ]
-        elif self.parallelism == "thread":
-            executor = self._ensure_executor()
-            futures = [
-                executor.submit(
-                    lambda shard=self.shards[shard_index],
-                           sub=[term_lists[i] for i in plan]:
-                    [retrieve(shard, scorer, terms, limit, strategy)
-                     for terms in sub])
-                for shard_index, plan in tasks
-            ]
-            results = [future.result() for future in futures]
         else:
             executor = self._ensure_executor()
             futures = [

@@ -110,7 +110,11 @@ __all__ = [
 
 #: Retrieval strategies understood by :func:`retrieve` (and everything
 #: that forwards to it: ``Searcher``, ``ShardedTopK``, the CLI).
-STRATEGIES = ("auto", "maxscore", "wand", "blockmax")
+#: ``"hybrid"`` is special: its rank fusion lives in
+#: :class:`~repro.ir.retrieval.Searcher` (which owns the vector side);
+#: at this snapshot level :func:`retrieve` executes only its *lexical
+#: component*, resolved as ``"auto"``.
+STRATEGIES = ("auto", "maxscore", "wand", "blockmax", "hybrid")
 
 #: Historical fixed block size, kept for callers that pin one explicitly;
 #: the ``"blockmax"`` strategy now sizes blocks per term with
@@ -239,8 +243,11 @@ def resolve_strategy(strategy: str, terms: list[str],
     :data:`AUTO_SKEW_RATIO` apart, the common term carrying at least
     :data:`AUTO_SKEW_MIN_DF` postings — is rare-term-driven and routes
     to WAND early.  Resolution is deterministic for a given snapshot,
-    and every strategy is rank-identical, so the model only affects
-    speed.
+    and every lexical strategy is rank-identical, so the model only
+    affects speed.  ``"hybrid"`` — like every non-``"auto"`` strategy —
+    passes through unchanged: the rank-fusion step lives in
+    :class:`~repro.ir.retrieval.Searcher`, and only there (fusion
+    *changes* rankings, so it must not be chosen implicitly).
 
     Raises:
         ValueError: on a strategy not in :data:`STRATEGIES`.
@@ -290,15 +297,21 @@ def retrieve(snapshot: IndexSnapshot, scorer, terms: list[str], limit: int,
     """The ``limit`` best ``(doc_id, score)`` pairs for ``terms`` under
     ``strategy`` — the strategy dispatch point.
 
-    Every strategy returns the *identical* ranked list (scores float-
-    exact, ``(-score, doc_id)`` tie-breaks included); they differ only in
-    how much work they skip.  ``scorer`` must support the fast-path hooks
-    (see :mod:`repro.ir.scoring`).
+    Every lexical strategy returns the *identical* ranked list (scores
+    float-exact, ``(-score, doc_id)`` tie-breaks included); they differ
+    only in how much work they skip.  ``"hybrid"`` executes its lexical
+    component here, resolved as ``"auto"`` — the vector side and the
+    rank-fusion step live in :class:`~repro.ir.retrieval.Searcher`,
+    which owns the vector index; shard workers calling this function
+    therefore return fusable per-shard *lexical* rankings.  ``scorer``
+    must support the fast-path hooks (see :mod:`repro.ir.scoring`).
 
     Raises:
         ValueError: on a strategy not in :data:`STRATEGIES`.
     """
     resolved = resolve_strategy(strategy, terms, snapshot)
+    if resolved == "hybrid":
+        resolved = resolve_strategy("auto", terms, snapshot)
     if resolved == "maxscore":
         return topk_scores(snapshot, scorer, terms, limit)
     block_size = None if resolved == "blockmax" else 0

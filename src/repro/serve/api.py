@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.answer import Answer
+from repro.ir.wand import STRATEGIES
 from repro.serve.explain import SearchExplanation, StageTiming
 
 __all__ = [
@@ -55,7 +56,10 @@ class SearchRequest:
     is the seconds the caller is willing to wait end to end — enforced
     by the HTTP server's queue (a request that cannot be answered in
     time gets a 504), ignored by the in-process path where there is no
-    queue to wait in.
+    queue to wait in.  ``strategy`` overrides the engine's configured
+    retrieval strategy for this request only (one of
+    :data:`repro.ir.wand.STRATEGIES`, e.g. ``"hybrid"``; ``None`` = the
+    engine default).
     """
 
     query: str
@@ -63,6 +67,7 @@ class SearchRequest:
     explain: bool = False
     client_id: str | None = None
     timeout: float | None = None
+    strategy: str | None = None
 
     def __post_init__(self) -> None:
         """Validate at construction, not mid-pipeline."""
@@ -78,6 +83,10 @@ class SearchRequest:
         if self.client_id is not None and not isinstance(self.client_id, str):
             raise ValueError(
                 f"client_id must be a string or None, got {self.client_id!r}")
+        if self.strategy is not None and self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES} or None, "
+                f"got {self.strategy!r}")
 
     def to_dict(self) -> dict:
         """The JSON-able wire form (defaults elided for compactness)."""
@@ -88,6 +97,8 @@ class SearchRequest:
             data["client_id"] = self.client_id
         if self.timeout is not None:
             data["timeout"] = self.timeout
+        if self.strategy is not None:
+            data["strategy"] = self.strategy
         return data
 
     @classmethod
@@ -101,7 +112,8 @@ class SearchRequest:
         if not isinstance(data, dict):
             raise ValueError(f"request body must be a JSON object, "
                              f"got {type(data).__name__}")
-        known = {"query", "limit", "explain", "client_id", "timeout"}
+        known = {"query", "limit", "explain", "client_id", "timeout",
+                 "strategy"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown request fields: {sorted(unknown)} "
@@ -117,6 +129,7 @@ class SearchRequest:
             explain=bool(data.get("explain", False)),
             client_id=data.get("client_id"),
             timeout=float(timeout) if timeout is not None else None,
+            strategy=data.get("strategy"),
         )
 
 

@@ -31,7 +31,8 @@ from repro.errors import ReproError
 from repro.serve.api import SearchRequest, SearchResponse
 
 __all__ = ["ServerBusy", "SearchClient", "LoadReport",
-           "build_session_workload", "run_load", "percentile"]
+           "build_session_workload", "run_load", "run_load_in_process",
+           "percentile"]
 
 
 class ServerBusy(ReproError):
@@ -307,3 +308,72 @@ async def run_load(host: str, port: int, workload: list[list[str]],
         wall_seconds=wall,
         latencies_ms=tuple(latencies),
     )
+
+
+def _load_process_main(host: str, port: int, workload: list[list[str]],
+                       limit: int, timeout: float, queue) -> None:
+    """Child-process entry point for :func:`run_load_in_process`."""
+    try:
+        report = asyncio.run(run_load(host, port, workload,
+                                      limit=limit, timeout=timeout))
+        queue.put(("report", report))
+    except BaseException as exc:  # ship the failure, don't hang the parent
+        queue.put(("error", repr(exc)))
+        raise
+
+
+async def run_load_in_process(host: str, port: int,
+                              workload: list[list[str]],
+                              limit: int = 5,
+                              timeout: float = 30.0) -> LoadReport:
+    """:func:`run_load`, but with the whole client fleet in a child
+    process.
+
+    In-process load generation shares the server's event loop and GIL,
+    so client-side work (JSON encode/decode, socket bookkeeping) steals
+    cycles from the very serving path being measured — and the measured
+    QPS partly reflects the *client's* scheduling.  Running the fleet in
+    a separate interpreter gives the server its whole loop and makes
+    the load genuinely external, like production traffic.
+
+    The child talks to ``host:port`` over real sockets and ships the
+    final :class:`LoadReport` back over a multiprocessing queue; the
+    awaiting server loop stays responsive the whole time (the wait runs
+    in a thread).
+
+    Raises:
+        RuntimeError: if the child dies without producing a report.
+    """
+    import multiprocessing
+    from queue import Empty
+
+    context = multiprocessing.get_context("spawn")
+    queue = context.Queue()
+    process = context.Process(
+        target=_load_process_main,
+        args=(host, port, workload, limit, timeout, queue), daemon=True)
+    process.start()
+
+    def wait_for_report():
+        try:
+            while True:
+                try:
+                    return queue.get(timeout=1.0)
+                except Empty:
+                    if not process.is_alive():
+                        # One final drain: the child may have published
+                        # between the timeout and the liveness check.
+                        try:
+                            return queue.get_nowait()
+                        except Empty:
+                            raise RuntimeError(
+                                f"load client process exited without a "
+                                f"report (exit code {process.exitcode})"
+                            ) from None
+        finally:
+            process.join(timeout=30.0)
+
+    kind, payload = await asyncio.to_thread(wait_for_report)
+    if kind == "error":
+        raise RuntimeError(f"load client process failed: {payload}")
+    return payload

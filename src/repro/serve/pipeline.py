@@ -28,6 +28,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
+from repro.ir.vector import DEFAULT_RRF_K, DEFAULT_VECTOR_WEIGHT
+from repro.ir.wand import STRATEGIES
 from repro.serve.explain import SearchExplanation, StageTiming
 from repro.serve.stages import (
     AssembleStage,
@@ -81,6 +83,10 @@ class EngineConfig:
     head (:func:`repro.datasets.querylog.analysis.zipf_head`) so only
     head queries — the ones repetition makes worth caching — occupy
     cache slots; tail queries then cannot evict them.
+    ``hybrid_vector_weight`` / ``hybrid_rrf_k`` — the reciprocal-rank
+    fusion parameters retrieval uses when a query runs under the
+    ``"hybrid"`` strategy (see :mod:`repro.ir.vector`); weight 0 makes
+    hybrid identical to lexical retrieval.
     """
 
     min_match_score: float = 0.15
@@ -89,6 +95,8 @@ class EngineConfig:
     result_cache_size: int = 0
     max_query_terms: int | None = None
     cache_admission: "Callable[[str], bool] | None" = None
+    hybrid_vector_weight: float = DEFAULT_VECTOR_WEIGHT
+    hybrid_rrf_k: int = DEFAULT_RRF_K
 
     def __post_init__(self) -> None:
         """Validate the knobs (fail at construction, not mid-query)."""
@@ -107,6 +115,13 @@ class EngineConfig:
             raise ValueError(
                 f"max_query_terms must be >= 1 or None, "
                 f"got {self.max_query_terms}")
+        if self.hybrid_vector_weight < 0:
+            raise ValueError(
+                f"hybrid_vector_weight must be >= 0, "
+                f"got {self.hybrid_vector_weight}")
+        if self.hybrid_rrf_k < 1:
+            raise ValueError(
+                f"hybrid_rrf_k must be >= 1, got {self.hybrid_rrf_k}")
 
 
 @dataclass
@@ -125,6 +140,11 @@ class QueryContext:
     #: SearchRequest.client_id`); informational to the stages, carried
     #: so middleware and responses can attribute the result.
     client_id: str | None = None
+    #: Per-request retrieval-strategy override (from :class:`~repro.
+    #: serve.api.SearchRequest.strategy`); ``None`` = the pipeline's
+    #: configured strategy.  Resolved by :meth:`QueryPipeline.
+    #: strategy_for` wherever stages route retrieval.
+    strategy: str | None = None
     segmented: "SegmentedQuery | None" = None
     matches: "list[DefinitionMatch]" = field(default_factory=list)
     plan: "QueryPlan | None" = None
@@ -200,12 +220,15 @@ class AdmissionMiddleware(PipelineMiddleware):
 
 
 class ResultCacheMiddleware(PipelineMiddleware):
-    """LRU cache of finished results keyed on ``(query, limit)``.
+    """LRU cache of finished results keyed on ``(query, limit,
+    strategy override)``.
 
     Serving from it is answer-identical by construction (the cached
-    answers *are* a previous run's).  The cache assumes a frozen
-    collection — the qunit serving model — and can be dropped with
-    :meth:`clear` after any out-of-band index change.
+    answers *are* a previous run's); the strategy override is part of
+    the key because a ``"hybrid"`` run and a lexical run of the same
+    query are legitimately *different* results.  The cache assumes a
+    frozen collection — the qunit serving model — and can be dropped
+    with :meth:`clear` after any out-of-band index change.
     """
 
     CACHE_NOTE = "served from the pipeline result cache"
@@ -233,13 +256,13 @@ class ResultCacheMiddleware(PipelineMiddleware):
         #: policy let into the cache vs turned away.
         self.stores = 0
         self.store_rejections = 0
-        self._cache: OrderedDict[tuple[str, int], tuple] = OrderedDict()
+        self._cache: OrderedDict[tuple, tuple] = OrderedDict()
 
     def enter(self, contexts, pipeline):
         """Serve cached ``(query, limit)`` pairs; pass misses through."""
         missed = []
         for ctx in contexts:
-            key = (ctx.query, ctx.limit)
+            key = (ctx.query, ctx.limit, ctx.strategy)
             cached = self._cache.get(key)
             if cached is None:
                 self.misses += 1
@@ -265,8 +288,8 @@ class ResultCacheMiddleware(PipelineMiddleware):
                 self.store_rejections += 1
                 continue
             self.stores += 1
-            self._cache[(ctx.query, ctx.limit)] = (tuple(ctx.answers),
-                                                   ctx.explanation)
+            self._cache[(ctx.query, ctx.limit, ctx.strategy)] = \
+                (tuple(ctx.answers), ctx.explanation)
             while len(self._cache) > self.size:
                 self._cache.popitem(last=False)
 
@@ -356,6 +379,22 @@ class QueryPipeline:
         return contexts
 
     # -- services the stages call -------------------------------------------
+
+    def strategy_for(self, ctx: QueryContext) -> str:
+        """One query's effective retrieval strategy: its request-level
+        override when present (validated), else the collection-level
+        configuration.
+
+        Raises:
+            ValueError: on an unknown override.
+        """
+        if ctx.strategy is None:
+            return self.strategy
+        if ctx.strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, "
+                f"got {ctx.strategy!r}")
+        return ctx.strategy
 
     def searcher_for(self, target: str | None) -> "Searcher":
         """The pooled searcher for a retrieval target (``None`` = the

@@ -125,6 +125,7 @@ class PlanStage(PipelineStage):
         snapshot = collection.peek_global_snapshot()
         min_score = pipeline.config.min_match_score
         for ctx in contexts:
+            strategy = pipeline.strategy_for(ctx)
             terms = tuple(analyzer.tokens(ctx.query))
             tasks: list[PlannedTask] = []
             for match in ctx.matches:
@@ -141,13 +142,12 @@ class PlanStage(PipelineStage):
                 tasks.append(PlannedTask(
                     kind="definition", definition=name, match=match,
                     strategy=resolve_strategy(
-                        pipeline.strategy, list(terms),
+                        strategy, list(terms),
                         collection.peek_definition_snapshot(name)),
                     bloom_skipped=skipped))
             flat = PlannedTask(
                 kind="flat",
-                strategy=resolve_strategy(pipeline.strategy, list(terms),
-                                          snapshot),
+                strategy=resolve_strategy(strategy, list(terms), snapshot),
             )
             ctx.plan = QueryPlan(query=ctx.query, terms=terms,
                                  limit=ctx.limit, tasks=tuple(tasks),
@@ -161,6 +161,7 @@ class _Request:
     target: str | None  # None = the flat collection-wide index
     query: str
     fetch: int
+    strategy: str  # effective (request override or pipeline default)
 
 
 class ExecuteStage(PipelineStage):
@@ -208,13 +209,18 @@ class ExecuteStage(PipelineStage):
             drivers.append([ctx, generator, request])
         try:
             while drivers:
-                groups: dict[tuple[str | None, int], list[list]] = {}
+                # Group by (target, fetch, strategy): a batch mixing
+                # per-request strategy overrides dispatches one
+                # search_many per distinct strategy, so every query
+                # still runs under exactly the strategy it asked for.
+                groups: dict[tuple[str | None, int, str], list[list]] = {}
                 for row in drivers:
                     request = row[2]
-                    groups.setdefault((request.target, request.fetch),
-                                      []).append(row)
+                    groups.setdefault(
+                        (request.target, request.fetch, request.strategy),
+                        []).append(row)
                 drivers = []
-                for (target, fetch), rows in groups.items():
+                for (target, fetch, strategy), rows in groups.items():
                     searcher = leases.get(target)
                     if searcher is None:
                         searcher = pipeline.acquire_for(target)
@@ -222,14 +228,18 @@ class ExecuteStage(PipelineStage):
                     if id(searcher) not in watched:
                         watched[id(searcher)] = (searcher,
                                                  searcher.cache_hits,
-                                                 searcher.cache_misses)
+                                                 searcher.cache_misses,
+                                                 searcher.hybrid_fallbacks)
                     if target is None and flat is None:
                         flat = searcher
                         routing_before = dict(flat.routing_stats or {})
                     for row in rows:
                         row[0].executed_targets.add(target)
                     hit_lists = searcher.search_many(
-                        [row[2].query for row in rows], fetch)
+                        [row[2].query for row in rows], fetch,
+                        strategy=strategy,
+                        vector_weight=pipeline.config.hybrid_vector_weight,
+                        rrf_k=pipeline.config.hybrid_rrf_k)
                     for row, hits in zip(rows, hit_lists):
                         try:
                             row[2] = row[1].send(hits)
@@ -251,10 +261,15 @@ class ExecuteStage(PipelineStage):
         if watched:
             stats["cache_hits"] = sum(
                 searcher.cache_hits - hits0
-                for searcher, hits0, _m in watched.values())
+                for searcher, hits0, _m, _f in watched.values())
             stats["cache_misses"] = sum(
                 searcher.cache_misses - misses0
-                for searcher, _h, misses0 in watched.values())
+                for searcher, _h, misses0, _f in watched.values())
+            fallbacks = sum(
+                searcher.hybrid_fallbacks - fallbacks0
+                for searcher, _h, _m, fallbacks0 in watched.values())
+            if fallbacks:
+                stats["hybrid_fallbacks"] = fallbacks
         if flat is not None:
             # The batch lease keeps the flat searcher alive even if the
             # pool evicted it, but a defensive fallback to the before-
@@ -277,6 +292,7 @@ class ExecuteStage(PipelineStage):
         (pre-rerank) before finishing."""
         limit = ctx.limit
         collection = pipeline.collection
+        strategy = pipeline.strategy_for(ctx)
         answers: list[Answer] = []
         seen: set[str] = set()
         for task in ctx.plan.tasks:
@@ -296,7 +312,7 @@ class ExecuteStage(PipelineStage):
                 continue  # provably no postings: retrieval would return []
             budget = limit - len(answers)
             hits = yield from self._fresh_hits(task.definition, ctx.query,
-                                               budget, seen)
+                                               budget, seen, strategy)
             for hit in hits:
                 seen.add(hit.doc_id)
                 instance = collection.instance(hit.doc_id)
@@ -312,7 +328,8 @@ class ExecuteStage(PipelineStage):
             budget = limit - len(answers)
             if pipeline.config.backfill_budget is not None:
                 budget = min(budget, pipeline.config.backfill_budget)
-            hits = yield from self._fresh_hits(None, ctx.query, budget, seen)
+            hits = yield from self._fresh_hits(None, ctx.query, budget, seen,
+                                               strategy)
             for hit in hits:
                 seen.add(hit.doc_id)
                 instance = collection.instance(hit.doc_id)
@@ -321,9 +338,9 @@ class ExecuteStage(PipelineStage):
         ctx.answers = answers
 
     def _fresh_hits(self, target: str | None, query: str, budget: int,
-                    seen: set[str]):
+                    seen: set[str], strategy: str):
         """Generator sub-routine: the top ``budget`` hits from ``target``
-        whose ids are not in ``seen``.
+        whose ids are not in ``seen``, retrieved under ``strategy``.
 
         Fetches with headroom and keeps widening geometrically until the
         budget is met or the index is exhausted, so a pile-up of
@@ -334,7 +351,8 @@ class ExecuteStage(PipelineStage):
             return []
         fetch = budget + len(seen)
         while True:
-            hits: list[SearchHit] = yield _Request(target, query, fetch)
+            hits: list[SearchHit] = yield _Request(target, query, fetch,
+                                                   strategy)
             fresh = [hit for hit in hits if hit.doc_id not in seen]
             if len(fresh) >= budget or len(hits) < fetch:
                 return fresh[:budget]
@@ -377,19 +395,20 @@ class AssembleStage(PipelineStage):
         planning-time label — for them any strategy is hypothetical.
         """
         collection = pipeline.collection
+        strategy = pipeline.strategy_for(ctx)
         terms = list(ctx.plan.terms)
         executed = ctx.executed_targets
         changed = False
         flat_strategy = ctx.plan.flat.strategy
         if None in executed:
             flat_strategy = resolve_strategy(
-                pipeline.strategy, terms, collection.peek_global_snapshot())
+                strategy, terms, collection.peek_global_snapshot())
             changed = flat_strategy != ctx.plan.flat.strategy
         tasks = []
         for task in ctx.plan.tasks:
             if task.kind == "definition" and task.definition in executed:
                 resolved = resolve_strategy(
-                    pipeline.strategy, terms,
+                    strategy, terms,
                     collection.peek_definition_snapshot(task.definition))
                 if resolved != task.strategy:
                     task = replace(task, strategy=resolved)
@@ -429,6 +448,12 @@ class AssembleStage(PipelineStage):
         used = sum(1 for match in ctx.matches if match.score >= min_score)
         shown = ctx.matches[:used + pipeline.config.candidate_limit]
         stats = ctx.retrieval_stats
+        notes: list[str] = []
+        fallbacks = stats.get("hybrid_fallbacks", 0)
+        if fallbacks:
+            notes.append(
+                f"hybrid: no vector extents available — {fallbacks} "
+                f"search(es) in this batch served lexical results")
         return SearchExplanation(
             query=ctx.query,
             template=ctx.segmented.template(),
@@ -447,4 +472,5 @@ class AssembleStage(PipelineStage):
             cache_misses=stats.get("cache_misses", 0),
             shard_tasks=stats.get("shard_tasks", 0),
             shard_tasks_skipped=stats.get("shard_tasks_skipped", 0),
+            notes=tuple(notes),
         )

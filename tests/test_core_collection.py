@@ -338,6 +338,38 @@ class TestPersistence:
                    definition
 
 
+class TestHybridPersistence:
+    """The collection-level contract of the hybrid strategy: vectors
+    saved by default serve hybrid without complaint; a generation saved
+    with ``vectors=False`` degrades to lexical with one warning."""
+
+    def test_default_save_serves_hybrid_without_warning(self, mini_db,
+                                                        tmp_path):
+        import warnings
+
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap")
+        loaded = QunitCollection.load(mini_db, out, strategy="hybrid")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            hits = loaded.searcher().search("star wars", 4)
+        assert hits
+        assert loaded.searcher().hybrid_fallbacks == 0
+
+    def test_save_without_vectors_degrades_to_lexical(self, mini_db,
+                                                      tmp_path):
+        collection = QunitCollection(mini_db, definitions())
+        out = collection.save(tmp_path / "snap", vectors=False)
+        lexical = QunitCollection.load(mini_db, out)
+        expected = [(h.doc_id, h.score)
+                    for h in lexical.searcher().search("star wars", 4)]
+        hybrid = QunitCollection.load(mini_db, out, strategy="hybrid")
+        with pytest.warns(RuntimeWarning, match="no vector extents"):
+            hits = hybrid.searcher().search("star wars", 4)
+        assert [(h.doc_id, h.score) for h in hits] == expected
+        assert hybrid.searcher().hybrid_fallbacks >= 1
+
+
 class TestSharding:
     def test_sharded_collection_search_matches_serial(self, mini_db):
         serial = QunitCollection(mini_db, definitions())
@@ -383,7 +415,10 @@ class TestSnapshotV2Layout:
         from repro.ir.persist import save_snapshot
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "deduped")
+        # vectors=False: this test measures the document-dedup property
+        # alone; vector extents (saved by default, skipped by
+        # save_snapshot below) would drown the comparison.
+        out = collection.save(tmp_path / "deduped", vectors=False)
         deduped_bytes = sum(entry.stat().st_size for entry in out.iterdir()
                             if entry.name != "collection.json")
 

@@ -98,7 +98,8 @@ class TestFreshHitsHeadroom:
     def fresh_hits(searcher, query, budget, seen):
         from repro.serve.stages import ExecuteStage
 
-        generator = ExecuteStage()._fresh_hits(None, query, budget, seen)
+        generator = ExecuteStage()._fresh_hits(None, query, budget, seen,
+                                               "auto")
         request = None
         try:
             request = generator.send(None)

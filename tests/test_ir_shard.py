@@ -77,7 +77,7 @@ class TestShardSnapshot:
 
 
 class TestShardedTopK:
-    @pytest.mark.parametrize("parallelism", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("parallelism", ["serial", "process"])
     @pytest.mark.parametrize("shards", [1, 2, 3, 5])
     def test_rank_identical_to_unsharded(self, snapshot, parallelism, shards):
         scorer = Bm25Scorer()
@@ -114,15 +114,29 @@ class TestShardedTopK:
         with pytest.raises(ValueError):
             ShardedTopK(snapshot, 2, "fibers")
 
+    def test_thread_mode_retired_with_clear_error(self, snapshot):
+        # "thread" used to be a supported executor; it is gone, not
+        # silently aliased — callers get told why and what to use.
+        with pytest.raises(ValueError, match="retired"):
+            ShardedTopK(snapshot, 2, "thread")
+        with pytest.raises(ValueError, match="'serial' .*'process'"):
+            ShardedTopK(snapshot, 2, "thread")
+
     def test_close_is_idempotent(self, snapshot):
-        sharded = ShardedTopK(snapshot, 2, "thread")
+        sharded = ShardedTopK(snapshot, 2, "serial")
+        sharded.topk(Bm25Scorer(), ["star"], 2)
+        sharded.close()
+        sharded.close()
+
+    def test_close_is_idempotent_with_executor(self, snapshot):
+        sharded = ShardedTopK(snapshot, 2, "process")
         sharded.topk(Bm25Scorer(), ["star"], 2)
         sharded.close()
         sharded.close()
 
 
 class TestSearcherSharding:
-    @pytest.mark.parametrize("parallelism", ["serial", "thread"])
+    @pytest.mark.parametrize("parallelism", ["serial", "process"])
     def test_search_matches_serial_searcher(self, parallelism):
         index = build_index(BODIES)
         serial = Searcher(index)
@@ -343,7 +357,7 @@ class TestBloomRouting:
             assert sharded.topk(Bm25Scorer(), [], 4) == []
             assert sharded.routing_stats["shard_tasks_skipped"] == 6
 
-    @pytest.mark.parametrize("parallelism", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("parallelism", ["serial", "process"])
     def test_routing_identical_across_executors(self, snapshot, parallelism):
         scorer = Bm25Scorer()
         expected = [topk_scores(snapshot, scorer, list(q), 4)

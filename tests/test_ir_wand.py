@@ -112,7 +112,8 @@ class TestResolveStrategy:
             resolve_strategy("bogus", ["a"])
 
     def test_strategies_constant_covers_auto(self):
-        assert set(STRATEGIES) == {"auto", "maxscore", "wand", "blockmax"}
+        assert set(STRATEGIES) == {"auto", "maxscore", "wand", "blockmax",
+                                   "hybrid"}
 
 
 class TestWandScores:
@@ -249,7 +250,8 @@ class TestSearcherStrategy:
         with pytest.raises(ValueError, match="strategy"):
             Searcher(snapshot, strategy="bogus")
 
-    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize(
+        "strategy", [s for s in STRATEGIES if s != "hybrid"])
     def test_search_matches_exhaustive(self, snapshot, strategy):
         searcher = Searcher(snapshot, strategy=strategy, cache_size=0)
         for query in ("apple banana cherry date", "banana", ""):
@@ -257,6 +259,29 @@ class TestSearcherStrategy:
             slow = [(h.doc_id, h.score)
                     for h in searcher.search_exhaustive(query, 5)]
             assert fast == slow
+
+    def test_hybrid_weight_zero_matches_exhaustive(self, snapshot):
+        # With the vector term weighted out, hybrid degenerates to the
+        # pure lexical ranking — rank AND score identical.
+        searcher = Searcher(snapshot, strategy="hybrid", cache_size=0,
+                            vector_weight=0.0)
+        for query in ("apple banana cherry date", "banana", ""):
+            fast = [(h.doc_id, h.score) for h in searcher.search(query, 5)]
+            slow = [(h.doc_id, h.score)
+                    for h in searcher.search_exhaustive(query, 5)]
+            assert fast == slow
+
+    def test_hybrid_recovers_misspelled_query(self, snapshot):
+        # A query whose tokens match nothing lexically can still surface
+        # documents through char n-gram similarity — the quality delta
+        # hybrid exists for.  "aple banan" shares no index term, so the
+        # lexical ranking is empty; the fused ranking is not.
+        lexical = Searcher(snapshot, strategy="auto", cache_size=0)
+        assert lexical.search("aple banan", 5) == []
+        hybrid = Searcher(snapshot, strategy="hybrid", cache_size=0)
+        hits = hybrid.search("aple banan", 5)
+        assert hits
+        assert {h.doc_id for h in hits} <= {f"d{i}" for i in range(8)}
 
     @pytest.mark.parametrize("strategy", ["wand", "blockmax", "auto"])
     def test_sharded_search_many_matches_serial(self, snapshot, strategy):

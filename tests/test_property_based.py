@@ -456,6 +456,157 @@ class TestShardingProperties:
                    broadcast.topk_many(scorer, term_lists, limit)
 
 
+class TestHybridProperties:
+    """The invariants that replace rank-identical-to-exhaustive for the
+    fused ``"hybrid"`` strategy (see the ``repro.ir.retrieval`` module
+    docs): weight-0 degenerates to lexical verbatim; fused rankings are
+    deterministic and invariant under shard count and executor; vector
+    partitions merge float-exactly to the global cosine scan; and the
+    embedder is bit-identical across processes."""
+
+    @staticmethod
+    def _index(bodies):
+        index = InvertedIndex(Analyzer(stem=False))
+        for i, body in enumerate(bodies):
+            index.add(Document.create(f"d{i}", {"body": body}))
+        return index
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=10),
+        query=texts,
+        shards=st.integers(min_value=0, max_value=5),
+        limit=st.integers(min_value=0, max_value=10),
+    )
+    def test_weight_zero_identical_to_lexical(
+            self, bodies, query, shards, limit):
+        # vector_weight == 0 must return the lexical ranking verbatim —
+        # same docs, same scores, same tie-breaks — at any shard count.
+        index = self._index(bodies)
+        lexical = Searcher(index).search(query, limit)
+        with Searcher(index, shards=shards, parallelism="serial",
+                      strategy="hybrid", vector_weight=0.0) as hybrid:
+            fused = hybrid.search(query, limit)
+        assert [(h.doc_id, h.score, h.rank) for h in fused] == \
+               [(h.doc_id, h.score, h.rank) for h in lexical]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=10),
+        query=texts,
+        shards=st.integers(min_value=1, max_value=6),
+        limit=st.integers(min_value=1, max_value=8),
+    )
+    def test_fused_ranking_invariant_under_shard_count(
+            self, bodies, query, shards, limit):
+        # Cosine is per-document and the lexical side is already
+        # shard-invariant, so the fused ranking must be float-exact
+        # identical however the index is partitioned.
+        index = self._index(bodies)
+        unsharded = Searcher(index, strategy="hybrid").search(query, limit)
+        with Searcher(index, shards=shards, parallelism="serial",
+                      strategy="hybrid") as sharded_searcher:
+            sharded = sharded_searcher.search(query, limit)
+        assert [(h.doc_id, h.score, h.rank) for h in sharded] == \
+               [(h.doc_id, h.score, h.rank) for h in unsharded]
+
+    def test_fused_ranking_invariant_under_process_executor(self):
+        # One concrete corpus through a real process pool: the executor
+        # must not perturb fusion (workers score lexically; fusion
+        # happens once, in the parent).
+        bodies = ["star wars saga", "ocean trek adventure",
+                  "deep ocean documentary", "wars of the roses",
+                  "star light star bright", "silent archive"]
+        index = self._index(bodies)
+        serial = Searcher(index, strategy="hybrid").search("star ocean", 5)
+        with Searcher(index, shards=3, parallelism="process",
+                      strategy="hybrid") as sharded_searcher:
+            sharded = sharded_searcher.search("star ocean", 5)
+        assert [(h.doc_id, h.score, h.rank) for h in sharded] == \
+               [(h.doc_id, h.score, h.rank) for h in serial]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bodies=st.lists(texts, min_size=1, max_size=12),
+        query=texts,
+        count=st.integers(min_value=1, max_value=6),
+        limit=st.integers(min_value=1, max_value=10),
+    )
+    def test_vector_partitions_merge_to_global_topk(
+            self, bodies, query, count, limit):
+        from repro.ir.embed import HashingEmbedder
+        from repro.ir.topk import merge_ranked
+        from repro.ir.vector import VectorIndex
+
+        embedder = HashingEmbedder()
+        documents = {f"d{i}": Document.create(f"d{i}", {"body": body})
+                     for i, body in enumerate(bodies)}
+        vectors = VectorIndex.build(embedder, documents)
+        query_vector = embedder.embed_query(query)
+        merged = merge_ranked(
+            [part.topk(query_vector, limit)
+             for part in vectors.shard(count)], limit)
+        assert merged == vectors.topk(query_vector, limit)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        docs=st.lists(words, min_size=0, max_size=10, unique=True),
+        split=st.integers(min_value=0, max_value=10),
+        weight=st.floats(min_value=0.0, max_value=4.0),
+        rrf_k=st.integers(min_value=1, max_value=120),
+        limit=st.integers(min_value=1, max_value=10),
+    )
+    def test_rrf_deterministic_sorted_and_weight_zero_is_lexical(
+            self, docs, split, weight, rrf_k, limit):
+        from repro.ir.vector import reciprocal_rank_fusion
+
+        # Two overlapping rankings built from one unique doc pool.
+        lexical = [(doc, float(len(docs) - i))
+                   for i, doc in enumerate(docs[:max(split, 1)])]
+        vector = [(doc, 1.0 - i / 20.0)
+                  for i, doc in enumerate(reversed(docs))]
+        fused = reciprocal_rank_fusion(lexical, vector, limit,
+                                       vector_weight=weight, rrf_k=rrf_k)
+        # Deterministic: same inputs, same output.
+        assert fused == reciprocal_rank_fusion(
+            lexical, vector, limit, vector_weight=weight, rrf_k=rrf_k)
+        # Sorted by (-score, doc_id), length-capped, drawn from the union.
+        assert fused == sorted(fused, key=lambda hit: (-hit[1], hit[0]))
+        assert len(fused) <= limit
+        assert {doc for doc, _ in fused} <= \
+               {doc for doc, _ in lexical} | {doc for doc, _ in vector}
+        if weight == 0.0:
+            # The vector ranking contributes nothing: fused order is the
+            # lexical order (RRF scores are strictly rank-monotonic).
+            assert [doc for doc, _ in fused] == \
+                   [doc for doc, _ in lexical][:limit]
+
+    def test_embedder_bit_identical_across_processes(self):
+        # The embedder must be reproducible across interpreter runs
+        # (PYTHONHASHSEED-proof) or persisted vector extents would be
+        # garbage to the next process.  Compare exact IEEE-754 bytes.
+        import struct
+        import subprocess
+        import sys
+
+        from repro.ir.embed import HashingEmbedder
+
+        probe = "star wars cast & crew — épisode 4"
+        local = HashingEmbedder().embed_query(probe)
+        script = (
+            "import struct, sys\n"
+            "from repro.ir.embed import HashingEmbedder\n"
+            f"vector = HashingEmbedder().embed_query({probe!r})\n"
+            "sys.stdout.write(struct.pack('<%dd' % len(vector),"
+            " *vector).hex())\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            check=True, env={"PYTHONPATH": "src", "PYTHONHASHSEED": "1"})
+        assert result.stdout == \
+               struct.pack("<%dd" % len(local), *local).hex()
+
+
 #: Query shapes covering every pipeline path: fully-bound structural
 #: matches, partially-bound matches (definition IR), dimension entities,
 #: aggregates, free text, garbage, and the empty query.

@@ -26,16 +26,32 @@ def echo_runner(requests):
 
 class _BlockingRunner:
     """A runner that parks in the worker thread until released, so
-    tests can pile requests up behind an in-flight batch."""
+    tests can pile requests up behind an in-flight batch.  ``entered``
+    is set the moment the first batch reaches the runner — the signal
+    the tests poll for instead of sleeping a fixed interval."""
 
     def __init__(self):
         self.release = threading.Event()
+        self.entered = threading.Event()
         self.calls = []
 
     def __call__(self, requests):
+        self.entered.set()
         self.release.wait(timeout=10)
         self.calls.append([request.query for request in requests])
         return echo_runner(requests)
+
+
+async def _wait_until(condition, timeout=5.0):
+    """Poll ``condition()`` until true (deflaked alternative to fixed
+    sleeps: waits exactly as long as needed, fails loudly on hangs)."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not condition():
+        if loop.time() > deadline:
+            raise AssertionError(
+                f"condition {condition!r} not met within {timeout}s")
+        await asyncio.sleep(0.005)
 
 
 class TestMicroBatcher:
@@ -112,11 +128,12 @@ class TestMicroBatcher:
             # (blocked) batch, then fill the queue behind it.
             pending = [asyncio.ensure_future(
                 batcher.submit(SearchRequest(query="q0")))]
-            await asyncio.sleep(0.05)
+            await _wait_until(lambda: runner.entered.is_set()
+                              and batcher._queue.qsize() == 0)
             pending += [asyncio.ensure_future(
                 batcher.submit(SearchRequest(query=f"q{i}")))
                 for i in (1, 2)]
-            await asyncio.sleep(0)
+            await _wait_until(lambda: batcher._queue.qsize() == 2)
             with pytest.raises(ServerOverloaded) as excinfo:
                 await batcher.submit(SearchRequest(query="overflow"))
             assert excinfo.value.retry_after > 0
@@ -141,7 +158,8 @@ class TestMicroBatcher:
             pending = [asyncio.ensure_future(
                 batcher.submit(SearchRequest(query=f"q{i}")))
                 for i in range(3)]
-            await asyncio.sleep(0.05)  # first batch in flight, 2 queued
+            await _wait_until(lambda: runner.entered.is_set()
+                              and batcher._queue.qsize() == 2)
             closer = asyncio.ensure_future(batcher.close())
             runner.release.set()
             responses = await asyncio.gather(*pending)
@@ -166,7 +184,8 @@ class TestMicroBatcher:
             batcher.start()
             first = asyncio.ensure_future(
                 batcher.submit(SearchRequest(query="inflight")))
-            await asyncio.sleep(0.05)
+            await _wait_until(lambda: runner.entered.is_set()
+                              and batcher._queue.qsize() == 0)
             with pytest.raises(asyncio.TimeoutError):
                 await batcher.submit(
                     SearchRequest(query="hasty", timeout=0.01))

@@ -19,7 +19,12 @@ from repro.core.derivation import imdb_expert_qunits
 from repro.core.search import QunitSearchEngine
 from repro.datasets.querylog import SessionLogGenerator
 from repro.serve.api import SearchRequest
-from repro.serve.client import SearchClient, ServerBusy, build_session_workload
+from repro.serve.client import (
+    SearchClient,
+    ServerBusy,
+    build_session_workload,
+    run_load_in_process,
+)
 from repro.serve.server import SearchServer, ServerConfig
 
 
@@ -343,6 +348,77 @@ class TestServingBehavior:
         status, data, stats = asyncio.run(main())
         assert status == 504
         assert stats["timeouts"] == 1
+
+
+class TestHybridOverHttp:
+    def test_per_request_strategy_override(self, live_server,
+                                           workload_queries):
+        status, data = _request(live_server, "POST", "/search",
+                                {"query": workload_queries[0], "limit": 3,
+                                 "strategy": "hybrid", "explain": True})
+        assert status == 200
+        assert data["explanation"]["strategy"] == "hybrid"
+
+    def test_invalid_strategy_is_400(self, live_server):
+        status, data = _request(live_server, "POST", "/search",
+                                {"query": "x", "strategy": "bogus"})
+        assert status == 400
+        assert "strategy" in data["error"]
+
+    def test_missing_vector_extents_serve_lexical_over_http(
+            self, serve_collection, tmp_path):
+        # A collection saved without vector extents, served over HTTP
+        # with a hybrid request: 200, lexical answers, a fallback note
+        # in the trace — never a 500.
+        out = serve_collection.save(tmp_path / "no-vectors",
+                                    vectors=False)
+        loaded = QunitCollection.load(serve_collection.database, out)
+        # Free text that matches no definition, so serving it must run
+        # flat IR retrieval (where the hybrid fallback fires); a
+        # structurally-matched query would materialize its answers
+        # without ever touching a searcher.
+        query = "science fiction movies"
+
+        async def main():
+            config = ServerConfig(window=0.0, max_batch=4)
+            async with _start_server(loaded, config) as server:
+                host, port = server.address
+                async with SearchClient(host, port) as client:
+                    hybrid = await client.request(
+                        "POST", "/search",
+                        {"query": query, "limit": 3,
+                         "strategy": "hybrid", "explain": True})
+                    lexical = await client.request(
+                        "POST", "/search", {"query": query, "limit": 3})
+                return hybrid, lexical
+
+        (status, data), (lex_status, lex_data) = asyncio.run(main())
+        assert status == 200 and lex_status == 200
+        assert data["answers"] == lex_data["answers"]
+        assert any("no vector extents" in note
+                   for note in data["explanation"]["notes"])
+
+
+class TestSubprocessLoadClient:
+    def test_fleet_runs_out_of_process(self, serve_collection,
+                                       workload_queries):
+        # The closed-loop fleet must complete from a child interpreter
+        # (real external traffic) and ship its report back intact.
+        workload = [workload_queries[:3], workload_queries[3:6]]
+
+        async def main():
+            config = ServerConfig(window=0.002, max_batch=8)
+            async with _start_server(serve_collection, config) as server:
+                host, port = server.address
+                report = await run_load_in_process(host, port, workload,
+                                                   limit=3)
+                return report, server.stats()
+
+        report, stats = asyncio.run(main())
+        assert report.completed == 6
+        assert report.errors == 0
+        assert report.qps > 0
+        assert stats["served"] >= 6
 
 
 class TestLoadClientHelpers:
