@@ -1,0 +1,193 @@
+"""PERF — live collections: delta saves, lazy cold starts, online ingest.
+
+Guards the three numbers that justify the collection-level delta
+journal and lazy loading (``repro.core.store``; see
+``docs/PERSISTENCE.md`` for the byte-level spec):
+
+- **Delta-save speedup** — appending K new documents as one journal
+  transaction (``CollectionWriter.commit``) versus rewriting the whole
+  generation (``SaveOptions(mode="full")``) from the same in-memory
+  state.  The journal's reason to exist: the append is O(new
+  documents), the rewrite is O(corpus).
+- **Lazy cold-start pin count** — snapshot bodies materialized by
+  ``LoadOptions(lazy=True)`` at load time (must be 0; the eager count
+  is reported next to it) and after the first query (demand loads only
+  what the query touched).
+- **Read p99 during concurrent ingest** — query latency over a live
+  collection while a background writer stages documents and swaps
+  generations under it, next to the same workload with no writer.
+  Reads keep serving the old generation until each swap lands
+  (rank-correctness is asserted in ``tests/test_core_store.py``; this
+  file measures what the swaps cost the readers).
+
+Writes ``BENCH_ingest.json``; ``delta_save_speedup`` and
+``lazy_cold_pins`` are guarded by the nightly regression gate
+(``repro.bench.regression``).  The p99s are reported but not gated —
+cross-thread scheduling jitter on shared CI runners swamps the 25%
+regression threshold.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core import QunitCollection
+from repro.core.derivation import imdb_expert_qunits
+from repro.core.search import QunitSearchEngine, SearchRequest
+from repro.core.store import CollectionStore, LoadOptions, SaveOptions
+from repro.ir.documents import Document
+
+PROBES = ("star wars cast", "george clooney", "tom hanks movies")
+
+
+def _ingest_documents(count: int, start: int = 0) -> list[Document]:
+    return [
+        Document.create(
+            f"ingest:doc:{start + i}",
+            {"body": f"live ingest document {start + i} "
+                     f"freshly staged content batch"})
+        for i in range(count)
+    ]
+
+
+def _p99_ms(latencies: list[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[int(0.99 * (len(ordered) - 1))] * 1e3
+
+
+@pytest.fixture(scope="module")
+def ingest_collection(bench_db, bench_full):
+    max_instances = 150 if bench_full else 60
+    return QunitCollection(bench_db, imdb_expert_qunits(),
+                           max_instances_per_definition=max_instances)
+
+
+def test_ingest_delta_vs_full(benchmark, write_artifact, bench_full,
+                              bench_db, bench_scale, ingest_collection,
+                              tmp_path_factory):
+    """The three live-collection numbers, measured end to end."""
+    out_dir = tmp_path_factory.mktemp("ingest") / "collection"
+    store = CollectionStore(out_dir)
+    collection = ingest_collection
+    definition = next(iter(collection.definitions))
+    batch = 40 if bench_full else 10
+    ingest_commits = 6 if bench_full else 2
+    read_rounds = 30 if bench_full else 5
+
+    def measure():
+        # Baseline generation on disk (vectors off: embedding cost is
+        # a constant on both sides and would only blur the journal's
+        # O(new docs) vs O(corpus) comparison).
+        store.save(collection, SaveOptions(vectors=False, mode="full"))
+
+        # Delta path: K staged documents -> one journal transaction.
+        writer = store.writer(collection)
+        for document in _ingest_documents(batch):
+            writer.stage(definition, document)
+        start = time.perf_counter()
+        report = writer.commit()
+        delta_save_s = time.perf_counter() - start
+        assert report.mode == "delta"
+        assert report.appended_documents == batch
+
+        # Full path: rewriting the same grown collection from scratch.
+        start = time.perf_counter()
+        full = store.save(collection,
+                          SaveOptions(vectors=False, mode="full"))
+        full_save_s = time.perf_counter() - start
+        assert full.mode == "full"
+
+        # Lazy vs eager cold start: what does load() actually pin?
+        start = time.perf_counter()
+        lazy = store.load(bench_db, LoadOptions(lazy=True))
+        lazy_load_s = time.perf_counter() - start
+        lazy_cold_pins = len(lazy._loaded_snapshots)
+        lazy_engine = QunitSearchEngine(lazy, flavor="expert")
+        lazy_engine.execute([SearchRequest(query=PROBES[0], limit=3)])
+        lazy_first_query_loads = lazy.lazy_loads
+        lazy.close()
+
+        start = time.perf_counter()
+        eager = store.load(bench_db, LoadOptions(lazy=False))
+        eager_load_s = time.perf_counter() - start
+        eager_cold_pins = len(eager._loaded_snapshots)
+        eager.close()
+
+        return (delta_save_s, full_save_s, lazy_load_s, lazy_cold_pins,
+                lazy_first_query_loads, eager_load_s, eager_cold_pins)
+
+    (delta_save_s, full_save_s, lazy_load_s, lazy_cold_pins,
+     lazy_first_query_loads, eager_load_s, eager_cold_pins) = \
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Read latency with and without a writer swapping generations.
+    def read_p99(with_ingest: bool) -> float:
+        served = store.load(bench_db, LoadOptions(lazy=True))
+        engine = QunitSearchEngine(served, flavor="expert")
+        requests = [SearchRequest(query=query, limit=3) for query in PROBES]
+        engine.execute(requests)  # warm the lazy loads out of the timing
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def ingest_loop():
+            writer = CollectionStore(store.path).writer(served)
+            try:
+                for commit in range(ingest_commits):
+                    for document in _ingest_documents(
+                            batch, start=10_000 + commit * batch):
+                        writer.stage(definition, document)
+                    writer.commit()
+            except BaseException as exc:  # surfaced after the joins
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        worker = None
+        if with_ingest:
+            worker = threading.Thread(target=ingest_loop, daemon=True)
+            worker.start()
+        latencies = []
+        for _ in range(read_rounds):
+            for request in requests:
+                start = time.perf_counter()
+                responses = engine.execute([request])
+                latencies.append(time.perf_counter() - start)
+                assert responses[0].answers
+        if worker is not None:
+            stop.wait()
+            worker.join()
+            assert not errors, errors
+        served.close()
+        return _p99_ms(latencies)
+
+    quiet_p99_ms = read_p99(with_ingest=False)
+    ingest_p99_ms = read_p99(with_ingest=True)
+
+    report = {
+        "scale": bench_scale,
+        "ingest_batch": batch,
+        "ingest_commits": ingest_commits,
+        "delta_save_s": round(delta_save_s, 6),
+        "full_save_s": round(full_save_s, 6),
+        "delta_save_speedup": round(full_save_s / delta_save_s, 3),
+        "lazy_load_s": round(lazy_load_s, 6),
+        "eager_load_s": round(eager_load_s, 6),
+        "lazy_cold_pins": lazy_cold_pins,
+        "eager_cold_pins": eager_cold_pins,
+        "lazy_first_query_loads": lazy_first_query_loads,
+        "read_p99_quiet_ms": round(quiet_p99_ms, 3),
+        "read_p99_during_ingest_ms": round(ingest_p99_ms, 3),
+    }
+    write_artifact("BENCH_ingest.json", json.dumps(report, indent=2))
+
+    # Laziness is absolute, not statistical — assert it at every scale.
+    assert lazy_cold_pins == 0
+    assert eager_cold_pins >= 1 + len(ingest_collection.definitions)
+    assert 0 < lazy_first_query_loads <= eager_cold_pins
+    if bench_full:
+        # The journal's acceptance bar: appending a small batch must
+        # beat rewriting the generation.  Full scale only — at smoke
+        # sizes both sides are milliseconds of filesystem noise.
+        assert delta_save_s < full_save_s

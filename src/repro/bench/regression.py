@@ -103,6 +103,19 @@ TRACKED_METRICS: dict[str, dict[str, str]] = {
         "hybrid_warm_s": "lower",
         "latency_ratio": "lower",
     },
+    "BENCH_ingest.json": {
+        # The collection journal's reason to exist: appending a small
+        # batch must keep beating a full generation rewrite.  A ratio
+        # of two save paths on the same host, so stable where absolute
+        # wall-clock is machine-bound.
+        "delta_save_speedup": "higher",
+        # Lazy cold starts must keep pinning nothing up front; this is
+        # a file count, so any drift is a behavior change, not noise.
+        # (The read p99s in this file are deliberately not gated —
+        # cross-thread scheduling jitter on shared runners swamps the
+        # regression threshold.)
+        "lazy_cold_pins": "lower",
+    },
 }
 
 

@@ -6,7 +6,7 @@
                     [--flavor expert] [--shards 4] [--strategy wand]
                     [--batch-file queries.txt] [--explain]
     python -m repro derive --strategy schema_data [--k1 4 --k2 3]
-    python -m repro save DIR [--flavor expert] [--shards 4]
+    python -m repro save DIR [--flavor expert] [--shards 4] [--mode auto]
     python -m repro load DIR ["query" ...] [--shards 4] [--strategy auto]
                     [--explain]
     python -m repro compact PATH
@@ -23,8 +23,13 @@ Everything runs on the synthetic database (deterministic for a given
 ``--seed``), so the CLI doubles as a zero-setup demo of the system.
 ``save`` persists a derived collection (definitions + a deduplicated
 document store + index snapshots; with ``--shards N`` also one snapshot
-per shard partition) to a directory; ``load`` restarts from that
-directory without re-deriving — pass queries to answer them from the
+per shard partition) to a directory through the typed store API
+(``repro.core.store.CollectionStore``) — when the directory already
+holds a compatible generation, only the *new* documents are appended to
+the collection delta journal (``--mode`` forces ``full`` or ``delta``);
+``load`` restarts from that directory without re-deriving, pinning only
+the manifest and snapshot headers up front (snapshots mmap lazily on
+first query demand) — pass queries to answer them from the
 loaded snapshots.  All queries given to ``search``/``load`` — positional
 ones plus any read from ``--batch-file`` (one query per line) — are
 answered as *one batch* through the staged query pipeline
@@ -32,7 +37,10 @@ answered as *one batch* through the staged query pipeline
 ``--explain`` prints each query's full stage trace (per-stage wall time,
 the query plan, the strategy the df-skew cost model chose, cache and
 shard-routing counters, and rejected candidate definitions).  ``compact``
-folds any delta segments trailing snapshot files back into clean bases.  ``bench-diff`` compares two directories of
+folds delta segments back into clean bases — a directory's
+collection-level journal first (rewriting a fresh journal-free
+generation), then any per-file segments trailing individual snapshot
+files.  ``bench-diff`` compares two directories of
 ``BENCH_*.json`` benchmark reports (the perf-regression check CI runs
 nightly — see ``repro.bench.regression``).  ``--shards N`` scores the
 flat collection index as N hash-partitioned shards in parallel,
@@ -120,14 +128,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="also persist N per-shard snapshots (with term Bloom "
              "filters) so servers can load single partitions and "
              "`load --shards N` skips the in-memory re-partition")
+    save.add_argument(
+        "--mode", default="auto", choices=["auto", "full", "delta"],
+        help="save mode: 'delta' appends only new documents to the "
+             "collection journal, 'full' rewrites every snapshot, "
+             "'auto' picks delta when the directory holds a compatible "
+             "generation (default auto)")
 
     compact = commands.add_parser(
         "compact",
-        help="fold delta segments in snapshot files into clean bases")
+        help="fold delta segments — the collection journal and per-file "
+             "segments — into clean snapshot bases")
     compact.add_argument(
         "path",
-        help="a generation directory written by `save` (compacts every "
-             "*.snap in it) or a single snapshot file")
+        help="a generation directory written by `save` (folds the "
+             "collection journal, then compacts every *.snap in it) or "
+             "a single snapshot file")
 
     migrate = commands.add_parser(
         "migrate",
@@ -389,18 +405,26 @@ def _command_search(args) -> int:
 
 
 def _command_save(args) -> int:
+    from repro.core.store import CollectionStore, SaveOptions
+
     db = generate_imdb(scale=args.scale, seed=args.seed)
     definitions = _definitions_for(args, db, args.flavor)
     collection = QunitCollection(
         db, definitions, max_instances_per_definition=args.max_instances,
         shards=args.shards)
-    out = collection.save(args.directory)
-    index = collection.global_index()
-    print(f"saved collection to {out}")
+    report = CollectionStore(args.directory).save(
+        collection, SaveOptions(mode=args.mode))
+    snapshot = collection.global_snapshot()
+    print(f"saved collection to {report.path}")
+    print(f"  mode        : {report.mode}")
+    print(f"  generation  : {report.generation}")
     print(f"  definitions : {len(collection)}")
     print(f"  instances   : {collection.instance_count()}")
-    print(f"  documents   : {index.document_count}")
-    print(f"  vocabulary  : {index.vocabulary_size}")
+    print(f"  documents   : {report.documents}")
+    print(f"  vocabulary  : {snapshot.vocabulary_size}")
+    if report.mode == "delta":
+        print(f"  appended    : {report.appended_documents} document(s) "
+              f"in {report.journal_segments} segment(s)")
     if args.shards >= 2:
         print(f"  shards      : {args.shards}")
     return 0
@@ -416,6 +440,17 @@ def _command_compact(args) -> int:
     )
 
     target = Path(args.path)
+    if target.is_dir() and (target / "collection.json").exists():
+        # Fold the collection-level delta journal first: this rewrites
+        # every snapshot as a clean full-generation base, so the
+        # per-file pass below only has legacy per-file segments left.
+        from repro.core.store import CollectionStore
+
+        store = CollectionStore(target)
+        segments = store.compact()
+        generation = store.manifest().get("generation", "-")
+        print(f"collection.json: folded {segments} journal delta "
+              f"segment(s), generation {generation}")
     files = sorted(target.glob("*.snap")) if target.is_dir() else [target]
     if not files:
         print(f"no snapshot files found in {target}")

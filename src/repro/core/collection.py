@@ -41,8 +41,8 @@ directories written by earlier builds still load read-only.
 
 from __future__ import annotations
 
-import json
-import os
+import threading
+import warnings
 from collections import OrderedDict
 from collections.abc import Iterable
 from pathlib import Path
@@ -51,18 +51,9 @@ from repro.core.qunit import QunitDefinition, QunitInstance
 from repro.errors import DerivationError, SnapshotError
 from repro.ir.analysis import Analyzer
 from repro.ir.index import IndexSnapshot, InvertedIndex
-from repro.ir.persist import (
-    DocumentStore,
-    load_document_store,
-    load_document_store_partition,
-    load_snapshot_with_header,
-    read_snapshot_doc_ids,
-    save_document_store,
-    save_snapshot,
-)
 from repro.ir.retrieval import Searcher, SearchHit
 from repro.ir.scoring import Scorer
-from repro.ir.shard import ShardedTopK, TermBloomFilter, shard_snapshot
+from repro.ir.shard import ShardedTopK, TermBloomFilter
 from repro.relational.database import Database
 from repro.serve.pool import SearcherPool
 from repro.utils.text import normalize
@@ -70,8 +61,11 @@ from repro.utils.text import normalize
 __all__ = ["QunitCollection"]
 
 MANIFEST_MAGIC = "qunits-collection"
+#: Format written by a journal-free full save; version 3 marks a
+#: manifest whose generation carries a collection-level delta journal
+#: (see :mod:`repro.core.store` and ``docs/PERSISTENCE.md``).
 MANIFEST_VERSION = 2
-SUPPORTED_MANIFEST_VERSIONS = (1, 2)
+SUPPORTED_MANIFEST_VERSIONS = (1, 2, 3)
 MANIFEST_NAME = "collection.json"
 
 
@@ -114,18 +108,50 @@ class QunitCollection:
             OrderedDict()
         self._global_index: InvertedIndex | None = None
         self._definition_indexes: dict[str, InvertedIndex] = {}
-        # Snapshots restored by :meth:`load`, keyed like searchers (None =
-        # the global index).  All referenced snapshots are read eagerly at
-        # load time: a loaded collection pins its whole generation in
-        # memory, so a later re-save pruning old snapshot files can never
-        # yank one out from under it mid-serving.  Under the version-2
-        # layout every snapshot shares the generation's document-store
-        # objects, so "the whole generation" is one copy of the documents.
+        # Snapshots restored from disk, keyed like searchers (None = the
+        # global index).  An eager load fills this at load time (the
+        # whole generation pinned — immune to a concurrent re-save's
+        # prune); a lazy load instead registers a loader per key in
+        # _lazy_loaders and fills this on first demand.  Under the
+        # version-2 layout every snapshot shares the generation's
+        # document-store objects, so "the whole generation" is one copy
+        # of the documents.
         self._loaded_snapshots: dict[str | None, IndexSnapshot] = {}
+        # Pending lazy loads (key -> zero-arg loader returning
+        # (snapshot, bloom|None)), installed by a lazy
+        # CollectionStore.load and consumed by _ensure_loaded on the
+        # first query-path demand for the key's index.
+        self._lazy_loaders: dict[str | None, object] = {}
+        # Per-definition Bloom filters lifted from snapshot *headers* at
+        # lazy-load time: they let the plan stage prune a definition
+        # without loading its snapshot.  Dropped the moment the real
+        # snapshot loads (its version-stamped filter takes over).
+        self._header_blooms: dict[str, TermBloomFilter] = {}
+        #: Snapshot files mmap'd on first demand since load (the lazy
+        #: cold-start metric ``--explain`` surfaces per query).
+        self.lazy_loads = 0
+        #: The on-disk generation this collection was loaded from or
+        #: last saved as (``"<hex>"``, or ``"<hex>+N"`` after N journal
+        #: transactions); ``None`` for a never-persisted collection.
+        self.generation: str | None = None
+        # Where that generation lives, when known — lets a delta save to
+        # the same directory skip diffing targets that are still lazily
+        # pending (disk and memory are the same bytes by construction).
+        self._store_path: Path | None = None
         # A ShardedTopK restored from persisted per-shard snapshot files
         # (with their Bloom filters); handed to the flat searcher so it
-        # skips the in-memory re-partition.
+        # skips the in-memory re-partition.  Lazily loaded on the first
+        # flat-searcher build when _lazy_shard_loader is set.
         self._loaded_sharded: ShardedTopK | None = None
+        self._lazy_shard_loader = None
+        # Sharded executors parked by a generation swap: flat searchers
+        # pinned by in-flight batches may still score through them, so
+        # they close with the collection, not at swap time.
+        self._retired_sharded: list[ShardedTopK] = []
+        # Callbacks fired after a generation swap (see
+        # subscribe_invalidation) and the lock one swap holds end to end.
+        self._invalidation_hooks: list = []
+        self._swap_lock = threading.Lock()
         # Searchers are pooled so their LRU result caches and index
         # snapshots survive across queries (one searcher per
         # (definition, scorer-parameters) pair; None = the global index).
@@ -193,7 +219,46 @@ class QunitCollection:
         try:
             return self._instance_by_id[instance_id]
         except KeyError:
+            restored = self._restore_instance(instance_id)
+            if restored is not None:
+                return restored
             raise DerivationError(f"unknown qunit instance {instance_id!r}") from None
+
+    def _restore_instance(self, instance_id: str) -> QunitInstance | None:
+        """Rebuild an ingested instance from its persisted document.
+
+        An instance staged through ``CollectionWriter.stage_instance``
+        in an *earlier process* is in the loaded snapshots and the
+        document store, but has no database derivation to materialize
+        from.  Its document metadata carries the definition name and
+        params, and its body field is the instance's rendered text, so
+        the answer renders without the database ever knowing the
+        instance.  Only already-loaded snapshots are consulted — this
+        lookup follows a retrieval hit, so the hit's snapshot is loaded;
+        nothing is force-loaded here.
+        """
+        candidates = [snapshot
+                      for snapshot in self._loaded_snapshots.values()
+                      if snapshot is not None]
+        if self._loaded_sharded is not None:
+            candidates.extend(self._loaded_sharded.shards)
+        for snapshot in candidates:
+            if instance_id not in snapshot:
+                continue
+            document = snapshot.document(instance_id)
+            metadata = dict(document.metadata)
+            name = metadata.get("definition")
+            if name not in self.definitions:
+                return None
+            params = dict(metadata.get("params", ()))
+            instance = QunitInstance(self.definitions[name], params, [])
+            try:
+                instance._text = document.field("body")
+            except KeyError:
+                pass  # no body persisted; text renders from the params
+            self._instance_by_id[instance_id] = instance
+            return instance
+        return None
 
     MAX_MATERIALIZE_MEMO = 4096
 
@@ -247,20 +312,56 @@ class QunitCollection:
         """The index (or loaded snapshot) behind one searcher.
 
         A live index built this process wins; otherwise a snapshot
-        restored by :meth:`load` serves directly (explicit ``None`` checks:
-        a legitimately *empty* snapshot is falsy); otherwise the index is
-        built from materialized instances as usual.
+        restored from disk serves directly — loading it *now* if the
+        collection was lazily loaded (explicit ``None`` checks: a
+        legitimately *empty* snapshot is falsy); otherwise the index is
+        built from materialized instances as usual.  This is the demand
+        point lazy loads wait for: the plan stage only ever *peeks*, so
+        a definition skipped by its Bloom filter never loads.
         """
         if name is None:
             if self._global_index is not None:
                 return self._global_index
+            self._ensure_loaded(None)
             snapshot = self._loaded_snapshots.get(None)
             return snapshot if snapshot is not None else self.global_index()
         if name in self._definition_indexes:
             return self._definition_indexes[name]
         self.definition(name)  # unknown names fail loudly, even when loaded
+        self._ensure_loaded(name)
         snapshot = self._loaded_snapshots.get(name)
         return snapshot if snapshot is not None else self.definition_index(name)
+
+    def _ensure_loaded(self, name: str | None) -> None:
+        """Run (and consume) the pending lazy loader for one key, if any.
+
+        Installs the loaded snapshot exactly where an eager load would
+        have put it, promotes the loader's Bloom filter to the
+        version-stamped cache, and counts the load in
+        :attr:`lazy_loads`.  A load failure (e.g. the generation was
+        pruned by a concurrent full re-save — the documented lazy
+        trade-off) surfaces as :class:`~repro.errors.SnapshotError` and
+        leaves the loader consumed: retrying would hit the same file.
+        """
+        loader = self._lazy_loaders.pop(name, None)
+        if loader is None:
+            return
+        self._header_blooms.pop(name, None)
+        snapshot, bloom = loader()
+        self._loaded_snapshots[name] = snapshot
+        if name is not None and bloom is not None:
+            self._definition_blooms[name] = (snapshot.version, bloom)
+        self.lazy_loads += 1
+
+    def _pending_lazy(self, name: str | None) -> bool:
+        """Whether ``name``'s snapshot is still an unconsumed lazy load
+        with no live index shadowing it — i.e. its in-memory state *is*
+        its on-disk state (what lets a delta save skip diffing it)."""
+        if name not in self._lazy_loaders:
+            return False
+        if name is None:
+            return self._global_index is None
+        return name not in self._definition_indexes
 
     def global_snapshot(self) -> IndexSnapshot:
         """The frozen snapshot of the flat collection-wide index — loaded
@@ -328,8 +429,16 @@ class QunitCollection:
             # searcher, where postings are large enough to repay the
             # partition; per-definition indexes stay serial.  Shards
             # restored from persisted per-shard files are shared across
-            # every flat searcher (one partition, one executor).
+            # every flat searcher (one partition, one executor) — a lazy
+            # load defers reading them to this first flat build.
             shards = self.shards if name is None else 0
+            if name is None and self._loaded_sharded is None \
+                    and self._lazy_shard_loader is not None:
+                loader = self._lazy_shard_loader
+                self._lazy_shard_loader = None
+                self._loaded_sharded = loader()
+                if self._loaded_sharded is not None:
+                    self.lazy_loads += self.shards
             sharded = self._loaded_sharded if name is None else None
             return Searcher(self._index_for(name), scorer,
                             shards=shards, parallelism=self.parallelism,
@@ -381,7 +490,12 @@ class QunitCollection:
         """
         snapshot = self.peek_definition_snapshot(name)
         if snapshot is None:
-            return None
+            # A lazily-pending definition serves the filter lifted from
+            # its snapshot *header* at load time: the plan stage can
+            # prune (or not) without the snapshot ever loading.  None
+            # when the header carried no (fresh) filter — no pruning,
+            # no load.
+            return self._header_blooms.get(name)
         cached = self._definition_blooms.get(name)
         if cached is not None and cached[0] == snapshot.version:
             return cached[1]
@@ -389,11 +503,59 @@ class QunitCollection:
         self._definition_blooms[name] = (snapshot.version, bloom)
         return bloom
 
+    def subscribe_invalidation(self, hook) -> None:
+        """Register a zero-argument callback fired after every
+        generation swap (see :meth:`_swap_generation`).  The serving
+        pipeline subscribes its result-cache clear here, so answers
+        computed against a pre-swap generation stop being served the
+        moment the swap lands."""
+        self._invalidation_hooks.append(hook)
+
+    def _swap_generation(self, snapshots: dict[str | None, IndexSnapshot],
+                         generation: str | None) -> None:
+        """Atomically switch serving onto next-generation ``snapshots``.
+
+        The commit point of a :class:`~repro.core.store.CollectionWriter`
+        commit (and the in-memory mirror of its on-disk manifest swap).
+        Under the swap lock: every pooled searcher is invalidated — ones
+        pinned by in-flight batches retire and keep serving the *old*
+        snapshots, bounds, and caches until their last release; the next
+        acquire builds against the new generation — the restored sharded
+        executor is parked (closed with the collection, since retired
+        searchers may still score through it), and per-key state
+        (pending lazy loaders, header/version-stamped Bloom filters,
+        shadowing live indexes) is dropped so every lookup resolves to
+        the new snapshots.  Subscribed invalidation hooks fire last,
+        inside the lock.
+        """
+        with self._swap_lock:
+            self.searcher_pool.invalidate()
+            if self._loaded_sharded is not None:
+                self._retired_sharded.append(self._loaded_sharded)
+                self._loaded_sharded = None
+            self._lazy_shard_loader = None
+            for key, snapshot in snapshots.items():
+                self._lazy_loaders.pop(key, None)
+                self._loaded_snapshots[key] = snapshot
+                if key is None:
+                    self._global_index = None
+                else:
+                    self._header_blooms.pop(key, None)
+                    self._definition_indexes.pop(key, None)
+                    self._definition_blooms.pop(key, None)
+            self.generation = generation
+            for hook in list(self._invalidation_hooks):
+                hook()
+
     def close(self) -> None:
-        """Release shard executors held by pooled searchers (idempotent)."""
+        """Release shard executors held by pooled searchers (idempotent),
+        including executors parked by generation swaps."""
         self.searcher_pool.close()
         if self._loaded_sharded is not None:
             self._loaded_sharded.close()
+        for sharded in self._retired_sharded:
+            sharded.close()
+        del self._retired_sharded[:]
 
     def search_many(self, queries: Iterable[str], limit: int = 10,
                     scorer: Scorer | None = None) -> list[list[SearchHit]]:
@@ -407,38 +569,14 @@ class QunitCollection:
     # -- persistence ------------------------------------------------------------
 
     def save(self, path: str | Path, vectors: bool = True) -> Path:
-        """Persist the derived collection to directory ``path``.
+        """Deprecated: persist via :class:`repro.core.store.CollectionStore`.
 
-        Writes a manifest (qunit definitions, analyzer configuration,
-        instance cap) plus one *generation* of version-2 snapshot files:
-        a shared document store holding every decorated instance document
-        exactly once, a global postings snapshot, one per-definition
-        snapshot (both referencing the store by doc_id), and — when the
-        collection is configured with ``shards >= 2`` — one snapshot per
-        hash-partition shard, each carrying its term Bloom filter so a
-        multi-process server can load and route to single partitions.
-        Everything the expensive derivation phase produced is on disk
-        afterwards; :meth:`load` restores it without re-deriving,
-        re-materializing, or re-indexing.
-
-        With ``vectors`` (the default), every document is embedded once
-        (:mod:`repro.ir.embed`, default configuration) and each snapshot
-        file carries the vector rows for its own documents, so a loaded
-        collection can serve the ``"hybrid"`` retrieval strategy without
-        re-embedding — embedding at save time is the vector analogue of
-        precomputing postings.  ``vectors=False`` skips the extents;
-        hybrid searches over such a load degrade gracefully to lexical
-        (see :mod:`repro.ir.retrieval`).
-
-        Saves are crash-consistent at the directory level: each save
-        writes a fresh generation of files, then swaps the manifest in
-        atomically (the manifest only ever references one complete
-        generation), then prunes files no manifest references.  A crash
-        mid-save leaves the previous generation fully loadable — never an
-        old manifest pointing at a mix of old and new files.
-
-        Args:
-            path: the generation directory (created if missing).
+        Thin compatibility wrapper over ``CollectionStore(path).save(self,
+        SaveOptions(vectors=...))`` — same on-disk result, including the
+        delta-journal fast path when ``path`` already holds a compatible
+        generation.  Scheduled for removal in the next release; new code
+        should call the store directly (it also reports *what* was
+        written, via :class:`~repro.core.store.SaveReport`).
 
         Returns:
             The directory path.
@@ -446,270 +584,44 @@ class QunitCollection:
         Raises:
             SnapshotError: if a document carries unserializable metadata.
         """
-        path = Path(path)
-        path.mkdir(parents=True, exist_ok=True)
-        generation = os.urandom(4).hex()
-        global_snapshot = self.global_snapshot()
-        vector_index = None
-        if vectors:
-            from repro.ir.embed import HashingEmbedder
-            from repro.ir.vector import VectorIndex
+        warnings.warn(
+            "QunitCollection.save() is deprecated and will be removed in "
+            "the next release; use repro.core.store.CollectionStore(path)"
+            ".save(collection, SaveOptions(...)) instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.core.store import CollectionStore, SaveOptions
 
-            # One embedding pass over the global corpus; each snapshot
-            # file below persists the restriction to its own documents.
-            vector_index = VectorIndex.build(HashingEmbedder(),
-                                             global_snapshot._documents)
-        store_name = f"docs-{generation}.store"
-        save_document_store(DocumentStore.from_snapshot(global_snapshot),
-                            path / store_name)
-        global_name = f"global-{generation}.snap"
-        save_snapshot(global_snapshot, path / global_name,
-                      docstore=store_name, vectors=vector_index)
-        snapshot_names: dict[str, str] = {}
-        for name in sorted(self.definitions):
-            file_name = f"def-{name}-{generation}.snap"
-            definition_snapshot = self._index_for(name).snapshot()
-            missing = [doc_id for doc_id in definition_snapshot._documents
-                       if doc_id not in global_snapshot._documents]
-            if missing:
-                # Writing refs for these would produce a generation that
-                # fails at load time with a dangling-reference error;
-                # fail at save time with the real cause instead.
-                raise SnapshotError(
-                    f"definition {name!r} indexes documents missing from "
-                    f"the global snapshot (e.g. {missing[0]!r}); cannot "
-                    f"deduplicate against the shared document store"
-                )
-            # Each definition snapshot carries a term Bloom filter in its
-            # header so a loaded collection's plan stage can skip
-            # definition retrieval that provably cannot match (the
-            # per-definition counterpart of the per-shard filters).
-            definition_bloom = TermBloomFilter.build(
-                definition_snapshot.terms())
-            save_snapshot(definition_snapshot, path / file_name,
-                          docstore=store_name,
-                          bloom=definition_bloom.to_dict(),
-                          vectors=vector_index)
-            snapshot_names[name] = file_name
-        shard_entry = None
-        shard_names: list[str] = []
-        if self.shards >= 2:
-            shard_list = shard_snapshot(global_snapshot, self.shards)
-            for i, shard in enumerate(shard_list):
-                file_name = f"shard-{i}of{self.shards}-{generation}.snap"
-                bloom = TermBloomFilter.build(shard.terms())
-                save_snapshot(shard, path / file_name, docstore=store_name,
-                              shard={"index": i, "count": self.shards},
-                              bloom=bloom.to_dict(), vectors=vector_index)
-                shard_names.append(file_name)
-            shard_entry = {"count": self.shards, "files": shard_names}
-        manifest = {
-            "magic": MANIFEST_MAGIC,
-            "format_version": MANIFEST_VERSION,
-            "analyzer": self.analyzer.config(),
-            "database": self._database_fingerprint(self.database),
-            "max_instances_per_definition": self.max_instances,
-            "definitions": [self.definitions[name].to_dict()
-                            for name in sorted(self.definitions)],
-            "docstore": store_name,
-            "snapshots": {"global": global_name,
-                          "definitions": snapshot_names},
-            "shards": shard_entry,
-        }
-        manifest_path = path / MANIFEST_NAME
-        tmp_path = manifest_path.with_name(MANIFEST_NAME + ".tmp")
-        tmp_path.write_text(
-            json.dumps(manifest, indent=2, ensure_ascii=False) + "\n",
-            encoding="utf-8",
-        )
-        os.replace(tmp_path, manifest_path)
-        referenced = {store_name, global_name, *snapshot_names.values(),
-                      *shard_names}
-        for stale in (*path.glob("*.snap"), *path.glob("*.store")):
-            if stale.name not in referenced:
-                stale.unlink(missing_ok=True)
-        return path
+        report = CollectionStore(path).save(self, SaveOptions(vectors=vectors))
+        return Path(report.path)
 
     @classmethod
     def load(cls, database: Database, path: str | Path,
              shards: int = 0, parallelism: str = "serial",
              strategy: str = "auto") -> "QunitCollection":
-        """Restore a collection saved by :meth:`save`.
+        """Deprecated: restore via :class:`repro.core.store.CollectionStore`.
 
-        Every snapshot the manifest references is read eagerly, so the
-        loaded collection holds its entire generation in memory and stays
-        fully serviceable even if the directory is re-saved (and old
-        snapshot files pruned) while it is live.  Under the version-2
-        layout the generation's documents are loaded once from the shared
-        store and *shared* across the global and per-definition snapshots
-        — eager loading no longer costs a second copy of the corpus.  A
-        load that *races* a re-save — manifest read, then a referenced
-        file pruned before it was read — is retried from the fresh
-        manifest.  The database is still required — answers materialize
-        their instances from it on demand — but the derivation,
-        materialization, and indexing cost of building the collection is
-        skipped entirely.
-
-        Args:
-            database: the database the collection was derived from (its
-                fingerprint is checked against the manifest).
-            shards: sharded parallel scoring for the flat searcher.  When
-                the saved generation persisted the same shard count, the
-                per-shard snapshot files (and their Bloom filters) are
-                restored directly instead of re-partitioning in memory.
-            parallelism: shard executor mode (see :mod:`repro.ir.shard`).
-            strategy: fast-path retrieval strategy for the restored
-                searchers (see :mod:`repro.ir.wand`).
-
-        Returns:
-            The restored collection.
+        Thin compatibility wrapper over ``CollectionStore(path).load(
+        database, LoadOptions(..., lazy=False))``.  Eager loading is
+        pinned here because it was this method's documented contract —
+        the whole generation in memory, immune to a concurrent re-save's
+        prune — where the store's own default is the lazy pin.
+        Scheduled for removal in the next release.
 
         Raises:
             SnapshotError: on missing/corrupt manifests or snapshots,
                 format-version mismatches, analyzer disagreements, or a
                 database fingerprint mismatch.
         """
-        attempts = 3
-        for attempt in range(attempts):
-            try:
-                return cls._load_once(database, path, shards, parallelism,
-                                      strategy)
-            except _SnapshotPruneRace:
-                # Lost the race with a concurrent re-save's prune; the
-                # fresh manifest references a complete generation.  Any
-                # other failure (missing manifest, checksum, version,
-                # fingerprint, analyzer mismatch) is final.
-                if attempt == attempts - 1:
-                    raise
-        raise AssertionError("unreachable")
+        warnings.warn(
+            "QunitCollection.load() is deprecated and will be removed in "
+            "the next release; use repro.core.store.CollectionStore(path)"
+            ".load(database, LoadOptions(...)) instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.core.store import CollectionStore, LoadOptions
 
-    @classmethod
-    def _load_once(cls, database: Database, path: str | Path,
-                   shards: int, parallelism: str,
-                   strategy: str = "auto") -> "QunitCollection":
-        path = Path(path)
-        manifest_path = path / MANIFEST_NAME
-        try:
-            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-        except OSError as exc:
-            raise SnapshotError(
-                f"cannot read collection manifest {str(manifest_path)!r}: {exc}"
-            ) from exc
-        except ValueError as exc:
-            raise SnapshotError(
-                f"collection manifest {str(manifest_path)!r} is not valid "
-                f"JSON ({exc})"
-            ) from exc
-        if manifest.get("magic") != MANIFEST_MAGIC:
-            raise SnapshotError(
-                f"{str(manifest_path)!r} is not a qunits collection manifest"
-            )
-        if manifest.get("format_version") not in SUPPORTED_MANIFEST_VERSIONS:
-            raise SnapshotError(
-                f"collection manifest {str(manifest_path)!r} has format "
-                f"version {manifest.get('format_version')!r}; this build "
-                f"reads versions {SUPPORTED_MANIFEST_VERSIONS}"
-            )
-        saved_fingerprint = manifest.get("database")
-        if saved_fingerprint is not None:
-            actual = cls._database_fingerprint(database)
-            if actual != saved_fingerprint:
-                raise SnapshotError(
-                    f"collection at {str(path)!r} was derived from database "
-                    f"{saved_fingerprint.get('name')!r} with row counts "
-                    f"{saved_fingerprint.get('row_counts')}, but the given "
-                    f"database is {actual['name']!r} with "
-                    f"{actual['row_counts']}; snapshot instances would not "
-                    f"materialize against it (same scale/seed required)"
-                )
-        definitions_data = manifest.get("definitions")
-        if not isinstance(definitions_data, list):
-            raise SnapshotError(
-                f"collection manifest {str(manifest_path)!r} has no "
-                f"definitions list"
-            )
-        try:
-            definitions = [QunitDefinition.from_dict(data)
-                           for data in definitions_data]
-        except (KeyError, TypeError) as exc:
-            raise SnapshotError(
-                f"collection manifest {str(manifest_path)!r} has a "
-                f"malformed definition entry ({exc!r})"
-            ) from exc
-        collection = cls(
-            database,
-            definitions,
-            max_instances_per_definition=manifest.get(
-                "max_instances_per_definition"),
-            analyzer=Analyzer.from_config(manifest.get("analyzer", {})),
-            shards=shards,
-            parallelism=parallelism,
-            strategy=strategy,
-        )
-        store: DocumentStore | None = None
-        store_name = manifest.get("docstore")
-        if store_name is not None:
-            store = cls._race_guarded(lambda: load_document_store(
-                path / store_name))
-        snapshots = manifest.get("snapshots", {})
-        entries: list[tuple[str | None, str]] = []
-        if "global" in snapshots:
-            entries.append((None, snapshots["global"]))
-        entries.extend(snapshots.get("definitions", {}).items())
-        for key, file_name in entries:
-            snapshot, header = cls._race_guarded(
-                lambda file_name=file_name: load_snapshot_with_header(
-                    path / file_name, store=store))
-            if snapshot.analyzer != collection.analyzer:
-                raise SnapshotError(
-                    f"snapshot {file_name!r} was built with analyzer "
-                    f"{snapshot.analyzer!r}, but the collection manifest "
-                    f"says {collection.analyzer!r}; refusing to mix "
-                    f"tokenizations"
-                )
-            collection._loaded_snapshots[key] = snapshot
-            if key is not None:
-                # Definition snapshots persist a term Bloom filter in
-                # their header (files from older builds simply lack it);
-                # restoring it lets the plan stage prune definition
-                # retrieval without ever touching postings.  The filter
-                # describes the *base* snapshot's vocabulary: when delta
-                # segments advanced the snapshot past the header's
-                # index_version, the persisted filter has never seen the
-                # delta terms and pruning on it would drop real answers —
-                # skip the restore and let :meth:`definition_bloom`
-                # rebuild from the delta-applied snapshot on first use.
-                bloom_data = header.get("bloom")
-                if bloom_data and \
-                        header.get("index_version") == snapshot.version:
-                    collection._definition_blooms[key] = (
-                        snapshot.version,
-                        TermBloomFilter.from_dict(bloom_data))
-        shard_entry = manifest.get("shards")
-        if shards >= 2 and shard_entry and shard_entry.get("count") == shards:
-            shard_snapshots: list[IndexSnapshot] = []
-            blooms: list[TermBloomFilter | None] = []
-            for file_name in shard_entry.get("files", []):
-                shard_snapshot_obj, header = cls._race_guarded(
-                    lambda file_name=file_name: load_snapshot_with_header(
-                        path / file_name, store=store))
-                shard_snapshots.append(shard_snapshot_obj)
-                # Same staleness rule as the definition filters: a
-                # persisted Bloom only describes the base vocabulary, so
-                # a delta-advanced snapshot discards it (from_shards
-                # rebuilds missing filters from the shard vocabularies).
-                bloom_data = header.get("bloom")
-                fresh = header.get("index_version") == \
-                    shard_snapshot_obj.version
-                blooms.append(TermBloomFilter.from_dict(bloom_data)
-                              if bloom_data and fresh else None)
-            if len(shard_snapshots) == shards:
-                restored_blooms = ([bloom for bloom in blooms]
-                                   if all(blooms) else None)
-                collection._loaded_sharded = ShardedTopK.from_shards(
-                    shard_snapshots, parallelism=parallelism,
-                    blooms=restored_blooms)
-        return collection
+        return CollectionStore(path).load(database, LoadOptions(
+            shards=shards, parallelism=parallelism, strategy=strategy,
+            lazy=False))
 
     @staticmethod
     def _race_guarded(read):
@@ -726,76 +638,22 @@ class QunitCollection:
     @staticmethod
     def load_shard(path: str | Path, shard_index: int,
                    ) -> tuple[IndexSnapshot, "TermBloomFilter | None"]:
-        """Load exactly one persisted shard partition of the flat index.
+        """Deprecated: load one shard partition via
+        :class:`repro.core.store.CollectionStore`.
 
-        This is the multi-process-server entry point: a worker process
-        serving partition ``shard_index`` reads the manifest, its own
-        shard snapshot, and — via the store header's byte-offset index —
-        *only its partition's* documents from the shared store
-        (:func:`~repro.ir.persist.load_document_store_partition`), never
-        the other partitions' postings or documents.  The whole load is
-        O(partition), not O(collection).
-
-        Args:
-            path: a generation directory written by :meth:`save` with
-                ``shards >= 2`` configured.
-            shard_index: which partition to load (0-based).
-
-        Returns:
-            ``(snapshot, bloom)``: the shard's self-contained snapshot
-            (collection-wide statistics included, so scoring it is
-            float-identical to the unsharded path) and its term Bloom
-            filter (``None`` if the file predates Bloom persistence or
-            carries delta segments the persisted filter has never seen).
-
-        Raises:
-            SnapshotError: if the directory has no persisted shards, the
-                index is out of range, or any file fails verification.
+        Thin compatibility wrapper over
+        ``CollectionStore(path).load_shard(shard_index)`` — see there
+        for the O(partition) load contract.  Scheduled for removal in
+        the next release.
         """
-        path = Path(path)
-        manifest_path = path / MANIFEST_NAME
-        try:
-            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-        except OSError as exc:
-            raise SnapshotError(
-                f"cannot read collection manifest {str(manifest_path)!r}: "
-                f"{exc}") from exc
-        except ValueError as exc:
-            raise SnapshotError(
-                f"collection manifest {str(manifest_path)!r} is not valid "
-                f"JSON ({exc})") from exc
-        shard_entry = manifest.get("shards")
-        if not shard_entry or not shard_entry.get("files"):
-            raise SnapshotError(
-                f"collection at {str(path)!r} has no persisted shard "
-                f"snapshots (save with shards >= 2 configured)"
-            )
-        files = shard_entry["files"]
-        if not 0 <= shard_index < len(files):
-            raise SnapshotError(
-                f"shard index {shard_index} out of range (collection has "
-                f"{len(files)} shards)"
-            )
-        file_name = files[shard_index]
-        store = None
-        if manifest.get("docstore"):
-            # Which documents this partition needs is written in the
-            # shard file's own ref records; fetch exactly those from the
-            # store via its header offset index.
-            wanted = read_snapshot_doc_ids(path / file_name)
-            store = load_document_store_partition(
-                path / manifest["docstore"], wanted)
-        snapshot, header = load_snapshot_with_header(path / file_name,
-                                                     store=store)
-        # A persisted Bloom filter describes the base snapshot only;
-        # delta segments may have added vocabulary it has never seen, so
-        # a delta-advanced shard hands back no filter (routing on a
-        # stale one could skip real postings).
-        bloom_data = header.get("bloom")
-        fresh = header.get("index_version") == snapshot.version
-        bloom = TermBloomFilter.from_dict(bloom_data) \
-            if bloom_data and fresh else None
-        return snapshot, bloom
+        warnings.warn(
+            "QunitCollection.load_shard() is deprecated and will be "
+            "removed in the next release; use repro.core.store."
+            "CollectionStore(path).load_shard(shard_index) instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.core.store import CollectionStore
+
+        return CollectionStore(path).load_shard(shard_index)
 
     def _decorated_document(self, instance: QunitInstance):
         """Instance document with definition keywords folded into the title,

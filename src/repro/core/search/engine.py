@@ -175,8 +175,12 @@ class QunitSearchEngine:
 
     def save(self, path) -> None:
         """Persist the engine's derived collection (definitions + index
-        snapshots) to a directory; see :meth:`QunitCollection.save`."""
-        self.collection.save(path)
+        snapshots) to a directory; see
+        :meth:`~repro.core.store.CollectionStore.save` (a delta-journal
+        append when ``path`` already holds a compatible generation)."""
+        from repro.core.store import CollectionStore
+
+        CollectionStore(path).save(self.collection)
 
     @classmethod
     def load(cls, database, path, flavor: str = "qunits",
@@ -187,14 +191,20 @@ class QunitSearchEngine:
              config: EngineConfig | None = None) -> "QunitSearchEngine":
         """An engine over a collection restored from :meth:`save` output.
 
-        Cold start skips derivation, materialization, and indexing; the
-        loaded snapshots serve retrieval directly, optionally sharded
-        (``shards``/``parallelism`` — see :mod:`repro.ir.shard`) and under
-        any retrieval strategy (``strategy`` — see :mod:`repro.ir.wand`).
+        Cold start skips derivation, materialization, and indexing — and
+        pins only the manifest plus snapshot headers up front
+        (:class:`~repro.core.store.LoadOptions` with the default lazy
+        pin): each snapshot mmaps on first query demand, so start-up
+        cost no longer scales with definitions the traffic never
+        touches.  Retrieval is optionally sharded
+        (``shards``/``parallelism`` — see :mod:`repro.ir.shard`) and
+        runs under any strategy (``strategy`` — see
+        :mod:`repro.ir.wand`).
         """
-        collection = QunitCollection.load(database, path, shards=shards,
-                                          parallelism=parallelism,
-                                          strategy=strategy)
+        from repro.core.store import CollectionStore, LoadOptions
+
+        collection = CollectionStore(path).load(database, LoadOptions(
+            shards=shards, parallelism=parallelism, strategy=strategy))
         return cls(collection, flavor=flavor, vocabulary=vocabulary,
                    scorer=scorer, config=config)
 

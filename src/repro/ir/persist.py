@@ -121,8 +121,15 @@ __all__ = [
     "STORE_MAGIC",
     "STORE_VERSION",
     "DEFAULT_COMPACT_THRESHOLD",
+    "JOURNAL_MAGIC",
+    "JOURNAL_VERSION",
     "DocumentStore",
     "SnapshotJournal",
+    "build_delta_record",
+    "fold_delta_record",
+    "filter_delta_record",
+    "append_collection_txn",
+    "read_collection_journal",
     "save_snapshot",
     "save_snapshot_v1",
     "save_snapshot_v2",
@@ -154,6 +161,12 @@ _PRECOMPUTE_MIN_POSTINGS = 16
 _V3_HEADER = struct.Struct("<12sI6Q32s32s")
 STORE_MAGIC = "qunits-docstore"
 STORE_VERSION = 1
+#: Header magic of a collection-level delta journal (``journal-*.jrnl``)
+#: — one file per saved collection generation, holding checksummed delta
+#: records for the global and per-definition snapshots appended by
+#: incremental saves (see ``repro.core.store``).
+JOURNAL_MAGIC = "qunits-journal"
+JOURNAL_VERSION = 1
 #: Minimum number of delta segments before a :class:`SnapshotJournal`
 #: considers folding them back into a clean base snapshot (folding also
 #: waits until the delta reaches 25% of the base — see the class docs).
@@ -1813,26 +1826,119 @@ def _apply_deltas(path: Path, rest: list[str], documents: dict,
         if hashlib.sha256(delta_line.encode("utf-8")).hexdigest() != \
                 end.get("sha256"):
             raise _corrupt(path, f"{what} checksum mismatch (corrupted)")
-        for doc_record in record["docs"]:
-            doc_id, document, length = _doc_from_record(doc_record)
-            if doc_id in documents:
-                raise _corrupt(path, f"{what} re-adds document {doc_id!r}")
-            documents[doc_id] = document
-            doc_lengths[doc_id] = length
-        for term, df, additions in record["terms"]:
-            merged = list(postings.get(term, ()))
-            merged.extend(Posting(doc_id, weighted_tf)
-                          for doc_id, weighted_tf in additions)
-            merged.sort(key=lambda posting: posting.doc_id)
-            postings[term] = tuple(merged)
-            doc_frequencies[term] = df
-        stats["index_version"] = record["index_version"]
-        stats["document_count"] = record["document_count"]
-        stats["average_document_length"] = record["average_document_length"]
-        stats["min_document_length"] = record["min_document_length"]
+        fold_delta_record(record, documents, doc_lengths, postings,
+                          doc_frequencies, stats, path=path, what=what)
         segments += 1
         i += 2
     return segments
+
+
+def fold_delta_record(record: dict, documents: dict, doc_lengths: dict,
+                      postings: dict, doc_frequencies: dict, stats: dict,
+                      *, path: Path | None = None,
+                      what: str = "delta record") -> None:
+    """Fold one verified delta record into base index mappings, in place.
+
+    Shared by the per-snapshot delta tail (:func:`_apply_deltas`) and the
+    collection journal (:func:`read_collection_journal` consumers): the
+    record's documents and posting additions are merged and the running
+    statistics in ``stats`` (``index_version``, ``document_count``,
+    ``average_document_length``, ``min_document_length``) replaced with
+    the record's.  A term entry with no surviving additions (a record
+    narrowed by :func:`filter_delta_record`) still refreshes the term's
+    document frequency when the term exists locally — shard snapshots
+    carry collection-wide statistics — but never creates an empty
+    postings list.
+
+    Raises:
+        SnapshotError: if the record re-adds a document already present.
+    """
+    for doc_record in record["docs"]:
+        doc_id, document, length = _doc_from_record(doc_record)
+        if doc_id in documents:
+            raise _corrupt(path or Path("<journal>"),
+                           f"{what} re-adds document {doc_id!r}")
+        documents[doc_id] = document
+        doc_lengths[doc_id] = length
+    for term, df, additions in record["terms"]:
+        if not additions:
+            if term in postings:
+                doc_frequencies[term] = df
+            continue
+        merged = list(postings.get(term, ()))
+        merged.extend(Posting(doc_id, weighted_tf)
+                      for doc_id, weighted_tf in additions)
+        merged.sort(key=lambda posting: posting.doc_id)
+        postings[term] = tuple(merged)
+        doc_frequencies[term] = df
+    stats["index_version"] = record["index_version"]
+    stats["document_count"] = record["document_count"]
+    stats["average_document_length"] = record["average_document_length"]
+    stats["min_document_length"] = record["min_document_length"]
+
+
+def build_delta_record(analyzer, documents, doc_lengths, document_frequency,
+                       new_ids, *, seq: int, index_version: int,
+                       document_count: int, average_document_length: float,
+                       min_document_length: float) -> dict:
+    """Serialize ``new_ids`` as one delta record (sans checksum line).
+
+    Per-term weighted frequencies are recomputed by re-tokenizing each
+    document with the same accumulation order as
+    :meth:`~repro.ir.index.InvertedIndex.add`, so the floats in the
+    record are bit-identical to live postings — O(new documents' text),
+    never a scan of the index.  ``document_frequency`` must report the
+    post-addition (current) collection-wide df for a term; the trailing
+    statistics describe the post-addition index state.
+
+    Shared by :class:`SnapshotJournal` (per-snapshot delta tails) and the
+    collection-level journal (:func:`append_collection_txn`).
+    """
+    docs_records = []
+    term_additions: dict[str, list[tuple[str, float]]] = {}
+    for doc_id in new_ids:
+        document = documents[doc_id]
+        length = doc_lengths[doc_id]
+        docs_records.append(_doc_record(doc_id, document, length))
+        weighted_tfs: dict[str, float] = {}
+        for field_name, text in document.fields:
+            weight = document.weight(field_name)
+            for token in analyzer.tokens(text):
+                weighted_tfs[token] = weighted_tfs.get(token, 0.0) + weight
+        for term, weighted_tf in weighted_tfs.items():
+            term_additions.setdefault(term, []).append(
+                (doc_id, weighted_tf))
+    terms_payload = [
+        [term, document_frequency(term), sorted(additions)]
+        for term, additions in sorted(term_additions.items())
+    ]
+    return {
+        "t": "delta",
+        "seq": seq,
+        "index_version": index_version,
+        "document_count": document_count,
+        "average_document_length": average_document_length,
+        "min_document_length": min_document_length,
+        "docs": docs_records,
+        "terms": terms_payload,
+    }
+
+
+def filter_delta_record(record: dict, keep) -> dict:
+    """A copy of a delta record narrowed to documents where ``keep(doc_id)``
+    is true — how a collection journal's global records are projected onto
+    one hash shard.  Collection-wide statistics (document counts, per-term
+    document frequencies, average/min length, index version) are preserved
+    verbatim: shard snapshots carry global statistics by design, so scores
+    stay float-identical to the unsharded path."""
+    return {
+        **record,
+        "docs": [doc_record for doc_record in record["docs"]
+                 if keep(doc_record["id"])],
+        "terms": [[term, df,
+                   [addition for addition in additions if keep(addition[0])]]
+                  for term, df, additions in record["terms"]],
+    }
 
 
 # -- compaction --------------------------------------------------------------
@@ -2064,37 +2170,20 @@ class SnapshotJournal:
         a scan of the index.
         """
         index = self.index
-        docs_records = []
-        term_additions: dict[str, list[tuple[str, float]]] = {}
         for doc_id in new_ids:
-            document = index._documents[doc_id]
             length = index._doc_lengths[doc_id]
-            docs_records.append(_doc_record(doc_id, document, length))
             if length > 0 and (self._min_length is None
                                or length < self._min_length):
                 self._min_length = length
-            weighted_tfs: dict[str, float] = {}
-            for field_name, text in document.fields:
-                weight = document.weight(field_name)
-                for token in index.analyzer.tokens(text):
-                    weighted_tfs[token] = weighted_tfs.get(token, 0.0) + weight
-            for term, weighted_tf in weighted_tfs.items():
-                term_additions.setdefault(term, []).append(
-                    (doc_id, weighted_tf))
-        terms_payload = [
-            [term, index.document_frequency(term), sorted(additions)]
-            for term, additions in sorted(term_additions.items())
-        ]
-        record = {
-            "t": "delta",
-            "seq": self._segments + 1,
-            "index_version": index.version,
-            "document_count": index.document_count,
-            "average_document_length": index.average_document_length,
-            "min_document_length": self._min_length or 0.0,
-            "docs": docs_records,
-            "terms": terms_payload,
-        }
+        record = build_delta_record(
+            index.analyzer, index._documents, index._doc_lengths,
+            index.document_frequency, new_ids,
+            seq=self._segments + 1,
+            index_version=index.version,
+            document_count=index.document_count,
+            average_document_length=index.average_document_length,
+            min_document_length=self._min_length or 0.0,
+        )
         line = _dumps(record) + "\n"
         end = {
             "t": "delta-end",
@@ -2104,3 +2193,161 @@ class SnapshotJournal:
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line)
             handle.write(_dumps(end) + "\n")
+
+
+# -- collection-level journal -------------------------------------------------
+
+
+def append_collection_txn(path: str | os.PathLike, generation: str,
+                          committed_bytes: int, records: list[dict]) -> int:
+    """Append one transaction of delta records to a collection journal.
+
+    Each record is a :func:`build_delta_record` payload carrying an extra
+    ``"target"`` key (``None`` for the global snapshot, else a definition
+    name) and a per-target ``seq``; it is written as a ``delta`` line
+    followed by a ``delta-end`` checksum line (sha256 of the full delta
+    line, target included).  The file is created with its header line
+    when ``committed_bytes`` is 0; otherwise the file is truncated back
+    to ``committed_bytes`` first, so a torn tail from an earlier crashed
+    append can never corrupt the new transaction.  The write is fsynced.
+
+    Returns the new committed byte size — the caller must record it in
+    the collection manifest (atomically) to commit the transaction;
+    until that swap lands, readers ignore everything past the manifest's
+    ``committed_bytes`` and keep serving the previous state.
+
+    Raises:
+        SnapshotError: if the journal cannot be written.
+    """
+    path = Path(path)
+    chunks = []
+    for record in records:
+        line = _dumps(record) + "\n"
+        end = {
+            "t": "delta-end",
+            "seq": record["seq"],
+            "target": record.get("target"),
+            "sha256": hashlib.sha256(line.encode("utf-8")).hexdigest(),
+        }
+        chunks.append(line)
+        chunks.append(_dumps(end) + "\n")
+    payload = "".join(chunks).encode("utf-8")
+    try:
+        if committed_bytes <= 0 or not path.exists():
+            header = _dumps({"magic": JOURNAL_MAGIC,
+                             "format_version": JOURNAL_VERSION,
+                             "generation": generation}) + "\n"
+            payload = header.encode("utf-8") + payload
+            with open(path, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return len(payload)
+        with open(path, "r+b") as handle:
+            handle.truncate(committed_bytes)
+            handle.seek(0, os.SEEK_END)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return committed_bytes + len(payload)
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot append to collection journal {str(path)!r}: {exc}"
+        ) from exc
+
+
+def read_collection_journal(path: str | os.PathLike, committed_bytes: int,
+                            *, generation: str | None = None,
+                            expected_counts: dict | None = None,
+                            ) -> dict:
+    """Parse and verify the committed prefix of a collection journal.
+
+    Only the first ``committed_bytes`` bytes (the extent the manifest
+    committed) are read: bytes past that point are a torn append whose
+    manifest swap never landed and are ignored — crash recovery is
+    simply serving the previous committed state.  Corruption *within*
+    the committed prefix (bad checksum, out-of-sequence records, a short
+    file) raises: the manifest vouched for those bytes.
+
+    Args:
+        path: the ``journal-<generation>.jrnl`` file.
+        generation: when given, the header's generation must match.
+        expected_counts: optional ``{target: segment count}`` mapping
+            (``None`` key = global) from the manifest; the committed
+            prefix must hold exactly these per-target record counts.
+
+    Returns:
+        ``{target: [record, ...]}`` with per-target records in commit
+        order (``seq`` 1..n verified), targets being ``None`` for the
+        global snapshot or a definition name.
+
+    Raises:
+        SnapshotError: on any verification failure.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read(committed_bytes)
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read collection journal {str(path)!r}: {exc}") from exc
+    if len(data) < committed_bytes:
+        raise _corrupt(path, f"journal holds {len(data)} bytes but the "
+                             f"manifest committed {committed_bytes}")
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise _corrupt(path, f"not UTF-8 text ({exc})") from exc
+    if not text.endswith("\n"):
+        raise _corrupt(path, "committed journal prefix does not end on a "
+                             "record boundary")
+    lines = text.splitlines(keepends=True)
+    if not lines:
+        raise _corrupt(path, "journal is empty")
+    header = _parse_line(path, lines[0], "journal header")
+    if header.get("magic") != JOURNAL_MAGIC:
+        raise _corrupt(path, "journal header carries the wrong magic")
+    if header.get("format_version") != JOURNAL_VERSION:
+        raise _corrupt(path, f"unsupported journal format_version "
+                             f"{header.get('format_version')!r}")
+    if generation is not None and header.get("generation") != generation:
+        raise _corrupt(path, f"journal generation "
+                             f"{header.get('generation')!r} does not match "
+                             f"the manifest's {generation!r}")
+    by_target: dict = {}
+    i = 1
+    while i < len(lines):
+        what = f"journal record {i}"
+        delta_line = lines[i]
+        if i + 1 >= len(lines):
+            raise _corrupt(path, f"{what} is missing its checksum line "
+                                 f"inside the committed prefix")
+        record = _parse_line(path, delta_line, what)
+        end = _parse_line(path, lines[i + 1], f"{what} checksum")
+        if record.get("t") != "delta" or end.get("t") != "delta-end":
+            raise _corrupt(path, f"{what} has malformed record types")
+        target = record.get("target")
+        if target is not None and not isinstance(target, str):
+            raise _corrupt(path, f"{what} has a malformed target")
+        if end.get("target") != target:
+            raise _corrupt(path, f"{what} checksum names a different target")
+        seen = by_target.setdefault(target, [])
+        if record.get("seq") != len(seen) + 1 or end.get("seq") != \
+                len(seen) + 1:
+            raise _corrupt(path, f"{what} is out of sequence for target "
+                                 f"{target!r}")
+        if hashlib.sha256(delta_line.encode("utf-8")).hexdigest() != \
+                end.get("sha256"):
+            raise _corrupt(path, f"{what} checksum mismatch (corrupted)")
+        seen.append(record)
+        i += 2
+    if expected_counts is not None:
+        actual = {target: len(records)
+                  for target, records in by_target.items()}
+        expected = {target: count for target, count in
+                    expected_counts.items() if count}
+        if actual != expected:
+            raise _corrupt(path, f"committed journal segment counts "
+                                 f"{actual!r} do not match the manifest's "
+                                 f"{expected!r}")
+    return by_target

@@ -27,9 +27,9 @@ Executor choices:
     contribution caches warm across calls.  This is the mode that turns
     cores into latency on large collections.
 
-(A ``"thread"`` mode once sat between the two; CPython's GIL made it a
-measured no-op over serial for this pure-Python scoring path, so it was
-retired — requesting it now raises a ``ValueError`` pointing here.)
+These two are the whole menu: in-process scoring is serial by
+construction (CPython's GIL means threads add overhead, not speed, to
+this pure-Python scoring path), and anything else gets real processes.
 
 Bloom routing
 -------------
@@ -349,13 +349,6 @@ class ShardedTopK:
     def _setup(self, shards: list[IndexSnapshot], version: int,
                parallelism: str, max_workers: int | None,
                blooms: list[TermBloomFilter] | None, route: bool) -> None:
-        if parallelism == "thread":
-            raise ValueError(
-                "the 'thread' executor was retired (the GIL made it a "
-                "no-op over 'serial' for this pure-Python scoring path); "
-                "use 'serial' for in-process scoring or 'process' for "
-                "parallelism"
-            )
         if parallelism not in PARALLELISM_MODES:
             raise ValueError(
                 f"parallelism must be one of {PARALLELISM_MODES}, "

@@ -263,6 +263,9 @@ def explanation_to_dict(explanation: SearchExplanation) -> dict:
         "cache_misses": explanation.cache_misses,
         "shard_tasks": explanation.shard_tasks,
         "shard_tasks_skipped": explanation.shard_tasks_skipped,
+        "generation": explanation.generation,
+        "lazy_loads": explanation.lazy_loads,
+        "bloom_skips": explanation.bloom_skips,
         "notes": list(explanation.notes),
     }
 
@@ -290,6 +293,9 @@ def explanation_from_dict(data: dict) -> SearchExplanation:
             cache_misses=data.get("cache_misses", 0),
             shard_tasks=data.get("shard_tasks", 0),
             shard_tasks_skipped=data.get("shard_tasks_skipped", 0),
+            generation=data.get("generation"),
+            lazy_loads=data.get("lazy_loads", 0),
+            bloom_skips=data.get("bloom_skips", 0),
             notes=tuple(data.get("notes", ())),
         )
     except (KeyError, TypeError) as exc:

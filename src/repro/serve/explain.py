@@ -46,6 +46,17 @@ class SearchExplanation:
     dispatched to (flat and per-definition), while the shard task
     counts come from the flat searcher — the only sharded one (all
     zero when the batch never dispatched retrieval at all).
+
+    Live-collection observability: ``generation`` is the snapshot
+    generation the collection served this query from (``"<hex>"``, or
+    ``"<hex>+N"`` after N journal transactions; ``None`` for a
+    never-persisted collection) — watching it change across queries is
+    how an online-ingestion swap shows up per query.  ``lazy_loads``
+    counts snapshot files a lazily-loaded collection mmap'd *during
+    this batch's execute stage* (0 once warm), and ``bloom_skips``
+    counts the planned definition tasks this query's Bloom filters
+    pruned — for a still-lazy definition that's a load avoided
+    entirely, not just a search.
     """
 
     query: str
@@ -60,6 +71,9 @@ class SearchExplanation:
     cache_misses: int = 0
     shard_tasks: int = 0
     shard_tasks_skipped: int = 0
+    generation: str | None = None
+    lazy_loads: int = 0
+    bloom_skips: int = 0
     notes: tuple[str, ...] = ()
 
     def render(self) -> str:
@@ -84,6 +98,10 @@ class SearchExplanation:
             f"cache {self.cache_hits} hit / {self.cache_misses} miss  "
             f"shard tasks {self.shard_tasks} run / "
             f"{self.shard_tasks_skipped} skipped")
+        lines.append(
+            f"snapshot : generation={self.generation or '-'}  "
+            f"lazy loads {self.lazy_loads}  "
+            f"bloom skips {self.bloom_skips}")
         for note in self.notes:
             lines.append(f"note     : {note}")
         return "\n".join(lines)

@@ -156,6 +156,11 @@ class QueryContext:
     #: execute (``None`` = the flat index, else a definition name) —
     #: assembly only re-labels strategies for tasks that ran.
     executed_targets: set = field(default_factory=set)
+    #: The collection's :attr:`~repro.core.collection.QunitCollection.
+    #: lazy_loads` counter captured at plan time — assembly reports the
+    #: delta as this batch's lazy snapshot loads (``None`` when the
+    #: collection doesn't track it).
+    lazy_loads_before: int | None = None
     done: bool = False
     #: Set by :class:`ResultCacheMiddleware` when the answers came from
     #: the result cache rather than a pipeline run.
@@ -336,9 +341,17 @@ class QueryPipeline:
         if config.max_query_terms is not None:
             self.middleware.append(AdmissionMiddleware(config.max_query_terms))
         if config.result_cache_size:
-            self.middleware.append(
-                ResultCacheMiddleware(config.result_cache_size,
-                                      admit=config.cache_admission))
+            cache = ResultCacheMiddleware(config.result_cache_size,
+                                          admit=config.cache_admission)
+            self.middleware.append(cache)
+            # A generation swap (online ingestion committing) makes
+            # cached answers stale mid-process — the one way the
+            # "frozen collection" assumption breaks — so the swap
+            # clears the cache.  getattr-guarded: tests drive the
+            # pipeline over minimal fake collections.
+            subscribe = getattr(collection, "subscribe_invalidation", None)
+            if subscribe is not None:
+                subscribe(cache.clear)
 
     def run(self, queries: list[str], limit: int) -> list[QueryContext]:
         """Serve a batch of queries at one shared ``limit``; one

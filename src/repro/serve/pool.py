@@ -136,20 +136,33 @@ class SearcherPool:
         """The pooled searchers, least recently used first."""
         return list(self._searchers.values())
 
-    def close(self) -> None:
-        """Close and evict every pooled searcher (idempotent); the pool
-        stays usable — a later :meth:`get` rebuilds via its factory.
+    def invalidate(self) -> None:
+        """Retire every pooled searcher so the next :meth:`get` or
+        :meth:`acquire` rebuilds through its factory (idempotent).
 
-        Entries are dropped, not kept: handing a closed searcher back
-        out would depend on it lazily self-healing, a contract a future
-        searcher with a terminal ``close()`` would silently break.
-        Searchers with outstanding :meth:`acquire` leases are retired
-        instead of closed — an in-flight batch finishes against a live
-        searcher, and the close lands on its final :meth:`release`.
+        This is the generation-swap seam: when a
+        :class:`~repro.core.store.CollectionWriter` commit swaps a
+        collection's snapshots, it invalidates the pool so freshly built
+        searchers see the new generation — while searchers pinned by
+        in-flight batches stay open (and keep serving the old
+        generation's snapshots, bounds, and caches) until their last
+        :meth:`release`.  Entries are dropped, not kept: handing a
+        closed searcher back out would depend on it lazily self-healing,
+        a contract a future searcher with a terminal ``close()`` would
+        silently break.
         """
         for searcher in self._searchers.values():
             self._retire(searcher)
         self._searchers.clear()
+
+    def close(self) -> None:
+        """Close and evict every pooled searcher (idempotent); the pool
+        stays usable — a later :meth:`get` rebuilds via its factory.
+        Same sweep as :meth:`invalidate`: searchers with outstanding
+        :meth:`acquire` leases are retired instead of closed, and the
+        close lands on their final :meth:`release`.
+        """
+        self.invalidate()
 
     def __len__(self) -> int:
         return len(self._searchers)

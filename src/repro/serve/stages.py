@@ -124,7 +124,12 @@ class PlanStage(PipelineStage):
         # still applies the full cost model in-shard.
         snapshot = collection.peek_global_snapshot()
         min_score = pipeline.config.min_match_score
+        # Baseline for the explanation's lazy-load delta: snapshot files
+        # a lazily-loaded collection mmaps between here and assembly are
+        # this batch's demand loads.
+        lazy_loads_before = getattr(collection, "lazy_loads", None)
         for ctx in contexts:
+            ctx.lazy_loads_before = lazy_loads_before
             strategy = pipeline.strategy_for(ctx)
             terms = tuple(analyzer.tokens(ctx.query))
             tasks: list[PlannedTask] = []
@@ -448,6 +453,11 @@ class AssembleStage(PipelineStage):
         used = sum(1 for match in ctx.matches if match.score >= min_score)
         shown = ctx.matches[:used + pipeline.config.candidate_limit]
         stats = ctx.retrieval_stats
+        collection = pipeline.collection
+        lazy_loads = 0
+        if ctx.lazy_loads_before is not None:
+            lazy_loads = max(0, getattr(collection, "lazy_loads", 0) -
+                             ctx.lazy_loads_before)
         notes: list[str] = []
         fallbacks = stats.get("hybrid_fallbacks", 0)
         if fallbacks:
@@ -472,5 +482,8 @@ class AssembleStage(PipelineStage):
             cache_misses=stats.get("cache_misses", 0),
             shard_tasks=stats.get("shard_tasks", 0),
             shard_tasks_skipped=stats.get("shard_tasks_skipped", 0),
+            generation=getattr(collection, "generation", None),
+            lazy_loads=lazy_loads,
+            bloom_skips=ctx.plan.bloom_skips,
             notes=tuple(notes),
         )

@@ -301,11 +301,11 @@ class TestPersistence:
                                                monkeypatch):
         # Simulate losing the race: the first snapshot read hits a file a
         # concurrent re-save just pruned; the retry (fresh manifest) wins.
-        from repro.core import collection as collection_module
+        from repro.core import store as store_module
         from repro.errors import SnapshotError
 
         out = QunitCollection(mini_db, definitions()).save(tmp_path / "snap")
-        real_load = collection_module.load_snapshot_with_header
+        real_load = store_module.load_snapshot_with_header
         calls = {"n": 0}
 
         def flaky_load(path, store=None):
@@ -316,7 +316,7 @@ class TestPersistence:
                 ) from FileNotFoundError(2, "gone")
             return real_load(path, store=store)
 
-        monkeypatch.setattr(collection_module, "load_snapshot_with_header",
+        monkeypatch.setattr(store_module, "load_snapshot_with_header",
                             flaky_load)
         loaded = QunitCollection.load(mini_db, out)
         assert loaded.searcher().best("star wars") is not None

@@ -114,12 +114,10 @@ class TestShardedTopK:
         with pytest.raises(ValueError):
             ShardedTopK(snapshot, 2, "fibers")
 
-    def test_thread_mode_retired_with_clear_error(self, snapshot):
-        # "thread" used to be a supported executor; it is gone, not
-        # silently aliased — callers get told why and what to use.
-        with pytest.raises(ValueError, match="retired"):
-            ShardedTopK(snapshot, 2, "thread")
-        with pytest.raises(ValueError, match="'serial' .*'process'"):
+    def test_thread_mode_rejected_like_any_unknown_mode(self, snapshot):
+        # "thread" used to be a supported executor; it is gone — just
+        # another unknown mode, with the menu in the error.
+        with pytest.raises(ValueError, match="'serial', 'process'"):
             ShardedTopK(snapshot, 2, "thread")
 
     def test_close_is_idempotent(self, snapshot):
