@@ -15,7 +15,7 @@ Two persistence/scale reports ride along (``BENCH_*.json`` artifacts, the
 files CI uploads):
 
 - ``BENCH_cold_start.json`` — deriving + indexing a collection from the
-  database versus restoring it from ``QunitCollection.save`` output (the
+  database versus restoring it from ``CollectionStore.save`` output (the
   derive-once/serve-forever split persistent snapshots exist for);
 - ``BENCH_sharded_scaling.json`` — serial single-snapshot batch retrieval
   versus hash-sharded parallel retrieval on the largest collection;
@@ -47,6 +47,7 @@ import pytest
 
 from repro.baselines import BanksSearch, XmlMlcaSearch
 from repro.core import QunitCollection
+from repro.core.store import CollectionStore, LoadOptions, SaveOptions
 from repro.core.derivation import imdb_expert_qunits
 from repro.core.search import QunitSearchEngine
 from repro.datasets.imdb import generate_imdb
@@ -747,7 +748,7 @@ def test_snapshot_v2_dedup_and_bloom_routing(benchmark, write_artifact,
     # vectors=False: this benchmark scores the document-dedup layout;
     # the standalone saves below carry no vector extents, so a
     # like-for-like byte comparison must not either.
-    collection.save(v3_dir, vectors=False)
+    CollectionStore(v3_dir).save(collection, SaveOptions(vectors=False))
     save_v3_s = time.perf_counter() - start
     # Like-for-like: exclude the manifest (identical either way) and the
     # per-shard files (the standalone layout has none to compare).
@@ -825,8 +826,8 @@ def test_snapshot_v2_dedup_and_bloom_routing(benchmark, write_artifact,
     broadcast.close()
 
     # Round-trip sanity: the deduplicated generation loads and serves.
-    loaded = QunitCollection.load(db, v3_dir, shards=shards,
-                                  parallelism="serial")
+    loaded = CollectionStore(v3_dir).load(
+        db, LoadOptions(shards=shards, parallelism="serial", lazy=False))
     probe = QUERIES[0]
     assert [(h.doc_id, h.score)
             for h in loaded.searcher().search(probe, limit)] == \

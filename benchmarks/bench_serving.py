@@ -29,6 +29,15 @@ perf-regression job (``repro.bench.regression``); full-scale runs also
 assert the serving claim outright: batched throughput at least 1.2x
 unbatched.  Reproduce interactively with ``python -m repro loadtest
 --compare-unbatched``.
+
+A second sweep measures the **prefork worker tier**
+(``repro.serve.workers``): the same closed-loop workload against the
+same front end, with whole micro-batches dispatched to N pipeline
+worker processes over shared mmap snapshots.  ``qps_workers_N`` and
+the headline ``worker_scaling_4x`` ratio land in the same artifact;
+full-scale runs on a >= 4-core machine assert workers=4 sustains at
+least 2.0x the single-worker QPS.  Reproduce with ``python -m repro
+loadtest --workers 4``.
 """
 
 import asyncio
@@ -130,3 +139,97 @@ def test_serving_micro_batching(bench_full, bench_db, bench_scale,
             f"batched serving must sustain >= 1.2x unbatched QPS, "
             f"got {speedup:.2f}x ({batched.qps:.0f} vs "
             f"{unbatched.qps:.0f} qps)")
+
+
+async def _serve_worker_arm(engine, config, pool, workload):
+    async with SearchServer(engine, config, workers=pool) as server:
+        host, port = server.address
+        return await run_load_in_process(host, port, workload, limit=LIMIT)
+
+
+def test_serving_worker_scaling(bench_full, bench_db, bench_scale,
+                                results_dir, write_artifact,
+                                tmp_path_factory):
+    """QPS as the worker count grows over one shared saved generation.
+
+    Each arm starts a fresh pool of N spawn-context workers, all
+    ``mmap``-loading the same on-disk generation (one page-cache copy
+    of the bytes), and replays the session workload closed-loop.  The
+    result-cache is off in every arm so the sweep measures pipeline
+    scaling, not cache hits.  Keys merge into ``BENCH_serving.json``
+    next to the micro-batching arms.
+    """
+    import os
+
+    from repro.core.store import CollectionStore
+    from repro.serve.workers import WorkerPool, WorkerSpec
+
+    sweep = (1, 2, 4) if bench_full else (1, 2)
+    sessions_n, clients, instances = (400, 32, 150) if bench_full \
+        else (120, 16, 60)
+    generator = SessionLogGenerator(bench_db, seed=SEED + 3)
+    sessions = generator.generate(sessions_n)
+    workload = build_session_workload(sessions, clients)
+    total = sum(len(stream) for stream in workload)
+
+    collection = QunitCollection(bench_db, imdb_expert_qunits(),
+                                 max_instances_per_definition=instances)
+    directory = tmp_path_factory.mktemp("serving-workers") / "generation"
+    CollectionStore(directory).save(collection)
+    spec = WorkerSpec(directory=str(directory), scale=bench_scale,
+                      seed=SEED, flavor="expert")
+
+    def run_arm(workers_n):
+        # One pool per arm; two closed-loop passes against it, best
+        # kept — the first pass doubles as the workers' warmup (lazy
+        # mmap loads, materializations), mirroring the warm probe the
+        # micro-batching arms get.
+        async def run():
+            pool = WorkerPool(spec, workers=workers_n)
+            engine = QunitSearchEngine(collection, flavor="expert")
+            best = None
+            async with SearchServer(engine,
+                                    ServerConfig(window=WINDOW,
+                                                 max_batch=MAX_BATCH),
+                                    workers=pool) as server:
+                host, port = server.address
+                for _ in range(2):
+                    report = await run_load_in_process(
+                        host, port, workload, limit=LIMIT)
+                    if best is None or report.qps > best.qps:
+                        best = report
+            return best
+
+        return asyncio.run(run())
+
+    reports = {workers_n: run_arm(workers_n) for workers_n in sweep}
+    for report in reports.values():
+        assert report.completed == total
+        assert report.errors == 0
+        assert report.qps > 0
+
+    # Merge into the artifact the micro-batching sweep wrote (the two
+    # tests share BENCH_serving.json; either may run alone).
+    artifact_name = "BENCH_serving.json" if bench_full \
+        else "BENCH_serving.smoke.json"
+    artifact_path = results_dir / artifact_name
+    artifact = json.loads(artifact_path.read_text()) \
+        if artifact_path.exists() else {"scale": bench_scale}
+    for workers_n, report in reports.items():
+        artifact[f"qps_workers_{workers_n}"] = round(report.qps, 2)
+        artifact[f"workers_{workers_n}"] = report.to_dict()
+    scaling = None
+    if 4 in reports:
+        scaling = reports[4].qps / reports[1].qps
+        artifact["worker_scaling_4x"] = round(scaling, 3)
+    artifact["worker_cores"] = os.cpu_count()
+    write_artifact("BENCH_serving.json", json.dumps(artifact, indent=2))
+
+    # The prefork claim needs real parallelism to show: gate only at
+    # full scale on a machine with enough cores for 4 workers plus the
+    # front end.  Fewer cores still publish honest (flat) numbers.
+    if bench_full and scaling is not None and os.cpu_count() >= 4:
+        assert scaling >= 2.0, (
+            f"4 workers must sustain >= 2.0x single-worker QPS on a "
+            f">= 4-core machine, got {scaling:.2f}x "
+            f"({reports[4].qps:.0f} vs {reports[1].qps:.0f} qps)")

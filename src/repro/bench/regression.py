@@ -90,6 +90,12 @@ TRACKED_METRICS: dict[str, dict[str, str]] = {
         # where absolute QPS is machine-bound.
         "speedup_batched_qps": "higher",
         "batched.qps": "higher",
+        # The prefork worker tier: absolute 4-worker throughput and its
+        # ratio over one worker.  The ratio only expresses parallelism
+        # on a >= 4-core runner; on fewer cores it hovers near (or
+        # below) 1.0, which the baseline then honestly records.
+        "qps_workers_4": "higher",
+        "worker_scaling_4x": "higher",
     },
     "BENCH_hybrid.json": {
         # The hybrid strategy's reason to exist: rank fusion must keep

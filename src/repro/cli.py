@@ -14,10 +14,11 @@
     python -m repro loganalysis [--unique 400]
     python -m repro evaluate [--queries 25] [--raters 20]
     python -m repro serve [DIR] [--port 8080] [--window-ms 2 --max-batch 32]
-                    [--cache-size 512 --quota-rate 50]
+                    [--cache-size 512 --quota-rate 50] [--workers 4]
     python -m repro loadtest [--clients 8 --sessions 200]
                     [--compare-unbatched] [--assert-min-qps QPS]
                     [--assert-p99-ms MS] [--output report.json]
+                    [--workers 4] [--arrival-rate 200]
 
 Everything runs on the synthetic database (deterministic for a given
 ``--seed``), so the CLI doubles as a zero-setup demo of the system.
@@ -57,13 +58,24 @@ reciprocal rank; see ``repro.ir.wand`` and ``repro.ir.vector``).
 pipeline run, a bounded queue gives backpressure (429 + Retry-After),
 ``--quota-rate`` adds per-client token buckets, and ``--cache-size`` /
 ``--cache-coverage`` enable the result cache with Zipf-head store
-admission learned from the synthetic session log.  ``loadtest`` is the
-closed-loop measurement harness for that server: it starts one
+admission learned from the synthetic session log.  ``--workers N``
+(requires a saved DIR) adds the prefork tier (``repro.serve.workers``):
+N spawn-context pipeline worker processes each mmap the saved
+collection lazily — one shared OS page cache — and whole micro-batches
+are dispatched to the least-loaded worker over a framed socketpair, so
+pipeline QPS scales with cores instead of serializing under one GIL.
+``loadtest`` is the measurement harness for that server: it starts one
 in-process on an ephemeral port, replays session-structured traffic
 over N concurrent clients, and reports sustained QPS, p50/p99 latency,
 and cache hit rate (``--compare-unbatched`` re-runs with batching
 disabled and reports the speedup; the ``--assert-*`` flags make it a CI
-smoke check).
+smoke check; ``--workers N`` measures the prefork tier).  The default
+load model is closed-loop (each client waits for its response before
+sending the next); ``--arrival-rate R`` switches to *open-loop*:
+requests arrive on a seeded Poisson process at R per second whether or
+not earlier ones finished, and the report adds drop/timeout rates —
+the model that makes saturation visible instead of self-throttling
+around it.
 """
 
 from __future__ import annotations
@@ -213,6 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bind address (default 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8080,
                        help="bind port (default 8080; 0 = ephemeral)")
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="prefork pipeline worker processes (0 = run batches "
+             "in-process; requires a saved collection DIR — workers "
+             "mmap it lazily and share one OS page cache)")
     _add_serving_options(serve)
     _add_executor_options(serve)
 
@@ -244,6 +261,16 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--output", default=None, metavar="PATH",
         help="also write the report as JSON (the BENCH_serving shape)")
+    loadtest.add_argument(
+        "--workers", type=int, default=0,
+        help="prefork pipeline worker processes behind the measured "
+             "server (0 = in-process; the collection is saved to a "
+             "temporary directory the workers mmap)")
+    loadtest.add_argument(
+        "--arrival-rate", type=float, default=None, metavar="R",
+        help="switch to open-loop load: requests arrive on a seeded "
+             "Poisson process at R per second (one-shot, no retries; "
+             "the report adds drop/timeout rates; default closed-loop)")
     _add_serving_options(loadtest)
     _add_executor_options(loadtest)
     return parser
@@ -629,6 +656,22 @@ def _session_log(args, db, n_sessions: int):
     return sessions, generator.as_query_log(sessions)
 
 
+def _worker_pool(args, directory: str):
+    """A :class:`~repro.serve.workers.WorkerPool` mirroring the serving
+    CLI's engine configuration — each worker rebuilds the same engine
+    the front end would have run in-process, over the same saved
+    directory."""
+    from repro.serve.workers import WorkerPool, WorkerSpec
+
+    spec = WorkerSpec(
+        directory=str(directory), scale=args.scale, seed=args.seed,
+        flavor=args.flavor, shards=args.shards,
+        parallelism=args.shard_mode, strategy=args.strategy,
+        cache_size=args.cache_size, cache_coverage=args.cache_coverage,
+        sessions=getattr(args, "sessions", 400))
+    return WorkerPool(spec, workers=args.workers)
+
+
 def _command_serve(args) -> int:
     import asyncio
 
@@ -651,21 +694,33 @@ def _command_serve(args) -> int:
                             parallelism=args.shard_mode,
                             strategy=args.strategy),
             flavor=args.flavor, config=config)
+    workers = None
+    if args.workers > 0:
+        if not args.directory:
+            print("repro serve: --workers requires a saved collection "
+                  "directory (run `repro save DIR` first — workers mmap "
+                  "the saved snapshots)", file=sys.stderr)
+            return 2
+        workers = _worker_pool(args, args.directory)
     try:
-        asyncio.run(_serve_forever(engine, _server_config(args)))
+        asyncio.run(_serve_forever(engine, _server_config(args), workers))
     except KeyboardInterrupt:
         print("\nshutting down (draining in-flight batches)")
     return 0
 
 
-async def _serve_forever(engine, server_config) -> None:
+async def _serve_forever(engine, server_config, workers=None) -> None:
     import asyncio
 
     from repro.serve.server import SearchServer
 
-    async with SearchServer(engine, server_config) as server:
+    async with SearchServer(engine, server_config,
+                            workers=workers) as server:
         host, port = server.address
         print(f"serving on http://{host}:{port}  (Ctrl-C to stop)")
+        if workers is not None:
+            print(f"  {workers.workers} prefork pipeline worker(s) over "
+                  f"shared mmap snapshots")
         print("  POST /search  POST /search/batch  "
               "GET /healthz  GET /stats")
         try:
@@ -674,8 +729,9 @@ async def _serve_forever(engine, server_config) -> None:
             pass
 
 
-async def _run_loadtest(engine, server_config, workload, limit):
-    """One arm of the loadtest: server up, closed-loop run, server down.
+async def _run_loadtest(engine, server_config, workload, limit,
+                        workers=None, arrival_rate=None, seed=0):
+    """One arm of the loadtest: server up, load run, server down.
 
     The client fleet runs in a child process so the server keeps its
     event loop (and the GIL) to itself — the same isolation the serving
@@ -683,9 +739,12 @@ async def _run_loadtest(engine, server_config, workload, limit):
     from repro.serve.client import run_load_in_process
     from repro.serve.server import SearchServer
 
-    async with SearchServer(engine, server_config) as server:
+    async with SearchServer(engine, server_config,
+                            workers=workers) as server:
         host, port = server.address
-        return await run_load_in_process(host, port, workload, limit=limit)
+        return await run_load_in_process(
+            host, port, workload, limit=limit,
+            arrival_rate=arrival_rate, seed=seed)
 
 
 def _print_load_report(label: str, report) -> None:
@@ -694,6 +753,13 @@ def _print_load_report(label: str, report) -> None:
           f"cache_hit_rate={report.cache_hit_rate:.3f}  "
           f"completed={report.completed}  rejected={report.rejected}  "
           f"errors={report.errors}")
+    if report.dropped or report.timed_out:
+        offered = (report.completed + report.dropped + report.timed_out
+                   + report.errors)
+        print(f"{'':10s} open-loop: dropped={report.dropped} "
+              f"({report.dropped / offered:.1%})  "
+              f"timed_out={report.timed_out} "
+              f"({report.timed_out / offered:.1%}) of {offered} offered")
 
 
 def _command_loadtest(args) -> int:
@@ -718,12 +784,27 @@ def _command_loadtest(args) -> int:
         strategy=args.strategy)
     engine_config = _engine_config(args, log)
     server_config = _server_config(args)
+    worker_dir = None
+    if args.workers > 0:
+        # Workers serve from disk: persist the derived collection once
+        # and let every worker (and every arm's fresh pool) mmap it.
+        import tempfile
+
+        from repro.core.store import CollectionStore
+
+        worker_dir = tempfile.mkdtemp(prefix="repro-loadtest-workers-")
+        CollectionStore(worker_dir).save(collection)
+        print(f"workers: {args.workers} prefork process(es) over "
+              f"{worker_dir}")
 
     def run_arm(config):
         engine = QunitSearchEngine(collection, flavor=args.flavor,
                                    config=engine_config)
-        return asyncio.run(_run_loadtest(engine, config, workload,
-                                         args.limit))
+        workers = (_worker_pool(args, worker_dir)
+                   if worker_dir is not None else None)
+        return asyncio.run(_run_loadtest(
+            engine, config, workload, args.limit, workers=workers,
+            arrival_rate=args.arrival_rate, seed=args.seed))
 
     # Warm the shared substrate (searcher pool, indexes, lazy
     # materializations) through a throwaway engine before either arm,
@@ -738,19 +819,25 @@ def _command_loadtest(args) -> int:
     for _ in range(2):
         probe.execute(warm)
 
-    batched = run_arm(server_config)
-    _print_load_report("batched", batched)
-    report = {"batched": batched.to_dict(),
-              "repetition_rate": round(batched.repetition_rate, 4)}
-    if args.compare_unbatched:
-        unbatched = run_arm(dc_replace(server_config, window=0.0,
-                                       max_batch=1))
-        _print_load_report("unbatched", unbatched)
-        speedup = (batched.qps / unbatched.qps
-                   if unbatched.qps > 0 else float("inf"))
-        print(f"speedup (batched qps / unbatched qps): {speedup:.2f}x")
-        report["unbatched"] = unbatched.to_dict()
-        report["speedup_batched_qps"] = round(speedup, 3)
+    try:
+        batched = run_arm(server_config)
+        _print_load_report("batched", batched)
+        report = {"batched": batched.to_dict(),
+                  "repetition_rate": round(batched.repetition_rate, 4)}
+        if args.compare_unbatched:
+            unbatched = run_arm(dc_replace(server_config, window=0.0,
+                                           max_batch=1))
+            _print_load_report("unbatched", unbatched)
+            speedup = (batched.qps / unbatched.qps
+                       if unbatched.qps > 0 else float("inf"))
+            print(f"speedup (batched qps / unbatched qps): {speedup:.2f}x")
+            report["unbatched"] = unbatched.to_dict()
+            report["speedup_batched_qps"] = round(speedup, 3)
+    finally:
+        if worker_dir is not None:
+            import shutil
+
+            shutil.rmtree(worker_dir, ignore_errors=True)
     if args.output:
         from pathlib import Path
 

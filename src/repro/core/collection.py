@@ -19,9 +19,10 @@ exposes a term Bloom filter (:meth:`QunitCollection.definition_bloom`,
 persisted in definition snapshot headers) that the pipeline's plan stage
 uses to skip definition retrieval that provably cannot match.
 
-Derivation is the expensive half of the paradigm; :meth:`QunitCollection.
-save` persists its output — the qunit definitions plus every index
-snapshot — to a directory, and :meth:`QunitCollection.load` brings a
+Derivation is the expensive half of the paradigm;
+:meth:`repro.core.store.CollectionStore.save` persists its output — the
+qunit definitions plus every index snapshot — to a directory, and
+:meth:`repro.core.store.CollectionStore.load` brings a
 collection back whose searchers serve straight from the loaded snapshots:
 no re-derivation, no instance materialization, no index rebuild on the
 query path (instances are still materialized lazily from the database
@@ -42,7 +43,6 @@ directories written by earlier builds still load read-only.
 from __future__ import annotations
 
 import threading
-import warnings
 from collections import OrderedDict
 from collections.abc import Iterable
 from pathlib import Path
@@ -72,7 +72,7 @@ MANIFEST_NAME = "collection.json"
 class _SnapshotPruneRace(SnapshotError):
     """A referenced snapshot file vanished between the manifest read and
     the file read — the signature of racing a concurrent re-save's prune.
-    Private: :meth:`QunitCollection.load` retries on exactly this."""
+    Private: :meth:`~repro.core.store.CollectionStore.load` retries on exactly this."""
 
 
 class QunitCollection:
@@ -568,92 +568,24 @@ class QunitCollection:
 
     # -- persistence ------------------------------------------------------------
 
-    def save(self, path: str | Path, vectors: bool = True) -> Path:
-        """Deprecated: persist via :class:`repro.core.store.CollectionStore`.
-
-        Thin compatibility wrapper over ``CollectionStore(path).save(self,
-        SaveOptions(vectors=...))`` — same on-disk result, including the
-        delta-journal fast path when ``path`` already holds a compatible
-        generation.  Scheduled for removal in the next release; new code
-        should call the store directly (it also reports *what* was
-        written, via :class:`~repro.core.store.SaveReport`).
-
-        Returns:
-            The directory path.
-
-        Raises:
-            SnapshotError: if a document carries unserializable metadata.
-        """
-        warnings.warn(
-            "QunitCollection.save() is deprecated and will be removed in "
-            "the next release; use repro.core.store.CollectionStore(path)"
-            ".save(collection, SaveOptions(...)) instead",
-            DeprecationWarning, stacklevel=2)
-        from repro.core.store import CollectionStore, SaveOptions
-
-        report = CollectionStore(path).save(self, SaveOptions(vectors=vectors))
-        return Path(report.path)
-
-    @classmethod
-    def load(cls, database: Database, path: str | Path,
-             shards: int = 0, parallelism: str = "serial",
-             strategy: str = "auto") -> "QunitCollection":
-        """Deprecated: restore via :class:`repro.core.store.CollectionStore`.
-
-        Thin compatibility wrapper over ``CollectionStore(path).load(
-        database, LoadOptions(..., lazy=False))``.  Eager loading is
-        pinned here because it was this method's documented contract —
-        the whole generation in memory, immune to a concurrent re-save's
-        prune — where the store's own default is the lazy pin.
-        Scheduled for removal in the next release.
-
-        Raises:
-            SnapshotError: on missing/corrupt manifests or snapshots,
-                format-version mismatches, analyzer disagreements, or a
-                database fingerprint mismatch.
-        """
-        warnings.warn(
-            "QunitCollection.load() is deprecated and will be removed in "
-            "the next release; use repro.core.store.CollectionStore(path)"
-            ".load(database, LoadOptions(...)) instead",
-            DeprecationWarning, stacklevel=2)
-        from repro.core.store import CollectionStore, LoadOptions
-
-        return CollectionStore(path).load(database, LoadOptions(
-            shards=shards, parallelism=parallelism, strategy=strategy,
-            lazy=False))
+    # Persistence lives entirely in :class:`repro.core.store.
+    # CollectionStore`.  The old ``save``/``load``/``load_shard``
+    # wrappers that used to forward there (with deprecation warnings)
+    # have been removed; call the store directly — note its load default
+    # is the *lazy* pin, so pass ``LoadOptions(lazy=False)`` where the
+    # old eager-load contract matters.
 
     @staticmethod
     def _race_guarded(read):
         """Run one snapshot-file read, translating a vanished-file error
-        into :class:`_SnapshotPruneRace` so :meth:`load` retries from a
-        fresh manifest instead of failing on a concurrent re-save."""
+        into :class:`_SnapshotPruneRace` so the store's load retries from
+        a fresh manifest instead of failing on a concurrent re-save."""
         try:
             return read()
         except SnapshotError as exc:
             if isinstance(exc.__cause__, OSError):
                 raise _SnapshotPruneRace(str(exc)) from exc.__cause__
             raise
-
-    @staticmethod
-    def load_shard(path: str | Path, shard_index: int,
-                   ) -> tuple[IndexSnapshot, "TermBloomFilter | None"]:
-        """Deprecated: load one shard partition via
-        :class:`repro.core.store.CollectionStore`.
-
-        Thin compatibility wrapper over
-        ``CollectionStore(path).load_shard(shard_index)`` — see there
-        for the O(partition) load contract.  Scheduled for removal in
-        the next release.
-        """
-        warnings.warn(
-            "QunitCollection.load_shard() is deprecated and will be "
-            "removed in the next release; use repro.core.store."
-            "CollectionStore(path).load_shard(shard_index) instead",
-            DeprecationWarning, stacklevel=2)
-        from repro.core.store import CollectionStore
-
-        return CollectionStore(path).load_shard(shard_index)
 
     def _decorated_document(self, instance: QunitInstance):
         """Instance document with definition keywords folded into the title,

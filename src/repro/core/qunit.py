@@ -136,7 +136,7 @@ class QunitDefinition:
 
         Persisting definitions is what lets a derived collection skip
         re-derivation entirely on the next process start (see
-        :meth:`repro.core.collection.QunitCollection.save`).
+        :meth:`repro.core.store.CollectionStore.save`).
         """
         return {
             "name": self.name,

@@ -6,7 +6,7 @@ directory, mirroring the typed request/response shape of
 :class:`SaveOptions`/:class:`LoadOptions` dataclasses and get typed
 results back (:class:`SaveReport`, a restored
 :class:`~repro.core.collection.QunitCollection`).  The sprawling
-keyword surface of ``QunitCollection.save/load/load_shard`` still works
+keyword surface of the old ``QunitCollection`` wrappers still works
 but is deprecated in its favor (one-release removal note on each).
 
 Three things make a stored collection *live*:
@@ -469,6 +469,21 @@ class CollectionStore:
         txns = (manifest.get("journal") or {}).get("txns", 0)
         return f"{generation}+{txns}" if txns else generation
 
+    def generation(self) -> str | None:
+        """The directory's current effective generation (``"<hex>"`` or
+        ``"<hex>+N"`` when a journal holds N committed appends), or
+        ``None`` when the directory has no readable manifest yet.
+
+        This is the cheap probe serving workers poll to decide whether a
+        broadcast generation swap actually moved the on-disk state they
+        have open (:mod:`repro.serve.workers`): one manifest read, no
+        snapshot loads.
+        """
+        try:
+            return self._effective_generation(self.manifest())
+        except SnapshotError:
+            return None
+
     # -- save ----------------------------------------------------------------
 
     def save(self, collection: QunitCollection,
@@ -688,7 +703,7 @@ class CollectionStore:
     def _full_save(self, collection: QunitCollection,
                    vectors: bool) -> SaveReport:
         """Write a fresh complete generation and prune the old one —
-        the crash-consistent path :meth:`QunitCollection.save` always
+        the crash-consistent path :meth:`CollectionStore.save` always
         took (see its docstring for the layout)."""
         path = self.path
         path.mkdir(parents=True, exist_ok=True)

@@ -1391,7 +1391,7 @@ def load_snapshot(path: str | os.PathLike,
             When ``None`` and the header names a docstore, the store is
             loaded from the sibling file automatically; pass a pre-loaded
             store to share one copy of the documents across many snapshot
-            loads (what :meth:`~repro.core.collection.QunitCollection.load`
+            loads (what :meth:`~repro.core.store.CollectionStore.load`
             does).
 
     Returns:
@@ -1417,7 +1417,7 @@ def load_snapshot_with_header(path: str | os.PathLike,
     coordinates, a Bloom filter) alongside the snapshot — re-reading
     the header through :func:`read_snapshot_header` would open and
     parse the file a second time, a cost
-    :meth:`~repro.core.collection.QunitCollection.load` pays once per
+    :meth:`~repro.core.store.CollectionStore.load` pays once per
     definition on the cold-start path.
     """
     snapshot, header, _segments = _load_snapshot_file(Path(path), store)

@@ -46,7 +46,7 @@ wasted work.  Routing statistics accumulate in
 
 Shard snapshots can themselves be persisted (one version-2 file per shard
 with its Bloom filter in the header — see :mod:`repro.ir.persist` and
-:meth:`~repro.core.collection.QunitCollection.save`), and a multi-process
+:meth:`~repro.core.store.CollectionStore.save`), and a multi-process
 server can load only its partition; :meth:`ShardedTopK.from_shards`
 rebuilds the executor over pre-partitioned shards without re-sharding.
 """
@@ -323,7 +323,7 @@ class ShardedTopK:
 
         This is the multi-process-server entry point: shard snapshots
         persisted individually (see :meth:`~repro.core.collection.
-        QunitCollection.save`) are loaded — each process only its own
+        CollectionStore.save`) are loaded — each process only its own
         partition, or a router all of them — and handed here without
         re-sharding.  ``blooms`` (e.g. restored from the shard files'
         headers) are rebuilt from the shard vocabularies when omitted.

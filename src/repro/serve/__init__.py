@@ -42,9 +42,15 @@ explicit, *batched* object instead of a monolithic per-query method:
 - :mod:`repro.serve.server` — the asyncio HTTP front end
   (:class:`~repro.serve.server.SearchServer`), with backpressure,
   quotas, and graceful shard-worker shutdown.
+- :mod:`repro.serve.workers` — the prefork worker tier
+  (:class:`~repro.serve.workers.WorkerPool` /
+  :class:`~repro.serve.workers.WorkerSpec`): full-pipeline worker
+  processes over shared mmap snapshots, fed whole micro-batches over a
+  length-prefixed framed protocol, with crash respawn and
+  generation-swap broadcast.
 - :mod:`repro.serve.client` — :class:`~repro.serve.client.
-  SearchClient` and the closed-loop load generator behind
-  ``repro loadtest`` / ``BENCH_serving.json``.
+  SearchClient` and the closed-loop and open-loop (Poisson) load
+  generators behind ``repro loadtest`` / ``BENCH_serving.json``.
 
 Exports resolve lazily (PEP 562): :mod:`repro.core.collection` imports
 :mod:`repro.serve.pool` while :mod:`repro.serve.stages` type-references
@@ -73,6 +79,10 @@ __all__ = [
     "ServerConfig",
     "SearchServer",
     "SearchClient",
+    "WorkerPool",
+    "WorkerSpec",
+    "WorkerCrashed",
+    "WorkerError",
 ]
 
 _EXPORTS = {
@@ -95,6 +105,10 @@ _EXPORTS = {
     "ServerConfig": "repro.serve.server",
     "SearchServer": "repro.serve.server",
     "SearchClient": "repro.serve.client",
+    "WorkerPool": "repro.serve.workers",
+    "WorkerSpec": "repro.serve.workers",
+    "WorkerCrashed": "repro.serve.workers",
+    "WorkerError": "repro.serve.workers",
 }
 
 

@@ -40,6 +40,10 @@ __all__ = [
     "answer_from_dict",
     "explanation_to_dict",
     "explanation_from_dict",
+    "requests_to_dicts",
+    "requests_from_dicts",
+    "responses_to_dicts",
+    "responses_from_dicts",
 ]
 
 
@@ -199,6 +203,44 @@ class SearchResponse:
             admitted=bool(data.get("admitted", True)),
             client_id=data.get("client_id"),
         )
+
+
+def requests_to_dicts(requests) -> list[dict]:
+    """A whole batch of requests in wire form — the payload of one
+    ``batch`` frame on the worker protocol (:mod:`repro.serve.workers`)."""
+    return [request.to_dict() for request in requests]
+
+
+def requests_from_dicts(payload) -> list[SearchRequest]:
+    """Parse a batch of wire-form requests.
+
+    Raises:
+        ValueError: when the payload is not a list, or any entry fails
+            :meth:`SearchRequest.from_dict` validation.
+    """
+    if not isinstance(payload, list):
+        raise ValueError(f"batch payload must be a JSON array, "
+                         f"got {type(payload).__name__}")
+    return [SearchRequest.from_dict(entry) for entry in payload]
+
+
+def responses_to_dicts(responses) -> list[dict]:
+    """A whole batch of responses in wire form — the payload of one
+    ``result`` frame on the worker protocol."""
+    return [response.to_dict() for response in responses]
+
+
+def responses_from_dicts(payload) -> list[SearchResponse]:
+    """Parse a batch of wire-form responses.
+
+    Raises:
+        ValueError: when the payload is not a list, or any entry fails
+            :meth:`SearchResponse.from_dict` validation.
+    """
+    if not isinstance(payload, list):
+        raise ValueError(f"result payload must be a JSON array, "
+                         f"got {type(payload).__name__}")
+    return [SearchResponse.from_dict(entry) for entry in payload]
 
 
 def answer_to_dict(answer: Answer) -> dict:

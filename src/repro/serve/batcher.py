@@ -25,6 +25,13 @@ and runs it in a single-thread executor, serializing pipeline access
 off the event loop — the pipeline is synchronous and its searcher
 caches are not thread-safe, so exactly one batch executes at a time
 while the loop keeps accepting and queueing new requests.
+
+With a prefork worker tier (:mod:`repro.serve.workers`) the batcher is
+instead handed an ``async_runner`` coroutine: closed batches are
+*dispatched* as tasks rather than awaited in the drain loop, so while
+one batch executes on worker process A the drainer is already closing
+the next batch for worker B — the pipelining that lets QPS scale with
+worker count instead of serializing on the slowest batch.
 """
 
 from __future__ import annotations
@@ -76,21 +83,29 @@ class MicroBatcher:
     """
 
     def __init__(self, runner: Callable[[Sequence[SearchRequest]],
-                                        list[SearchResponse]],
+                                        list[SearchResponse]] | None = None,
                  window: float = 0.005, max_batch: int = 32,
-                 queue_limit: int = 256):
+                 queue_limit: int = 256,
+                 async_runner: Callable[[Sequence[SearchRequest]],
+                                        "asyncio.Future"] | None = None):
         """Configure the batcher (call :meth:`start` inside the loop).
 
         Args:
             runner: synchronous batch executor — typically
                 ``engine.execute``; called from a worker thread, never
-                the event loop.
+                the event loop.  Batches execute one at a time.
             window: seconds a batch stays open after its first request.
             max_batch: requests per batch at most.
             queue_limit: waiting requests at most (backpressure bound).
+            async_runner: coroutine batch executor — typically
+                :meth:`~repro.serve.workers.WorkerPool.execute`.
+                Mutually exclusive with ``runner``; batches are spawned
+                as concurrent tasks so several execute at once (one per
+                worker process).
 
         Raises:
-            ValueError: on a negative window or non-positive sizes.
+            ValueError: on a negative window, non-positive sizes, or
+                neither/both of ``runner`` and ``async_runner``.
         """
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
@@ -98,7 +113,11 @@ class MicroBatcher:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if (runner is None) == (async_runner is None):
+            raise ValueError(
+                "exactly one of runner/async_runner must be given")
         self.runner = runner
+        self.async_runner = async_runner
         self.window = window
         self.max_batch = max_batch
         self.queue_limit = queue_limit
@@ -106,6 +125,8 @@ class MicroBatcher:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-batch")
         self._drainer: asyncio.Task | None = None
+        #: Dispatched-but-unfinished batch tasks (async mode only).
+        self._inflight: set[asyncio.Task] = set()
         self._closing = False
         #: Batches executed and requests served, for ``/stats``.
         self.batches = 0
@@ -132,6 +153,11 @@ class MicroBatcher:
             await self._queue.put(None)
             await self._drainer
             self._drainer = None
+        if self._inflight:
+            # Async mode: batches already dispatched to workers finish
+            # before shutdown proceeds — the graceful-drain half of the
+            # lease discipline.
+            await asyncio.gather(*self._inflight, return_exceptions=True)
         self._executor.shutdown(wait=True)
 
     # -- submission ----------------------------------------------------------
@@ -190,7 +216,15 @@ class MicroBatcher:
                     stop = True  # close() raced the window: finish batch
                     break
                 batch.append(entry)
-            await self._run_batch(batch, loop)
+            if self.async_runner is not None:
+                # Dispatch and move on: the pool routes each batch to its
+                # least-loaded worker, so batches pipeline across worker
+                # processes instead of serializing here.
+                task = loop.create_task(self._run_batch(batch, loop))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+            else:
+                await self._run_batch(batch, loop)
             if stop:
                 return
 
@@ -202,8 +236,11 @@ class MicroBatcher:
             return
         requests = [request for request, _future in live]
         try:
-            responses = await loop.run_in_executor(
-                self._executor, self.runner, requests)
+            if self.async_runner is not None:
+                responses = await self.async_runner(requests)
+            else:
+                responses = await loop.run_in_executor(
+                    self._executor, self.runner, requests)
         except Exception as exc:
             for _request, future in live:
                 if not future.cancelled():

@@ -16,12 +16,25 @@ that gives each client its repetition structure).  The resulting
 :class:`LoadReport` carries sustained QPS, p50/p99 latency, and the
 cache hit rate read off the responses' ``cached`` flags — the numbers
 ``BENCH_serving.json`` tracks.
+
+:func:`run_load_open_loop` is the complementary *open-loop* model
+(``repro loadtest --arrival-rate R``): requests arrive on a seeded
+Poisson process at ``R`` per second regardless of whether earlier
+requests finished, the way production traffic actually behaves.  A
+closed-loop fleet self-throttles when the server slows down — its
+measured QPS degrades gracefully and hides saturation — whereas an
+open-loop run keeps offering load, so queueing delay, 429 drops, and
+504 timeouts become *visible* (reported as drop/timeout rates next to
+the latency percentiles).  Each arrival is one-shot: a 429/503 answer
+counts as dropped rather than retried, because a retry would couple
+the arrival process to server state and close the loop again.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
 from dataclasses import dataclass, field
 
@@ -31,8 +44,8 @@ from repro.errors import ReproError
 from repro.serve.api import SearchRequest, SearchResponse
 
 __all__ = ["ServerBusy", "SearchClient", "LoadReport",
-           "build_session_workload", "run_load", "run_load_in_process",
-           "percentile"]
+           "build_session_workload", "run_load", "run_load_open_loop",
+           "run_load_in_process", "percentile"]
 
 
 class ServerBusy(ReproError):
@@ -162,7 +175,7 @@ class SearchClient:
 
 @dataclass(frozen=True)
 class LoadReport:
-    """One closed-loop run's headline numbers.
+    """One load run's headline numbers.
 
     ``qps`` is completed requests over wall time; latencies are
     milliseconds over successful requests; ``cache_hit_rate`` is the
@@ -171,6 +184,11 @@ class LoadReport:
     weighted per-client repetition (the ceiling a per-query cache could
     theoretically hit); ``rejected`` counts 429/503 answers (each
     retried after the server's Retry-After), ``errors`` hard failures.
+
+    Open-loop runs (:func:`run_load_open_loop`) additionally fill
+    ``dropped`` (429/503 answers — one-shot, *not* retried) and
+    ``timed_out`` (504 answers); both stay 0 in closed-loop reports,
+    where a busy answer is retried instead.
     """
 
     qps: float
@@ -182,10 +200,14 @@ class LoadReport:
     rejected: int
     errors: int
     wall_seconds: float
+    dropped: int = 0
+    timed_out: int = 0
     latencies_ms: tuple[float, ...] = field(repr=False, default=())
 
     def to_dict(self) -> dict:
         """The JSON-able report (latency samples elided)."""
+        offered = (self.completed + self.dropped + self.timed_out
+                   + self.errors)
         return {
             "qps": round(self.qps, 2),
             "p50_ms": round(self.p50_ms, 3),
@@ -196,6 +218,12 @@ class LoadReport:
             "rejected": self.rejected,
             "errors": self.errors,
             "wall_seconds": round(self.wall_seconds, 3),
+            "dropped": self.dropped,
+            "timed_out": self.timed_out,
+            "drop_rate": round(self.dropped / offered, 4) if offered
+            else 0.0,
+            "timeout_rate": round(self.timed_out / offered, 4) if offered
+            else 0.0,
         }
 
 
@@ -310,12 +338,147 @@ async def run_load(host: str, port: int, workload: list[list[str]],
     )
 
 
+async def run_load_open_loop(host: str, port: int,
+                             workload: list[list[str]],
+                             arrival_rate: float,
+                             limit: int = 5, timeout: float = 30.0,
+                             seed: int = 0) -> LoadReport:
+    """Offer the workload on a seeded Poisson arrival process.
+
+    Inter-arrival gaps are drawn from ``Expovariate(arrival_rate)`` with
+    a :class:`random.Random` seeded by ``seed``, so the *offered* load
+    is ``arrival_rate`` requests/second on average, reproducibly —
+    independent of how fast the server answers.  Arrivals interleave the
+    workload streams round-robin (each request keeps its stream's
+    ``client_id``, preserving the per-client repetition measurement) and
+    each is **one-shot**: 200 records a latency sample, 429/503 counts
+    as *dropped*, 504 as *timed out*, anything else as an error.  No
+    retries — a retry would make later arrivals depend on server state,
+    which is exactly the closed-loop coupling this mode exists to avoid.
+
+    Connections are drawn from a keep-alive free-list sized by the
+    run's actual concurrency, so connection setup is amortized without
+    ever serializing two in-flight requests onto one socket.
+
+    Args:
+        host, port: the server address.
+        workload: per-client query streams (from
+            :func:`build_session_workload`).
+        arrival_rate: mean offered requests/second (> 0).
+        limit: result limit per request.
+        timeout: per-request timeout (seconds), carried in the request.
+        seed: arrival-process seed.
+
+    Returns:
+        The aggregated :class:`LoadReport`, with ``dropped`` /
+        ``timed_out`` filled in.
+
+    Raises:
+        ValueError: on a non-positive ``arrival_rate``.
+    """
+    if arrival_rate <= 0:
+        raise ValueError(
+            f"arrival_rate must be positive, got {arrival_rate}")
+    # Round-robin interleave: arrival order mixes clients the way
+    # independent users would, while each query keeps its client_id.
+    arrivals: list[tuple[str, str]] = []
+    cursors = [0] * len(workload)
+    remaining = sum(len(stream) for stream in workload)
+    while remaining:
+        for i, stream in enumerate(workload):
+            if cursors[i] < len(stream):
+                arrivals.append((f"client-{i}", stream[cursors[i]]))
+                cursors[i] += 1
+                remaining -= 1
+
+    rng = random.Random(seed)
+    latencies: list[float] = []
+    cached = 0
+    dropped = 0
+    timed_out = 0
+    errors = 0
+    pool: list[SearchClient] = []
+    all_clients: list[SearchClient] = []
+
+    async def one_shot(client_id: str, query: str) -> None:
+        nonlocal cached, dropped, timed_out, errors
+        if pool:
+            client = pool.pop()
+        else:
+            client = SearchClient(host, port)
+            all_clients.append(client)
+        request = SearchRequest(query=query, limit=limit,
+                                client_id=client_id, timeout=timeout)
+        started = time.perf_counter()
+        try:
+            status, data = await client.request("POST", "/search",
+                                                request.to_dict())
+        except (ReproError, OSError, asyncio.IncompleteReadError):
+            errors += 1
+            return
+        finally:
+            pool.append(client)
+        if status == 200:
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            if data.get("cached"):
+                cached += 1
+        elif status in (429, 503):
+            dropped += 1
+        elif status == 504:
+            timed_out += 1
+        else:
+            errors += 1
+
+    started = time.perf_counter()
+    tasks: list[asyncio.Task] = []
+    next_at = 0.0
+    for client_id, query in arrivals:
+        next_at += rng.expovariate(arrival_rate)
+        delay = started + next_at - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(one_shot(client_id, query)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    wall = time.perf_counter() - started
+    for client in all_clients:
+        await client.close()
+
+    completed = len(latencies)
+    rates = client_repetition_rates(arrivals)
+    total = len(arrivals)
+    repetition = sum(rates[f"client-{i}"] * len(stream)
+                     for i, stream in enumerate(workload)) / total \
+        if total else 0.0
+    return LoadReport(
+        qps=completed / wall if wall > 0 else 0.0,
+        p50_ms=percentile(latencies, 50),
+        p99_ms=percentile(latencies, 99),
+        cache_hit_rate=cached / completed if completed else 0.0,
+        repetition_rate=repetition,
+        completed=completed,
+        rejected=dropped,
+        errors=errors,
+        wall_seconds=wall,
+        dropped=dropped,
+        timed_out=timed_out,
+        latencies_ms=tuple(latencies),
+    )
+
+
 def _load_process_main(host: str, port: int, workload: list[list[str]],
-                       limit: int, timeout: float, queue) -> None:
+                       limit: int, timeout: float,
+                       arrival_rate: float | None, seed: int,
+                       queue) -> None:
     """Child-process entry point for :func:`run_load_in_process`."""
     try:
-        report = asyncio.run(run_load(host, port, workload,
-                                      limit=limit, timeout=timeout))
+        if arrival_rate is not None:
+            report = asyncio.run(run_load_open_loop(
+                host, port, workload, arrival_rate, limit=limit,
+                timeout=timeout, seed=seed))
+        else:
+            report = asyncio.run(run_load(host, port, workload,
+                                          limit=limit, timeout=timeout))
         queue.put(("report", report))
     except BaseException as exc:  # ship the failure, don't hang the parent
         queue.put(("error", repr(exc)))
@@ -325,9 +488,12 @@ def _load_process_main(host: str, port: int, workload: list[list[str]],
 async def run_load_in_process(host: str, port: int,
                               workload: list[list[str]],
                               limit: int = 5,
-                              timeout: float = 30.0) -> LoadReport:
-    """:func:`run_load`, but with the whole client fleet in a child
-    process.
+                              timeout: float = 30.0,
+                              arrival_rate: float | None = None,
+                              seed: int = 0) -> LoadReport:
+    """:func:`run_load` (or, with ``arrival_rate``,
+    :func:`run_load_open_loop`), but with the whole client fleet in a
+    child process.
 
     In-process load generation shares the server's event loop and GIL,
     so client-side work (JSON encode/decode, socket bookkeeping) steals
@@ -351,7 +517,8 @@ async def run_load_in_process(host: str, port: int,
     queue = context.Queue()
     process = context.Process(
         target=_load_process_main,
-        args=(host, port, workload, limit, timeout, queue), daemon=True)
+        args=(host, port, workload, limit, timeout, arrival_rate, seed,
+              queue), daemon=True)
     process.start()
 
     def wait_for_report():

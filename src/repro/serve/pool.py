@@ -136,6 +136,13 @@ class SearcherPool:
         """The pooled searchers, least recently used first."""
         return list(self._searchers.values())
 
+    def outstanding_leases(self) -> int:
+        """Total :meth:`acquire` leases not yet released, across live
+        and retired searchers — the serving front end's drain check:
+        zero means no in-flight batch can still be dispatching into a
+        searcher, so executors are safe to shut down."""
+        return sum(self._leases.values())
+
     def invalidate(self) -> None:
         """Retire every pooled searcher so the next :meth:`get` or
         :meth:`acquire` rebuilds through its factory (idempotent).

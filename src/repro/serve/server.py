@@ -20,7 +20,8 @@ dependency set, and none needed for four routes):
   grouping by the queue bound).
 - ``GET /healthz`` — liveness.
 - ``GET /stats`` — serving counters (batches, batch occupancy, quota
-  rejections, result-cache hits/stores).
+  rejections, result-cache hits/stores, and — with a worker pool —
+  per-worker batches, occupancy, restarts, and generation).
 
 Failure surface: 400 malformed JSON or request fields, 404/405 unknown
 routes, 429 + ``Retry-After`` for quota exhaustion *and* queue
@@ -34,6 +35,18 @@ shard executors spawn once at startup and pool churn can never close
 them mid-serving; :meth:`SearchServer.close` stops accepting, drains
 in-flight batches, releases the lease, and only then closes the
 collection (shard workers die last).
+
+With a prefork worker tier (pass a
+:class:`~repro.serve.workers.WorkerPool`), the front end keeps exactly
+this shape — sockets, admission, quotas, micro-batching — but each
+closed batch is dispatched to a worker *process* over the framed pipe
+protocol instead of running in the local thread executor.  The local
+engine then serves only as the collection handle (for ingestion and
+generation-swap notification): no flat-searcher lease is pinned here,
+pipeline execution happens in the workers, and every committed
+generation swap is broadcast to them so reads stay rank-identical
+across the swap.  A crashed worker surfaces as at most one retried
+batch; a batch that cannot be retried answers 503.
 """
 
 from __future__ import annotations
@@ -50,6 +63,7 @@ from repro.serve.batcher import (
     ServerClosed,
     ServerOverloaded,
 )
+from repro.serve.workers import WorkerCrashed, WorkerError, WorkerPool
 
 __all__ = ["ServerConfig", "SearchServer"]
 
@@ -110,14 +124,34 @@ class SearchServer:
     """
 
     def __init__(self, engine: QunitSearchEngine,
-                 config: ServerConfig | None = None):
-        """Wrap ``engine``; nothing starts until :meth:`start`."""
+                 config: ServerConfig | None = None,
+                 workers: WorkerPool | None = None):
+        """Wrap ``engine``; nothing starts until :meth:`start`.
+
+        Args:
+            engine: the in-process engine — the batch executor when no
+                worker pool is given, otherwise the collection handle
+                whose generation swaps are broadcast to the pool.
+            config: front-end knobs (:class:`ServerConfig`).
+            workers: optional prefork worker pool
+                (:class:`~repro.serve.workers.WorkerPool`); when given,
+                batches are dispatched to worker processes and pipeline
+                concurrently instead of running in-process.
+        """
         self.engine = engine
         self.config = config or ServerConfig()
-        self.batcher = MicroBatcher(
-            engine.execute, window=self.config.window,
-            max_batch=self.config.max_batch,
-            queue_limit=self.config.queue_limit)
+        self.workers = workers
+        if workers is not None:
+            self.batcher = MicroBatcher(
+                window=self.config.window,
+                max_batch=self.config.max_batch,
+                queue_limit=self.config.queue_limit,
+                async_runner=workers.execute)
+        else:
+            self.batcher = MicroBatcher(
+                engine.execute, window=self.config.window,
+                max_batch=self.config.max_batch,
+                queue_limit=self.config.queue_limit)
         self.quotas = (ClientQuotas(self.config.quota_rate,
                                     self.config.quota_burst)
                        if self.config.quota_rate is not None else None)
@@ -139,11 +173,33 @@ class SearchServer:
         close them while the server lives.
         """
         loop = asyncio.get_running_loop()
-        # Searcher construction may build indexes / spawn executors;
-        # keep it off the event loop like every other pipeline call.
-        self._flat_lease = await loop.run_in_executor(
-            None, self.engine.collection.acquire_searcher, None,
-            self.engine.scorer)
+        if self.workers is not None:
+            # Pipeline execution lives in the worker processes: they
+            # pin their own searchers, so the front end holds no lease.
+            # What it does own is swap propagation — every committed
+            # ingestion generation swap on the local collection handle
+            # is broadcast to the pool (the hook fires on whatever
+            # thread committed, hence the threadsafe hop to the loop).
+            await self.workers.start()
+            pool = self.workers
+
+            def _notify() -> None:
+                if self._closing or loop.is_closed():
+                    return
+                try:
+                    loop.call_soon_threadsafe(
+                        lambda: loop.create_task(
+                            pool.broadcast_generation()))
+                except RuntimeError:
+                    pass  # loop closed between the check and the call
+
+            self.engine.collection.subscribe_invalidation(_notify)
+        else:
+            # Searcher construction may build indexes / spawn executors;
+            # keep it off the event loop like every other pipeline call.
+            self._flat_lease = await loop.run_in_executor(
+                None, self.engine.collection.acquire_searcher, None,
+                self.engine.scorer)
         self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port)
@@ -168,6 +224,10 @@ class SearchServer:
             self._server.close()
             await self._server.wait_closed()
         await self.batcher.close()
+        if self.workers is not None:
+            # Dispatched batches have drained above; now the worker
+            # processes can go.
+            await self.workers.close()
         if self._flat_lease is not None:
             self.engine.collection.release_searcher(self._flat_lease)
             self._flat_lease = None
@@ -350,6 +410,14 @@ class SearchServer:
                 {"Retry-After": f"{exc.retry_after:.2f}"}) from None
         except ServerClosed:
             raise _HttpError(503, "server is shutting down") from None
+        except WorkerCrashed as exc:
+            # The batch's worker died and the one retry found no healthy
+            # peer (or died too): the caller may safely resend.
+            raise _HttpError(503, str(exc)) from None
+        except WorkerError as exc:
+            # Deterministic engine failure — retrying elsewhere would
+            # fail identically, so it surfaces as a server error.
+            raise _HttpError(500, str(exc)) from None
         except asyncio.TimeoutError:
             self.timeouts += 1
             raise _HttpError(
@@ -373,6 +441,11 @@ class SearchServer:
         }
         if self.quotas is not None:
             data["quota_rejections"] = self.quotas.rejections
+        if self.workers is not None:
+            data["workers"] = self.workers.stats()
+        else:
+            data["searcher_leases"] = \
+                self.engine.collection.searcher_pool.outstanding_leases()
         for middleware in self.engine.pipeline.middleware:
             if hasattr(middleware, "hits") and hasattr(middleware, "stores"):
                 data["result_cache"] = {

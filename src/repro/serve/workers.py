@@ -1,0 +1,734 @@
+"""Prefork pipeline workers over shared mmap snapshots.
+
+The asyncio front end (:mod:`repro.serve.server`) keeps socket
+handling, admission control, quotas, and micro-batching — but a single
+process runs every micro-batch under one GIL, so segmentation,
+matching, planning, and assembly never scale past one core no matter
+how many the machine has.  This module adds the tier that does scale:
+``N`` spawn-context **pipeline worker processes**, each opening the
+collection via :meth:`~repro.core.store.CollectionStore.load` with the
+default lazy pin (``mmap`` → one OS page cache shared across workers,
+near-zero incremental RSS), each running whole micro-batches through
+its own :class:`~repro.core.search.engine.QunitSearchEngine`.
+
+The wire between the front end and a worker is deliberately primitive —
+a ``socketpair`` speaking **length-prefixed frames** (4-byte big-endian
+size + one UTF-8 JSON object), the same shape the snapshot journal uses
+on disk.  Front-end → worker ops: ``batch`` (a list of
+:class:`~repro.serve.api.SearchRequest` dicts), ``generation`` (an
+ingestion commit landed; reopen lazily if the directory moved on),
+``shutdown``.  Worker → front-end ops: ``ready`` (startup and
+post-reload announce, carrying pid + generation), ``result``,
+``error`` (the engine raised; the batch is *not* retryable), and
+``protocol_error`` (an undecodable frame; answered without killing the
+worker — framing is length-prefixed, so the stream resynchronizes at
+the next frame boundary).
+
+:class:`WorkerPool` is the front-end half: it spawns workers, routes
+each batch to the live worker with the **fewest outstanding batches**,
+detects crashes (socket EOF), fails the crashed worker's in-flight
+batches, respawns it automatically, and exposes per-worker counters
+(batches, occupancy, restarts, generation) for ``/stats``.  A batch
+that was in flight on a crashed worker is retried once on a healthy
+worker by :meth:`WorkerPool.execute`; a second failure surfaces
+:class:`WorkerCrashed`, which the HTTP layer answers with 503.
+
+Because every worker serves the same persisted generation through the
+same staged pipeline, responses are rank-identical to single-process
+serving — including across a generation swap (workers reload *after*
+the commit wrote the new generation, so they only ever observe complete
+generations) and across a kill-and-respawn (the replacement reopens the
+same directory).  Both properties are integration-tested in
+``tests/test_serve_workers.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.serve.api import (
+    SearchRequest,
+    requests_from_dicts,
+    requests_to_dicts,
+    responses_from_dicts,
+    responses_to_dicts,
+)
+
+__all__ = [
+    "ProtocolError",
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerSpec",
+    "WorkerPool",
+    "send_frame",
+    "recv_frame",
+    "encode_frame",
+    "decode_frame",
+]
+
+#: Frame size prefix: one unsigned 32-bit big-endian length.
+_HEADER = struct.Struct(">I")
+
+#: Hard bound on a single frame's payload.  A micro-batch of 32
+#: requests with explanations is well under 1 MiB; anything near this
+#: bound means the stream is corrupt, not that the batch is large.
+MAX_FRAME_BYTES = 32 << 20
+
+#: Seconds the pool waits for a spawned worker's ``ready`` frame before
+#: declaring the spawn failed (database regeneration dominates this).
+READY_TIMEOUT = 120.0
+
+
+class ProtocolError(ReproError):
+    """A frame violated the worker wire protocol (bad length prefix,
+    undecodable JSON, or a payload that is not an object)."""
+
+
+class WorkerCrashed(ReproError):
+    """A worker process died with batches in flight (or none could be
+    found healthy); the HTTP layer answers 503."""
+
+
+class WorkerError(ReproError):
+    """A worker's engine raised while executing a batch.  Deterministic
+    — retrying on another worker would fail identically — so the HTTP
+    layer answers 500 instead of retrying."""
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One length-prefixed wire frame for ``payload``.
+
+    Raises:
+        ProtocolError: when the encoded payload exceeds
+            :data:`MAX_FRAME_BYTES`.
+    """
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict:
+    """The JSON object inside one frame body.
+
+    Raises:
+        ProtocolError: on undecodable JSON or a non-object payload.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed frame payload: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be an object, got "
+            f"{type(payload).__name__}")
+    return payload
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes from a blocking socket; ``None`` on a
+    clean EOF before the first byte.
+
+    Raises:
+        ProtocolError: on EOF mid-read (a torn frame).
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError(
+                f"stream ended {remaining} bytes short of a frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame from a blocking socket; ``None`` on clean EOF.
+
+    Raises:
+        ProtocolError: on a torn frame, an implausible length prefix,
+            or an undecodable payload.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound")
+    body = _recv_exact(sock, length) if length else b""
+    if body is None and length:
+        raise ProtocolError("stream ended before the frame body")
+    return decode_frame(body or b"")
+
+
+# -- the worker process ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a spawned worker needs to rebuild the serving engine.
+
+    Spawn-context children start from a fresh interpreter, so the spec
+    carries only picklable inputs: the saved collection ``directory``
+    plus the deterministic knobs to regenerate the synthetic database
+    (``scale``/``seed``) and configure the engine — mirroring what
+    ``repro serve`` builds in the front-end process.  Each worker calls
+    :meth:`build_engine`, which loads the collection through
+    :meth:`~repro.core.store.CollectionStore.load` with the default
+    lazy pin: snapshots ``mmap`` on first demand, and N workers over one
+    generation share a single copy of the bytes through the OS page
+    cache.
+
+    Attributes:
+        directory: the saved collection (a ``repro save`` /
+            :class:`~repro.core.store.CollectionStore` directory).
+        scale, seed: synthetic database generator inputs.
+        flavor: derivation flavor label for answer branding.
+        shards, parallelism, strategy: retrieval configuration
+            (see :class:`~repro.core.store.LoadOptions`).
+        cache_size: per-worker pipeline result-cache entries
+            (0 disables).
+        cache_coverage: Zipf-head store-admission coverage for that
+            cache (0 admits everything), seeded from the same session
+            generator the serving CLI uses.
+        sessions: session count behind the admission head.
+    """
+
+    directory: str
+    scale: float
+    seed: int
+    flavor: str = "expert"
+    shards: int = 0
+    parallelism: str = "serial"
+    strategy: str = "auto"
+    cache_size: int = 0
+    cache_coverage: float = 0.0
+    sessions: int = 400
+
+    def build_engine(self):
+        """A fresh :class:`~repro.core.search.engine.QunitSearchEngine`
+        over the spec's directory (lazy mmap load)."""
+        from repro.core.search.engine import QunitSearchEngine
+        from repro.datasets.imdb import generate_imdb
+        from repro.serve.pipeline import EngineConfig
+
+        database = generate_imdb(scale=self.scale, seed=self.seed)
+        config = None
+        if self.cache_size > 0:
+            admission = None
+            if self.cache_coverage > 0:
+                from repro.datasets.querylog import (
+                    SessionLogGenerator,
+                    zipf_head,
+                )
+
+                generator = SessionLogGenerator(database, seed=self.seed + 3)
+                log = generator.as_query_log(
+                    generator.generate(self.sessions))
+                admission = zipf_head(log, self.cache_coverage).__contains__
+            config = EngineConfig(result_cache_size=self.cache_size,
+                                  cache_admission=admission)
+        return QunitSearchEngine.load(
+            database, self.directory, flavor=self.flavor,
+            shards=self.shards, parallelism=self.parallelism,
+            strategy=self.strategy, config=config)
+
+
+class FrameServer:
+    """The worker-side frame loop, factored off the process entry point
+    so the protocol is testable in-process against a stub executor.
+
+    ``execute`` maps a list of request dicts to a list of response
+    dicts; ``reload`` (optional) rebuilds serving state after a
+    generation broadcast and returns the generation id to announce.
+    """
+
+    def __init__(self, sock: socket.socket, execute,
+                 reload=None, generation: str | None = None):
+        """Serve ``sock`` until EOF or a ``shutdown`` frame."""
+        self.sock = sock
+        self.execute = execute
+        self.reload = reload
+        self.generation = generation
+
+    def announce_ready(self) -> None:
+        """Send the ``ready`` frame (startup and after every reload)."""
+        send_frame(self.sock, {"op": "ready", "pid": os.getpid(),
+                               "generation": self.generation})
+
+    def serve_forever(self) -> None:
+        """Process frames until shutdown, EOF, or an unrecoverable
+        protocol error.
+
+        Malformed input splits into two regimes: undecodable JSON inside
+        a *well-formed* frame leaves the length-prefixed boundary intact,
+        so the worker answers an ``error`` frame and keeps serving; a bad
+        length prefix or a torn frame loses framing entirely — the worker
+        answers ``protocol_error`` and exits so the pool respawns it.
+        """
+        self.announce_ready()
+        while True:
+            try:
+                header = _recv_exact(self.sock, _HEADER.size)
+                if header is None:
+                    return  # front end closed the pipe: clean shutdown
+                (length,) = _HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise ProtocolError(
+                        f"frame length {length} exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte bound")
+                body = _recv_exact(self.sock, length) if length else b""
+                if body is None and length:
+                    raise ProtocolError(
+                        "stream ended before the frame body")
+            except ProtocolError as exc:
+                # Framing is lost and the stream cannot be
+                # resynchronized; report and die.
+                self._send_safe({"op": "protocol_error",
+                                 "error": str(exc)})
+                return
+            try:
+                frame = decode_frame(body or b"")
+            except ProtocolError as exc:
+                # The frame boundary held — only its payload is junk.
+                self._send_safe({"op": "error", "id": None,
+                                 "error": str(exc)})
+                continue
+            if not self._serve_one(frame):
+                return
+
+    def _serve_one(self, frame: dict) -> bool:
+        """Handle one decoded frame; ``False`` stops the loop."""
+        op = frame.get("op")
+        if op == "shutdown":
+            return False
+        if op == "generation":
+            if self.reload is not None:
+                self.generation = self.reload()
+            self.announce_ready()
+            return True
+        if op == "batch":
+            batch_id = frame.get("id")
+            requests = frame.get("requests")
+            if not isinstance(batch_id, int) \
+                    or not isinstance(requests, list):
+                self._send_safe({
+                    "op": "error", "id": batch_id,
+                    "error": "batch frame needs an int 'id' and a "
+                             "list 'requests'"})
+                return True
+            try:
+                responses = self.execute(requests)
+            except Exception as exc:  # engine failure: report, keep serving
+                self._send_safe({"op": "error", "id": batch_id,
+                                 "error": f"{type(exc).__name__}: {exc}"})
+                return True
+            self._send_safe({"op": "result", "id": batch_id,
+                             "responses": responses})
+            return True
+        # Unknown op inside a well-formed frame: answer and carry on —
+        # the frame boundary is intact, so nothing is desynchronized.
+        self._send_safe({"op": "error", "id": frame.get("id"),
+                         "error": f"unknown op {op!r}"})
+        return True
+
+    def _send_safe(self, payload: dict) -> None:
+        """Best-effort send: a vanished front end is not an error the
+        worker can do anything about."""
+        try:
+            send_frame(self.sock, payload)
+        except OSError:
+            pass
+
+
+def _worker_main(index: int, sock: socket.socket, spec: WorkerSpec) -> None:
+    """Process entry point: build the engine, serve frames until told
+    to stop, close the collection last."""
+    from repro.core.store import CollectionStore
+
+    # A terminal Ctrl-C hits the whole foreground process group; the
+    # front end owns this worker's lifecycle (``shutdown`` frame, then
+    # EOF), so a stray SIGINT mid-``recv`` must not tear it down first.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    engine = spec.build_engine()
+    store = CollectionStore(spec.directory)
+
+    def execute(request_dicts: list) -> list:
+        requests = requests_from_dicts(request_dicts)
+        return responses_to_dicts(engine.execute(requests))
+
+    def reload() -> str | None:
+        # Reopen only when the directory actually moved to a new
+        # generation: a broadcast for a swap this worker already
+        # serves (or a spurious one) is a no-op.
+        nonlocal engine
+        current = store.generation()
+        if current is not None \
+                and current == engine.collection.generation:
+            return current
+        engine.collection.close()
+        engine = spec.build_engine()
+        return engine.collection.generation
+
+    server = FrameServer(sock, execute, reload=reload,
+                         generation=engine.collection.generation)
+    try:
+        server.serve_forever()
+    finally:
+        engine.collection.close()
+        sock.close()
+
+
+# -- the front-end pool ------------------------------------------------------
+
+
+class _WorkerHandle:
+    """One live worker as the event loop sees it: the process, the
+    framed stream, in-flight batch futures, and per-worker counters."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.sock: socket.socket | None = None
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.reader_task: asyncio.Task | None = None
+        self.ready: asyncio.Future | None = None
+        self.outstanding: dict[int, asyncio.Future] = {}
+        self.alive = False
+        self.pid: int | None = None
+        self.generation: str | None = None
+        #: Batches completed and requests served by this worker.
+        self.batches = 0
+        self.served = 0
+
+    def stats(self) -> dict:
+        """This worker's ``/stats`` entry."""
+        return {
+            "index": self.index,
+            "pid": self.pid,
+            "alive": self.alive,
+            "batches": self.batches,
+            "served": self.served,
+            "mean_batch_size": (self.served / self.batches
+                                if self.batches else 0.0),
+            "outstanding": len(self.outstanding),
+            "generation": self.generation,
+        }
+
+
+class WorkerPool:
+    """N prefork pipeline workers behind least-outstanding routing.
+
+    Use :meth:`start` / :meth:`close` (or hand the pool to
+    :class:`~repro.serve.server.SearchServer`, which drives the
+    lifecycle).  :meth:`execute` is the batch entry point the
+    :class:`~repro.serve.batcher.MicroBatcher` dispatches through; it
+    matches the signature of
+    :meth:`~repro.core.search.engine.QunitSearchEngine.execute` so the
+    server can swap one for the other.
+    """
+
+    def __init__(self, spec: WorkerSpec, workers: int = 2,
+                 ready_timeout: float = READY_TIMEOUT):
+        """A pool of ``workers`` processes built from ``spec``.
+
+        Raises:
+            ValueError: when ``workers`` < 1.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        self.ready_timeout = ready_timeout
+        self._handles: list[_WorkerHandle] = []
+        self._closing = False
+        self._batch_ids = iter(range(1, 1 << 62)).__next__
+        self._respawns: set[asyncio.Task] = set()
+        #: Pool-level counters for ``/stats``.
+        self.dispatched = 0
+        self.retries = 0
+        self.restarts = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn every worker and wait until each announced ready."""
+        self._handles = [_WorkerHandle(i) for i in range(self.workers)]
+        await asyncio.gather(*(self._spawn(handle)
+                               for handle in self._handles))
+
+    async def close(self) -> None:
+        """Graceful drain: stop respawning, ask every worker to shut
+        down, then reap the processes (killing any that linger)."""
+        self._closing = True
+        for task in list(self._respawns):
+            task.cancel()
+        for handle in self._handles:
+            if handle.writer is not None and handle.alive:
+                try:
+                    handle.writer.write(encode_frame({"op": "shutdown"}))
+                    await handle.writer.drain()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+        for handle in self._handles:
+            await self._reap(handle)
+
+    async def _reap(self, handle: _WorkerHandle) -> None:
+        """Tear one handle down: close the stream, join the process."""
+        handle.alive = False
+        if handle.reader_task is not None:
+            handle.reader_task.cancel()
+            try:
+                await handle.reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            handle.reader_task = None
+        if handle.writer is not None:
+            handle.writer.close()
+            try:
+                await handle.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            handle.writer = None
+        process = handle.process
+        if process is not None:
+            await asyncio.to_thread(process.join, 10.0)
+            if process.is_alive():
+                process.kill()
+                await asyncio.to_thread(process.join, 10.0)
+            handle.process = None
+        self._fail_outstanding(handle, WorkerCrashed(
+            f"worker {handle.index} shut down with batches in flight"))
+
+    async def _spawn(self, handle: _WorkerHandle) -> None:
+        """Start one worker process and wait for its ready frame."""
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        parent_sock, child_sock = socket.socketpair()
+        process = context.Process(
+            target=_worker_main,
+            args=(handle.index, child_sock, self.spec),
+            daemon=True, name=f"repro-worker-{handle.index}")
+        process.start()
+        child_sock.close()
+        handle.process = process
+        handle.sock = parent_sock
+        handle.reader, handle.writer = await asyncio.open_connection(
+            sock=parent_sock)
+        loop = asyncio.get_running_loop()
+        handle.ready = loop.create_future()
+        handle.reader_task = loop.create_task(self._read_frames(handle))
+        try:
+            await asyncio.wait_for(asyncio.shield(handle.ready),
+                                   self.ready_timeout)
+        except asyncio.TimeoutError:
+            await self._reap(handle)
+            raise WorkerCrashed(
+                f"worker {handle.index} did not become ready within "
+                f"{self.ready_timeout}s") from None
+        handle.alive = True
+
+    async def _read_frames(self, handle: _WorkerHandle) -> None:
+        """Consume one worker's frames until EOF; EOF means the worker
+        died (or closed cleanly at shutdown)."""
+        assert handle.reader is not None
+        try:
+            while True:
+                header = await handle.reader.readexactly(_HEADER.size)
+                (length,) = _HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise ProtocolError(
+                        f"worker {handle.index} sent an implausible "
+                        f"frame length {length}")
+                body = await handle.reader.readexactly(length)
+                self._dispatch_frame(handle, decode_frame(body))
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError, ProtocolError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._on_worker_down(handle)
+
+    def _dispatch_frame(self, handle: _WorkerHandle, frame: dict) -> None:
+        """Route one worker frame to its waiting future / handle state."""
+        op = frame.get("op")
+        if op == "ready":
+            handle.pid = frame.get("pid")
+            handle.generation = frame.get("generation")
+            if handle.ready is not None and not handle.ready.done():
+                handle.ready.set_result(True)
+            return
+        if op in ("result", "error"):
+            future = handle.outstanding.pop(frame.get("id"), None)
+            if future is None or future.done():
+                return
+            if op == "result":
+                handle.batches += 1
+                responses = frame.get("responses")
+                handle.served += len(responses) \
+                    if isinstance(responses, list) else 0
+                future.set_result(responses)
+            else:
+                future.set_exception(WorkerError(
+                    f"worker {handle.index}: {frame.get('error')}"))
+            return
+        # protocol_error (or anything unknown): the worker lost framing
+        # and is about to exit; the EOF path handles the cleanup.
+
+    def _on_worker_down(self, handle: _WorkerHandle) -> None:
+        """Crash detection: fail in-flight batches, schedule a respawn."""
+        was_alive = handle.alive
+        handle.alive = False
+        self._fail_outstanding(handle, WorkerCrashed(
+            f"worker {handle.index} (pid {handle.pid}) died with a "
+            f"batch in flight"))
+        if self._closing or not was_alive:
+            return
+        self.restarts += 1
+        task = asyncio.get_running_loop().create_task(
+            self._respawn(handle))
+        self._respawns.add(task)
+        task.add_done_callback(self._respawns.discard)
+
+    @staticmethod
+    def _fail_outstanding(handle: _WorkerHandle, error: Exception) -> None:
+        for future in handle.outstanding.values():
+            if not future.done():
+                future.set_exception(error)
+        handle.outstanding.clear()
+
+    async def _respawn(self, handle: _WorkerHandle) -> None:
+        """Replace one dead worker in place (same index, restarts+1)."""
+        process = handle.process
+        if process is not None:
+            await asyncio.to_thread(process.join, 10.0)
+            handle.process = None
+        if handle.writer is not None:
+            handle.writer.close()
+            handle.writer = None
+        if self._closing:
+            return
+        try:
+            await self._spawn(handle)
+        except WorkerCrashed:
+            pass  # stays dead; execute() routes around it
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _pick(self) -> _WorkerHandle | None:
+        """The live worker with the fewest outstanding batches (lowest
+        index on ties); ``None`` when every worker is down."""
+        live = [handle for handle in self._handles if handle.alive]
+        if not live:
+            return None
+        return min(live, key=lambda handle: (len(handle.outstanding),
+                                             handle.index))
+
+    async def execute(self, requests: list[SearchRequest]) -> list:
+        """Run one micro-batch on a worker; the pool-side counterpart
+        of :meth:`~repro.core.search.engine.QunitSearchEngine.execute`.
+
+        The batch goes to the least-loaded live worker.  If that worker
+        dies mid-batch the batch is retried **once** on another healthy
+        worker; a second crash — or no healthy worker at all — raises.
+
+        Raises:
+            WorkerCrashed: no worker could complete the batch (503).
+            WorkerError: the engine raised inside the worker (500; not
+                retried — the failure is deterministic).
+        """
+        if self._closing:
+            raise WorkerCrashed("worker pool is shutting down")
+        payload = requests_to_dicts(requests)
+        error: Exception = WorkerCrashed("no healthy worker available")
+        for _attempt in (0, 1):
+            handle = self._pick()
+            if handle is None:
+                # Give an automatic respawn a moment to come back
+                # before giving up on the whole batch.
+                await asyncio.sleep(0.05)
+                handle = self._pick()
+                if handle is None:
+                    raise error
+            try:
+                dicts = await self._run_on(handle, payload)
+            except WorkerCrashed as exc:
+                error = exc
+                self.retries += 1
+                continue
+            return responses_from_dicts(dicts)
+        raise error
+
+    async def _run_on(self, handle: _WorkerHandle, payload: list) -> list:
+        """Send one batch frame to ``handle`` and await its result."""
+        batch_id = self._batch_ids()
+        future = asyncio.get_running_loop().create_future()
+        handle.outstanding[batch_id] = future
+        self.dispatched += 1
+        assert handle.writer is not None
+        try:
+            handle.writer.write(encode_frame(
+                {"op": "batch", "id": batch_id, "requests": payload}))
+            await handle.writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            handle.outstanding.pop(batch_id, None)
+            raise WorkerCrashed(
+                f"worker {handle.index} pipe broke mid-send") from None
+        return await future
+
+    # -- generation broadcast ------------------------------------------------
+
+    async def broadcast_generation(self) -> None:
+        """Tell every live worker an ingestion commit swapped the
+        serving generation; each invalidates its caches and lazily
+        reopens the directory (a no-op for workers already serving the
+        new generation).  Batch frames already queued behind the
+        broadcast are answered after the reload, so a worker never
+        mixes generations within a batch."""
+        for handle in self._handles:
+            if not handle.alive or handle.writer is None:
+                continue
+            try:
+                handle.writer.write(encode_frame({"op": "generation"}))
+                await handle.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass  # the crash path respawns it against the new gen
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Pool counters plus one entry per worker (``/stats``)."""
+        return {
+            "count": self.workers,
+            "dispatched": self.dispatched,
+            "retries": self.retries,
+            "restarts": self.restarts,
+            "per_worker": [handle.stats() for handle in self._handles],
+        }

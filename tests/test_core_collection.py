@@ -1,10 +1,31 @@
 """Tests for the qunit collection."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.core.collection import QunitCollection
 from repro.core.qunit import ParamBinder, QunitDefinition
+from repro.core.store import CollectionStore, LoadOptions, SaveOptions
 from repro.errors import DerivationError
+
+
+def _save(collection, path, vectors=True):
+    """Persist through the store API; returns the directory path."""
+    report = CollectionStore(path).save(collection,
+                                        SaveOptions(vectors=vectors))
+    return Path(report.path)
+
+
+def _load(database, path, **options):
+    """Eager load through the store API — the contract these tests were
+    written against (the whole generation in memory up front)."""
+    return CollectionStore(path).load(
+        database, LoadOptions(lazy=False, **options))
+
+
+def _load_shard(path, shard_index):
+    return CollectionStore(path).load_shard(shard_index)
 
 
 def definitions():
@@ -144,14 +165,14 @@ class TestPersistence:
         import json
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         assert (out / "collection.json").exists()
         manifest = json.loads((out / "collection.json").read_text())
         assert (out / manifest["snapshots"]["global"]).exists()
         assert (out / manifest["snapshots"]["definitions"]["movie_page"]
                 ).exists()
 
-        loaded = QunitCollection.load(mini_db, out)
+        loaded = _load(mini_db, out)
         assert sorted(loaded.definitions) == sorted(collection.definitions)
         assert loaded.definitions["movie_page"] == \
                collection.definitions["movie_page"]
@@ -159,8 +180,8 @@ class TestPersistence:
 
     def test_loaded_collection_search_rank_identical(self, mini_db, tmp_path):
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
-        loaded = QunitCollection.load(mini_db, out)
+        out = _save(collection, tmp_path / "snap")
+        loaded = _load(mini_db, out)
         for query in ("star wars", "person", "movie summary", "zzz"):
             fresh = collection.searcher().search(query, limit=4)
             cold = loaded.searcher().search(query, limit=4)
@@ -170,8 +191,8 @@ class TestPersistence:
     def test_loaded_collection_serves_without_materializing(self, mini_db,
                                                             tmp_path):
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
-        loaded = QunitCollection.load(mini_db, out)
+        out = _save(collection, tmp_path / "snap")
+        loaded = _load(mini_db, out)
         assert loaded.searcher().best("star wars") is not None
         # The query was answered from the loaded snapshot: nothing was
         # re-materialized and no live index was built.
@@ -184,10 +205,10 @@ class TestPersistence:
         # re-save that prunes the old generation's files cannot break an
         # already-loaded collection mid-serving.
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
-        loaded = QunitCollection.load(mini_db, out)
+        out = _save(collection, tmp_path / "snap")
+        loaded = _load(mini_db, out)
         assert "movie_page" in loaded._loaded_snapshots
-        QunitCollection(mini_db, definitions()[:1]).save(out)  # prunes gen 1
+        _save(QunitCollection(mini_db, definitions()[:1]), out)  # prunes gen 1
         hits = loaded.definition_searcher("movie_page").search("star wars")
         assert hits
         assert loaded.searcher().best("star wars") is not None
@@ -195,8 +216,8 @@ class TestPersistence:
     def test_loaded_collection_still_materializes_instances(self, mini_db,
                                                             tmp_path):
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
-        loaded = QunitCollection.load(mini_db, out)
+        out = _save(collection, tmp_path / "snap")
+        loaded = _load(mini_db, out)
         hit = loaded.searcher().best("star wars")
         instance = loaded.instance(hit.doc_id)
         assert instance.instance_id == hit.doc_id
@@ -206,9 +227,9 @@ class TestPersistence:
         import json
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         first = json.loads((out / "collection.json").read_text())
-        QunitCollection(mini_db, definitions()[:1]).save(out)
+        _save(QunitCollection(mini_db, definitions()[:1]), out)
         second = json.loads((out / "collection.json").read_text())
         # A fresh generation replaced the old one, and every snapshot on
         # disk is referenced by the new manifest — no mixed generations.
@@ -217,7 +238,7 @@ class TestPersistence:
                       *second["snapshots"]["definitions"].values()}
         on_disk = {entry.name for entry in out.glob("*.snap")}
         assert on_disk == referenced
-        loaded = QunitCollection.load(mini_db, out)
+        loaded = _load(mini_db, out)
         assert sorted(loaded.definitions) == ["movie_page"]
 
     def test_empty_collection_round_trips_without_rebuild(self, mini_db,
@@ -225,8 +246,8 @@ class TestPersistence:
         # Regression: an *empty* loaded snapshot is falsy; index resolution
         # must still serve it rather than rebuilding from the database.
         empty = QunitCollection(mini_db, [])
-        out = empty.save(tmp_path / "empty")
-        loaded = QunitCollection.load(mini_db, out)
+        out = _save(empty, tmp_path / "empty")
+        loaded = _load(mini_db, out)
         assert loaded.searcher().search("star wars") == []
         assert loaded._global_index is None
         assert loaded._instances == {}
@@ -237,20 +258,20 @@ class TestPersistence:
         from repro.errors import SnapshotError
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         manifest_path = out / "collection.json"
         manifest = json.loads(manifest_path.read_text())
         manifest["analyzer"]["stem"] = not manifest["analyzer"]["stem"]
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(SnapshotError, match="analyzer"):
-            QunitCollection.load(mini_db, out)
+            _load(mini_db, out)
 
     def test_global_snapshot_public_accessor(self, mini_db, tmp_path):
         collection = QunitCollection(mini_db, definitions())
         built = collection.global_snapshot()
         assert built.document_count == collection.instance_count()
-        out = collection.save(tmp_path / "snap")
-        loaded = QunitCollection.load(mini_db, out)
+        out = _save(collection, tmp_path / "snap")
+        loaded = _load(mini_db, out)
         assert loaded.global_snapshot().document_count == built.document_count
 
     def test_load_rejects_different_database(self, mini_db, tmp_path):
@@ -258,16 +279,16 @@ class TestPersistence:
         from repro.errors import SnapshotError
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         other = generate_imdb(scale=0.05, seed=1)
         with pytest.raises(SnapshotError, match="derived from database"):
-            QunitCollection.load(other, out)
+            _load(other, out)
 
     def test_load_missing_manifest(self, mini_db, tmp_path):
         from repro.errors import SnapshotError
 
         with pytest.raises(SnapshotError, match="manifest"):
-            QunitCollection.load(mini_db, tmp_path / "nowhere")
+            _load(mini_db, tmp_path / "nowhere")
 
     def test_load_bad_manifest_version(self, mini_db, tmp_path):
         import json
@@ -275,13 +296,13 @@ class TestPersistence:
         from repro.errors import SnapshotError
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         manifest_path = out / "collection.json"
         manifest = json.loads(manifest_path.read_text())
         manifest["format_version"] = 99
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(SnapshotError, match="format version"):
-            QunitCollection.load(mini_db, out)
+            _load(mini_db, out)
 
     def test_load_manifest_missing_definitions_is_clean_error(self, mini_db,
                                                               tmp_path):
@@ -289,13 +310,13 @@ class TestPersistence:
 
         from repro.errors import SnapshotError
 
-        out = QunitCollection(mini_db, definitions()).save(tmp_path / "snap")
+        out = _save(QunitCollection(mini_db, definitions()), tmp_path / "snap")
         manifest_path = out / "collection.json"
         manifest = json.loads(manifest_path.read_text())
         del manifest["definitions"]
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(SnapshotError, match="definitions"):
-            QunitCollection.load(mini_db, out)
+            _load(mini_db, out)
 
     def test_load_retries_when_racing_a_resave(self, mini_db, tmp_path,
                                                monkeypatch):
@@ -304,7 +325,7 @@ class TestPersistence:
         from repro.core import store as store_module
         from repro.errors import SnapshotError
 
-        out = QunitCollection(mini_db, definitions()).save(tmp_path / "snap")
+        out = _save(QunitCollection(mini_db, definitions()), tmp_path / "snap")
         real_load = store_module.load_snapshot_with_header
         calls = {"n": 0}
 
@@ -318,15 +339,15 @@ class TestPersistence:
 
         monkeypatch.setattr(store_module, "load_snapshot_with_header",
                             flaky_load)
-        loaded = QunitCollection.load(mini_db, out)
+        loaded = _load(mini_db, out)
         assert loaded.searcher().best("star wars") is not None
         assert calls["n"] > 1
 
     def test_unknown_definition_still_fails_after_load(self, mini_db,
                                                        tmp_path):
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
-        loaded = QunitCollection.load(mini_db, out)
+        out = _save(collection, tmp_path / "snap")
+        loaded = _load(mini_db, out)
         with pytest.raises(DerivationError):
             loaded.definition_searcher("nope")
 
@@ -348,8 +369,8 @@ class TestHybridPersistence:
         import warnings
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
-        loaded = QunitCollection.load(mini_db, out, strategy="hybrid")
+        out = _save(collection, tmp_path / "snap")
+        loaded = _load(mini_db, out, strategy="hybrid")
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             hits = loaded.searcher().search("star wars", 4)
@@ -359,11 +380,11 @@ class TestHybridPersistence:
     def test_save_without_vectors_degrades_to_lexical(self, mini_db,
                                                       tmp_path):
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap", vectors=False)
-        lexical = QunitCollection.load(mini_db, out)
+        out = _save(collection, tmp_path / "snap", vectors=False)
+        lexical = _load(mini_db, out)
         expected = [(h.doc_id, h.score)
                     for h in lexical.searcher().search("star wars", 4)]
-        hybrid = QunitCollection.load(mini_db, out, strategy="hybrid")
+        hybrid = _load(mini_db, out, strategy="hybrid")
         with pytest.warns(RuntimeWarning, match="no vector extents"):
             hits = hybrid.searcher().search("star wars", 4)
         assert [(h.doc_id, h.score) for h in hits] == expected
@@ -396,7 +417,7 @@ class TestSnapshotV2Layout:
         from repro.ir.persist import FORMAT_VERSION, read_snapshot_header
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         manifest = json.loads((out / "collection.json").read_text())
         assert manifest["format_version"] == 2
         store_name = manifest["docstore"]
@@ -418,7 +439,7 @@ class TestSnapshotV2Layout:
         # vectors=False: this test measures the document-dedup property
         # alone; vector extents (saved by default, skipped by
         # save_snapshot below) would drown the comparison.
-        out = collection.save(tmp_path / "deduped", vectors=False)
+        out = _save(collection, tmp_path / "deduped", vectors=False)
         deduped_bytes = sum(entry.stat().st_size for entry in out.iterdir()
                             if entry.name != "collection.json")
 
@@ -444,11 +465,11 @@ class TestSnapshotV2Layout:
         from repro.ir.persist import load_document_store
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         manifest = json.loads((out / "collection.json").read_text())
         store = load_document_store(out / manifest["docstore"])
 
-        loaded = QunitCollection.load(mini_db, out)
+        loaded = _load(mini_db, out)
         global_snapshot = loaded._loaded_snapshots[None]
         unique_objects = {id(document)
                           for document in global_snapshot.documents()}
@@ -488,7 +509,7 @@ class TestSnapshotV2Layout:
         }
         (out / "collection.json").write_text(json.dumps(manifest))
 
-        loaded = QunitCollection.load(mini_db, out)
+        loaded = _load(mini_db, out)
         for query in ("star wars", "person", "zzz"):
             assert [(h.doc_id, h.score)
                     for h in loaded.searcher().search(query, limit=4)] == \
@@ -499,8 +520,8 @@ class TestSnapshotV2Layout:
         import json
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
-        QunitCollection(mini_db, definitions()[:1]).save(out)
+        out = _save(collection, tmp_path / "snap")
+        _save(QunitCollection(mini_db, definitions()[:1]), out)
         manifest = json.loads((out / "collection.json").read_text())
         on_disk = {entry.name for entry in out.glob("*.store")}
         assert on_disk == {manifest["docstore"]}
@@ -512,7 +533,7 @@ class TestShardPersistence:
 
         collection = QunitCollection(mini_db, definitions(), shards=2,
                                      parallelism="serial")
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         manifest = json.loads((out / "collection.json").read_text())
         assert manifest["shards"]["count"] == 2
         assert len(manifest["shards"]["files"]) == 2
@@ -527,7 +548,7 @@ class TestShardPersistence:
         import json
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         manifest = json.loads((out / "collection.json").read_text())
         assert manifest["shards"] is None
         assert not list(out.glob("shard-*"))
@@ -535,14 +556,14 @@ class TestShardPersistence:
     def test_load_restores_persisted_shards(self, mini_db, tmp_path):
         collection = QunitCollection(mini_db, definitions(), shards=2,
                                      parallelism="serial")
-        out = collection.save(tmp_path / "snap")
-        loaded = QunitCollection.load(mini_db, out, shards=2,
+        out = _save(collection, tmp_path / "snap")
+        loaded = _load(mini_db, out, shards=2,
                                       parallelism="serial")
         assert loaded._loaded_sharded is not None
         assert len(loaded._loaded_sharded.shards) == 2
         # The flat searcher serves from the restored shards, and results
         # match the serial path exactly.
-        serial = QunitCollection.load(mini_db, out)
+        serial = _load(mini_db, out)
         for query in ("star wars", "person", "zzz"):
             assert [(h.doc_id, h.score)
                     for h in loaded.searcher().search(query, limit=4)] == \
@@ -554,11 +575,11 @@ class TestShardPersistence:
                                                       tmp_path):
         collection = QunitCollection(mini_db, definitions(), shards=2,
                                      parallelism="serial")
-        out = collection.save(tmp_path / "snap")
-        loaded = QunitCollection.load(mini_db, out, shards=3,
+        out = _save(collection, tmp_path / "snap")
+        loaded = _load(mini_db, out, shards=3,
                                       parallelism="serial")
         assert loaded._loaded_sharded is None  # falls back to in-memory
-        serial = QunitCollection.load(mini_db, out)
+        serial = _load(mini_db, out)
         for query in ("star wars", "person"):
             assert [(h.doc_id, h.score)
                     for h in loaded.searcher().search(query, limit=4)] == \
@@ -571,10 +592,10 @@ class TestShardPersistence:
 
         collection = QunitCollection(mini_db, definitions(), shards=2,
                                      parallelism="serial")
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         expected = shard_snapshot(collection.global_snapshot(), 2)
         for i in range(2):
-            snapshot, bloom = QunitCollection.load_shard(out, i)
+            snapshot, bloom = _load_shard(out, i)
             assert sorted(d.doc_id for d in snapshot.documents()) == \
                    sorted(d.doc_id for d in expected[i].documents())
             # Collection-wide statistics, not partition-local ones.
@@ -588,10 +609,10 @@ class TestShardPersistence:
         from repro.errors import SnapshotError
 
         collection = QunitCollection(mini_db, definitions())
-        out = collection.save(tmp_path / "snap")
+        out = _save(collection, tmp_path / "snap")
         with pytest.raises(SnapshotError, match="no persisted shard"):
-            QunitCollection.load_shard(out, 0)
-        sharded_out = QunitCollection(
-            mini_db, definitions(), shards=2).save(tmp_path / "sharded")
+            _load_shard(out, 0)
+        sharded_out = _save(QunitCollection(
+            mini_db, definitions(), shards=2), tmp_path / "sharded")
         with pytest.raises(SnapshotError, match="out of range"):
-            QunitCollection.load_shard(sharded_out, 9)
+            _load_shard(sharded_out, 9)

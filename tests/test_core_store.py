@@ -71,17 +71,12 @@ class TestTypedOptions:
         with pytest.raises(ValueError, match="unknown"):
             LoadOptions.from_dict({"lazily": True})
 
-    def test_old_collection_api_deprecated(self, mini_db, collection,
-                                           tmp_path):
-        out = tmp_path / "snap"
-        with pytest.deprecated_call():
-            collection.save(out)
-        with pytest.deprecated_call():
-            loaded = QunitCollection.load(mini_db, out)
-        assert ranked(loaded, "star wars") == ranked(collection, "star wars")
-        with pytest.deprecated_call(), \
-                pytest.raises(SnapshotError, match="no persisted shard"):
-            QunitCollection.load_shard(out, 0)  # warns before validating
+    def test_old_collection_api_removed(self):
+        # The deprecated QunitCollection.save/load/load_shard wrappers
+        # are gone; persistence goes through CollectionStore only.
+        assert not hasattr(QunitCollection, "save")
+        assert not hasattr(QunitCollection, "load")
+        assert not hasattr(QunitCollection, "load_shard")
 
 
 class TestDeltaSave:

@@ -835,10 +835,13 @@ class TestDocStorePartitionLoads:
                                      max_instances_per_definition=30,
                                      shards=3, parallelism="serial")
         out = tmp_path / "gen"
-        collection.save(out)
+        from repro.core.store import CollectionStore
+
+        store = CollectionStore(out)
+        store.save(collection)
         total = len(collection.global_snapshot())
         for shard_index in range(3):
-            snapshot, bloom = QunitCollection.load_shard(out, shard_index)
+            snapshot, bloom = store.load_shard(shard_index)
             assert 0 < len(snapshot) < total
             assert len(snapshot._documents) == len(snapshot)
             assert bloom is not None

@@ -7,6 +7,7 @@ import pytest
 from repro.core import QunitCollection
 from repro.core.derivation import imdb_expert_qunits
 from repro.core.search import QunitSearchEngine
+from repro.core.store import CollectionStore, LoadOptions
 from repro.ir.analysis import Analyzer
 from repro.ir.documents import Document
 from repro.ir.index import InvertedIndex
@@ -177,8 +178,9 @@ class TestDefinitionBloom:
                                                          tmp_path):
         live = QunitCollection(imdb_db, imdb_expert_qunits(),
                                max_instances_per_definition=20)
-        live.save(tmp_path / "gen")
-        loaded = QunitCollection.load(imdb_db, tmp_path / "gen")
+        CollectionStore(tmp_path / "gen").save(live)
+        loaded = CollectionStore(tmp_path / "gen").load(
+            imdb_db, LoadOptions(lazy=False))
         for name in loaded.definitions:
             bloom = loaded.definition_bloom(name)
             assert bloom is not None
@@ -203,7 +205,9 @@ class TestDefinitionBloom:
 
         live = QunitCollection(imdb_db, imdb_expert_qunits(),
                                max_instances_per_definition=20)
-        out = live.save(tmp_path / "gen")
+        store = CollectionStore(tmp_path / "gen")
+        out = tmp_path / "gen"
+        store.save(live)
         name = sorted(live.definitions)[0]
         import json
 
@@ -213,7 +217,7 @@ class TestDefinitionBloom:
         SnapshotJournal(index, snap_path, compact_threshold=99)
         index.add(Document.create("delta::doc", {"body": "zweihander"}))
 
-        loaded = QunitCollection.load(imdb_db, out)
+        loaded = store.load(imdb_db, LoadOptions(lazy=False))
         bloom = loaded.definition_bloom(name)
         assert bloom is not None
         assert "zweihander" in bloom  # stale filter would miss it
@@ -233,7 +237,7 @@ class TestDefinitionBloom:
         live_collection = QunitCollection(imdb_db, imdb_expert_qunits(),
                                           max_instances_per_definition=20)
         live = QunitSearchEngine(live_collection, flavor="expert")
-        live_collection.save(tmp_path / "gen")
+        CollectionStore(tmp_path / "gen").save(live_collection)
         loaded = QunitSearchEngine.load(imdb_db, tmp_path / "gen",
                                         flavor="expert")
         queries = ["star wars cast", "george clooney", "tom hanks movies",

@@ -8,7 +8,6 @@ import asyncio
 import http.client
 import json
 import threading
-import time
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -17,6 +16,7 @@ from hypothesis import strategies as st
 from repro.core import QunitCollection
 from repro.core.derivation import imdb_expert_qunits
 from repro.core.search import QunitSearchEngine
+from repro.core.store import CollectionStore, LoadOptions, SaveOptions
 from repro.datasets.querylog import SessionLogGenerator
 from repro.serve.api import SearchRequest
 from repro.serve.client import (
@@ -143,6 +143,30 @@ class TestRouting:
                 response = connection.getresponse()
                 assert response.status == 200
                 response.read()
+        finally:
+            connection.close()
+
+    def test_keep_alive_reuse_across_search_requests(self, live_server,
+                                                     workload_queries):
+        # Sequential POST /search requests (and a /stats probe) ride the
+        # same TCP connection; every response must leave the stream
+        # positioned at the next request boundary.
+        host, port = live_server.address
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            for query in workload_queries[:3]:
+                connection.request(
+                    "POST", "/search", body=json.dumps({"query": query}),
+                    headers={"Content-Type": "application/json"})
+                response = connection.getresponse()
+                assert response.status == 200
+                assert response.getheader("Connection") != "close"
+                data = json.loads(response.read())
+                assert data["query"] == query
+            connection.request("GET", "/stats")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["served"] >= 3
         finally:
             connection.close()
 
@@ -283,6 +307,64 @@ class TestServingBehavior:
         assert busy.retry_after > 0
         assert stats["quota_rejections"] == 1
 
+    def test_retry_after_header_value_on_queue_exhaustion(
+            self, serve_collection, workload_queries):
+        # The overload 429 advertises max(4 * window, 0.05) seconds, so
+        # with window=0 the header must read exactly "0.05".
+        gate = threading.Event()
+
+        async def main():
+            config = ServerConfig(window=0.0, max_batch=1, queue_limit=1)
+            async with _start_server(
+                    serve_collection, config,
+                    slow=lambda: gate.wait(timeout=10)) as server:
+                host, port = server.address
+                clients = [SearchClient(host, port) for _ in range(3)]
+                try:
+                    first = asyncio.ensure_future(clients[0].search(
+                        SearchRequest(query=workload_queries[0])))
+                    await asyncio.sleep(0.2)  # in the (gated) batch
+                    second = asyncio.ensure_future(clients[1].search(
+                        SearchRequest(query=workload_queries[1])))
+                    await asyncio.sleep(0.2)  # fills the queue
+                    status, data = await clients[2].request(
+                        "POST", "/search",
+                        {"query": workload_queries[2]})
+                    gate.set()
+                    await asyncio.gather(first, second)
+                    return status, data
+                finally:
+                    gate.set()
+                    for client in clients:
+                        await client.close()
+
+        status, data = asyncio.run(main())
+        assert status == 429
+        assert data["retry_after"] == "0.05"
+
+    def test_retry_after_header_value_on_quota_exhaustion(
+            self, serve_collection, workload_queries):
+        # Quota 429s advertise the token-refill wait: burst 1 at 0.5/s
+        # means the next token is ~2 s out when the second request lands
+        # immediately after the first.
+        async def main():
+            config = ServerConfig(window=0.0, max_batch=1,
+                                  quota_rate=0.5, quota_burst=1)
+            async with _start_server(serve_collection, config) as server:
+                host, port = server.address
+                async with SearchClient(host, port) as client:
+                    await client.search(SearchRequest(
+                        query=workload_queries[0], client_id="greedy"))
+                    return await client.request(
+                        "POST", "/search",
+                        {"query": workload_queries[1],
+                         "client_id": "greedy"})
+
+        status, data = asyncio.run(main())
+        assert status == 429
+        advertised = float(data["retry_after"])
+        assert 1.0 < advertised <= 2.0
+
     def test_graceful_shutdown_completes_inflight_batch(
             self, serve_collection, workload_queries):
         """close() mid-batch: queued requests are still answered, and
@@ -370,9 +452,10 @@ class TestHybridOverHttp:
         # A collection saved without vector extents, served over HTTP
         # with a hybrid request: 200, lexical answers, a fallback note
         # in the trace — never a 500.
-        out = serve_collection.save(tmp_path / "no-vectors",
-                                    vectors=False)
-        loaded = QunitCollection.load(serve_collection.database, out)
+        store = CollectionStore(tmp_path / "no-vectors")
+        store.save(serve_collection, SaveOptions(vectors=False))
+        loaded = store.load(serve_collection.database,
+                            LoadOptions(lazy=False))
         # Free text that matches no definition, so serving it must run
         # flat IR retrieval (where the hybrid fallback fires); a
         # structurally-matched query would materialize its answers

@@ -1,0 +1,421 @@
+"""Tests for the prefork worker tier (``repro.serve.workers``): the
+length-prefixed frame codec, the worker-side frame loop (including the
+two malformed-input regimes), and the pool end to end — rank identity
+with in-process serving, crash + respawn, and a generation swap
+broadcast mid-serving."""
+
+import asyncio
+import http.client
+import json
+import os
+import signal
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core.store import CollectionStore
+from repro.serve.api import SearchRequest
+from repro.serve.workers import (
+    MAX_FRAME_BYTES,
+    FrameServer,
+    ProtocolError,
+    WorkerPool,
+    WorkerSpec,
+    decode_frame,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+SCALE, SEED = 0.15, 7  # must match the session ``imdb_db`` fixture
+
+
+@pytest.fixture(scope="module")
+def workload_queries(imdb_db):
+    from repro.datasets.querylog import SessionLogGenerator
+
+    generator = SessionLogGenerator(imdb_db, seed=5)
+    sessions = generator.generate(25)
+    return sorted({query for session in sessions
+                   for query in session.queries})[:15]
+
+
+# -- frame codec -------------------------------------------------------------
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        payload = {"op": "batch", "id": 7, "requests": [{"query": "q"}]}
+        assert decode_frame(encode_frame(payload)[4:]) == payload
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"op": "ready"})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_frame(b"{not json")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_frame(b"[1, 2]")
+
+    def test_socket_round_trip_and_eof(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"op": "ready", "pid": 1})
+            assert recv_frame(right) == {"op": "ready", "pid": 1}
+            left.close()
+            assert recv_frame(right) is None  # clean EOF
+        finally:
+            right.close()
+
+    def test_oversized_length_prefix_is_protocol_error(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_torn_frame_is_protocol_error(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", 100) + b"only this much")
+            left.shutdown(socket.SHUT_WR)
+            with pytest.raises(ProtocolError, match="short|before"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+# -- the worker-side frame loop, in process against a stub engine ------------
+
+
+@pytest.fixture()
+def frame_server():
+    """A FrameServer on a background thread over a socketpair; yields
+    the test's end of the wire and the (joinable) thread."""
+    worker_end, test_end = socket.socketpair()
+
+    def execute(request_dicts):
+        if request_dicts and request_dicts[0].get("query") == "explode":
+            raise RuntimeError("engine failure")
+        return [{"echo": entry} for entry in request_dicts]
+
+    server = FrameServer(worker_end, execute, generation="gen-a")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield test_end, thread, server
+    finally:
+        test_end.close()
+        thread.join(timeout=10)
+        worker_end.close()
+
+
+class TestFrameServer:
+    def test_announces_ready_then_serves_batches(self, frame_server):
+        sock, _thread, _server = frame_server
+        ready = recv_frame(sock)
+        assert ready["op"] == "ready"
+        assert ready["pid"] == os.getpid()
+        assert ready["generation"] == "gen-a"
+        send_frame(sock, {"op": "batch", "id": 1,
+                          "requests": [{"query": "a"}, {"query": "b"}]})
+        result = recv_frame(sock)
+        assert result == {"op": "result", "id": 1,
+                          "responses": [{"echo": {"query": "a"}},
+                                        {"echo": {"query": "b"}}]}
+
+    def test_bad_json_in_intact_frame_answers_error_and_continues(
+            self, frame_server):
+        sock, _thread, _server = frame_server
+        recv_frame(sock)  # ready
+        junk = b"{definitely not json"
+        sock.sendall(struct.pack(">I", len(junk)) + junk)
+        error = recv_frame(sock)
+        assert error["op"] == "error"
+        assert error["id"] is None
+        assert "malformed" in error["error"]
+        # The frame boundary held: the worker still serves.
+        send_frame(sock, {"op": "batch", "id": 2, "requests": []})
+        assert recv_frame(sock)["op"] == "result"
+
+    def test_unknown_op_answers_error_and_continues(self, frame_server):
+        sock, _thread, _server = frame_server
+        recv_frame(sock)  # ready
+        send_frame(sock, {"op": "frobnicate", "id": 9})
+        error = recv_frame(sock)
+        assert error["op"] == "error"
+        assert "frobnicate" in error["error"]
+        send_frame(sock, {"op": "batch", "id": 3, "requests": []})
+        assert recv_frame(sock)["op"] == "result"
+
+    def test_bad_batch_shape_answers_error_and_continues(self, frame_server):
+        sock, _thread, _server = frame_server
+        recv_frame(sock)  # ready
+        send_frame(sock, {"op": "batch", "id": "not-int", "requests": []})
+        assert recv_frame(sock)["op"] == "error"
+        send_frame(sock, {"op": "batch", "id": 4, "requests": "nope"})
+        assert recv_frame(sock)["op"] == "error"
+        send_frame(sock, {"op": "batch", "id": 5, "requests": []})
+        assert recv_frame(sock)["op"] == "result"
+
+    def test_engine_failure_answers_error_with_id(self, frame_server):
+        sock, _thread, _server = frame_server
+        recv_frame(sock)  # ready
+        send_frame(sock, {"op": "batch", "id": 6,
+                          "requests": [{"query": "explode"}]})
+        error = recv_frame(sock)
+        assert error["op"] == "error"
+        assert error["id"] == 6
+        assert "RuntimeError" in error["error"]
+
+    def test_oversized_length_prefix_kills_the_loop(self, frame_server):
+        sock, thread, _server = frame_server
+        recv_frame(sock)  # ready
+        sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        fatal = recv_frame(sock)
+        assert fatal["op"] == "protocol_error"
+        assert "exceeds" in fatal["error"]
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_torn_frame_kills_the_loop(self, frame_server):
+        sock, thread, _server = frame_server
+        recv_frame(sock)  # ready
+        sock.sendall(struct.pack(">I", 64) + b"half a frame")
+        sock.shutdown(socket.SHUT_WR)
+        fatal = recv_frame(sock)
+        assert fatal["op"] == "protocol_error"
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_generation_frame_reloads_and_reannounces(self):
+        worker_end, test_end = socket.socketpair()
+        reloads = []
+
+        def reload():
+            reloads.append(True)
+            return "gen-b"
+
+        server = FrameServer(worker_end, lambda requests: [],
+                             reload=reload, generation="gen-a")
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert recv_frame(test_end)["generation"] == "gen-a"
+            send_frame(test_end, {"op": "generation"})
+            ready = recv_frame(test_end)
+            assert ready["op"] == "ready"
+            assert ready["generation"] == "gen-b"
+            assert reloads == [True]
+            send_frame(test_end, {"op": "shutdown"})
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        finally:
+            test_end.close()
+            thread.join(timeout=10)
+            worker_end.close()
+
+
+# -- the pool, end to end ----------------------------------------------------
+
+
+def _requests(queries, limit=3):
+    return [SearchRequest(query=query, limit=limit) for query in queries]
+
+
+def _ranked(responses):
+    return [[(answer.text, answer.score) for answer in response.answers]
+            for response in responses]
+
+
+async def _await_generation(pool, generation, timeout=60.0):
+    """Poll until every live worker announces ``generation``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        per_worker = pool.stats()["per_worker"]
+        if all(entry["generation"] == generation for entry in per_worker
+               if entry["alive"]):
+            return
+        await asyncio.sleep(0.05)
+    raise AssertionError(f"workers never reached generation {generation}")
+
+
+class TestWorkerPool:
+    def test_rejects_zero_workers(self, tmp_path):
+        spec = WorkerSpec(directory=str(tmp_path), scale=SCALE, seed=SEED)
+        with pytest.raises(ValueError, match=">= 1"):
+            WorkerPool(spec, workers=0)
+
+    def test_pool_serves_rank_identical_and_survives_a_kill(
+            self, expert_collection, expert_engine, workload_queries,
+            tmp_path):
+        """One pool session: (1) batches answer rank-identically to the
+        in-process engine, (2) SIGKILL on a worker is detected, the
+        worker respawns, and answers stay identical."""
+        CollectionStore(tmp_path / "gen").save(expert_collection)
+        spec = WorkerSpec(directory=str(tmp_path / "gen"),
+                          scale=SCALE, seed=SEED)
+        requests = _requests(workload_queries[:4])
+        local = _ranked(expert_engine.execute(requests))
+
+        async def main():
+            pool = WorkerPool(spec, workers=2)
+            await pool.start()
+            try:
+                first = _ranked(await pool.execute(requests))
+                second = _ranked(await pool.execute(requests))
+
+                victim = pool.stats()["per_worker"][0]["pid"]
+                os.kill(victim, signal.SIGKILL)
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    stats = pool.stats()
+                    if stats["restarts"] >= 1 and \
+                            all(entry["alive"]
+                                for entry in stats["per_worker"]):
+                        break
+                    await asyncio.sleep(0.05)
+                else:
+                    raise AssertionError("killed worker never respawned")
+
+                third = _ranked(await pool.execute(requests))
+                return first, second, third, pool.stats()
+            finally:
+                await pool.close()
+
+        first, second, third, stats = asyncio.run(main())
+        assert first == local
+        assert second == local
+        assert third == local  # the respawned worker serves correctly
+        assert stats["restarts"] == 1
+        assert stats["dispatched"] >= 3
+        assert {entry["pid"] for entry in stats["per_worker"]} != {None}
+
+    def test_generation_swap_broadcast_keeps_answers_identical(
+            self, imdb_db, workload_queries, tmp_path):
+        """Commit an ingestion generation through the store, broadcast
+        it, and require worker answers to track the front end exactly —
+        including for an instance only the new generation contains."""
+        from repro.core.collection import QunitCollection
+        from repro.core.derivation import imdb_expert_qunits
+        from repro.core.search import QunitSearchEngine
+
+        directory = tmp_path / "gen"
+        store = CollectionStore(directory)
+        store.save(QunitCollection(imdb_db, imdb_expert_qunits(),
+                                   max_instances_per_definition=30))
+        engine = QunitSearchEngine.load(imdb_db, directory, flavor="expert")
+        collection = engine.collection
+        # An instance past the saved cap: present in neither the saved
+        # generation nor any worker until the commit lands.
+        wider = QunitCollection(imdb_db, imdb_expert_qunits(),
+                                max_instances_per_definition=80)
+        extra = next(
+            instance
+            for name in sorted(wider.definitions)
+            for instance in wider.instances_of(name)[30:])
+        probe = " ".join(str(value) for value in extra.params.values())
+        spec = WorkerSpec(directory=str(directory), scale=SCALE, seed=SEED)
+        queries = [*workload_queries[:2], probe]
+
+        async def main():
+            pool = WorkerPool(spec, workers=2)
+            await pool.start()
+            try:
+                before = _ranked(await pool.execute(_requests(queries)))
+
+                writer = store.writer(collection)
+                writer.stage_instance(extra)
+                await asyncio.to_thread(writer.commit)
+                await pool.broadcast_generation()
+                await _await_generation(pool, store.generation())
+
+                after = _ranked(await pool.execute(_requests(queries)))
+                return before, after
+            finally:
+                await pool.close()
+
+        before, after = asyncio.run(main())
+        local = _ranked(engine.execute(_requests(queries)))
+        assert after == local  # tracks the committed generation exactly
+        assert before[:2] == local[:2]  # old answers were already right
+        wider.close()
+        engine.collection.close()
+
+
+class TestServerWithWorkers:
+    def test_http_serving_over_workers_matches_in_process(
+            self, expert_collection, expert_engine, workload_queries,
+            imdb_db, tmp_path):
+        """The full stack: HTTP front end dispatching micro-batches to
+        prefork workers answers exactly like in-process serving, and
+        ``/stats`` carries the per-worker counters."""
+        import http.client
+
+        from repro.core.search import QunitSearchEngine
+        from repro.serve.server import SearchServer, ServerConfig
+
+        directory = tmp_path / "gen"
+        CollectionStore(directory).save(expert_collection)
+        engine = QunitSearchEngine.load(imdb_db, directory, flavor="expert")
+        spec = WorkerSpec(directory=str(directory), scale=SCALE, seed=SEED)
+        local = {query: _ranked([response]) for query, response in zip(
+            workload_queries[:3],
+            expert_engine.execute(_requests(workload_queries[:3])))}
+
+        async def main():
+            pool = WorkerPool(spec, workers=2)
+            server = SearchServer(
+                engine, ServerConfig(window=0.002, max_batch=8),
+                workers=pool)
+            await server.start()
+            try:
+                host, port = server.address
+                answers = {}
+                for query in workload_queries[:3]:
+                    status, data = await asyncio.to_thread(
+                        _sync_post, host, port, "/search",
+                        {"query": query, "limit": 3})
+                    assert status == 200
+                    answers[query] = [[(a["text"], a["score"])
+                                       for a in data["answers"]]]
+                status, stats = await asyncio.to_thread(
+                    _sync_post, host, port, "/stats", None)
+                assert status == 200
+                return answers, stats
+            finally:
+                await server.close()
+
+        answers, stats = asyncio.run(main())
+        assert answers == local
+        workers = stats["workers"]
+        assert workers["count"] == 2
+        assert workers["dispatched"] >= 1
+        assert sum(entry["served"] for entry in workers["per_worker"]) >= 3
+        engine.collection.close()
+
+
+def _sync_post(host, port, path, payload):
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        if payload is None:
+            connection.request("GET", path)
+        else:
+            connection.request(
+                "POST", path, body=json.dumps(payload),
+                headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
